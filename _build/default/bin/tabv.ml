@@ -1,0 +1,439 @@
+(* tabv — RTL-to-TLM property abstraction toolbox.
+
+   Subcommands:
+     abstract  rewrite an RTL property file into TLM properties
+     check     simulate a built-in DUV model with checkers attached
+     trace     dump a VCD waveform of a short DES56 RTL run
+     fig3      reproduce the paper's Fig. 3 rewriting demonstration *)
+
+open Cmdliner
+open Tabv_psl
+open Tabv_duv
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- abstract ----------------------------------------------------- *)
+
+let abstract_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Property file: lines of 'property NAME = FORMULA [@context];'")
+  in
+  let clock_period =
+    Arg.(value & opt int 10 & info [ "clock-period"; "c" ] ~docv:"NS"
+           ~doc:"Clock period of the RTL implementation in nanoseconds.")
+  in
+  let removed =
+    Arg.(value & opt (list string) [] & info [ "remove"; "r" ] ~docv:"SIGNALS"
+           ~doc:"Comma-separated signals removed by the RTL-to-TLM abstraction.")
+  in
+  let clock_periods =
+    Arg.(value & opt (list (pair ~sep:'=' string int)) []
+         & info [ "clock-periods" ] ~docv:"NAME=NS,..."
+             ~doc:"Periods of named clocks used in '@NAME_pos'-style contexts.")
+  in
+  let summary =
+    Arg.(value & flag & info [ "summary"; "s" ] ~doc:"Print one line per property.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as JSON.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Write the surviving TLM properties to FILE in the property \
+                 language (ready for 'tabv check -p FILE' or 'tabv replay').")
+  in
+  let run file clock_period clock_periods removed summary json output =
+    match Parser.file (read_file file) with
+    | exception Parser.Parse_error { line; col; message } ->
+      Printf.eprintf "%s:%d:%d: %s\n" file line col message;
+      exit 1
+    | properties ->
+      let reports =
+        Tabv_core.Methodology.abstract_all ~clock_period ~clock_periods
+          ~abstracted_signals:removed properties
+      in
+      if json then
+        print_endline
+          (Tabv_core.Report_json.to_string (Tabv_core.Report_json.of_reports reports))
+      else if summary then Format.printf "%a@." Tabv_core.Methodology.pp_summary reports
+      else
+        List.iter (fun r -> Format.printf "%a@.@." Tabv_core.Methodology.pp_report r) reports;
+      (* Emit the surviving TLM property set on stdout in re-parseable
+         form. *)
+      let survivors = Tabv_core.Methodology.surviving reports in
+      if survivors <> [] && not json then begin
+        print_endline "-- abstracted TLM properties:";
+        List.iter
+          (fun q ->
+            Format.printf "property %s = %a %a;@." q.Property.name Ltl.pp
+              q.Property.formula Context.pp q.Property.context)
+          survivors
+      end;
+      match output with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        let ppf = Format.formatter_of_out_channel oc in
+        Format.fprintf ppf "-- abstracted from %s (clock %d ns%s)@." file clock_period
+          (if removed = [] then ""
+           else "; removed: " ^ String.concat ", " removed);
+        List.iter
+          (fun r ->
+            match r.Tabv_core.Methodology.output with
+            | None -> ()
+            | Some q ->
+              if r.Tabv_core.Methodology.requires_review then
+                Format.fprintf ppf
+                  "-- NOTE: %s requires human review (signal abstraction was not a \
+                   pure weakening)@."
+                  q.Property.name;
+              if Tabv_core.Methodology.needs_dense_trace q.Property.formula then
+                Format.fprintf ppf
+                  "-- NOTE: %s needs full-grid transactions (use the grid wrapper)@."
+                  q.Property.name;
+              Format.fprintf ppf "property %s = %a %a;@." q.Property.name Ltl.pp
+                q.Property.formula Context.pp q.Property.context)
+          reports;
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        Printf.printf "wrote %d properties to %s\n" (List.length survivors) path
+  in
+  let doc = "Abstract RTL properties into TLM properties (Methodology III.1)." in
+  Cmd.v (Cmd.info "abstract" ~doc)
+    Term.(
+      const run $ file $ clock_period $ clock_periods $ removed $ summary $ json
+      $ output)
+
+(* --- check -------------------------------------------------------- *)
+
+type model =
+  | Des56_rtl_m
+  | Des56_ca_m
+  | Des56_at_m
+  | Des56_lt_m
+  | Colorconv_rtl_m
+  | Colorconv_ca_m
+  | Colorconv_at_m
+  | Memctrl_rtl_m
+  | Memctrl_ca_m
+  | Memctrl_at_m
+
+let model_conv =
+  Arg.enum
+    [ ("des56-rtl", Des56_rtl_m); ("des56-tlm-ca", Des56_ca_m);
+      ("des56-tlm-at", Des56_at_m); ("des56-tlm-lt", Des56_lt_m);
+      ("colorconv-rtl", Colorconv_rtl_m);
+      ("colorconv-tlm-ca", Colorconv_ca_m); ("colorconv-tlm-at", Colorconv_at_m);
+      ("memctrl-rtl", Memctrl_rtl_m); ("memctrl-tlm-ca", Memctrl_ca_m);
+      ("memctrl-tlm-at", Memctrl_at_m) ]
+
+let check_cmd =
+  let model =
+    Arg.(required & opt (some model_conv) None & info [ "model"; "m" ] ~docv:"MODEL"
+           ~doc:"One of des56-rtl, des56-tlm-ca, des56-tlm-at, des56-tlm-lt, \
+                 colorconv-rtl, colorconv-tlm-ca, colorconv-tlm-at, memctrl-rtl, \
+                 memctrl-tlm-ca, memctrl-tlm-at.")
+  in
+  let count =
+    Arg.(value & opt int 200 & info [ "ops"; "n" ] ~docv:"N"
+           ~doc:"Workload size (operations or pixels).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let props_file =
+    Arg.(value & opt (some file) None & info [ "props"; "p" ] ~docv:"FILE"
+           ~doc:"Check the RTL properties from this file instead of the built-in                  set.  On an approximately-timed model the properties are first                  abstracted with Methodology III.1 (clock 10 ns, the model's                  abstracted signals); only the automatically-safe results are                  attached.")
+  in
+  let run model count seed props_file =
+    let user_props () =
+      match props_file with
+      | None -> None
+      | Some file ->
+        (match Parser.file (read_file file) with
+         | properties -> Some properties
+         | exception Parser.Parse_error { line; col; message } ->
+           Printf.eprintf "%s:%d:%d: %s
+" file line col message;
+           exit 1)
+    in
+    (* Split the automatically-safe abstractions into strict-wrapper
+       properties and grid-wrapper ones (timed operators under
+       until/release need the full clock grid). *)
+    let abstract_for_at ~abstracted_signals properties =
+      let reports =
+        Tabv_core.Methodology.abstract_all ~clock_period:10 ~abstracted_signals
+          properties
+      in
+      List.fold_left
+        (fun (strict, grid) r ->
+          match r.Tabv_core.Methodology.output with
+          | Some q when not r.Tabv_core.Methodology.requires_review ->
+            if Tabv_core.Methodology.needs_dense_trace q.Property.formula then
+              (strict, q :: grid)
+            else (q :: strict, grid)
+          | Some _ | None -> (strict, grid))
+        ([], []) reports
+      |> fun (strict, grid) -> (List.rev strict, List.rev grid)
+    in
+    let rtl_or user builtin =
+      match user with
+      | Some properties -> properties
+      | None -> builtin
+    in
+    let user = user_props () in
+    (* Lint user properties against the model's interface. *)
+    let known =
+      match model with
+      | Des56_rtl_m | Des56_ca_m | Des56_at_m | Des56_lt_m ->
+        Des56_iface.signal_names
+      | Colorconv_rtl_m | Colorconv_ca_m | Colorconv_at_m ->
+        Colorconv_iface.signal_names
+      | Memctrl_rtl_m | Memctrl_ca_m | Memctrl_at_m -> Memctrl_iface.signal_names
+    in
+    (match user with
+     | Some properties ->
+       List.iter
+         (fun p ->
+           match Property.unknown_signals ~known p with
+           | [] -> ()
+           | unknown ->
+             Printf.eprintf "warning: property %s mentions unknown signal(s): %s\n"
+               p.Property.name (String.concat ", " unknown))
+         properties
+     | None -> ());
+    let result =
+      match model with
+      | Des56_rtl_m ->
+        Testbench.run_des56_rtl ~properties:(rtl_or user Des56_props.all)
+          (Workload.des56 ~seed ~count ())
+      | Des56_ca_m ->
+        Testbench.run_des56_tlm_ca ~properties:(rtl_or user Des56_props.all)
+          (Workload.des56 ~seed ~count ())
+      | Des56_at_m ->
+        let properties, grid_properties =
+          match user with
+          | Some properties ->
+            abstract_for_at ~abstracted_signals:Des56_props.abstracted_signals
+              properties
+          | None -> (Des56_props.tlm_reviewed (), [])
+        in
+        Testbench.run_des56_tlm_at ~properties ~grid_properties
+          (Workload.des56 ~seed ~count ())
+      | Colorconv_rtl_m ->
+        Testbench.run_colorconv_rtl ~properties:(rtl_or user Colorconv_props.all)
+          (Workload.colorconv ~seed ~count ())
+      | Colorconv_ca_m ->
+        Testbench.run_colorconv_tlm_ca ~properties:(rtl_or user Colorconv_props.all)
+          (Workload.colorconv ~seed ~count ())
+      | Colorconv_at_m ->
+        let properties, grid_properties =
+          match user with
+          | Some properties ->
+            abstract_for_at ~abstracted_signals:Colorconv_props.abstracted_signals
+              properties
+          | None -> (Colorconv_props.tlm_reviewed (), [])
+        in
+        Testbench.run_colorconv_tlm_at ~properties ~grid_properties
+          (Workload.colorconv ~seed ~count ())
+      | Des56_lt_m ->
+        (* Boolean invariants only: the LT model is not timing
+           equivalent, timed properties would fail by design. *)
+        let properties =
+          match user with
+          | Some properties ->
+            List.filter
+              (fun p -> Tabv_psl.Simple_subset.is_boolean p.Property.formula)
+              (fst
+                 (abstract_for_at ~abstracted_signals:Des56_props.abstracted_signals
+                    properties))
+          | None ->
+            [ Property.make ~name:"lt_inv"
+                ~context:(Context.Transaction Context.Base_trans)
+                (Parser.formula_only "always(!rdy || ds)") ]
+        in
+        Testbench.run_des56_tlm_lt ~properties (Workload.des56 ~seed ~count ())
+      | Memctrl_rtl_m ->
+        Memctrl_testbench.run_rtl ~properties:(rtl_or user Memctrl_props.all)
+          (Workload.memctrl ~seed ~count ())
+      | Memctrl_ca_m ->
+        Memctrl_testbench.run_tlm_ca ~properties:(rtl_or user Memctrl_props.all)
+          (Workload.memctrl ~seed ~count ())
+      | Memctrl_at_m ->
+        let properties =
+          match user with
+          | Some properties ->
+            fst
+              (abstract_for_at ~abstracted_signals:Memctrl_props.abstracted_signals
+                 properties)
+          | None -> Memctrl_props.tlm_auto_safe ()
+        in
+        Memctrl_testbench.run_tlm_at ~properties (Workload.memctrl ~seed ~count ())
+    in
+    Printf.printf "simulated %dns, %d operations, %d kernel activations, %d transactions\n"
+      result.Testbench.sim_time_ns result.Testbench.completed_ops
+      result.Testbench.kernel_activations result.Testbench.transactions;
+    List.iter
+      (fun stat -> Format.printf "%a@." Testbench.pp_checker_stat stat)
+      result.Testbench.checker_stats;
+    let failures = Testbench.total_failures result in
+    if failures = 0 then print_endline "all checkers passed"
+    else begin
+      Printf.printf "%d failure(s):\n" failures;
+      List.iter
+        (fun stat ->
+          List.iter
+            (fun f -> Format.printf "  %a@." Tabv_checker.Monitor.pp_failure f)
+            stat.Testbench.failures)
+        result.Testbench.checker_stats;
+      exit 1
+    end
+  in
+  let doc = "Run a built-in DUV model with its property checkers attached." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ model $ count $ seed $ props_file)
+
+(* --- trace -------------------------------------------------------- *)
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "des56.vcd" & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Output VCD file.")
+  in
+  let count =
+    Arg.(value & opt int 3 & info [ "ops"; "n" ] ~docv:"N" ~doc:"Operations to trace.")
+  in
+  let run out count =
+    let ops = Workload.des56 ~seed:1 ~count () in
+    let result = Testbench.run_des56_rtl ~record_trace:true ops in
+    match result.Testbench.trace with
+    | None -> prerr_endline "no trace recorded"; exit 1
+    | Some trace ->
+      Tabv_sim.Trace_dump.to_file trace out;
+      Printf.printf "wrote %s (%d evaluation points)\n" out (Trace.length trace)
+  in
+  let doc = "Dump a VCD waveform of a short DES56 RTL simulation." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ out $ count)
+
+(* --- replay ------------------------------------------------------- *)
+
+let replay_cmd =
+  let vcd =
+    Arg.(required & opt (some file) None & info [ "vcd" ] ~docv:"FILE"
+           ~doc:"Recorded waveform (VCD) whose timestamps are the evaluation points.")
+  in
+  let props =
+    Arg.(required & opt (some file) None & info [ "props"; "p" ] ~docv:"FILE"
+           ~doc:"Property file to check against the waveform.")
+  in
+  let run vcd props =
+    let waveform =
+      try Tabv_sim.Vcd_reader.load vcd with
+      | Tabv_sim.Vcd_reader.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" vcd line message;
+        exit 1
+    in
+    let properties =
+      match Parser.file (read_file props) with
+      | properties -> properties
+      | exception Parser.Parse_error { line; col; message } ->
+        Printf.eprintf "%s:%d:%d: %s\n" props line col message;
+        exit 1
+    in
+    Printf.printf "replaying %d evaluation points over %d signals\n"
+      (Trace.length waveform.Tabv_sim.Vcd_reader.trace)
+      (List.length waveform.Tabv_sim.Vcd_reader.signals);
+    let outcomes =
+      Tabv_checker.Replay.run properties waveform.Tabv_sim.Vcd_reader.trace
+    in
+    let monitors =
+      List.map (fun o -> o.Tabv_checker.Replay.monitor) outcomes
+    in
+    Format.printf "%a@." Tabv_checker.Coverage.pp_table monitors;
+    if not (Tabv_checker.Replay.all_passed outcomes) then exit 1
+  in
+  let doc = "Check properties offline against a recorded VCD waveform." in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ vcd $ props)
+
+(* --- doctor ------------------------------------------------------- *)
+
+let doctor_cmd =
+  let run () =
+    let failures = ref 0 in
+    let check name ok =
+      Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") name;
+      if not ok then incr failures
+    in
+    print_endline "tabv doctor: internal consistency checks";
+    check "DES known-answer vector"
+      (Des.encrypt ~key:0x133457799BBCDFF1L 0x0123456789ABCDEFL = 0x85E813540F0AB405L);
+    check "ColorConv black pixel"
+      (Colorconv.equal_ycbcr
+         (Colorconv.convert { Colorconv.r = 0; g = 0; b = 0 })
+         { Colorconv.y = 16; cb = 128; cr = 128 });
+    let q1_expected =
+      "q1: always(!(ds && indata == 0) || nexte[1,170](out != 0)) @tb"
+    in
+    check "Fig. 3 rewriting (p1 -> q1)"
+      (match (List.hd (Des56_props.abstraction_reports ())).Tabv_core.Methodology.output with
+       | Some q -> Property.to_string q = q1_expected
+       | None -> false);
+    check "push-ahead law: next(a until b) (exhaustive to depth 4)"
+      (Exhaustive.equivalent ~signals:[ "a"; "b" ] ~max_depth:4
+         (Parser.formula_only "next(a until b)")
+         (Parser.formula_only "next(a) until next(b)")
+       = Exhaustive.Holds);
+    let quick_ops = Workload.des56 ~seed:1 ~count:10 () in
+    check "DES56 RTL end-to-end with all checkers"
+      (Testbench.total_failures
+         (Testbench.run_des56_rtl ~properties:Des56_props.all quick_ops)
+       = 0);
+    check "DES56 TLM-AT end-to-end with reviewed checkers"
+      (Testbench.total_failures
+         (Testbench.run_des56_tlm_at ~properties:(Des56_props.tlm_reviewed ()) quick_ops)
+       = 0);
+    check "wrong abstraction is detected"
+      (Testbench.total_failures
+         (Testbench.run_des56_tlm_at ~model_latency_ns:160
+            ~properties:(Des56_props.tlm_auto_safe ()) quick_ops)
+       > 0);
+    let quick_bursts = Workload.colorconv ~seed:1 ~count:50 () in
+    check "ColorConv TLM-AT end-to-end with reviewed checkers"
+      (Testbench.total_failures
+         (Testbench.run_colorconv_tlm_at
+            ~properties:(Colorconv_props.tlm_reviewed ()) quick_bursts)
+       = 0);
+    let mem_ops = Workload.memctrl ~seed:1 ~count:20 () in
+    check "MemCtrl RTL read-back"
+      ((Memctrl_testbench.run_rtl mem_ops).Testbench.outputs
+       = List.map Int64.of_int (Memctrl_testbench.reference_reads mem_ops));
+    if !failures = 0 then print_endline "all checks passed"
+    else begin
+      Printf.printf "%d check(s) FAILED\n" !failures;
+      exit 1
+    end
+  in
+  let doc = "Run the built-in consistency checks (known answers, laws, flows)." in
+  Cmd.v (Cmd.info "doctor" ~doc) Term.(const run $ const ())
+
+(* --- fig3 --------------------------------------------------------- *)
+
+let fig3_cmd =
+  let run () =
+    List.iteri
+      (fun i report ->
+        if i < 3 then Format.printf "%a@.@." Tabv_core.Methodology.pp_report report)
+      (Des56_props.abstraction_reports ())
+  in
+  let doc = "Reproduce the paper's Fig. 3 property rewriting (p1-p3 to q1-q3)." in
+  Cmd.v (Cmd.info "fig3" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "RTL property abstraction for TLM assertion-based verification" in
+  let info = Cmd.info "tabv" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ abstract_cmd; check_cmd; trace_cmd; replay_cmd; doctor_cmd; fig3_cmd ]))

@@ -1,0 +1,1 @@
+examples/colorconv_flow.ml: Colorconv_props Format List Printf Tabv_core Tabv_duv Tabv_psl Testbench Workload

@@ -1,0 +1,1 @@
+examples/colorconv_flow.mli:

@@ -1,0 +1,1 @@
+examples/custom_ip.ml: Clock Expr Format Kernel List Monitor Parser Printf Process Property Random Rtl_checker Signal Tabv_checker Tabv_core Tabv_psl Tabv_sim Tlm Wrapper

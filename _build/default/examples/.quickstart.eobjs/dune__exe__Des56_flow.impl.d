@@ -1,0 +1,1 @@
+examples/des56_flow.ml: Des56_props Format List Printf Tabv_core Tabv_duv Tabv_psl Testbench Workload

@@ -1,0 +1,1 @@
+examples/des56_flow.mli:

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Des56_props Des56_rtl Format List Printf Tabv_checker Tabv_duv Testbench Workload

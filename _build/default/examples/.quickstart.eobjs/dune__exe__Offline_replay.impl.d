@@ -1,0 +1,1 @@
+examples/offline_replay.ml: Des56_props Expr Filename Format List Printf Sys Tabv_checker Tabv_duv Tabv_psl Tabv_sim Testbench Trace Trace_dump Vcd_reader Workload

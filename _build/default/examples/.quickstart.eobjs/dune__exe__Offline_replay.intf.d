@@ -1,0 +1,1 @@
+examples/offline_replay.mli:

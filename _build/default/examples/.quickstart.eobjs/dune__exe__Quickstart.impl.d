@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Parser Printf Property Tabv_core Tabv_duv Tabv_psl Testbench Workload

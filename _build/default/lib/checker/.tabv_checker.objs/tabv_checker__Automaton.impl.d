@@ -1,0 +1,1 @@
+lib/checker/automaton.ml: Array Expr Hashtbl List Ltl Nnf Printf Tabv_psl

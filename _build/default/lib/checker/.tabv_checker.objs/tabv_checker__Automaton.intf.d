@@ -1,0 +1,1 @@
+lib/checker/automaton.mli: Expr Ltl Tabv_psl

@@ -1,0 +1,1 @@
+lib/checker/coverage.ml: Format List Monitor Property Tabv_psl

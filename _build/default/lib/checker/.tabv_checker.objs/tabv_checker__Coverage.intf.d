@@ -1,0 +1,1 @@
+lib/checker/coverage.mli: Format Monitor

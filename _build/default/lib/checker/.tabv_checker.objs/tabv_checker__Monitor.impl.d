@@ -1,0 +1,1 @@
+lib/checker/monitor.ml: Automaton Context Expr Format List Ltl Nnf Progression Property Simple_subset Tabv_psl

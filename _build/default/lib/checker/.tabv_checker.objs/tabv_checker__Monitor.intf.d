@@ -1,0 +1,1 @@
+lib/checker/monitor.mli: Expr Format Property Tabv_psl

@@ -1,0 +1,1 @@
+lib/checker/progression.ml: Expr Format Ltl Tabv_psl

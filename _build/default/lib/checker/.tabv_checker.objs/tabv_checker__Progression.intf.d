@@ -1,0 +1,1 @@
+lib/checker/progression.mli: Expr Format Ltl Tabv_psl

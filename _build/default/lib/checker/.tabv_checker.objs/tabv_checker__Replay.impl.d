@@ -1,0 +1,1 @@
+lib/checker/replay.ml: Format List Monitor Printf Property Tabv_psl Trace

@@ -1,0 +1,1 @@
+lib/checker/replay.mli: Format Monitor Property Tabv_psl Trace

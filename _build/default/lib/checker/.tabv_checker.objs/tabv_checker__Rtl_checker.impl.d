@@ -1,0 +1,1 @@
+lib/checker/rtl_checker.ml: Clock Context Event Kernel List Monitor Printf Property Tabv_psl Tabv_sim

@@ -1,0 +1,1 @@
+lib/checker/rtl_checker.mli: Clock Expr Kernel Monitor Property Tabv_psl Tabv_sim

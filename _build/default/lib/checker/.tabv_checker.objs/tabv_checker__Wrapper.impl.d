@@ -1,0 +1,1 @@
+lib/checker/wrapper.ml: Context Kernel Ltl Monitor Printf Property Tabv_psl Tabv_sim Tlm

@@ -1,0 +1,1 @@
+lib/checker/wrapper.mli: Expr Kernel Monitor Property Tabv_psl Tabv_sim Tlm

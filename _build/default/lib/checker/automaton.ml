@@ -1,0 +1,155 @@
+open Tabv_psl
+
+exception Unsupported of string
+
+let max_atoms = 10
+let default_max_states = 1024
+
+(* Residual formulas double as automaton states; [tt]/[ff] are the
+   accepting/rejecting sinks. *)
+let tt = Ltl.Atom (Expr.Bool true)
+let ff = Ltl.Atom (Expr.Bool false)
+
+let is_tt = function
+  | Ltl.Atom (Expr.Bool true) -> true
+  | _ -> false
+
+let is_ff = function
+  | Ltl.Atom (Expr.Bool false) -> true
+  | _ -> false
+
+let land_ a b =
+  if is_ff a || is_ff b then ff
+  else if is_tt a then b
+  else if is_tt b then a
+  else if Ltl.equal a b then a
+  else Ltl.And (a, b)
+
+let lor_ a b =
+  if is_tt a || is_tt b then tt
+  else if is_ff a then b
+  else if is_ff b then a
+  else if Ltl.equal a b then a
+  else Ltl.Or (a, b)
+
+(* One progression step with atoms decided by [eval_atom].  The
+   residual language reuses the Ltl constructors, so reached residuals
+   are directly comparable and hashable. *)
+let rec prog eval_atom f =
+  match f with
+  | Ltl.Atom (Expr.Bool _) -> f
+  | Ltl.Atom e -> if eval_atom e then tt else ff
+  | Ltl.Not (Ltl.Atom (Expr.Bool b)) -> if b then ff else tt
+  | Ltl.Not (Ltl.Atom e) -> if eval_atom e then ff else tt
+  | Ltl.Not _ | Ltl.Implies _ ->
+    raise (Unsupported "formula not in negation normal form")
+  | Ltl.Next_event _ ->
+    raise (Unsupported "next_eps^tau cannot be tabled (use the wrapper)")
+  | Ltl.Next_n (1, p) -> p
+  | Ltl.Next_n (n, p) -> Ltl.next_n (n - 1) p
+  | Ltl.And (p, q) -> land_ (prog eval_atom p) (prog eval_atom q)
+  | Ltl.Or (p, q) -> lor_ (prog eval_atom p) (prog eval_atom q)
+  | Ltl.Until (p, q) -> lor_ (prog eval_atom q) (land_ (prog eval_atom p) f)
+  | Ltl.Release (p, q) -> land_ (prog eval_atom q) (lor_ (prog eval_atom p) f)
+  | Ltl.Always p -> land_ (prog eval_atom p) f
+  | Ltl.Eventually p -> lor_ (prog eval_atom p) f
+
+let rec collect_atoms acc = function
+  | Ltl.Atom (Expr.Bool _) -> acc
+  | Ltl.Atom e -> if List.exists (Expr.equal e) acc then acc else e :: acc
+  | Ltl.Not p | Ltl.Next_n (_, p) | Ltl.Next_event (_, p) | Ltl.Always p
+  | Ltl.Eventually p ->
+    collect_atoms acc p
+  | Ltl.And (p, q) | Ltl.Or (p, q) | Ltl.Implies (p, q) | Ltl.Until (p, q)
+  | Ltl.Release (p, q) ->
+    collect_atoms (collect_atoms acc p) q
+
+type t = {
+  atoms : Expr.t array;
+  (* transitions.(state) has 2^k entries, one per atom valuation. *)
+  transitions : int array array;
+  verdicts : bool option array;
+  initial : int;
+}
+
+type state = int
+
+let compile ?(max_states = default_max_states) formula =
+  let normalized = Nnf.convert (Ltl.demote_booleans formula) in
+  let atoms = Array.of_list (List.rev (collect_atoms [] normalized)) in
+  let k = Array.length atoms in
+  if k > max_atoms then
+    raise
+      (Unsupported
+         (Printf.sprintf "%d atomic propositions exceed the %d-atom limit" k max_atoms));
+  let valuations = 1 lsl k in
+  let ids : (Ltl.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let states : Ltl.t array ref = ref (Array.make 16 tt) in
+  let count = ref 0 in
+  let intern f =
+    match Hashtbl.find_opt ids f with
+    | Some id -> id
+    | None ->
+      if !count >= max_states then
+        raise (Unsupported (Printf.sprintf "more than %d states" max_states));
+      if !count >= Array.length !states then begin
+        let grown = Array.make (2 * Array.length !states) tt in
+        Array.blit !states 0 grown 0 !count;
+        states := grown
+      end;
+      let id = !count in
+      !states.(id) <- f;
+      Hashtbl.add ids f id;
+      incr count;
+      id
+  in
+  let initial = intern normalized in
+  let transitions = ref [] in
+  (* BFS over reachable residuals. *)
+  let processed = ref 0 in
+  while !processed < !count do
+    let id = !processed in
+    let f = !states.(id) in
+    let row = Array.make valuations 0 in
+    for v = 0 to valuations - 1 do
+      let eval_atom e =
+        let rec index i = if Expr.equal atoms.(i) e then i else index (i + 1) in
+        let i = index 0 in
+        v land (1 lsl i) <> 0
+      in
+      row.(v) <- intern (prog eval_atom f)
+    done;
+    transitions := row :: !transitions;
+    incr processed
+  done;
+  let transitions = Array.of_list (List.rev !transitions) in
+  (* States interned after their row was built (impossible here since
+     interning happens during row construction before [processed]
+     catches up, and the loop runs until every interned state is
+     processed) all have rows by termination of the while loop. *)
+  let verdicts =
+    Array.init !count (fun id ->
+      let f = !states.(id) in
+      if is_tt f then Some true else if is_ff f then Some false else None)
+  in
+  { atoms; transitions; verdicts; initial }
+
+let compile_body ?max_states formula =
+  match Nnf.convert (Ltl.demote_booleans formula) with
+  | Ltl.Always body -> (compile ?max_states body, true)
+  | other -> (compile ?max_states other, false)
+
+let state_count t = Array.length t.transitions
+let initial t = t.initial
+
+let valuation t lookup =
+  let v = ref 0 in
+  Array.iteri
+    (fun i atom -> if Expr.eval lookup atom then v := !v lor (1 lsl i))
+    t.atoms;
+  !v
+
+let step_valuation t state v = t.transitions.(state).(v)
+let step t state lookup = step_valuation t state (valuation t lookup)
+
+let verdict t state = t.verdicts.(state)

@@ -1,0 +1,59 @@
+open Tabv_psl
+
+type summary = {
+  properties : int;
+  failing : int;
+  vacuous : int;
+  with_pending : int;
+  total_failures : int;
+  total_activations : int;
+  total_evaluation_points : int;
+}
+
+let summarize monitors =
+  List.fold_left
+    (fun acc monitor ->
+      let failures = List.length (Monitor.failures monitor) in
+      {
+        properties = acc.properties + 1;
+        failing = (acc.failing + if failures > 0 then 1 else 0);
+        vacuous = (acc.vacuous + if Monitor.vacuous monitor then 1 else 0);
+        with_pending = (acc.with_pending + if Monitor.pending monitor > 0 then 1 else 0);
+        total_failures = acc.total_failures + failures;
+        total_activations = acc.total_activations + Monitor.activations monitor;
+        total_evaluation_points = acc.total_evaluation_points + Monitor.steps monitor;
+      })
+    {
+      properties = 0;
+      failing = 0;
+      vacuous = 0;
+      with_pending = 0;
+      total_failures = 0;
+      total_activations = 0;
+      total_evaluation_points = 0;
+    }
+    monitors
+
+let clean summary =
+  summary.failing = 0 && summary.vacuous = 0 && summary.with_pending = 0
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d properties: %d failing, %d vacuous, %d pending; %d failures, %d activations over %d evaluation points%s"
+    s.properties s.failing s.vacuous s.with_pending s.total_failures
+    s.total_activations s.total_evaluation_points
+    (if clean s then " — clean" else "")
+
+let pp_table ppf monitors =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun monitor ->
+      let failures = List.length (Monitor.failures monitor) in
+      Format.fprintf ppf "%-8s %-6s activations=%-6d failures=%-4d pending=%-3d%s@,"
+        (Monitor.property monitor).Property.name
+        (if failures > 0 then "FAIL" else "pass")
+        (Monitor.activations monitor) failures (Monitor.pending monitor)
+        (if Monitor.vacuous monitor then "  [vacuous]" else ""))
+    monitors;
+  pp_summary ppf (summarize monitors);
+  Format.fprintf ppf "@]"

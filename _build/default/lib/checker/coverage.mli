@@ -1,0 +1,25 @@
+(** Verification-run coverage summary across a set of property
+    monitors: failures, vacuous passes, pending (inconclusive)
+    obligations and activation density — the numbers a sign-off review
+    looks at after a regression run. *)
+
+type summary = {
+  properties : int;
+  failing : int;  (** properties with at least one failure *)
+  vacuous : int;  (** evaluated but never non-trivially activated *)
+  with_pending : int;  (** properties with obligations open at end *)
+  total_failures : int;
+  total_activations : int;
+  total_evaluation_points : int;
+}
+
+val summarize : Monitor.t list -> summary
+
+(** True when the run can be signed off: no failures, nothing vacuous,
+    nothing left pending. *)
+val clean : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** One row per monitor followed by the summary line. *)
+val pp_table : Format.formatter -> Monitor.t list -> unit

@@ -1,0 +1,207 @@
+open Tabv_psl
+
+type failure = {
+  property_name : string;
+  activation_time : int;
+  failure_time : int;
+}
+
+type engine =
+  [ `Progression
+  | `Automaton
+  ]
+
+(* The two synthesis backends share the monitor through a common
+   obligation shape. *)
+type obligation =
+  | Prog_ob of Progression.t
+  | Auto_ob of Automaton.state
+
+type backend =
+  | Prog_backend
+  | Auto_backend of Automaton.t
+
+type instance = {
+  activated_at : int;
+  mutable obligation : obligation;
+}
+
+type t = {
+  property : Property.t;
+  body : Ltl.t;
+  temporal_body : bool;  (* vacuity only makes sense for temporal bodies *)
+  backend : backend;
+  repeating : bool;  (* outer [always]: activate per evaluation point *)
+  gate : Expr.t option;
+  mutable instances : instance list;  (* live, newest first *)
+  mutable started : bool;
+  mutable failures : failure list;
+  mutable activations : int;
+  mutable passes : int;
+  mutable peak : int;
+  mutable steps : int;
+  mutable trivial_passes : int;
+}
+
+let gate_of_context = function
+  | Context.Clock (Context.Base_clock | Context.Edge _ | Context.Named_edge _) ->
+    None
+  | Context.Clock
+      (Context.Edge_and (_, gate) | Context.Named_edge_and (_, _, gate)) ->
+    Some gate
+  | Context.Transaction Context.Base_trans -> None
+  | Context.Transaction (Context.Trans_and gate) -> Some gate
+
+let create ?(engine = `Progression) property =
+  let normalized = Nnf.convert (Ltl.demote_booleans property.Property.formula) in
+  let repeating, body =
+    match normalized with
+    | Ltl.Always body -> (true, body)
+    | other -> (false, other)
+  in
+  let backend =
+    match engine with
+    | `Progression -> Prog_backend
+    | `Automaton ->
+      (* Bound the table so pathological bodies fall back to the
+         rewriting backend instead of exploding at synthesis time. *)
+      (match Automaton.compile ~max_states:256 body with
+       | automaton -> Auto_backend automaton
+       | exception Automaton.Unsupported _ -> Prog_backend)
+  in
+  {
+    property;
+    body;
+    temporal_body = not (Simple_subset.is_boolean body);
+    backend;
+    repeating;
+    gate = gate_of_context property.Property.context;
+    instances = [];
+    started = false;
+    failures = [];
+    activations = 0;
+    passes = 0;
+    peak = 0;
+    steps = 0;
+    trivial_passes = 0;
+  }
+
+let property t = t.property
+
+let engine t =
+  match t.backend with
+  | Prog_backend -> `Progression
+  | Auto_backend _ -> `Automaton
+
+let fresh_obligation t =
+  match t.backend with
+  | Prog_backend -> Prog_ob (Progression.of_formula t.body)
+  | Auto_backend automaton -> Auto_ob (Automaton.initial automaton)
+
+(* Per-evaluation-point context: the automaton backend evaluates the
+   atoms once and every instance steps by table lookup. *)
+type step_context =
+  | Prog_ctx
+  | Auto_ctx of int
+
+let step_context t lookup =
+  match t.backend with
+  | Prog_backend -> Prog_ctx
+  | Auto_backend automaton -> Auto_ctx (Automaton.valuation automaton lookup)
+
+let step_obligation t ~time lookup ctx = function
+  | Prog_ob ob -> Prog_ob (Progression.step ~time lookup ob)
+  | Auto_ob state ->
+    (match t.backend, ctx with
+     | Auto_backend automaton, Auto_ctx v ->
+       Auto_ob (Automaton.step_valuation automaton state v)
+     | Prog_backend, _ | Auto_backend _, Prog_ctx -> assert false)
+
+let obligation_verdict t = function
+  | Prog_ob ob -> Progression.verdict ob
+  | Auto_ob state ->
+    (match t.backend with
+     | Auto_backend automaton -> Automaton.verdict automaton state
+     | Prog_backend -> assert false)
+
+let record_outcome t ~time instance =
+  match obligation_verdict t instance.obligation with
+  | Some true ->
+    t.passes <- t.passes + 1;
+    false
+  | Some false ->
+    t.failures <-
+      {
+        property_name = t.property.Property.name;
+        activation_time = instance.activated_at;
+        failure_time = time;
+      }
+      :: t.failures;
+    false
+  | None -> true
+
+let step t ~time lookup =
+  let gated_out =
+    match t.gate with
+    | None -> false
+    | Some gate -> not (Expr.eval lookup gate)
+  in
+  if not gated_out then begin
+    t.steps <- t.steps + 1;
+    let ctx = step_context t lookup in
+    (* Evaluation of live instances. *)
+    let survivors =
+      List.filter
+        (fun instance ->
+          instance.obligation <-
+            step_obligation t ~time lookup ctx instance.obligation;
+          record_outcome t ~time instance)
+        t.instances
+    in
+    t.instances <- survivors;
+    (* Activation of a new instance. *)
+    let activate () =
+      let obligation = step_obligation t ~time lookup ctx (fresh_obligation t) in
+      match obligation_verdict t obligation with
+      | Some true ->
+        t.passes <- t.passes + 1;
+        t.trivial_passes <- t.trivial_passes + 1
+      | Some false ->
+        t.activations <- t.activations + 1;
+        t.failures <-
+          { property_name = t.property.Property.name; activation_time = time;
+            failure_time = time }
+          :: t.failures
+      | None ->
+        t.activations <- t.activations + 1;
+        t.instances <- { activated_at = time; obligation } :: t.instances
+    in
+    if t.repeating then activate ()
+    else if not t.started then activate ();
+    t.started <- true;
+    let live = List.length t.instances in
+    if live > t.peak then t.peak <- live
+  end
+
+let failures t = List.rev t.failures
+let live_instances t = List.length t.instances
+let peak_instances t = t.peak
+let activations t = t.activations
+let passes t = t.passes
+let steps t = t.steps
+let pending t = List.length t.instances
+let evaluation_table t =
+  List.sort compare
+    (List.filter_map
+       (fun instance ->
+         match instance.obligation with
+         | Prog_ob ob -> Progression.next_evaluation_time ob
+         | Auto_ob _ -> None)
+       t.instances)
+
+let trivial_passes t = t.trivial_passes
+let vacuous t = t.temporal_body && t.steps > 0 && t.activations = 0
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%s: instance fired at %dns failed at %dns" f.property_name
+    f.activation_time f.failure_time

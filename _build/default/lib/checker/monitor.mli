@@ -1,0 +1,94 @@
+open Tabv_psl
+
+(** Property monitor: manages checker instances for one property.
+
+    Mirrors the wrapper behaviour of Sec. IV of the paper:
+    {ol
+    {- {e activation}: for an [always body] property a fresh checker
+       instance of [body] is activated at every evaluation point that
+       satisfies the property's context gate; trivially-true instances
+       are not registered;}
+    {- {e evaluation}: every evaluation point steps all live
+       instances; an instance whose timed obligation was skipped past
+       raises a failure (handled inside {!Progression});}
+    {- {e reset and reuse}: completed instances are retired (their
+       slot is reused — we keep a live list plus peak statistics to
+       model the paper's fixed-size array [C]).}}
+
+    For properties that are not of the form [always body], a single
+    instance of the whole formula is activated at the first evaluation
+    point. *)
+
+type failure = {
+  property_name : string;
+  activation_time : int;  (** when the failing instance fired *)
+  failure_time : int;  (** evaluation point that raised the failure *)
+}
+
+type t
+
+(** Checker synthesis backend: formula rewriting ({!Progression}) or
+    the explicit-state tabling of {!Automaton}.  [`Automaton] falls
+    back to [`Progression] when the body cannot be tabled (timed
+    [next_eps^tau] operators, too many atoms, state blow-up). *)
+type engine =
+  [ `Progression
+  | `Automaton
+  ]
+
+(** [create ?engine property] prepares a monitor (default engine:
+    [`Progression]).  The formula is normalised (boolean demotion +
+    NNF) internally, so any parser output is accepted.  The context
+    gate is taken from the property's context ([Edge_and]/[Trans_and]
+    expressions). *)
+val create : ?engine:engine -> Property.t -> t
+
+(** The engine actually in use (after any fallback). *)
+val engine : t -> engine
+
+val property : t -> Property.t
+
+(** Consume one evaluation point.  [lookup] samples the observable
+    environment at this instant. *)
+val step : t -> time:int -> (string -> Expr.value option) -> unit
+
+(** End-of-simulation summary. *)
+val failures : t -> failure list
+
+(** Live (pending) instances right now. *)
+val live_instances : t -> int
+
+(** Peak number of simultaneously live instances — the size the
+    paper's preallocated instance array would need. *)
+val peak_instances : t -> int
+
+(** Total instances activated (excluding trivially-true ones). *)
+val activations : t -> int
+
+(** Instances that completed with a pass verdict (including trivial
+    ones). *)
+val passes : t -> int
+
+(** Activation attempts that were trivially true at the firing point
+    (e.g. an implication whose antecedent did not hold).  A property
+    whose every evaluation point was trivial passed {e vacuously}. *)
+val trivial_passes : t -> int
+
+(** True when a {e temporal} property was evaluated but never
+    non-trivially activated — e.g. an implication whose antecedent
+    never fired: a vacuous pass that deserves a warning.  Pure boolean
+    invariants resolve instantly by nature and are never flagged. *)
+val vacuous : t -> bool
+
+(** Evaluation points consumed (after context gating). *)
+val steps : t -> int
+
+(** Pending instances are inconclusive at end of simulation. *)
+val pending : t -> int
+
+(** The wrapper's "evaluation table" (Sec. IV): the next required
+    evaluation instant of every live instance that is waiting on a
+    timed [next_eps^tau] obligation, sorted ascending. *)
+val evaluation_table : t -> int list
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,52 @@
+open Tabv_psl
+
+(** Checker synthesis by formula progression (rewriting).
+
+    A property instance is an {e obligation}; consuming one evaluation
+    point (a clock event at RTL, a transaction event at TLM) rewrites
+    the obligation into a residual obligation using the standard
+    progression rules:
+    {v
+      prog(p until q)   = prog(q) or (prog(p) and (p until q))
+      prog(p release q) = prog(q) and (prog(p) or (p release q))
+      prog(always p)    = prog(p) and always p
+      prog(eventually p)= prog(p) or eventually p
+      prog(next[1] p)   = p    (wait one more event)
+    v}
+
+    The paper's [next_eps^tau] operator progresses into a timed
+    obligation [at target] with [target = now + eps] (Def. III.3):
+    subsequent events leave it untouched while earlier than [target],
+    evaluate the operand at exactly [target], and {e fail} it when an
+    event arrives past [target] without one at [target] — exactly the
+    wrapper behaviour of Sec. IV. *)
+
+type t
+
+exception Not_in_nnf of Ltl.t
+
+(** Initial obligation of a formula.
+    @raise Not_in_nnf on formulas outside negation normal form. *)
+val of_formula : Ltl.t -> t
+
+val is_true : t -> bool
+val is_false : t -> bool
+
+(** True when the obligation still contains a timed [at] node, i.e. a
+    [next_eps^tau] wait. *)
+val has_timed_wait : t -> bool
+
+(** Earliest pending timed-evaluation instant, if any — the wrapper's
+    "evaluation table" entry for this instance. *)
+val next_evaluation_time : t -> int option
+
+(** [step ~time lookup ob] consumes the evaluation point at [time]
+    (signals sampled through [lookup]). *)
+val step : time:int -> (string -> Expr.value option) -> t -> t
+
+(** Obligation verdict at end of simulation: [Some true] iff resolved
+    true, [Some false] iff resolved false, [None] when still pending
+    (inconclusive). *)
+val verdict : t -> bool option
+
+val pp : Format.formatter -> t -> unit

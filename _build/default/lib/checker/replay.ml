@@ -1,0 +1,32 @@
+open Tabv_psl
+
+type outcome = {
+  property : Property.t;
+  monitor : Monitor.t;
+}
+
+let run ?engine properties trace =
+  let outcomes =
+    List.map (fun p -> { property = p; monitor = Monitor.create ?engine p }) properties
+  in
+  for i = 0 to Trace.length trace - 1 do
+    let entry = Trace.get trace i in
+    List.iter
+      (fun outcome ->
+        Monitor.step outcome.monitor ~time:entry.Trace.time (Trace.lookup entry))
+      outcomes
+  done;
+  outcomes
+
+let all_passed outcomes =
+  List.for_all (fun outcome -> Monitor.failures outcome.monitor = []) outcomes
+
+let pp_outcome ppf outcome =
+  let failures = Monitor.failures outcome.monitor in
+  Format.fprintf ppf "%-8s %s (%d activations, %d passes, %d pending%s)"
+    outcome.property.Property.name
+    (if failures = [] then "pass" else Printf.sprintf "FAIL (%d)" (List.length failures))
+    (Monitor.activations outcome.monitor)
+    (Monitor.passes outcome.monitor)
+    (Monitor.pending outcome.monitor)
+    (if Monitor.vacuous outcome.monitor then ", vacuous" else "")

@@ -1,0 +1,26 @@
+open Tabv_psl
+
+(** Offline assertion checking: replay recorded evaluation traces
+    (e.g. parsed from a VCD file) through property monitors, without
+    re-running a simulation.
+
+    Every trace entry is treated as one evaluation point: a clock edge
+    for clock-context properties, a transaction instant for
+    transaction-context ones.  Context gates and [next_eps^tau] timing
+    work exactly as in live checking, because monitors only ever see
+    (time, environment) pairs. *)
+
+(** Per-property replay outcome. *)
+type outcome = {
+  property : Property.t;
+  monitor : Monitor.t;
+}
+
+(** [run ?engine properties trace] replays the whole trace through a
+    fresh monitor per property. *)
+val run : ?engine:Monitor.engine -> Property.t list -> Trace.t -> outcome list
+
+(** True iff no monitor recorded a failure. *)
+val all_passed : outcome list -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,36 @@
+open Tabv_psl
+open Tabv_sim
+
+(** RTL checker: a {!Monitor} sampled at clock events.
+
+    The property's clock context selects the edge ([@clk_pos],
+    [@clk_neg], [@clk] = both edges, the base context defaults to the
+    positive edge); a gated context additionally filters evaluation
+    points inside the monitor.
+
+    Because edge events are delivered with delta semantics, the checker
+    samples signal values {e before} the register updates of the same
+    edge — the standard pre-edge sampling of RTL assertion checkers. *)
+
+type t
+
+(** [attach ?engine ?clocks kernel clock property ~lookup] synthesizes
+    the checker (default backend: formula progression; [`Automaton]
+    selects the explicit-state backend with automatic fallback) and
+    hooks it to the clock.  Properties with a {e named} clock context
+    ([@clkB_pos]) sample the matching entry of [clocks] instead of the
+    default [clock].
+    @raise Invalid_argument when the property has a transaction
+    context (use {!Wrapper} instead), or names a clock absent from
+    [clocks]. *)
+val attach :
+  ?engine:Monitor.engine ->
+  ?clocks:(string * Clock.t) list ->
+  Kernel.t ->
+  Clock.t ->
+  Property.t ->
+  lookup:(string -> Expr.value option) ->
+  t
+
+val monitor : t -> Monitor.t
+val failures : t -> Monitor.failure list

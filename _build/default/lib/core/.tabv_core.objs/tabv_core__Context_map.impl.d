@@ -1,0 +1,1 @@
+lib/core/context_map.ml: Context Tabv_psl

@@ -1,0 +1,1 @@
+lib/core/context_map.mli: Context Tabv_psl

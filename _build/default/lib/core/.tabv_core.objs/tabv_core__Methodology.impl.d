@@ -1,0 +1,1 @@
+lib/core/methodology.ml: Context Context_map Format List Ltl Next_substitution Nnf Printf Property Push_ahead Signal_abstraction Simple_subset String Tabv_psl

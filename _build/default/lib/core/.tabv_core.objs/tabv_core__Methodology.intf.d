@@ -1,0 +1,1 @@
+lib/core/methodology.mli: Format Ltl Next_substitution Property Signal_abstraction Simple_subset Tabv_psl

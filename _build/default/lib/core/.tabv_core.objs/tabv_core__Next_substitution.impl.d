@@ -1,0 +1,1 @@
+lib/core/next_substitution.ml: List Ltl Tabv_psl

@@ -1,0 +1,1 @@
+lib/core/next_substitution.mli: Ltl Tabv_psl

@@ -1,0 +1,1 @@
+lib/core/push_ahead.ml: Ltl Tabv_psl

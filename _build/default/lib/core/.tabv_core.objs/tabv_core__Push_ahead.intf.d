@@ -1,0 +1,1 @@
+lib/core/push_ahead.mli: Ltl Tabv_psl

@@ -1,0 +1,1 @@
+lib/core/report_json.ml: Buffer Char Context List Ltl Methodology Next_substitution Printf Property Signal_abstraction Simple_subset String Tabv_psl

@@ -1,0 +1,1 @@
+lib/core/signal_abstraction.ml: Expr Format List Ltl Tabv_psl

@@ -1,0 +1,1 @@
+lib/core/signal_abstraction.mli: Format Ltl Tabv_psl

@@ -1,0 +1,10 @@
+open Tabv_psl
+
+let map_clock = function
+  | Context.Base_clock | Context.Edge _ | Context.Named_edge _ -> Context.Base_trans
+  | Context.Edge_and (_, gate) | Context.Named_edge_and (_, _, gate) ->
+    Context.Trans_and gate
+
+let run = function
+  | Context.Clock c -> Context.Transaction (map_clock c)
+  | Context.Transaction _ as t -> t

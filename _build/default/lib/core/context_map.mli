@@ -1,0 +1,18 @@
+open Tabv_psl
+
+(** Def. III.2: mapping an RTL clock context to a TLM transaction
+    context.
+
+    {ul
+    {- the basic clock context [true] and the pure edge contexts
+       [@clk], [@clk_pos], [@clk_neg] map to the basic transaction
+       context [T_b] (evaluate at the end of every transaction);}
+    {- a gated edge context [clk_edge && var_expr] maps to
+       [T_b && var_expr].}} *)
+
+(** Map a clock context per Def. III.2. *)
+val map_clock : Context.clock -> Context.transaction
+
+(** [run c] applies {!map_clock} to clock contexts and leaves
+    transaction contexts unchanged. *)
+val run : Context.t -> Context.t

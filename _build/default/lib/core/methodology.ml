@@ -1,0 +1,145 @@
+open Tabv_psl
+
+exception Not_an_rtl_property of Property.t
+
+type report = {
+  input : Property.t;
+  clock_period : int;
+  abstracted_signals : string list;
+  simple_subset_violations : Simple_subset.violation list;
+  nnf : Ltl.t;
+  signal_abstraction : Signal_abstraction.result;
+  pushed : Ltl.t option;
+  substitutions : Next_substitution.subst list;
+  output : Property.t option;
+  requires_review : bool;
+}
+
+let abstract ~clock_period ?(clock_periods = []) ?(abstracted_signals = [])
+    ?(rename = fun n -> n) p =
+  if not (Property.is_rtl p) then raise (Not_an_rtl_property p);
+  (* Algorithm III.1's [c] is the period of the clock the property
+     samples. *)
+  let clock_period =
+    match Context.clock_name p.Property.context with
+    | None -> clock_period
+    | Some name ->
+      (match List.assoc_opt name clock_periods with
+       | Some period -> period
+       | None ->
+         invalid_arg
+           (Printf.sprintf
+              "Methodology.abstract: no period given for clock %S (property %s)"
+              name p.Property.name))
+  in
+  if clock_period <= 0 then
+    invalid_arg "Methodology.abstract: clock_period must be positive";
+  let violations = Simple_subset.check p.Property.formula in
+  let nnf = Nnf.convert (Ltl.demote_booleans p.Property.formula) in
+  let sig_result = Signal_abstraction.run ~removed:abstracted_signals nnf in
+  let pushed, substitutions, output =
+    match sig_result.Signal_abstraction.formula with
+    | None -> (None, [], None)
+    | Some survivor ->
+      let pushed = Push_ahead.run survivor in
+      let substituted, substitutions = Next_substitution.run ~clock_period pushed in
+      let context = Context_map.run p.Property.context in
+      let output =
+        Property.make ~name:(rename p.Property.name) ~context substituted
+      in
+      (Some pushed, substitutions, Some output)
+  in
+  let requires_review =
+    match sig_result.Signal_abstraction.classification with
+    | Signal_abstraction.Unchanged | Signal_abstraction.Weakened -> false
+    | Signal_abstraction.Needs_review -> true
+  in
+  {
+    input = p;
+    clock_period;
+    abstracted_signals;
+    simple_subset_violations = violations;
+    nnf;
+    signal_abstraction = sig_result;
+    pushed;
+    substitutions;
+    output;
+    requires_review;
+  }
+
+let abstract_all ~clock_period ?clock_periods ?abstracted_signals ?rename ps =
+  List.map (abstract ~clock_period ?clock_periods ?abstracted_signals ?rename) ps
+
+let surviving reports =
+  List.filter_map (fun r -> r.output) reports
+
+let needs_dense_trace formula =
+  let rec has_next_event = function
+    | Ltl.Atom _ -> false
+    | Ltl.Next_event _ -> true
+    | Ltl.Not p | Ltl.Next_n (_, p) | Ltl.Always p | Ltl.Eventually p ->
+      has_next_event p
+    | Ltl.And (p, q) | Ltl.Or (p, q) | Ltl.Implies (p, q)
+    | Ltl.Until (p, q) | Ltl.Release (p, q) ->
+      has_next_event p || has_next_event q
+  in
+  let rec walk = function
+    | Ltl.Atom _ -> false
+    | Ltl.Not p | Ltl.Next_n (_, p) | Ltl.Next_event (_, p) | Ltl.Always p -> walk p
+    | Ltl.And (p, q) | Ltl.Or (p, q) | Ltl.Implies (p, q) -> walk p || walk q
+    | Ltl.Until (p, q) | Ltl.Release (p, q) ->
+      has_next_event p || has_next_event q || walk p || walk q
+    | Ltl.Eventually p -> has_next_event p || walk p
+  in
+  walk formula
+
+let pp_report ppf r =
+  let pp_opt_formula ppf = function
+    | None -> Format.pp_print_string ppf "(deleted)"
+    | Some f -> Ltl.pp ppf f
+  in
+  Format.fprintf ppf "@[<v>property %s@," r.input.Property.name;
+  Format.fprintf ppf "  input:         %a@," Property.pp r.input;
+  Format.fprintf ppf "  clock period:  %dns@," r.clock_period;
+  if r.abstracted_signals <> [] then
+    Format.fprintf ppf "  abstracted:    %s@,"
+      (String.concat ", " r.abstracted_signals);
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "  simple-subset warning: %a@," Simple_subset.pp_violation v)
+    r.simple_subset_violations;
+  Format.fprintf ppf "  nnf:           %a@," Ltl.pp r.nnf;
+  List.iter
+    (fun rule ->
+      Format.fprintf ppf "  fig.4 rule:    %a@," Signal_abstraction.pp_applied_rule rule)
+    r.signal_abstraction.Signal_abstraction.applied;
+  Format.fprintf ppf "  after fig.4:   %a (%a)@," pp_opt_formula
+    r.signal_abstraction.Signal_abstraction.formula
+    Signal_abstraction.pp_classification
+    r.signal_abstraction.Signal_abstraction.classification;
+  Format.fprintf ppf "  pushed ahead:  %a@," pp_opt_formula r.pushed;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  alg.III.1:     next[%d] ~> nexte[%d,%d]@,"
+        s.Next_substitution.cycles s.Next_substitution.tau s.Next_substitution.eps)
+    r.substitutions;
+  (match r.output with
+   | None -> Format.fprintf ppf "  output:        (deleted)"
+   | Some q -> Format.fprintf ppf "  output:        %a" Property.pp q);
+  if r.requires_review then Format.fprintf ppf "@,  ** requires human review **";
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf reports =
+  let pp_line ppf r =
+    let status =
+      match r.output with
+      | None -> "deleted"
+      | Some _ when r.requires_review -> "abstracted (review)"
+      | Some _ -> "abstracted"
+    in
+    Format.fprintf ppf "%-12s %-20s %d substitution(s)" r.input.Property.name
+      status (List.length r.substitutions)
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_line)
+    reports

@@ -1,0 +1,89 @@
+open Tabv_psl
+
+(** Methodology III.1: the end-to-end RTL-to-TLM property abstraction
+    pipeline.
+
+    Given an RTL property [p] with clock context [C], a clock period
+    [c], and the set of I/O signals removed by the DUV abstraction,
+    the pipeline performs:
+    {ol
+    {- negation normal form (Def. II.1);}
+    {- signal abstraction (Fig. 4) — performed here so protocol-only
+       properties are deleted before any temporal rewriting;}
+    {- push-ahead of [next] operators (Sec. III-A);}
+    {- Algorithm III.1: [next\[n_i\] ~> next_eps^tau] with
+       [eps = n_i * c];}
+    {- clock-to-transaction context mapping (Def. III.2).}}
+
+    Theorem III.2 guarantees that when the RTL and TLM models are
+    timing equivalent (Def. III.1) and the signal abstraction only
+    weakened the formula, [M_RTL |= p @ C] implies
+    [M_TLM |= q @ T]. *)
+
+(** Raised when the input property already has a transaction
+    context. *)
+exception Not_an_rtl_property of Property.t
+
+(** Full per-property transformation record. *)
+type report = {
+  input : Property.t;
+  clock_period : int;  (** ns *)
+  abstracted_signals : string list;
+  simple_subset_violations : Simple_subset.violation list;
+      (** informational: violations found on the {e input} property *)
+  nnf : Ltl.t;  (** after step 1 *)
+  signal_abstraction : Signal_abstraction.result;  (** after step 2 *)
+  pushed : Ltl.t option;  (** after push-ahead; [None] if deleted *)
+  substitutions : Next_substitution.subst list;  (** Algorithm III.1 *)
+  output : Property.t option;
+      (** the TLM property [q @ T]; [None] if the property was deleted
+          by signal abstraction *)
+  requires_review : bool;
+      (** true when signal abstraction did not produce a logical
+          consequence (Sec. III-B): a TLM failure of this property
+          needs human investigation *)
+}
+
+(** [abstract ~clock_period ?clock_periods ?abstracted_signals ?rename
+    p] runs the pipeline on one property.  [rename] maps the input
+    name to the output name (default: identity).  Properties with a
+    {e named} clock context use that clock's period from
+    [clock_periods]; [clock_period] is the default clock's.
+    @raise Not_an_rtl_property if [p] carries a transaction context.
+    @raise Invalid_argument if the applicable period is non-positive
+    or a named clock has no period in [clock_periods]. *)
+val abstract :
+  clock_period:int ->
+  ?clock_periods:(string * int) list ->
+  ?abstracted_signals:string list ->
+  ?rename:(string -> string) ->
+  Property.t ->
+  report
+
+(** Run the pipeline on a property set, preserving order. *)
+val abstract_all :
+  clock_period:int ->
+  ?clock_periods:(string * int) list ->
+  ?abstracted_signals:string list ->
+  ?rename:(string -> string) ->
+  Property.t list ->
+  report list
+
+(** The abstracted properties that survived (in order). *)
+val surviving : report list -> Property.t list
+
+(** True when the formula contains a [next_eps^tau] operator inside an
+    [until]/[release] (or under [eventually]) — such a property can
+    only be discharged when the TLM model produces transactions on the
+    full reference clock grid within the monitored window, because the
+    iterating operator re-anchors the timed operand at every event.
+    On minimal approximately-timed models (one write + one read per
+    operation) these properties are not evaluable under the strict
+    Def. III.3 semantics; see the "q2 gap" discussion in DESIGN.md. *)
+val needs_dense_trace : Ltl.t -> bool
+
+(** Human-readable multi-line report. *)
+val pp_report : Format.formatter -> report -> unit
+
+(** One summary line per report: name, status, classification. *)
+val pp_summary : Format.formatter -> report list -> unit

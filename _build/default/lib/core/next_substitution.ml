@@ -1,0 +1,51 @@
+open Tabv_psl
+
+exception Not_pushed of Ltl.t
+
+type subst = {
+  tau : int;
+  cycles : int;
+  eps : int;
+}
+
+let run ~clock_period t =
+  if clock_period <= 0 then
+    invalid_arg "Next_substitution.run: clock_period must be positive";
+  let counter = ref 0 in
+  let substs = ref [] in
+  let rec go t =
+    match t with
+    | Ltl.Atom _ | Ltl.Not (Ltl.Atom _) -> t
+    | Ltl.Not p -> Ltl.Not (go p)
+    | Ltl.Implies (p, q) ->
+      let p' = go p in
+      let q' = go q in
+      Ltl.Implies (p', q')
+    | Ltl.Next_n (n, ((Ltl.Atom _ | Ltl.Not (Ltl.Atom _)) as a)) ->
+      incr counter;
+      let s = { tau = !counter; cycles = n; eps = n * clock_period } in
+      substs := s :: !substs;
+      Ltl.Next_event ({ Ltl.tau = s.tau; eps = s.eps }, a)
+    | Ltl.Next_n (_, _) -> raise (Not_pushed t)
+    | Ltl.Next_event (ne, p) -> Ltl.Next_event (ne, go p)
+    | Ltl.And (p, q) ->
+      let p' = go p in
+      let q' = go q in
+      Ltl.And (p', q')
+    | Ltl.Or (p, q) ->
+      let p' = go p in
+      let q' = go q in
+      Ltl.Or (p', q')
+    | Ltl.Until (p, q) ->
+      let p' = go p in
+      let q' = go q in
+      Ltl.Until (p', q')
+    | Ltl.Release (p, q) ->
+      let p' = go p in
+      let q' = go q in
+      Ltl.Release (p', q')
+    | Ltl.Always p -> Ltl.Always (go p)
+    | Ltl.Eventually p -> Ltl.Eventually (go p)
+  in
+  let t' = go t in
+  (t', List.rev !substs)

@@ -1,0 +1,28 @@
+open Tabv_psl
+
+(** Algorithm III.1: substitution of [next\[n_i\]] with
+    [next_eps^tau].
+
+    Every maximal chain [next[n_i] a_i] (whose operand is an atom or a
+    negated atom, guaranteed by {!Push_ahead.run}) is replaced by
+    [next_eps^tau a_i] with [tau = i] (its 1-based left-to-right
+    position) and [eps = n_i * clock_period] nanoseconds. *)
+
+(** Raised when a [next] chain is applied to a non-atomic operand,
+    i.e. the push-ahead procedure has not been run. *)
+exception Not_pushed of Ltl.t
+
+(** One performed substitution, for reporting. *)
+type subst = {
+  tau : int;  (** ordinal position of the operator, 1-based *)
+  cycles : int;  (** the [n_i] of the replaced [next\[n_i\]] *)
+  eps : int;  (** [n_i * clock_period], nanoseconds *)
+}
+
+(** [run ~clock_period t] performs the substitution and reports the
+    list of substitutions in left-to-right order.
+    Already-present [Next_event] nodes are left untouched (the pass is
+    idempotent on its own output).
+    @raise Not_pushed if [not (Ltl.is_pushed t)].
+    @raise Invalid_argument if [clock_period <= 0]. *)
+val run : clock_period:int -> Ltl.t -> Ltl.t * subst list

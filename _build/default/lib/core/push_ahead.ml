@@ -1,0 +1,20 @@
+open Tabv_psl
+
+exception Not_in_nnf of Ltl.t
+
+(* [push n t] is [next[n] t] with the chain distributed to the
+   leaves.  [n = 0] at the top level. *)
+let rec push n t =
+  match t with
+  | Ltl.Atom _ | Ltl.Not (Ltl.Atom _) -> Ltl.next_n n t
+  | Ltl.Not _ | Ltl.Implies _ -> raise (Not_in_nnf t)
+  | Ltl.Next_event _ -> raise (Not_in_nnf t)
+  | Ltl.Next_n (k, p) -> push (n + k) p
+  | Ltl.And (p, q) -> Ltl.And (push n p, push n q)
+  | Ltl.Or (p, q) -> Ltl.Or (push n p, push n q)
+  | Ltl.Until (p, q) -> Ltl.Until (push n p, push n q)
+  | Ltl.Release (p, q) -> Ltl.Release (push n p, push n q)
+  | Ltl.Always p -> Ltl.Always (push n p)
+  | Ltl.Eventually p -> Ltl.Eventually (push n p)
+
+let run t = push 0 t

@@ -1,0 +1,30 @@
+open Tabv_psl
+
+(** The push-ahead procedure (first phase of step 2, Methodology III.1).
+
+    Pushes [next] operators towards the leaves so that their operands
+    are exclusively atomic propositions or negations of atomic
+    propositions, using the equivalences:
+    {ul
+    {- [next(a || b) == next(a) || next(b)]}
+    {- [next(a && b) == next(a) && next(b)]}
+    {- [next(a until b) == next(a) until next(b)]}
+    {- [next(a release b) == next(a) release next(b)]}}
+
+    [always]/[eventually] are handled through their definitions
+    [always p == false release p] and [eventually p == true until p]
+    (a [next] applied to a constant is the constant), giving
+    [next(always p) == always(next p)] and dually.
+
+    Nested chains are collapsed: [next(next[n] a)] becomes
+    [next[n+1] a]. *)
+
+(** Raised when the input is not in negation normal form or already
+    contains [next_eps^tau] operators. *)
+exception Not_in_nnf of Ltl.t
+
+(** [run t] pushes all [next] operators ahead.
+    Postcondition: [Ltl.is_pushed (run t)].
+    @raise Not_in_nnf if [not (Ltl.is_nnf t)] or [t] contains
+    [Next_event]. *)
+val run : Ltl.t -> Ltl.t

@@ -1,0 +1,119 @@
+open Tabv_psl
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+let escape buffer s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s
+
+let to_string json =
+  let buffer = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string buffer "null"
+    | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+    | Int n -> Buffer.add_string buffer (string_of_int n)
+    | String s ->
+      Buffer.add_char buffer '"';
+      escape buffer s;
+      Buffer.add_char buffer '"'
+    | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buffer ',';
+          emit item)
+        items;
+      Buffer.add_char buffer ']'
+    | Assoc fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          emit (String key);
+          Buffer.add_char buffer ':';
+          emit value)
+        fields;
+      Buffer.add_char buffer '}'
+  in
+  emit json;
+  Buffer.contents buffer
+
+let property_json p =
+  Assoc
+    [ ("name", String p.Property.name);
+      ("formula", String (Ltl.to_string p.Property.formula));
+      ("context", String (Context.to_string p.Property.context)) ]
+
+let classification_string = function
+  | Signal_abstraction.Unchanged -> "unchanged"
+  | Signal_abstraction.Weakened -> "weakened"
+  | Signal_abstraction.Needs_review -> "needs_review"
+
+let of_report (r : Methodology.report) =
+  Assoc
+    [ ("input", property_json r.Methodology.input);
+      ("nnf", String (Ltl.to_string r.Methodology.nnf));
+      ( "signal_abstraction",
+        Assoc
+          [ ( "classification",
+              String
+                (classification_string
+                   r.Methodology.signal_abstraction.Signal_abstraction.classification)
+            );
+            ( "applied_rules",
+              List
+                (List.map
+                   (fun (rule : Signal_abstraction.applied_rule) ->
+                     String rule.Signal_abstraction.rule)
+                   r.Methodology.signal_abstraction.Signal_abstraction.applied) ) ] );
+      ( "substitutions",
+        List
+          (List.map
+             (fun s ->
+               Assoc
+                 [ ("tau", Int s.Next_substitution.tau);
+                   ("cycles", Int s.Next_substitution.cycles);
+                   ("eps_ns", Int s.Next_substitution.eps) ])
+             r.Methodology.substitutions) );
+      ( "simple_subset_warnings",
+        List
+          (List.map
+             (fun (v : Simple_subset.violation) ->
+               String (v.Simple_subset.path ^ ": " ^ v.Simple_subset.message))
+             r.Methodology.simple_subset_violations) );
+      ("requires_review", Bool r.Methodology.requires_review);
+      ( "needs_dense_trace",
+        match r.Methodology.output with
+        | Some q -> Bool (Methodology.needs_dense_trace q.Property.formula)
+        | None -> Null );
+      ( "output",
+        match r.Methodology.output with
+        | Some q -> property_json q
+        | None -> Null ) ]
+
+let of_reports reports =
+  let clock_period, abstracted_signals =
+    match reports with
+    | r :: _ -> (r.Methodology.clock_period, r.Methodology.abstracted_signals)
+    | [] -> (0, [])
+  in
+  Assoc
+    [ ("clock_period_ns", Int clock_period);
+      ("abstracted_signals", List (List.map (fun s -> String s) abstracted_signals));
+      ("properties", List (List.map of_report reports)) ]

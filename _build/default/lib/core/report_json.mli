@@ -1,0 +1,26 @@
+(** Machine-readable (JSON) form of the methodology reports, for
+    integration into verification flows and CI.
+
+    The emitter is self-contained (no JSON library dependency) and
+    produces deterministic, valid JSON: strings are escaped per RFC
+    8259, keys appear in a fixed order. *)
+
+(** Minimal JSON document model. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+val to_string : json -> string
+
+(** One methodology report as JSON: input/output properties (printed
+    in the property language), pipeline stages, applied Fig. 4 rules,
+    substitutions, and review flags. *)
+val of_report : Methodology.report -> json
+
+(** A whole property set's reports: [{"clock_period": ..,
+    "abstracted_signals": [..], "properties": [..]}]. *)
+val of_reports : Methodology.report list -> json

@@ -1,0 +1,132 @@
+open Tabv_psl
+
+type effect_kind =
+  | Weakening
+  | Strengthening
+  | Review
+
+type applied_rule = {
+  rule : string;
+  kind : effect_kind;
+}
+
+type classification =
+  | Unchanged
+  | Weakened
+  | Needs_review
+
+type result = {
+  formula : Ltl.t option;
+  applied : applied_rule list;
+  classification : classification;
+}
+
+exception Not_in_nnf of Ltl.t
+
+(* Outcome of abstracting a subformula: deleted ("0" in Fig. 4) or
+   kept (possibly rewritten). *)
+type outcome =
+  | Deleted
+  | Kept of Ltl.t
+
+let run ~removed t =
+  if not (Ltl.is_nnf t) then raise (Not_in_nnf t);
+  let applied = ref [] in
+  let record rule kind = applied := { rule; kind } :: !applied in
+  let deleted_atom e = Expr.mentions_any e removed in
+  let rec abs t =
+    match t with
+    | Ltl.Atom e -> if deleted_atom e then Deleted else Kept t
+    | Ltl.Not (Ltl.Atom e) -> if deleted_atom e then Deleted else Kept t
+    | Ltl.Not _ | Ltl.Implies _ -> raise (Not_in_nnf t)
+    | Ltl.And (p, q) ->
+      let op = abs p in
+      let oq = abs q in
+      (match op, oq with
+       | Deleted, Deleted -> Deleted
+       | Kept p', Deleted ->
+         record "p && 0 ~> p" Weakening;
+         Kept p'
+       | Deleted, Kept q' ->
+         record "0 && p ~> p" Weakening;
+         Kept q'
+       | Kept p', Kept q' -> Kept (Ltl.And (p', q')))
+    | Ltl.Or (p, q) ->
+      let op = abs p in
+      let oq = abs q in
+      (match op, oq with
+       | Deleted, Deleted -> Deleted
+       | Kept p', Deleted ->
+         record "p || 0 ~> p" Strengthening;
+         Kept p'
+       | Deleted, Kept q' ->
+         record "0 || p ~> p" Strengthening;
+         Kept q'
+       | Kept p', Kept q' -> Kept (Ltl.Or (p', q')))
+    | Ltl.Until (p, q) ->
+      let op = abs p in
+      let oq = abs q in
+      (match op, oq with
+       | Deleted, Deleted -> Deleted
+       | Kept p', Deleted ->
+         record "p until 0 ~> p" Review;
+         Kept p'
+       | Deleted, Kept q' ->
+         record "0 until p ~> p" Review;
+         Kept q'
+       | Kept p', Kept q' -> Kept (Ltl.Until (p', q')))
+    | Ltl.Release (p, q) ->
+      let op = abs p in
+      let oq = abs q in
+      (match op, oq with
+       | Deleted, Deleted -> Deleted
+       | Kept _, Deleted ->
+         record "p release 0 ~> 0" Review;
+         Deleted
+       | Deleted, Kept q' ->
+         record "0 release p ~> p" Review;
+         Kept q'
+       | Kept p', Kept q' -> Kept (Ltl.Release (p', q')))
+    | Ltl.Next_n (n, p) ->
+      (match abs p with
+       | Deleted -> Deleted  (* next(a_s) ~> 0: plain propagation *)
+       | Kept p' -> Kept (Ltl.next_n n p'))
+    | Ltl.Next_event (ne, p) ->
+      (match abs p with
+       | Deleted -> Deleted
+       | Kept p' -> Kept (Ltl.Next_event (ne, p')))
+    | Ltl.Always p ->
+      (match abs p with
+       | Deleted -> Deleted
+       | Kept p' -> Kept (Ltl.Always p'))
+    | Ltl.Eventually p ->
+      (match abs p with
+       | Deleted -> Deleted
+       | Kept p' -> Kept (Ltl.Eventually p'))
+  in
+  let outcome = abs t in
+  let applied = List.rev !applied in
+  let classification =
+    if applied = [] && outcome <> Deleted then Unchanged
+    else if List.for_all (fun r -> r.kind = Weakening) applied && outcome <> Deleted
+    then Weakened
+    else Needs_review
+  in
+  let formula =
+    match outcome with
+    | Deleted -> None
+    | Kept f -> Some f
+  in
+  { formula; applied; classification }
+
+let pp_effect ppf = function
+  | Weakening -> Format.pp_print_string ppf "weakening"
+  | Strengthening -> Format.pp_print_string ppf "strengthening"
+  | Review -> Format.pp_print_string ppf "review"
+
+let pp_applied_rule ppf r = Format.fprintf ppf "%s [%a]" r.rule pp_effect r.kind
+
+let pp_classification ppf = function
+  | Unchanged -> Format.pp_print_string ppf "unchanged"
+  | Weakened -> Format.pp_print_string ppf "weakened (logical consequence)"
+  | Needs_review -> Format.pp_print_string ppf "needs review"

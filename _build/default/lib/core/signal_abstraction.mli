@@ -1,0 +1,69 @@
+open Tabv_psl
+
+(** Abstraction of signals (Sec. III-B, Fig. 4).
+
+    When the RTL-to-TLM abstraction of the DUV removes protocol
+    signals, every atomic proposition mentioning a removed signal
+    becomes unevaluable and is deleted; the deletion is propagated
+    upwards with the transformation rules of Fig. 4:
+
+    {v
+      a_s            ~> 0        next(a_s)      ~> 0
+      p || 0  ~> p               0 || p   ~> p
+      p && 0  ~> p               0 && p   ~> p
+      p until 0   ~> p           0 until p     ~> p
+      p release 0 ~> 0           0 release p   ~> p
+    v}
+
+    (The published table prints the [0 until p] row twice with
+    conflicting results; by duality with the [release] row the second
+    occurrence is read as [0 release p ~> p].  See DESIGN.md.)
+
+    Each rule application is classified by its logical effect so the
+    caller can decide whether the surviving formula is a logical
+    consequence of the original (safe to reuse automatically) or
+    requires human review, as the paper discusses:
+    {ul
+    {- dropping a conjunct is a {e weakening} ([p && a] entails [p]);}
+    {- dropping a disjunct is a {e strengthening} ([p || a] does not
+       entail [p]);}
+    {- the [until]/[release] rules are neither in general.}} *)
+
+(** Logical effect of one rule application. *)
+type effect_kind =
+  | Weakening  (** result is entailed by the original subformula *)
+  | Strengthening  (** result entails the original subformula *)
+  | Review  (** neither direction holds in general *)
+
+type applied_rule = {
+  rule : string;  (** the Fig. 4 rule, e.g. ["p && 0 ~> p"] *)
+  kind : effect_kind;
+}
+
+(** Overall relation of the surviving formula to the original. *)
+type classification =
+  | Unchanged  (** no abstracted signal occurred *)
+  | Weakened  (** only weakening rules applied: logical consequence *)
+  | Needs_review
+      (** at least one strengthening or review rule applied: a TLM
+          failure may stem from the transformation itself rather than
+          from a wrong TLM model (Sec. III-B) *)
+
+type result = {
+  formula : Ltl.t option;
+      (** [None] when the whole property was deleted (its semantics
+          depended entirely on the abstracted protocol) *)
+  applied : applied_rule list;  (** in application order *)
+  classification : classification;
+}
+
+(** Raised on formulas outside negation normal form. *)
+exception Not_in_nnf of Ltl.t
+
+(** [run ~removed t] deletes every atom mentioning a signal in
+    [removed] and propagates per Fig. 4.
+    @raise Not_in_nnf if [not (Ltl.is_nnf t)]. *)
+val run : removed:string list -> Ltl.t -> result
+
+val pp_applied_rule : Format.formatter -> applied_rule -> unit
+val pp_classification : Format.formatter -> classification -> unit

@@ -1,0 +1,1 @@
+lib/duv/colorconv_iface.ml: Array Colorconv Duv_util List Tabv_sim Tlm

@@ -1,0 +1,1 @@
+lib/duv/colorconv_iface.mli: Colorconv Tabv_psl Tabv_sim Tlm

@@ -1,0 +1,1 @@
+lib/duv/colorconv_props.ml: Colorconv_iface List Parser Property Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+lib/duv/colorconv_props.mli: Property Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+lib/duv/colorconv_rtl.ml: Array Clock Colorconv Duv_util List Printf Process Signal Tabv_sim

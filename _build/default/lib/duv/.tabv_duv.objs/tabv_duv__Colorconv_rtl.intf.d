@@ -1,0 +1,1 @@
+lib/duv/colorconv_rtl.mli: Clock Kernel Signal Tabv_psl Tabv_sim

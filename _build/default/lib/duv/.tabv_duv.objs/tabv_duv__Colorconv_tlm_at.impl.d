@@ -1,0 +1,1 @@
+lib/duv/colorconv_tlm_at.ml: Colorconv Colorconv_iface Kernel Process Queue Tabv_sim Tlm

@@ -1,0 +1,1 @@
+lib/duv/colorconv_tlm_ca.ml: Array Colorconv Colorconv_iface Tabv_sim Tlm

@@ -1,0 +1,1 @@
+lib/duv/colorconv_tlm_ca.mli: Colorconv_iface Kernel Tabv_psl Tabv_sim Tlm

@@ -1,0 +1,1 @@
+lib/duv/des.mli:

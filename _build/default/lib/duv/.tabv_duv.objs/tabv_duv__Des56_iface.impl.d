@@ -1,0 +1,1 @@
+lib/duv/des56_iface.ml: Duv_util Tabv_sim Tlm

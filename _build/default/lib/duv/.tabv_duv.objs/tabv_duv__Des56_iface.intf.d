@@ -1,0 +1,1 @@
+lib/duv/des56_iface.mli: Tabv_psl Tabv_sim Tlm

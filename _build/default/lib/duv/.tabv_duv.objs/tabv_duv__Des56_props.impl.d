@@ -1,0 +1,1 @@
+lib/duv/des56_props.ml: Des56_iface List Parser Printf Property String Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+lib/duv/des56_props.mli: Property Tabv_core Tabv_psl

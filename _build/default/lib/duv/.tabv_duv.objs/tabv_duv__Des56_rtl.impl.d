@@ -1,0 +1,1 @@
+lib/duv/des56_rtl.ml: Array Clock Des Duv_util Process Signal Tabv_sim

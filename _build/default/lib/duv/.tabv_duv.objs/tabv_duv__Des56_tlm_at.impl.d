@@ -1,0 +1,1 @@
+lib/duv/des56_tlm_at.ml: Des Des56_iface Kernel Process Tabv_sim Tlm

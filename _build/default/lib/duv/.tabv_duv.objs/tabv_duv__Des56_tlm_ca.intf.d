@@ -1,0 +1,1 @@
+lib/duv/des56_tlm_ca.mli: Des56_iface Kernel Tabv_psl Tabv_sim Tlm

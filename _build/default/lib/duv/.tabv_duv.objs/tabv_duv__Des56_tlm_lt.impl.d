@@ -1,0 +1,1 @@
+lib/duv/des56_tlm_lt.ml: Des Des56_iface Tabv_sim Tlm

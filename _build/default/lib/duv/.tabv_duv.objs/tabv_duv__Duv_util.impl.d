@@ -1,0 +1,1 @@
+lib/duv/duv_util.ml: Int64 List Tabv_psl

@@ -1,0 +1,1 @@
+lib/duv/duv_util.mli: Tabv_psl

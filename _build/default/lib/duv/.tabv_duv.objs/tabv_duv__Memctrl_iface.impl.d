@@ -1,0 +1,1 @@
+lib/duv/memctrl_iface.ml: Duv_util List Tabv_sim Tlm

@@ -1,0 +1,1 @@
+lib/duv/memctrl_props.ml: List Memctrl_iface Parser Property Tabv_core Tabv_psl

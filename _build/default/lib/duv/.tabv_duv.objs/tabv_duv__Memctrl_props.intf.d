@@ -1,0 +1,1 @@
+lib/duv/memctrl_props.mli: Property Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+lib/duv/memctrl_rtl.ml: Array Clock Duv_util List Memctrl_iface Process Signal Tabv_sim

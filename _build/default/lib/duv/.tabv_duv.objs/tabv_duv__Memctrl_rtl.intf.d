@@ -1,0 +1,1 @@
+lib/duv/memctrl_rtl.mli: Clock Kernel Signal Tabv_psl Tabv_sim

@@ -1,0 +1,1 @@
+lib/duv/memctrl_testbench.ml: Array Clock Int64 Kernel List Memctrl_iface Memctrl_rtl Memctrl_tlm_at Memctrl_tlm_ca Process Rtl_checker Signal Tabv_checker Tabv_sim Testbench Tlm Wrapper

@@ -1,0 +1,1 @@
+lib/duv/memctrl_testbench.mli: Memctrl_iface Property Tabv_psl Testbench

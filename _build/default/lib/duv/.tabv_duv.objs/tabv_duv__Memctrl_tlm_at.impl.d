@@ -1,0 +1,1 @@
+lib/duv/memctrl_tlm_at.ml: Array Kernel Memctrl_iface Option Process Tabv_sim Tlm

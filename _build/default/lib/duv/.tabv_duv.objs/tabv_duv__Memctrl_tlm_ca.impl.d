@@ -1,0 +1,1 @@
+lib/duv/memctrl_tlm_ca.ml: Array Memctrl_iface Tabv_sim Tlm

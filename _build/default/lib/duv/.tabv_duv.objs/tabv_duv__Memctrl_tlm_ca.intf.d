@@ -1,0 +1,1 @@
+lib/duv/memctrl_tlm_ca.mli: Kernel Memctrl_iface Tabv_psl Tabv_sim Tlm

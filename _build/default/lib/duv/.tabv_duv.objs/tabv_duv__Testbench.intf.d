@@ -1,0 +1,1 @@
+lib/duv/testbench.mli: Colorconv Des56_iface Des56_rtl Format Monitor Property Tabv_checker Tabv_psl Trace

@@ -1,0 +1,1 @@
+lib/duv/workload.ml: Colorconv Des56_iface Int64 List Memctrl_iface Random

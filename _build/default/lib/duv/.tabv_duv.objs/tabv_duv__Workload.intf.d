@@ -1,0 +1,1 @@
+lib/duv/workload.mli: Colorconv Des56_iface Memctrl_iface

@@ -1,0 +1,89 @@
+type pixel = {
+  r : int;
+  g : int;
+  b : int;
+}
+
+type ycbcr = {
+  y : int;
+  cb : int;
+  cr : int;
+}
+
+(* The pipeline computes the three dot products incrementally: one
+   multiplier column per stage (stages 2-4), then accumulation,
+   rounding, shifting and offsetting (stages 5-8). *)
+type stage_state = {
+  pixel : pixel;
+  mutable ty : int;
+  mutable tcb : int;
+  mutable tcr : int;
+}
+
+let stages = 8
+
+let check_range { r; g; b } =
+  let ok c = c >= 0 && c <= 255 in
+  if not (ok r && ok g && ok b) then
+    invalid_arg (Printf.sprintf "Colorconv: component out of range (%d,%d,%d)" r g b)
+
+let stage_in pixel =
+  check_range pixel;
+  { pixel; ty = 0; tcb = 0; tcr = 0 }
+
+let stage i previous =
+  let state = { previous with ty = previous.ty } in
+  let { r; g; b } = state.pixel in
+  (match i with
+   | 1 ->
+     (* R column of the coefficient matrix. *)
+     state.ty <- 66 * r;
+     state.tcb <- -38 * r;
+     state.tcr <- 112 * r
+   | 2 ->
+     (* G column. *)
+     state.ty <- state.ty + (129 * g);
+     state.tcb <- state.tcb - (74 * g);
+     state.tcr <- state.tcr - (94 * g)
+   | 3 ->
+     (* B column. *)
+     state.ty <- state.ty + (25 * b);
+     state.tcb <- state.tcb + (112 * b);
+     state.tcr <- state.tcr - (18 * b)
+   | 4 ->
+     (* Rounding constant. *)
+     state.ty <- state.ty + 128;
+     state.tcb <- state.tcb + 128;
+     state.tcr <- state.tcr + 128
+   | 5 ->
+     (* Arithmetic shift (truncation towards minus infinity). *)
+     state.ty <- state.ty asr 8;
+     state.tcb <- state.tcb asr 8;
+     state.tcr <- state.tcr asr 8
+   | 6 ->
+     (* Offsets. *)
+     state.ty <- state.ty + 16;
+     state.tcb <- state.tcb + 128;
+     state.tcr <- state.tcr + 128
+   | 7 ->
+     (* Clamp (a no-op for in-range inputs, kept as a defensive
+        saturation stage as real IPs do). *)
+     let clamp v = if v < 0 then 0 else if v > 255 then 255 else v in
+     state.ty <- clamp state.ty;
+     state.tcb <- clamp state.tcb;
+     state.tcr <- clamp state.tcr
+   | _ -> invalid_arg (Printf.sprintf "Colorconv.stage: no stage %d" i));
+  state
+
+let stage_out state = { y = state.ty; cb = state.tcb; cr = state.tcr }
+
+let convert pixel =
+  let state = ref (stage_in pixel) in
+  for i = 1 to 7 do
+    state := stage i !state
+  done;
+  stage_out !state
+
+let equal_ycbcr a b = a.y = b.y && a.cb = b.cb && a.cr = b.cr
+
+let pp_ycbcr ppf { y; cb; cr } = Format.fprintf ppf "Y=%d Cb=%d Cr=%d" y cb cr

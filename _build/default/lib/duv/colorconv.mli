@@ -1,0 +1,47 @@
+(** RGB to YCbCr colour-space converter (ITU-R BT.601, 8-bit
+    fixed-point), decomposed into the 8 pipeline stages of the paper's
+    ColorConv IP.
+
+    {v
+      Y  =  16 + (  66 R + 129 G +  25 B + 128) >> 8
+      Cb = 128 + ( -38 R -  74 G + 112 B + 128) >> 8
+      Cr = 128 + ( 112 R -  94 G -  18 B + 128) >> 8
+    v}
+
+    For R, G, B in [0, 255]: Y in [16, 235], Cb/Cr in [16, 240]. *)
+
+type pixel = {
+  r : int;
+  g : int;
+  b : int;
+}
+
+type ycbcr = {
+  y : int;
+  cb : int;
+  cr : int;
+}
+
+(** Intermediate pipeline payload carried between stages. *)
+type stage_state
+
+(** Whole conversion (reference function).
+    @raise Invalid_argument on components outside [0, 255]. *)
+val convert : pixel -> ycbcr
+
+(** Stage 1 of the pipeline: admit a pixel. *)
+val stage_in : pixel -> stage_state
+
+(** [stage i state] applies pipeline stage [i] (1..7 after
+    {!stage_in}; stage 8 is {!stage_out}).  Pure: returns a fresh
+    payload, so pipeline registers can hold the input snapshot. *)
+val stage : int -> stage_state -> stage_state
+
+(** Final stage: extract the converted pixel. *)
+val stage_out : stage_state -> ycbcr
+
+(** Number of pipeline stages (8): latency in clock cycles. *)
+val stages : int
+
+val equal_ycbcr : ycbcr -> ycbcr -> bool
+val pp_ycbcr : Format.formatter -> ycbcr -> unit

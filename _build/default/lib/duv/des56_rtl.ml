@@ -1,0 +1,120 @@
+open Tabv_sim
+
+type state =
+  | Idle
+  | Busy of {
+      mutable round_index : int;  (* rounds already performed *)
+      mutable l : int64;
+      mutable r : int64;
+      keys : int64 array;  (* in processing order *)
+    }
+
+type fault =
+  | Rdy_one_cycle_late
+  | Rdy_next_cycle_stuck_low
+  | Result_zeroed
+
+type t = {
+  fault : fault option;
+  ds : bool Signal.t;
+  decrypt : bool Signal.t;
+  key : int64 Signal.t;
+  indata : int64 Signal.t;
+  out : int64 Signal.t;
+  rdy : bool Signal.t;
+  rdy_next_cycle : bool Signal.t;
+  rdy_next_next_cycle : bool Signal.t;
+  mutable state : state;
+  mutable completed : int;
+}
+
+let create ?fault kernel clock =
+  let t =
+    {
+      fault;
+      ds = Signal.create kernel ~name:"ds" false;
+      decrypt = Signal.create kernel ~name:"decrypt" false;
+      key = Signal.create kernel ~name:"key" 0L;
+      indata = Signal.create kernel ~name:"indata" 0L;
+      out = Signal.create kernel ~name:"out" 0L;
+      rdy = Signal.create kernel ~name:"rdy" false;
+      rdy_next_cycle = Signal.create kernel ~name:"rdy_next_cycle" false;
+      rdy_next_next_cycle = Signal.create kernel ~name:"rdy_next_next_cycle" false;
+    state = Idle;
+      completed = 0;
+    }
+  in
+  let on_posedge () =
+    (* Default deassertions; overwritten below when flags are due. *)
+    Signal.write t.rdy false;
+    Signal.write t.rdy_next_cycle false;
+    Signal.write t.rdy_next_next_cycle false;
+    match t.state with
+    | Idle ->
+      if Signal.read t.ds then begin
+        let l, r = Des.initial_permutation (Signal.read t.indata) in
+        let keys = Des.round_keys (Signal.read t.key) in
+        let keys =
+          if Signal.read t.decrypt then Array.init 16 (fun i -> keys.(15 - i)) else keys
+        in
+        t.state <- Busy { round_index = 0; l; r; keys }
+      end
+    | Busy b ->
+      if b.round_index < 16 then begin
+        let l', r' = Des.round (b.l, b.r) ~key:b.keys.(b.round_index) in
+        b.l <- l';
+        b.r <- r'
+      end;
+      b.round_index <- b.round_index + 1;
+      let finish_round = if t.fault = Some Rdy_one_cycle_late then 17 else 16 in
+      (match b.round_index with
+       | 14 -> Signal.write t.rdy_next_next_cycle true
+       | 15 ->
+         if t.fault <> Some Rdy_next_cycle_stuck_low then
+           Signal.write t.rdy_next_cycle true
+       | n when n = finish_round ->
+         let result =
+           if t.fault = Some Result_zeroed then 0L
+           else Des.final_swap_permutation (b.l, b.r)
+         in
+         Signal.write t.out result;
+         Signal.write t.rdy true;
+         t.completed <- t.completed + 1;
+         t.state <- Idle
+       | _ -> ())
+  in
+  Process.method_process kernel ~name:"des56_rtl" ~initialize:false
+    ~sensitivity:[ Clock.posedge clock ] on_posedge;
+  t
+
+let ds t = t.ds
+let decrypt t = t.decrypt
+let key t = t.key
+let indata t = t.indata
+let out t = t.out
+let rdy t = t.rdy
+let rdy_next_cycle t = t.rdy_next_cycle
+let rdy_next_next_cycle t = t.rdy_next_next_cycle
+
+let lookup t =
+  Duv_util.lookup_of
+    [ ("ds", fun () -> Duv_util.vbool (Signal.read t.ds));
+      ("decrypt", fun () -> Duv_util.vbool (Signal.read t.decrypt));
+      ("key", fun () -> Duv_util.vdata (Signal.read t.key));
+      ("indata", fun () -> Duv_util.vdata (Signal.read t.indata));
+      ("out", fun () -> Duv_util.vdata (Signal.read t.out));
+      ("rdy", fun () -> Duv_util.vbool (Signal.read t.rdy));
+      ("rdy_next_cycle", fun () -> Duv_util.vbool (Signal.read t.rdy_next_cycle));
+      ("rdy_next_next_cycle", fun () -> Duv_util.vbool (Signal.read t.rdy_next_next_cycle)) ]
+
+let env t =
+  [ ("ds", Duv_util.vbool (Signal.read t.ds));
+    ("decrypt", Duv_util.vbool (Signal.read t.decrypt));
+    ("key", Duv_util.vdata (Signal.read t.key));
+    ("indata", Duv_util.vdata (Signal.read t.indata));
+    ("out", Duv_util.vdata (Signal.read t.out));
+    ("rdy", Duv_util.vbool (Signal.read t.rdy));
+    ("rdy_next_cycle", Duv_util.vbool (Signal.read t.rdy_next_cycle));
+    ("rdy_next_next_cycle", Duv_util.vbool (Signal.read t.rdy_next_next_cycle)) ]
+
+let completed t = t.completed

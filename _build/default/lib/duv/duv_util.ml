@@ -1,0 +1,14 @@
+let int_of_data v =
+  if v = 0L then 0
+  else
+    let truncated = Int64.to_int v in
+    if truncated = 0 then 1 else truncated
+
+let lookup_of bindings name =
+  match List.assoc_opt name bindings with
+  | Some thunk -> Some (thunk ())
+  | None -> None
+
+let vbool b = Tabv_psl.Expr.VBool b
+let vint n = Tabv_psl.Expr.VInt n
+let vdata v = Tabv_psl.Expr.VInt (int_of_data v)

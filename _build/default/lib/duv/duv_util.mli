@@ -1,0 +1,18 @@
+(** Helpers shared by the DUV models. *)
+
+(** Map a 64-bit data word to the integer used by the property layer.
+
+    [Expr] values carry OCaml [int]s (63-bit); the properties only test
+    data words for equality against small constants (e.g.
+    [indata = 0]), so the mapping preserves exactly the property
+    [int_of_data v = 0 <=> v = 0L] (a plain [Int64.to_int] would map
+    [0x8000000000000000L] to [0]). *)
+val int_of_data : int64 -> int
+
+(** Build a lookup function from an association list of thunks, for
+    observable environments backed by mutable state. *)
+val lookup_of : (string * (unit -> Tabv_psl.Expr.value)) list -> string -> Tabv_psl.Expr.value option
+
+val vbool : bool -> Tabv_psl.Expr.value
+val vint : int -> Tabv_psl.Expr.value
+val vdata : int64 -> Tabv_psl.Expr.value

@@ -1,0 +1,33 @@
+open Tabv_psl
+
+let property name source = Parser.property_exn ~name source
+
+let n1 = property "n1" "always (!(req && we) || next[2](ack)) @clk_pos"
+let n2 = property "n2" "always (!(req && !we) || next[3](ack)) @clk_pos"
+let n3 = property "n3" "always (!req || next(!req until ack)) @clk_pos"
+let n4 = property "n4" "always (!ack || next(!ack)) @clk_pos"
+let n5 = property "n5" "always (!(req && we) || next(ack_next_cycle)) @clk_pos"
+let n6 = property "n6" "always (!ack_next_cycle || next(ack)) @clk_pos"
+let n7 = property "n7" "always (!(req && !we) || next[2](ack_next_cycle)) @clk_pos"
+let n8 = property "n8" "always (!ack || !ack_next_cycle) @clk_pos"
+
+let all = [ n1; n2; n3; n4; n5; n6; n7; n8 ]
+
+let abstracted_signals = Memctrl_iface.abstracted_signals
+
+let rename name = "t" ^ name
+
+let abstraction_reports () =
+  Tabv_core.Methodology.abstract_all ~clock_period:Memctrl_iface.clock_period
+    ~abstracted_signals ~rename all
+
+let tlm_auto_safe () =
+  List.filter_map
+    (fun report ->
+      match report.Tabv_core.Methodology.output with
+      | Some q
+        when (not report.Tabv_core.Methodology.requires_review)
+             && not (Tabv_core.Methodology.needs_dense_trace q.Property.formula) ->
+        Some q
+      | Some _ | None -> None)
+    (abstraction_reports ())

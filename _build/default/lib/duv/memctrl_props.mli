@@ -1,0 +1,10 @@
+open Tabv_psl
+
+(** MemCtrl RTL property set (8 properties): asymmetric write/read
+    latency, handshake chaining over the abstracted [ack_next_cycle]
+    flag, until-based request holding, and pulse shape. *)
+
+val all : Property.t list
+val abstracted_signals : string list
+val abstraction_reports : unit -> Tabv_core.Methodology.report list
+val tlm_auto_safe : unit -> Property.t list

@@ -1,0 +1,517 @@
+open Tabv_psl
+open Tabv_sim
+open Tabv_checker
+
+type checker_stat = {
+  property_name : string;
+  activations : int;
+  passes : int;
+  trivial_passes : int;
+  vacuous : bool;
+  peak_instances : int;
+  pending : int;
+  failures : Monitor.failure list;
+}
+
+type run_result = {
+  sim_time_ns : int;
+  kernel_activations : int;
+  delta_cycles : int;
+  transactions : int;
+  completed_ops : int;
+  outputs : int64 list;
+  checker_stats : checker_stat list;
+  trace : Trace.t option;
+}
+
+let total_failures result =
+  List.fold_left
+    (fun acc stat -> acc + List.length stat.failures)
+    0 result.checker_stats
+
+let pp_checker_stat ppf stat =
+  Format.fprintf ppf "%-6s activations=%-6d passes=%-6d peak=%-3d pending=%-3d failures=%d%s"
+    stat.property_name stat.activations stat.passes stat.peak_instances stat.pending
+    (List.length stat.failures)
+    (if stat.vacuous then "  [vacuous]" else "")
+
+let stat_of_monitor monitor =
+  {
+    property_name = (Monitor.property monitor).Property.name;
+    activations = Monitor.activations monitor;
+    passes = Monitor.passes monitor;
+    trivial_passes = Monitor.trivial_passes monitor;
+    vacuous = Monitor.vacuous monitor;
+    peak_instances = Monitor.peak_instances monitor;
+    pending = Monitor.pending monitor;
+    failures = Monitor.failures monitor;
+  }
+
+let period = 10
+
+(* --- DES56 / RTL --- *)
+
+let run_des56_rtl ?(properties = []) ?engine ?(record_trace = false) ?(gap_cycles = 2)
+    ?fault ops =
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period () in
+  let model = Des56_rtl.create ?fault kernel clock in
+  let lookup = Des56_rtl.lookup model in
+  let checkers =
+    List.map (fun p -> Rtl_checker.attach ?engine kernel clock p ~lookup) properties
+  in
+  let recorder = Trace_rec.create () in
+  if record_trace then
+    Process.method_process kernel ~name:"trace" ~initialize:false
+      ~sensitivity:[ Clock.posedge clock ]
+      (fun () -> Trace_rec.sample recorder ~time:(Kernel.now kernel) (Des56_rtl.env model));
+  let outputs = ref [] in
+  Process.method_process kernel ~name:"collect" ~initialize:false
+    ~sensitivity:[ Clock.posedge clock ]
+    (fun () ->
+      if Signal.read (Des56_rtl.rdy model) then
+        outputs := Signal.read (Des56_rtl.out model) :: !outputs);
+  Process.spawn kernel ~name:"driver" (fun () ->
+    let negedge = Clock.negedge clock in
+    Process.wait_event negedge;
+    List.iter
+      (fun op ->
+        Signal.write (Des56_rtl.ds model) true;
+        Signal.write (Des56_rtl.decrypt model) op.Des56_iface.decrypt;
+        Signal.write (Des56_rtl.key model) op.Des56_iface.key;
+        Signal.write (Des56_rtl.indata model) op.Des56_iface.indata;
+        Process.wait_event negedge;
+        Signal.write (Des56_rtl.ds model) false;
+        for _ = 1 to Des56_iface.latency + gap_cycles do
+          Process.wait_event negedge
+        done)
+      ops;
+    (* Drain the last result and one extra evaluation point. *)
+    for _ = 1 to 3 do
+      Process.wait_event negedge
+    done;
+    Kernel.stop kernel);
+  let sim_time_ns = Kernel.run kernel in
+  {
+    sim_time_ns;
+    kernel_activations = Kernel.activation_count kernel;
+    delta_cycles = Kernel.delta_count kernel;
+    transactions = 0;
+    completed_ops = Des56_rtl.completed model;
+    outputs = List.rev !outputs;
+    checker_stats = List.map (fun c -> stat_of_monitor (Rtl_checker.monitor c)) checkers;
+    trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+  }
+
+(* --- DES56 / TLM-CA --- *)
+
+let run_des56_tlm_ca ?(properties = []) ?(record_trace = false) ?(gap_cycles = 2) ops =
+  let kernel = Kernel.create () in
+  let model = Des56_tlm_ca.create kernel in
+  let initiator = Tlm.Initiator.create kernel ~name:"des56_ca_init" in
+  Tlm.Initiator.bind initiator (Des56_tlm_ca.target model);
+  let lookup = Des56_tlm_ca.lookup model in
+  let recorder = Trace_rec.create () in
+  if record_trace then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Des56_iface.env_of (Des56_tlm_ca.observables model)));
+  let checkers =
+    List.map (fun p -> Wrapper.attach_unabstracted kernel initiator p ~lookup) properties
+  in
+  let outputs = ref [] in
+  Process.spawn kernel ~name:"driver" (fun () ->
+    Process.wait_ns kernel period;
+    let send_frame frame =
+      let payload = Tlm.make_payload ~extension:(Des56_iface.Frame frame) Tlm.Write in
+      Tlm.Initiator.b_transport initiator payload;
+      if frame.Des56_iface.f_rdy then outputs := frame.Des56_iface.f_out :: !outputs;
+      Process.wait_ns kernel period
+    in
+    (* Idle frames hold the previously driven input values, exactly as
+       the RTL signals do between strobes. *)
+    let held = ref (Des56_iface.make_frame ()) in
+    let idle_frame () =
+      let h = !held in
+      Des56_iface.make_frame ~decrypt:h.Des56_iface.f_decrypt ~key:h.Des56_iface.f_key
+        ~indata:h.Des56_iface.f_indata ()
+    in
+    List.iter
+      (fun op ->
+        let frame =
+          Des56_iface.make_frame ~ds:true ~decrypt:op.Des56_iface.decrypt
+            ~key:op.Des56_iface.key ~indata:op.Des56_iface.indata ()
+        in
+        held := frame;
+        send_frame frame;
+        for _ = 1 to Des56_iface.latency + gap_cycles do
+          send_frame (idle_frame ())
+        done)
+      ops;
+    for _ = 1 to 3 do
+      send_frame (idle_frame ())
+    done;
+    Kernel.stop kernel);
+  let sim_time_ns = Kernel.run kernel in
+  {
+    sim_time_ns;
+    kernel_activations = Kernel.activation_count kernel;
+    delta_cycles = Kernel.delta_count kernel;
+    transactions = Tlm.Initiator.transaction_count initiator;
+    completed_ops = Des56_tlm_ca.completed model;
+    outputs = List.rev !outputs;
+    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+  }
+
+(* --- DES56 / TLM-AT --- *)
+
+let run_des56_tlm_at ?(properties = []) ?(grid_properties = [])
+    ?(record_trace = false) ?(gap_cycles = 2) ?model_latency_ns ops =
+  let kernel = Kernel.create () in
+  let model = Des56_tlm_at.create ?latency_ns:model_latency_ns kernel in
+  let initiator = Tlm.Initiator.create kernel ~name:"des56_at_init" in
+  Tlm.Initiator.bind initiator (Des56_tlm_at.target model);
+  let lookup = Des56_tlm_at.lookup model in
+  let recorder = Trace_rec.create () in
+  if record_trace then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Des56_iface.env_of (Des56_tlm_at.observables model)));
+  let checkers =
+    List.map (fun p -> Wrapper.attach kernel initiator p ~lookup) properties
+    @ List.map
+        (fun p ->
+          Wrapper.attach_grid kernel ~clock_period:Des56_iface.clock_period p ~lookup)
+        grid_properties
+  in
+  let outputs = ref [] in
+  Process.spawn kernel ~name:"driver" (fun () ->
+    Process.wait_ns kernel period;
+    let transport extension =
+      Tlm.Initiator.b_transport initiator (Tlm.make_payload ~extension Tlm.Write)
+    in
+    List.iter
+      (fun op ->
+        transport
+          (Des56_iface.At_write
+             {
+               Des56_iface.a_decrypt = op.Des56_iface.decrypt;
+               a_key = op.Des56_iface.key;
+               a_indata = op.Des56_iface.indata;
+             });
+        Process.wait_ns kernel period;
+        transport Des56_iface.At_idle;
+        (* Blocking read: the target returns at its completion
+           instant, which is the strobe time plus the model latency. *)
+        let response = { Des56_iface.a_out = 0L; a_rdy = false } in
+        transport (Des56_iface.At_read response);
+        if response.Des56_iface.a_rdy then
+          outputs := response.Des56_iface.a_out :: !outputs;
+        Process.wait_ns kernel period;
+        transport (Des56_iface.At_status { Des56_iface.a_out = 0L; a_rdy = false });
+        Process.wait_ns kernel (gap_cycles * period))
+      ops;
+    Kernel.stop kernel);
+  let sim_time_ns = Kernel.run kernel in
+  {
+    sim_time_ns;
+    kernel_activations = Kernel.activation_count kernel;
+    delta_cycles = Kernel.delta_count kernel;
+    transactions = Tlm.Initiator.transaction_count initiator;
+    completed_ops = Des56_tlm_at.completed model;
+    outputs = List.rev !outputs;
+    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+  }
+
+(* --- DES56 / TLM-LT --- *)
+
+let run_des56_tlm_lt ?(properties = []) ?(gap_cycles = 2) ops =
+  let kernel = Kernel.create () in
+  let model = Des56_tlm_lt.create kernel in
+  let initiator = Tlm.Initiator.create kernel ~name:"des56_lt_init" in
+  Tlm.Initiator.bind initiator (Des56_tlm_lt.target model);
+  let lookup = Des56_tlm_lt.lookup model in
+  let checkers =
+    List.map (fun p -> Wrapper.attach kernel initiator p ~lookup) properties
+  in
+  let outputs = ref [] in
+  Process.spawn kernel ~name:"driver" (fun () ->
+    Process.wait_ns kernel period;
+    let transport extension =
+      let payload = Tlm.make_payload ~extension Tlm.Write in
+      Tlm.Initiator.b_transport initiator payload;
+      payload
+    in
+    List.iter
+      (fun op ->
+        let payload =
+          transport
+            (Des56_iface.At_write
+               {
+                 Des56_iface.a_decrypt = op.Des56_iface.decrypt;
+                 a_key = op.Des56_iface.key;
+                 a_indata = op.Des56_iface.indata;
+               })
+        in
+        outputs := payload.Tlm.data :: !outputs;
+        Process.wait_ns kernel period;
+        ignore (transport Des56_iface.At_idle);
+        Process.wait_ns kernel (gap_cycles * period))
+      ops;
+    Process.wait_ns kernel period;
+    Kernel.stop kernel);
+  let sim_time_ns = Kernel.run kernel in
+  {
+    sim_time_ns;
+    kernel_activations = Kernel.activation_count kernel;
+    delta_cycles = Kernel.delta_count kernel;
+    transactions = Tlm.Initiator.transaction_count initiator;
+    completed_ops = Des56_tlm_lt.completed model;
+    outputs = List.rev !outputs;
+    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    trace = None;
+  }
+
+(* --- ColorConv --- *)
+
+let pack_ycbcr { Colorconv.y; cb; cr } =
+  Int64.of_int (y lor (cb lsl 8) lor (cr lsl 16))
+
+let run_colorconv_rtl ?(properties = []) ?engine ?(record_trace = false)
+    ?(gap_cycles = 2) bursts =
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period () in
+  let model = Colorconv_rtl.create kernel clock in
+  let lookup = Colorconv_rtl.lookup model in
+  let checkers =
+    List.map (fun p -> Rtl_checker.attach ?engine kernel clock p ~lookup) properties
+  in
+  let recorder = Trace_rec.create () in
+  if record_trace then
+    Process.method_process kernel ~name:"trace" ~initialize:false
+      ~sensitivity:[ Clock.posedge clock ]
+      (fun () ->
+        Trace_rec.sample recorder ~time:(Kernel.now kernel) (Colorconv_rtl.env model));
+  let outputs = ref [] in
+  Process.method_process kernel ~name:"collect" ~initialize:false
+    ~sensitivity:[ Clock.posedge clock ]
+    (fun () ->
+      if Signal.read (Colorconv_rtl.ovalid model) then
+        outputs :=
+          pack_ycbcr
+            {
+              Colorconv.y = Signal.read (Colorconv_rtl.y model);
+              cb = Signal.read (Colorconv_rtl.cb model);
+              cr = Signal.read (Colorconv_rtl.cr model);
+            }
+          :: !outputs);
+  Process.spawn kernel ~name:"driver" (fun () ->
+    let negedge = Clock.negedge clock in
+    Process.wait_event negedge;
+    List.iter
+      (fun burst ->
+        List.iter
+          (fun pixel ->
+            Signal.write (Colorconv_rtl.dv model) true;
+            Signal.write (Colorconv_rtl.r model) pixel.Colorconv.r;
+            Signal.write (Colorconv_rtl.g model) pixel.Colorconv.g;
+            Signal.write (Colorconv_rtl.b model) pixel.Colorconv.b;
+            Process.wait_event negedge)
+          burst;
+        Signal.write (Colorconv_rtl.dv model) false;
+        for _ = 1 to gap_cycles do
+          Process.wait_event negedge
+        done)
+      bursts;
+    for _ = 1 to Colorconv_iface.latency + 2 do
+      Process.wait_event negedge
+    done;
+    Kernel.stop kernel);
+  let sim_time_ns = Kernel.run kernel in
+  {
+    sim_time_ns;
+    kernel_activations = Kernel.activation_count kernel;
+    delta_cycles = Kernel.delta_count kernel;
+    transactions = 0;
+    completed_ops = Colorconv_rtl.completed model;
+    outputs = List.rev !outputs;
+    checker_stats = List.map (fun c -> stat_of_monitor (Rtl_checker.monitor c)) checkers;
+    trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+  }
+
+let run_colorconv_tlm_ca ?(properties = []) ?(record_trace = false) ?(gap_cycles = 2)
+    bursts =
+  let kernel = Kernel.create () in
+  let model = Colorconv_tlm_ca.create kernel in
+  let initiator = Tlm.Initiator.create kernel ~name:"colorconv_ca_init" in
+  Tlm.Initiator.bind initiator (Colorconv_tlm_ca.target model);
+  let lookup = Colorconv_tlm_ca.lookup model in
+  let recorder = Trace_rec.create () in
+  if record_trace then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Colorconv_iface.env_of (Colorconv_tlm_ca.observables model)));
+  let checkers =
+    List.map (fun p -> Wrapper.attach_unabstracted kernel initiator p ~lookup) properties
+  in
+  let outputs = ref [] in
+  Process.spawn kernel ~name:"driver" (fun () ->
+    Process.wait_ns kernel period;
+    let send_frame frame =
+      let payload = Tlm.make_payload ~extension:(Colorconv_iface.Frame frame) Tlm.Write in
+      Tlm.Initiator.b_transport initiator payload;
+      if frame.Colorconv_iface.c_ovalid then
+        outputs :=
+          pack_ycbcr
+            {
+              Colorconv.y = frame.Colorconv_iface.c_y;
+              cb = frame.Colorconv_iface.c_cb;
+              cr = frame.Colorconv_iface.c_cr;
+            }
+          :: !outputs;
+      Process.wait_ns kernel period
+    in
+    let held = ref (Colorconv_iface.make_frame ()) in
+    let idle_frame () =
+      let h = !held in
+      Colorconv_iface.make_frame ~r:h.Colorconv_iface.c_r ~g:h.Colorconv_iface.c_g
+        ~b:h.Colorconv_iface.c_b ()
+    in
+    List.iter
+      (fun burst ->
+        List.iter
+          (fun pixel ->
+            let frame =
+              Colorconv_iface.make_frame ~dv:true ~r:pixel.Colorconv.r
+                ~g:pixel.Colorconv.g ~b:pixel.Colorconv.b ()
+            in
+            held := frame;
+            send_frame frame)
+          burst;
+        for _ = 1 to gap_cycles do
+          send_frame (idle_frame ())
+        done)
+      bursts;
+    for _ = 1 to Colorconv_iface.latency + 2 do
+      send_frame (idle_frame ())
+    done;
+    Kernel.stop kernel);
+  let sim_time_ns = Kernel.run kernel in
+  {
+    sim_time_ns;
+    kernel_activations = Kernel.activation_count kernel;
+    delta_cycles = Kernel.delta_count kernel;
+    transactions = Tlm.Initiator.transaction_count initiator;
+    completed_ops = Colorconv_tlm_ca.completed model;
+    outputs = List.rev !outputs;
+    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+  }
+
+(* TLM-AT agenda: precomputed transaction schedule with deterministic
+   ordering at shared instants (reads resolve timed obligations before
+   same-instant writes fire new ones). *)
+type cc_action =
+  | Cc_read
+  | Cc_status
+  | Cc_write of Colorconv.pixel
+  | Cc_idle
+
+let cc_priority = function
+  | Cc_idle -> 0
+  | Cc_status -> 1
+  | Cc_read -> 2
+  | Cc_write _ -> 3
+
+let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = [])
+    ?(record_trace = false) ?(gap_cycles = 2) bursts =
+  let kernel = Kernel.create () in
+  let model = Colorconv_tlm_at.create kernel in
+  let initiator = Tlm.Initiator.create kernel ~name:"colorconv_at_init" in
+  Tlm.Initiator.bind initiator (Colorconv_tlm_at.target model);
+  let lookup = Colorconv_tlm_at.lookup model in
+  let recorder = Trace_rec.create () in
+  if record_trace then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Colorconv_iface.env_of (Colorconv_tlm_at.observables model)));
+  let checkers =
+    List.map (fun p -> Wrapper.attach kernel initiator p ~lookup) properties
+    @ List.map
+        (fun p ->
+          Wrapper.attach_grid kernel ~clock_period:Colorconv_iface.clock_period p ~lookup)
+        grid_properties
+  in
+  let latency_ns = Colorconv_iface.latency * period in
+  (* Build the agenda. *)
+  let agenda = ref [] in
+  let add time action = agenda := (time, action) :: !agenda in
+  let start = ref period in
+  List.iter
+    (fun burst ->
+      let n = List.length burst in
+      List.iteri
+        (fun i pixel ->
+          let wt = !start + (i * period) in
+          add wt (Cc_write pixel);
+          add (wt + latency_ns) Cc_read)
+        burst;
+      let last_write = !start + ((n - 1) * period) in
+      add (last_write + period) Cc_idle;
+      add (last_write + latency_ns + period) Cc_status;
+      start := last_write + period + (gap_cycles * period))
+    bursts;
+  let agenda =
+    List.stable_sort
+      (fun (t1, a1) (t2, a2) ->
+        if t1 <> t2 then compare t1 t2 else compare (cc_priority a1) (cc_priority a2))
+      !agenda
+  in
+  let outputs = ref [] in
+  Process.spawn kernel ~name:"driver" (fun () ->
+    let transport extension =
+      Tlm.Initiator.b_transport initiator (Tlm.make_payload ~extension Tlm.Write)
+    in
+    List.iter
+      (fun (time, action) ->
+        let now = Kernel.now kernel in
+        if time > now then Process.wait_ns kernel (time - now);
+        match action with
+        | Cc_write pixel -> transport (Colorconv_iface.At_write pixel)
+        | Cc_idle -> transport Colorconv_iface.At_idle
+        | Cc_read ->
+          let response =
+            { Colorconv_iface.a_valid = false; a_y = 0; a_cb = 0; a_cr = 0 }
+          in
+          transport (Colorconv_iface.At_read response);
+          if response.Colorconv_iface.a_valid then
+            outputs :=
+              pack_ycbcr
+                {
+                  Colorconv.y = response.Colorconv_iface.a_y;
+                  cb = response.Colorconv_iface.a_cb;
+                  cr = response.Colorconv_iface.a_cr;
+                }
+              :: !outputs
+        | Cc_status ->
+          transport
+            (Colorconv_iface.At_status
+               { Colorconv_iface.a_valid = false; a_y = 0; a_cb = 0; a_cr = 0 }))
+      agenda;
+    (* Let the deferred same-instant checker step of the last
+       transaction run before stopping. *)
+    Process.wait_ns kernel period;
+    Kernel.stop kernel);
+  let sim_time_ns = Kernel.run kernel in
+  {
+    sim_time_ns;
+    kernel_activations = Kernel.activation_count kernel;
+    delta_cycles = Kernel.delta_count kernel;
+    transactions = Tlm.Initiator.transaction_count initiator;
+    completed_ops = Colorconv_tlm_at.completed model;
+    outputs = List.rev !outputs;
+    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+  }

@@ -1,0 +1,125 @@
+open Tabv_psl
+open Tabv_checker
+
+(** Testbenches: drive each DUV model over a workload, optionally with
+    checkers attached and/or an evaluation trace recorded.
+
+    Conventions shared by all testbenches (clock period 10 ns):
+    {ul
+    {- RTL: inputs are driven on the falling edge, sampled at the next
+       rising edge; checkers and the trace recorder sample at rising
+       edges;}
+    {- TLM-CA: one cycle-frame transaction per 10 ns, so checkers see
+       exactly one evaluation point per clock cycle;}
+    {- TLM-AT: transactions only at the instants where the preserved
+       I/O signals change (strobe rise, strobe fall, result ready,
+       ready fall).}} *)
+
+type checker_stat = {
+  property_name : string;
+  activations : int;
+  passes : int;
+  trivial_passes : int;
+  vacuous : bool;  (** evaluated but never non-trivially activated *)
+  peak_instances : int;
+  pending : int;
+  failures : Monitor.failure list;
+}
+
+type run_result = {
+  sim_time_ns : int;
+  kernel_activations : int;
+  delta_cycles : int;
+  transactions : int;  (** 0 for RTL runs *)
+  completed_ops : int;
+  outputs : int64 list;  (** DES56 results / packed YCbCr pixels, in order *)
+  checker_stats : checker_stat list;
+  trace : Trace.t option;
+}
+
+(** Total failures across all checkers. *)
+val total_failures : run_result -> int
+
+(** Snapshot a monitor's counters (used by sibling testbenches, e.g.
+    {!Memctrl_testbench}). *)
+val stat_of_monitor : Monitor.t -> checker_stat
+
+val pp_checker_stat : Format.formatter -> checker_stat -> unit
+
+(** {1 DES56} *)
+
+(** [gap_cycles] idle cycles between operations (default 2);
+    [fault] injects a design bug (see {!Des56_rtl.fault});
+    [engine] selects the checker synthesis backend. *)
+val run_des56_rtl :
+  ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
+  ?record_trace:bool ->
+  ?gap_cycles:int ->
+  ?fault:Des56_rtl.fault ->
+  Des56_iface.op list ->
+  run_result
+
+(** RTL properties applied {e unabstracted} to the cycle-accurate TLM
+    model (the paper's TLM-CA rows). *)
+val run_des56_tlm_ca :
+  ?properties:Property.t list ->
+  ?record_trace:bool ->
+  ?gap_cycles:int ->
+  Des56_iface.op list ->
+  run_result
+
+(** Abstracted (transaction-context) properties on the
+    approximately-timed model.  The driver issues the blocking read
+    right after the strobe-fall instant, so the read-end event lands
+    exactly at the model's completion time — [model_latency_ns]
+    different from 170 models a wrongly abstracted TLM model. *)
+val run_des56_tlm_at :
+  ?properties:Property.t list ->
+  ?grid_properties:Property.t list ->
+  ?record_trace:bool ->
+  ?gap_cycles:int ->
+  ?model_latency_ns:int ->
+  Des56_iface.op list ->
+  run_result
+(** [grid_properties] are checked with the grid-mode wrapper
+    ({!Wrapper.attach_grid}), which handles until-based timed
+    properties such as the paper's [q2]. *)
+
+(** Loosely-timed model: operations complete within the write call;
+    deliberately {e not} timing equivalent, so timed abstracted
+    properties are expected to fail (Theorem III.2's precondition). *)
+val run_des56_tlm_lt :
+  ?properties:Property.t list ->
+  ?gap_cycles:int ->
+  Des56_iface.op list ->
+  run_result
+
+(** {1 ColorConv} *)
+
+val run_colorconv_rtl :
+  ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
+  ?record_trace:bool ->
+  ?gap_cycles:int ->
+  Colorconv.pixel list list ->
+  run_result
+
+val run_colorconv_tlm_ca :
+  ?properties:Property.t list ->
+  ?record_trace:bool ->
+  ?gap_cycles:int ->
+  Colorconv.pixel list list ->
+  run_result
+
+val run_colorconv_tlm_at :
+  ?properties:Property.t list ->
+  ?grid_properties:Property.t list ->
+  ?record_trace:bool ->
+  ?gap_cycles:int ->
+  Colorconv.pixel list list ->
+  run_result
+
+(** Pack a converted pixel as [y lor (cb lsl 8) lor (cr lsl 16)] for
+    the [outputs] list. *)
+val pack_ycbcr : Colorconv.ycbcr -> int64

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random workload generators. *)
+
+(** DES56 operations.  [zero_fraction] of the items carry
+    [indata = 0] so the p1 antecedent fires (default 0.2);
+    [decrypt_fraction] selects decryption (default 0.3). *)
+val des56 :
+  seed:int ->
+  count:int ->
+  ?zero_fraction:float ->
+  ?decrypt_fraction:float ->
+  unit ->
+  Des56_iface.op list
+
+(** ColorConv pixel bursts: a list of bursts, each a run of pixels
+    streamed back-to-back; [black_fraction] of the pixels are black so
+    the c12 antecedent fires (default 0.1). *)
+val colorconv :
+  seed:int ->
+  count:int ->
+  ?burst:int ->
+  ?black_fraction:float ->
+  unit ->
+  Colorconv.pixel list list
+
+(** MemCtrl operations: mixed writes/reads over the 256-word space;
+    [write_fraction] defaults to 0.5.  Reads are biased towards
+    previously written addresses so the data path is exercised. *)
+val memctrl :
+  seed:int -> count:int -> ?write_fraction:float -> unit -> Memctrl_iface.op list

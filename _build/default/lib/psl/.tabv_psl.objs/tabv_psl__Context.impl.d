@@ -1,0 +1,1 @@
+lib/psl/context.pp.ml: Expr Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/psl/context.pp.mli: Expr Format

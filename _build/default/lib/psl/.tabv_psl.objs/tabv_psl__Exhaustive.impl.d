@@ -1,0 +1,1 @@
+lib/psl/exhaustive.pp.ml: Expr Format List Semantics Trace

@@ -1,0 +1,1 @@
+lib/psl/exhaustive.pp.mli: Format Ltl Trace

@@ -1,0 +1,1 @@
+lib/psl/expr.pp.ml: Format List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/psl/expr.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/psl/lexer.pp.ml: Format List Printf String

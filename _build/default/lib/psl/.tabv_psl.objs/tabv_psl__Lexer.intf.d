@@ -1,0 +1,1 @@
+lib/psl/lexer.pp.mli: Format

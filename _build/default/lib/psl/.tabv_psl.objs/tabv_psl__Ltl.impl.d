@@ -1,0 +1,1 @@
+lib/psl/ltl.pp.ml: Expr Format List Ppx_deriving_runtime String

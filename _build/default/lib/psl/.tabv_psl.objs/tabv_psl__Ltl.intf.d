@@ -1,0 +1,1 @@
+lib/psl/ltl.pp.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/psl/nnf.pp.ml: Expr Ltl

@@ -1,0 +1,1 @@
+lib/psl/nnf.pp.mli: Ltl

@@ -1,0 +1,1 @@
+lib/psl/parser.pp.ml: Array Context Expr Lexer List Ltl Printf Property String

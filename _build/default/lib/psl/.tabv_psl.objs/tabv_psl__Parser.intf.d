@@ -1,0 +1,1 @@
+lib/psl/parser.pp.mli: Context Expr Ltl Property

@@ -1,0 +1,1 @@
+lib/psl/property.pp.ml: Context Format List Ltl String

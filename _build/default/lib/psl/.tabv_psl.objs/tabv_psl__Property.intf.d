@@ -1,0 +1,1 @@
+lib/psl/property.pp.mli: Context Format Ltl

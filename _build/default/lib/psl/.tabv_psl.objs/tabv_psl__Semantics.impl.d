@@ -1,0 +1,1 @@
+lib/psl/semantics.pp.ml: Expr Format Ltl Ppx_deriving_runtime Trace

@@ -1,0 +1,1 @@
+lib/psl/semantics.pp.mli: Format Ltl Trace

@@ -1,0 +1,1 @@
+lib/psl/simple_subset.pp.ml: Format List Ltl

@@ -1,0 +1,1 @@
+lib/psl/simple_subset.pp.mli: Format Ltl

@@ -1,0 +1,1 @@
+lib/psl/trace.pp.ml: Array Expr Format List

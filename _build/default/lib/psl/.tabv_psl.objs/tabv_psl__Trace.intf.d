@@ -1,0 +1,1 @@
+lib/psl/trace.pp.mli: Expr Format

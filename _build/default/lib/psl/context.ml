@@ -1,0 +1,59 @@
+type clock_edge =
+  | Any_edge
+  | Posedge
+  | Negedge
+[@@deriving eq, ord]
+
+type clock =
+  | Base_clock
+  | Edge of clock_edge
+  | Edge_and of clock_edge * Expr.t
+  | Named_edge of string * clock_edge
+  | Named_edge_and of string * clock_edge * Expr.t
+[@@deriving eq, ord]
+
+type transaction =
+  | Base_trans
+  | Trans_and of Expr.t
+[@@deriving eq, ord]
+
+type t =
+  | Clock of clock
+  | Transaction of transaction
+[@@deriving eq, ord]
+
+let signals = function
+  | Clock (Base_clock | Edge _ | Named_edge _) -> []
+  | Clock (Edge_and (_, e) | Named_edge_and (_, _, e)) -> Expr.signals e
+  | Transaction Base_trans -> []
+  | Transaction (Trans_and e) -> Expr.signals e
+
+let clock_name = function
+  | Clock (Named_edge (name, _) | Named_edge_and (name, _, _)) -> Some name
+  | Clock (Base_clock | Edge _ | Edge_and _) | Transaction _ -> None
+
+let edge_name = function
+  | Any_edge -> "clk"
+  | Posedge -> "clk_pos"
+  | Negedge -> "clk_neg"
+
+let named_edge_name clock edge =
+  match edge with
+  | Any_edge -> clock
+  | Posedge -> clock ^ "_pos"
+  | Negedge -> clock ^ "_neg"
+
+let pp ppf = function
+  | Clock Base_clock -> Format.pp_print_string ppf "@true"
+  | Clock (Edge e) -> Format.fprintf ppf "@%s" (edge_name e)
+  | Clock (Edge_and (e, expr)) ->
+    Format.fprintf ppf "@(%s && %a)" (edge_name e) Expr.pp expr
+  | Clock (Named_edge (clock, e)) ->
+    Format.fprintf ppf "@%s" (named_edge_name clock e)
+  | Clock (Named_edge_and (clock, e, expr)) ->
+    Format.fprintf ppf "@(%s && %a)" (named_edge_name clock e) Expr.pp expr
+  | Transaction Base_trans -> Format.pp_print_string ppf "@tb"
+  | Transaction (Trans_and expr) ->
+    Format.fprintf ppf "@(tb && %a)" Expr.pp expr
+
+let to_string c = Format.asprintf "%a" pp c

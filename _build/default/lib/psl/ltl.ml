@@ -1,0 +1,222 @@
+type next_event = {
+  tau : int;
+  eps : int;
+}
+[@@deriving eq, ord]
+
+type t =
+  | Atom of Expr.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next_n of int * t
+  | Next_event of next_event * t
+  | Until of t * t
+  | Release of t * t
+  | Always of t
+  | Eventually of t
+[@@deriving eq, ord]
+
+let atom e = Atom e
+let tt = Atom (Expr.Bool true)
+let ff = Atom (Expr.Bool false)
+
+let next_n n p =
+  if n < 0 then invalid_arg "Ltl.next_n: negative count"
+  else if n = 0 then p
+  else
+    match p with
+    | Next_n (m, inner) -> Next_n (n + m, inner)
+    | _ -> Next_n (n, p)
+
+let rec size = function
+  | Atom _ -> 1
+  | Not p | Next_n (_, p) | Next_event (_, p) | Always p | Eventually p ->
+    1 + size p
+  | And (p, q) | Or (p, q) | Implies (p, q) | Until (p, q) | Release (p, q) ->
+    1 + size p + size q
+
+let rec signals_acc acc = function
+  | Atom e -> List.rev_append (Expr.signals e) acc
+  | Not p | Next_n (_, p) | Next_event (_, p) | Always p | Eventually p ->
+    signals_acc acc p
+  | And (p, q) | Or (p, q) | Implies (p, q) | Until (p, q) | Release (p, q) ->
+    signals_acc (signals_acc acc p) q
+
+let signals t = List.sort_uniq String.compare (signals_acc [] t)
+
+let rec next_depth = function
+  | Atom _ -> 0
+  | Not p | Always p | Eventually p -> next_depth p
+  | And (p, q) | Or (p, q) | Implies (p, q) | Until (p, q) | Release (p, q) ->
+    max (next_depth p) (next_depth q)
+  | Next_n (n, p) -> n + next_depth p
+  | Next_event (_, p) -> 1 + next_depth p
+
+let rec max_eps = function
+  | Atom _ -> 0
+  | Not p | Next_n (_, p) | Always p | Eventually p -> max_eps p
+  | Next_event (ne, p) -> max ne.eps (max_eps p)
+  | And (p, q) | Or (p, q) | Implies (p, q) | Until (p, q) | Release (p, q) ->
+    max (max_eps p) (max_eps q)
+
+let next_events t =
+  let rec go acc = function
+    | Atom _ -> acc
+    | Not p | Next_n (_, p) | Always p | Eventually p -> go acc p
+    | Next_event (ne, p) -> go (ne :: acc) p
+    | And (p, q) | Or (p, q) | Implies (p, q) | Until (p, q) | Release (p, q) ->
+      go (go acc p) q
+  in
+  List.rev (go [] t)
+
+let rec map_atoms f = function
+  | Atom e -> Atom (f e)
+  | Not p -> Not (map_atoms f p)
+  | And (p, q) -> And (map_atoms f p, map_atoms f q)
+  | Or (p, q) -> Or (map_atoms f p, map_atoms f q)
+  | Implies (p, q) -> Implies (map_atoms f p, map_atoms f q)
+  | Next_n (n, p) -> Next_n (n, map_atoms f p)
+  | Next_event (ne, p) -> Next_event (ne, map_atoms f p)
+  | Until (p, q) -> Until (map_atoms f p, map_atoms f q)
+  | Release (p, q) -> Release (map_atoms f p, map_atoms f q)
+  | Always p -> Always (map_atoms f p)
+  | Eventually p -> Eventually (map_atoms f p)
+
+let rec is_nnf = function
+  | Atom _ -> true
+  | Not (Atom _) -> true
+  | Not _ | Implies _ -> false
+  | Next_n (_, p) | Next_event (_, p) | Always p | Eventually p -> is_nnf p
+  | And (p, q) | Or (p, q) | Until (p, q) | Release (p, q) ->
+    is_nnf p && is_nnf q
+
+let rec is_pushed = function
+  | Atom _ | Not (Atom _) -> true
+  | Not p -> is_pushed p
+  | Next_n (_, (Atom _ | Not (Atom _))) -> true
+  | Next_n (_, _) -> false
+  | Next_event (_, (Atom _ | Not (Atom _))) -> true
+  | Next_event (_, _) -> false
+  | Always p | Eventually p -> is_pushed p
+  | And (p, q) | Or (p, q) | Implies (p, q) | Until (p, q) | Release (p, q) ->
+    is_pushed p && is_pushed q
+
+let rec simplify t =
+  match t with
+  | Atom e -> Atom (Expr.simplify e)
+  | Not p ->
+    (match simplify p with
+     | Atom (Expr.Bool b) -> Atom (Expr.Bool (not b))
+     | p' -> Not p')
+  | And (p, q) ->
+    (match simplify p, simplify q with
+     | Atom (Expr.Bool false), _ | _, Atom (Expr.Bool false) -> ff
+     | Atom (Expr.Bool true), r | r, Atom (Expr.Bool true) -> r
+     | p', q' -> And (p', q'))
+  | Or (p, q) ->
+    (match simplify p, simplify q with
+     | Atom (Expr.Bool true), _ | _, Atom (Expr.Bool true) -> tt
+     | Atom (Expr.Bool false), r | r, Atom (Expr.Bool false) -> r
+     | p', q' -> Or (p', q'))
+  | Implies (p, q) ->
+    (match simplify p, simplify q with
+     | Atom (Expr.Bool false), _ -> tt
+     | Atom (Expr.Bool true), r -> r
+     | _, Atom (Expr.Bool true) -> tt
+     | p', q' -> Implies (p', q'))
+  | Next_n (n, p) ->
+    (match simplify p with
+     | Atom (Expr.Bool b) -> Atom (Expr.Bool b)
+     | p' -> next_n n p')
+  | Next_event (ne, p) -> Next_event (ne, simplify p)
+  | Until (p, q) ->
+    (match simplify p, simplify q with
+     | _, Atom (Expr.Bool true) -> tt
+     | _, (Atom (Expr.Bool false) as f) -> f
+     | p', q' -> Until (p', q'))
+  | Release (p, q) ->
+    (match simplify p, simplify q with
+     | _, (Atom (Expr.Bool true) as t') -> t'
+     | p', q' -> Release (p', q'))
+  | Always p ->
+    (match simplify p with
+     | Atom (Expr.Bool b) -> Atom (Expr.Bool b)
+     | p' -> Always p')
+  | Eventually p ->
+    (match simplify p with
+     | Atom (Expr.Bool b) -> Atom (Expr.Bool b)
+     | p' -> Eventually p')
+
+let rec demote_booleans t =
+  match t with
+  | Atom _ -> t
+  | Not p ->
+    (match demote_booleans p with
+     | Atom e -> Atom (Expr.Not e)
+     | p' -> Not p')
+  | And (p, q) ->
+    (match demote_booleans p, demote_booleans q with
+     | Atom a, Atom b -> Atom (Expr.And (a, b))
+     | p', q' -> And (p', q'))
+  | Or (p, q) ->
+    (match demote_booleans p, demote_booleans q with
+     | Atom a, Atom b -> Atom (Expr.Or (a, b))
+     | p', q' -> Or (p', q'))
+  | Implies (p, q) ->
+    (match demote_booleans p, demote_booleans q with
+     | Atom a, Atom b -> Atom (Expr.Or (Expr.Not a, b))
+     | p', q' -> Implies (p', q'))
+  | Next_n (n, p) -> Next_n (n, demote_booleans p)
+  | Next_event (ne, p) -> Next_event (ne, demote_booleans p)
+  | Until (p, q) -> Until (demote_booleans p, demote_booleans q)
+  | Release (p, q) -> Release (demote_booleans p, demote_booleans q)
+  | Always p -> Always (demote_booleans p)
+  | Eventually p -> Eventually (demote_booleans p)
+
+(* Printing precedence:
+   Implies = 1 (right assoc), Until/Release = 2 (right assoc),
+   Or = 3, And = 4, unary (Not, Next*, Always, Eventually) = 5,
+   primary = 6. *)
+let rec pp_prec prec ppf t =
+  let paren p body =
+    if p < prec then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match t with
+  | Atom e ->
+    (* Parenthesize boolean-connective atoms so they re-parse at the
+       right precedence relative to the LTL operators around them. *)
+    (match e with
+     | Expr.And _ | Expr.Or _ -> Format.fprintf ppf "(%a)" Expr.pp e
+     | Expr.Bool _ | Expr.Var _ | Expr.Not _ | Expr.Cmp _ -> Expr.pp ppf e)
+  | Not p -> paren 5 (fun ppf -> Format.fprintf ppf "!%a" (pp_prec 6) p)
+  | And (p, q) ->
+    paren 4 (fun ppf ->
+      Format.fprintf ppf "%a && %a" (pp_prec 4) p (pp_prec 5) q)
+  | Or (p, q) ->
+    paren 3 (fun ppf ->
+      Format.fprintf ppf "%a || %a" (pp_prec 3) p (pp_prec 4) q)
+  | Implies (p, q) ->
+    paren 1 (fun ppf ->
+      Format.fprintf ppf "%a -> %a" (pp_prec 2) p (pp_prec 1) q)
+  | Next_n (1, p) ->
+    paren 5 (fun ppf -> Format.fprintf ppf "next(%a)" (pp_prec 0) p)
+  | Next_n (n, p) ->
+    paren 5 (fun ppf -> Format.fprintf ppf "next[%d](%a)" n (pp_prec 0) p)
+  | Next_event (ne, p) ->
+    paren 5 (fun ppf ->
+      Format.fprintf ppf "nexte[%d,%d](%a)" ne.tau ne.eps (pp_prec 0) p)
+  | Until (p, q) ->
+    paren 2 (fun ppf ->
+      Format.fprintf ppf "%a until %a" (pp_prec 3) p (pp_prec 2) q)
+  | Release (p, q) ->
+    paren 2 (fun ppf ->
+      Format.fprintf ppf "%a release %a" (pp_prec 3) p (pp_prec 2) q)
+  | Always p ->
+    paren 5 (fun ppf -> Format.fprintf ppf "always(%a)" (pp_prec 0) p)
+  | Eventually p ->
+    paren 5 (fun ppf -> Format.fprintf ppf "eventually(%a)" (pp_prec 0) p)
+
+let pp ppf t = pp_prec 0 ppf t
+let to_string t = Format.asprintf "%a" pp t

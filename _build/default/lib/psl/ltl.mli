@@ -1,0 +1,87 @@
+(** LTL / PSL-simple-subset property formulas.
+
+    The abstract syntax follows Def. II.1 of the paper extended with the
+    derived operators [always]/[eventually], bounded repetition
+    [next\[n\]], and the paper's new TLM operator [next_eps^tau]
+    (Def. III.3).  [next p] is represented as [Next_n (1, p)]. *)
+
+(** Annotation of the paper's [next_eps^tau] operator: [tau] is the
+    ordinal position of the operator among all such operators in the
+    property (used by checker generation), [eps] the required absolute
+    evaluation offset in nanoseconds from the instant at which the
+    subformula starts evaluation. *)
+type next_event = {
+  tau : int;
+  eps : int;
+}
+
+type t =
+  | Atom of Expr.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next_n of int * t  (** [next\[n\] p], [n >= 1] *)
+  | Next_event of next_event * t  (** [next_eps^tau p] *)
+  | Until of t * t
+  | Release of t * t
+  | Always of t
+  | Eventually of t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Smart constructor collapsing nested next chains:
+    [next_n n (Next_n (m, p)) = Next_n (n + m, p)]; [next_n 0 p = p]. *)
+val next_n : int -> t -> t
+
+val atom : Expr.t -> t
+val tt : t
+val ff : t
+
+(** Number of AST nodes (atoms count their expression as one node). *)
+val size : t -> int
+
+(** Sorted, duplicate-free signal names mentioned in the formula. *)
+val signals : t -> string list
+
+(** Maximum [next]/[next\[n\]] nesting depth from the root, i.e. the
+    number of clock cycles of look-ahead the formula requires.
+    [Next_event] contributes [1] (one evaluation event). *)
+val next_depth : t -> int
+
+(** Largest [eps] of any [Next_event] in the formula, 0 if none. *)
+val max_eps : t -> int
+
+(** All [next_event] annotations, in left-to-right traversal order. *)
+val next_events : t -> next_event list
+
+(** [map_atoms f t] rebuilds [t] with every atom [e] replaced by
+    [f e]. *)
+val map_atoms : (Expr.t -> Expr.t) -> t -> t
+
+(** True iff the formula contains no [Implies] and every [Not] is
+    applied directly to an atom (negation normal form, Def. II.1). *)
+val is_nnf : t -> bool
+
+(** True iff every [Next_n] is applied to an atom or negated atom
+    (postcondition of the push-ahead procedure, Sec. III-A). *)
+val is_pushed : t -> bool
+
+(** Constant folding at the LTL level (uses {!Expr.simplify} on
+    atoms). *)
+val simplify : t -> t
+
+(** Collapse maximal pure-boolean subtrees into single atoms, mirroring
+    PSL's boolean layer: [And (Atom a, Atom b)] becomes
+    [Atom (Expr.And (a, b))], and a pure-boolean implication becomes
+    [Atom (Expr.Or (Expr.Not a, b))].  Methodology III.1 runs this
+    before NNF so that expressions like [ds && indata == 0] are treated
+    as one atomic proposition (as in Fig. 3 of the paper). *)
+val demote_booleans : t -> t
+
+(** Precedence-aware printer; output is re-parseable by {!Parser}.
+    [next_eps^tau] is printed as [nexte[tau,eps]]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,28 @@
+let rec positive = function
+  | Ltl.Atom _ as a -> a
+  | Ltl.Not p -> negative p
+  | Ltl.And (p, q) -> Ltl.And (positive p, positive q)
+  | Ltl.Or (p, q) -> Ltl.Or (positive p, positive q)
+  | Ltl.Implies (p, q) -> Ltl.Or (negative p, positive q)
+  | Ltl.Next_n (n, p) -> Ltl.Next_n (n, positive p)
+  | Ltl.Next_event (ne, p) -> Ltl.Next_event (ne, positive p)
+  | Ltl.Until (p, q) -> Ltl.Until (positive p, positive q)
+  | Ltl.Release (p, q) -> Ltl.Release (positive p, positive q)
+  | Ltl.Always p -> Ltl.Always (positive p)
+  | Ltl.Eventually p -> Ltl.Eventually (positive p)
+
+and negative = function
+  | Ltl.Atom (Expr.Bool b) -> Ltl.Atom (Expr.Bool (not b))
+  | Ltl.Atom _ as a -> Ltl.Not a
+  | Ltl.Not p -> positive p
+  | Ltl.And (p, q) -> Ltl.Or (negative p, negative q)
+  | Ltl.Or (p, q) -> Ltl.And (negative p, negative q)
+  | Ltl.Implies (p, q) -> Ltl.And (positive p, negative q)
+  | Ltl.Next_n (n, p) -> Ltl.Next_n (n, negative p)
+  | Ltl.Next_event (ne, p) -> Ltl.Next_event (ne, negative p)
+  | Ltl.Until (p, q) -> Ltl.Release (negative p, negative q)
+  | Ltl.Release (p, q) -> Ltl.Until (negative p, negative q)
+  | Ltl.Always p -> Ltl.Eventually (negative p)
+  | Ltl.Eventually p -> Ltl.Always (negative p)
+
+let convert t = positive t

@@ -1,0 +1,19 @@
+(** Negation normal form (step 1 of Methodology III.1).
+
+    The result contains no [Implies], and every [Not] is applied
+    directly to an atom, matching Def. II.1 of the paper
+    ([Ltl.is_nnf] holds). *)
+
+(** [convert t] rewrites [t] into negation normal form using the
+    classical dualities:
+    {ul
+    {- [!(p && q)  ==  !p || !q] (and dual)}
+    {- [!(p -> q)  ==  p && !q]}
+    {- [!(next[n] p)  ==  next[n] !p]}
+    {- [!(p until q)  ==  !p release !q] (and dual)}
+    {- [!(always p)  ==  eventually !p] (and dual)}}
+
+    [Next_event] is treated like [next] for negation; Methodology III.1
+    applies NNF before introducing [next_eps^tau], so this case only
+    arises when callers normalize already-abstracted formulas. *)
+val convert : Ltl.t -> Ltl.t

@@ -1,0 +1,514 @@
+exception Parse_error of {
+  line : int;
+  col : int;
+  message : string;
+}
+
+type state = {
+  tokens : Lexer.located array;
+  mutable pos : int;
+  mutable constants : (string * int) list;  (* from 'const NAME = INT;' *)
+}
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let error_at (located : Lexer.located) message =
+  raise (Parse_error { line = located.line; col = located.col; message })
+
+let fail st message = error_at (peek st) message
+
+let expect st token =
+  let located = peek st in
+  if located.token = token then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s, found %s"
+         (Lexer.token_to_string token)
+         (Lexer.token_to_string located.token))
+
+let expect_int st =
+  match (peek st).token with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | Lexer.IDENT name when List.mem_assoc name st.constants ->
+    advance st;
+    List.assoc name st.constants
+  | other -> fail st (Printf.sprintf "expected integer, found %s" (Lexer.token_to_string other))
+
+let expect_ident st =
+  match (peek st).token with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | other ->
+    fail st (Printf.sprintf "expected identifier, found %s" (Lexer.token_to_string other))
+
+(* --- Arithmetic layer --- *)
+
+let rec parse_arith st =
+  let rec loop acc =
+    match (peek st).token with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Expr.Add (acc, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Expr.Sub (acc, parse_term st))
+    | _ -> acc
+  in
+  loop (parse_term st)
+
+and parse_term st =
+  let rec loop acc =
+    match (peek st).token with
+    | Lexer.STAR ->
+      advance st;
+      loop (Expr.Mul (acc, parse_factor st))
+    | _ -> acc
+  in
+  loop (parse_factor st)
+
+and parse_factor st =
+  match (peek st).token with
+  | Lexer.INT n ->
+    advance st;
+    Expr.Int n
+  | Lexer.MINUS ->
+    advance st;
+    (match parse_factor st with
+     | Expr.Int n -> Expr.Int (-n)
+     | a -> Expr.Sub (Expr.Int 0, a))
+  | Lexer.IDENT v ->
+    advance st;
+    if List.mem_assoc v st.constants then Expr.Int (List.assoc v st.constants)
+    else Expr.Avar v
+  | Lexer.LPAREN ->
+    advance st;
+    let a = parse_arith st in
+    expect st Lexer.RPAREN;
+    a
+  | other ->
+    fail st
+      (Printf.sprintf "expected arithmetic operand, found %s" (Lexer.token_to_string other))
+
+let is_cmp_op = function
+  | Lexer.EQ | Lexer.NEQ | Lexer.LT | Lexer.LE | Lexer.GT | Lexer.GE -> true
+  | _ -> false
+
+let cmp_of_token = function
+  | Lexer.EQ -> Expr.Eq
+  | Lexer.NEQ -> Expr.Neq
+  | Lexer.LT -> Expr.Lt
+  | Lexer.LE -> Expr.Le
+  | Lexer.GT -> Expr.Gt
+  | Lexer.GE -> Expr.Ge
+  | _ -> invalid_arg "cmp_of_token"
+
+(* --- LTL layer --- *)
+
+(* Bounded SEREs, desugared to plain LTL during parsing:
+   {r1; r2} |-> f  expands to  r1 -> next(r2 -> f)  and so on, with
+   alternation becoming conjunction of expansions and bounded
+   repetition unrolled.  Only bounded repetitions with a lower bound
+   of at least 1 are supported (no empty match, no unbounded star). *)
+type sere =
+  | S_bool of Ltl.t  (* a boolean formula, one cycle *)
+  | S_seq of sere * sere
+  | S_alt of sere * sere
+
+let rec sere_concat_n r n = if n = 1 then r else S_seq (r, sere_concat_n r (n - 1))
+
+(* [expand r continuation]: the obligation that [r] matches starting
+   at the current cycle and [continuation] holds at the cycle of [r]'s
+   last element (overlapping semantics). *)
+let rec expand_sere r continuation =
+  match r with
+  | S_bool b -> Ltl.Implies (b, continuation)
+  | S_seq (r1, r2) -> expand_sere r1 (Ltl.Next_n (1, expand_sere r2 continuation))
+  | S_alt (r1, r2) ->
+    Ltl.And (expand_sere r1 continuation, expand_sere r2 continuation)
+
+let rec parse_formula st =
+  match (peek st).token with
+  | Lexer.LBRACE ->
+    advance st;
+    let r = parse_sere st in
+    expect st Lexer.RBRACE;
+    let non_overlapping =
+      match (peek st).token with
+      | Lexer.SUFFIX_IMPL -> false
+      | Lexer.SUFFIX_IMPL_NEXT -> true
+      | other ->
+        fail st
+          (Printf.sprintf "expected '|->' or '|=>' after SERE, found %s"
+             (Lexer.token_to_string other))
+    in
+    advance st;
+    let consequent = parse_formula st in
+    let consequent =
+      if non_overlapping then Ltl.Next_n (1, consequent) else consequent
+    in
+    expand_sere r consequent
+  | _ ->
+    let lhs = parse_untilrel st in
+    (match (peek st).token with
+     | Lexer.ARROW ->
+       advance st;
+       Ltl.Implies (lhs, parse_formula st)
+     | _ -> lhs)
+
+and parse_sere st =
+  (* alternation (lowest) > concatenation > repetition > atom *)
+  let lhs = parse_sere_concat st in
+  match (peek st).token with
+  | Lexer.PIPE ->
+    advance st;
+    S_alt (lhs, parse_sere st)
+  | _ -> lhs
+
+and parse_sere_concat st =
+  let lhs = parse_sere_repeat st in
+  match (peek st).token with
+  | Lexer.SEMI ->
+    advance st;
+    S_seq (lhs, parse_sere_concat st)
+  | _ -> lhs
+
+and parse_sere_repeat st =
+  let atom = parse_sere_atom st in
+  match (peek st).token with
+  | Lexer.LBRACKET ->
+    advance st;
+    expect st Lexer.STAR;
+    let low = expect_int st in
+    let high =
+      match (peek st).token with
+      | Lexer.DOTDOT ->
+        advance st;
+        expect_int st
+      | _ -> low
+    in
+    expect st Lexer.RBRACKET;
+    if low < 1 || high < low then
+      fail st "SERE repetition requires 1 <= i <= j (no empty match)";
+    let repeats =
+      List.init (high - low + 1) (fun k -> sere_concat_n atom (low + k))
+    in
+    (match repeats with
+     | [] -> assert false
+     | first :: rest -> List.fold_left (fun acc r -> S_alt (acc, r)) first rest)
+  | _ -> atom
+
+and parse_sere_atom st =
+  match (peek st).token with
+  | Lexer.LBRACE ->
+    advance st;
+    let r = parse_sere st in
+    expect st Lexer.RBRACE;
+    r
+  | _ ->
+    (* A boolean formula: reuse the boolean layers of the grammar. *)
+    let located = peek st in
+    let f = parse_or st in
+    let rec boolean = function
+      | Ltl.Atom _ -> true
+      | Ltl.Not g -> boolean g
+      | Ltl.And (g, h) | Ltl.Or (g, h) | Ltl.Implies (g, h) -> boolean g && boolean h
+      | Ltl.Next_n _ | Ltl.Next_event _ | Ltl.Until _ | Ltl.Release _
+      | Ltl.Always _ | Ltl.Eventually _ ->
+        false
+    in
+    if boolean f then S_bool f
+    else error_at located "SERE elements must be boolean expressions"
+
+and parse_untilrel st =
+  let lhs = parse_or st in
+  match (peek st).token with
+  | Lexer.KW_UNTIL ->
+    let kw = peek st in
+    advance st;
+    (* PSL spells the strong form 'until!'; both spellings map to the
+       strong until of Def. II.1 (the paper writes plain 'until').
+       The bang must be adjacent, or it negates the right operand. *)
+    (let next = peek st in
+     if next.Lexer.token = Lexer.BANG && next.Lexer.line = kw.Lexer.line
+        && next.Lexer.col = kw.Lexer.col + 5
+     then advance st);
+    Ltl.Until (lhs, parse_untilrel st)
+  | Lexer.KW_WEAK_UNTIL ->
+    (* p weak_until q  ==  q release (p || q): p holds up to (and not
+       necessarily reaching) a q, or forever. *)
+    advance st;
+    let rhs = parse_untilrel st in
+    Ltl.Release (rhs, Ltl.Or (lhs, rhs))
+  | Lexer.KW_RELEASE ->
+    advance st;
+    Ltl.Release (lhs, parse_untilrel st)
+  | Lexer.KW_BEFORE ->
+    (* a before b  ==  !b until (a && !b): a strictly precedes b
+       (strong: a must eventually occur). *)
+    advance st;
+    let rhs = parse_untilrel st in
+    Ltl.Until (Ltl.Not rhs, Ltl.And (lhs, Ltl.Not rhs))
+  | _ -> lhs
+
+and parse_or st =
+  let rec loop acc =
+    match (peek st).token with
+    | Lexer.OR_OR ->
+      advance st;
+      loop (Ltl.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    match (peek st).token with
+    | Lexer.AND_AND ->
+      advance st;
+      loop (Ltl.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match (peek st).token with
+  | Lexer.BANG ->
+    advance st;
+    Ltl.Not (parse_unary st)
+  | Lexer.KW_ALWAYS ->
+    advance st;
+    Ltl.Always (parse_unary st)
+  | Lexer.KW_EVENTUALLY ->
+    let kw = peek st in
+    advance st;
+    (* Accept PSL's 'eventually!' spelling (adjacent bang only). *)
+    (let next = peek st in
+     if next.Lexer.token = Lexer.BANG && next.Lexer.line = kw.Lexer.line
+        && next.Lexer.col = kw.Lexer.col + 10
+     then advance st);
+    Ltl.Eventually (parse_unary st)
+  | Lexer.KW_NEVER ->
+    advance st;
+    Ltl.Always (Ltl.Not (parse_unary st))
+  | Lexer.KW_NEXT ->
+    advance st;
+    let n =
+      match (peek st).token with
+      | Lexer.LBRACKET ->
+        advance st;
+        let n = expect_int st in
+        expect st Lexer.RBRACKET;
+        if n < 1 then fail st "next[n] requires n >= 1";
+        n
+      | _ -> 1
+    in
+    Ltl.Next_n (n, parse_unary st)
+  | Lexer.KW_NEXT_A | Lexer.KW_NEXT_E ->
+    let conjunctive = (peek st).token = Lexer.KW_NEXT_A in
+    advance st;
+    expect st Lexer.LBRACKET;
+    let low = expect_int st in
+    expect st Lexer.DOTDOT;
+    let high = expect_int st in
+    expect st Lexer.RBRACKET;
+    if low < 1 || high < low then
+      fail st "next_a/next_e require 1 <= i <= j";
+    let operand = parse_unary st in
+    let terms = List.init (high - low + 1) (fun k -> Ltl.next_n (low + k) operand) in
+    (match terms with
+     | [] -> assert false
+     | first :: rest ->
+       List.fold_left
+         (fun acc term ->
+           if conjunctive then Ltl.And (acc, term) else Ltl.Or (acc, term))
+         first rest)
+  | Lexer.KW_NEXTE ->
+    advance st;
+    expect st Lexer.LBRACKET;
+    let tau = expect_int st in
+    expect st Lexer.COMMA;
+    let eps = expect_int st in
+    expect st Lexer.RBRACKET;
+    Ltl.Next_event ({ tau; eps }, parse_unary st)
+  | _ -> parse_compare st
+
+and parse_compare st =
+  (* Try [arith cmpop arith]; if no comparison operator follows the
+     tentative left-hand side, backtrack to a boolean primary. *)
+  let saved = st.pos in
+  let lhs_arith =
+    try Some (parse_arith st) with
+    | Parse_error _ -> None
+  in
+  match lhs_arith with
+  | Some lhs when is_cmp_op (peek st).token ->
+    let op = cmp_of_token (peek st).token in
+    advance st;
+    let rhs = parse_arith st in
+    Ltl.Atom (Expr.Cmp (op, lhs, rhs))
+  | _ ->
+    st.pos <- saved;
+    parse_bool_primary st
+
+and parse_bool_primary st =
+  match (peek st).token with
+  | Lexer.TRUE ->
+    advance st;
+    Ltl.tt
+  | Lexer.FALSE ->
+    advance st;
+    Ltl.ff
+  | Lexer.IDENT v ->
+    advance st;
+    Ltl.Atom (Expr.Var v)
+  | Lexer.LPAREN ->
+    advance st;
+    let f = parse_formula st in
+    expect st Lexer.RPAREN;
+    f
+  | other ->
+    fail st (Printf.sprintf "expected formula, found %s" (Lexer.token_to_string other))
+
+(* --- Boolean expressions (contexts) --- *)
+
+(* A parsed pure-boolean formula, demoted to the expression layer. *)
+let rec to_expr (located : Lexer.located) = function
+  | Ltl.Atom e -> e
+  | Ltl.Not f -> Expr.Not (to_expr located f)
+  | Ltl.And (a, b) -> Expr.And (to_expr located a, to_expr located b)
+  | Ltl.Or (a, b) -> Expr.Or (to_expr located a, to_expr located b)
+  | Ltl.Implies _ | Ltl.Next_n _ | Ltl.Next_event _ | Ltl.Until _ | Ltl.Release _
+  | Ltl.Always _ | Ltl.Eventually _ ->
+    error_at located "temporal operators are not allowed in this position"
+
+let parse_bool_expr st =
+  let located = peek st in
+  let f = parse_formula st in
+  to_expr located f
+
+(* --- Contexts --- *)
+
+let edge_of_name = function
+  | "clk" -> Some Context.Any_edge
+  | "clk_pos" -> Some Context.Posedge
+  | "clk_neg" -> Some Context.Negedge
+  | _ -> None
+
+(* [@NAME], [@NAME_pos], [@NAME_neg] for non-default clocks. *)
+let named_clock_of_ident name =
+  let strip suffix =
+    let nl = String.length name and sl = String.length suffix in
+    if nl > sl && String.sub name (nl - sl) sl = suffix then
+      Some (String.sub name 0 (nl - sl))
+    else None
+  in
+  match strip "_pos" with
+  | Some clock -> Some (clock, Context.Posedge)
+  | None ->
+    (match strip "_neg" with
+     | Some clock -> Some (clock, Context.Negedge)
+     | None -> Some (name, Context.Any_edge))
+
+let parse_context st =
+  expect st Lexer.AT;
+  match (peek st).token with
+  | Lexer.TRUE ->
+    advance st;
+    Context.Clock Context.Base_clock
+  | Lexer.IDENT "tb" ->
+    advance st;
+    Context.Transaction Context.Base_trans
+  | Lexer.IDENT name ->
+    (match edge_of_name name with
+     | Some edge ->
+       advance st;
+       Context.Clock (Context.Edge edge)
+     | None ->
+       (match named_clock_of_ident name with
+        | Some (clock, edge) ->
+          advance st;
+          Context.Clock (Context.Named_edge (clock, edge))
+        | None -> fail st (Printf.sprintf "unknown context %S" name)))
+  | Lexer.LPAREN ->
+    advance st;
+    let head = expect_ident st in
+    expect st Lexer.AND_AND;
+    let gate = parse_bool_expr st in
+    expect st Lexer.RPAREN;
+    (match head, edge_of_name head with
+     | "tb", _ -> Context.Transaction (Context.Trans_and gate)
+     | _, Some edge -> Context.Clock (Context.Edge_and (edge, gate))
+     | _, None ->
+       (match named_clock_of_ident head with
+        | Some (clock, edge) ->
+          Context.Clock (Context.Named_edge_and (clock, edge, gate))
+        | None -> fail st (Printf.sprintf "unknown context %S" head)))
+  | other ->
+    fail st (Printf.sprintf "expected context, found %s" (Lexer.token_to_string other))
+
+let parse_formula_with_context st =
+  let f = parse_formula st in
+  let context =
+    match (peek st).token with
+    | Lexer.AT -> parse_context st
+    | _ -> Context.Clock Context.Base_clock
+  in
+  (f, context)
+
+(* --- Entry points --- *)
+
+let make_state source =
+  { tokens = Array.of_list (Lexer.tokenize source); pos = 0; constants = [] }
+
+let with_state source k =
+  let st =
+    try make_state source with
+    | Lexer.Lex_error { line; col; message } -> raise (Parse_error { line; col; message })
+  in
+  let result = k st in
+  expect st Lexer.EOF;
+  result
+
+let formula source = with_state source parse_formula_with_context
+
+let formula_only source = with_state source parse_formula
+
+let expr source = with_state source parse_bool_expr
+
+let property_exn ~name source =
+  let f, context = formula source in
+  Property.make ~name ~context f
+
+let file source =
+  with_state source (fun st ->
+    let rec items acc =
+      match (peek st).token with
+      | Lexer.EOF -> List.rev acc
+      | Lexer.KW_CONST ->
+        advance st;
+        let name = expect_ident st in
+        expect st Lexer.EQ;
+        let value =
+          let negative = (peek st).token = Lexer.MINUS in
+          if negative then advance st;
+          let n = expect_int st in
+          if negative then -n else n
+        in
+        expect st Lexer.SEMI;
+        st.constants <- (name, value) :: st.constants;
+        items acc
+      | Lexer.KW_PROPERTY ->
+        advance st;
+        let name = expect_ident st in
+        expect st Lexer.EQ;
+        let f, context = parse_formula_with_context st in
+        expect st Lexer.SEMI;
+        items (Property.make ~name ~context f :: acc)
+      | other ->
+        fail st (Printf.sprintf "expected 'property', found %s" (Lexer.token_to_string other))
+    in
+    items [])

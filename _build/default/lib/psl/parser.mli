@@ -1,0 +1,69 @@
+(** Recursive-descent parser for the property language.
+
+    Grammar (lowest to highest precedence):
+    {v
+      formula   ::= untilrel ('->' formula)?                (right assoc)
+      untilrel  ::= or ( ('until' | 'weak_until' | 'release'
+                          | 'before') untilrel )?            (right assoc)
+      or        ::= and ('||' and)*
+      and       ::= unary ('&&' unary)*
+      unary     ::= '!' unary
+                  | 'always' unary | 'eventually' unary
+                  | 'next' ('[' INT ']')? unary
+                  | ('next_a' | 'next_e') '[' INT '..' INT ']' unary
+                  | 'nexte' '[' INT ',' INT ']' unary
+                  | compare
+      compare   ::= arith cmpop arith          (when cmpop follows)
+                  | 'true' | 'false' | IDENT | '(' formula ')'
+      arith     ::= term (('+' | '-') term)*
+      term      ::= factor ('*' factor)*
+      factor    ::= INT | '-' factor | IDENT | '(' arith ')'
+      context   ::= '@' ( 'true' | 'clk' | 'clk_pos' | 'clk_neg' | 'tb'
+                        | NAME | NAME'_pos' | NAME'_neg'   (named clocks)
+                        | '(' ctxhead '&&' boolexpr ')' )
+      file      ::= ( 'const' IDENT '=' INT ';'
+                    | 'property' IDENT '=' formula context? ';' )*
+    v}
+
+    Constants declared with [const] may be used wherever an integer is
+    expected in later items (next bounds, window bounds, comparisons),
+    e.g. [const LATENCY = 17; property p = always (!ds ||
+    next[LATENCY](rdy)) @clk_pos;].
+
+    [=] and [==] are interchangeable inside comparisons (the paper
+    writes [indata = 0]).
+
+    Sugar (desugared during parsing, so downstream passes only see the
+    Def. II.1 operators):
+    {ul
+    {- [never p == always (!p)]}
+    {- [p weak_until q == q release (p || q)]}
+    {- [a before b == !b until (a && !b)] (strong: [a] must occur)}
+    {- [next_a[i..j] p] — [p] at {e all} cycles [i..j]: a conjunction
+       of [next[k] p]}
+    {- [next_e[i..j] p] — [p] at {e some} cycle in [i..j]: a
+       disjunction of [next[k] p]}} *)
+
+exception Parse_error of {
+  line : int;
+  col : int;
+  message : string;
+}
+
+(** Parse a formula with an optional trailing [@context]; the context
+    defaults to the implicit clock context [true]. *)
+val formula : string -> Ltl.t * Context.t
+
+(** Parse a formula, rejecting any trailing context annotation. *)
+val formula_only : string -> Ltl.t
+
+(** Parse a boolean expression (no temporal operators). *)
+val expr : string -> Expr.t
+
+(** Parse a property file: a sequence of
+    [property NAME = formula \[@context\];] items with [--] comments. *)
+val file : string -> Property.t list
+
+(** [property_exn ~name source] parses a single formula-with-context
+    into a named property. *)
+val property_exn : name:string -> string -> Property.t

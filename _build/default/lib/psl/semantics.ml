@@ -1,0 +1,87 @@
+type verdict =
+  | True
+  | False
+  | Unknown
+[@@deriving eq]
+
+let pp_verdict ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Unknown -> Format.pp_print_string ppf "unknown"
+
+let v_not = function
+  | True -> False
+  | False -> True
+  | Unknown -> Unknown
+
+let v_and a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let v_or a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let of_bool b = if b then True else False
+
+let eval_at trace start t =
+  let len = Trace.length trace in
+  if start < 0 || start >= len then invalid_arg "Semantics.eval_at: index out of bounds";
+  (* [go i t]: verdict of [t] at position [i]; [i] may be [len]
+     (off the end), which yields [Unknown] for anything that still
+     needs an observation. *)
+  let rec go i t =
+    if i >= len then Unknown
+    else
+      let entry = Trace.get trace i in
+      match t with
+      | Ltl.Atom e -> of_bool (Expr.eval (Trace.lookup entry) e)
+      | Ltl.Not p -> v_not (go i p)
+      | Ltl.And (p, q) -> v_and (go i p) (go i q)
+      | Ltl.Or (p, q) -> v_or (go i p) (go i q)
+      | Ltl.Implies (p, q) -> v_or (v_not (go i p)) (go i q)
+      | Ltl.Next_n (n, p) -> go (i + n) p
+      | Ltl.Next_event (ne, p) ->
+        let target = entry.Trace.time + ne.Ltl.eps in
+        (match Trace.index_at_time trace ~from:(i + 1) ~time:target with
+         | Some j -> go j p
+         | None ->
+           (match Trace.first_index_after trace ~from:(i + 1) ~time:target with
+            | Some _ -> False
+            | None -> Unknown))
+      | Ltl.Until (p, q) ->
+        (* U(i) = q(i) or (p(i) and U(i+1)), iteratively from the end
+           of the trace backwards to avoid deep recursion. *)
+        let acc = ref Unknown in
+        for j = len - 1 downto i do
+          acc := v_or (go j q) (v_and (go j p) !acc)
+        done;
+        !acc
+      | Ltl.Release (p, q) ->
+        let acc = ref Unknown in
+        for j = len - 1 downto i do
+          acc := v_and (go j q) (v_or (go j p) !acc)
+        done;
+        !acc
+      | Ltl.Always p ->
+        let acc = ref Unknown in
+        for j = len - 1 downto i do
+          acc := v_and (go j p) !acc
+        done;
+        !acc
+      | Ltl.Eventually p ->
+        let acc = ref Unknown in
+        for j = len - 1 downto i do
+          acc := v_or (go j p) !acc
+        done;
+        !acc
+  in
+  go start t
+
+let eval trace t = if Trace.length trace = 0 then Unknown else eval_at trace 0 t
+let holds trace t = eval trace t <> False
+let violated trace t = eval trace t = False

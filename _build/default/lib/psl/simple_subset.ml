@@ -1,0 +1,57 @@
+type violation = {
+  path : string;
+  message : string;
+}
+
+let rec is_boolean = function
+  | Ltl.Atom _ -> true
+  | Ltl.Not p -> is_boolean p
+  | Ltl.And (p, q) | Ltl.Or (p, q) | Ltl.Implies (p, q) ->
+    is_boolean p && is_boolean q
+  | Ltl.Next_n _ | Ltl.Next_event _ | Ltl.Until _ | Ltl.Release _
+  | Ltl.Always _ | Ltl.Eventually _ ->
+    false
+
+let check t =
+  let violations = ref [] in
+  let report path message = violations := { path; message } :: !violations in
+  let rec walk path = function
+    | Ltl.Atom _ -> ()
+    | Ltl.Not p ->
+      if not (is_boolean p) then
+        report path "negation applied to a non-boolean operand";
+      walk (path ^ ".not") p
+    | Ltl.And (p, q) ->
+      walk (path ^ ".and.left") p;
+      walk (path ^ ".and.right") q
+    | Ltl.Or (p, q) ->
+      if (not (is_boolean p)) && not (is_boolean q) then
+        report path "both operands of '||' are non-boolean";
+      walk (path ^ ".or.left") p;
+      walk (path ^ ".or.right") q
+    | Ltl.Implies (p, q) ->
+      if not (is_boolean p) then
+        report path "antecedent of '->' is non-boolean";
+      walk (path ^ ".implies.left") p;
+      walk (path ^ ".implies.right") q
+    | Ltl.Next_n (_, p) -> walk (path ^ ".next") p
+    | Ltl.Next_event (_, p) -> walk (path ^ ".nexte") p
+    | Ltl.Until (p, q) ->
+      if not (is_boolean p) then
+        report path "left operand of 'until' is non-boolean";
+      walk (path ^ ".until.left") p;
+      walk (path ^ ".until.right") q
+    | Ltl.Release (p, q) ->
+      if not (is_boolean p) then
+        report path "left operand of 'release' is non-boolean";
+      walk (path ^ ".release.left") p;
+      walk (path ^ ".release.right") q
+    | Ltl.Always p -> walk (path ^ ".always") p
+    | Ltl.Eventually p -> walk (path ^ ".eventually") p
+  in
+  walk "root" t;
+  List.rev !violations
+
+let is_simple t = check t = []
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.path v.message

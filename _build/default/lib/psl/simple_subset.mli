@@ -1,0 +1,31 @@
+(** Validator for the PSL simple subset (IEEE 1850, clause 4.4.4).
+
+    The simple subset restricts property composition so that time moves
+    monotonically left-to-right through a property, which is what makes
+    single-pass checker synthesis possible.  The checks implemented
+    here follow the restrictions relevant to the operator set of
+    Def. II.1:
+    {ul
+    {- the operand of a negation must be boolean;}
+    {- the left operand of [until] must be boolean;}
+    {- the left operand of [release] must be boolean;}
+    {- at most one operand of [||] (and of the antecedent side of
+       [->]) may be non-boolean.}}
+
+    A formula is {e boolean} when it contains no temporal operator. *)
+
+type violation = {
+  path : string;  (** human-readable position, e.g. ["until.left"] *)
+  message : string;
+}
+
+(** True when the formula contains no temporal operator. *)
+val is_boolean : Ltl.t -> bool
+
+(** [check t] is the list of violations, [[]] when [t] is in the
+    simple subset. *)
+val check : Ltl.t -> violation list
+
+val is_simple : Ltl.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,65 @@
+type entry = {
+  time : int;
+  env : (string * Expr.value) list;
+}
+
+type t = entry array
+
+exception Non_monotonic of {
+  index : int;
+  time : int;
+}
+
+let of_list entries =
+  let arr = Array.of_list entries in
+  Array.iteri
+    (fun i e ->
+      if i > 0 && e.time <= arr.(i - 1).time then
+        raise (Non_monotonic { index = i; time = e.time }))
+    arr;
+  arr
+
+let length = Array.length
+let get t i = t.(i)
+let time_at t i = t.(i).time
+let lookup entry name = List.assoc_opt name entry.env
+
+(* Binary search for the first index >= from with time >= target. *)
+let lower_bound t ~from ~target =
+  let n = Array.length t in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.(mid).time < target then go (mid + 1) hi else go lo mid
+  in
+  go (max from 0) n
+
+let index_at_time t ~from ~time =
+  let i = lower_bound t ~from ~target:time in
+  if i < Array.length t && t.(i).time = time then Some i else None
+
+let first_index_after t ~from ~time =
+  let i = lower_bound t ~from ~target:(time + 1) in
+  if i < Array.length t then Some i else None
+
+let cycle_trace ?(offset = 0) ~period envs =
+  if period <= 0 then invalid_arg "Trace.cycle_trace: period must be positive";
+  of_list (List.mapi (fun i env -> { time = offset + (i * period); env }) envs)
+
+let filter keep t = Array.of_list (List.filter keep (Array.to_list t))
+
+let to_list = Array.to_list
+
+let pp ppf t =
+  let pp_binding ppf (name, v) =
+    Format.fprintf ppf "%s=%a" name Expr.pp_value v
+  in
+  let pp_entry ppf e =
+    Format.fprintf ppf "@[<h>%dns: %a@]" e.time
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_binding)
+      e.env
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    (Array.to_list t)

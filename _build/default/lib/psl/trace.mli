@@ -1,0 +1,49 @@
+(** Finite timed traces: the evaluation points of a property.
+
+    For an RTL property the entries are clock events (e.g. every
+    positive edge); for a TLM property they are transaction events.
+    Each entry samples every observable signal at that instant.
+    Entries are strictly increasing in time. *)
+
+type entry = {
+  time : int;  (** nanoseconds *)
+  env : (string * Expr.value) list;
+}
+
+type t
+
+exception Non_monotonic of {
+  index : int;
+  time : int;
+}
+
+(** @raise Non_monotonic if times are not strictly increasing. *)
+val of_list : entry list -> t
+
+val length : t -> int
+val get : t -> int -> entry
+val time_at : t -> int -> int
+
+(** Value lookup inside one entry. *)
+val lookup : entry -> string -> Expr.value option
+
+(** [index_at_time t ~from ~time] is the index [j >= from] whose entry
+    has exactly [time], if any. *)
+val index_at_time : t -> from:int -> time:int -> int option
+
+(** [first_index_after t ~from ~time] is the first index [j >= from]
+    whose entry time is strictly greater than [time], if any. *)
+val first_index_after : t -> from:int -> time:int -> int option
+
+(** [cycle_trace ~period entries] builds a clock-event trace with entry
+    [i] at time [i * period + offset] (default offset 0). *)
+val cycle_trace : ?offset:int -> period:int -> (string * Expr.value) list list -> t
+
+(** Keep only entries satisfying a predicate (used to apply gated
+    contexts of the form [edge && var_expr]). *)
+val filter : (entry -> bool) -> t -> t
+
+(** Entries as a list, in order. *)
+val to_list : t -> entry list
+
+val pp : Format.formatter -> t -> unit

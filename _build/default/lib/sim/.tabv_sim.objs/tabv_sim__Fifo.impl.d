@@ -1,0 +1,1 @@
+lib/sim/fifo.ml: Event Kernel Process Queue

@@ -1,0 +1,1 @@
+lib/sim/tlm.mli: Kernel

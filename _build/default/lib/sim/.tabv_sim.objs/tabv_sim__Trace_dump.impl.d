@@ -1,0 +1,1 @@
+lib/sim/trace_dump.ml: Expr Fun Int64 List Tabv_psl Trace Vcd

@@ -1,0 +1,1 @@
+lib/sim/trace_dump.mli: Tabv_psl

@@ -1,0 +1,1 @@
+lib/sim/trace_rec.ml: List Printf Tabv_psl

@@ -1,0 +1,1 @@
+lib/sim/trace_rec.mli: Tabv_psl

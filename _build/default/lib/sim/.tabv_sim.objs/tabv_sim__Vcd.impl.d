@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Bytes Char Int64 List Printf String

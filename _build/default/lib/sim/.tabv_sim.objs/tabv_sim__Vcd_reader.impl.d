@@ -1,0 +1,1 @@
+lib/sim/vcd_reader.ml: Fun Hashtbl List Printf String Tabv_psl

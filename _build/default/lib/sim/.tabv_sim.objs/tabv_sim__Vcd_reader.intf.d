@@ -1,0 +1,1 @@
+lib/sim/vcd_reader.mli: Tabv_psl

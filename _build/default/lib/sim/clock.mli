@@ -1,0 +1,18 @@
+(** Free-running clock generator.
+
+    The clock drives a boolean signal with a 50% duty cycle and
+    notifies dedicated [posedge]/[negedge] events.  The first rising
+    edge occurs at [start] (default 0), then every [period] ns. *)
+
+type t
+
+(** @raise Invalid_argument if [period] is not positive and even. *)
+val create : Kernel.t -> name:string -> period:int -> ?start:int -> unit -> t
+
+val signal : t -> bool Signal.t
+val period : t -> int
+val posedge : t -> Event.t
+val negedge : t -> Event.t
+
+(** Number of rising edges generated so far. *)
+val cycle_count : t -> int

@@ -1,0 +1,29 @@
+type t = {
+  kernel : Kernel.t;
+  name : string;
+  mutable static : (unit -> unit) list;  (* reversed registration order *)
+  mutable dynamic : (unit -> unit) list;
+  mutable notifications : int;
+}
+
+let create kernel name = { kernel; name; static = []; dynamic = []; notifications = 0 }
+let name t = t.name
+let kernel t = t.kernel
+
+let fire t =
+  t.notifications <- t.notifications + 1;
+  let dynamic = List.rev t.dynamic in
+  t.dynamic <- [];
+  let static = List.rev t.static in
+  List.iter (fun f -> Kernel.schedule_next_delta t.kernel f) static;
+  List.iter (fun f -> Kernel.schedule_next_delta t.kernel f) dynamic
+
+let notify t = fire t
+
+let notify_after t ~delay =
+  if delay = 0 then fire t
+  else Kernel.schedule_after t.kernel ~delay (fun () -> fire t)
+
+let on_event t f = t.static <- f :: t.static
+let once t f = t.dynamic <- f :: t.dynamic
+let notification_count t = t.notifications

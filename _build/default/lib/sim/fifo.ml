@@ -1,0 +1,52 @@
+type 'a t = {
+  kernel : Kernel.t;
+  name : string;
+  capacity : int;
+  items : 'a Queue.t;
+  space_freed : Event.t;
+  item_added : Event.t;
+}
+
+let create kernel ~name ~capacity =
+  if capacity < 1 then invalid_arg "Fifo.create: capacity must be at least 1";
+  {
+    kernel;
+    name;
+    capacity;
+    items = Queue.create ();
+    space_freed = Event.create kernel (name ^ ".space_freed");
+    item_added = Event.create kernel (name ^ ".item_added");
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+let length t = Queue.length t.items
+
+let try_put t item =
+  if Queue.length t.items >= t.capacity then false
+  else begin
+    Queue.add item t.items;
+    Event.notify t.item_added;
+    true
+  end
+
+let try_get t =
+  match Queue.take_opt t.items with
+  | None -> None
+  | Some item ->
+    Event.notify t.space_freed;
+    Some item
+
+let rec put t item =
+  if try_put t item then ()
+  else begin
+    Process.wait_event t.space_freed;
+    put t item
+  end
+
+let rec get t =
+  match try_get t with
+  | Some item -> item
+  | None ->
+    Process.wait_event t.item_added;
+    get t

@@ -1,0 +1,26 @@
+(** Bounded blocking FIFO channel between thread processes (the
+    [sc_fifo] of this kernel).
+
+    [put] blocks the calling thread while the FIFO is full, [get]
+    while it is empty; both resume in the delta cycle after the
+    unblocking action, preserving determinism. *)
+
+type 'a t
+
+(** @raise Invalid_argument if [capacity < 1]. *)
+val create : Kernel.t -> name:string -> capacity:int -> 'a t
+
+val name : 'a t -> string
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** Blocking write (thread context only). *)
+val put : 'a t -> 'a -> unit
+
+(** Blocking read (thread context only). *)
+val get : 'a t -> 'a
+
+(** Non-blocking variants. *)
+val try_put : 'a t -> 'a -> bool
+
+val try_get : 'a t -> 'a option

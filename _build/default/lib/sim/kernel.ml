@@ -1,0 +1,170 @@
+(* Array-backed binary min-heap on (time, seq): earliest time first,
+   FIFO among equal times. *)
+module Heap = struct
+  type entry = {
+    time : int;
+    seq : int;
+    action : unit -> unit;
+  }
+
+  type t = {
+    mutable data : entry array;
+    mutable size : int;
+  }
+
+  let dummy = { time = 0; seq = 0; action = ignore }
+  let create () = { data = Array.make 64 dummy; size = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h entry =
+    if h.size = Array.length h.data then begin
+      let grown = Array.make (2 * h.size) dummy in
+      Array.blit h.data 0 grown 0 h.size;
+      h.data <- grown
+    end;
+    let rec up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if less h.data.(i) h.data.(parent) then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(parent);
+          h.data.(parent) <- tmp;
+          up parent
+        end
+      end
+    in
+    h.data.(h.size) <- entry;
+    h.size <- h.size + 1;
+    up (h.size - 1)
+
+  let peek h = if h.size = 0 then None else Some h.data.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some top ->
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- dummy;
+      let rec down i =
+        let left = (2 * i) + 1 and right = (2 * i) + 2 in
+        let smallest = ref i in
+        if left < h.size && less h.data.(left) h.data.(!smallest) then smallest := left;
+        if right < h.size && less h.data.(right) h.data.(!smallest) then smallest := right;
+        if !smallest <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0;
+      Some top
+end
+
+type t = {
+  mutable now : int;
+  mutable delta : int;
+  timed : Heap.t;
+  runnable : (unit -> unit) Queue.t;
+  next_delta : (unit -> unit) Queue.t;
+  mutable updates : (unit -> unit) list;
+  mutable seq : int;
+  mutable stopping : bool;
+  mutable running : bool;
+  mutable activations : int;
+  mutable deltas : int;
+}
+
+let create () =
+  {
+    now = 0;
+    delta = 0;
+    timed = Heap.create ();
+    runnable = Queue.create ();
+    next_delta = Queue.create ();
+    updates = [];
+    seq = 0;
+    stopping = false;
+    running = false;
+    activations = 0;
+    deltas = 0;
+  }
+
+let now t = t.now
+let delta t = t.delta
+
+let schedule_at t ~time action =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Kernel.schedule_at: time %d is in the past (now %d)" time t.now);
+  t.seq <- t.seq + 1;
+  Heap.push t.timed { Heap.time; seq = t.seq; action }
+
+let schedule_after t ~delay action =
+  if delay < 0 then invalid_arg "Kernel.schedule_after: negative delay";
+  schedule_at t ~time:(t.now + delay) action
+
+let schedule_now t action = Queue.add action t.runnable
+let schedule_next_delta t action = Queue.add action t.next_delta
+let request_update t action = t.updates <- action :: t.updates
+let stop t = t.stopping <- true
+
+let run ?until t =
+  if t.running then invalid_arg "Kernel.run: already running";
+  t.running <- true;
+  t.stopping <- false;
+  let horizon_ok time =
+    match until with
+    | None -> true
+    | Some h -> time <= h
+  in
+  let rec loop () =
+    if t.stopping then ()
+    else begin
+      (* Evaluation phase. *)
+      while not (Queue.is_empty t.runnable) && not t.stopping do
+        let action = Queue.pop t.runnable in
+        t.activations <- t.activations + 1;
+        action ()
+      done;
+      if t.stopping then ()
+      else begin
+        (* Update phase (FIFO order of requests). *)
+        let updates = List.rev t.updates in
+        t.updates <- [];
+        List.iter (fun u -> u ()) updates;
+        (* Delta notification phase. *)
+        if not (Queue.is_empty t.next_delta) then begin
+          Queue.transfer t.next_delta t.runnable;
+          t.delta <- t.delta + 1;
+          t.deltas <- t.deltas + 1;
+          loop ()
+        end
+        else
+          (* Advance time to the next timed action, if any. *)
+          match Heap.peek t.timed with
+          | Some { Heap.time; _ } when horizon_ok time ->
+            t.now <- time;
+            t.delta <- 0;
+            let rec drain () =
+              match Heap.peek t.timed with
+              | Some entry when entry.Heap.time = time ->
+                ignore (Heap.pop t.timed);
+                Queue.add entry.Heap.action t.runnable;
+                drain ()
+              | Some _ | None -> ()
+            in
+            drain ();
+            loop ()
+          | Some _ | None -> ()
+      end
+    end
+  in
+  loop ();
+  t.running <- false;
+  t.now
+
+let activation_count t = t.activations
+let delta_count t = t.deltas

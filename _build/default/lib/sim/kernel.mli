@@ -1,0 +1,54 @@
+(** Discrete-event simulation kernel (SystemC-style).
+
+    The kernel drives simulation through the classic three-phase loop:
+    {ol
+    {- {e evaluation}: run every runnable process;}
+    {- {e update}: apply requested signal updates;}
+    {- {e delta/time advance}: processes woken by updates run in the
+       next delta cycle at the same simulation time; when no delta
+       activity remains, time advances to the earliest timed action.}}
+
+    Times are in nanoseconds.  The kernel is deterministic: actions
+    scheduled for the same instant run in scheduling order. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulation time (ns). *)
+val now : t -> int
+
+(** Current delta cycle within the current instant (0-based). *)
+val delta : t -> int
+
+(** Schedule [f] at an absolute time [>= now].
+    @raise Invalid_argument if [time < now]. *)
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+(** Schedule [f] after [delay >= 0] ns. *)
+val schedule_after : t -> delay:int -> (unit -> unit) -> unit
+
+(** Make [f] runnable in the current evaluation phase. *)
+val schedule_now : t -> (unit -> unit) -> unit
+
+(** Make [f] runnable in the next delta cycle of the current instant. *)
+val schedule_next_delta : t -> (unit -> unit) -> unit
+
+(** Register an update action for the update phase of the current
+    delta (used by {!Signal}). *)
+val request_update : t -> (unit -> unit) -> unit
+
+(** Stop the simulation at the end of the current evaluation phase. *)
+val stop : t -> unit
+
+(** [run t ()] runs until no activity remains, [stop] is called, or
+    the optional [until] horizon (ns) would be crossed; returns the
+    final simulation time.  Re-entrant calls are rejected. *)
+val run : ?until:int -> t -> int
+
+(** Number of evaluation-phase process activations so far (a good
+    proxy for simulator load, used by the benchmarks). *)
+val activation_count : t -> int
+
+(** Number of delta cycles executed so far. *)
+val delta_count : t -> int

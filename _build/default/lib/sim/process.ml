@@ -1,0 +1,62 @@
+type _ Effect.t +=
+  | Wait_ns : Kernel.t * int -> unit Effect.t
+  | Wait_event : Event.t -> unit Effect.t
+  | Wait_any : Event.t list -> unit Effect.t
+
+let method_process kernel ~name:_ ?(initialize = true) ~sensitivity body =
+  List.iter (fun ev -> Event.on_event ev body) sensitivity;
+  if initialize then Kernel.schedule_now kernel body
+
+let spawn kernel ~name:_ body =
+  let open Effect.Deep in
+  let start () =
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Wait_ns (k, delay) ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  Kernel.schedule_after k ~delay (fun () -> continue cont ()))
+            | Wait_event ev ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  Event.once ev (fun () -> continue cont ()))
+            | Wait_any events ->
+              Some
+                (fun (cont : (a, _) continuation) ->
+                  (* The continuation may resume only once; later
+                     notifications of the other events are ignored. *)
+                  let resumed = ref false in
+                  List.iter
+                    (fun ev ->
+                      Event.once ev (fun () ->
+                        if not !resumed then begin
+                          resumed := true;
+                          continue cont ()
+                        end))
+                    events)
+            | _ -> None);
+      }
+  in
+  Kernel.schedule_now kernel start
+
+let wait_ns kernel delay =
+  if delay < 0 then invalid_arg "Process.wait_ns: negative delay";
+  Effect.perform (Wait_ns (kernel, delay))
+
+let wait_event ev = Effect.perform (Wait_event ev)
+
+let wait_any events =
+  if events = [] then invalid_arg "Process.wait_any: empty event list";
+  Effect.perform (Wait_any events)
+
+let rec wait_until ~on predicate =
+  if predicate () then ()
+  else begin
+    wait_event on;
+    wait_until ~on predicate
+  end

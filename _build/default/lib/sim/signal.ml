@@ -1,0 +1,47 @@
+type 'a t = {
+  kernel : Kernel.t;
+  name : string;
+  equal : 'a -> 'a -> bool;
+  mutable current : 'a;
+  mutable next : 'a;
+  mutable update_pending : bool;
+  changed : Event.t;
+  mutable changes : int;
+}
+
+let create kernel ~name ?(equal = ( = )) init =
+  {
+    kernel;
+    name;
+    equal;
+    current = init;
+    next = init;
+    update_pending = false;
+    changed = Event.create kernel (name ^ ".changed");
+    changes = 0;
+  }
+
+let name t = t.name
+let read t = t.current
+
+let apply_update t () =
+  t.update_pending <- false;
+  if not (t.equal t.current t.next) then begin
+    t.current <- t.next;
+    t.changes <- t.changes + 1;
+    Event.notify t.changed
+  end
+
+let write t v =
+  t.next <- v;
+  if not t.update_pending then begin
+    t.update_pending <- true;
+    Kernel.request_update t.kernel (apply_update t)
+  end
+
+let changed t = t.changed
+let change_count t = t.changes
+
+let force t v =
+  t.current <- v;
+  t.next <- v

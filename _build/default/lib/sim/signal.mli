@@ -1,0 +1,31 @@
+(** Signals with SystemC [sc_signal] semantics.
+
+    A write stores the next value; the kernel applies it in the update
+    phase of the current delta.  When the applied value differs from
+    the current one the signal's value-change event is notified, waking
+    sensitive processes in the next delta cycle.  Reads always return
+    the current (pre-update) value, which is what makes zero-delay
+    feedback loops and register semantics deterministic. *)
+
+type 'a t
+
+(** [create kernel ~name ?equal init] — [equal] defaults to structural
+    equality. *)
+val create : Kernel.t -> name:string -> ?equal:('a -> 'a -> bool) -> 'a -> 'a t
+
+val name : 'a t -> string
+val read : 'a t -> 'a
+
+(** Schedule [v] as the value after the next update phase. *)
+val write : 'a t -> 'a -> unit
+
+(** Notified each time the value actually changes. *)
+val changed : 'a t -> Event.t
+
+(** Number of effective value changes so far. *)
+val change_count : 'a t -> int
+
+(** Set the value immediately, bypassing the update phase; only for
+    elaboration-time initialisation (raises once simulation time or
+    delta has advanced beyond zero activity — see implementation). *)
+val force : 'a t -> 'a -> unit

@@ -1,0 +1,66 @@
+type command =
+  | Read
+  | Write
+
+type ext = ..
+
+type payload = {
+  command : command;
+  address : int;
+  mutable data : int64;
+  mutable response_ok : bool;
+  mutable extension : ext option;
+}
+
+let make_payload ?(address = 0) ?(data = 0L) ?extension command =
+  { command; address; data; response_ok = true; extension }
+
+type transaction = {
+  payload : payload;
+  start_time : int;
+  end_time : int;
+}
+
+module Target = struct
+  type t = {
+    name : string;
+    transport : payload -> unit;
+  }
+
+  let create _kernel ~name transport = { name; transport }
+  let name t = t.name
+end
+
+module Initiator = struct
+  type t = {
+    kernel : Kernel.t;
+    name : string;
+    mutable target : Target.t option;
+    mutable observers : (transaction -> unit) list;  (* reversed *)
+    mutable completed : int;
+  }
+
+  let create kernel ~name =
+    { kernel; name; target = None; observers = []; completed = 0 }
+
+  let name t = t.name
+
+  let bind t target =
+    match t.target with
+    | Some _ -> invalid_arg (Printf.sprintf "Tlm.Initiator.bind: %s already bound" t.name)
+    | None -> t.target <- Some target
+
+  let b_transport t payload =
+    match t.target with
+    | None -> invalid_arg (Printf.sprintf "Tlm.Initiator.b_transport: %s unbound" t.name)
+    | Some target ->
+      let start_time = Kernel.now t.kernel in
+      target.Target.transport payload;
+      let end_time = Kernel.now t.kernel in
+      t.completed <- t.completed + 1;
+      let transaction = { payload; start_time; end_time } in
+      List.iter (fun observe -> observe transaction) (List.rev t.observers)
+
+  let on_transaction t observe = t.observers <- observe :: t.observers
+  let transaction_count t = t.completed
+end

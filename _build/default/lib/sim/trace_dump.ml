@@ -1,0 +1,34 @@
+open Tabv_psl
+
+let to_channel ?(width = 62) trace oc =
+  let vcd = Vcd.create oc ~timescale:"1ns" in
+  let vars =
+    if Trace.length trace = 0 then []
+    else
+      List.map
+        (fun (name, value) ->
+          let var_width =
+            match value with
+            | Expr.VBool _ -> 1
+            | Expr.VInt _ -> width
+          in
+          (name, Vcd.add_var vcd ~name ~width:var_width))
+        (Trace.get trace 0).Trace.env
+  in
+  List.iter
+    (fun (entry : Trace.entry) ->
+      List.iter
+        (fun (name, var) ->
+          match Trace.lookup entry name with
+          | Some (Expr.VBool v) -> Vcd.change_bool vcd ~time:entry.Trace.time var v
+          | Some (Expr.VInt v) ->
+            Vcd.change_int64 vcd ~time:entry.Trace.time var (Int64.of_int v)
+          | None -> ())
+        vars)
+    (Trace.to_list trace);
+  Vcd.close vcd
+
+let to_file ?width trace path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+    to_channel ?width trace oc)

@@ -1,0 +1,24 @@
+type t = {
+  mutable entries : Tabv_psl.Trace.entry list;  (* reversed *)
+  mutable count : int;
+}
+
+let create () = { entries = []; count = 0 }
+
+let sample t ~time env =
+  match t.entries with
+  | { Tabv_psl.Trace.time = last; _ } :: rest when last = time ->
+    t.entries <- { Tabv_psl.Trace.time; env } :: rest
+  | { Tabv_psl.Trace.time = last; _ } :: _ when last > time ->
+    invalid_arg
+      (Printf.sprintf "Trace_rec.sample: time %d before last sample %d" time last)
+  | _ ->
+    t.entries <- { Tabv_psl.Trace.time; env } :: t.entries;
+    t.count <- t.count + 1
+
+let length t = List.length t.entries
+let to_trace t = Tabv_psl.Trace.of_list (List.rev t.entries)
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0

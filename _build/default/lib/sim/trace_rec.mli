@@ -1,0 +1,20 @@
+(** Recorder turning simulation observations into {!Tabv_psl.Trace}
+    evaluation traces.
+
+    A testbench samples the observable environment at each evaluation
+    point (clock edge at RTL, transaction end at TLM).  Multiple
+    samples at the same instant overwrite each other — the last sample
+    of an instant wins, matching the post-update view of the DUV. *)
+
+type t
+
+val create : unit -> t
+
+(** Append (or overwrite, when [time] equals the last sample's time) a
+    sample.
+    @raise Invalid_argument if [time] is lower than the last sample. *)
+val sample : t -> time:int -> (string * Tabv_psl.Expr.value) list -> unit
+
+val length : t -> int
+val to_trace : t -> Tabv_psl.Trace.t
+val clear : t -> unit

@@ -1,0 +1,27 @@
+(** VCD (Value Change Dump) reader: offline assertion checking on
+    recorded waveforms.
+
+    Parses the common VCD subset (scalar and binary-vector changes;
+    [$var] declarations; [x]/[z] bits read as 0) and folds the value
+    changes into a {!Tabv_psl.Trace}: one entry per timestamp carrying
+    the {e post-change} value of every declared signal
+    (sample-and-hold).  The result can be fed directly to
+    {!Tabv_psl.Semantics} or replayed through checker monitors. *)
+
+exception Parse_error of {
+  line : int;
+  message : string;
+}
+
+type t = {
+  timescale : string option;
+  signals : (string * int) list;  (** name, width (declaration order) *)
+  trace : Tabv_psl.Trace.t;
+}
+
+(** Parse VCD text.
+    @raise Parse_error on malformed input. *)
+val parse : string -> t
+
+(** Load and parse a file. *)
+val load : string -> t

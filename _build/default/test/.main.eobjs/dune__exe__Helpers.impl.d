@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Context Expr Format Gen List Ltl Printf Property QCheck QCheck_alcotest Semantics Tabv_psl Trace

@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Automaton Context Expr Format Helpers List Ltl Monitor Nnf Parser Printf Progression Property QCheck Semantics String Tabv_checker Tabv_duv Tabv_psl Trace

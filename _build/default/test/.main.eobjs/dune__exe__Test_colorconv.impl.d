@@ -1,0 +1,1 @@
+test/test_colorconv.ml: Alcotest Colorconv Format Helpers Printf QCheck Tabv_duv

@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Des Helpers Int64 List Printf QCheck Tabv_duv

@@ -1,0 +1,1 @@
+test/test_duv_models.ml: Alcotest Colorconv Colorconv_props Context Des Des56_iface Des56_props Expr List Parser Property Tabv_checker Tabv_core Tabv_duv Tabv_psl Testbench Trace Workload

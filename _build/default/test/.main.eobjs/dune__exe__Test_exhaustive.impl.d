@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Exhaustive Format List Parser Push_ahead Tabv_core Tabv_psl Trace

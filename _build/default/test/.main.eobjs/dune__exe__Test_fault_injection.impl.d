@@ -1,0 +1,1 @@
+test/test_fault_injection.ml: Alcotest Des56_props Des56_rtl List Tabv_duv Testbench Workload

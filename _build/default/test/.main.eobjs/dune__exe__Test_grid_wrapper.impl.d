@@ -1,0 +1,1 @@
+test/test_grid_wrapper.ml: Alcotest Des56_props List Property Tabv_checker Tabv_core Tabv_duv Tabv_psl Tabv_sim Testbench Workload

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Event Helpers Kernel List Process QCheck Tabv_sim

@@ -1,0 +1,1 @@
+test/test_ltl.ml: Alcotest Expr Helpers List Ltl Tabv_psl

@@ -1,0 +1,1 @@
+test/test_memctrl.ml: Alcotest Int64 List Memctrl_props Memctrl_testbench Property Tabv_core Tabv_duv Tabv_psl Testbench Workload

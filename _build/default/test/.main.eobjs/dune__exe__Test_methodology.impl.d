@@ -1,0 +1,1 @@
+test/test_methodology.ml: Alcotest Context Expr Helpers List Ltl Methodology Next_substitution Parser Property Semantics String Tabv_core Tabv_psl Trace

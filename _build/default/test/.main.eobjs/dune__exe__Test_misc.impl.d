@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Context Expr Filename Helpers In_channel Int64 List Parser QCheck String Sys Tabv_checker Tabv_core Tabv_duv Tabv_psl Tabv_sim

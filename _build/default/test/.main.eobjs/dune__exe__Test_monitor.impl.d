@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Coverage Expr List Monitor Parser Tabv_checker Tabv_psl

@@ -1,0 +1,1 @@
+test/test_multiclock.ml: Alcotest Clock Context Expr Helpers Kernel List Ltl Parser Process Property Signal Tabv_checker Tabv_core Tabv_psl Tabv_sim

@@ -1,0 +1,1 @@
+test/test_next_substitution.ml: Alcotest Helpers List Ltl Next_substitution Parser Push_ahead Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+test/test_nnf.ml: Alcotest Expr Helpers Ltl Nnf Parser Semantics Tabv_psl

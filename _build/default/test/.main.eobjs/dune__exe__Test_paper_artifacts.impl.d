@@ -1,0 +1,1 @@
+test/test_paper_artifacts.ml: Alcotest Context Expr Helpers List Ltl Methodology Monitor Parser Property QCheck Tabv_checker Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Context Expr Helpers List Ltl Parser Property Semantics Tabv_core Tabv_psl Trace

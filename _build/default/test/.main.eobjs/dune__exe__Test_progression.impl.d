@@ -1,0 +1,1 @@
+test/test_progression.ml: Alcotest Expr Helpers List Parser Progression Semantics Tabv_checker Tabv_psl Trace

@@ -1,0 +1,1 @@
+test/test_prop_files.ml: Alcotest Context Filename Format Fun List Ltl Parser Property String Sys Tabv_duv Tabv_psl

@@ -1,0 +1,1 @@
+test/test_push_ahead.ml: Alcotest Helpers Ltl Parser Push_ahead Semantics Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Char Helpers Int64 List Parser Printf QCheck String Tabv_duv Tabv_psl Tabv_sim

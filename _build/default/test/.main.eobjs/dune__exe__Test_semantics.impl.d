@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Expr Helpers List Ltl Parser Semantics Tabv_psl Trace

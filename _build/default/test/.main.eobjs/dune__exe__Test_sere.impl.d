@@ -1,0 +1,1 @@
+test/test_sere.ml: Alcotest Exhaustive Expr Format Helpers List Ltl Parser Property Tabv_core Tabv_duv Tabv_psl Trace

@@ -1,0 +1,1 @@
+test/test_signal_abstraction.ml: Alcotest Helpers List Ltl Parser Semantics Signal_abstraction Tabv_core Tabv_psl

@@ -1,0 +1,1 @@
+test/test_signal_clock.ml: Alcotest Clock Event Int64 Kernel List Process Signal Tabv_psl Tabv_sim Tlm Trace_rec

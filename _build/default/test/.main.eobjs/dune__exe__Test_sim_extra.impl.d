@@ -1,0 +1,1 @@
+test/test_sim_extra.ml: Alcotest Event Fifo Filename Kernel List Process Signal Sys Tabv_checker Tabv_duv Tabv_psl Tabv_sim Tlm Trace_dump Vcd_reader

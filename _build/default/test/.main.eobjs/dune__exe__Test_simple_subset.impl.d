@@ -1,0 +1,1 @@
+test/test_simple_subset.ml: Alcotest Format List Parser Simple_subset String Tabv_psl

@@ -1,0 +1,1 @@
+test/test_vcd_replay.ml: Alcotest Expr Filename List Parser Property Sys Tabv_checker Tabv_duv Tabv_psl Tabv_sim Trace Vcd Vcd_reader

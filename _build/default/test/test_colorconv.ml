@@ -1,0 +1,77 @@
+open Tabv_duv
+
+let case name f = Alcotest.test_case name `Quick f
+
+let check_ycbcr name expected actual =
+  Alcotest.(check string) name
+    (Format.asprintf "%a" Colorconv.pp_ycbcr expected)
+    (Format.asprintf "%a" Colorconv.pp_ycbcr actual)
+
+let known_cases =
+  let convert r g b = Colorconv.convert { Colorconv.r; g; b } in
+  [ case "black" (fun () ->
+      check_ycbcr "black" { Colorconv.y = 16; cb = 128; cr = 128 } (convert 0 0 0));
+    case "white" (fun () ->
+      check_ycbcr "white" { Colorconv.y = 235; cb = 128; cr = 128 } (convert 255 255 255));
+    case "pure red" (fun () ->
+      (* Y = 16 + (66*255 + 128) >> 8 = 16 + 66 = 82, etc. *)
+      check_ycbcr "red" { Colorconv.y = 82; cb = 90; cr = 240 } (convert 255 0 0));
+    case "pure green" (fun () ->
+      check_ycbcr "green" { Colorconv.y = 144; cb = 54; cr = 34 } (convert 0 255 0));
+    case "pure blue" (fun () ->
+      check_ycbcr "blue" { Colorconv.y = 41; cb = 240; cr = 110 } (convert 0 0 255));
+    case "mid grey" (fun () ->
+      (* 66+129+25 = 220: Y = 16 + (220*128 + 128) >> 8 = 16 + 110 = 126. *)
+      check_ycbcr "grey" { Colorconv.y = 126; cb = 128; cr = 128 } (convert 128 128 128));
+    case "out of range rejected" (fun () ->
+      match Colorconv.convert { Colorconv.r = 256; g = 0; b = 0 } with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ()) ]
+
+let staged_cases =
+  [ case "staged pipeline equals reference" (fun () ->
+      let pixel = { Colorconv.r = 12; g = 200; b = 99 } in
+      let state = ref (Colorconv.stage_in pixel) in
+      for i = 1 to 7 do
+        state := Colorconv.stage i !state
+      done;
+      check_ycbcr "staged" (Colorconv.convert pixel) (Colorconv.stage_out !state));
+    case "invalid stage index" (fun () ->
+      let state = Colorconv.stage_in { Colorconv.r = 0; g = 0; b = 0 } in
+      match Colorconv.stage 8 state with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ());
+    case "stage count is the latency" (fun () ->
+      Alcotest.(check int) "stages" 8 Colorconv.stages) ]
+
+let arb_pixel =
+  QCheck.make
+    ~print:(fun { Colorconv.r; g; b } -> Printf.sprintf "(%d,%d,%d)" r g b)
+    QCheck.Gen.(
+      map3 (fun r g b -> { Colorconv.r; g; b }) (int_bound 255) (int_bound 255)
+        (int_bound 255))
+
+let property_cases =
+  [ Helpers.qtest ~count:300 "Y range" arb_pixel (fun pixel ->
+      let { Colorconv.y; _ } = Colorconv.convert pixel in
+      y >= 16 && y <= 235);
+    Helpers.qtest ~count:300 "chroma ranges" arb_pixel (fun pixel ->
+      let { Colorconv.cb; cr; _ } = Colorconv.convert pixel in
+      cb >= 16 && cb <= 240 && cr >= 16 && cr <= 240);
+    Helpers.qtest ~count:300 "staged equals reference" arb_pixel (fun pixel ->
+      let state = ref (Colorconv.stage_in pixel) in
+      for i = 1 to 7 do
+        state := Colorconv.stage i !state
+      done;
+      Colorconv.equal_ycbcr (Colorconv.convert pixel) (Colorconv.stage_out !state));
+    Helpers.qtest ~count:300 "grey axis has neutral chroma" QCheck.(int_bound 255)
+      (fun v ->
+        let { Colorconv.cb; cr; _ } = Colorconv.convert { Colorconv.r = v; g = v; b = v } in
+        abs (cb - 128) <= 1 && abs (cr - 128) <= 1);
+    Helpers.qtest ~count:300 "Y is monotone in G" arb_pixel (fun pixel ->
+      if pixel.Colorconv.g >= 255 then true
+      else
+        let brighter = { pixel with Colorconv.g = pixel.Colorconv.g + 1 } in
+        (Colorconv.convert brighter).Colorconv.y >= (Colorconv.convert pixel).Colorconv.y) ]
+
+let suite = ("colorconv", known_cases @ staged_cases @ property_cases)

@@ -1,0 +1,76 @@
+open Tabv_duv
+
+let check_hex name expected actual =
+  Alcotest.(check string) name (Printf.sprintf "%016Lx" expected)
+    (Printf.sprintf "%016Lx" actual)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Classic worked example (Stallings) and NIST-style known-answer
+   vectors that appear in virtually every DES test suite. *)
+let known_answer_vectors =
+  [ (0x133457799BBCDFF1L, 0x0123456789ABCDEFL, 0x85E813540F0AB405L);
+    (0x7CA110454A1A6E57L, 0x01A1D6D039776742L, 0x690F5B0D9A26939BL);
+    (0x0131D9619DC1376EL, 0x5CD54CA83DEF57DAL, 0x7A389D10354BD271L);
+    (0x07A1133E4A0B2686L, 0x0248D43806F67172L, 0x868EBB51CAB4599AL);
+    (0x04B915BA43FEB5B6L, 0x42FD443059577FA2L, 0xAF37FB421F8C4095L) ]
+
+let kat_cases =
+  List.mapi
+    (fun i (key, plaintext, ciphertext) ->
+      case (Printf.sprintf "known answer %d" (i + 1)) (fun () ->
+        check_hex "encrypt" ciphertext (Des.encrypt ~key plaintext);
+        check_hex "decrypt" plaintext (Des.decrypt ~key ciphertext)))
+    known_answer_vectors
+
+let structure_cases =
+  [ case "sixteen round keys of 48 bits" (fun () ->
+      let keys = Des.round_keys 0x133457799BBCDFF1L in
+      Alcotest.(check int) "count" 16 (Array.length keys);
+      Array.iter
+        (fun k ->
+          Alcotest.(check bool) "fits in 48 bits" true
+            (Int64.logand k 0xFFFF000000000000L = 0L))
+        keys);
+    case "first round key of the classic example" (fun () ->
+      (* K1 = 000110 110000 001011 101111 111111 000111 000001 110010 *)
+      let keys = Des.round_keys 0x133457799BBCDFF1L in
+      check_hex "k1" 0x1B02EFFC7072L keys.(0));
+    case "round-by-round equals whole-block encrypt" (fun () ->
+      let key = 0x0123456789ABCDEFL and block = 0x4E6F772069732074L in
+      let keys = Des.round_keys key in
+      let state = ref (Des.initial_permutation block) in
+      for i = 0 to 15 do
+        state := Des.round !state ~key:keys.(i)
+      done;
+      check_hex "composed" (Des.encrypt ~key block) (Des.final_swap_permutation !state));
+    case "process dispatches on mode" (fun () ->
+      let key = 0x133457799BBCDFF1L and block = 0x0123456789ABCDEFL in
+      check_hex "encrypt mode" (Des.encrypt ~key block)
+        (Des.process ~decrypt:false ~key block);
+      check_hex "decrypt mode" (Des.decrypt ~key block)
+        (Des.process ~decrypt:true ~key block)) ]
+
+let property_cases =
+  let arb_block =
+    QCheck.make
+      ~print:(Printf.sprintf "%016Lx")
+      QCheck.Gen.(map2 (fun a b -> Int64.logor (Int64.shift_left (Int64.of_int a) 32)
+                           (Int64.logand (Int64.of_int b) 0xFFFFFFFFL))
+                    (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
+  in
+  [ Helpers.qtest ~count:100 "decrypt inverts encrypt"
+      QCheck.(pair arb_block arb_block)
+      (fun (key, block) -> Des.decrypt ~key (Des.encrypt ~key block) = block);
+    Helpers.qtest ~count:100 "flipping a plaintext bit changes the ciphertext"
+      QCheck.(pair arb_block arb_block)
+      (fun (key, block) ->
+        Des.encrypt ~key block <> Des.encrypt ~key (Int64.logxor block 1L));
+    Helpers.qtest ~count:50 "complementation property"
+      QCheck.(pair arb_block arb_block)
+      (fun (key, block) ->
+        (* DES(~k, ~p) = ~DES(k, p) *)
+        Des.encrypt ~key:(Int64.lognot key) (Int64.lognot block)
+        = Int64.lognot (Des.encrypt ~key block)) ]
+
+let suite = ("des", kat_cases @ structure_cases @ property_cases)

@@ -1,0 +1,97 @@
+open Tabv_psl
+
+let lookup_of bindings name = List.assoc_opt name bindings
+
+let env1 =
+  lookup_of
+    [ ("ds", Expr.VBool true);
+      ("rdy", Expr.VBool false);
+      ("indata", Expr.VInt 0);
+      ("out", Expr.VInt 42) ]
+
+let check_eval name expected e =
+  Alcotest.test_case name `Quick (fun () ->
+    Alcotest.(check bool) name expected (Expr.eval env1 e))
+
+let check_signals name expected e =
+  Alcotest.test_case name `Quick (fun () ->
+    Alcotest.(check (list string)) name expected (Expr.signals e))
+
+let eval_cases =
+  [ check_eval "var true" true (Expr.Var "ds");
+    check_eval "var false" false (Expr.Var "rdy");
+    check_eval "not" false (Expr.Not (Expr.Var "ds"));
+    check_eval "and" false (Expr.And (Expr.Var "ds", Expr.Var "rdy"));
+    check_eval "or" true (Expr.Or (Expr.Var "ds", Expr.Var "rdy"));
+    check_eval "eq on int" true (Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0));
+    check_eval "neq on int" true (Expr.Cmp (Expr.Neq, Expr.Avar "out", Expr.Int 0));
+    check_eval "lt" false (Expr.Cmp (Expr.Lt, Expr.Avar "out", Expr.Int 42));
+    check_eval "le" true (Expr.Cmp (Expr.Le, Expr.Avar "out", Expr.Int 42));
+    check_eval "gt" false (Expr.Cmp (Expr.Gt, Expr.Avar "out", Expr.Int 42));
+    check_eval "ge" true (Expr.Cmp (Expr.Ge, Expr.Avar "out", Expr.Int 42));
+    check_eval "arith add mul"
+      true
+      (Expr.Cmp (Expr.Eq, Expr.Add (Expr.Avar "out", Expr.Mul (Expr.Int 2, Expr.Int 4)), Expr.Int 50));
+    check_eval "arith sub" true (Expr.Cmp (Expr.Eq, Expr.Sub (Expr.Avar "out", Expr.Int 2), Expr.Int 40));
+    check_eval "int signal as bool" false (Expr.Var "indata");
+    check_eval "nonzero int as bool" true (Expr.Var "out") ]
+
+let error_cases =
+  [ Alcotest.test_case "unbound signal raises" `Quick (fun () ->
+      Alcotest.check_raises "unbound"
+        (Expr.Eval_error "unbound signal \"nosuch\"")
+        (fun () -> ignore (Expr.eval env1 (Expr.Var "nosuch"))));
+    Alcotest.test_case "bool in arith position raises" `Quick (fun () ->
+      match Expr.eval env1 (Expr.Cmp (Expr.Eq, Expr.Avar "ds", Expr.Int 1)) with
+      | exception Expr.Eval_error _ -> ()
+      | _ -> Alcotest.fail "expected Eval_error") ]
+
+let signal_cases =
+  [ check_signals "var" [ "ds" ] (Expr.Var "ds");
+    check_signals "dedup and sort" [ "a"; "b" ]
+      (Expr.And (Expr.Var "b", Expr.Or (Expr.Var "a", Expr.Var "b")));
+    check_signals "cmp collects arith vars" [ "indata"; "out" ]
+      (Expr.Cmp (Expr.Lt, Expr.Avar "out", Expr.Add (Expr.Avar "indata", Expr.Int 1)));
+    check_signals "const has none" [] (Expr.Bool true);
+    Alcotest.test_case "mentions_any" `Quick (fun () ->
+      let e = Expr.And (Expr.Var "ds", Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0)) in
+      Alcotest.(check bool) "yes" true (Expr.mentions_any e [ "indata"; "zz" ]);
+      Alcotest.(check bool) "no" false (Expr.mentions_any e [ "zz" ])) ]
+
+let simplify_cases =
+  let check name expected e =
+    Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check Helpers.expr_t name expected (Expr.simplify e))
+  in
+  [ check "and false" (Expr.Bool false) (Expr.And (Expr.Var "a", Expr.Bool false));
+    check "and true unit" (Expr.Var "a") (Expr.And (Expr.Bool true, Expr.Var "a"));
+    check "or true" (Expr.Bool true) (Expr.Or (Expr.Bool true, Expr.Var "a"));
+    check "or false unit" (Expr.Var "a") (Expr.Or (Expr.Var "a", Expr.Bool false));
+    check "double negation" (Expr.Var "a") (Expr.Not (Expr.Not (Expr.Var "a")));
+    check "not of const" (Expr.Bool false) (Expr.Not (Expr.Bool true));
+    check "constant comparison" (Expr.Bool true) (Expr.Cmp (Expr.Lt, Expr.Int 1, Expr.Int 2)) ]
+
+let pp_roundtrip_cases =
+  [ Helpers.qtest "print/parse round-trip (expr in formula position)" Helpers.arb_expr
+      (fun e ->
+        (* Parse back through the formula parser; compare after
+           demotion, which collapses the LTL-level connectives the
+           parser introduces. *)
+        let printed = Format.asprintf "%a" Expr.pp e in
+        match Parser.formula_only printed with
+        | f ->
+          (match Ltl.demote_booleans f with
+           | Ltl.Atom e' -> Expr.equal e e'
+           | _ -> false)
+        | exception Parser.Parse_error _ -> false);
+    Helpers.qtest "simplify preserves evaluation" Helpers.arb_expr (fun e ->
+      let env =
+        lookup_of
+          [ ("a", Expr.VBool true); ("b", Expr.VBool false); ("c", Expr.VBool true);
+            ("x", Expr.VInt 3); ("y", Expr.VInt (-1)) ]
+      in
+      Expr.eval env e = Expr.eval env (Expr.simplify e)) ]
+
+let suite =
+  ("expr",
+   eval_cases @ error_cases @ signal_cases @ simplify_cases @ pp_roundtrip_cases)

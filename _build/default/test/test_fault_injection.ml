@@ -1,0 +1,86 @@
+open Tabv_duv
+
+(* Negative tests: injected design bugs must be caught by the right
+   properties, and only by them. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let ops = Workload.des56 ~seed:3 ~count:8 ()
+
+let failing_properties (result : Testbench.run_result) =
+  List.filter_map
+    (fun stat ->
+      if stat.Testbench.failures <> [] then Some stat.Testbench.property_name else None)
+    result.Testbench.checker_stats
+
+let rtl_cases =
+  [ case "late rdy caught by the next[n] properties, tolerated by until" (fun () ->
+      let result =
+        Testbench.run_des56_rtl ~fault:Des56_rtl.Rdy_one_cycle_late
+          ~properties:Des56_props.all ops
+      in
+      let failing = failing_properties result in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool)
+            (expected ^ " fails") true (List.mem expected failing))
+        [ "p3"; "p5" ];
+      (* p2's until does not reference a precise instant (Sec. III-A):
+         the response arriving one cycle later still discharges it. *)
+      Alcotest.(check bool) "p2 tolerates the extra cycle" false (List.mem "p2" failing);
+      (* p4 only watches rdy_next_next_cycle, which is on time. *)
+      Alcotest.(check bool) "p4 unaffected" false (List.mem "p4" failing));
+    case "stuck rdy_next_cycle caught by p3/p5/p7" (fun () ->
+      let result =
+        Testbench.run_des56_rtl ~fault:Des56_rtl.Rdy_next_cycle_stuck_low
+          ~properties:Des56_props.all ops
+      in
+      let failing = failing_properties result in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool)
+            (expected ^ " fails") true (List.mem expected failing))
+        [ "p3"; "p5"; "p7" ];
+      Alcotest.(check bool) "p1 unaffected" false (List.mem "p1" failing);
+      Alcotest.(check bool) "p9 unaffected" false (List.mem "p9" failing));
+    case "zeroed result caught by p1" (fun () ->
+      (* Force indata = 0 so p1's antecedent fires. *)
+      let zero_ops = Workload.des56 ~seed:3 ~count:8 ~zero_fraction:1.0 () in
+      let result =
+        Testbench.run_des56_rtl ~fault:Des56_rtl.Result_zeroed
+          ~properties:Des56_props.all zero_ops
+      in
+      let failing = failing_properties result in
+      Alcotest.(check bool) "p1 fails" true (List.mem "p1" failing);
+      Alcotest.(check bool) "p3 unaffected" false (List.mem "p3" failing));
+    case "faulty model still computes until the fault point" (fun () ->
+      let result =
+        Testbench.run_des56_rtl ~fault:Des56_rtl.Rdy_next_cycle_stuck_low ops
+      in
+      Alcotest.(check int) "ops complete" (List.length ops)
+        result.Testbench.completed_ops) ]
+
+let tlm_cases =
+  [ case "wrong TLM latency caught by the abstracted properties" (fun () ->
+      (* A wrongly abstracted model (160 ns instead of 170) makes the
+         read-end event land before the instant q1/q3 require: exactly
+         the failure Theorem III.2 attributes to a wrong abstraction. *)
+      let result =
+        Testbench.run_des56_tlm_at ~model_latency_ns:160
+          ~properties:(Des56_props.tlm_auto_safe ()) ops
+      in
+      let failing = failing_properties result in
+      Alcotest.(check bool) "q3 fails" true (List.mem "q3" failing));
+    case "correct TLM latency passes the same properties" (fun () ->
+      let result =
+        Testbench.run_des56_tlm_at ~properties:(Des56_props.tlm_auto_safe ()) ops
+      in
+      Alcotest.(check int) "no failures" 0 (Testbench.total_failures result));
+    case "slow TLM model also caught" (fun () ->
+      let result =
+        Testbench.run_des56_tlm_at ~model_latency_ns:180
+          ~properties:(Des56_props.tlm_auto_safe ()) ops
+      in
+      Alcotest.(check bool) "failures" true (Testbench.total_failures result > 0)) ]
+
+let suite = ("fault_injection", rtl_cases @ tlm_cases)

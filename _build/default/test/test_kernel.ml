@@ -1,0 +1,203 @@
+open Tabv_sim
+
+let run_kernel_case name f = Alcotest.test_case name `Quick f
+
+let scheduling_cases =
+  [ run_kernel_case "time starts at zero" (fun () ->
+      let k = Kernel.create () in
+      Alcotest.(check int) "now" 0 (Kernel.now k));
+    run_kernel_case "timed actions run in time order" (fun () ->
+      let k = Kernel.create () in
+      let log = ref [] in
+      Kernel.schedule_at k ~time:30 (fun () -> log := 30 :: !log);
+      Kernel.schedule_at k ~time:10 (fun () -> log := 10 :: !log);
+      Kernel.schedule_at k ~time:20 (fun () -> log := 20 :: !log);
+      let final = Kernel.run k in
+      Alcotest.(check (list int)) "order" [ 10; 20; 30 ] (List.rev !log);
+      Alcotest.(check int) "final time" 30 final);
+    run_kernel_case "same-time actions run FIFO" (fun () ->
+      let k = Kernel.create () in
+      let log = ref [] in
+      List.iter
+        (fun i -> Kernel.schedule_at k ~time:10 (fun () -> log := i :: !log))
+        [ 1; 2; 3 ];
+      ignore (Kernel.run k);
+      Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log));
+    run_kernel_case "scheduling in the past rejected" (fun () ->
+      let k = Kernel.create () in
+      Kernel.schedule_at k ~time:50 (fun () ->
+        match Kernel.schedule_at k ~time:20 ignore with
+        | () -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+      ignore (Kernel.run k));
+    run_kernel_case "negative delay rejected" (fun () ->
+      let k = Kernel.create () in
+      match Kernel.schedule_after k ~delay:(-1) ignore with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ());
+    run_kernel_case "until horizon stops before later events" (fun () ->
+      let k = Kernel.create () in
+      let fired = ref [] in
+      Kernel.schedule_at k ~time:10 (fun () -> fired := 10 :: !fired);
+      Kernel.schedule_at k ~time:100 (fun () -> fired := 100 :: !fired);
+      let final = Kernel.run ~until:50 k in
+      Alcotest.(check (list int)) "fired" [ 10 ] (List.rev !fired);
+      Alcotest.(check int) "stopped at" 10 final);
+    run_kernel_case "stop ends the run" (fun () ->
+      let k = Kernel.create () in
+      let fired = ref 0 in
+      Kernel.schedule_at k ~time:10 (fun () ->
+        incr fired;
+        Kernel.stop k);
+      Kernel.schedule_at k ~time:20 (fun () -> incr fired);
+      ignore (Kernel.run k);
+      Alcotest.(check int) "only first" 1 !fired);
+    run_kernel_case "delta cycles at one instant" (fun () ->
+      let k = Kernel.create () in
+      let deltas = ref [] in
+      Kernel.schedule_at k ~time:10 (fun () ->
+        deltas := Kernel.delta k :: !deltas;
+        Kernel.schedule_next_delta k (fun () ->
+          deltas := Kernel.delta k :: !deltas;
+          Kernel.schedule_next_delta k (fun () -> deltas := Kernel.delta k :: !deltas)));
+      ignore (Kernel.run k);
+      Alcotest.(check (list int)) "deltas" [ 0; 1; 2 ] (List.rev !deltas));
+    run_kernel_case "updates run between evaluation and delta phases" (fun () ->
+      let k = Kernel.create () in
+      let log = ref [] in
+      Kernel.schedule_at k ~time:5 (fun () ->
+        log := "eval" :: !log;
+        Kernel.request_update k (fun () -> log := "update" :: !log);
+        Kernel.schedule_next_delta k (fun () -> log := "delta" :: !log));
+      ignore (Kernel.run k);
+      Alcotest.(check (list string)) "phases" [ "eval"; "update"; "delta" ] (List.rev !log));
+    run_kernel_case "activation count" (fun () ->
+      let k = Kernel.create () in
+      for i = 1 to 5 do
+        Kernel.schedule_at k ~time:(i * 10) ignore
+      done;
+      ignore (Kernel.run k);
+      Alcotest.(check int) "activations" 5 (Kernel.activation_count k)) ]
+
+let event_cases =
+  [ run_kernel_case "static subscribers persist" (fun () ->
+      let k = Kernel.create () in
+      let ev = Event.create k "e" in
+      let count = ref 0 in
+      Event.on_event ev (fun () -> incr count);
+      Kernel.schedule_at k ~time:10 (fun () -> Event.notify ev);
+      Kernel.schedule_at k ~time:20 (fun () -> Event.notify ev);
+      ignore (Kernel.run k);
+      Alcotest.(check int) "twice" 2 !count;
+      Alcotest.(check int) "notifications" 2 (Event.notification_count ev));
+    run_kernel_case "dynamic subscribers fire once" (fun () ->
+      let k = Kernel.create () in
+      let ev = Event.create k "e" in
+      let count = ref 0 in
+      Event.once ev (fun () -> incr count);
+      Kernel.schedule_at k ~time:10 (fun () -> Event.notify ev);
+      Kernel.schedule_at k ~time:20 (fun () -> Event.notify ev);
+      ignore (Kernel.run k);
+      Alcotest.(check int) "once" 1 !count);
+    run_kernel_case "timed notification" (fun () ->
+      let k = Kernel.create () in
+      let ev = Event.create k "e" in
+      let seen_at = ref (-1) in
+      Event.once ev (fun () -> seen_at := Kernel.now k);
+      Kernel.schedule_at k ~time:10 (fun () -> Event.notify_after ev ~delay:25);
+      ignore (Kernel.run k);
+      Alcotest.(check int) "time" 35 !seen_at) ]
+
+let thread_cases =
+  [ run_kernel_case "thread wait_ns" (fun () ->
+      let k = Kernel.create () in
+      let log = ref [] in
+      Process.spawn k ~name:"t" (fun () ->
+        log := (Kernel.now k, "start") :: !log;
+        Process.wait_ns k 15;
+        log := (Kernel.now k, "mid") :: !log;
+        Process.wait_ns k 5;
+        log := (Kernel.now k, "end") :: !log);
+      ignore (Kernel.run k);
+      Alcotest.(check (list (pair int string)))
+        "timeline"
+        [ (0, "start"); (15, "mid"); (20, "end") ]
+        (List.rev !log));
+    run_kernel_case "thread wait_event" (fun () ->
+      let k = Kernel.create () in
+      let ev = Event.create k "go" in
+      let woke_at = ref (-1) in
+      Process.spawn k ~name:"t" (fun () ->
+        Process.wait_event ev;
+        woke_at := Kernel.now k);
+      Kernel.schedule_at k ~time:42 (fun () -> Event.notify ev);
+      ignore (Kernel.run k);
+      Alcotest.(check int) "woke" 42 !woke_at);
+    run_kernel_case "wait_until rechecks predicate" (fun () ->
+      let k = Kernel.create () in
+      let ev = Event.create k "tick" in
+      let counter = ref 0 in
+      let done_at = ref (-1) in
+      Process.spawn k ~name:"t" (fun () ->
+        Process.wait_until ~on:ev (fun () -> !counter >= 3);
+        done_at := Kernel.now k);
+      let rec ticker time =
+        Kernel.schedule_at k ~time (fun () ->
+          incr counter;
+          Event.notify ev;
+          if !counter < 5 then ticker (time + 10))
+      in
+      ticker 10;
+      ignore (Kernel.run k);
+      Alcotest.(check int) "done after third tick" 30 !done_at);
+    run_kernel_case "two threads interleave deterministically" (fun () ->
+      let k = Kernel.create () in
+      let log = ref [] in
+      Process.spawn k ~name:"a" (fun () ->
+        Process.wait_ns k 10;
+        log := "a10" :: !log;
+        Process.wait_ns k 10;
+        log := "a20" :: !log);
+      Process.spawn k ~name:"b" (fun () ->
+        Process.wait_ns k 10;
+        log := "b10" :: !log;
+        Process.wait_ns k 15;
+        log := "b25" :: !log);
+      ignore (Kernel.run k);
+      Alcotest.(check (list string)) "order" [ "a10"; "b10"; "a20"; "b25" ] (List.rev !log)) ]
+
+let stress_cases =
+  [ Helpers.qtest ~count:30 "heap delivers thousands of events in time order"
+      QCheck.(list_of_size (QCheck.Gen.return 500) (int_bound 5000))
+      (fun delays ->
+        let k = Kernel.create () in
+        let fired = ref [] in
+        List.iteri
+          (fun i delay ->
+            Kernel.schedule_at k ~time:delay (fun () -> fired := (delay, i) :: !fired))
+          delays;
+        ignore (Kernel.run k);
+        let fired = List.rev !fired in
+        (* Non-decreasing times; FIFO among equal times. *)
+        let rec ordered = function
+          | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && i1 < i2)) && ordered rest
+          | [ _ ] | [] -> true
+        in
+        List.length fired = List.length delays && ordered fired);
+    Helpers.qtest ~count:30 "nested scheduling preserves causality"
+      QCheck.(list_of_size (QCheck.Gen.return 100) (int_bound 50))
+      (fun delays ->
+        let k = Kernel.create () in
+        let violations = ref 0 in
+        List.iter
+          (fun delay ->
+            Kernel.schedule_at k ~time:delay (fun () ->
+              let scheduled_at = Kernel.now k in
+              Kernel.schedule_after k ~delay:(1 + (delay mod 7)) (fun () ->
+                if Kernel.now k < scheduled_at then incr violations)))
+          delays;
+        ignore (Kernel.run k);
+        !violations = 0) ]
+
+let suite = ("kernel", scheduling_cases @ event_cases @ thread_cases @ stress_cases)

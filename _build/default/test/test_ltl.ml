@@ -1,0 +1,115 @@
+open Tabv_psl
+
+let v s = Expr.Var s
+let atom s = Ltl.Atom (v s)
+
+let structure_cases =
+  [ Alcotest.test_case "next_n collapses chains" `Quick (fun () ->
+      Helpers.check_ltl "collapse"
+        (Ltl.Next_n (5, atom "a"))
+        (Ltl.next_n 2 (Ltl.Next_n (3, atom "a"))));
+    Alcotest.test_case "next_n zero is identity" `Quick (fun () ->
+      Helpers.check_ltl "zero" (atom "a") (Ltl.next_n 0 (atom "a")));
+    Alcotest.test_case "next_n negative rejected" `Quick (fun () ->
+      Alcotest.check_raises "negative" (Invalid_argument "Ltl.next_n: negative count")
+        (fun () -> ignore (Ltl.next_n (-1) (atom "a"))));
+    Alcotest.test_case "size" `Quick (fun () ->
+      Alcotest.(check int) "size" 6
+        (Ltl.size (Ltl.Always (Ltl.Or (Ltl.Not (atom "a"), Ltl.Next_n (3, atom "b"))))));
+    Alcotest.test_case "signals" `Quick (fun () ->
+      Alcotest.(check (list string)) "signals" [ "a"; "b"; "x" ]
+        (Ltl.signals
+           (Ltl.Until (atom "b", Ltl.And (atom "a", Ltl.Atom (Expr.Cmp (Expr.Eq, Expr.Avar "x", Expr.Int 1)))))));
+    Alcotest.test_case "next_depth" `Quick (fun () ->
+      Alcotest.(check int) "depth" 7
+        (Ltl.next_depth
+           (Ltl.Or (Ltl.Next_n (3, Ltl.Next_n (4, atom "a")), Ltl.Next_n (2, atom "b")))));
+    Alcotest.test_case "max_eps" `Quick (fun () ->
+      Alcotest.(check int) "eps" 170
+        (Ltl.max_eps
+           (Ltl.Or
+              (Ltl.Next_event ({ tau = 1; eps = 170 }, atom "a"),
+               Ltl.Next_event ({ tau = 2; eps = 20 }, atom "b")))));
+    Alcotest.test_case "next_events in order" `Quick (fun () ->
+      let f =
+        Ltl.Until
+          (Ltl.Next_event ({ tau = 1; eps = 10 }, atom "a"),
+           Ltl.Next_event ({ tau = 2; eps = 20 }, atom "b"))
+      in
+      Alcotest.(check (list (pair int int)))
+        "order" [ (1, 10); (2, 20) ]
+        (List.map (fun ne -> (ne.Ltl.tau, ne.Ltl.eps)) (Ltl.next_events f))) ]
+
+let nnf_predicate_cases =
+  [ Alcotest.test_case "is_nnf accepts negated atoms" `Quick (fun () ->
+      Alcotest.(check bool) "ok" true
+        (Ltl.is_nnf (Ltl.And (Ltl.Not (atom "a"), atom "b"))));
+    Alcotest.test_case "is_nnf rejects negated conjunction" `Quick (fun () ->
+      Alcotest.(check bool) "no" false (Ltl.is_nnf (Ltl.Not (Ltl.And (atom "a", atom "b")))));
+    Alcotest.test_case "is_nnf rejects implication" `Quick (fun () ->
+      Alcotest.(check bool) "no" false (Ltl.is_nnf (Ltl.Implies (atom "a", atom "b"))));
+    Alcotest.test_case "is_pushed accepts next over atom" `Quick (fun () ->
+      Alcotest.(check bool) "ok" true
+        (Ltl.is_pushed (Ltl.Until (Ltl.Next_n (1, Ltl.Not (atom "a")), Ltl.Next_n (2, atom "b")))));
+    Alcotest.test_case "is_pushed rejects next over until" `Quick (fun () ->
+      Alcotest.(check bool) "no" false
+        (Ltl.is_pushed (Ltl.Next_n (1, Ltl.Until (atom "a", atom "b"))))) ]
+
+let demote_cases =
+  [ Alcotest.test_case "demote collapses boolean conjunction" `Quick (fun () ->
+      Helpers.check_ltl "demote"
+        (Ltl.Atom (Expr.And (v "ds", Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0))))
+        (Ltl.demote_booleans
+           (Ltl.And (atom "ds", Ltl.Atom (Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0))))));
+    Alcotest.test_case "demote keeps temporal structure" `Quick (fun () ->
+      let f = Ltl.Or (Ltl.Not (atom "a"), Ltl.Next_n (2, Ltl.And (atom "b", atom "c"))) in
+      Helpers.check_ltl "demote"
+        (Ltl.Or (Ltl.Atom (Expr.Not (v "a")), Ltl.Next_n (2, Ltl.Atom (Expr.And (v "b", v "c")))))
+        (Ltl.demote_booleans f));
+    Alcotest.test_case "demote rewrites boolean implication" `Quick (fun () ->
+      Helpers.check_ltl "demote"
+        (Ltl.Atom (Expr.Or (Expr.Not (v "a"), v "b")))
+        (Ltl.demote_booleans (Ltl.Implies (atom "a", atom "b"))));
+    Alcotest.test_case "demote leaves temporal implication" `Quick (fun () ->
+      let f = Ltl.Implies (atom "a", Ltl.Next_n (1, atom "b")) in
+      match Ltl.demote_booleans f with
+      | Ltl.Implies (Ltl.Atom _, Ltl.Next_n (1, Ltl.Atom _)) -> ()
+      | other -> Alcotest.failf "unexpected %a" Ltl.pp other) ]
+
+let printing_cases =
+  let check name expected f =
+    Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (Ltl.to_string f))
+  in
+  [ check "next one" "next(a)" (Ltl.Next_n (1, atom "a"));
+    check "next n" "next[17](a)" (Ltl.Next_n (17, atom "a"));
+    check "nexte" "nexte[1,170](out != 0)"
+      (Ltl.Next_event ({ tau = 1; eps = 170 }, Ltl.Atom (Expr.Cmp (Expr.Neq, Expr.Avar "out", Expr.Int 0))));
+    check "until binds looser than or" "a || b until c"
+      (Ltl.Until (Ltl.Or (atom "a", atom "b"), atom "c"));
+    check "or under until right" "a until b || c"
+      (Ltl.Until (atom "a", Ltl.Or (atom "b", atom "c")));
+    check "parenthesised until under or" "a || (b until c)"
+      (Ltl.Or (atom "a", Ltl.Until (atom "b", atom "c")));
+    check "negated complex atom" "!(ds && indata == 0)"
+      (Ltl.Not (Ltl.Atom (Expr.And (v "ds", Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0)))));
+    check "implication" "a -> next(b)" (Ltl.Implies (atom "a", Ltl.Next_n (1, atom "b")));
+    check "always" "always(a -> b)" (Ltl.Always (Ltl.Implies (atom "a", atom "b")));
+    check "nested unary" "!(next(a))" (Ltl.Not (Ltl.Next_n (1, atom "a"))) ]
+
+let simplify_cases =
+  let check name expected f =
+    Alcotest.test_case name `Quick (fun () ->
+      Helpers.check_ltl name expected (Ltl.simplify f))
+  in
+  [ check "and with true" (atom "a") (Ltl.And (atom "a", Ltl.tt));
+    check "or with false" (atom "a") (Ltl.Or (Ltl.ff, atom "a"));
+    check "until true" Ltl.tt (Ltl.Until (atom "a", Ltl.tt));
+    check "release true" Ltl.tt (Ltl.Release (atom "a", Ltl.tt));
+    check "always of constant" Ltl.tt (Ltl.Always Ltl.tt);
+    check "next of constant" Ltl.ff (Ltl.Next_n (3, Ltl.ff));
+    check "implies false antecedent" Ltl.tt (Ltl.Implies (Ltl.ff, atom "a")) ]
+
+let suite =
+  ("ltl",
+   structure_cases @ nnf_predicate_cases @ demote_cases @ printing_cases @ simplify_cases)

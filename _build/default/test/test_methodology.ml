@@ -1,0 +1,209 @@
+open Tabv_psl
+open Tabv_core
+
+(* The three published DES56 properties of Fig. 3 and their expected
+   abstractions, clock period 10 ns. *)
+
+let p1 =
+  Parser.property_exn ~name:"p1"
+    "always (!(ds && indata = 0) || next[17](out != 0)) @clk_pos"
+
+let p2 =
+  Parser.property_exn ~name:"p2"
+    "always (!ds || (next(!ds until next(rdy)))) @clk_pos"
+
+let p3 =
+  Parser.property_exn ~name:"p3"
+    "always (!ds || (next[15](rdy_next_next_cycle) && next[16](rdy_next_cycle) && next[17](rdy))) @clk_pos"
+
+let abstracted_signals = [ "rdy_next_cycle"; "rdy_next_next_cycle" ]
+
+let rename name = "q" ^ String.sub name 1 (String.length name - 1)
+
+let abstract p =
+  Methodology.abstract ~clock_period:10 ~abstracted_signals ~rename p
+
+(* Compare modulo boolean demotion: the pipeline represents pure
+   boolean subtrees as single atoms, the parser as LTL connectives. *)
+let expect_output name report expected_source =
+  match report.Methodology.output with
+  | None -> Alcotest.failf "%s was deleted" name
+  | Some q ->
+    let expected = Parser.property_exn ~name:q.Property.name expected_source in
+    Helpers.check_ltl (name ^ " formula")
+      (Ltl.demote_booleans expected.Property.formula)
+      (Ltl.demote_booleans q.Property.formula);
+    Alcotest.check Helpers.context (name ^ " context") expected.Property.context
+      q.Property.context
+
+let fig3_cases =
+  [ Alcotest.test_case "p1 -> q1" `Quick (fun () ->
+      let report = abstract p1 in
+      expect_output "q1" report
+        "always (!(ds && indata = 0) || nexte[1,170](out != 0)) @tb";
+      Alcotest.(check bool) "no review needed" false report.Methodology.requires_review);
+    Alcotest.test_case "p2 -> q2" `Quick (fun () ->
+      let report = abstract p2 in
+      expect_output "q2" report
+        "always (!ds || (nexte[1,10](!ds) until nexte[2,20](rdy))) @tb";
+      Alcotest.(check bool) "no review needed" false report.Methodology.requires_review);
+    Alcotest.test_case "p3 -> q3" `Quick (fun () ->
+      let report = abstract p3 in
+      expect_output "q3" report "always (!ds || nexte[1,170](rdy)) @tb";
+      Alcotest.(check bool) "no review needed" false report.Methodology.requires_review);
+    Alcotest.test_case "q names preserved through rename" `Quick (fun () ->
+      let reports = Methodology.abstract_all ~clock_period:10 ~abstracted_signals ~rename [ p1; p2; p3 ] in
+      Alcotest.(check (list string)) "names" [ "q1"; "q2"; "q3" ]
+        (List.map (fun p -> p.Property.name) (Methodology.surviving reports))) ]
+
+let pipeline_cases =
+  [ Alcotest.test_case "substitution report for p2" `Quick (fun () ->
+      let report = abstract p2 in
+      Alcotest.(check (list (pair int int)))
+        "tau/eps" [ (1, 10); (2, 20) ]
+        (List.map
+           (fun s -> (s.Next_substitution.tau, s.Next_substitution.eps))
+           report.Methodology.substitutions));
+    Alcotest.test_case "gated clock context maps to gated transaction" `Quick (fun () ->
+      let p = Parser.property_exn ~name:"g" "always(!a || next(b)) @(clk_pos && en)" in
+      let report = Methodology.abstract ~clock_period:10 p in
+      match report.Methodology.output with
+      | Some q ->
+        Alcotest.check Helpers.context "context"
+          (Context.Transaction (Context.Trans_and (Expr.Var "en")))
+          q.Property.context
+      | None -> Alcotest.fail "deleted");
+    Alcotest.test_case "base clock context maps to base transaction" `Quick (fun () ->
+      let p = Parser.property_exn ~name:"b" "always(a)" in
+      let report = Methodology.abstract ~clock_period:10 p in
+      match report.Methodology.output with
+      | Some q ->
+        Alcotest.check Helpers.context "context"
+          (Context.Transaction Context.Base_trans) q.Property.context
+      | None -> Alcotest.fail "deleted");
+    Alcotest.test_case "protocol-only property is deleted" `Quick (fun () ->
+      let p =
+        Parser.property_exn ~name:"hs" "always(!req || next(ack)) @clk_pos"
+      in
+      let report =
+        Methodology.abstract ~clock_period:10 ~abstracted_signals:[ "req"; "ack" ] p
+      in
+      Alcotest.(check bool) "deleted" true (report.Methodology.output = None);
+      Alcotest.(check bool) "review" true report.Methodology.requires_review);
+    Alcotest.test_case "strengthening flags review" `Quick (fun () ->
+      let p = Parser.property_exn ~name:"st" "always(a || next(s)) @clk_pos" in
+      let report =
+        Methodology.abstract ~clock_period:10 ~abstracted_signals:[ "s" ] p
+      in
+      Alcotest.(check bool) "review" true report.Methodology.requires_review;
+      (match report.Methodology.output with
+       | Some q -> Helpers.check_ltl "formula" (Parser.formula_only "always(a)") q.Property.formula
+       | None -> Alcotest.fail "not deleted"));
+    Alcotest.test_case "rejects TLM input" `Quick (fun () ->
+      let p = Parser.property_exn ~name:"t" "always(a) @tb" in
+      match Methodology.abstract ~clock_period:10 p with
+      | _ -> Alcotest.fail "expected Not_an_rtl_property"
+      | exception Methodology.Not_an_rtl_property _ -> ());
+    Alcotest.test_case "rejects non-positive clock" `Quick (fun () ->
+      match Methodology.abstract ~clock_period:0 p1 with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ());
+    Alcotest.test_case "implication input goes through NNF" `Quick (fun () ->
+      let p = Parser.property_exn ~name:"im" "always(ds -> next[2](rdy)) @clk_pos" in
+      let report = Methodology.abstract ~clock_period:10 p in
+      match report.Methodology.output with
+      | Some q ->
+        Helpers.check_ltl "formula"
+          (Parser.formula_only "always(!ds || nexte[1,20](rdy))")
+          q.Property.formula
+      | None -> Alcotest.fail "deleted") ]
+
+let theorem_cases =
+  (* Empirical Theorem III.2: for random NNF RTL formulas and random
+     cycle-accurate traces on which the formula is not violated, the
+     abstracted formula is not violated on the timing-equivalent
+     transaction trace (here: the same evaluation points, since every
+     cycle carries an I/O change). *)
+  [ Helpers.qtest ~count:300 "theorem III.2 (dense transaction trace)"
+      Helpers.arb_nnf_and_trace (fun (f, trace) ->
+        let p = Property.make ~name:"p" ~context:(Context.Clock (Context.Edge Context.Posedge)) f in
+        let report = Methodology.abstract ~clock_period:10 p in
+        match report.Methodology.output with
+        | None -> true
+        | Some q ->
+          (match Semantics.eval trace f with
+           | Semantics.False -> true
+           | Semantics.True | Semantics.Unknown ->
+             (* The TLM model executes a transaction at every instant
+                where an I/O signal changes; on this dense trace every
+                cycle is a transaction, so evaluation points match. *)
+             Semantics.eval trace q.Property.formula <> Semantics.False)) ]
+
+let theorem_signal_cases =
+  (* Theorem III.2 combined with Fig. 4: when signal abstraction only
+     weakened the formula, the abstracted property cannot be violated
+     on a trace where the original held — even though the abstracted
+     signals are gone from the TLM environment. *)
+  [ Helpers.qtest ~count:300 "theorem III.2 with weakening-only signal abstraction"
+      Helpers.arb_nnf_and_trace (fun (f, trace) ->
+        let removed = [ "c" ] in
+        let p =
+          Property.make ~name:"p"
+            ~context:(Context.Clock (Context.Edge Context.Posedge)) f
+        in
+        let report =
+          Methodology.abstract ~clock_period:10 ~abstracted_signals:removed p
+        in
+        match report.Methodology.output with
+        | None -> true
+        | Some _ when report.Methodology.requires_review -> true
+        | Some q ->
+          (match Semantics.eval trace f with
+           | Semantics.False -> true
+           | Semantics.True | Semantics.Unknown ->
+             (* The TLM environment no longer exposes the removed
+                signal: evaluation must not need it. *)
+             let masked =
+               Trace.of_list
+                 (List.map
+                    (fun (entry : Trace.entry) ->
+                      { entry with
+                        Trace.env =
+                          List.filter
+                            (fun (name, _) -> not (List.mem name removed))
+                            entry.Trace.env })
+                    (Trace.to_list trace))
+             in
+             Semantics.eval masked q.Property.formula <> Semantics.False)) ]
+
+let mutation_cases =
+  (* The empirical theorem validation must have teeth: a deliberately
+     wrong Algorithm III.1 (eps off by one clock period) must be
+     rejected by the same oracle that accepts the correct one. *)
+  [ Alcotest.test_case "a broken eps computation is caught by the oracle" `Quick
+      (fun () ->
+        let p3_body = Parser.formula_only "always (!ds || next[17](rdy))" in
+        let correct =
+          Parser.formula_only "always (!ds || nexte[1,170](rdy))"
+        in
+        let broken = Parser.formula_only "always (!ds || nexte[1,180](rdy))" in
+        (* A minimal trace where the RTL property holds. *)
+        let entry time ~ds ~rdy =
+          { Trace.time; env = [ ("ds", Expr.VBool ds); ("rdy", Expr.VBool rdy) ] }
+        in
+        let rtl_trace =
+          Trace.of_list
+            (List.init 20 (fun i ->
+               entry (i * 10) ~ds:(i = 0) ~rdy:(i = 17)))
+        in
+        Alcotest.(check bool) "RTL property holds" true
+          (Semantics.holds rtl_trace p3_body);
+        Alcotest.(check bool) "correct abstraction holds" true
+          (Semantics.holds rtl_trace correct);
+        Alcotest.(check bool) "broken abstraction is violated" true
+          (Semantics.violated rtl_trace broken)) ]
+
+let suite =
+  ("methodology",
+   fig3_cases @ pipeline_cases @ theorem_cases @ theorem_signal_cases
+   @ mutation_cases)

@@ -1,0 +1,71 @@
+open Tabv_psl
+open Tabv_core
+
+let run ?(clock_period = 10) source =
+  Next_substitution.run ~clock_period (Parser.formula_only source)
+
+let converts name ?clock_period source expected =
+  Alcotest.test_case name `Quick (fun () ->
+    let result, _ = run ?clock_period source in
+    Helpers.check_ltl name (Parser.formula_only expected) result)
+
+let unit_cases =
+  [ converts "atom untouched" "a" "a";
+    converts "single chain" "next[17](a)" "nexte[1,170](a)";
+    converts "tau counts left to right" "next(a) until next[2](b)"
+      "nexte[1,10](a) until nexte[2,20](b)";
+    converts "negated atom operand" "next[3](!a)" "nexte[1,30](!a)";
+    converts "custom clock period" ~clock_period:5 "next[4](a)" "nexte[1,20](a)";
+    converts "three chains" "next(a) && (next[2](b) || next[3](c))"
+      "nexte[1,10](a) && (nexte[2,20](b) || nexte[3,30](c))";
+    converts "existing nexte untouched" "nexte[1,170](a) && next(b)"
+      "nexte[1,170](a) && nexte[1,10](b)";
+    converts "paper q2 inner" "always(!ds || (next(!ds) until next[2](rdy)))"
+      "always(!ds || (nexte[1,10](!ds) until nexte[2,20](rdy)))" ]
+
+let report_cases =
+  [ Alcotest.test_case "substitution report" `Quick (fun () ->
+      let _, substs = run "next(a) until next[2](b)" in
+      Alcotest.(check (list (triple int int int)))
+        "substs"
+        [ (1, 1, 10); (2, 2, 20) ]
+        (List.map
+           (fun s ->
+             (s.Next_substitution.tau, s.Next_substitution.cycles, s.Next_substitution.eps))
+           substs));
+    Alcotest.test_case "no substitutions on until-only formula" `Quick (fun () ->
+      let _, substs = run "always(a until b)" in
+      Alcotest.(check int) "none" 0 (List.length substs)) ]
+
+let error_cases =
+  [ Alcotest.test_case "rejects unpushed formula" `Quick (fun () ->
+      match run "next(a && b)" with
+      | _ -> Alcotest.fail "expected Not_pushed"
+      | exception Next_substitution.Not_pushed _ -> ());
+    Alcotest.test_case "rejects non-positive clock period" `Quick (fun () ->
+      match Next_substitution.run ~clock_period:0 (Parser.formula_only "a") with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ()) ]
+
+let property_cases =
+  [ Helpers.qtest "taus are 1..m in order" Helpers.arb_ltl_nnf (fun f ->
+      let pushed = Push_ahead.run f in
+      let _, substs = Next_substitution.run ~clock_period:10 pushed in
+      List.mapi (fun i _ -> i + 1) substs
+      = List.map (fun s -> s.Next_substitution.tau) substs);
+    Helpers.qtest "eps = cycles * period" Helpers.arb_ltl_nnf (fun f ->
+      let pushed = Push_ahead.run f in
+      let _, substs = Next_substitution.run ~clock_period:7 pushed in
+      List.for_all (fun s -> s.Next_substitution.eps = 7 * s.Next_substitution.cycles) substs);
+    Helpers.qtest "no next[n] remains" Helpers.arb_ltl_nnf (fun f ->
+      let result, _ = Next_substitution.run ~clock_period:10 (Push_ahead.run f) in
+      let rec no_next = function
+        | Ltl.Next_n _ -> false
+        | Ltl.Atom _ -> true
+        | Ltl.Not p | Ltl.Next_event (_, p) | Ltl.Always p | Ltl.Eventually p -> no_next p
+        | Ltl.And (p, q) | Ltl.Or (p, q) | Ltl.Implies (p, q)
+        | Ltl.Until (p, q) | Ltl.Release (p, q) -> no_next p && no_next q
+      in
+      no_next result) ]
+
+let suite = ("next_substitution", unit_cases @ report_cases @ error_cases @ property_cases)

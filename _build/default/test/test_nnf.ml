@@ -1,0 +1,44 @@
+open Tabv_psl
+
+let atom s = Ltl.Atom (Expr.Var s)
+
+let converts name source expected =
+  Alcotest.test_case name `Quick (fun () ->
+    Helpers.check_ltl name
+      (Parser.formula_only expected)
+      (Nnf.convert (Parser.formula_only source)))
+
+let unit_cases =
+  [ converts "atom unchanged" "a" "a";
+    converts "negated atom unchanged" "!a" "!a";
+    converts "double negation" "!(!a)" "a";
+    converts "de morgan and" "!(a && b)" "!a || !b";
+    converts "de morgan or" "!(a || b)" "!a && !b";
+    converts "negated implication" "!(a -> b)" "a && !b";
+    converts "implication" "a -> b" "!a || b";
+    converts "negation through next" "!(next[3](a))" "next[3](!a)";
+    converts "until dual" "!(a until b)" "!a release !b";
+    converts "release dual" "!(a release b)" "!a until !b";
+    converts "always dual" "!(always(a))" "eventually(!a)";
+    converts "eventually dual" "!(eventually(a))" "always(!a)";
+    converts "nested" "!(always(a -> next(b)))" "eventually(a && next(!b))";
+    converts "negated true constant folds" "!true" "false";
+    converts "negated false constant folds" "!false" "true";
+    converts "positive context recursion" "always(!(a && b))" "always(!a || !b)" ]
+
+let property_cases =
+  [ Helpers.qtest "result is in NNF" Helpers.arb_ltl_general (fun f ->
+      Ltl.is_nnf (Nnf.convert f));
+    Helpers.qtest "idempotent" Helpers.arb_ltl_general (fun f ->
+      let once = Nnf.convert f in
+      Ltl.equal once (Nnf.convert once));
+    Helpers.qtest "preserves three-valued semantics" Helpers.arb_ltl_and_trace
+      (fun (f, trace) ->
+        Semantics.equal_verdict (Semantics.eval trace f) (Semantics.eval trace (Nnf.convert f)));
+    Helpers.qtest "negation flips the verdict" Helpers.arb_ltl_and_trace
+      (fun (f, trace) ->
+        Semantics.equal_verdict
+          (Semantics.v_not (Semantics.eval trace f))
+          (Semantics.eval trace (Nnf.convert (Ltl.Not f)))) ]
+
+let suite = ("nnf", unit_cases @ property_cases)

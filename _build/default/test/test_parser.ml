@@ -1,0 +1,245 @@
+open Tabv_psl
+
+let atom s = Ltl.Atom (Expr.Var s)
+
+let parses name source expected =
+  Alcotest.test_case name `Quick (fun () ->
+    Helpers.check_ltl name expected (Parser.formula_only source))
+
+let parses_ctx name source expected_formula expected_context =
+  Alcotest.test_case name `Quick (fun () ->
+    let f, c = Parser.formula source in
+    Helpers.check_ltl (name ^ " formula") expected_formula f;
+    Alcotest.check Helpers.context (name ^ " context") expected_context c)
+
+let rejects name source =
+  Alcotest.test_case name `Quick (fun () ->
+    match Parser.formula_only source with
+    | _ -> Alcotest.failf "expected parse error for %S" source
+    | exception Parser.Parse_error _ -> ())
+
+let formula_cases =
+  [ parses "variable" "ds" (atom "ds");
+    parses "negation" "!ds" (Ltl.Not (atom "ds"));
+    parses "conjunction" "a && b" (Ltl.And (atom "a", atom "b"));
+    parses "disjunction left assoc" "a || b || c"
+      (Ltl.Or (Ltl.Or (atom "a", atom "b"), atom "c"));
+    parses "and binds tighter than or" "a || b && c"
+      (Ltl.Or (atom "a", Ltl.And (atom "b", atom "c")));
+    parses "implication right assoc" "a -> b -> c"
+      (Ltl.Implies (atom "a", Ltl.Implies (atom "b", atom "c")));
+    parses "next" "next(a)" (Ltl.Next_n (1, atom "a"));
+    parses "next without parens" "next a" (Ltl.Next_n (1, atom "a"));
+    parses "bounded next" "next[17](out != 0)"
+      (Ltl.Next_n (17, Ltl.Atom (Expr.Cmp (Expr.Neq, Expr.Avar "out", Expr.Int 0))));
+    parses "nexte" "nexte[2,20](rdy)"
+      (Ltl.Next_event ({ tau = 2; eps = 20 }, atom "rdy"));
+    parses "until" "a until b" (Ltl.Until (atom "a", atom "b"));
+    parses "release" "a release b" (Ltl.Release (atom "a", atom "b"));
+    parses "until right assoc" "a until b until c"
+      (Ltl.Until (atom "a", Ltl.Until (atom "b", atom "c")));
+    parses "always" "always(a)" (Ltl.Always (atom "a"));
+    parses "eventually" "eventually(a)" (Ltl.Eventually (atom "a"));
+    parses "comparison with =" "indata = 0"
+      (Ltl.Atom (Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0)));
+    parses "comparison with ==" "indata == 0"
+      (Ltl.Atom (Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0)));
+    parses "diamond operator" "indata <> 0"
+      (Ltl.Atom (Expr.Cmp (Expr.Neq, Expr.Avar "indata", Expr.Int 0)));
+    parses "arithmetic" "x + 2 * y <= 10"
+      (Ltl.Atom
+         (Expr.Cmp
+            (Expr.Le, Expr.Add (Expr.Avar "x", Expr.Mul (Expr.Int 2, Expr.Avar "y")), Expr.Int 10)));
+    parses "parenthesised arithmetic" "(x + 1) * 2 == 4"
+      (Ltl.Atom
+         (Expr.Cmp
+            (Expr.Eq, Expr.Mul (Expr.Add (Expr.Avar "x", Expr.Int 1), Expr.Int 2), Expr.Int 4)));
+    parses "negative literal" "x > -3"
+      (Ltl.Atom (Expr.Cmp (Expr.Gt, Expr.Avar "x", Expr.Int (-3))));
+    parses "true and false" "true || false" (Ltl.Or (Ltl.tt, Ltl.ff));
+    parses "comment skipped" "a -- trailing comment\n&& b" (Ltl.And (atom "a", atom "b"));
+    parses "paper p1 body"
+      "always (!(ds && indata = 0) || next[17](out != 0))"
+      (Ltl.Always
+         (Ltl.Or
+            (Ltl.Not
+               (Ltl.And (atom "ds", Ltl.Atom (Expr.Cmp (Expr.Eq, Expr.Avar "indata", Expr.Int 0)))),
+             Ltl.Next_n (17, Ltl.Atom (Expr.Cmp (Expr.Neq, Expr.Avar "out", Expr.Int 0)))))) ]
+
+let context_cases =
+  [ parses_ctx "default context" "a" (atom "a") (Context.Clock Context.Base_clock);
+    parses_ctx "clk_pos" "a @clk_pos" (atom "a") (Context.Clock (Context.Edge Context.Posedge));
+    parses_ctx "clk_neg" "a @clk_neg" (atom "a") (Context.Clock (Context.Edge Context.Negedge));
+    parses_ctx "clk" "a @clk" (atom "a") (Context.Clock (Context.Edge Context.Any_edge));
+    parses_ctx "base true" "a @true" (atom "a") (Context.Clock Context.Base_clock);
+    parses_ctx "tb" "a @tb" (atom "a") (Context.Transaction Context.Base_trans);
+    parses_ctx "gated clock" "a @(clk_pos && en)" (atom "a")
+      (Context.Clock (Context.Edge_and (Context.Posedge, Expr.Var "en")));
+    parses_ctx "gated transaction" "a @(tb && mode == 1)" (atom "a")
+      (Context.Transaction
+         (Context.Trans_and (Expr.Cmp (Expr.Eq, Expr.Avar "mode", Expr.Int 1)))) ]
+
+let sugar_cases =
+  [ parses "never" "never(a)" (Ltl.Always (Ltl.Not (atom "a")));
+    parses "never without parens" "never a" (Ltl.Always (Ltl.Not (atom "a")));
+    parses "weak until desugars to release" "a weak_until b"
+      (Ltl.Release (atom "b", Ltl.Or (atom "a", atom "b")));
+    parses "before desugars to until" "a before b"
+      (Ltl.Until (Ltl.Not (atom "b"), Ltl.And (atom "a", Ltl.Not (atom "b"))));
+    Alcotest.test_case "weak until is weak" `Quick (fun () ->
+      (* a holds forever, b never: weak until is not violated. *)
+      let f = Parser.formula_only "a weak_until b" in
+      let trace =
+        Trace.cycle_trace ~period:10
+          (List.init 5 (fun _ -> [ ("a", Expr.VBool true); ("b", Expr.VBool false) ]))
+      in
+      Alcotest.(check bool) "not violated" true (Semantics.holds trace f));
+    Alcotest.test_case "strong until would be pending on the same trace" `Quick
+      (fun () ->
+        let f = Parser.formula_only "a until b" in
+        let trace =
+          Trace.cycle_trace ~period:10
+            (List.init 5 (fun _ -> [ ("a", Expr.VBool true); ("b", Expr.VBool false) ]))
+        in
+        Alcotest.check Helpers.verdict "pending" Semantics.Unknown (Semantics.eval trace f));
+    Alcotest.test_case "before requires strict precedence" `Quick (fun () ->
+      let f = Parser.formula_only "a before b" in
+      let mk a b = [ ("a", Expr.VBool a); ("b", Expr.VBool b) ] in
+      let good = Trace.cycle_trace ~period:10 [ mk false false; mk true false; mk false true ] in
+      let bad = Trace.cycle_trace ~period:10 [ mk false false; mk false true ] in
+      let simultaneous = Trace.cycle_trace ~period:10 [ mk false false; mk true true ] in
+      Alcotest.check Helpers.verdict "good" Semantics.True (Semantics.eval good f);
+      Alcotest.check Helpers.verdict "bad" Semantics.False (Semantics.eval bad f);
+      Alcotest.check Helpers.verdict "simultaneous fails" Semantics.False
+        (Semantics.eval simultaneous f)) ]
+
+let psl_alias_cases =
+  [ parses "until! is the strong until" "a until! b" (Ltl.Until (atom "a", atom "b"));
+    parses "eventually! alias" "eventually! a" (Ltl.Eventually (atom "a")) ]
+
+let window_cases =
+  [ parses "next_a window" "next_a[2..4](b)"
+      (Ltl.And
+         (Ltl.And (Ltl.Next_n (2, atom "b"), Ltl.Next_n (3, atom "b")),
+          Ltl.Next_n (4, atom "b")));
+    parses "next_e window" "next_e[1..2](b)"
+      (Ltl.Or (Ltl.Next_n (1, atom "b"), Ltl.Next_n (2, atom "b")));
+    parses "degenerate window" "next_a[3..3](b)" (Ltl.Next_n (3, atom "b"));
+    rejects "reversed window" "next_a[4..2](b)";
+    rejects "zero window start" "next_e[0..2](b)";
+    Alcotest.test_case "windows flow through the methodology" `Quick (fun () ->
+      (* next_a over a window becomes a set of nexte with one eps per
+         covered cycle — Algorithm III.1 applies unchanged. *)
+      let p =
+        Parser.property_exn ~name:"w" "always (!a || next_a[2..3](b)) @clk_pos"
+      in
+      let report = Tabv_core.Methodology.abstract ~clock_period:10 p in
+      match report.Tabv_core.Methodology.output with
+      | Some q ->
+        Alcotest.(check (list (pair int int)))
+          "tau/eps"
+          [ (1, 20); (2, 30) ]
+          (List.map
+             (fun (ne : Ltl.next_event) -> (ne.Ltl.tau, ne.Ltl.eps))
+             (Ltl.next_events q.Property.formula))
+      | None -> Alcotest.fail "deleted");
+    Alcotest.test_case "next_e window semantics" `Quick (fun () ->
+      let f = Parser.formula_only "next_e[1..3](b)" in
+      let mk b = [ ("b", Expr.VBool b) ] in
+      let hit = Trace.cycle_trace ~period:10 [ mk false; mk false; mk false; mk true ] in
+      let miss =
+        Trace.cycle_trace ~period:10 [ mk false; mk false; mk false; mk false ]
+      in
+      Alcotest.check Helpers.verdict "hit" Semantics.True (Semantics.eval hit f);
+      Alcotest.check Helpers.verdict "miss" Semantics.False (Semantics.eval miss f)) ]
+
+let error_cases =
+  [ rejects "unbalanced paren" "(a || b";
+    rejects "missing operand" "a &&";
+    rejects "lone operator" "&& a";
+    rejects "bad next bound" "next[0](a)";
+    rejects "nexte missing eps" "nexte[1](a)";
+    rejects "trailing garbage" "a b";
+    rejects "temporal inside context" "a @(clk_pos && next(b))";
+    rejects "unknown context" "a @clk_bogus";
+    rejects "single ampersand" "a & b" ]
+
+let file_cases =
+  [ Alcotest.test_case "property file" `Quick (fun () ->
+      let source =
+        "-- DES56 sample\n\
+         property p1 = always (!ds || next[17](rdy)) @clk_pos;\n\
+         property p2 = a until b @tb;\n"
+      in
+      match Parser.file source with
+      | [ p1; p2 ] ->
+        Alcotest.(check string) "name1" "p1" p1.Property.name;
+        Alcotest.(check bool) "p1 is rtl" true (Property.is_rtl p1);
+        Alcotest.(check string) "name2" "p2" p2.Property.name;
+        Alcotest.(check bool) "p2 is tlm" true (Property.is_tlm p2)
+      | other -> Alcotest.failf "expected 2 properties, got %d" (List.length other));
+    Alcotest.test_case "empty file" `Quick (fun () ->
+      Alcotest.(check int) "none" 0 (List.length (Parser.file "-- nothing\n")));
+    Alcotest.test_case "missing semicolon" `Quick (fun () ->
+      match Parser.file "property p = a" with
+      | _ -> Alcotest.fail "expected parse error"
+      | exception Parser.Parse_error _ -> ());
+    Alcotest.test_case "error position" `Quick (fun () ->
+      match Parser.formula_only "a &&\n  ||" with
+      | _ -> Alcotest.fail "expected parse error"
+      | exception Parser.Parse_error { line; _ } ->
+        Alcotest.(check int) "line" 2 line) ]
+
+let const_cases =
+  [ Alcotest.test_case "file constants substitute into next bounds" `Quick (fun () ->
+      let source =
+        "const LATENCY = 17;\n\
+         const ZERO = 0;\n\
+         property p = always (!(ds && indata = ZERO) || next[LATENCY](rdy)) @clk_pos;\n"
+      in
+      match Parser.file source with
+      | [ p ] ->
+        Helpers.check_ltl "formula"
+          (Parser.formula_only "always (!(ds && indata = 0) || next[17](rdy))")
+          p.Property.formula
+      | other -> Alcotest.failf "expected 1 property, got %d" (List.length other));
+    Alcotest.test_case "constants work in window bounds and comparisons" `Quick
+      (fun () ->
+        let source =
+          "const LO = 2;\nconst HI = 3;\nconst LIMIT = 235;\n\
+           property w = always (!dv || next_a[LO..HI](y <= LIMIT)) @clk_pos;\n"
+        in
+        match Parser.file source with
+        | [ p ] ->
+          Helpers.check_ltl "formula"
+            (Parser.formula_only "always (!dv || next_a[2..3](y <= 235))")
+            p.Property.formula
+        | _ -> Alcotest.fail "expected 1 property");
+    Alcotest.test_case "negative constants" `Quick (fun () ->
+      match Parser.file "const FLOOR = -4;\nproperty p = always(x > FLOOR);\n" with
+      | [ p ] ->
+        Helpers.check_ltl "formula" (Parser.formula_only "always(x > -4)")
+          p.Property.formula
+      | _ -> Alcotest.fail "expected 1 property");
+    Alcotest.test_case "unknown constant is an ordinary signal in arith" `Quick
+      (fun () ->
+        match Parser.file "property p = always(x > FLOOR);\n" with
+        | [ p ] ->
+          Helpers.check_ltl "formula" (Parser.formula_only "always(x > FLOOR)")
+            p.Property.formula
+        | _ -> Alcotest.fail "expected 1 property");
+    Alcotest.test_case "unknown constant rejected in next bound" `Quick (fun () ->
+      match Parser.file "property p = always(next[NOPE](a));\n" with
+      | _ -> Alcotest.fail "expected parse error"
+      | exception Parser.Parse_error _ -> ()) ]
+
+let roundtrip_cases =
+  [ Helpers.qtest "print/parse round-trip" Helpers.arb_ltl_general (fun f ->
+      match Parser.formula_only (Ltl.to_string f) with
+      | parsed -> Ltl.equal f parsed
+      | exception Parser.Parse_error _ -> false) ]
+
+let suite =
+  ("parser",
+   formula_cases @ context_cases @ sugar_cases @ psl_alias_cases @ window_cases
+   @ error_cases @ file_cases @ const_cases @ roundtrip_cases)

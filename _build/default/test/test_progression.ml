@@ -1,0 +1,157 @@
+open Tabv_psl
+open Tabv_checker
+
+let lookup_of bindings name = List.assoc_opt name bindings
+
+let env_t = lookup_of [ ("a", Expr.VBool true); ("b", Expr.VBool false) ]
+let env_ab = lookup_of [ ("a", Expr.VBool true); ("b", Expr.VBool true) ]
+let env_none = lookup_of [ ("a", Expr.VBool false); ("b", Expr.VBool false) ]
+
+let formula source = Parser.formula_only source
+
+let step_seq source envs =
+  (* Step once per env at times 0, 10, 20, ... *)
+  let ob = ref (Progression.of_formula (formula source)) in
+  List.iteri (fun i env -> ob := Progression.step ~time:(i * 10) env !ob) envs;
+  !ob
+
+let verdict_is name expected ob =
+  Alcotest.(check (option bool)) name expected (Progression.verdict ob)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let untimed_cases =
+  [ case "atom resolves immediately" (fun () ->
+      verdict_is "true" (Some true) (step_seq "a" [ env_t ]);
+      verdict_is "false" (Some false) (step_seq "b" [ env_t ]));
+    case "negated atom" (fun () ->
+      verdict_is "true" (Some true) (step_seq "!b" [ env_t ]));
+    case "conjunction short-circuits" (fun () ->
+      verdict_is "false" (Some false) (step_seq "a && b" [ env_t ]));
+    case "next defers one step" (fun () ->
+      let ob = step_seq "next(a)" [ env_none ] in
+      verdict_is "pending" None ob;
+      verdict_is "resolved" (Some true)
+        (Progression.step ~time:10 env_t ob));
+    case "next[3] defers three steps" (fun () ->
+      let ob = step_seq "next[3](b)" [ env_t; env_t; env_t ] in
+      verdict_is "pending" None ob;
+      verdict_is "resolved" (Some false) (Progression.step ~time:30 env_t ob));
+    case "until discharges on rhs" (fun () ->
+      verdict_is "true" (Some true) (step_seq "a until b" [ env_t; env_t; env_ab ]));
+    case "until fails when lhs breaks" (fun () ->
+      verdict_is "false" (Some false) (step_seq "a until b" [ env_t; env_none ]));
+    case "until pending while lhs holds" (fun () ->
+      verdict_is "pending" None (step_seq "a until b" [ env_t; env_t; env_t ]));
+    case "release pending forever" (fun () ->
+      verdict_is "pending" None (step_seq "b release a" [ env_t; env_t ]));
+    case "release discharges at release point" (fun () ->
+      verdict_is "true" (Some true) (step_seq "b release a" [ env_t; env_ab ]));
+    case "release fails when payload breaks" (fun () ->
+      verdict_is "false" (Some false) (step_seq "b release a" [ env_t; env_none ]));
+    case "always pending until violation" (fun () ->
+      verdict_is "pending" None (step_seq "always(a)" [ env_t; env_t ]);
+      verdict_is "false" (Some false) (step_seq "always(a)" [ env_t; env_none ]));
+    case "eventually resolves on witness" (fun () ->
+      verdict_is "true" (Some true) (step_seq "eventually(b)" [ env_t; env_ab ]);
+      verdict_is "pending" None (step_seq "eventually(b)" [ env_t; env_t ]));
+    case "rejects non-NNF" (fun () ->
+      match Progression.of_formula (formula "!(a && b)") with
+      | _ -> Alcotest.fail "expected Not_in_nnf"
+      | exception Progression.Not_in_nnf _ -> ()) ]
+
+let timed_cases =
+  [ case "nexte waits for the exact instant" (fun () ->
+      let ob = Progression.of_formula (formula "nexte[1,170](a)") in
+      let ob = Progression.step ~time:0 env_none ob in
+      verdict_is "pending after firing" None ob;
+      Alcotest.(check bool) "timed wait" true (Progression.has_timed_wait ob);
+      Alcotest.(check (option int)) "evaluation table entry" (Some 170)
+        (Progression.next_evaluation_time ob);
+      (* A transaction before the instant is ignored. *)
+      let ob = Progression.step ~time:40 env_none ob in
+      verdict_is "still pending" None ob;
+      (* The transaction at exactly 170 evaluates the operand. *)
+      let ob = Progression.step ~time:170 env_t ob in
+      verdict_is "resolved" (Some true) ob);
+    case "nexte fails when the instant is skipped" (fun () ->
+      let ob = Progression.of_formula (formula "nexte[1,170](a)") in
+      let ob = Progression.step ~time:0 env_none ob in
+      let ob = Progression.step ~time:180 env_t ob in
+      verdict_is "failed" (Some false) ob);
+    case "nexte operand false at the instant" (fun () ->
+      let ob = Progression.of_formula (formula "nexte[1,20](b)") in
+      let ob = Progression.step ~time:0 env_t ob in
+      let ob = Progression.step ~time:20 env_t ob in
+      verdict_is "failed" (Some false) ob);
+    case "chained nexte re-anchors at its own instant" (fun () ->
+      let ob = Progression.of_formula (formula "nexte[1,20](nexte[2,30](a))") in
+      let ob = Progression.step ~time:0 env_none ob in
+      let ob = Progression.step ~time:20 env_none ob in
+      Alcotest.(check (option int)) "second target" (Some 50)
+        (Progression.next_evaluation_time ob);
+      let ob = Progression.step ~time:50 env_t ob in
+      verdict_is "resolved" (Some true) ob);
+    case "paper q3 wrapper behaviour (Fig. 5)" (fun () ->
+      (* q3 body: !ds || nexte[1,170](rdy); instance fired at a
+         transaction where ds holds. *)
+      let body = formula "!ds || nexte[1,170](rdy)" in
+      let env ~ds ~rdy =
+        lookup_of [ ("ds", Expr.VBool ds); ("rdy", Expr.VBool rdy) ]
+      in
+      let ob = Progression.step ~time:0 (env ~ds:true ~rdy:false)
+          (Progression.of_formula body)
+      in
+      verdict_is "fired" None ob;
+      (* Unrelated transactions in between are skipped. *)
+      let ob = Progression.step ~time:40 (env ~ds:false ~rdy:false) ob in
+      let ob = Progression.step ~time:90 (env ~ds:false ~rdy:false) ob in
+      verdict_is "still waiting" None ob;
+      let ob = Progression.step ~time:170 (env ~ds:false ~rdy:true) ob in
+      verdict_is "passes" (Some true) ob);
+    case "paper q3 late transaction raises failure" (fun () ->
+      let body = formula "!ds || nexte[1,170](rdy)" in
+      let env ~ds ~rdy =
+        lookup_of [ ("ds", Expr.VBool ds); ("rdy", Expr.VBool rdy) ]
+      in
+      let ob = Progression.step ~time:0 (env ~ds:true ~rdy:false)
+          (Progression.of_formula body)
+      in
+      let ob = Progression.step ~time:180 (env ~ds:false ~rdy:true) ob in
+      verdict_is "fails" (Some false) ob) ]
+
+let equivalence_cases =
+  (* The progression verdict agrees with the declarative three-valued
+     semantics on full traces. *)
+  [ Helpers.qtest ~count:300 "progression agrees with Semantics"
+      Helpers.arb_nnf_and_trace (fun (f, trace) ->
+        let ob = ref (Progression.of_formula f) in
+        (try
+           for i = 0 to Trace.length trace - 1 do
+             let entry = Trace.get trace i in
+             ob := Progression.step ~time:entry.Trace.time (Trace.lookup entry) !ob
+           done
+         with _ -> ());
+        let expected =
+          match Semantics.eval trace f with
+          | Semantics.True -> Some true
+          | Semantics.False -> Some false
+          | Semantics.Unknown -> None
+        in
+        Progression.verdict !ob = expected);
+    Helpers.qtest ~count:300 "timed progression agrees with timed semantics"
+      Helpers.arb_timed_nnf_and_trace (fun (f, trace) ->
+        let ob = ref (Progression.of_formula f) in
+        for i = 0 to Trace.length trace - 1 do
+          let entry = Trace.get trace i in
+          ob := Progression.step ~time:entry.Trace.time (Trace.lookup entry) !ob
+        done;
+        let expected =
+          match Semantics.eval trace f with
+          | Semantics.True -> Some true
+          | Semantics.False -> Some false
+          | Semantics.Unknown -> None
+        in
+        Progression.verdict !ob = expected) ]
+
+let suite = ("progression", untimed_cases @ timed_cases @ equivalence_cases)

@@ -1,0 +1,83 @@
+open Tabv_psl
+
+(* The property files shipped in props/ must stay in sync with the
+   built-in OCaml definitions (they are the user-facing form of the
+   same sets). *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Tests run from the test build directory; find the repo root by
+   walking up until props/ exists. *)
+let props_dir () =
+  let rec search dir depth =
+    if depth > 8 then None
+    else if Sys.file_exists (Filename.concat dir "props") then
+      Some (Filename.concat dir "props")
+    else search (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  search (Sys.getcwd ()) 0
+
+let with_props_file name k =
+  match props_dir () with
+  | None -> Alcotest.skip ()
+  | Some dir -> k (read_file (Filename.concat dir name))
+
+let equal_modulo_demotion a b =
+  Ltl.equal (Ltl.demote_booleans a.Property.formula)
+    (Ltl.demote_booleans b.Property.formula)
+  && Context.equal a.Property.context b.Property.context
+  && String.equal a.Property.name b.Property.name
+
+let cases =
+  [ case "props/des56.psl matches Des56_props.all" (fun () ->
+      with_props_file "des56.psl" (fun source ->
+        let parsed = Parser.file source in
+        Alcotest.(check int) "count" 9 (List.length parsed);
+        List.iter2
+          (fun file_p builtin_p ->
+            if not (equal_modulo_demotion file_p builtin_p) then
+              Alcotest.failf "mismatch for %s:\n  file:    %a\n  builtin: %a"
+                builtin_p.Property.name Property.pp file_p Property.pp builtin_p)
+          parsed Tabv_duv.Des56_props.all));
+    case "props/colorconv.psl matches Colorconv_props.all" (fun () ->
+      with_props_file "colorconv.psl" (fun source ->
+        let parsed = Parser.file source in
+        Alcotest.(check int) "count" 12 (List.length parsed);
+        List.iter2
+          (fun file_p builtin_p ->
+            if not (equal_modulo_demotion file_p builtin_p) then
+              Alcotest.failf "mismatch for %s" builtin_p.Property.name)
+          parsed Tabv_duv.Colorconv_props.all));
+    case "props/memctrl.psl matches Memctrl_props.all" (fun () ->
+      with_props_file "memctrl.psl" (fun source ->
+        let parsed = Parser.file source in
+        Alcotest.(check int) "count" 8 (List.length parsed);
+        List.iter2
+          (fun file_p builtin_p ->
+            if not (equal_modulo_demotion file_p builtin_p) then
+              Alcotest.failf "mismatch for %s" builtin_p.Property.name)
+          parsed Tabv_duv.Memctrl_props.all));
+    case "printed properties re-parse to the same file" (fun () ->
+      (* Round-trip the whole DES56 set through print + file parse. *)
+      let printed =
+        String.concat "\n"
+          (List.map
+             (fun p ->
+               Format.asprintf "property %s = %a %a;" p.Property.name Ltl.pp
+                 p.Property.formula Context.pp p.Property.context)
+             Tabv_duv.Des56_props.all)
+      in
+      let reparsed = Parser.file printed in
+      List.iter2
+        (fun a b ->
+          if not (Property.equal a b) then
+            Alcotest.failf "round-trip mismatch for %s" a.Property.name)
+        reparsed Tabv_duv.Des56_props.all) ]
+
+let suite = ("prop_files", cases)

@@ -1,0 +1,56 @@
+open Tabv_psl
+open Tabv_core
+
+let converts name source expected =
+  Alcotest.test_case name `Quick (fun () ->
+    Helpers.check_ltl name
+      (Parser.formula_only expected)
+      (Push_ahead.run (Parser.formula_only source)))
+
+let unit_cases =
+  [ converts "atom unchanged" "a" "a";
+    converts "next over atom unchanged" "next[3](a)" "next[3](a)";
+    converts "next over or" "next(a || b)" "next(a) || next(b)";
+    converts "next over and" "next(a && b)" "next(a) && next(b)";
+    converts "next over until" "next(a until b)" "next(a) until next(b)";
+    converts "next over release" "next(a release b)" "next(a) release next(b)";
+    converts "chain collapse" "next(next[2](a))" "next[3](a)";
+    converts "chain collapse through or" "next[2](next(a) || b)"
+      "next[3](a) || next[2](b)";
+    converts "next over always" "next(always(a))" "always(next(a))";
+    converts "next over eventually" "next[2](eventually(a))" "eventually(next[2](a))";
+    converts "negated atom under next" "next(!a)" "next(!a)";
+    converts "paper p2 body" "always (!ds || (next(!ds until next(rdy))))"
+      "always (!ds || (next(!ds) until next[2](rdy)))";
+    converts "no next is identity" "always(a until (b release c))"
+      "always(a until (b release c))";
+    converts "deep mixed" "next((a || next(b)) && (c until d))"
+      "(next(a) || next[2](b)) && (next(c) until next(d))" ]
+
+let error_cases =
+  [ Alcotest.test_case "rejects non-NNF (negated and)" `Quick (fun () ->
+      match Push_ahead.run (Parser.formula_only "next(!(a && b))") with
+      | _ -> Alcotest.fail "expected Not_in_nnf"
+      | exception Push_ahead.Not_in_nnf _ -> ());
+    Alcotest.test_case "rejects implication" `Quick (fun () ->
+      match Push_ahead.run (Parser.formula_only "next(a -> b)") with
+      | _ -> Alcotest.fail "expected Not_in_nnf"
+      | exception Push_ahead.Not_in_nnf _ -> ());
+    Alcotest.test_case "rejects nexte input" `Quick (fun () ->
+      match Push_ahead.run (Parser.formula_only "next(nexte[1,10](a))") with
+      | _ -> Alcotest.fail "expected Not_in_nnf"
+      | exception Push_ahead.Not_in_nnf _ -> ()) ]
+
+let property_cases =
+  [ Helpers.qtest "postcondition: is_pushed" Helpers.arb_ltl_nnf (fun f ->
+      Ltl.is_pushed (Push_ahead.run f));
+    Helpers.qtest "idempotent" Helpers.arb_ltl_nnf (fun f ->
+      let once = Push_ahead.run f in
+      Ltl.equal once (Push_ahead.run once));
+    Helpers.qtest "preserves semantics" Helpers.arb_nnf_and_trace (fun (f, trace) ->
+      Semantics.equal_verdict (Semantics.eval trace f)
+        (Semantics.eval trace (Push_ahead.run f)));
+    Helpers.qtest "preserves next_depth" Helpers.arb_ltl_nnf (fun f ->
+      Ltl.next_depth f = Ltl.next_depth (Push_ahead.run f)) ]
+
+let suite = ("push_ahead", unit_cases @ error_cases @ property_cases)

@@ -1,0 +1,124 @@
+open Tabv_psl
+
+let b name v = (name, Expr.VBool v)
+let i name v = (name, Expr.VInt v)
+
+(* Clock-event trace, period 10 ns. *)
+let trace_of rows = Trace.cycle_trace ~period:10 rows
+
+let check name expected trace formula =
+  Alcotest.test_case name `Quick (fun () ->
+    Alcotest.check Helpers.verdict name expected
+      (Semantics.eval trace (Parser.formula_only formula)))
+
+let t3 =
+  trace_of
+    [ [ b "a" true; b "r" false ];
+      [ b "a" true; b "r" false ];
+      [ b "a" false; b "r" true ] ]
+
+let basic_cases =
+  [ check "atom true" Semantics.True t3 "a";
+    check "atom false" Semantics.False t3 "r";
+    check "not" Semantics.True t3 "!r";
+    check "and" Semantics.False t3 "a && r";
+    check "or" Semantics.True t3 "a || r";
+    check "implication" Semantics.True t3 "r -> a";
+    check "next" Semantics.True t3 "next(a)";
+    check "next two" Semantics.False t3 "next[2](a)";
+    check "next beyond end" Semantics.Unknown t3 "next[5](a)";
+    check "until satisfied" Semantics.True t3 "a until r";
+    check "until fails when lhs fails first" Semantics.False t3 "r until (a && r)";
+    check "until never reached" Semantics.False t3 "a until (a && r)";
+    check "until pending at end" Semantics.Unknown t3 "a until (r && next(r))";
+    check "release never released stays pending" Semantics.Unknown t3
+      "(a && r) release (a || r)";
+    check "release satisfied by release point" Semantics.True t3 "r release (a || r)";
+    check "release fails when payload fails" Semantics.False t3 "r release a";
+    check "release violated" Semantics.False t3 "false release a";
+    check "always violated" Semantics.False t3 "always(a)";
+    check "always never true on finite trace" Semantics.Unknown t3 "always(a || r)";
+    check "eventually true" Semantics.True t3 "eventually(r)";
+    check "eventually unknown" Semantics.Unknown t3 "eventually(a && r)" ]
+
+(* Timed (transaction-event) traces for nexte. *)
+let timed rows = Trace.of_list (List.map (fun (t, env) -> { Trace.time = t; env }) rows)
+
+let tlm_trace =
+  timed
+    [ (0, [ b "ds" true; b "rdy" false ]);
+      (170, [ b "ds" false; b "rdy" true ]);
+      (200, [ b "ds" false; b "rdy" false ]) ]
+
+let nexte_cases =
+  [ check "nexte hit" Semantics.True tlm_trace "nexte[1,170](rdy)";
+    check "nexte operand false" Semantics.False tlm_trace "nexte[1,170](ds)";
+    check "nexte missed instant" Semantics.False tlm_trace "nexte[1,100](rdy)";
+    check "nexte beyond trace" Semantics.Unknown tlm_trace "nexte[1,500](rdy)";
+    check "nexte chain" Semantics.False tlm_trace "nexte[1,170](nexte[2,10](rdy))";
+    check "nexte chain hit" Semantics.True tlm_trace "nexte[1,170](nexte[2,30](!rdy))";
+    Alcotest.test_case "paper q3 passes on equivalent trace" `Quick (fun () ->
+      (* ds at 0 and rdy at 170 with intermediate unrelated events:
+         the evaluation point at exactly 170 exists, so q3 holds. *)
+      let trace =
+        timed
+          [ (0, [ b "ds" true; b "rdy" false ]);
+            (40, [ b "ds" false; b "rdy" false ]);
+            (170, [ b "ds" false; b "rdy" true ]) ]
+      in
+      let q3 = Parser.formula_only "always(!ds || nexte[1,170](rdy))" in
+      Alcotest.check Helpers.verdict "q3" Semantics.Unknown (Semantics.eval trace q3);
+      Alcotest.(check bool) "holds" true (Semantics.holds trace q3));
+    Alcotest.test_case "paper q3 fails when transaction is late" `Quick (fun () ->
+      let trace =
+        timed
+          [ (0, [ b "ds" true; b "rdy" false ]);
+            (180, [ b "ds" false; b "rdy" true ]) ]
+      in
+      let q3 = Parser.formula_only "always(!ds || nexte[1,170](rdy))" in
+      Alcotest.(check bool) "violated" true (Semantics.violated trace q3)) ]
+
+let monotonic_cases =
+  [ Alcotest.test_case "non-monotonic trace rejected" `Quick (fun () ->
+      match timed [ (0, []); (0, []) ] with
+      | _ -> Alcotest.fail "expected Non_monotonic"
+      | exception Trace.Non_monotonic { index = 1; _ } -> ());
+    Alcotest.test_case "cycle trace times" `Quick (fun () ->
+      let t = trace_of [ []; []; [] ] in
+      Alcotest.(check (list int)) "times" [ 0; 10; 20 ]
+        (List.map (fun e -> e.Trace.time) (Trace.to_list t)));
+    Alcotest.test_case "index_at_time" `Quick (fun () ->
+      let t = trace_of [ []; []; [] ] in
+      Alcotest.(check (option int)) "found" (Some 2) (Trace.index_at_time t ~from:0 ~time:20);
+      Alcotest.(check (option int)) "not found" None (Trace.index_at_time t ~from:0 ~time:15);
+      Alcotest.(check (option int)) "respects from" None (Trace.index_at_time t ~from:3 ~time:20));
+    Alcotest.test_case "first_index_after" `Quick (fun () ->
+      let t = trace_of [ []; []; [] ] in
+      Alcotest.(check (option int)) "after 5" (Some 1) (Trace.first_index_after t ~from:0 ~time:5);
+      Alcotest.(check (option int)) "after 20" None (Trace.first_index_after t ~from:0 ~time:20)) ]
+
+let kleene_cases =
+  [ Helpers.qtest "and/or duality" Helpers.arb_ltl_and_trace (fun (f, trace) ->
+      let lhs = Semantics.eval trace (Ltl.Not (Ltl.And (f, f))) in
+      let rhs = Semantics.eval trace (Ltl.Or (Ltl.Not f, Ltl.Not f)) in
+      Semantics.equal_verdict lhs rhs);
+    Helpers.qtest "until unfolding law" Helpers.arb_nnf_and_trace (fun (f, trace) ->
+      (* a U b == b or (a and next(a U b)) on every trace. *)
+      let u = Ltl.Until (f, Ltl.Not f) in
+      let unfolded =
+        Ltl.Or (Ltl.Not f, Ltl.And (f, Ltl.Next_n (1, u)))
+      in
+      (* The unfolding may be Unknown where the direct evaluation
+         already decided at the last trace position; accept equal or
+         the unfolded side being weaker. *)
+      let direct = Semantics.eval trace u in
+      let unf = Semantics.eval trace unfolded in
+      Semantics.equal_verdict direct unf || unf = Semantics.Unknown);
+    Helpers.qtest "always entails first position" Helpers.arb_nnf_and_trace
+      (fun (f, trace) ->
+        match Semantics.eval trace (Ltl.Always f) with
+        | Semantics.True -> Semantics.eval trace f = Semantics.True
+        | Semantics.False | Semantics.Unknown -> true) ]
+
+let suite =
+  ("semantics", basic_cases @ nexte_cases @ monotonic_cases @ kleene_cases)

@@ -1,0 +1,107 @@
+open Tabv_psl
+open Tabv_core
+
+let run ?(removed = [ "s" ]) source =
+  Signal_abstraction.run ~removed (Parser.formula_only source)
+
+let rewrites name ?removed source expected =
+  Alcotest.test_case name `Quick (fun () ->
+    let result = run ?removed source in
+    match result.Signal_abstraction.formula with
+    | None -> Alcotest.failf "property was deleted"
+    | Some f -> Helpers.check_ltl name (Parser.formula_only expected) f)
+
+let deletes name ?removed source =
+  Alcotest.test_case name `Quick (fun () ->
+    let result = run ?removed source in
+    Alcotest.(check bool) "deleted" true (result.Signal_abstraction.formula = None))
+
+let classified name ?removed source expected =
+  Alcotest.test_case name `Quick (fun () ->
+    let result = run ?removed source in
+    let to_string = function
+      | Signal_abstraction.Unchanged -> "unchanged"
+      | Signal_abstraction.Weakened -> "weakened"
+      | Signal_abstraction.Needs_review -> "needs_review"
+    in
+    Alcotest.(check string) name (to_string expected)
+      (to_string result.Signal_abstraction.classification))
+
+let rule_cases =
+  [ rewrites "conjunct dropped right" "a && s" "a";
+    rewrites "conjunct dropped left" "s && a" "a";
+    rewrites "disjunct dropped right" "a || s" "a";
+    rewrites "disjunct dropped left" "s || a" "a";
+    rewrites "until rhs dropped" "a until s" "a";
+    rewrites "until lhs dropped" "s until a" "a";
+    deletes "release rhs dropped deletes" "a release s";
+    rewrites "release lhs dropped" "s release a" "a";
+    deletes "atom alone" "s";
+    deletes "negated atom alone" "!s";
+    deletes "next of abstracted atom" "next[4](s)";
+    deletes "always of abstracted atom" "always(s)";
+    deletes "eventually of abstracted atom" "eventually(s)";
+    rewrites "nested propagation" "always(a || next(s))" "always(a)";
+    rewrites "comparison mentioning signal"
+      ~removed:[ "cnt" ] "a && cnt == 3" "a";
+    deletes "both operands abstracted" "s && next(s)";
+    rewrites "untouched formula" "always(a until b)" "always(a until b)" ]
+
+let classification_cases =
+  [ classified "no abstraction" "always(a)" Signal_abstraction.Unchanged;
+    classified "conjunct drop is weakening" "always(a && s)" Signal_abstraction.Weakened;
+    classified "two conjunct drops stay weakened"
+      ~removed:[ "s"; "t" ] "always(a && s && t)" Signal_abstraction.Weakened;
+    classified "disjunct drop needs review" "always(a || s)" Signal_abstraction.Needs_review;
+    classified "until drop needs review" "always(a until s)" Signal_abstraction.Needs_review;
+    classified "weakening under disjunction stays weakened" "(a && s) || (b && !s)"
+      Signal_abstraction.Weakened;
+    classified "mixed needs review" "(a && s) && (b || s)" Signal_abstraction.Needs_review;
+    classified "deleted property flagged for review" "s" Signal_abstraction.Needs_review ]
+
+let paper_cases =
+  [ Alcotest.test_case "paper p3 signal abstraction" `Quick (fun () ->
+      (* p3 without its clock context, after NNF (it is already NNF). *)
+      let p3 =
+        Parser.formula_only
+          "always (!ds || (next[15](rdy_next_next_cycle) && next[16](rdy_next_cycle) && next[17](rdy)))"
+      in
+      let result =
+        Signal_abstraction.run
+          ~removed:[ "rdy_next_cycle"; "rdy_next_next_cycle" ] p3
+      in
+      (match result.Signal_abstraction.formula with
+       | Some f ->
+         Helpers.check_ltl "survivor"
+           (Parser.formula_only "always (!ds || next[17](rdy))") f
+       | None -> Alcotest.fail "p3 must survive");
+      Alcotest.(check bool) "weakened (safe reuse)" true
+        (result.Signal_abstraction.classification = Signal_abstraction.Weakened);
+      Alcotest.(check int) "one rule applied" 1
+        (List.length result.Signal_abstraction.applied)) ]
+
+let property_cases =
+  let removed = [ "a" ] in
+  [ Helpers.qtest "result never mentions removed signals" Helpers.arb_ltl_nnf (fun f ->
+      match (Signal_abstraction.run ~removed f).Signal_abstraction.formula with
+      | None -> true
+      | Some f' -> not (List.mem "a" (Ltl.signals f')));
+    Helpers.qtest "no-op when signal absent" Helpers.arb_ltl_nnf (fun f ->
+      match (Signal_abstraction.run ~removed:[ "zz" ] f).Signal_abstraction.formula with
+      | Some f' -> Ltl.equal f f'
+      | None -> false);
+    Helpers.qtest "weakened results are logical consequences"
+      Helpers.arb_nnf_and_trace (fun (f, trace) ->
+        let result = Signal_abstraction.run ~removed f in
+        match result.Signal_abstraction.formula,
+              result.Signal_abstraction.classification with
+        | Some f', Signal_abstraction.Weakened ->
+          (* If f holds (is not violated) and is in fact True, then f'
+             must not be False on the same trace. *)
+          (match Semantics.eval trace f with
+           | Semantics.True -> Semantics.eval trace f' <> Semantics.False
+           | Semantics.False | Semantics.Unknown -> true)
+        | _ -> true) ]
+
+let suite =
+  ("signal_abstraction", rule_cases @ classification_cases @ paper_cases @ property_cases)

@@ -1,0 +1,37 @@
+open Tabv_psl
+
+let ok name source =
+  Alcotest.test_case name `Quick (fun () ->
+    let violations = Simple_subset.check (Parser.formula_only source) in
+    if violations <> [] then
+      Alcotest.failf "unexpected violations: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Simple_subset.pp_violation) violations)))
+
+let bad name source expected_count =
+  Alcotest.test_case name `Quick (fun () ->
+    Alcotest.(check int) name expected_count
+      (List.length (Simple_subset.check (Parser.formula_only source))))
+
+let cases =
+  [ ok "boolean formula" "a && (b || !c)";
+    ok "paper p1" "always (!(ds && indata = 0) || next[17](out != 0))";
+    ok "paper p2" "always (!ds || (next(!ds until next(rdy))))";
+    ok "paper p3"
+      "always (!ds || (next[15](u) && next[16](v) && next[17](rdy)))";
+    ok "boolean until lhs" "a until next(b)";
+    ok "implication with boolean antecedent" "a -> next[2](b)";
+    ok "negation of boolean" "!(a && b)";
+    bad "negation of temporal" "!(next(a))" 1;
+    bad "temporal until lhs" "next(a) until b" 1;
+    bad "temporal release lhs" "next(a) release b" 1;
+    bad "both or operands temporal" "next(a) || next(b)" 1;
+    bad "temporal antecedent" "next(a) -> b" 1;
+    bad "two violations" "next(a) until (next(b) || next(c))" 2;
+    Alcotest.test_case "is_simple" `Quick (fun () ->
+      Alcotest.(check bool) "yes" true
+        (Simple_subset.is_simple (Parser.formula_only "always(a -> next(b))"));
+      Alcotest.(check bool) "no" false
+        (Simple_subset.is_simple (Parser.formula_only "!(always(a))"))) ]
+
+let suite = ("simple_subset", cases)
