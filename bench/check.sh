@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Local / CI gate for the checker-engine refactor.
+#
+#   sh bench/check.sh
+#
+# Runs, in order:
+#   1. dune build @fmt   (only when ocamlformat is installed — the
+#                         format check is advisory on machines without it)
+#   2. dune build        (whole tree, warnings-as-errors per dune-project)
+#   3. dune runtest      (tier-1: unit + property-based suites, including
+#                         the interned-vs-legacy engine equivalence)
+#   4. bench/main.exe --quick --cache-only
+#                        (replays recorded traces under both engines,
+#                         asserts outcome equivalence, writes
+#                         BENCH_checker_cache.json, and FAILS if the
+#                         interned engine is below the 1.5x speedup floor)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping format check (ocamlformat not installed)"
+fi
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== checker-cache bench gate (>= 1.5x)"
+dune exec bench/main.exe -- --quick --cache-only
+
+echo "== all checks passed"

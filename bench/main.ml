@@ -251,6 +251,152 @@ let ablation_wrapper_stats ops =
     result.Testbench.checker_stats;
   print_newline ()
 
+(* --- Checker cache: interned progression vs legacy rewriting -------- *)
+
+(* Replay-based measurement of the interned checker core: record one
+   evaluation trace per abstraction level, then re-check a replicated
+   always-property pool over it with the legacy tree-rewriting engine
+   and with the interned/memoized engine.  Replaying isolates the
+   checker cost from the simulation itself (both engines see the exact
+   same (time, environment) sequence), and the replicated pool models
+   the many-wrappers configuration where hash-consing pays: identical
+   live instances collapse into one stepped state and the shared
+   sampler evaluates each distinct atom once per instant. *)
+
+let replicate_properties n props =
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun p ->
+          Property.make
+            ~name:(Printf.sprintf "%s#%d" p.Property.name i)
+            ~context:p.Property.context p.Property.formula)
+        props)
+    (List.init n (fun i -> i))
+
+let assert_equivalent_outcomes level legacy interned =
+  List.iter2
+    (fun (l : Tabv_checker.Replay.outcome) (i : Tabv_checker.Replay.outcome) ->
+      let open Tabv_checker in
+      let summary o =
+        ( List.map
+            (fun (f : Monitor.failure) ->
+              (f.Monitor.activation_time, f.Monitor.failure_time))
+            (Monitor.failures o.Replay.monitor),
+          Monitor.activations o.Replay.monitor,
+          Monitor.passes o.Replay.monitor,
+          Monitor.pending o.Replay.monitor )
+      in
+      if summary l <> summary i then
+        failwith
+          (Printf.sprintf "checker_cache %s: engines disagree on %s" level
+             l.Replay.property.Property.name))
+    legacy interned
+
+let checker_cache_section ?(ops_count = 1000) ?(replicate = 8) () =
+  print_endline
+    "=== Checker cache: interned progression vs legacy rewriting (replay) ===";
+  let ops = Workload.des56 ~seed:42 ~count:ops_count () in
+  let trace_of result =
+    match result.Testbench.trace with
+    | Some trace -> trace
+    | None -> failwith "checker_cache: testbench recorded no trace"
+  in
+  let levels =
+    [ ( "RTL",
+        trace_of (Testbench.run_des56_rtl ~record_trace:true ops),
+        replicate_properties replicate Des56_props.all );
+      ( "TLM-CA",
+        trace_of (Testbench.run_des56_tlm_ca ~record_trace:true ops),
+        replicate_properties replicate Des56_props.all );
+      ( "TLM-AT",
+        trace_of (Testbench.run_des56_tlm_at ~record_trace:true ops),
+        replicate_properties replicate (Des56_props.tlm_auto_safe ()) ) ]
+  in
+  Printf.printf "%-8s %6s %9s %12s %12s %9s %9s\n" "Level" "props" "entries"
+    "legacy(s)" "interned(s)" "speedup" "hit rate";
+  let rows =
+    List.map
+      (fun (level, trace, props) ->
+        (* Correctness first: both engines must agree on everything
+           observable before their times are worth comparing. *)
+        let legacy_outcomes =
+          Tabv_checker.Replay.run ~engine:`Progression_legacy props trace
+        in
+        let interned_outcomes = Tabv_checker.Replay.run props trace in
+        assert_equivalent_outcomes level legacy_outcomes interned_outcomes;
+        let t_legacy =
+          timed (fun () ->
+            Tabv_checker.Replay.run ~engine:`Progression_legacy props trace)
+        in
+        let before = Tabv_checker.Progression.cache_stats () in
+        let t_interned = timed (fun () -> Tabv_checker.Replay.run props trace) in
+        let after = Tabv_checker.Progression.cache_stats () in
+        let hits = after.Tabv_checker.Progression.cache_hits - before.Tabv_checker.Progression.cache_hits in
+        let misses =
+          after.Tabv_checker.Progression.cache_misses - before.Tabv_checker.Progression.cache_misses
+          + (after.Tabv_checker.Progression.cache_bypassed - before.Tabv_checker.Progression.cache_bypassed)
+        in
+        let hit_rate =
+          if hits + misses = 0 then 0.
+          else float_of_int hits /. float_of_int (hits + misses)
+        in
+        let speedup = t_legacy /. t_interned in
+        Printf.printf "%-8s %6d %9d %12.3f %12.3f %8.2fx %8.1f%%\n" level
+          (List.length props) (Trace.length trace) t_legacy t_interned speedup
+          (hit_rate *. 100.);
+        (level, List.length props, Trace.length trace, t_legacy, t_interned, hit_rate))
+      levels
+  in
+  let total_legacy = List.fold_left (fun a (_, _, _, l, _, _) -> a +. l) 0. rows in
+  let total_interned =
+    List.fold_left (fun a (_, _, _, _, i, _) -> a +. i) 0. rows
+  in
+  let overall = total_legacy /. total_interned in
+  Printf.printf "%-8s %6s %9s %12.3f %12.3f %8.2fx\n\n" "overall" "" ""
+    total_legacy total_interned overall;
+  let stats = Tabv_checker.Progression.cache_stats () in
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("benchmark", String "checker_cache");
+        ( "workload",
+          Assoc
+            [ ("des56_ops", Int ops_count);
+              ("replication", Int replicate) ] );
+        ( "levels",
+          List
+            (List.map
+               (fun (level, props, entries, t_legacy, t_interned, hit_rate) ->
+                 Assoc
+                   [ ("level", String level);
+                     ("properties", Int props);
+                     ("trace_entries", Int entries);
+                     ("legacy_seconds", Float t_legacy);
+                     ("interned_seconds", Float t_interned);
+                     ("speedup", Float (t_legacy /. t_interned));
+                     ("cache_hit_rate", Float hit_rate) ])
+               rows) );
+        ("legacy_seconds_total", Float total_legacy);
+        ("interned_seconds_total", Float total_interned);
+        ("overall_speedup", Float overall);
+        ( "engine_cache",
+          engine_cache_json
+            ~cache_hits:stats.Tabv_checker.Progression.cache_hits
+            ~cache_misses:stats.Tabv_checker.Progression.cache_misses
+            ~cache_bypassed:stats.Tabv_checker.Progression.cache_bypassed
+            ~distinct_states:stats.Tabv_checker.Progression.distinct_states
+            ~distinct_transitions:
+              stats.Tabv_checker.Progression.distinct_transitions
+            ~interned_formulas:stats.Tabv_checker.Progression.interned_formulas
+            () ) ]
+  in
+  Out_channel.with_open_text "BENCH_checker_cache.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n');
+  Printf.printf "wrote BENCH_checker_cache.json (overall speedup %.2fx)\n\n" overall;
+  overall
+
 (* --- Extension: the third IP ---------------------------------------- *)
 
 let memctrl_section count =
@@ -350,8 +496,21 @@ let bechamel_section () =
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let skip_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv in
+  let cache_only = Array.exists (fun a -> a = "--cache-only") Sys.argv in
   let des_count = if quick then 1000 else 8000 in
   let pixel_count = if quick then 20_000 else 150_000 in
+  if cache_only then begin
+    (* CI entry point (bench/check.sh): only the interned-vs-legacy
+       replay comparison, with a hard floor on the speedup. *)
+    let overall =
+      checker_cache_section ~ops_count:(if quick then 500 else 1000) ()
+    in
+    if overall < 1.5 then begin
+      Printf.eprintf "FAIL: checker cache speedup %.2fx < 1.5x\n" overall;
+      exit 1
+    end;
+    exit 0
+  end;
   Printf.printf
     "tabv benchmark harness (workload: %d DES56 ops, %d ColorConv pixels)%s\n\n"
     des_count pixel_count
@@ -368,6 +527,7 @@ let () =
   ablation_grid_wrapper (Workload.des56 ~seed:42 ~count:(des_count / 4) ());
   ablation_checker_backend (Workload.des56 ~seed:42 ~count:(des_count / 4) ());
   ablation_wrapper_stats (Workload.des56 ~seed:42 ~count:(des_count / 4) ());
+  ignore (checker_cache_section ~ops_count:(des_count / 4) ());
   memctrl_section (des_count * 2);
   if not skip_bechamel then bechamel_section ();
   print_endline "done."

@@ -148,7 +148,17 @@ let check_cmd =
     Arg.(value & opt (some file) None & info [ "props"; "p" ] ~docv:"FILE"
            ~doc:"Check the RTL properties from this file instead of the built-in                  set.  On an approximately-timed model the properties are first                  abstracted with Methodology III.1 (clock 10 ns, the model's                  abstracted signals); only the automatically-safe results are                  attached.")
   in
-  let run model count seed props_file =
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print checker-engine statistics per property: transition-cache \
+                 hit rate, peak live instances, peak distinct hash-consed \
+                 states, and the process-global interning counters.")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the checker-engine statistics as JSON to FILE.")
+  in
+  let run model count seed props_file stats_flag stats_json =
     let user_props () =
       match props_file with
       | None -> None
@@ -156,8 +166,7 @@ let check_cmd =
         (match Parser.file (read_file file) with
          | properties -> Some properties
          | exception Parser.Parse_error { line; col; message } ->
-           Printf.eprintf "%s:%d:%d: %s
-" file line col message;
+           Printf.eprintf "%s:%d:%d: %s\n" file line col message;
            exit 1)
     in
     (* Split the automatically-safe abstractions into strict-wrapper
@@ -279,6 +288,75 @@ let check_cmd =
     List.iter
       (fun stat -> Format.printf "%a@." Testbench.pp_checker_stat stat)
       result.Testbench.checker_stats;
+    if stats_flag then begin
+      print_endline "checker-engine statistics:";
+      List.iter
+        (fun stat ->
+          Printf.printf
+            "  %-24s cache %d/%d (%.1f%% hit), peak live %d, peak distinct \
+             states %d\n"
+            stat.Testbench.property_name stat.Testbench.cache_hits
+            (stat.Testbench.cache_hits + stat.Testbench.cache_misses)
+            (100. *. Testbench.cache_hit_rate stat)
+            stat.Testbench.peak_instances stat.Testbench.peak_distinct_states)
+        result.Testbench.checker_stats;
+      let c = Tabv_checker.Progression.cache_stats () in
+      Printf.printf
+        "  global: %d distinct states, %d memoized transitions, %d interned \
+         formulas, %d bypassed steps\n"
+        c.Tabv_checker.Progression.distinct_states
+        c.Tabv_checker.Progression.distinct_transitions
+        c.Tabv_checker.Progression.interned_formulas
+        c.Tabv_checker.Progression.cache_bypassed
+    end;
+    (match stats_json with
+     | None -> ()
+     | Some path ->
+       let open Tabv_core.Report_json in
+       let per_property =
+         List.map
+           (fun stat ->
+             checker_stat_json ~property_name:stat.Testbench.property_name
+               ~activations:stat.Testbench.activations
+               ~passes:stat.Testbench.passes
+               ~trivial_passes:stat.Testbench.trivial_passes
+               ~vacuous:stat.Testbench.vacuous
+               ~peak_instances:stat.Testbench.peak_instances
+               ~peak_distinct_states:stat.Testbench.peak_distinct_states
+               ~pending:stat.Testbench.pending
+               ~cache_hits:stat.Testbench.cache_hits
+               ~cache_misses:stat.Testbench.cache_misses
+               ~failures:
+                 (List.map
+                    (fun f ->
+                      ( f.Tabv_checker.Monitor.activation_time,
+                        f.Tabv_checker.Monitor.failure_time ))
+                    stat.Testbench.failures)
+               ())
+           result.Testbench.checker_stats
+       in
+       let c = Tabv_checker.Progression.cache_stats () in
+       let doc =
+         Assoc
+           [ ("sim_time_ns", Int result.Testbench.sim_time_ns);
+             ("completed_ops", Int result.Testbench.completed_ops);
+             ("transactions", Int result.Testbench.transactions);
+             ("properties", List per_property);
+             ( "engine",
+               engine_cache_json
+                 ~cache_hits:c.Tabv_checker.Progression.cache_hits
+                 ~cache_misses:c.Tabv_checker.Progression.cache_misses
+                 ~cache_bypassed:c.Tabv_checker.Progression.cache_bypassed
+                 ~distinct_states:c.Tabv_checker.Progression.distinct_states
+                 ~distinct_transitions:
+                   c.Tabv_checker.Progression.distinct_transitions
+                 ~interned_formulas:c.Tabv_checker.Progression.interned_formulas
+                 () ) ]
+       in
+       Out_channel.with_open_text path (fun oc ->
+           Out_channel.output_string oc (to_string doc);
+           Out_channel.output_char oc '\n');
+       Printf.printf "wrote checker statistics to %s\n" path);
     let failures = Testbench.total_failures result in
     if failures = 0 then print_endline "all checkers passed"
     else begin
@@ -293,7 +371,8 @@ let check_cmd =
     end
   in
   let doc = "Run a built-in DUV model with its property checkers attached." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ model $ count $ seed $ props_file)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ model $ count $ seed $ props_file $ stats_flag $ stats_json)
 
 (* --- trace -------------------------------------------------------- *)
 

@@ -8,22 +8,39 @@ type failure = {
 
 type engine =
   [ `Progression
+  | `Progression_legacy
   | `Automaton
   ]
 
-(* The two synthesis backends share the monitor through a common
-   obligation shape. *)
-type obligation =
-  | Prog_ob of Progression.t
-  | Auto_ob of Automaton.state
+(* The synthesis backends share the monitor through two live-instance
+   representations:
+   - the interned engine keeps a multiset of hash-consed states, each
+     carrying the activation times that reached it (the paper's array
+     [C] becomes [state -> activation times]);
+   - the legacy and automaton engines keep the original list of live
+     instances, one per activation. *)
 
 type backend =
-  | Prog_backend
+  | Interned_backend of Progression.t  (* initial obligation *)
+  | Legacy_backend
   | Auto_backend of Automaton.t
+
+type list_obligation =
+  | Legacy_ob of Progression.Legacy.t
+  | Auto_ob of Automaton.state
 
 type instance = {
   activated_at : int;
-  mutable obligation : obligation;
+  mutable obligation : list_obligation;
+}
+
+(* One distinct live state of the interned engine with every
+   activation time currently in that state (ascending; activation
+   times are unique per monitor, so no counts are needed beyond the
+   list length). *)
+type live_state = {
+  state : Progression.t;
+  mutable activations_at : int list;
 }
 
 type t = {
@@ -33,14 +50,20 @@ type t = {
   backend : backend;
   repeating : bool;  (* outer [always]: activate per evaluation point *)
   gate : Expr.t option;
-  mutable instances : instance list;  (* live, newest first *)
+  gate_atom : Interned.t option;  (* gate as interned atom, for sharing *)
+  sampler : Sampler.t;
+  mutable live : live_state list;  (* interned engine, insertion order *)
+  mutable instances : instance list;  (* legacy/auto engines, newest first *)
   mutable started : bool;
-  mutable failures : failure list;
+  mutable failures : failure list;  (* unordered; sorted on read *)
   mutable activations : int;
   mutable passes : int;
   mutable peak : int;
+  mutable peak_distinct : int;
   mutable steps : int;
   mutable trivial_passes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let gate_of_context = function
@@ -52,152 +75,290 @@ let gate_of_context = function
   | Context.Transaction Context.Base_trans -> None
   | Context.Transaction (Context.Trans_and gate) -> Some gate
 
-let create ?(engine = `Progression) property =
+let create ?(engine = `Progression) ?sampler property =
   let normalized = Nnf.convert (Ltl.demote_booleans property.Property.formula) in
   let repeating, body =
     match normalized with
     | Ltl.Always body -> (true, body)
     | other -> (false, other)
   in
+  let interned_backend () = Interned_backend (Progression.of_formula body) in
   let backend =
     match engine with
-    | `Progression -> Prog_backend
+    | `Progression -> interned_backend ()
+    | `Progression_legacy -> Legacy_backend
     | `Automaton ->
       (* Bound the table so pathological bodies fall back to the
-         rewriting backend instead of exploding at synthesis time. *)
+         interned rewriting backend instead of exploding at synthesis
+         time. *)
       (match Automaton.compile ~max_states:256 body with
        | automaton -> Auto_backend automaton
-       | exception Automaton.Unsupported _ -> Prog_backend)
+       | exception Automaton.Unsupported _ -> interned_backend ())
   in
+  let gate = gate_of_context property.Property.context in
   {
     property;
     body;
     temporal_body = not (Simple_subset.is_boolean body);
     backend;
     repeating;
-    gate = gate_of_context property.Property.context;
+    gate;
+    gate_atom = Option.map Interned.atom gate;
+    sampler = (match sampler with Some s -> s | None -> Sampler.create ());
+    live = [];
     instances = [];
     started = false;
     failures = [];
     activations = 0;
     passes = 0;
     peak = 0;
+    peak_distinct = 0;
     steps = 0;
     trivial_passes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let property t = t.property
 
 let engine t =
   match t.backend with
-  | Prog_backend -> `Progression
+  | Interned_backend _ -> `Progression
+  | Legacy_backend -> `Progression_legacy
   | Auto_backend _ -> `Automaton
 
-let fresh_obligation t =
+let record_failure t ~activation_time ~failure_time =
+  t.failures <-
+    { property_name = t.property.Property.name; activation_time; failure_time }
+    :: t.failures
+
+(* --- interned engine: multiset of hash-consed states --------------- *)
+
+let rec merge_sorted a b =
+  match a, b with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    if x <= y then x :: merge_sorted xs b else y :: merge_sorted a ys
+
+let step_interned t ~time lookup initial =
+  let hits0 = Progression.raw_hits () in
+  let misses0 = Progression.raw_misses () in
+  let bypassed0 = Progression.raw_bypassed () in
+  (* One atom-evaluation closure per instant, reused across the whole
+     multiset (and feeding the shared sampler). *)
+  let eval = Sampler.eval_atom t.sampler ~time lookup in
+  (* New multiset, newest-first; merged by physical equality — states
+     are hash-consed, so [==] is structural identity.  A linear scan
+     beats a per-step hashtable: the distinct-state count is small by
+     construction (that is the point of the multiset). *)
+  let merged = ref [] in
+  let merged_count = ref 0 in
+  let add state activations_at =
+    let rec insert = function
+      | [] ->
+        merged := { state; activations_at } :: !merged;
+        incr merged_count
+      | ls :: rest ->
+        if ls.state == state then
+          ls.activations_at <- merge_sorted ls.activations_at activations_at
+        else insert rest
+    in
+    insert !merged
+  in
+  let resolve state activations_at =
+    match Progression.verdict state with
+    | Some true -> t.passes <- t.passes + List.length activations_at
+    | Some false ->
+      List.iter
+        (fun activation_time ->
+          record_failure t ~activation_time ~failure_time:time)
+        activations_at
+    | None -> add state activations_at
+  in
+  (* Evaluation: each distinct state is stepped once, no matter how
+     many live instances sit in it. *)
+  List.iter
+    (fun ls ->
+      resolve (Progression.step_atoms ~time eval ls.state) ls.activations_at)
+    t.live;
+  (* Activation of a new instance. *)
+  let activate () =
+    let ob = Progression.step_atoms ~time eval initial in
+    match Progression.verdict ob with
+    | Some true ->
+      t.passes <- t.passes + 1;
+      t.trivial_passes <- t.trivial_passes + 1
+    | Some false ->
+      t.activations <- t.activations + 1;
+      record_failure t ~activation_time:time ~failure_time:time
+    | None ->
+      t.activations <- t.activations + 1;
+      add ob [ time ]
+  in
+  if t.repeating then activate ()
+  else if not t.started then activate ();
+  t.live <- List.rev !merged;
+  t.cache_hits <- t.cache_hits + (Progression.raw_hits () - hits0);
+  t.cache_misses <-
+    t.cache_misses
+    + (Progression.raw_misses () - misses0)
+    + (Progression.raw_bypassed () - bypassed0);
+  if !merged_count > t.peak_distinct then t.peak_distinct <- !merged_count
+
+(* --- legacy / automaton engines: list of live instances ------------ *)
+
+let fresh_list_obligation t =
   match t.backend with
-  | Prog_backend -> Prog_ob (Progression.of_formula t.body)
+  | Legacy_backend -> Legacy_ob (Progression.Legacy.of_formula t.body)
   | Auto_backend automaton -> Auto_ob (Automaton.initial automaton)
+  | Interned_backend _ -> assert false
 
 (* Per-evaluation-point context: the automaton backend evaluates the
    atoms once and every instance steps by table lookup. *)
 type step_context =
-  | Prog_ctx
+  | Legacy_ctx
   | Auto_ctx of int
 
 let step_context t lookup =
   match t.backend with
-  | Prog_backend -> Prog_ctx
+  | Legacy_backend | Interned_backend _ -> Legacy_ctx
   | Auto_backend automaton -> Auto_ctx (Automaton.valuation automaton lookup)
 
-let step_obligation t ~time lookup ctx = function
-  | Prog_ob ob -> Prog_ob (Progression.step ~time lookup ob)
+let step_list_obligation t ~time lookup ctx = function
+  | Legacy_ob ob -> Legacy_ob (Progression.Legacy.step ~time lookup ob)
   | Auto_ob state ->
     (match t.backend, ctx with
      | Auto_backend automaton, Auto_ctx v ->
        Auto_ob (Automaton.step_valuation automaton state v)
-     | Prog_backend, _ | Auto_backend _, Prog_ctx -> assert false)
+     | (Legacy_backend | Interned_backend _ | Auto_backend _), _ ->
+       assert false)
 
-let obligation_verdict t = function
-  | Prog_ob ob -> Progression.verdict ob
+let list_obligation_verdict t = function
+  | Legacy_ob ob -> Progression.Legacy.verdict ob
   | Auto_ob state ->
     (match t.backend with
      | Auto_backend automaton -> Automaton.verdict automaton state
-     | Prog_backend -> assert false)
+     | Legacy_backend | Interned_backend _ -> assert false)
 
 let record_outcome t ~time instance =
-  match obligation_verdict t instance.obligation with
+  match list_obligation_verdict t instance.obligation with
   | Some true ->
     t.passes <- t.passes + 1;
     false
   | Some false ->
-    t.failures <-
-      {
-        property_name = t.property.Property.name;
-        activation_time = instance.activated_at;
-        failure_time = time;
-      }
-      :: t.failures;
+    record_failure t ~activation_time:instance.activated_at ~failure_time:time;
     false
   | None -> true
 
+let step_list t ~time lookup =
+  let ctx = step_context t lookup in
+  (* Evaluation of live instances. *)
+  let survivors =
+    List.filter
+      (fun instance ->
+        instance.obligation <-
+          step_list_obligation t ~time lookup ctx instance.obligation;
+        record_outcome t ~time instance)
+      t.instances
+  in
+  t.instances <- survivors;
+  (* Activation of a new instance. *)
+  let activate () =
+    let obligation =
+      step_list_obligation t ~time lookup ctx (fresh_list_obligation t)
+    in
+    match list_obligation_verdict t obligation with
+    | Some true ->
+      t.passes <- t.passes + 1;
+      t.trivial_passes <- t.trivial_passes + 1
+    | Some false ->
+      t.activations <- t.activations + 1;
+      record_failure t ~activation_time:time ~failure_time:time
+    | None ->
+      t.activations <- t.activations + 1;
+      t.instances <- { activated_at = time; obligation } :: t.instances
+  in
+  if t.repeating then activate ()
+  else if not t.started then activate ();
+  let distinct = List.length t.instances in
+  if distinct > t.peak_distinct then t.peak_distinct <- distinct
+
+(* --- shared step entry point --------------------------------------- *)
+
+let live_instances t =
+  match t.backend with
+  | Interned_backend _ ->
+    List.fold_left (fun acc ls -> acc + List.length ls.activations_at) 0 t.live
+  | Legacy_backend | Auto_backend _ -> List.length t.instances
+
 let step t ~time lookup =
   let gated_out =
-    match t.gate with
+    match t.gate_atom with
     | None -> false
-    | Some gate -> not (Expr.eval lookup gate)
+    | Some gate -> not (Sampler.eval_atom t.sampler ~time lookup gate)
   in
   if not gated_out then begin
     t.steps <- t.steps + 1;
-    let ctx = step_context t lookup in
-    (* Evaluation of live instances. *)
-    let survivors =
-      List.filter
-        (fun instance ->
-          instance.obligation <-
-            step_obligation t ~time lookup ctx instance.obligation;
-          record_outcome t ~time instance)
-        t.instances
-    in
-    t.instances <- survivors;
-    (* Activation of a new instance. *)
-    let activate () =
-      let obligation = step_obligation t ~time lookup ctx (fresh_obligation t) in
-      match obligation_verdict t obligation with
-      | Some true ->
-        t.passes <- t.passes + 1;
-        t.trivial_passes <- t.trivial_passes + 1
-      | Some false ->
-        t.activations <- t.activations + 1;
-        t.failures <-
-          { property_name = t.property.Property.name; activation_time = time;
-            failure_time = time }
-          :: t.failures
-      | None ->
-        t.activations <- t.activations + 1;
-        t.instances <- { activated_at = time; obligation } :: t.instances
-    in
-    if t.repeating then activate ()
-    else if not t.started then activate ();
+    (match t.backend with
+     | Interned_backend initial -> step_interned t ~time lookup initial
+     | Legacy_backend | Auto_backend _ -> step_list t ~time lookup);
     t.started <- true;
-    let live = List.length t.instances in
+    let live = live_instances t in
     if live > t.peak then t.peak <- live
   end
 
-let failures t = List.rev t.failures
-let live_instances t = List.length t.instances
+(* --- reporting ------------------------------------------------------ *)
+
+(* Failures are reported deterministically: chronological by failure
+   time, and inside one evaluation point in activation-time order —
+   independent of the internal instance representation. *)
+let failures t =
+  List.stable_sort
+    (fun a b ->
+      match compare a.failure_time b.failure_time with
+      | 0 -> compare a.activation_time b.activation_time
+      | c -> c)
+    (List.rev t.failures)
+
 let peak_instances t = t.peak
 let activations t = t.activations
 let passes t = t.passes
 let steps t = t.steps
-let pending t = List.length t.instances
+let pending t = live_instances t
+
+let distinct_states t =
+  match t.backend with
+  | Interned_backend _ -> List.length t.live
+  | Legacy_backend | Auto_backend _ -> List.length t.instances
+
+let peak_distinct_states t = t.peak_distinct
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+
+let cache_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0. else float_of_int t.cache_hits /. float_of_int total
+
+let sampler t = t.sampler
+
 let evaluation_table t =
-  List.sort compare
-    (List.filter_map
-       (fun instance ->
-         match instance.obligation with
-         | Prog_ob ob -> Progression.next_evaluation_time ob
-         | Auto_ob _ -> None)
-       t.instances)
+  match t.backend with
+  | Interned_backend _ ->
+    List.sort compare
+      (List.concat_map
+         (fun ls ->
+           match Progression.next_evaluation_time ls.state with
+           | Some target -> List.map (fun _ -> target) ls.activations_at
+           | None -> [])
+         t.live)
+  | Legacy_backend | Auto_backend _ ->
+    List.sort compare
+      (List.filter_map
+         (fun instance ->
+           match instance.obligation with
+           | Legacy_ob ob -> Progression.Legacy.next_evaluation_time ob
+           | Auto_ob _ -> None)
+         t.instances)
 
 let trivial_passes t = t.trivial_passes
 let vacuous t = t.temporal_body && t.steps > 0 && t.activations = 0

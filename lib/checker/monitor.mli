@@ -11,9 +11,12 @@ open Tabv_psl
     {- {e evaluation}: every evaluation point steps all live
        instances; an instance whose timed obligation was skipped past
        raises a failure (handled inside {!Progression});}
-    {- {e reset and reuse}: completed instances are retired (their
-       slot is reused — we keep a live list plus peak statistics to
-       model the paper's fixed-size array [C]).}}
+    {- {e reset and reuse}: completed instances are retired (the
+       paper's fixed-size array [C] becomes a multiset of hash-consed
+       states mapping each distinct residual state to the activation
+       times currently in it — identical live instances collapse and
+       are stepped once, while failure attribution per activation time
+       is preserved).}}
 
     For properties that are not of the form [always body], a single
     instance of the whole formula is activated at the first evaluation
@@ -27,21 +30,28 @@ type failure = {
 
 type t
 
-(** Checker synthesis backend: formula rewriting ({!Progression}) or
+(** Checker synthesis backend: interned formula rewriting with a
+    memoized transition cache ({!Progression}, the default), the
+    original tree-rewriting engine ([`Progression_legacy], kept as the
+    executable reference for equivalence testing and benchmarking), or
     the explicit-state tabling of {!Automaton}.  [`Automaton] falls
     back to [`Progression] when the body cannot be tabled (timed
     [next_eps^tau] operators, too many atoms, state blow-up). *)
 type engine =
   [ `Progression
+  | `Progression_legacy
   | `Automaton
   ]
 
-(** [create ?engine property] prepares a monitor (default engine:
-    [`Progression]).  The formula is normalised (boolean demotion +
-    NNF) internally, so any parser output is accepted.  The context
-    gate is taken from the property's context ([Edge_and]/[Trans_and]
-    expressions). *)
-val create : ?engine:engine -> Property.t -> t
+(** [create ?engine ?sampler property] prepares a monitor (default
+    engine: [`Progression]).  The formula is normalised (boolean
+    demotion + NNF) internally, so any parser output is accepted.  The
+    context gate is taken from the property's context
+    ([Edge_and]/[Trans_and] expressions).  When [sampler] is given,
+    atom evaluations are shared with every other monitor holding the
+    same sampler (one evaluation per distinct atom per instant);
+    otherwise the monitor owns a private sampler. *)
+val create : ?engine:engine -> ?sampler:Sampler.t -> Property.t -> t
 
 (** The engine actually in use (after any fallback). *)
 val engine : t -> engine
@@ -52,15 +62,28 @@ val property : t -> Property.t
     environment at this instant. *)
 val step : t -> time:int -> (string -> Expr.value option) -> unit
 
-(** End-of-simulation summary. *)
+(** End-of-simulation summary, deterministically ordered:
+    chronological by failure time, and within one evaluation point in
+    ascending activation-time order — independent of the internal
+    instance representation. *)
 val failures : t -> failure list
 
-(** Live (pending) instances right now. *)
+(** Live (pending) instances right now (activation count, i.e. the
+    multiset cardinality — not the number of distinct states). *)
 val live_instances : t -> int
 
 (** Peak number of simultaneously live instances — the size the
     paper's preallocated instance array would need. *)
 val peak_instances : t -> int
+
+(** Distinct hash-consed states currently live (equals
+    {!live_instances} for the legacy/automaton engines). *)
+val distinct_states : t -> int
+
+(** Peak number of simultaneously live distinct states — the size the
+    interned engine's state multiset actually needs, usually far below
+    {!peak_instances}. *)
+val peak_distinct_states : t -> int
 
 (** Total instances activated (excluding trivially-true ones). *)
 val activations : t -> int
@@ -85,6 +108,21 @@ val steps : t -> int
 
 (** Pending instances are inconclusive at end of simulation. *)
 val pending : t -> int
+
+(** {2 Transition-cache statistics} (interned engine; zero otherwise) *)
+
+(** Steps of this monitor answered from the shared transition memo. *)
+val cache_hits : t -> int
+
+(** Steps of this monitor that ran the rewriting (including states
+    with too many atoms to memoize). *)
+val cache_misses : t -> int
+
+(** [hits / (hits + misses)], 0 if the monitor never stepped. *)
+val cache_hit_rate : t -> float
+
+(** The per-instant atom sampler this monitor evaluates through. *)
+val sampler : t -> Sampler.t
 
 (** The wrapper's "evaluation table" (Sec. IV): the next required
     evaluation instant of every live instance that is waiting on a

@@ -1,95 +1,445 @@
 open Tabv_psl
 
-type t =
-  | True
-  | False
-  | Formula of Ltl.t  (* progressed at every evaluation point *)
-  | At of int * Ltl.t  (* progress formula exactly at absolute time *)
-  | And of t * t
-  | Or of t * t
-
 exception Not_in_nnf of Ltl.t
 
-let ob_and a b =
+(* ================================================================== *)
+(* Legacy reference engine: the original tree-rewriting progression.   *)
+(* Kept verbatim as the executable specification — the equivalence     *)
+(* tests and the bench compare the interned engine against it.         *)
+(* ================================================================== *)
+
+module Legacy = struct
+  type t =
+    | True
+    | False
+    | Formula of Ltl.t  (* progressed at every evaluation point *)
+    | At of int * Ltl.t  (* progress formula exactly at absolute time *)
+    | And of t * t
+    | Or of t * t
+
+  let ob_and a b =
+    match a, b with
+    | False, _ | _, False -> False
+    | True, x | x, True -> x
+    | _ -> if a = b then a else And (a, b)
+
+  let ob_or a b =
+    match a, b with
+    | True, _ | _, True -> True
+    | False, x | x, False -> x
+    | _ -> if a = b then a else Or (a, b)
+
+  let of_formula f =
+    if not (Ltl.is_nnf f) then raise (Not_in_nnf f);
+    Formula f
+
+  let rec is_true = function
+    | True -> true
+    | False | Formula _ | At _ -> false
+    | And (a, b) -> is_true a && is_true b
+    | Or (a, b) -> is_true a || is_true b
+
+  let rec is_false = function
+    | False -> true
+    | True | Formula _ | At _ -> false
+    | And (a, b) -> is_false a || is_false b
+    | Or (a, b) -> is_false a && is_false b
+
+  let rec has_timed_wait = function
+    | At _ -> true
+    | True | False | Formula _ -> false
+    | And (a, b) | Or (a, b) -> has_timed_wait a || has_timed_wait b
+
+  let rec next_evaluation_time = function
+    | At (target, _) -> Some target
+    | True | False | Formula _ -> None
+    | And (a, b) | Or (a, b) ->
+      (match next_evaluation_time a, next_evaluation_time b with
+       | None, t | t, None -> t
+       | Some x, Some y -> Some (min x y))
+
+  (* Progress a formula at the evaluation point [time]. *)
+  let rec progress ~time lookup f =
+    match f with
+    | Ltl.Atom e -> if Expr.eval lookup e then True else False
+    | Ltl.Not (Ltl.Atom e) -> if Expr.eval lookup e then False else True
+    | Ltl.Not _ | Ltl.Implies _ -> raise (Not_in_nnf f)
+    | Ltl.And (p, q) ->
+      ob_and (progress ~time lookup p) (progress ~time lookup q)
+    | Ltl.Or (p, q) -> ob_or (progress ~time lookup p) (progress ~time lookup q)
+    | Ltl.Next_n (1, p) -> Formula p
+    | Ltl.Next_n (n, p) -> Formula (Ltl.next_n (n - 1) p)
+    | Ltl.Next_event (ne, p) -> At (time + ne.Ltl.eps, p)
+    | Ltl.Until (p, q) ->
+      ob_or (progress ~time lookup q)
+        (ob_and (progress ~time lookup p) (Formula f))
+    | Ltl.Release (p, q) ->
+      ob_and (progress ~time lookup q)
+        (ob_or (progress ~time lookup p) (Formula f))
+    | Ltl.Always p -> ob_and (progress ~time lookup p) (Formula f)
+    | Ltl.Eventually p -> ob_or (progress ~time lookup p) (Formula f)
+
+  let rec step ~time lookup ob =
+    match ob with
+    | True -> True
+    | False -> False
+    | Formula f -> progress ~time lookup f
+    | At (target, f) ->
+      if time < target then ob
+      else if time = target then progress ~time lookup f
+      else False (* no observable event at the required instant *)
+    | And (a, b) -> ob_and (step ~time lookup a) (step ~time lookup b)
+    | Or (a, b) -> ob_or (step ~time lookup a) (step ~time lookup b)
+
+  let verdict ob =
+    if is_true ob then Some true else if is_false ob then Some false else None
+
+  let rec pp ppf = function
+    | True -> Format.pp_print_string ppf "T"
+    | False -> Format.pp_print_string ppf "F"
+    | Formula f -> Format.fprintf ppf "{%a}" Ltl.pp f
+    | At (target, f) -> Format.fprintf ppf "at[%dns]{%a}" target Ltl.pp f
+    | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+    | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+end
+
+let step_reference = Legacy.step
+
+(* ================================================================== *)
+(* Interned engine: hash-consed obligations + memoized transitions.    *)
+(* ================================================================== *)
+
+(* Obligations are hash-consed exactly like Interned formulas: a state
+   is one heap node with a dense id, so identical live instances
+   collapse by construction and the transition memo can key on the id. *)
+
+type t = {
+  onode : onode;
+  oid : int;
+  has_at : bool;  (* contains a timed [At] wait *)
+  otimed : bool;  (* stepping depends on the current time *)
+  mutable memo : memo_entry;
+      (* transition memo, inlined into the hash-consed state so the
+         hot path is one pointer load instead of a hashtable probe *)
+}
+
+and onode =
+  | OTrue
+  | OFalse
+  | OFormula of Interned.t
+  | OAt of int * Interned.t
+  | OAnd of t * t
+  | OOr of t * t
+
+(* For an obligation without timed parts, the result of one step is a
+   pure function of the values of the atoms the progression reads —
+   and because progression never short-circuits, the set and order of
+   atoms read is fixed per state.  The memo therefore stores, per
+   state, the atom read-set (discovered on the first miss) and a table
+   from packed atom valuations to successor states: the paper's
+   explicit checker automaton, built lazily and only over reachable
+   states. *)
+and memo_entry =
+  | No_memo  (* state not stepped yet *)
+  | Transitions of {
+      atoms : Interned.t array;  (* unique atoms read, first-read order *)
+      results : (int, t) Hashtbl.t;  (* packed valuation -> successor *)
+    }
+  | Unmemoizable  (* more than [max_memo_atoms] distinct atoms *)
+
+let onode_equal a b =
   match a, b with
-  | False, _ | _, False -> False
-  | True, x | x, True -> x
-  | _ -> if a = b then a else And (a, b)
+  | OTrue, OTrue | OFalse, OFalse -> true
+  | OFormula f1, OFormula f2 -> f1 == f2
+  | OAt (t1, f1), OAt (t2, f2) -> t1 = t2 && f1 == f2
+  | OAnd (a1, b1), OAnd (a2, b2) -> a1 == a2 && b1 == b2
+  | OOr (a1, b1), OOr (a2, b2) -> a1 == a2 && b1 == b2
+  | (OTrue | OFalse | OFormula _ | OAt _ | OAnd _ | OOr _), _ -> false
+
+let onode_hash = function
+  | OTrue -> 0
+  | OFalse -> 1
+  | OFormula f -> Hashtbl.hash (2, Interned.id f)
+  | OAt (target, f) -> Hashtbl.hash (3, target, Interned.id f)
+  | OAnd (a, b) -> Hashtbl.hash (4, a.oid, b.oid)
+  | OOr (a, b) -> Hashtbl.hash (5, a.oid, b.oid)
+
+module Ob_table = Hashtbl.Make (struct
+  type t = onode
+
+  let equal = onode_equal
+  let hash = onode_hash
+end)
+
+let ob_table : t Ob_table.t = Ob_table.create 1024
+let ob_counter = ref 0
+
+let onode_has_at = function
+  | OTrue | OFalse | OFormula _ -> false
+  | OAt _ -> true
+  | OAnd (a, b) | OOr (a, b) -> a.has_at || b.has_at
+
+let onode_timed = function
+  | OTrue | OFalse -> false
+  | OFormula f -> Interned.is_timed f
+  | OAt _ -> true
+  | OAnd (a, b) | OOr (a, b) -> a.otimed || b.otimed
+
+let make onode =
+  (* Exception-based probe: hits allocate nothing. *)
+  match Ob_table.find ob_table onode with
+  | ob -> ob
+  | exception Not_found ->
+    let oid = !ob_counter in
+    incr ob_counter;
+    let ob =
+      {
+        onode;
+        oid;
+        has_at = onode_has_at onode;
+        otimed = onode_timed onode;
+        memo = No_memo;
+      }
+    in
+    Ob_table.add ob_table onode ob;
+    ob
+
+let ob_true = make OTrue
+let ob_false = make OFalse
+let formula f = make (OFormula f)
+let at target f = make (OAt (target, f))
+
+(* Conjunction/disjunction with unit/absorption laws and O(1)
+   duplicate collapse.  Binary operands are ordered by id: [and]/[or]
+   are commutative, so canonicalizing the operand order makes states
+   reached through different evaluation orders coincide. *)
+let ob_and a b =
+  match a.onode, b.onode with
+  | OFalse, _ | _, OFalse -> ob_false
+  | OTrue, _ -> b
+  | _, OTrue -> a
+  | _ ->
+    if a == b then a
+    else if a.oid <= b.oid then make (OAnd (a, b))
+    else make (OAnd (b, a))
 
 let ob_or a b =
-  match a, b with
-  | True, _ | _, True -> True
-  | False, x | x, False -> x
-  | _ -> if a = b then a else Or (a, b)
+  match a.onode, b.onode with
+  | OTrue, _ | _, OTrue -> ob_true
+  | OFalse, _ -> b
+  | _, OFalse -> a
+  | _ ->
+    if a == b then a
+    else if a.oid <= b.oid then make (OOr (a, b))
+    else make (OOr (b, a))
+
+let id ob = ob.oid
 
 let of_formula f =
   if not (Ltl.is_nnf f) then raise (Not_in_nnf f);
-  Formula f
+  formula (Interned.intern f)
 
-let rec is_true = function
-  | True -> true
-  | False | Formula _ | At _ -> false
-  | And (a, b) -> is_true a && is_true b
-  | Or (a, b) -> is_true a || is_true b
+let of_interned f =
+  if not (Interned.is_nnf f) then raise (Not_in_nnf (Interned.to_ltl f));
+  formula f
 
-let rec is_false = function
-  | False -> true
-  | True | Formula _ | At _ -> false
-  | And (a, b) -> is_false a || is_false b
-  | Or (a, b) -> is_false a && is_false b
-
-let rec has_timed_wait = function
-  | At _ -> true
-  | True | False | Formula _ -> false
-  | And (a, b) | Or (a, b) -> has_timed_wait a || has_timed_wait b
-
-let rec next_evaluation_time = function
-  | At (target, _) -> Some target
-  | True | False | Formula _ -> None
-  | And (a, b) | Or (a, b) ->
-    (match next_evaluation_time a, next_evaluation_time b with
-     | None, t | t, None -> t
-     | Some x, Some y -> Some (min x y))
-
-(* Progress a formula at the evaluation point [time]. *)
-let rec progress ~time lookup f =
-  match f with
-  | Ltl.Atom e -> if Expr.eval lookup e then True else False
-  | Ltl.Not (Ltl.Atom e) -> if Expr.eval lookup e then False else True
-  | Ltl.Not _ | Ltl.Implies _ -> raise (Not_in_nnf f)
-  | Ltl.And (p, q) -> ob_and (progress ~time lookup p) (progress ~time lookup q)
-  | Ltl.Or (p, q) -> ob_or (progress ~time lookup p) (progress ~time lookup q)
-  | Ltl.Next_n (1, p) -> Formula p
-  | Ltl.Next_n (n, p) -> Formula (Ltl.next_n (n - 1) p)
-  | Ltl.Next_event (ne, p) -> At (time + ne.Ltl.eps, p)
-  | Ltl.Until (p, q) ->
-    ob_or (progress ~time lookup q)
-      (ob_and (progress ~time lookup p) (Formula f))
-  | Ltl.Release (p, q) ->
-    ob_and (progress ~time lookup q)
-      (ob_or (progress ~time lookup p) (Formula f))
-  | Ltl.Always p -> ob_and (progress ~time lookup p) (Formula f)
-  | Ltl.Eventually p -> ob_or (progress ~time lookup p) (Formula f)
-
-let rec step ~time lookup ob =
-  match ob with
-  | True -> True
-  | False -> False
-  | Formula f -> progress ~time lookup f
-  | At (target, f) ->
-    if time < target then ob
-    else if time = target then progress ~time lookup f
-    else False  (* no observable event at the required instant *)
-  | And (a, b) -> ob_and (step ~time lookup a) (step ~time lookup b)
-  | Or (a, b) -> ob_or (step ~time lookup a) (step ~time lookup b)
+(* Thanks to the absorption laws in [ob_and]/[ob_or], OTrue/OFalse can
+   only ever appear as the root of an obligation. *)
+let is_true ob = ob == ob_true
+let is_false ob = ob == ob_false
 
 let verdict ob =
   if is_true ob then Some true else if is_false ob then Some false else None
 
-let rec pp ppf = function
-  | True -> Format.pp_print_string ppf "T"
-  | False -> Format.pp_print_string ppf "F"
-  | Formula f -> Format.fprintf ppf "{%a}" Ltl.pp f
-  | At (target, f) -> Format.fprintf ppf "at[%dns]{%a}" target Ltl.pp f
-  | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
-  | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+let has_timed_wait ob = ob.has_at
+
+let rec next_evaluation_time ob =
+  match ob.onode with
+  | OAt (target, _) -> Some target
+  | OTrue | OFalse | OFormula _ -> None
+  | OAnd (a, b) | OOr (a, b) ->
+    if not ob.has_at then None
+    else (
+      match next_evaluation_time a, next_evaluation_time b with
+      | None, t | t, None -> t
+      | Some x, Some y -> Some (min x y))
+
+(* --- transition memo ---------------------------------------------- *)
+
+let max_memo_atoms = 62
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypassed : int;
+  mutable transitions : int;
+}
+
+let stats = { hits = 0; misses = 0; bypassed = 0; transitions = 0 }
+
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_bypassed : int;
+  distinct_states : int;
+  distinct_transitions : int;
+  interned_formulas : int;
+}
+
+let cache_stats () =
+  {
+    cache_hits = stats.hits;
+    cache_misses = stats.misses;
+    cache_bypassed = stats.bypassed;
+    distinct_states = Ob_table.length ob_table;
+    distinct_transitions = stats.transitions;
+    interned_formulas = Interned.node_count ();
+  }
+
+(* --- progression over interned terms ------------------------------- *)
+
+(* [eval] evaluates an interned [Atom] node at the current instant; it
+   is the only window through which progression observes the DUV, so
+   wrapping it (recording, per-instant caching) captures exactly the
+   atoms read. *)
+let rec progress ~time eval f =
+  match Interned.node f with
+  | Interned.Atom _ -> if eval f then ob_true else ob_false
+  | Interned.Not inner ->
+    (match Interned.node inner with
+     | Interned.Atom _ -> if eval inner then ob_false else ob_true
+     | _ -> raise (Not_in_nnf (Interned.to_ltl f)))
+  | Interned.Implies _ -> raise (Not_in_nnf (Interned.to_ltl f))
+  | Interned.And (p, q) ->
+    ob_and (progress ~time eval p) (progress ~time eval q)
+  | Interned.Or (p, q) -> ob_or (progress ~time eval p) (progress ~time eval q)
+  | Interned.Next_n (1, p) -> formula p
+  | Interned.Next_n (n, p) -> formula (Interned.next_n (n - 1) p)
+  | Interned.Next_event (ne, p) -> at (time + ne.Ltl.eps) p
+  | Interned.Until (p, q) ->
+    ob_or (progress ~time eval q) (ob_and (progress ~time eval p) (formula f))
+  | Interned.Release (p, q) ->
+    ob_and (progress ~time eval q) (ob_or (progress ~time eval p) (formula f))
+  | Interned.Always p -> ob_and (progress ~time eval p) (formula f)
+  | Interned.Eventually p -> ob_or (progress ~time eval p) (formula f)
+
+(* Structural step without memoization (used to compute misses). *)
+let rec compute ~time eval ob =
+  match ob.onode with
+  | OTrue | OFalse -> ob
+  | OFormula f -> progress ~time eval f
+  | OAt (target, f) ->
+    if time < target then ob
+    else if time = target then progress ~time eval f
+    else ob_false
+  | OAnd (a, b) -> ob_and (compute ~time eval a) (compute ~time eval b)
+  | OOr (a, b) -> ob_or (compute ~time eval a) (compute ~time eval b)
+
+exception Too_many_atoms
+
+(* Memoized step of an untimed obligation.  The hot path — a state
+   already carrying its transition table — costs one pointer load, one
+   atom-evaluation pass to pack the valuation bits, and one
+   exception-based hashtable probe; nothing is allocated on a hit. *)
+let step_untimed ~time eval ob =
+  match ob.memo with
+  | Transitions { atoms; results } ->
+    let n = Array.length atoms in
+    let rec pack i acc =
+      if i >= n then acc
+      else
+        pack (i + 1)
+          (if eval (Array.unsafe_get atoms i) then acc lor (1 lsl i) else acc)
+    in
+    let bits = pack 0 0 in
+    (match Hashtbl.find results bits with
+     | successor ->
+       stats.hits <- stats.hits + 1;
+       successor
+     | exception Not_found ->
+       stats.misses <- stats.misses + 1;
+       let successor = compute ~time eval ob in
+       stats.transitions <- stats.transitions + 1;
+       Hashtbl.add results bits successor;
+       successor)
+  | Unmemoizable ->
+    stats.bypassed <- stats.bypassed + 1;
+    compute ~time eval ob
+  | No_memo ->
+    (match ob.onode with
+     | OTrue | OFalse -> ob
+     | _ ->
+       (* First visit: run the progression with a recording evaluator
+          to discover the atom read-set, then seed the entry. *)
+       stats.misses <- stats.misses + 1;
+       let read : (int, int) Hashtbl.t = Hashtbl.create 8 in
+       let order = ref [] in
+       let count = ref 0 in
+       let bits = ref 0 in
+       let recording atom =
+         let v = eval atom in
+         let id = Interned.id atom in
+         if not (Hashtbl.mem read id) then begin
+           if !count >= max_memo_atoms then raise Too_many_atoms;
+           Hashtbl.add read id !count;
+           order := atom :: !order;
+           if v then bits := !bits lor (1 lsl !count);
+           incr count
+         end;
+         v
+       in
+       (match compute ~time recording ob with
+        | successor ->
+          let atoms = Array.of_list (List.rev !order) in
+          let results = Hashtbl.create 8 in
+          stats.transitions <- stats.transitions + 1;
+          Hashtbl.add results !bits successor;
+          ob.memo <- Transitions { atoms; results };
+          successor
+        | exception Too_many_atoms ->
+          ob.memo <- Unmemoizable;
+          stats.bypassed <- stats.bypassed + 1;
+          compute ~time eval ob))
+
+(* Full step: timed parts recurse structurally (their transitions
+   depend on absolute time and cannot be tabled); every untimed
+   subtree reached on the way goes through the memo. *)
+let rec step_eval ~time eval ob =
+  if not ob.otimed then step_untimed ~time eval ob
+  else
+    match ob.onode with
+    | OTrue | OFalse -> ob
+    | OFormula f -> progress ~time eval f
+    | OAt (target, f) ->
+      if time < target then ob
+      else if time = target then progress ~time eval f
+      else ob_false
+    | OAnd (a, b) -> ob_and (step_eval ~time eval a) (step_eval ~time eval b)
+    | OOr (a, b) -> ob_or (step_eval ~time eval a) (step_eval ~time eval b)
+
+let eval_of_lookup lookup atom =
+  match Interned.node atom with
+  | Interned.Atom e -> Expr.eval lookup e
+  | _ -> assert false
+
+let step ~time lookup ob = step_eval ~time (eval_of_lookup lookup) ob
+
+let step_sampled sampler ~time lookup ob =
+  step_eval ~time (Sampler.eval_atom sampler ~time lookup) ob
+
+(* Caller-supplied atom evaluator: lets a monitor build one evaluation
+   closure per instant and reuse it across its whole state multiset. *)
+let step_atoms = step_eval
+
+let raw_hits () = stats.hits
+let raw_misses () = stats.misses
+let raw_bypassed () = stats.bypassed
+
+let rec pp ppf ob =
+  match ob.onode with
+  | OTrue -> Format.pp_print_string ppf "T"
+  | OFalse -> Format.pp_print_string ppf "F"
+  | OFormula f -> Format.fprintf ppf "{%a}" Interned.pp f
+  | OAt (target, f) -> Format.fprintf ppf "at[%dns]{%a}" target Interned.pp f
+  | OAnd (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+  | OOr (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b

@@ -1,6 +1,7 @@
 open Tabv_psl
 
-(** Checker synthesis by formula progression (rewriting).
+(** Checker synthesis by formula progression (rewriting) over
+    hash-consed terms.
 
     A property instance is an {e obligation}; consuming one evaluation
     point (a clock event at RTL, a transaction event at TLM) rewrites
@@ -19,7 +20,21 @@ open Tabv_psl
     subsequent events leave it untouched while earlier than [target],
     evaluate the operand at exactly [target], and {e fail} it when an
     event arrives past [target] without one at [target] — exactly the
-    wrapper behaviour of Sec. IV. *)
+    wrapper behaviour of Sec. IV.
+
+    {2 Interning and the transition memo}
+
+    Obligations are hash-consed: each distinct residual formula is one
+    heap node with a dense unique id, so identical live instances
+    collapse into one state.  For {e untimed} states the result of one
+    step is a pure function of the values of the atoms the progression
+    reads, and the atom read-set of a fixed state is itself fixed (the
+    progression never short-circuits); a process-global
+    [(state, atom valuation) -> state] memo therefore tables the
+    transition relation lazily, building the paper's explicit checker
+    automaton over reachable states only.  Timed ([at]) waits depend
+    on absolute instants and always take the direct rewriting path;
+    the untimed subtrees beneath them still hit the memo. *)
 
 type t
 
@@ -28,6 +43,14 @@ exception Not_in_nnf of Ltl.t
 (** Initial obligation of a formula.
     @raise Not_in_nnf on formulas outside negation normal form. *)
 val of_formula : Ltl.t -> t
+
+(** Initial obligation of an already-interned formula (no re-interning
+    walk).  @raise Not_in_nnf like {!of_formula}. *)
+val of_interned : Interned.t -> t
+
+(** Unique id of the hash-consed state (structurally equal obligations
+    share one id — usable as a multiset key). *)
+val id : t -> int
 
 val is_true : t -> bool
 val is_false : t -> bool
@@ -44,9 +67,69 @@ val next_evaluation_time : t -> int option
     (signals sampled through [lookup]). *)
 val step : time:int -> (string -> Expr.value option) -> t -> t
 
+(** Like {!step}, but atom evaluations go through the shared
+    per-instant {!Sampler} cache, so several monitors stepping at the
+    same instant sample each distinct atom once. *)
+val step_sampled :
+  Sampler.t -> time:int -> (string -> Expr.value option) -> t -> t
+
+(** [step_atoms ~time eval ob] steps with a caller-supplied atom
+    evaluator ([eval] receives interned [Atom] nodes).  This is the
+    allocation-free fast path: a monitor builds one evaluation closure
+    per instant (e.g. [Sampler.eval_atom sampler ~time lookup]) and
+    reuses it for every state of its multiset. *)
+val step_atoms : time:int -> (Interned.t -> bool) -> t -> t
+
 (** Obligation verdict at end of simulation: [Some true] iff resolved
     true, [Some false] iff resolved false, [None] when still pending
     (inconclusive). *)
 val verdict : t -> bool option
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Transition-cache statistics} *)
+
+type cache_stats = {
+  cache_hits : int;  (** steps answered from the transition memo *)
+  cache_misses : int;  (** steps that had to run the rewriting *)
+  cache_bypassed : int;  (** steps of states with too many atoms *)
+  distinct_states : int;  (** hash-consed obligations ever created *)
+  distinct_transitions : int;  (** memoized (state, valuation) pairs *)
+  interned_formulas : int;  (** hash-consed LTL terms ever created *)
+}
+
+(** Process-global counters (the memo is shared by every monitor, so a
+    caller interested in per-monitor attribution snapshots this before
+    and after stepping — see {!Monitor}). *)
+val cache_stats : unit -> cache_stats
+
+(** Allocation-free raw counters, for per-step attribution on the hot
+    path ({!cache_stats} builds a record and measures table sizes). *)
+val raw_hits : unit -> int
+
+val raw_misses : unit -> int
+val raw_bypassed : unit -> int
+
+(** {2 Reference engine} *)
+
+(** The original, non-interned tree-rewriting engine, kept as the
+    executable specification.  [Progression] and [Legacy] must agree
+    on verdicts, failure times and instance accounting on every trace;
+    [test/test_interned.ml] checks this property-based, and the bench
+    harness measures the speedup of the interned engine against it. *)
+module Legacy : sig
+  type t
+
+  val of_formula : Ltl.t -> t
+  val is_true : t -> bool
+  val is_false : t -> bool
+  val has_timed_wait : t -> bool
+  val next_evaluation_time : t -> int option
+  val step : time:int -> (string -> Expr.value option) -> t -> t
+  val verdict : t -> bool option
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Alias for [Legacy.step]. *)
+val step_reference :
+  time:int -> (string -> Expr.value option) -> Legacy.t -> Legacy.t

@@ -6,8 +6,14 @@ type outcome = {
 }
 
 let run ?engine properties trace =
+  (* One shared sampler for the whole replay: every monitor sees the
+     same (time, environment) pairs, so each distinct atom is
+     evaluated once per trace entry across all properties. *)
+  let sampler = Sampler.create () in
   let outcomes =
-    List.map (fun p -> { property = p; monitor = Monitor.create ?engine p }) properties
+    List.map
+      (fun p -> { property = p; monitor = Monitor.create ?engine ~sampler p })
+      properties
   in
   for i = 0 to Trace.length trace - 1 do
     let entry = Trace.get trace i in

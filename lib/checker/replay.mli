@@ -17,7 +17,9 @@ type outcome = {
 }
 
 (** [run ?engine properties trace] replays the whole trace through a
-    fresh monitor per property. *)
+    fresh monitor per property.  All monitors share one evaluation
+    sampler, so each distinct atom is evaluated once per trace entry
+    no matter how many properties mention it. *)
 val run : ?engine:Monitor.engine -> Property.t list -> Trace.t -> outcome list
 
 (** True iff no monitor recorded a failure. *)

@@ -5,7 +5,7 @@ type t = {
   monitor : Monitor.t;
 }
 
-let attach ?engine ?(clocks = []) kernel clock property ~lookup =
+let attach ?engine ?sampler ?(clocks = []) kernel clock property ~lookup =
   let sampling_clock, edge =
     match property.Property.context with
     | Context.Clock Context.Base_clock -> (clock, Context.Posedge)
@@ -25,7 +25,7 @@ let attach ?engine ?(clocks = []) kernel clock property ~lookup =
            "Rtl_checker.attach: property %s has a transaction context"
            property.Property.name)
   in
-  let monitor = Monitor.create ?engine property in
+  let monitor = Monitor.create ?engine ?sampler property in
   let sample () = Monitor.step monitor ~time:(Kernel.now kernel) lookup in
   (match edge with
    | Context.Posedge -> Event.on_event (Clock.posedge sampling_clock) sample

@@ -14,17 +14,19 @@ open Tabv_sim
 
 type t
 
-(** [attach ?engine ?clocks kernel clock property ~lookup] synthesizes
-    the checker (default backend: formula progression; [`Automaton]
-    selects the explicit-state backend with automatic fallback) and
-    hooks it to the clock.  Properties with a {e named} clock context
-    ([@clkB_pos]) sample the matching entry of [clocks] instead of the
-    default [clock].
+(** [attach ?engine ?sampler ?clocks kernel clock property ~lookup]
+    synthesizes the checker (default backend: interned formula
+    progression; [`Automaton] selects the explicit-state backend with
+    automatic fallback) and hooks it to the clock.  Checkers given the
+    same [sampler] evaluate each distinct atom once per instant.
+    Properties with a {e named} clock context ([@clkB_pos]) sample the
+    matching entry of [clocks] instead of the default [clock].
     @raise Invalid_argument when the property has a transaction
     context (use {!Wrapper} instead), or names a clock absent from
     [clocks]. *)
 val attach :
   ?engine:Monitor.engine ->
+  ?sampler:Sampler.t ->
   ?clocks:(string * Clock.t) list ->
   Kernel.t ->
   Clock.t ->

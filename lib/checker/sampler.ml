@@ -1,0 +1,71 @@
+open Tabv_psl
+
+(* Shared evaluation-point sampler.
+
+   All monitors attached to the same observation point (a socket's
+   end-of-transaction stream, a clock edge) see the same environment
+   at a given instant, so each distinct atomic proposition needs to be
+   evaluated exactly once per instant — not once per live checker
+   instance per monitor.  The sampler is that per-instant cache: atoms
+   are keyed by their interned node id and invalidated whenever the
+   instant changes.
+
+   Sharing discipline: a sampler may be shared by every monitor whose
+   evaluation points observe the same environment within one delta
+   phase (signal updates in the simulator are delta-delayed, so values
+   are stable while the handlers of one instant run).  Monitors
+   sampling at different phases of the same instant (e.g. a grid
+   wrapper vs. a strict transaction wrapper) should use separate
+   samplers. *)
+
+(* Cached values live inside the interned atom nodes themselves
+   ({!Interned.set_sample}): each node carries one (stamp, value)
+   pair, and the sampler owns a globally unique stamp per instant.  A
+   cache hit is then one load and one integer compare — no hashtable
+   on the hot path.  Stamps come from a process-global counter, so two
+   samplers active at the same instant never mistake each other's
+   values (they just overwrite the slot, which only costs a
+   re-evaluation). *)
+
+let global_stamp = ref 0
+
+let fresh_stamp () =
+  incr global_stamp;
+  !global_stamp
+
+type t = {
+  mutable now : int;  (* instant of the cached values *)
+  mutable stamp : int;  (* stamp tagging this sampler's values at [now] *)
+  mutable queries : int;  (* atom evaluations requested *)
+  mutable evals : int;  (* atom evaluations actually performed *)
+}
+
+let create () = { now = min_int; stamp = fresh_stamp (); queries = 0; evals = 0 }
+
+let refresh t ~time =
+  if t.now <> time then begin
+    t.now <- time;
+    t.stamp <- fresh_stamp ()
+  end
+
+let expr_of atom =
+  match Interned.node atom with
+  | Interned.Atom e -> e
+  | _ -> invalid_arg "Sampler.eval_atom: not an atom node"
+
+let eval_atom t ~time lookup atom =
+  refresh t ~time;
+  t.queries <- t.queries + 1;
+  if Interned.sample_stamp atom = t.stamp then Interned.sample_value atom
+  else begin
+    let v = Expr.eval lookup (expr_of atom) in
+    t.evals <- t.evals + 1;
+    Interned.set_sample atom ~stamp:t.stamp ~value:v;
+    v
+  end
+
+let queries t = t.queries
+let evals t = t.evals
+
+let hit_rate t =
+  if t.queries = 0 then 0. else float_of_int (t.queries - t.evals) /. float_of_int t.queries

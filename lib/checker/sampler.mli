@@ -1,0 +1,36 @@
+open Tabv_psl
+
+(** Shared evaluation-point sampler.
+
+    A per-instant cache of atomic-proposition values, stored inside
+    the interned atom nodes themselves (a stamped scratch slot, see
+    {!Interned.set_sample}) so a cache hit is one load and one
+    compare.  N monitors attached to the same socket/clock share one
+    sampler, so each distinct atom is evaluated once per instant
+    instead of once per live checker instance per monitor (the paper's
+    wrapper samples the environment once per evaluation point; this
+    generalizes that to a whole wrapper pool).
+
+    The cache is invalidated whenever [time] changes; it must only be
+    shared by monitors that observe the same environment within one
+    delta phase of an instant. *)
+
+type t
+
+val create : unit -> t
+
+(** [eval_atom t ~time lookup atom] evaluates the interned [Atom] node
+    [atom] at instant [time], caching per (instant, atom id).
+    @raise Invalid_argument if [atom] is not an [Atom] node.
+    @raise Expr.Eval_error like {!Expr.eval}. *)
+val eval_atom :
+  t -> time:int -> (string -> Expr.value option) -> Interned.t -> bool
+
+(** Atom evaluations requested so far (including cache hits). *)
+val queries : t -> int
+
+(** Atom evaluations actually performed (cache misses). *)
+val evals : t -> int
+
+(** Fraction of atom queries answered from the per-instant cache. *)
+val hit_rate : t -> float

@@ -20,21 +20,21 @@ let schedule_step t kernel lookup =
       Monitor.step t.monitor ~time:now lookup)
   end
 
-let attach kernel initiator property ~lookup =
+let attach ?engine ?sampler kernel initiator property ~lookup =
   (match property.Property.context with
    | Context.Transaction _ -> ()
    | Context.Clock _ ->
      invalid_arg
        (Printf.sprintf "Wrapper.attach: property %s has a clock context"
           property.Property.name));
-  let monitor = Monitor.create property in
+  let monitor = Monitor.create ?engine ?sampler property in
   let max_eps = Ltl.max_eps property.Property.formula in
   let t = { monitor; max_eps; step_scheduled_for = -1 } in
   Tlm.Initiator.on_transaction initiator (fun _transaction ->
     schedule_step t kernel lookup);
   t
 
-let attach_unabstracted kernel initiator property ~lookup =
+let attach_unabstracted ?engine ?sampler kernel initiator property ~lookup =
   (match property.Property.context with
    | Context.Clock _ -> ()
    | Context.Transaction _ ->
@@ -42,14 +42,15 @@ let attach_unabstracted kernel initiator property ~lookup =
        (Printf.sprintf
           "Wrapper.attach_unabstracted: property %s already has a transaction context"
           property.Property.name));
-  let monitor = Monitor.create property in
+  let monitor = Monitor.create ?engine ?sampler property in
   let max_eps = Ltl.max_eps property.Property.formula in
   let t = { monitor; max_eps; step_scheduled_for = -1 } in
   Tlm.Initiator.on_transaction initiator (fun _transaction ->
     schedule_step t kernel lookup);
   t
 
-let attach_grid kernel ~clock_period ?(phase = 1) property ~lookup =
+let attach_grid ?engine ?sampler kernel ~clock_period ?(phase = 1) property
+    ~lookup =
   if clock_period <= 0 then
     invalid_arg "Wrapper.attach_grid: clock_period must be positive";
   (match property.Property.context with
@@ -58,7 +59,7 @@ let attach_grid kernel ~clock_period ?(phase = 1) property ~lookup =
      invalid_arg
        (Printf.sprintf "Wrapper.attach_grid: property %s has a clock context"
           property.Property.name));
-  let monitor = Monitor.create property in
+  let monitor = Monitor.create ?engine ?sampler property in
   let max_eps = Ltl.max_eps property.Property.formula in
   let rec tick () =
     Monitor.step monitor ~time:(Kernel.now kernel) lookup;

@@ -19,9 +19,14 @@ type t
 
 (** [attach kernel initiator property ~lookup] synthesizes the wrapper
     for a TLM property and hooks it to the socket's end-of-transaction
-    events.
+    events.  [engine] selects the checker backend (see
+    {!Monitor.engine}); when [sampler] is given, all wrappers sharing
+    it evaluate each distinct atom once per instant (the paper's
+    wrapper pool samples the environment once per evaluation point).
     @raise Invalid_argument when the property has a clock context. *)
 val attach :
+  ?engine:Monitor.engine ->
+  ?sampler:Sampler.t ->
   Kernel.t ->
   Tlm.Initiator.t ->
   Property.t ->
@@ -34,6 +39,8 @@ val attach :
     TLM-CA models (where one transaction per cycle makes it sound) and
     shows to be incorrect on more abstract models. *)
 val attach_unabstracted :
+  ?engine:Monitor.engine ->
+  ?sampler:Sampler.t ->
   Kernel.t ->
   Tlm.Initiator.t ->
   Property.t ->
@@ -56,6 +63,8 @@ val attach_unabstracted :
     sampling.  The cost is one evaluation per clock period — an
     ablation the benchmark quantifies. *)
 val attach_grid :
+  ?engine:Monitor.engine ->
+  ?sampler:Sampler.t ->
   Kernel.t ->
   clock_period:int ->
   ?phase:int ->

@@ -4,6 +4,7 @@ type json =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float
   | String of string
   | List of json list
   | Assoc of (string * json) list
@@ -28,6 +29,12 @@ let to_string json =
     | Null -> Buffer.add_string buffer "null"
     | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
     | Int n -> Buffer.add_string buffer (string_of_int n)
+    | Float f ->
+      (* RFC 8259 has no NaN/Infinity literal. *)
+      (match Float.classify_float f with
+       | Float.FP_nan | Float.FP_infinite -> Buffer.add_string buffer "null"
+       | Float.FP_zero | Float.FP_subnormal | Float.FP_normal ->
+         Buffer.add_string buffer (Printf.sprintf "%.6g" f))
     | String s ->
       Buffer.add_char buffer '"';
       escape buffer s;
@@ -53,6 +60,55 @@ let to_string json =
   in
   emit json;
   Buffer.contents buffer
+
+(* --- checker statistics ---------------------------------------------
+
+   [tabv_core] sits below the checker library in the dependency order,
+   so the emitters take plain values; {!Monitor} accessors plug in
+   directly (see [bin/tabv] and the bench harness). *)
+
+let checker_stat_json ~property_name ~activations ~passes ~trivial_passes
+    ~vacuous ~peak_instances ~peak_distinct_states ~pending ~cache_hits
+    ~cache_misses ~failures () =
+  let total = cache_hits + cache_misses in
+  let hit_rate =
+    if total = 0 then 0. else float_of_int cache_hits /. float_of_int total
+  in
+  Assoc
+    [ ("property", String property_name);
+      ("activations", Int activations);
+      ("passes", Int passes);
+      ("trivial_passes", Int trivial_passes);
+      ("vacuous", Bool vacuous);
+      ("peak_instances", Int peak_instances);
+      ("peak_distinct_states", Int peak_distinct_states);
+      ("pending", Int pending);
+      ("cache_hits", Int cache_hits);
+      ("cache_misses", Int cache_misses);
+      ("cache_hit_rate", Float hit_rate);
+      ( "failures",
+        List
+          (List.map
+             (fun (activation_time, failure_time) ->
+               Assoc
+                 [ ("activation_time_ns", Int activation_time);
+                   ("failure_time_ns", Int failure_time) ])
+             failures) ) ]
+
+let engine_cache_json ~cache_hits ~cache_misses ~cache_bypassed ~distinct_states
+    ~distinct_transitions ~interned_formulas () =
+  let total = cache_hits + cache_misses + cache_bypassed in
+  let hit_rate =
+    if total = 0 then 0. else float_of_int cache_hits /. float_of_int total
+  in
+  Assoc
+    [ ("cache_hits", Int cache_hits);
+      ("cache_misses", Int cache_misses);
+      ("cache_bypassed", Int cache_bypassed);
+      ("cache_hit_rate", Float hit_rate);
+      ("distinct_states", Int distinct_states);
+      ("distinct_transitions", Int distinct_transitions);
+      ("interned_formulas", Int interned_formulas) ]
 
 let property_json p =
   Assoc

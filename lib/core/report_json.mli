@@ -10,11 +10,44 @@ type json =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float  (** NaN/infinities print as [null] (RFC 8259) *)
   | String of string
   | List of json list
   | Assoc of (string * json) list
 
 val to_string : json -> string
+
+(** Per-property checker statistics as JSON.  Plain arguments because
+    [tabv_core] sits below the checker library; callers plug in the
+    [Monitor] accessors (see [bin/tabv --stats] and the bench
+    harness).  [failures] is [(activation_time, failure_time)] pairs
+    in report order; [cache_hit_rate] is derived. *)
+val checker_stat_json :
+  property_name:string ->
+  activations:int ->
+  passes:int ->
+  trivial_passes:int ->
+  vacuous:bool ->
+  peak_instances:int ->
+  peak_distinct_states:int ->
+  pending:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  failures:(int * int) list ->
+  unit ->
+  json
+
+(** Process-global transition-memo statistics as JSON (the checker
+    engine's [cache_stats] record, field by field). *)
+val engine_cache_json :
+  cache_hits:int ->
+  cache_misses:int ->
+  cache_bypassed:int ->
+  distinct_states:int ->
+  distinct_transitions:int ->
+  interned_formulas:int ->
+  unit ->
+  json
 
 (** One methodology report as JSON: input/output properties (printed
     in the property language), pipeline stages, applied Fig. 4 rules,

@@ -19,13 +19,16 @@ let op_latency = function
   | Memctrl_iface.Write _ -> Memctrl_iface.write_latency
   | Memctrl_iface.Read _ -> Memctrl_iface.read_latency
 
-let run_rtl ?(properties = []) ?(gap_cycles = 2) ops =
+let run_rtl ?(properties = []) ?engine ?(gap_cycles = 2) ops =
   let kernel = Kernel.create () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Memctrl_rtl.create kernel clock in
   let lookup = Memctrl_rtl.lookup model in
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Rtl_checker.attach kernel clock p ~lookup) properties
+    List.map
+      (fun p -> Rtl_checker.attach ?engine ~sampler kernel clock p ~lookup)
+      properties
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -70,14 +73,18 @@ let run_rtl ?(properties = []) ?(gap_cycles = 2) ops =
     trace = None;
   }
 
-let run_tlm_ca ?(properties = []) ?(gap_cycles = 2) ops =
+let run_tlm_ca ?(properties = []) ?engine ?(gap_cycles = 2) ops =
   let kernel = Kernel.create () in
   let model = Memctrl_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_ca_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_ca.target model);
   let lookup = Memctrl_tlm_ca.lookup model in
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Wrapper.attach_unabstracted kernel initiator p ~lookup) properties
+    List.map
+      (fun p ->
+        Wrapper.attach_unabstracted ?engine ~sampler kernel initiator p ~lookup)
+      properties
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -122,15 +129,18 @@ let run_tlm_ca ?(properties = []) ?(gap_cycles = 2) ops =
     trace = None;
   }
 
-let run_tlm_at ?(properties = []) ?(gap_cycles = 2) ?write_latency_ns ?read_latency_ns
-    ops =
+let run_tlm_at ?(properties = []) ?engine ?(gap_cycles = 2) ?write_latency_ns
+    ?read_latency_ns ops =
   let kernel = Kernel.create () in
   let model = Memctrl_tlm_at.create ?write_latency_ns ?read_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_at_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_at.target model);
   let lookup = Memctrl_tlm_at.lookup model in
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Wrapper.attach kernel initiator p ~lookup) properties
+    List.map
+      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
+      properties
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->

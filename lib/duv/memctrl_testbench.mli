@@ -1,4 +1,5 @@
 open Tabv_psl
+open Tabv_checker
 
 (** Testbenches for the MemCtrl IP (RTL and TLM-AT). *)
 
@@ -7,6 +8,7 @@ val reference_reads : Memctrl_iface.op list -> int list
 
 val run_rtl :
   ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?gap_cycles:int ->
   Memctrl_iface.op list ->
   Testbench.run_result
@@ -15,6 +17,7 @@ val run_rtl :
     as-is (one frame transaction per clock period). *)
 val run_tlm_ca :
   ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?gap_cycles:int ->
   Memctrl_iface.op list ->
   Testbench.run_result
@@ -23,6 +26,7 @@ val run_tlm_ca :
     (defaults 20/30 ns) to emulate a wrong abstraction. *)
 val run_tlm_at :
   ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?gap_cycles:int ->
   ?write_latency_ns:int ->
   ?read_latency_ns:int ->

@@ -9,7 +9,10 @@ type checker_stat = {
   trivial_passes : int;
   vacuous : bool;
   peak_instances : int;
+  peak_distinct_states : int;
   pending : int;
+  cache_hits : int;
+  cache_misses : int;
   failures : Monitor.failure list;
 }
 
@@ -43,9 +46,16 @@ let stat_of_monitor monitor =
     trivial_passes = Monitor.trivial_passes monitor;
     vacuous = Monitor.vacuous monitor;
     peak_instances = Monitor.peak_instances monitor;
+    peak_distinct_states = Monitor.peak_distinct_states monitor;
     pending = Monitor.pending monitor;
+    cache_hits = Monitor.cache_hits monitor;
+    cache_misses = Monitor.cache_misses monitor;
     failures = Monitor.failures monitor;
   }
+
+let cache_hit_rate stat =
+  let total = stat.cache_hits + stat.cache_misses in
+  if total = 0 then 0. else float_of_int stat.cache_hits /. float_of_int total
 
 let period = 10
 
@@ -57,8 +67,14 @@ let run_des56_rtl ?(properties = []) ?engine ?(record_trace = false) ?(gap_cycle
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Des56_rtl.create ?fault kernel clock in
   let lookup = Des56_rtl.lookup model in
+  (* All checkers sample the same environment at the same edges: share
+     one evaluation-point sampler so each distinct atom is evaluated
+     once per instant across the whole checker pool. *)
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Rtl_checker.attach ?engine kernel clock p ~lookup) properties
+    List.map
+      (fun p -> Rtl_checker.attach ?engine ~sampler kernel clock p ~lookup)
+      properties
   in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -105,7 +121,8 @@ let run_des56_rtl ?(properties = []) ?engine ?(record_trace = false) ?(gap_cycle
 
 (* --- DES56 / TLM-CA --- *)
 
-let run_des56_tlm_ca ?(properties = []) ?(record_trace = false) ?(gap_cycles = 2) ops =
+let run_des56_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
+    ?(gap_cycles = 2) ops =
   let kernel = Kernel.create () in
   let model = Des56_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_ca_init" in
@@ -116,8 +133,12 @@ let run_des56_tlm_ca ?(properties = []) ?(record_trace = false) ?(gap_cycles = 2
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
         (Des56_iface.env_of (Des56_tlm_ca.observables model)));
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Wrapper.attach_unabstracted kernel initiator p ~lookup) properties
+    List.map
+      (fun p ->
+        Wrapper.attach_unabstracted ?engine ~sampler kernel initiator p ~lookup)
+      properties
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -166,7 +187,7 @@ let run_des56_tlm_ca ?(properties = []) ?(record_trace = false) ?(gap_cycles = 2
 
 (* --- DES56 / TLM-AT --- *)
 
-let run_des56_tlm_at ?(properties = []) ?(grid_properties = [])
+let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
     ?(record_trace = false) ?(gap_cycles = 2) ?model_latency_ns ops =
   let kernel = Kernel.create () in
   let model = Des56_tlm_at.create ?latency_ns:model_latency_ns kernel in
@@ -178,11 +199,19 @@ let run_des56_tlm_at ?(properties = []) ?(grid_properties = [])
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
         (Des56_iface.env_of (Des56_tlm_at.observables model)));
+  (* Strict wrappers sample in the deferred-delta phase of transaction
+     instants; grid wrappers sample on the clock grid.  The two pools
+     observe different instants, so each gets its own shared sampler. *)
+  let sampler = Sampler.create () in
+  let grid_sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Wrapper.attach kernel initiator p ~lookup) properties
+    List.map
+      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
+      properties
     @ List.map
         (fun p ->
-          Wrapper.attach_grid kernel ~clock_period:Des56_iface.clock_period p ~lookup)
+          Wrapper.attach_grid ?engine ~sampler:grid_sampler kernel
+            ~clock_period:Des56_iface.clock_period p ~lookup)
         grid_properties
   in
   let outputs = ref [] in
@@ -227,14 +256,17 @@ let run_des56_tlm_at ?(properties = []) ?(grid_properties = [])
 
 (* --- DES56 / TLM-LT --- *)
 
-let run_des56_tlm_lt ?(properties = []) ?(gap_cycles = 2) ops =
+let run_des56_tlm_lt ?(properties = []) ?engine ?(gap_cycles = 2) ops =
   let kernel = Kernel.create () in
   let model = Des56_tlm_lt.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_lt_init" in
   Tlm.Initiator.bind initiator (Des56_tlm_lt.target model);
   let lookup = Des56_tlm_lt.lookup model in
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Wrapper.attach kernel initiator p ~lookup) properties
+    List.map
+      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
+      properties
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -285,8 +317,11 @@ let run_colorconv_rtl ?(properties = []) ?engine ?(record_trace = false)
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Colorconv_rtl.create kernel clock in
   let lookup = Colorconv_rtl.lookup model in
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Rtl_checker.attach ?engine kernel clock p ~lookup) properties
+    List.map
+      (fun p -> Rtl_checker.attach ?engine ~sampler kernel clock p ~lookup)
+      properties
   in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -341,8 +376,8 @@ let run_colorconv_rtl ?(properties = []) ?engine ?(record_trace = false)
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
   }
 
-let run_colorconv_tlm_ca ?(properties = []) ?(record_trace = false) ?(gap_cycles = 2)
-    bursts =
+let run_colorconv_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
+    ?(gap_cycles = 2) bursts =
   let kernel = Kernel.create () in
   let model = Colorconv_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"colorconv_ca_init" in
@@ -353,8 +388,12 @@ let run_colorconv_tlm_ca ?(properties = []) ?(record_trace = false) ?(gap_cycles
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
         (Colorconv_iface.env_of (Colorconv_tlm_ca.observables model)));
+  let sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Wrapper.attach_unabstracted kernel initiator p ~lookup) properties
+    List.map
+      (fun p ->
+        Wrapper.attach_unabstracted ?engine ~sampler kernel initiator p ~lookup)
+      properties
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -425,7 +464,7 @@ let cc_priority = function
   | Cc_read -> 2
   | Cc_write _ -> 3
 
-let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = [])
+let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
     ?(record_trace = false) ?(gap_cycles = 2) bursts =
   let kernel = Kernel.create () in
   let model = Colorconv_tlm_at.create kernel in
@@ -437,11 +476,16 @@ let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = [])
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
         (Colorconv_iface.env_of (Colorconv_tlm_at.observables model)));
+  let sampler = Sampler.create () in
+  let grid_sampler = Sampler.create () in
   let checkers =
-    List.map (fun p -> Wrapper.attach kernel initiator p ~lookup) properties
+    List.map
+      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
+      properties
     @ List.map
         (fun p ->
-          Wrapper.attach_grid kernel ~clock_period:Colorconv_iface.clock_period p ~lookup)
+          Wrapper.attach_grid ?engine ~sampler:grid_sampler kernel
+            ~clock_period:Colorconv_iface.clock_period p ~lookup)
         grid_properties
   in
   let latency_ns = Colorconv_iface.latency * period in

@@ -22,7 +22,12 @@ type checker_stat = {
   trivial_passes : int;
   vacuous : bool;  (** evaluated but never non-trivially activated *)
   peak_instances : int;
+  peak_distinct_states : int;
+      (** peak distinct hash-consed states (interned engine; equals
+          [peak_instances] for the legacy/automaton backends) *)
   pending : int;
+  cache_hits : int;  (** monitor steps answered from the transition memo *)
+  cache_misses : int;  (** monitor steps that ran the rewriting *)
   failures : Monitor.failure list;
 }
 
@@ -44,6 +49,9 @@ val total_failures : run_result -> int
     {!Memctrl_testbench}). *)
 val stat_of_monitor : Monitor.t -> checker_stat
 
+(** [hits / (hits + misses)], 0 when the checker never stepped. *)
+val cache_hit_rate : checker_stat -> float
+
 val pp_checker_stat : Format.formatter -> checker_stat -> unit
 
 (** {1 DES56} *)
@@ -64,6 +72,7 @@ val run_des56_rtl :
     model (the paper's TLM-CA rows). *)
 val run_des56_tlm_ca :
   ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   Des56_iface.op list ->
@@ -77,6 +86,7 @@ val run_des56_tlm_ca :
 val run_des56_tlm_at :
   ?properties:Property.t list ->
   ?grid_properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   ?model_latency_ns:int ->
@@ -91,6 +101,7 @@ val run_des56_tlm_at :
     properties are expected to fail (Theorem III.2's precondition). *)
 val run_des56_tlm_lt :
   ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?gap_cycles:int ->
   Des56_iface.op list ->
   run_result
@@ -107,6 +118,7 @@ val run_colorconv_rtl :
 
 val run_colorconv_tlm_ca :
   ?properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   Colorconv.pixel list list ->
@@ -115,6 +127,7 @@ val run_colorconv_tlm_ca :
 val run_colorconv_tlm_at :
   ?properties:Property.t list ->
   ?grid_properties:Property.t list ->
+  ?engine:Monitor.engine ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   Colorconv.pixel list list ->

@@ -13,6 +13,7 @@ let () =
       Test_kernel.suite;
       Test_signal_clock.suite;
       Test_progression.suite;
+      Test_interned.suite;
       Test_des.suite;
       Test_colorconv.suite;
       Test_duv_models.suite;
