@@ -14,6 +14,12 @@
 #                         asserts outcome equivalence, writes
 #                         BENCH_checker_cache.json, and FAILS if the
 #                         interned engine is below the 1.5x speedup floor)
+#   5. bench/main.exe --quick --obs-only
+#                        (measures the cost of an enabled metrics
+#                         registry on the densest checker configuration,
+#                         writes BENCH_obs_overhead.json, and FAILS if
+#                         metrics-enabled activation throughput drops
+#                         more than 5% below metrics-disabled)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,5 +39,8 @@ dune runtest
 
 echo "== checker-cache bench gate (>= 1.5x)"
 dune exec bench/main.exe -- --quick --cache-only
+
+echo "== observability overhead gate (<= 5%)"
+dune exec bench/main.exe -- --quick --obs-only
 
 echo "== all checks passed"

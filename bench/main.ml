@@ -397,6 +397,70 @@ let checker_cache_section ?(ops_count = 1000) ?(replicate = 8) () =
   Printf.printf "wrote BENCH_checker_cache.json (overall speedup %.2fx)\n\n" overall;
   overall
 
+(* --- Observability: instrumentation overhead ------------------------ *)
+
+(* The lib/obs contract is "near-zero cost when disabled, cheap when
+   enabled": push instruments behind one branch, pull probes off the
+   hot path entirely.  This section measures both sides on the densest
+   checker configuration (DES56 RTL, all 9 checkers) and gates the
+   enabled-registry overhead: activation throughput with metrics on
+   must stay within [gate_pct] of throughput with metrics off. *)
+
+let obs_gate_pct = 5.0
+
+let obs_overhead_section ?(ops_count = 2000) ?(repeat = 7) () =
+  print_endline
+    "=== Observability: metrics-registry overhead (DES56 RTL, all 9 checkers) ===";
+  let ops = Workload.des56 ~seed:42 ~count:ops_count () in
+  let run_disabled () =
+    Testbench.run_des56_rtl ~properties:Des56_props.all ops
+  in
+  let run_enabled () =
+    (* A fresh registry per run: every attach appends pull probes, so
+       reusing one registry across timed runs would make later runs
+       snapshot ever-longer probe lists. *)
+    let metrics = Tabv_obs.Metrics.create ~enabled:true () in
+    Testbench.run_des56_rtl ~metrics ~properties:Des56_props.all ops
+  in
+  let t_disabled = timed ~repeat run_disabled in
+  let t_enabled = timed ~repeat run_enabled in
+  let reference = run_disabled () in
+  let activations = reference.Testbench.kernel_activations in
+  let throughput seconds = float_of_int activations /. seconds in
+  let thr_disabled = throughput t_disabled in
+  let thr_enabled = throughput t_enabled in
+  let overhead_pct = (t_enabled -. t_disabled) /. t_disabled *. 100. in
+  Printf.printf "metrics disabled : %8.3f s  (%10.0f activations/s)\n" t_disabled
+    thr_disabled;
+  Printf.printf "metrics enabled  : %8.3f s  (%10.0f activations/s)\n" t_enabled
+    thr_enabled;
+  Printf.printf "overhead         : %+7.2f %%  (gate: <= %.1f%%)\n" overhead_pct
+    obs_gate_pct;
+  (* One enabled run supplies the registry snapshot embedded in the
+     JSON artefact, so CI history records what was being counted. *)
+  let enabled_result = run_enabled () in
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("benchmark", String "obs_overhead");
+        ("schema", Int metrics_schema_version);
+        ( "workload",
+          Assoc [ ("des56_ops", Int ops_count); ("checkers", Int (List.length Des56_props.all)) ] );
+        ("kernel_activations", Int activations);
+        ("disabled_seconds", Float t_disabled);
+        ("enabled_seconds", Float t_enabled);
+        ("disabled_activations_per_s", Float thr_disabled);
+        ("enabled_activations_per_s", Float thr_enabled);
+        ("overhead_pct", Float overhead_pct);
+        ("gate_pct", Float obs_gate_pct);
+        ("metrics", metrics_snapshot_json enabled_result.Testbench.metrics) ]
+  in
+  Out_channel.with_open_text "BENCH_obs_overhead.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n');
+  Printf.printf "wrote BENCH_obs_overhead.json (overhead %+.2f%%)\n\n" overhead_pct;
+  overhead_pct
+
 (* --- Extension: the third IP ---------------------------------------- *)
 
 let memctrl_section count =
@@ -497,8 +561,23 @@ let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let skip_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv in
   let cache_only = Array.exists (fun a -> a = "--cache-only") Sys.argv in
+  let obs_only = Array.exists (fun a -> a = "--obs-only") Sys.argv in
   let des_count = if quick then 1000 else 8000 in
   let pixel_count = if quick then 20_000 else 150_000 in
+  if obs_only then begin
+    (* CI entry point (bench/check.sh): only the instrumentation
+       overhead measurement, with a hard ceiling on the cost of an
+       enabled registry. *)
+    let overhead =
+      obs_overhead_section ~ops_count:(if quick then 1000 else 2000) ()
+    in
+    if overhead > obs_gate_pct then begin
+      Printf.eprintf "FAIL: metrics-enabled overhead %.2f%% > %.1f%%\n" overhead
+        obs_gate_pct;
+      exit 1
+    end;
+    exit 0
+  end;
   if cache_only then begin
     (* CI entry point (bench/check.sh): only the interned-vs-legacy
        replay comparison, with a hard floor on the speedup. *)
@@ -528,6 +607,7 @@ let () =
   ablation_checker_backend (Workload.des56 ~seed:42 ~count:(des_count / 4) ());
   ablation_wrapper_stats (Workload.des56 ~seed:42 ~count:(des_count / 4) ());
   ignore (checker_cache_section ~ops_count:(des_count / 4) ());
+  ignore (obs_overhead_section ~ops_count:(des_count / 4) ());
   memctrl_section (des_count * 2);
   if not skip_bechamel then bechamel_section ();
   print_endline "done."

@@ -132,6 +132,18 @@ let model_conv =
       ("memctrl-rtl", Memctrl_rtl_m); ("memctrl-tlm-ca", Memctrl_ca_m);
       ("memctrl-tlm-at", Memctrl_at_m) ]
 
+let model_name = function
+  | Des56_rtl_m -> "des56-rtl"
+  | Des56_ca_m -> "des56-tlm-ca"
+  | Des56_at_m -> "des56-tlm-at"
+  | Des56_lt_m -> "des56-tlm-lt"
+  | Colorconv_rtl_m -> "colorconv-rtl"
+  | Colorconv_ca_m -> "colorconv-tlm-ca"
+  | Colorconv_at_m -> "colorconv-tlm-at"
+  | Memctrl_rtl_m -> "memctrl-rtl"
+  | Memctrl_ca_m -> "memctrl-tlm-ca"
+  | Memctrl_at_m -> "memctrl-tlm-at"
+
 let check_cmd =
   let model =
     Arg.(required & opt (some model_conv) None & info [ "model"; "m" ] ~docv:"MODEL"
@@ -148,17 +160,51 @@ let check_cmd =
     Arg.(value & opt (some file) None & info [ "props"; "p" ] ~docv:"FILE"
            ~doc:"Check the RTL properties from this file instead of the built-in                  set.  On an approximately-timed model the properties are first                  abstracted with Methodology III.1 (clock 10 ns, the model's                  abstracted signals); only the automatically-safe results are                  attached.")
   in
+  let metrics_flag =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Enable the observability registry for the run and print it: \
+                 kernel phase counters, signal/TLM activity, per-property \
+                 checker statistics (transition-cache hit rate, peak live \
+                 instances, peak distinct hash-consed states), shared-sampler \
+                 counters and the process-global interning counters.")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"Write the observability report as schema-versioned JSON to \
+                 FILE (deterministic: byte-identical across runs with the \
+                 same seed).")
+  in
   let stats_flag =
     Arg.(value & flag & info [ "stats" ]
-           ~doc:"Print checker-engine statistics per property: transition-cache \
-                 hit rate, peak live instances, peak distinct hash-consed \
-                 states, and the process-global interning counters.")
+           ~doc:"Deprecated alias of $(b,--metrics).")
   in
   let stats_json =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
-           ~doc:"Write the checker-engine statistics as JSON to FILE.")
+           ~doc:"Deprecated alias of $(b,--metrics-json).")
   in
-  let run model count seed props_file stats_flag stats_json =
+  let run model count seed props_file metrics_flag metrics_json stats_flag
+      stats_json =
+    if stats_flag then
+      prerr_endline "tabv check: --stats is deprecated; use --metrics";
+    if stats_json <> None then
+      prerr_endline "tabv check: --stats-json is deprecated; use --metrics-json";
+    let metrics_flag = metrics_flag || stats_flag in
+    let metrics_json =
+      match metrics_json with
+      | Some _ as path -> path
+      | None -> stats_json
+    in
+    let metrics =
+      if metrics_flag || metrics_json <> None then begin
+        let m = Tabv_obs.Metrics.create ~enabled:true () in
+        (* Wall-clock phase timers feed the human table only; the JSON
+           report is deterministic and excludes them, so the clock is
+           installed just for --metrics. *)
+        if metrics_flag then Tabv_obs.Metrics.set_clock m Sys.time;
+        Some m
+      end
+      else None
+    in
     let user_props () =
       match props_file with
       | None -> None
@@ -217,10 +263,11 @@ let check_cmd =
     let result =
       match model with
       | Des56_rtl_m ->
-        Testbench.run_des56_rtl ~properties:(rtl_or user Des56_props.all)
+        Testbench.run_des56_rtl ?metrics ~properties:(rtl_or user Des56_props.all)
           (Workload.des56 ~seed ~count ())
       | Des56_ca_m ->
-        Testbench.run_des56_tlm_ca ~properties:(rtl_or user Des56_props.all)
+        Testbench.run_des56_tlm_ca ?metrics
+          ~properties:(rtl_or user Des56_props.all)
           (Workload.des56 ~seed ~count ())
       | Des56_at_m ->
         let properties, grid_properties =
@@ -230,13 +277,15 @@ let check_cmd =
               properties
           | None -> (Des56_props.tlm_reviewed (), [])
         in
-        Testbench.run_des56_tlm_at ~properties ~grid_properties
+        Testbench.run_des56_tlm_at ?metrics ~properties ~grid_properties
           (Workload.des56 ~seed ~count ())
       | Colorconv_rtl_m ->
-        Testbench.run_colorconv_rtl ~properties:(rtl_or user Colorconv_props.all)
+        Testbench.run_colorconv_rtl ?metrics
+          ~properties:(rtl_or user Colorconv_props.all)
           (Workload.colorconv ~seed ~count ())
       | Colorconv_ca_m ->
-        Testbench.run_colorconv_tlm_ca ~properties:(rtl_or user Colorconv_props.all)
+        Testbench.run_colorconv_tlm_ca ?metrics
+          ~properties:(rtl_or user Colorconv_props.all)
           (Workload.colorconv ~seed ~count ())
       | Colorconv_at_m ->
         let properties, grid_properties =
@@ -246,7 +295,7 @@ let check_cmd =
               properties
           | None -> (Colorconv_props.tlm_reviewed (), [])
         in
-        Testbench.run_colorconv_tlm_at ~properties ~grid_properties
+        Testbench.run_colorconv_tlm_at ?metrics ~properties ~grid_properties
           (Workload.colorconv ~seed ~count ())
       | Des56_lt_m ->
         (* Boolean invariants only: the LT model is not timing
@@ -264,12 +313,15 @@ let check_cmd =
                 ~context:(Context.Transaction Context.Base_trans)
                 (Parser.formula_only "always(!rdy || ds)") ]
         in
-        Testbench.run_des56_tlm_lt ~properties (Workload.des56 ~seed ~count ())
+        Testbench.run_des56_tlm_lt ?metrics ~properties
+          (Workload.des56 ~seed ~count ())
       | Memctrl_rtl_m ->
-        Memctrl_testbench.run_rtl ~properties:(rtl_or user Memctrl_props.all)
+        Memctrl_testbench.run_rtl ?metrics
+          ~properties:(rtl_or user Memctrl_props.all)
           (Workload.memctrl ~seed ~count ())
       | Memctrl_ca_m ->
-        Memctrl_testbench.run_tlm_ca ~properties:(rtl_or user Memctrl_props.all)
+        Memctrl_testbench.run_tlm_ca ?metrics
+          ~properties:(rtl_or user Memctrl_props.all)
           (Workload.memctrl ~seed ~count ())
       | Memctrl_at_m ->
         let properties =
@@ -280,7 +332,8 @@ let check_cmd =
                  properties)
           | None -> Memctrl_props.tlm_auto_safe ()
         in
-        Memctrl_testbench.run_tlm_at ~properties (Workload.memctrl ~seed ~count ())
+        Memctrl_testbench.run_tlm_at ?metrics ~properties
+          (Workload.memctrl ~seed ~count ())
     in
     Printf.printf "simulated %dns, %d operations, %d kernel activations, %d transactions\n"
       result.Testbench.sim_time_ns result.Testbench.completed_ops
@@ -288,7 +341,7 @@ let check_cmd =
     List.iter
       (fun stat -> Format.printf "%a@." Testbench.pp_checker_stat stat)
       result.Testbench.checker_stats;
-    if stats_flag then begin
+    if metrics_flag then begin
       print_endline "checker-engine statistics:";
       List.iter
         (fun stat ->
@@ -307,56 +360,36 @@ let check_cmd =
         c.Tabv_checker.Progression.distinct_states
         c.Tabv_checker.Progression.distinct_transitions
         c.Tabv_checker.Progression.interned_formulas
-        c.Tabv_checker.Progression.cache_bypassed
+        c.Tabv_checker.Progression.cache_bypassed;
+      if result.Testbench.metrics <> [] then begin
+        print_endline "metrics:";
+        Format.printf "%a@." Tabv_obs.Metrics.pp_snapshot result.Testbench.metrics
+      end;
+      match metrics with
+      | Some m when Tabv_obs.Metrics.timers m <> [] ->
+        print_endline "phase timers (wall clock, excluded from JSON):";
+        List.iter
+          (fun (name, seconds, laps) ->
+            Printf.printf "  %-24s %.6fs over %d laps\n" name seconds laps)
+          (Tabv_obs.Metrics.timers m)
+      | Some _ | None -> ()
     end;
-    (match stats_json with
+    (match metrics_json with
      | None -> ()
      | Some path ->
        let open Tabv_core.Report_json in
-       let per_property =
-         List.map
-           (fun stat ->
-             checker_stat_json ~property_name:stat.Testbench.property_name
-               ~activations:stat.Testbench.activations
-               ~passes:stat.Testbench.passes
-               ~trivial_passes:stat.Testbench.trivial_passes
-               ~vacuous:stat.Testbench.vacuous
-               ~peak_instances:stat.Testbench.peak_instances
-               ~peak_distinct_states:stat.Testbench.peak_distinct_states
-               ~pending:stat.Testbench.pending
-               ~cache_hits:stat.Testbench.cache_hits
-               ~cache_misses:stat.Testbench.cache_misses
-               ~failures:
-                 (List.map
-                    (fun f ->
-                      ( f.Tabv_checker.Monitor.activation_time,
-                        f.Tabv_checker.Monitor.failure_time ))
-                    stat.Testbench.failures)
-               ())
-           result.Testbench.checker_stats
-       in
-       let c = Tabv_checker.Progression.cache_stats () in
        let doc =
-         Assoc
-           [ ("sim_time_ns", Int result.Testbench.sim_time_ns);
-             ("completed_ops", Int result.Testbench.completed_ops);
-             ("transactions", Int result.Testbench.transactions);
-             ("properties", List per_property);
-             ( "engine",
-               engine_cache_json
-                 ~cache_hits:c.Tabv_checker.Progression.cache_hits
-                 ~cache_misses:c.Tabv_checker.Progression.cache_misses
-                 ~cache_bypassed:c.Tabv_checker.Progression.cache_bypassed
-                 ~distinct_states:c.Tabv_checker.Progression.distinct_states
-                 ~distinct_transitions:
-                   c.Tabv_checker.Progression.distinct_transitions
-                 ~interned_formulas:c.Tabv_checker.Progression.interned_formulas
-                 () ) ]
+         Testbench.metrics_json
+           ~run:
+             [ ("model", String (model_name model));
+               ("seed", Int seed);
+               ("ops", Int count) ]
+           result
        in
        Out_channel.with_open_text path (fun oc ->
            Out_channel.output_string oc (to_string doc);
            Out_channel.output_char oc '\n');
-       Printf.printf "wrote checker statistics to %s\n" path);
+       Printf.printf "wrote metrics to %s\n" path);
     let failures = Testbench.total_failures result in
     if failures = 0 then print_endline "all checkers passed"
     else begin
@@ -372,7 +405,9 @@ let check_cmd =
   in
   let doc = "Run a built-in DUV model with its property checkers attached." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ model $ count $ seed $ props_file $ stats_flag $ stats_json)
+    Term.(
+      const run $ model $ count $ seed $ props_file $ metrics_flag $ metrics_json
+      $ stats_flag $ stats_json)
 
 (* --- trace -------------------------------------------------------- *)
 

@@ -1,6 +1,10 @@
 open Tabv_psl
 
-type failure = {
+(* The failure record is shared with the report layer through
+   [Tabv_obs.Checker_snapshot] (tabv_core sits below this library in
+   the dependency order); re-exporting the definition keeps the fields
+   usable under both module paths. *)
+type failure = Tabv_obs.Checker_snapshot.failure = {
   property_name : string;
   activation_time : int;
   failure_time : int;
@@ -362,6 +366,29 @@ let evaluation_table t =
 
 let trivial_passes t = t.trivial_passes
 let vacuous t = t.temporal_body && t.steps > 0 && t.activations = 0
+
+let engine_string t =
+  match engine t with
+  | `Progression -> "progression"
+  | `Progression_legacy -> "progression-legacy"
+  | `Automaton -> "automaton"
+
+let snapshot t =
+  {
+    Tabv_obs.Checker_snapshot.property_name = t.property.Property.name;
+    engine = engine_string t;
+    activations = t.activations;
+    passes = t.passes;
+    trivial_passes = t.trivial_passes;
+    vacuous = vacuous t;
+    peak_instances = t.peak;
+    peak_distinct_states = t.peak_distinct;
+    pending = live_instances t;
+    steps = t.steps;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    failures = failures t;
+  }
 
 let pp_failure ppf f =
   Format.fprintf ppf "%s: instance fired at %dns failed at %dns" f.property_name

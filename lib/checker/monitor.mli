@@ -22,7 +22,10 @@ open Tabv_psl
     instance of the whole formula is activated at the first evaluation
     point. *)
 
-type failure = {
+(** Re-export of {!Tabv_obs.Checker_snapshot.failure}: the same record
+    flows from the monitor through the testbenches into the report
+    emitters without conversion. *)
+type failure = Tabv_obs.Checker_snapshot.failure = {
   property_name : string;
   activation_time : int;  (** when the failing instance fired *)
   failure_time : int;  (** evaluation point that raised the failure *)
@@ -128,5 +131,14 @@ val sampler : t -> Sampler.t
     evaluation instant of every live instance that is waiting on a
     timed [next_eps^tau] obligation, sorted ascending. *)
 val evaluation_table : t -> int list
+
+(** The backend in use, as the string stored in snapshots:
+    ["progression"], ["progression-legacy"] or ["automaton"]. *)
+val engine_string : t -> string
+
+(** One-shot record of every counter above plus the deterministic
+    failure list — the single stats currency consumed by
+    [Tabv_core.Report_json] and the testbenches. *)
+val snapshot : t -> Tabv_obs.Checker_snapshot.t
 
 val pp_failure : Format.formatter -> failure -> unit

@@ -1,39 +1,10 @@
-open Tabv_psl
-open Tabv_sim
-
-type t = {
-  monitor : Monitor.t;
-}
+type t = Checker.t
 
 let attach ?engine ?sampler ?(clocks = []) kernel clock property ~lookup =
-  let sampling_clock, edge =
-    match property.Property.context with
-    | Context.Clock Context.Base_clock -> (clock, Context.Posedge)
-    | Context.Clock (Context.Edge e) | Context.Clock (Context.Edge_and (e, _)) ->
-      (clock, e)
-    | Context.Clock
-        (Context.Named_edge (name, e) | Context.Named_edge_and (name, e, _)) ->
-      (match List.assoc_opt name clocks with
-       | Some named_clock -> (named_clock, e)
-       | None ->
-         invalid_arg
-           (Printf.sprintf "Rtl_checker.attach: property %s names unknown clock %S"
-              property.Property.name name))
-    | Context.Transaction _ ->
-      invalid_arg
-        (Printf.sprintf
-           "Rtl_checker.attach: property %s has a transaction context"
-           property.Property.name)
-  in
-  let monitor = Monitor.create ?engine ?sampler property in
-  let sample () = Monitor.step monitor ~time:(Kernel.now kernel) lookup in
-  (match edge with
-   | Context.Posedge -> Event.on_event (Clock.posedge sampling_clock) sample
-   | Context.Negedge -> Event.on_event (Clock.negedge sampling_clock) sample
-   | Context.Any_edge ->
-     Event.on_event (Clock.posedge sampling_clock) sample;
-     Event.on_event (Clock.negedge sampling_clock) sample);
-  { monitor }
+  Checker.attach
+    (Checker.Attach.spec ?engine ?sampler
+       (Checker.Attach.clock_edge ~clocks clock))
+    kernel property ~lookup
 
-let monitor t = t.monitor
-let failures t = Monitor.failures t.monitor
+let monitor = Checker.monitor
+let failures = Checker.failures

@@ -10,9 +10,13 @@ open Tabv_sim
 
     Because edge events are delivered with delta semantics, the checker
     samples signal values {e before} the register updates of the same
-    edge — the standard pre-edge sampling of RTL assertion checkers. *)
+    edge — the standard pre-edge sampling of RTL assertion checkers.
 
-type t
+    This module is a backward-compatible shim over {!Checker.attach}
+    with a {!Checker.Attach.Clock_edge} mode; new code should use
+    {!Checker} directly (it additionally takes a metrics registry). *)
+
+type t = Checker.t
 
 (** [attach ?engine ?sampler ?clocks kernel clock property ~lookup]
     synthesizes the checker (default backend: interned formula

@@ -1,76 +1,23 @@
-open Tabv_psl
-open Tabv_sim
-
-type t = {
-  monitor : Monitor.t;
-  max_eps : int;
-  mutable step_scheduled_for : int;  (* instant with a pending step, -1 if none *)
-}
-
-(* Several transactions may end at the same instant; Def. III.2's
-   transaction context evaluates the property once per instant, on the
-   final observable state, exactly as an RTL checker evaluates once
-   per clock edge.  The step is deferred by one delta cycle so every
-   same-instant mirror update lands first. *)
-let schedule_step t kernel lookup =
-  let now = Kernel.now kernel in
-  if t.step_scheduled_for <> now then begin
-    t.step_scheduled_for <- now;
-    Kernel.schedule_next_delta kernel (fun () ->
-      Monitor.step t.monitor ~time:now lookup)
-  end
+type t = Checker.t
 
 let attach ?engine ?sampler kernel initiator property ~lookup =
-  (match property.Property.context with
-   | Context.Transaction _ -> ()
-   | Context.Clock _ ->
-     invalid_arg
-       (Printf.sprintf "Wrapper.attach: property %s has a clock context"
-          property.Property.name));
-  let monitor = Monitor.create ?engine ?sampler property in
-  let max_eps = Ltl.max_eps property.Property.formula in
-  let t = { monitor; max_eps; step_scheduled_for = -1 } in
-  Tlm.Initiator.on_transaction initiator (fun _transaction ->
-    schedule_step t kernel lookup);
-  t
+  Checker.attach
+    (Checker.Attach.spec ?engine ?sampler (Checker.Attach.transaction initiator))
+    kernel property ~lookup
 
 let attach_unabstracted ?engine ?sampler kernel initiator property ~lookup =
-  (match property.Property.context with
-   | Context.Clock _ -> ()
-   | Context.Transaction _ ->
-     invalid_arg
-       (Printf.sprintf
-          "Wrapper.attach_unabstracted: property %s already has a transaction context"
-          property.Property.name));
-  let monitor = Monitor.create ?engine ?sampler property in
-  let max_eps = Ltl.max_eps property.Property.formula in
-  let t = { monitor; max_eps; step_scheduled_for = -1 } in
-  Tlm.Initiator.on_transaction initiator (fun _transaction ->
-    schedule_step t kernel lookup);
-  t
+  Checker.attach
+    (Checker.Attach.spec ?engine ?sampler
+       (Checker.Attach.transaction_unabstracted initiator))
+    kernel property ~lookup
 
 let attach_grid ?engine ?sampler kernel ~clock_period ?(phase = 1) property
     ~lookup =
-  if clock_period <= 0 then
-    invalid_arg "Wrapper.attach_grid: clock_period must be positive";
-  (match property.Property.context with
-   | Context.Transaction _ -> ()
-   | Context.Clock _ ->
-     invalid_arg
-       (Printf.sprintf "Wrapper.attach_grid: property %s has a clock context"
-          property.Property.name));
-  let monitor = Monitor.create ?engine ?sampler property in
-  let max_eps = Ltl.max_eps property.Property.formula in
-  let rec tick () =
-    Monitor.step monitor ~time:(Kernel.now kernel) lookup;
-    Kernel.schedule_after kernel ~delay:clock_period tick
-  in
-  Kernel.schedule_at kernel ~time:phase tick;
-  { monitor; max_eps; step_scheduled_for = -1 }
+  Checker.attach
+    (Checker.Attach.spec ?engine ?sampler
+       (Checker.Attach.grid ~phase ~clock_period ()))
+    kernel property ~lookup
 
-let monitor t = t.monitor
-let failures t = Monitor.failures t.monitor
-
-let array_size t ~clock_period =
-  if clock_period <= 0 then invalid_arg "Wrapper.array_size: clock_period must be positive";
-  (t.max_eps + clock_period - 1) / clock_period
+let monitor = Checker.monitor
+let failures = Checker.failures
+let array_size = Checker.array_size

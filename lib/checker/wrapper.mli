@@ -13,9 +13,15 @@ open Tabv_sim
 
     The paper sizes a preallocated instance array [C] by the property
     lifetime; [array_size] reports that bound, and
-    {!Monitor.peak_instances} the high-water mark actually reached. *)
+    {!Monitor.peak_instances} the high-water mark actually reached.
 
-type t
+    This module is a backward-compatible shim over {!Checker.attach}
+    with {!Checker.Attach.Transaction} /
+    {!Checker.Attach.Transaction_unabstracted} / {!Checker.Attach.Grid}
+    modes; new code should use {!Checker} directly (it additionally
+    takes a metrics registry). *)
+
+type t = Checker.t
 
 (** [attach kernel initiator property ~lookup] synthesizes the wrapper
     for a TLM property and hooks it to the socket's end-of-transaction

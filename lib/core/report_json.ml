@@ -64,8 +64,31 @@ let to_string json =
 (* --- checker statistics ---------------------------------------------
 
    [tabv_core] sits below the checker library in the dependency order,
-   so the emitters take plain values; {!Monitor} accessors plug in
-   directly (see [bin/tabv] and the bench harness). *)
+   so the emitters speak the shared [Tabv_obs.Checker_snapshot]
+   currency; {!Monitor.snapshot} plugs in directly (see [bin/tabv] and
+   the bench harness). *)
+
+let failure_json (f : Tabv_obs.Checker_snapshot.failure) =
+  Assoc
+    [ ("activation_time_ns", Int f.activation_time);
+      ("failure_time_ns", Int f.failure_time) ]
+
+let checker_snapshot_json (s : Tabv_obs.Checker_snapshot.t) =
+  Assoc
+    [ ("property", String s.property_name);
+      ("engine", String s.engine);
+      ("activations", Int s.activations);
+      ("passes", Int s.passes);
+      ("trivial_passes", Int s.trivial_passes);
+      ("vacuous", Bool s.vacuous);
+      ("peak_instances", Int s.peak_instances);
+      ("peak_distinct_states", Int s.peak_distinct_states);
+      ("pending", Int s.pending);
+      ("steps", Int s.steps);
+      ("cache_hits", Int s.cache_hits);
+      ("cache_misses", Int s.cache_misses);
+      ("cache_hit_rate", Float (Tabv_obs.Checker_snapshot.cache_hit_rate s));
+      ("failures", List (List.map failure_json s.failures)) ]
 
 let checker_stat_json ~property_name ~activations ~passes ~trivial_passes
     ~vacuous ~peak_instances ~peak_distinct_states ~pending ~cache_hits
@@ -109,6 +132,41 @@ let engine_cache_json ~cache_hits ~cache_misses ~cache_bypassed ~distinct_states
       ("distinct_states", Int distinct_states);
       ("distinct_transitions", Int distinct_transitions);
       ("interned_formulas", Int interned_formulas) ]
+
+(* --- metrics registry ----------------------------------------------- *)
+
+let metrics_value_json (v : Tabv_obs.Metrics.value) =
+  match v with
+  | Tabv_obs.Metrics.Counter n ->
+    Assoc [ ("kind", String "counter"); ("value", Int n) ]
+  | Tabv_obs.Metrics.Gauge n ->
+    Assoc [ ("kind", String "gauge"); ("value", Int n) ]
+  | Tabv_obs.Metrics.Histogram h ->
+    Assoc
+      [ ("kind", String "histogram");
+        ("count", Int h.Tabv_obs.Metrics.count);
+        ("sum", Int h.Tabv_obs.Metrics.sum);
+        ("min", Int h.Tabv_obs.Metrics.min_value);
+        ("max", Int h.Tabv_obs.Metrics.max_value);
+        ( "buckets",
+          List
+            (List.map
+               (fun (upper_bound, count) ->
+                 Assoc [ ("le", Int upper_bound); ("count", Int count) ])
+               h.Tabv_obs.Metrics.by_upper_bound) ) ]
+
+let metrics_snapshot_json snapshot =
+  Assoc (List.map (fun (name, v) -> (name, metrics_value_json v)) snapshot)
+
+let metrics_schema_version = 1
+
+let metrics_json ~run ~metrics ~properties ~engine () =
+  Assoc
+    [ ("schema", Int metrics_schema_version);
+      ("run", Assoc run);
+      ("metrics", metrics_snapshot_json metrics);
+      ("properties", List properties);
+      ("engine", engine) ]
 
 let property_json p =
   Assoc

@@ -17,11 +17,18 @@ type json =
 
 val to_string : json -> string
 
-(** Per-property checker statistics as JSON.  Plain arguments because
-    [tabv_core] sits below the checker library; callers plug in the
-    [Monitor] accessors (see [bin/tabv --stats] and the bench
-    harness).  [failures] is [(activation_time, failure_time)] pairs
-    in report order; [cache_hit_rate] is derived. *)
+(** Per-property checker statistics as JSON, from the shared
+    {!Tabv_obs.Checker_snapshot.t} record ([Monitor.snapshot] produces
+    it directly).  Same keys as the legacy {!checker_stat_json}, plus
+    ["engine"] and ["steps"]; [cache_hit_rate] is derived. *)
+val checker_snapshot_json : Tabv_obs.Checker_snapshot.t -> json
+
+(** Deprecated: use {!checker_snapshot_json}.  This legacy emitter
+    takes the 12 statistics as plain labelled arguments (the record
+    now lives in [Tabv_obs.Checker_snapshot]); it is kept only so
+    pre-existing integrations keep compiling and will be removed.
+    [failures] is [(activation_time, failure_time)] pairs in report
+    order. *)
 val checker_stat_json :
   property_name:string ->
   activations:int ->
@@ -46,6 +53,36 @@ val engine_cache_json :
   distinct_states:int ->
   distinct_transitions:int ->
   interned_formulas:int ->
+  unit ->
+  json
+
+(** One {!Tabv_obs.Metrics.value} as tagged JSON:
+    [{"kind":"counter","value":n}], [{"kind":"gauge","value":n}], or a
+    histogram object with [count]/[sum]/[min]/[max] and cumulative-free
+    per-bucket [{"le":bound,"count":n}] entries. *)
+val metrics_value_json : Tabv_obs.Metrics.value -> json
+
+(** A whole registry snapshot as one JSON object, preserving the
+    snapshot's (sorted, deterministic) name order. *)
+val metrics_snapshot_json : (string * Tabv_obs.Metrics.value) list -> json
+
+(** Version stamped into the ["schema"] key of {!metrics_json}. *)
+val metrics_schema_version : int
+
+(** The versioned observability document emitted by
+    [tabv check --metrics-json]:
+    [{"schema":1,"run":{..},"metrics":{..},"properties":[..],"engine":{..}}].
+    [run] is caller-supplied run identification (model, seed,
+    simulated time, operation counts), [metrics] a registry snapshot,
+    [properties] per-property {!checker_snapshot_json} documents and
+    [engine] the {!engine_cache_json} document.  Every value is
+    derived from simulation state — never wall-clock — so the document
+    is byte-identical across runs with the same seed. *)
+val metrics_json :
+  run:(string * json) list ->
+  metrics:(string * Tabv_obs.Metrics.value) list ->
+  properties:json list ->
+  engine:json ->
   unit ->
   json
 

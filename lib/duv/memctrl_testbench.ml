@@ -19,16 +19,15 @@ let op_latency = function
   | Memctrl_iface.Write _ -> Memctrl_iface.write_latency
   | Memctrl_iface.Read _ -> Memctrl_iface.read_latency
 
-let run_rtl ?(properties = []) ?engine ?(gap_cycles = 2) ops =
-  let kernel = Kernel.create () in
+let run_rtl ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
+  let kernel = Kernel.create ?metrics () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Memctrl_rtl.create kernel clock in
   let lookup = Memctrl_rtl.lookup model in
-  let sampler = Sampler.create () in
+  let sampler = Testbench.pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p -> Rtl_checker.attach ?engine ~sampler kernel clock p ~lookup)
-      properties
+    Testbench.attach_pool ?engine kernel (Checker.Attach.clock_edge clock)
+      sampler properties ~lookup
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -68,23 +67,22 @@ let run_rtl ?(properties = []) ?engine ?(gap_cycles = 2) ops =
     transactions = 0;
     completed_ops = Memctrl_rtl.completed model;
     outputs = List.rev !outputs;
-    checker_stats =
-      List.map (fun c -> Testbench.stat_of_monitor (Rtl_checker.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = Testbench.metrics_snapshot kernel;
     trace = None;
   }
 
-let run_tlm_ca ?(properties = []) ?engine ?(gap_cycles = 2) ops =
-  let kernel = Kernel.create () in
+let run_tlm_ca ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
+  let kernel = Kernel.create ?metrics () in
   let model = Memctrl_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_ca_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_ca.target model);
   let lookup = Memctrl_tlm_ca.lookup model in
-  let sampler = Sampler.create () in
+  let sampler = Testbench.pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p ->
-        Wrapper.attach_unabstracted ?engine ~sampler kernel initiator p ~lookup)
-      properties
+    Testbench.attach_pool ?engine kernel
+      (Checker.Attach.transaction_unabstracted initiator)
+      sampler properties ~lookup
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -124,23 +122,23 @@ let run_tlm_ca ?(properties = []) ?engine ?(gap_cycles = 2) ops =
     transactions = Tlm.Initiator.transaction_count initiator;
     completed_ops = Memctrl_tlm_ca.completed model;
     outputs = List.rev !outputs;
-    checker_stats =
-      List.map (fun c -> Testbench.stat_of_monitor (Wrapper.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = Testbench.metrics_snapshot kernel;
     trace = None;
   }
 
-let run_tlm_at ?(properties = []) ?engine ?(gap_cycles = 2) ?write_latency_ns
-    ?read_latency_ns ops =
-  let kernel = Kernel.create () in
+let run_tlm_at ?(properties = []) ?engine ?metrics ?(gap_cycles = 2)
+    ?write_latency_ns ?read_latency_ns ops =
+  let kernel = Kernel.create ?metrics () in
   let model = Memctrl_tlm_at.create ?write_latency_ns ?read_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_at_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_at.target model);
   let lookup = Memctrl_tlm_at.lookup model in
-  let sampler = Sampler.create () in
+  let sampler = Testbench.pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
-      properties
+    Testbench.attach_pool ?engine kernel
+      (Checker.Attach.transaction initiator)
+      sampler properties ~lookup
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -177,7 +175,7 @@ let run_tlm_at ?(properties = []) ?engine ?(gap_cycles = 2) ?write_latency_ns
     transactions = Tlm.Initiator.transaction_count initiator;
     completed_ops = Memctrl_tlm_at.completed model;
     outputs = List.rev !outputs;
-    checker_stats =
-      List.map (fun c -> Testbench.stat_of_monitor (Wrapper.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = Testbench.metrics_snapshot kernel;
     trace = None;
   }

@@ -9,6 +9,7 @@ val reference_reads : Memctrl_iface.op list -> int list
 val run_rtl :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   Memctrl_iface.op list ->
   Testbench.run_result
@@ -18,6 +19,7 @@ val run_rtl :
 val run_tlm_ca :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   Memctrl_iface.op list ->
   Testbench.run_result
@@ -27,6 +29,7 @@ val run_tlm_ca :
 val run_tlm_at :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   ?write_latency_ns:int ->
   ?read_latency_ns:int ->

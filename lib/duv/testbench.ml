@@ -2,8 +2,9 @@ open Tabv_psl
 open Tabv_sim
 open Tabv_checker
 
-type checker_stat = {
+type checker_stat = Tabv_obs.Checker_snapshot.t = {
   property_name : string;
+  engine : string;
   activations : int;
   passes : int;
   trivial_passes : int;
@@ -11,6 +12,7 @@ type checker_stat = {
   peak_instances : int;
   peak_distinct_states : int;
   pending : int;
+  steps : int;
   cache_hits : int;
   cache_misses : int;
   failures : Monitor.failure list;
@@ -24,57 +26,85 @@ type run_result = {
   completed_ops : int;
   outputs : int64 list;
   checker_stats : checker_stat list;
+  metrics : (string * Tabv_obs.Metrics.value) list;
   trace : Trace.t option;
 }
 
 let total_failures result =
-  List.fold_left
-    (fun acc stat -> acc + List.length stat.failures)
-    0 result.checker_stats
+  Tabv_obs.Checker_snapshot.total_failures result.checker_stats
 
-let pp_checker_stat ppf stat =
-  Format.fprintf ppf "%-6s activations=%-6d passes=%-6d peak=%-3d pending=%-3d failures=%d%s"
-    stat.property_name stat.activations stat.passes stat.peak_instances stat.pending
-    (List.length stat.failures)
-    (if stat.vacuous then "  [vacuous]" else "")
+let pp_checker_stat = Tabv_obs.Checker_snapshot.pp
+let stat_of_monitor = Monitor.snapshot
+let cache_hit_rate = Tabv_obs.Checker_snapshot.cache_hit_rate
 
-let stat_of_monitor monitor =
-  {
-    property_name = (Monitor.property monitor).Property.name;
-    activations = Monitor.activations monitor;
-    passes = Monitor.passes monitor;
-    trivial_passes = Monitor.trivial_passes monitor;
-    vacuous = Monitor.vacuous monitor;
-    peak_instances = Monitor.peak_instances monitor;
-    peak_distinct_states = Monitor.peak_distinct_states monitor;
-    pending = Monitor.pending monitor;
-    cache_hits = Monitor.cache_hits monitor;
-    cache_misses = Monitor.cache_misses monitor;
-    failures = Monitor.failures monitor;
-  }
+let metrics_json ?(run = []) result =
+  let open Tabv_core.Report_json in
+  let run =
+    run
+    @ [ ("sim_time_ns", Int result.sim_time_ns);
+        ("kernel_activations", Int result.kernel_activations);
+        ("delta_cycles", Int result.delta_cycles);
+        ("transactions", Int result.transactions);
+        ("completed_ops", Int result.completed_ops);
+        ("failures", Int (total_failures result)) ]
+  in
+  let cache = Progression.cache_stats () in
+  let engine =
+    engine_cache_json ~cache_hits:cache.Progression.cache_hits
+      ~cache_misses:cache.Progression.cache_misses
+      ~cache_bypassed:cache.Progression.cache_bypassed
+      ~distinct_states:cache.Progression.distinct_states
+      ~distinct_transitions:cache.Progression.distinct_transitions
+      ~interned_formulas:cache.Progression.interned_formulas ()
+  in
+  metrics_json ~run ~metrics:result.metrics
+    ~properties:(List.map checker_snapshot_json result.checker_stats)
+    ~engine ()
 
-let cache_hit_rate stat =
-  let total = stat.cache_hits + stat.cache_misses in
-  if total = 0 then 0. else float_of_int stat.cache_hits /. float_of_int total
+(* --- checker-pool plumbing ------------------------------------------ *)
+
+(* One shared atom sampler per checker pool; when the kernel's metrics
+   registry is live its counters are published as pull probes (summed
+   across pools). *)
+let pool_sampler kernel =
+  let sampler = Sampler.create () in
+  let metrics = Kernel.metrics kernel in
+  if Tabv_obs.Metrics.enabled metrics then begin
+    Tabv_obs.Metrics.probe metrics ~combine:`Sum "checker.sampler.queries"
+      (fun () -> Sampler.queries sampler);
+    Tabv_obs.Metrics.probe metrics ~combine:`Sum "checker.sampler.evals"
+      (fun () -> Sampler.evals sampler)
+  end;
+  sampler
+
+(* Attach one property pool through the unified entry point. *)
+let attach_pool ?engine kernel mode sampler properties ~lookup =
+  List.map
+    (fun p ->
+      Checker.attach (Checker.Attach.spec ?engine ~sampler mode) kernel p ~lookup)
+    properties
+
+let metrics_snapshot kernel =
+  let m = Kernel.metrics kernel in
+  if Tabv_obs.Metrics.enabled m then Tabv_obs.Metrics.snapshot m else []
 
 let period = 10
 
 (* --- DES56 / RTL --- *)
 
-let run_des56_rtl ?(properties = []) ?engine ?(record_trace = false) ?(gap_cycles = 2)
-    ?fault ops =
-  let kernel = Kernel.create () in
+let run_des56_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false)
+    ?(gap_cycles = 2) ?fault ops =
+  let kernel = Kernel.create ?metrics () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Des56_rtl.create ?fault kernel clock in
   let lookup = Des56_rtl.lookup model in
   (* All checkers sample the same environment at the same edges: share
      one evaluation-point sampler so each distinct atom is evaluated
      once per instant across the whole checker pool. *)
-  let sampler = Sampler.create () in
+  let sampler = pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p -> Rtl_checker.attach ?engine ~sampler kernel clock p ~lookup)
-      properties
+    attach_pool ?engine kernel (Checker.Attach.clock_edge clock) sampler
+      properties ~lookup
   in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -115,15 +145,16 @@ let run_des56_rtl ?(properties = []) ?engine ?(record_trace = false) ?(gap_cycle
     transactions = 0;
     completed_ops = Des56_rtl.completed model;
     outputs = List.rev !outputs;
-    checker_stats = List.map (fun c -> stat_of_monitor (Rtl_checker.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
   }
 
 (* --- DES56 / TLM-CA --- *)
 
-let run_des56_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
+let run_des56_tlm_ca ?(properties = []) ?engine ?metrics ?(record_trace = false)
     ?(gap_cycles = 2) ops =
-  let kernel = Kernel.create () in
+  let kernel = Kernel.create ?metrics () in
   let model = Des56_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_ca_init" in
   Tlm.Initiator.bind initiator (Des56_tlm_ca.target model);
@@ -133,12 +164,11 @@ let run_des56_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
         (Des56_iface.env_of (Des56_tlm_ca.observables model)));
-  let sampler = Sampler.create () in
+  let sampler = pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p ->
-        Wrapper.attach_unabstracted ?engine ~sampler kernel initiator p ~lookup)
-      properties
+    attach_pool ?engine kernel
+      (Checker.Attach.transaction_unabstracted initiator)
+      sampler properties ~lookup
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -181,15 +211,16 @@ let run_des56_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
     transactions = Tlm.Initiator.transaction_count initiator;
     completed_ops = Des56_tlm_ca.completed model;
     outputs = List.rev !outputs;
-    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
   }
 
 (* --- DES56 / TLM-AT --- *)
 
-let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
+let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?metrics
     ?(record_trace = false) ?(gap_cycles = 2) ?model_latency_ns ops =
-  let kernel = Kernel.create () in
+  let kernel = Kernel.create ?metrics () in
   let model = Des56_tlm_at.create ?latency_ns:model_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_at_init" in
   Tlm.Initiator.bind initiator (Des56_tlm_at.target model);
@@ -202,17 +233,14 @@ let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
   (* Strict wrappers sample in the deferred-delta phase of transaction
      instants; grid wrappers sample on the clock grid.  The two pools
      observe different instants, so each gets its own shared sampler. *)
-  let sampler = Sampler.create () in
-  let grid_sampler = Sampler.create () in
+  let sampler = pool_sampler kernel in
+  let grid_sampler = pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
-      properties
-    @ List.map
-        (fun p ->
-          Wrapper.attach_grid ?engine ~sampler:grid_sampler kernel
-            ~clock_period:Des56_iface.clock_period p ~lookup)
-        grid_properties
+    attach_pool ?engine kernel (Checker.Attach.transaction initiator) sampler
+      properties ~lookup
+    @ attach_pool ?engine kernel
+        (Checker.Attach.grid ~clock_period:Des56_iface.clock_period ())
+        grid_sampler grid_properties ~lookup
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -250,23 +278,23 @@ let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
     transactions = Tlm.Initiator.transaction_count initiator;
     completed_ops = Des56_tlm_at.completed model;
     outputs = List.rev !outputs;
-    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
   }
 
 (* --- DES56 / TLM-LT --- *)
 
-let run_des56_tlm_lt ?(properties = []) ?engine ?(gap_cycles = 2) ops =
-  let kernel = Kernel.create () in
+let run_des56_tlm_lt ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
+  let kernel = Kernel.create ?metrics () in
   let model = Des56_tlm_lt.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_lt_init" in
   Tlm.Initiator.bind initiator (Des56_tlm_lt.target model);
   let lookup = Des56_tlm_lt.lookup model in
-  let sampler = Sampler.create () in
+  let sampler = pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
-      properties
+    attach_pool ?engine kernel (Checker.Attach.transaction initiator) sampler
+      properties ~lookup
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -302,7 +330,8 @@ let run_des56_tlm_lt ?(properties = []) ?engine ?(gap_cycles = 2) ops =
     transactions = Tlm.Initiator.transaction_count initiator;
     completed_ops = Des56_tlm_lt.completed model;
     outputs = List.rev !outputs;
-    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = metrics_snapshot kernel;
     trace = None;
   }
 
@@ -311,17 +340,16 @@ let run_des56_tlm_lt ?(properties = []) ?engine ?(gap_cycles = 2) ops =
 let pack_ycbcr { Colorconv.y; cb; cr } =
   Int64.of_int (y lor (cb lsl 8) lor (cr lsl 16))
 
-let run_colorconv_rtl ?(properties = []) ?engine ?(record_trace = false)
+let run_colorconv_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false)
     ?(gap_cycles = 2) bursts =
-  let kernel = Kernel.create () in
+  let kernel = Kernel.create ?metrics () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Colorconv_rtl.create kernel clock in
   let lookup = Colorconv_rtl.lookup model in
-  let sampler = Sampler.create () in
+  let sampler = pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p -> Rtl_checker.attach ?engine ~sampler kernel clock p ~lookup)
-      properties
+    attach_pool ?engine kernel (Checker.Attach.clock_edge clock) sampler
+      properties ~lookup
   in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -372,13 +400,14 @@ let run_colorconv_rtl ?(properties = []) ?engine ?(record_trace = false)
     transactions = 0;
     completed_ops = Colorconv_rtl.completed model;
     outputs = List.rev !outputs;
-    checker_stats = List.map (fun c -> stat_of_monitor (Rtl_checker.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
   }
 
-let run_colorconv_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
-    ?(gap_cycles = 2) bursts =
-  let kernel = Kernel.create () in
+let run_colorconv_tlm_ca ?(properties = []) ?engine ?metrics
+    ?(record_trace = false) ?(gap_cycles = 2) bursts =
+  let kernel = Kernel.create ?metrics () in
   let model = Colorconv_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"colorconv_ca_init" in
   Tlm.Initiator.bind initiator (Colorconv_tlm_ca.target model);
@@ -388,12 +417,11 @@ let run_colorconv_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
         (Colorconv_iface.env_of (Colorconv_tlm_ca.observables model)));
-  let sampler = Sampler.create () in
+  let sampler = pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p ->
-        Wrapper.attach_unabstracted ?engine ~sampler kernel initiator p ~lookup)
-      properties
+    attach_pool ?engine kernel
+      (Checker.Attach.transaction_unabstracted initiator)
+      sampler properties ~lookup
   in
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
@@ -445,7 +473,8 @@ let run_colorconv_tlm_ca ?(properties = []) ?engine ?(record_trace = false)
     transactions = Tlm.Initiator.transaction_count initiator;
     completed_ops = Colorconv_tlm_ca.completed model;
     outputs = List.rev !outputs;
-    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
   }
 
@@ -465,8 +494,8 @@ let cc_priority = function
   | Cc_write _ -> 3
 
 let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
-    ?(record_trace = false) ?(gap_cycles = 2) bursts =
-  let kernel = Kernel.create () in
+    ?metrics ?(record_trace = false) ?(gap_cycles = 2) bursts =
+  let kernel = Kernel.create ?metrics () in
   let model = Colorconv_tlm_at.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"colorconv_at_init" in
   Tlm.Initiator.bind initiator (Colorconv_tlm_at.target model);
@@ -476,17 +505,14 @@ let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
         (Colorconv_iface.env_of (Colorconv_tlm_at.observables model)));
-  let sampler = Sampler.create () in
-  let grid_sampler = Sampler.create () in
+  let sampler = pool_sampler kernel in
+  let grid_sampler = pool_sampler kernel in
   let checkers =
-    List.map
-      (fun p -> Wrapper.attach ?engine ~sampler kernel initiator p ~lookup)
-      properties
-    @ List.map
-        (fun p ->
-          Wrapper.attach_grid ?engine ~sampler:grid_sampler kernel
-            ~clock_period:Colorconv_iface.clock_period p ~lookup)
-        grid_properties
+    attach_pool ?engine kernel (Checker.Attach.transaction initiator) sampler
+      properties ~lookup
+    @ attach_pool ?engine kernel
+        (Checker.Attach.grid ~clock_period:Colorconv_iface.clock_period ())
+        grid_sampler grid_properties ~lookup
   in
   let latency_ns = Colorconv_iface.latency * period in
   (* Build the agenda. *)
@@ -556,6 +582,7 @@ let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
     transactions = Tlm.Initiator.transaction_count initiator;
     completed_ops = Colorconv_tlm_at.completed model;
     outputs = List.rev !outputs;
-    checker_stats = List.map (fun c -> stat_of_monitor (Wrapper.monitor c)) checkers;
+    checker_stats = List.map Checker.snapshot checkers;
+    metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
   }

@@ -15,8 +15,11 @@ open Tabv_checker
        I/O signals change (strobe rise, strobe fall, result ready,
        ready fall).}} *)
 
-type checker_stat = {
+(** Re-export of {!Tabv_obs.Checker_snapshot.t}: per-property checker
+    statistics are one shared record from monitor to JSON report. *)
+type checker_stat = Tabv_obs.Checker_snapshot.t = {
   property_name : string;
+  engine : string;  (** backend actually used (after any fallback) *)
   activations : int;
   passes : int;
   trivial_passes : int;
@@ -26,6 +29,7 @@ type checker_stat = {
       (** peak distinct hash-consed states (interned engine; equals
           [peak_instances] for the legacy/automaton backends) *)
   pending : int;
+  steps : int;  (** evaluation points consumed (after context gating) *)
   cache_hits : int;  (** monitor steps answered from the transition memo *)
   cache_misses : int;  (** monitor steps that ran the rewriting *)
   failures : Monitor.failure list;
@@ -39,6 +43,9 @@ type run_result = {
   completed_ops : int;
   outputs : int64 list;  (** DES56 results / packed YCbCr pixels, in order *)
   checker_stats : checker_stat list;
+  metrics : (string * Tabv_obs.Metrics.value) list;
+      (** end-of-run registry snapshot; [[]] unless the run was given
+          an enabled {!Tabv_obs.Metrics.t} *)
   trace : Trace.t option;
 }
 
@@ -46,13 +53,49 @@ type run_result = {
 val total_failures : run_result -> int
 
 (** Snapshot a monitor's counters (used by sibling testbenches, e.g.
-    {!Memctrl_testbench}). *)
+    {!Memctrl_testbench}); alias of {!Monitor.snapshot}. *)
 val stat_of_monitor : Monitor.t -> checker_stat
 
 (** [hits / (hits + misses)], 0 when the checker never stepped. *)
 val cache_hit_rate : checker_stat -> float
 
 val pp_checker_stat : Format.formatter -> checker_stat -> unit
+
+(** The versioned observability document for one run
+    ({!Tabv_core.Report_json.metrics_json}): run counters, the
+    registry snapshot, per-property checker snapshots and the
+    process-global engine cache statistics.  [run] prepends run
+    identification fields (model name, seed, ...) to the ["run"]
+    section. *)
+val metrics_json :
+  ?run:(string * Tabv_core.Report_json.json) list ->
+  run_result ->
+  Tabv_core.Report_json.json
+
+(** {1 Checker-pool plumbing}
+
+    Shared by the sibling testbenches (e.g. {!Memctrl_testbench}). *)
+
+(** A fresh shared atom sampler whose query/eval counters are
+    published on the kernel's metrics registry (when enabled) as the
+    summed probes [checker.sampler.queries] / [checker.sampler.evals]. *)
+val pool_sampler : Tabv_sim.Kernel.t -> Sampler.t
+
+(** Attach every property through the unified {!Checker.attach} entry
+    point with one shared mode/sampler. *)
+val attach_pool :
+  ?engine:Monitor.engine ->
+  Tabv_sim.Kernel.t ->
+  Checker.Attach.mode ->
+  Sampler.t ->
+  Property.t list ->
+  lookup:(string -> Expr.value option) ->
+  Checker.t list
+
+(** End-of-run registry snapshot; [[]] when the kernel's registry is
+    disabled (so default runs never pay for snapshotting). *)
+val metrics_snapshot :
+  Tabv_sim.Kernel.t -> (string * Tabv_obs.Metrics.value) list
 
 (** {1 DES56} *)
 
@@ -62,6 +105,7 @@ val pp_checker_stat : Format.formatter -> checker_stat -> unit
 val run_des56_rtl :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   ?fault:Des56_rtl.fault ->
@@ -73,6 +117,7 @@ val run_des56_rtl :
 val run_des56_tlm_ca :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   Des56_iface.op list ->
@@ -87,6 +132,7 @@ val run_des56_tlm_at :
   ?properties:Property.t list ->
   ?grid_properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   ?model_latency_ns:int ->
@@ -102,6 +148,7 @@ val run_des56_tlm_at :
 val run_des56_tlm_lt :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   Des56_iface.op list ->
   run_result
@@ -111,6 +158,7 @@ val run_des56_tlm_lt :
 val run_colorconv_rtl :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   Colorconv.pixel list list ->
@@ -119,6 +167,7 @@ val run_colorconv_rtl :
 val run_colorconv_tlm_ca :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   Colorconv.pixel list list ->
@@ -128,6 +177,7 @@ val run_colorconv_tlm_at :
   ?properties:Property.t list ->
   ?grid_properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
   Colorconv.pixel list list ->

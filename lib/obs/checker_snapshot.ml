@@ -1,0 +1,49 @@
+(* Per-property checker snapshot: the record form of a monitor's
+   end-of-run statistics.
+
+   This record is the single stats currency between the checker layer
+   and the report emitters: [Tabv_checker.Monitor.snapshot] produces
+   it, testbenches collect it, and [Tabv_core.Report_json] serializes
+   it — replacing the previous 12-plain-argument emitter (the core
+   library sits below the checker library in the dependency order, so
+   the shared record has to live down here). *)
+
+type failure = {
+  property_name : string;
+  activation_time : int;
+  failure_time : int;
+}
+
+type t = {
+  property_name : string;
+  engine : string;  (* "progression" | "progression-legacy" | "automaton" *)
+  activations : int;
+  passes : int;
+  trivial_passes : int;
+  vacuous : bool;
+  peak_instances : int;
+  peak_distinct_states : int;
+  pending : int;
+  steps : int;
+  cache_hits : int;
+  cache_misses : int;
+  failures : failure list;
+}
+
+let cache_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0. else float_of_int t.cache_hits /. float_of_int total
+
+let total_failures snapshots =
+  List.fold_left (fun acc s -> acc + List.length s.failures) 0 snapshots
+
+let pp_failure ppf (f : failure) =
+  Format.fprintf ppf "%s: instance fired at %dns failed at %dns" f.property_name
+    f.activation_time f.failure_time
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%-6s activations=%-6d passes=%-6d peak=%-3d pending=%-3d failures=%d%s"
+    s.property_name s.activations s.passes s.peak_instances s.pending
+    (List.length s.failures)
+    (if s.vacuous then "  [vacuous]" else "")

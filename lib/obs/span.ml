@@ -1,0 +1,46 @@
+(* Event-span recorder: a bounded ring of (label, start, stop) spans
+   in simulation time.  Used by the TLM layer to retain the tail of
+   the transaction stream for post-mortem inspection without growing
+   with the simulation; totals are kept across the whole run. *)
+
+type span = {
+  label : string;
+  start_ns : int;
+  stop_ns : int;
+}
+
+type t = {
+  capacity : int;
+  ring : span option array;
+  mutable next : int;  (* next write position *)
+  mutable recorded : int;  (* total record calls *)
+  mutable total_ns : int;  (* summed duration of every recorded span *)
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Span.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; recorded = 0; total_ns = 0 }
+
+let record t ~label ~start_ns ~stop_ns =
+  t.ring.(t.next) <- Some { label; start_ns; stop_ns };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.recorded <- t.recorded + 1;
+  t.total_ns <- t.total_ns + (stop_ns - start_ns)
+
+let recorded t = t.recorded
+let retained t = min t.recorded t.capacity
+let dropped t = t.recorded - retained t
+let total_ns t = t.total_ns
+
+let to_list t =
+  (* Oldest retained span first. *)
+  let n = retained t in
+  let start = (t.next - n + t.capacity * 2) mod t.capacity in
+  List.init n (fun i ->
+    match t.ring.((start + i) mod t.capacity) with
+    | Some span -> span
+    | None -> assert false)
+
+let pp ppf span =
+  Format.fprintf ppf "%s [%d, %d]ns (%dns)" span.label span.start_ns span.stop_ns
+    (span.stop_ns - span.start_ns)

@@ -1,0 +1,37 @@
+(** Event-span recorder: a bounded ring of labelled [start, stop]
+    spans in simulation time.
+
+    The TLM layer records one span per completed transaction; the ring
+    retains the most recent [capacity] spans for inspection while
+    {!recorded} and {!total_ns} keep whole-run totals, so memory is
+    bounded no matter how long the simulation runs. *)
+
+type span = {
+  label : string;
+  start_ns : int;
+  stop_ns : int;
+}
+
+type t
+
+(** @raise Invalid_argument when [capacity <= 0] (default 1024). *)
+val create : ?capacity:int -> unit -> t
+
+val record : t -> label:string -> start_ns:int -> stop_ns:int -> unit
+
+(** Total spans recorded over the whole run. *)
+val recorded : t -> int
+
+(** Spans still in the ring ([min recorded capacity]). *)
+val retained : t -> int
+
+(** Spans evicted by the ring bound. *)
+val dropped : t -> int
+
+(** Summed duration of every recorded span (including evicted ones). *)
+val total_ns : t -> int
+
+(** Retained spans, oldest first. *)
+val to_list : t -> span list
+
+val pp : Format.formatter -> span -> unit

@@ -75,22 +75,54 @@ type t = {
   mutable running : bool;
   mutable activations : int;
   mutable deltas : int;
+  mutable time_advances : int;
+  mutable update_actions : int;
+  metrics : Tabv_obs.Metrics.t;
+  eval_timer : Tabv_obs.Metrics.timer;
+  update_timer : Tabv_obs.Metrics.timer;
+  advance_timer : Tabv_obs.Metrics.timer;
 }
 
-let create () =
-  {
-    now = 0;
-    delta = 0;
-    timed = Heap.create ();
-    runnable = Queue.create ();
-    next_delta = Queue.create ();
-    updates = [];
-    seq = 0;
-    stopping = false;
-    running = false;
-    activations = 0;
-    deltas = 0;
-  }
+let create ?metrics () =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Tabv_obs.Metrics.disabled ()
+  in
+  let t =
+    {
+      now = 0;
+      delta = 0;
+      timed = Heap.create ();
+      runnable = Queue.create ();
+      next_delta = Queue.create ();
+      updates = [];
+      seq = 0;
+      stopping = false;
+      running = false;
+      activations = 0;
+      deltas = 0;
+      time_advances = 0;
+      update_actions = 0;
+      metrics;
+      eval_timer = Tabv_obs.Metrics.timer metrics "kernel.eval_phase";
+      update_timer = Tabv_obs.Metrics.timer metrics "kernel.update_phase";
+      advance_timer = Tabv_obs.Metrics.timer metrics "kernel.advance_phase";
+    }
+  in
+  (* The kernel's own counters stay plain mutable ints on the hot
+     path; the registry sees them through pull probes, which only cost
+     at snapshot time. *)
+  let open Tabv_obs.Metrics in
+  probe metrics "kernel.activations" (fun () -> t.activations);
+  probe metrics "kernel.delta_cycles" (fun () -> t.deltas);
+  probe metrics "kernel.time_advances" (fun () -> t.time_advances);
+  probe metrics "kernel.update_actions" (fun () -> t.update_actions);
+  probe metrics "kernel.timed_scheduled" (fun () -> t.seq);
+  probe metrics "kernel.sim_time_ns" ~combine:`Max (fun () -> t.now);
+  t
+
+let metrics t = t.metrics
 
 let now t = t.now
 let delta t = t.delta
@@ -124,17 +156,25 @@ let run ?until t =
     if t.stopping then ()
     else begin
       (* Evaluation phase. *)
+      Tabv_obs.Metrics.start t.eval_timer;
       while not (Queue.is_empty t.runnable) && not t.stopping do
         let action = Queue.pop t.runnable in
         t.activations <- t.activations + 1;
         action ()
       done;
+      Tabv_obs.Metrics.stop t.eval_timer;
       if t.stopping then ()
       else begin
         (* Update phase (FIFO order of requests). *)
+        Tabv_obs.Metrics.start t.update_timer;
         let updates = List.rev t.updates in
         t.updates <- [];
-        List.iter (fun u -> u ()) updates;
+        List.iter
+          (fun u ->
+            t.update_actions <- t.update_actions + 1;
+            u ())
+          updates;
+        Tabv_obs.Metrics.stop t.update_timer;
         (* Delta notification phase. *)
         if not (Queue.is_empty t.next_delta) then begin
           Queue.transfer t.next_delta t.runnable;
@@ -142,23 +182,30 @@ let run ?until t =
           t.deltas <- t.deltas + 1;
           loop ()
         end
-        else
+        else begin
           (* Advance time to the next timed action, if any. *)
-          match Heap.peek t.timed with
-          | Some { Heap.time; _ } when horizon_ok time ->
-            t.now <- time;
-            t.delta <- 0;
-            let rec drain () =
-              match Heap.peek t.timed with
-              | Some entry when entry.Heap.time = time ->
-                ignore (Heap.pop t.timed);
-                Queue.add entry.Heap.action t.runnable;
-                drain ()
-              | Some _ | None -> ()
-            in
-            drain ();
-            loop ()
-          | Some _ | None -> ()
+          Tabv_obs.Metrics.start t.advance_timer;
+          let advanced =
+            match Heap.peek t.timed with
+            | Some { Heap.time; _ } when horizon_ok time ->
+              t.now <- time;
+              t.delta <- 0;
+              t.time_advances <- t.time_advances + 1;
+              let rec drain () =
+                match Heap.peek t.timed with
+                | Some entry when entry.Heap.time = time ->
+                  ignore (Heap.pop t.timed);
+                  Queue.add entry.Heap.action t.runnable;
+                  drain ()
+                | Some _ | None -> ()
+              in
+              drain ();
+              true
+            | Some _ | None -> false
+          in
+          Tabv_obs.Metrics.stop t.advance_timer;
+          if advanced then loop ()
+        end
       end
     end
   in
@@ -168,3 +215,5 @@ let run ?until t =
 
 let activation_count t = t.activations
 let delta_count t = t.deltas
+let time_advance_count t = t.time_advances
+let update_action_count t = t.update_actions

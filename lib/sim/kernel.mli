@@ -13,7 +13,19 @@
 
 type t
 
-val create : unit -> t
+(** [create ?metrics ()] — when [metrics] is given, the kernel
+    registers its phase probes ([kernel.activations],
+    [kernel.delta_cycles], [kernel.time_advances],
+    [kernel.update_actions], [kernel.timed_scheduled],
+    [kernel.sim_time_ns]) and phase timers ([kernel.eval_phase],
+    [kernel.update_phase], [kernel.advance_phase]) on that registry;
+    components created on this kernel ({!Signal}, {!Tlm}) instrument
+    the same registry.  Without [metrics] a private disabled registry
+    is used: probes still answer, push updates are no-ops. *)
+val create : ?metrics:Tabv_obs.Metrics.t -> unit -> t
+
+(** The registry this kernel (and everything created on it) reports to. *)
+val metrics : t -> Tabv_obs.Metrics.t
 
 (** Current simulation time (ns). *)
 val now : t -> int
@@ -52,3 +64,9 @@ val activation_count : t -> int
 
 (** Number of delta cycles executed so far. *)
 val delta_count : t -> int
+
+(** Number of time-advance steps taken so far. *)
+val time_advance_count : t -> int
+
+(** Number of update-phase actions applied so far. *)
+val update_action_count : t -> int

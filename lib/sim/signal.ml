@@ -7,9 +7,12 @@ type 'a t = {
   mutable update_pending : bool;
   changed : Event.t;
   mutable changes : int;
+  m_writes : Tabv_obs.Metrics.counter;  (* shared per kernel *)
+  m_updates : Tabv_obs.Metrics.counter;
 }
 
 let create kernel ~name ?(equal = ( = )) init =
+  let metrics = Kernel.metrics kernel in
   {
     kernel;
     name;
@@ -19,6 +22,8 @@ let create kernel ~name ?(equal = ( = )) init =
     update_pending = false;
     changed = Event.create kernel (name ^ ".changed");
     changes = 0;
+    m_writes = Tabv_obs.Metrics.counter metrics "signal.writes";
+    m_updates = Tabv_obs.Metrics.counter metrics "signal.updates";
   }
 
 let name t = t.name
@@ -29,11 +34,13 @@ let apply_update t () =
   if not (t.equal t.current t.next) then begin
     t.current <- t.next;
     t.changes <- t.changes + 1;
+    Tabv_obs.Metrics.incr t.m_updates;
     Event.notify t.changed
   end
 
 let write t v =
   t.next <- v;
+  Tabv_obs.Metrics.incr t.m_writes;
   if not t.update_pending then begin
     t.update_pending <- true;
     Kernel.request_update t.kernel (apply_update t)

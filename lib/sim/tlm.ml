@@ -38,10 +38,34 @@ module Initiator = struct
     mutable target : Target.t option;
     mutable observers : (transaction -> unit) list;  (* reversed *)
     mutable completed : int;
+    spans : Tabv_obs.Span.t;
+    m_starts : Tabv_obs.Metrics.counter;  (* shared per kernel *)
+    m_completions : Tabv_obs.Metrics.counter;
+    m_duration : Tabv_obs.Metrics.histogram;
   }
 
   let create kernel ~name =
-    { kernel; name; target = None; observers = []; completed = 0 }
+    let metrics = Kernel.metrics kernel in
+    let t =
+      {
+        kernel;
+        name;
+        target = None;
+        observers = [];
+        completed = 0;
+        spans = Tabv_obs.Span.create ();
+        m_starts = Tabv_obs.Metrics.counter metrics "tlm.transaction_starts";
+        m_completions = Tabv_obs.Metrics.counter metrics "tlm.transactions";
+        m_duration = Tabv_obs.Metrics.histogram metrics "tlm.transaction_ns";
+      }
+    in
+    (* Pull probes: always answer real values, never cost on the hot
+       path (the socket keeps its own completion count anyway). *)
+    Tabv_obs.Metrics.probe metrics "tlm.completed_transactions" (fun () ->
+      t.completed);
+    Tabv_obs.Metrics.probe metrics "tlm.span_ns_total" (fun () ->
+      Tabv_obs.Span.total_ns t.spans);
+    t
 
   let name t = t.name
 
@@ -54,13 +78,20 @@ module Initiator = struct
     match t.target with
     | None -> invalid_arg (Printf.sprintf "Tlm.Initiator.b_transport: %s unbound" t.name)
     | Some target ->
+      Tabv_obs.Metrics.incr t.m_starts;
       let start_time = Kernel.now t.kernel in
       target.Target.transport payload;
       let end_time = Kernel.now t.kernel in
       t.completed <- t.completed + 1;
+      Tabv_obs.Metrics.incr t.m_completions;
+      Tabv_obs.Metrics.observe t.m_duration (end_time - start_time);
+      if Tabv_obs.Metrics.enabled (Kernel.metrics t.kernel) then
+        Tabv_obs.Span.record t.spans ~label:t.name ~start_ns:start_time
+          ~stop_ns:end_time;
       let transaction = { payload; start_time; end_time } in
       List.iter (fun observe -> observe transaction) (List.rev t.observers)
 
   let on_transaction t observe = t.observers <- observe :: t.observers
   let transaction_count t = t.completed
+  let spans t = t.spans
 end

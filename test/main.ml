@@ -30,4 +30,5 @@ let () =
       Test_sere.suite;
       Test_sim_extra.suite;
       Test_robustness.suite;
-      Test_multiclock.suite ]
+      Test_multiclock.suite;
+      Test_obs.suite ]
