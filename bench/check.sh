@@ -20,6 +20,13 @@
 #                         writes BENCH_obs_overhead.json, and FAILS if
 #                         metrics-enabled activation throughput drops
 #                         more than 5% below metrics-disabled)
+#   6. bench/main.exe --quick --campaign-only
+#                        (times the same campaign job matrix on 1 and 4
+#                         worker domains, asserts byte-identical report
+#                         JSON, writes BENCH_campaign_scaling.json, and
+#                         FAILS below the 2x speedup floor; on machines
+#                         with fewer than 4 recommended domains the
+#                         gate records a skip and exits 0)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,5 +49,8 @@ dune exec bench/main.exe -- --quick --cache-only
 
 echo "== observability overhead gate (<= 5%)"
 dune exec bench/main.exe -- --quick --obs-only
+
+echo "== campaign scaling gate (>= 2x at 4 workers; skips below 4 domains)"
+dune exec bench/main.exe -- --quick --campaign-only
 
 echo "== all checks passed"

@@ -485,6 +485,84 @@ let memctrl_section count =
     (Memctrl_props.tlm_auto_safe ());
   print_newline ()
 
+(* --- Campaign: multicore scaling ------------------------------------ *)
+
+(* The campaign runner's contract is (a) determinism — byte-identical
+   report JSON for any worker count — and (b) scaling — embarrassingly
+   parallel jobs should speed up near-linearly with workers.  This
+   section times the same job matrix on 1 and 4 worker domains, checks
+   the two deterministic reports byte for byte, and gates the speedup.
+   On machines without at least 4 recommended domains the measurement
+   would be noise, so the CI entry point skips (recording why). *)
+
+let campaign_gate = 2.0
+let campaign_workers = 4
+
+let campaign_section ?(ops = 300) ?(repeat = 3) () =
+  print_endline "=== Campaign: multicore scaling (1 vs 4 worker domains) ===";
+  let open Tabv_campaign.Campaign in
+  let jobs =
+    expand_matrix
+      ~duvs:[ Des56; Colorconv; Memctrl ]
+      ~levels:[ Rtl; Tlm_ca; Tlm_at ]
+      ~seeds:[ 1; 2 ] ~ops ()
+  in
+  let report workers =
+    Tabv_core.Report_json.to_string
+      (report_json (run ~workers jobs))
+  in
+  let r1 = report 1 in
+  let r4 = report campaign_workers in
+  let identical = String.equal r1 r4 in
+  let t1 = timed ~repeat (fun () -> run ~workers:1 jobs) in
+  let t4 = timed ~repeat (fun () -> run ~workers:campaign_workers jobs) in
+  let speedup = t1 /. t4 in
+  Printf.printf "jobs             : %d (ops=%d each)\n" (List.length jobs) ops;
+  Printf.printf "1 worker         : %8.3f s\n" t1;
+  Printf.printf "%d workers        : %8.3f s\n" campaign_workers t4;
+  Printf.printf "speedup          : %8.2fx  (gate: >= %.1fx)\n" speedup campaign_gate;
+  Printf.printf "report identical : %b\n" identical;
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("benchmark", String "campaign_scaling");
+        ("skipped", Bool false);
+        ("jobs", Int (List.length jobs));
+        ("ops_per_job", Int ops);
+        ("workers", Int campaign_workers);
+        ("seconds_1_worker", Float t1);
+        ("seconds_n_workers", Float t4);
+        ("speedup", Float speedup);
+        ("gate", Float campaign_gate);
+        ("report_identical", Bool identical) ]
+  in
+  Out_channel.with_open_text "BENCH_campaign_scaling.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n');
+  Printf.printf "wrote BENCH_campaign_scaling.json (speedup %.2fx)\n\n" speedup;
+  (speedup, identical)
+
+let campaign_skip () =
+  let available = Domain.recommended_domain_count () in
+  Printf.printf
+    "=== Campaign: multicore scaling — SKIPPED (%d recommended domain(s) < %d) ===\n\n"
+    available campaign_workers;
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("benchmark", String "campaign_scaling");
+        ("skipped", Bool true);
+        ("reason",
+         String
+           (Printf.sprintf "recommended_domain_count %d < %d" available
+              campaign_workers));
+        ("workers", Int campaign_workers);
+        ("gate", Float campaign_gate) ]
+  in
+  Out_channel.with_open_text "BENCH_campaign_scaling.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n')
+
 (* --- Bechamel micro-benchmarks ------------------------------------ *)
 
 let bechamel_section () =
@@ -562,6 +640,7 @@ let () =
   let skip_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv in
   let cache_only = Array.exists (fun a -> a = "--cache-only") Sys.argv in
   let obs_only = Array.exists (fun a -> a = "--obs-only") Sys.argv in
+  let campaign_only = Array.exists (fun a -> a = "--campaign-only") Sys.argv in
   let des_count = if quick then 1000 else 8000 in
   let pixel_count = if quick then 20_000 else 150_000 in
   if obs_only then begin
@@ -574,6 +653,31 @@ let () =
     if overhead > obs_gate_pct then begin
       Printf.eprintf "FAIL: metrics-enabled overhead %.2f%% > %.1f%%\n" overhead
         obs_gate_pct;
+      exit 1
+    end;
+    exit 0
+  end;
+  if campaign_only then begin
+    (* CI entry point (bench/check.sh): multicore scaling of the
+       campaign runner, gated on byte-identical reports and a >= 2x
+       speedup at 4 workers.  Skips (exit 0, with a JSON record of
+       why) on machines that cannot host 4 domains. *)
+    if Domain.recommended_domain_count () < campaign_workers then begin
+      campaign_skip ();
+      exit 0
+    end;
+    let speedup, identical =
+      campaign_section ~ops:(if quick then 100 else 300) ()
+    in
+    if not identical then begin
+      Printf.eprintf
+        "FAIL: campaign reports differ between 1 and %d workers\n"
+        campaign_workers;
+      exit 1
+    end;
+    if speedup < campaign_gate then begin
+      Printf.eprintf "FAIL: campaign scaling %.2fx < %.1fx\n" speedup
+        campaign_gate;
       exit 1
     end;
     exit 0
@@ -608,6 +712,9 @@ let () =
   ablation_wrapper_stats (Workload.des56 ~seed:42 ~count:(des_count / 4) ());
   ignore (checker_cache_section ~ops_count:(des_count / 4) ());
   ignore (obs_overhead_section ~ops_count:(des_count / 4) ());
+  (if Domain.recommended_domain_count () >= campaign_workers then
+     ignore (campaign_section ~ops:(des_count / 20) ())
+   else campaign_skip ());
   memctrl_section (des_count * 2);
   if not skip_bechamel then bechamel_section ();
   print_endline "done."

@@ -3,6 +3,7 @@
    Subcommands:
      abstract  rewrite an RTL property file into TLM properties
      check     simulate a built-in DUV model with checkers attached
+     campaign  run a job matrix on a pool of worker domains
      trace     dump a VCD waveform of a short DES56 RTL run
      fig3      reproduce the paper's Fig. 3 rewriting demonstration *)
 
@@ -471,6 +472,123 @@ let replay_cmd =
   let doc = "Check properties offline against a recorded VCD waveform." in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ vcd $ props)
 
+(* --- campaign ----------------------------------------------------- *)
+
+let campaign_cmd =
+  let open Tabv_campaign in
+  let manifest =
+    Arg.(value & opt (some file) None & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"JSON campaign manifest ('jobs' and/or 'matrix'; see the \
+                 examples/ directory).  Mutually exclusive with the matrix \
+                 flags.")
+  in
+  let duvs =
+    Arg.(value & opt (list string) [ "des56" ] & info [ "duvs" ] ~docv:"DUVS"
+           ~doc:"Comma-separated DUVs: des56, colorconv, memctrl.")
+  in
+  let levels =
+    Arg.(value & opt (list string) [ "rtl"; "tlm-ca"; "tlm-at" ]
+         & info [ "levels" ] ~docv:"LEVELS"
+             ~doc:"Comma-separated abstraction levels: rtl, tlm-ca, tlm-at, \
+                   tlm-lt (DES56 only).")
+  in
+  let seeds =
+    Arg.(value & opt (list int) [ 1 ] & info [ "seeds" ] ~docv:"SEEDS"
+           ~doc:"Comma-separated workload seeds.")
+  in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops"; "n" ] ~docv:"N"
+           ~doc:"Workload size per job (operations / pixels).")
+  in
+  let props =
+    Arg.(value & opt string "all" & info [ "props" ] ~docv:"SEL"
+           ~doc:"Property selection: 'all', 'none', or an integer N (attach \
+                 the first N checkers).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None & info [ "workers"; "j" ] ~docv:"N"
+           ~doc:"Worker domains (default: the machine's recommended domain \
+                 count, capped by the job count).")
+  in
+  let retries =
+    Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N"
+           ~doc:"Retries per crashing job (default 1; a manifest's 'retries' \
+                 key is used when this flag is absent).")
+  in
+  let report_out =
+    Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
+           ~doc:"Write the deterministic campaign report as JSON to FILE \
+                 ('-' for stdout).")
+  in
+  let run manifest duvs levels seeds ops props workers retries report_out =
+    let fail msg = Printf.eprintf "tabv campaign: %s\n" msg; exit 2 in
+    let manifest =
+      match manifest with
+      | Some path ->
+        (match Campaign.manifest_of_string (read_file path) with
+         | Ok m -> m
+         | Error msg -> fail (Printf.sprintf "%s: %s" path msg))
+      | None ->
+        let parse_with what of_name name =
+          match of_name name with
+          | Some v -> v
+          | None -> fail (Printf.sprintf "unknown %s %S" what name)
+        in
+        let duvs = List.map (parse_with "DUV" Campaign.duv_of_name) duvs in
+        let levels =
+          List.map (parse_with "level" Campaign.level_of_name) levels
+        in
+        let selection = parse_with "selection" Campaign.selection_of_name props in
+        { Campaign.manifest_jobs =
+            Campaign.expand_matrix ~selection ~duvs ~levels ~seeds ~ops ();
+          manifest_retries = None }
+    in
+    let jobs = manifest.Campaign.manifest_jobs in
+    if jobs = [] then fail "empty campaign (no jobs)";
+    List.iter
+      (fun job ->
+        match Campaign.validate job with
+        | Ok () -> ()
+        | Error msg -> fail msg)
+      jobs;
+    let retries =
+      match (retries, manifest.Campaign.manifest_retries) with
+      | Some r, _ -> r
+      | None, Some r -> r
+      | None, None -> 1
+    in
+    let workers =
+      match workers with
+      | Some w when w >= 1 -> w
+      | Some w -> fail (Printf.sprintf "--workers must be >= 1 (got %d)" w)
+      | None -> min (Domain.recommended_domain_count ()) (List.length jobs)
+    in
+    let summary =
+      Campaign.run ~workers ~retries ~clock:Unix.gettimeofday jobs
+    in
+    Format.printf "%a@." Campaign.pp_summary summary;
+    (match report_out with
+     | None -> ()
+     | Some "-" ->
+       print_endline
+         (Tabv_core.Report_json.to_string (Campaign.report_json summary))
+     | Some path ->
+       let oc = open_out_bin path in
+       output_string oc
+         (Tabv_core.Report_json.to_string (Campaign.report_json summary));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "wrote campaign report to %s\n" path);
+    if not (Campaign.all_green summary) then exit 1
+  in
+  let doc =
+    "Run a verification campaign (job matrix) on a pool of worker domains."
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ manifest $ duvs $ levels $ seeds $ ops $ props $ workers
+      $ retries $ report_out)
+
 (* --- doctor ------------------------------------------------------- *)
 
 let doctor_cmd =
@@ -523,6 +641,15 @@ let doctor_cmd =
     check "MemCtrl RTL read-back"
       ((Memctrl_testbench.run_rtl mem_ops).Testbench.outputs
        = List.map Int64.of_int (Memctrl_testbench.reference_reads mem_ops));
+    let mini_campaign =
+      let open Tabv_campaign.Campaign in
+      run ~workers:2
+        (expand_matrix ~duvs:[ Des56; Colorconv ] ~levels:[ Rtl; Tlm_ca ]
+           ~seeds:[ 1 ] ~ops:10 ())
+    in
+    check "mini-campaign (4 jobs, 2 worker domains)"
+      (Tabv_campaign.Campaign.all_green mini_campaign
+       && mini_campaign.Tabv_campaign.Campaign.completed = 4);
     if !failures = 0 then print_endline "all checks passed"
     else begin
       Printf.printf "%d check(s) FAILED\n" !failures;
@@ -550,4 +677,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ abstract_cmd; check_cmd; trace_cmd; replay_cmd; doctor_cmd; fig3_cmd ]))
+          [ abstract_cmd; check_cmd; campaign_cmd; trace_cmd; replay_cmd;
+            doctor_cmd; fig3_cmd ]))

@@ -1,0 +1,661 @@
+(* Multicore verification-campaign runner.
+
+   One campaign = the paper's evaluation matrix as data: every job
+   names a DUV, an abstraction level, a workload (seed, size) and a
+   property selection, and the pool executes them on N spawned
+   domains.  See campaign.mli for the determinism and domain-safety
+   contracts; the short version is that all shared mutable state is
+   one [Atomic] queue index plus one result slot per job, every job
+   starts from a fresh per-domain checker universe, and everything
+   reported in JSON is simulation-derived (no wall clock, no worker
+   count). *)
+
+open Tabv_psl
+open Tabv_checker
+open Tabv_duv
+
+(* --- job model ------------------------------------------------------ *)
+
+type duv =
+  | Des56
+  | Colorconv
+  | Memctrl
+
+type level =
+  | Rtl
+  | Tlm_ca
+  | Tlm_at
+  | Tlm_lt
+
+type selection =
+  | All
+  | Take of int
+  | No_checkers
+
+type job = {
+  duv : duv;
+  level : level;
+  seed : int;
+  ops : int;
+  selection : selection;
+  chaos : int;
+}
+
+let job ?(selection = All) ?(chaos = 0) ~duv ~level ~seed ~ops () =
+  { duv; level; seed; ops; selection; chaos }
+
+let duv_name = function
+  | Des56 -> "des56"
+  | Colorconv -> "colorconv"
+  | Memctrl -> "memctrl"
+
+let level_name = function
+  | Rtl -> "rtl"
+  | Tlm_ca -> "tlm-ca"
+  | Tlm_at -> "tlm-at"
+  | Tlm_lt -> "tlm-lt"
+
+let selection_name = function
+  | All -> "all"
+  | Take n -> string_of_int n
+  | No_checkers -> "none"
+
+let duv_of_name = function
+  | "des56" -> Some Des56
+  | "colorconv" -> Some Colorconv
+  | "memctrl" -> Some Memctrl
+  | _ -> None
+
+let level_of_name = function
+  | "rtl" -> Some Rtl
+  | "tlm-ca" -> Some Tlm_ca
+  | "tlm-at" -> Some Tlm_at
+  | "tlm-lt" -> Some Tlm_lt
+  | _ -> None
+
+let selection_of_name = function
+  | "all" -> Some All
+  | "none" -> Some No_checkers
+  | s ->
+    (match int_of_string_opt s with
+     | Some n when n >= 0 -> Some (Take n)
+     | Some _ | None -> None)
+
+let job_name job =
+  Printf.sprintf "%s/%s seed=%d ops=%d props=%s" (duv_name job.duv)
+    (level_name job.level) job.seed job.ops (selection_name job.selection)
+
+let validate job =
+  match job.duv, job.level with
+  | (Colorconv | Memctrl), Tlm_lt ->
+    Error
+      (Printf.sprintf "%s: loosely-timed level exists only for des56"
+         (job_name job))
+  | _ ->
+    if job.ops <= 0 then Error (job_name job ^ ": ops must be positive")
+    else if job.seed < 0 then Error (job_name job ^ ": seed must be >= 0")
+    else if job.chaos < 0 then Error (job_name job ^ ": chaos must be >= 0")
+    else Ok ()
+
+let expand_matrix ?(selection = All) ~duvs ~levels ~seeds ~ops () =
+  List.concat_map
+    (fun duv ->
+      List.concat_map
+        (fun level ->
+          match duv, level with
+          | (Colorconv | Memctrl), Tlm_lt -> []
+          | _ ->
+            List.map
+              (fun seed -> { duv; level; seed; ops; selection; chaos = 0 })
+              seeds)
+        levels)
+    duvs
+
+(* --- manifests ------------------------------------------------------ *)
+
+type manifest = {
+  manifest_jobs : job list;
+  manifest_retries : int option;
+}
+
+(* Small result-monad helpers for manifest decoding. *)
+let ( let* ) r f = Result.bind r f
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+    let* y = f x in
+    let* ys = map_result f xs in
+    Ok (y :: ys)
+
+let open_assoc what = function
+  | Tabv_core.Report_json.Assoc fields -> Ok fields
+  | _ -> Error (what ^ ": expected an object")
+
+let open_list what = function
+  | Tabv_core.Report_json.List items -> Ok items
+  | _ -> Error (what ^ ": expected an array")
+
+let open_int what = function
+  | Tabv_core.Report_json.Int n -> Ok n
+  | _ -> Error (what ^ ": expected an integer")
+
+let open_string what = function
+  | Tabv_core.Report_json.String s -> Ok s
+  | _ -> Error (what ^ ": expected a string")
+
+let check_keys what allowed fields =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) fields with
+  | Some (k, _) -> Error (Printf.sprintf "%s: unknown key %S" what k)
+  | None -> Ok ()
+
+let selection_of_json what = function
+  | Tabv_core.Report_json.String s ->
+    (match selection_of_name s with
+     | Some sel -> Ok sel
+     | None ->
+       Error (Printf.sprintf "%s: props must be \"all\", \"none\" or n" what))
+  | Tabv_core.Report_json.Int n when n >= 0 -> Ok (Take n)
+  | _ -> Error (Printf.sprintf "%s: props must be \"all\", \"none\" or n" what)
+
+let job_of_json index json =
+  let what = Printf.sprintf "jobs[%d]" index in
+  let* fields = open_assoc what json in
+  let* () =
+    check_keys what [ "duv"; "level"; "seed"; "ops"; "props"; "chaos" ] fields
+  in
+  let field key = List.assoc_opt key fields in
+  let* duv =
+    match field "duv" with
+    | None -> Error (what ^ ": missing \"duv\"")
+    | Some v ->
+      let* name = open_string (what ^ ".duv") v in
+      (match duv_of_name name with
+       | Some duv -> Ok duv
+       | None -> Error (Printf.sprintf "%s: unknown duv %S" what name))
+  in
+  let* level =
+    match field "level" with
+    | None -> Error (what ^ ": missing \"level\"")
+    | Some v ->
+      let* name = open_string (what ^ ".level") v in
+      (match level_of_name name with
+       | Some level -> Ok level
+       | None -> Error (Printf.sprintf "%s: unknown level %S" what name))
+  in
+  let* seed =
+    match field "seed" with
+    | None -> Ok 0
+    | Some v -> open_int (what ^ ".seed") v
+  in
+  let* ops =
+    match field "ops" with
+    | None -> Error (what ^ ": missing \"ops\"")
+    | Some v -> open_int (what ^ ".ops") v
+  in
+  let* selection =
+    match field "props" with
+    | None -> Ok All
+    | Some v -> selection_of_json what v
+  in
+  let* chaos =
+    match field "chaos" with
+    | None -> Ok 0
+    | Some v -> open_int (what ^ ".chaos") v
+  in
+  let job = { duv; level; seed; ops; selection; chaos } in
+  let* () = validate job in
+  Ok job
+
+let matrix_of_json json =
+  let what = "matrix" in
+  let* fields = open_assoc what json in
+  let* () = check_keys what [ "duvs"; "levels"; "seeds"; "ops"; "props" ] fields in
+  let field key = List.assoc_opt key fields in
+  let names what_key of_name = function
+    | Tabv_core.Report_json.List items ->
+      map_result
+        (fun item ->
+          let* name = open_string what_key item in
+          match of_name name with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "%s: unknown value %S" what_key name))
+        items
+    | _ -> Error (what_key ^ ": expected an array of strings")
+  in
+  let* duvs =
+    match field "duvs" with
+    | None -> Error "matrix: missing \"duvs\""
+    | Some v -> names "matrix.duvs" duv_of_name v
+  in
+  let* levels =
+    match field "levels" with
+    | None -> Error "matrix: missing \"levels\""
+    | Some v -> names "matrix.levels" level_of_name v
+  in
+  let* seeds =
+    match field "seeds" with
+    | None -> Ok [ 0 ]
+    | Some v ->
+      let* items = open_list "matrix.seeds" v in
+      map_result (open_int "matrix.seeds") items
+  in
+  let* ops =
+    match field "ops" with
+    | None -> Error "matrix: missing \"ops\""
+    | Some v -> open_int "matrix.ops" v
+  in
+  let* selection =
+    match field "props" with
+    | None -> Ok All
+    | Some v -> selection_of_json what v
+  in
+  let jobs = expand_matrix ~selection ~duvs ~levels ~seeds ~ops () in
+  let* () =
+    match List.find_map (fun j -> Result.fold ~ok:(fun () -> None) ~error:Option.some (validate j)) jobs with
+    | Some e -> Error e
+    | None -> Ok ()
+  in
+  Ok jobs
+
+let manifest_of_json json =
+  let* fields = open_assoc "manifest" json in
+  let* () = check_keys "manifest" [ "retries"; "jobs"; "matrix" ] fields in
+  let field key = List.assoc_opt key fields in
+  let* manifest_retries =
+    match field "retries" with
+    | None -> Ok None
+    | Some v ->
+      let* n = open_int "retries" v in
+      if n < 0 then Error "retries: must be >= 0" else Ok (Some n)
+  in
+  let* explicit =
+    match field "jobs" with
+    | None -> Ok []
+    | Some v ->
+      let* items = open_list "jobs" v in
+      map_result (fun (i, j) -> job_of_json i j) (List.mapi (fun i j -> (i, j)) items)
+  in
+  let* expanded =
+    match field "matrix" with
+    | None -> Ok []
+    | Some v -> matrix_of_json v
+  in
+  match explicit @ expanded with
+  | [] -> Error "manifest: no jobs (provide \"jobs\" and/or \"matrix\")"
+  | manifest_jobs -> Ok { manifest_jobs; manifest_retries }
+
+let manifest_of_string text =
+  match Tabv_core.Report_json.of_string text with
+  | json -> manifest_of_json json
+  | exception Tabv_core.Report_json.Parse_error { line; col; message } ->
+    Error (Printf.sprintf "%d:%d: %s" line col message)
+
+(* --- single-job execution ------------------------------------------- *)
+
+exception Chaos
+
+let () =
+  Printexc.register_printer (function
+    | Chaos -> Some "chaos: injected crash"
+    | _ -> None)
+
+(* DES56/LT checks boolean invariants only — the loosely-timed model
+   is deliberately not timing equivalent (Theorem III.2's
+   precondition), so timed abstracted properties would fail by
+   design.  Same built-in invariant as [tabv check -m des56-tlm-lt]. *)
+let lt_invariant () =
+  [ Property.make ~name:"lt_inv"
+      ~context:(Context.Transaction Context.Base_trans)
+      (Parser.formula_only "always(!rdy || ds)") ]
+
+let builtin_properties job =
+  match job.duv, job.level with
+  | Des56, (Rtl | Tlm_ca) -> Des56_props.all
+  | Des56, Tlm_at -> Des56_props.tlm_reviewed ()
+  | Des56, Tlm_lt -> lt_invariant ()
+  | Colorconv, (Rtl | Tlm_ca) -> Colorconv_props.all
+  | Colorconv, Tlm_at -> Colorconv_props.tlm_reviewed ()
+  | Memctrl, (Rtl | Tlm_ca) -> Memctrl_props.all
+  | Memctrl, Tlm_at -> Memctrl_props.tlm_auto_safe ()
+  | (Colorconv | Memctrl), Tlm_lt ->
+    (* Rejected by [validate] before any job runs. *)
+    invalid_arg "Campaign: tlm-lt is only defined for des56"
+
+let select selection properties =
+  match selection with
+  | All -> properties
+  | No_checkers -> []
+  | Take n -> List.filteri (fun i _ -> i < n) properties
+
+let run_testbench job ~metrics =
+  let properties = select job.selection (builtin_properties job) in
+  match job.duv with
+  | Des56 ->
+    let ops = Workload.des56 ~seed:job.seed ~count:job.ops () in
+    (match job.level with
+     | Rtl -> Testbench.run_des56_rtl ?metrics ~properties ops
+     | Tlm_ca -> Testbench.run_des56_tlm_ca ?metrics ~properties ops
+     | Tlm_at -> Testbench.run_des56_tlm_at ?metrics ~properties ops
+     | Tlm_lt -> Testbench.run_des56_tlm_lt ?metrics ~properties ops)
+  | Colorconv ->
+    let bursts = Workload.colorconv ~seed:job.seed ~count:job.ops () in
+    (match job.level with
+     | Rtl -> Testbench.run_colorconv_rtl ?metrics ~properties bursts
+     | Tlm_ca -> Testbench.run_colorconv_tlm_ca ?metrics ~properties bursts
+     | Tlm_at -> Testbench.run_colorconv_tlm_at ?metrics ~properties bursts
+     | Tlm_lt -> invalid_arg "Campaign: tlm-lt is only defined for des56")
+  | Memctrl ->
+    let ops = Workload.memctrl ~seed:job.seed ~count:job.ops () in
+    (match job.level with
+     | Rtl -> Memctrl_testbench.run_rtl ?metrics ~properties ops
+     | Tlm_ca -> Memctrl_testbench.run_tlm_ca ?metrics ~properties ops
+     | Tlm_at -> Memctrl_testbench.run_tlm_at ?metrics ~properties ops
+     | Tlm_lt -> invalid_arg "Campaign: tlm-lt is only defined for des56")
+
+type outcome =
+  | Completed
+  | Crashed of { error : string }
+
+type job_result = {
+  job_id : int;
+  job : job;
+  outcome : outcome;
+  attempts : int;
+  sim_time_ns : int;
+  kernel_activations : int;
+  delta_cycles : int;
+  transactions : int;
+  completed_ops : int;
+  failures : int;
+  checker_stats : Tabv_obs.Checker_snapshot.t list;
+  metrics : Tabv_obs.Metrics.snapshot;
+  wall_seconds : float;
+}
+
+let run_job ~attempt ~metrics_enabled job =
+  (* Fresh interning + obligation universes per attempt: job
+     statistics become placement-independent (the determinism
+     contract) and a crashed attempt's half-built tables are
+     discarded rather than inherited by the retry. *)
+  Progression.reset_universe ();
+  if attempt <= job.chaos then raise Chaos;
+  let metrics =
+    if metrics_enabled then Some (Tabv_obs.Metrics.create ~enabled:true ())
+    else None
+  in
+  run_testbench job ~metrics
+
+let run_one ~retries ~clock ~metrics_enabled job_id job =
+  let t0 = clock () in
+  let max_attempts = retries + 1 in
+  let rec go attempt =
+    match run_job ~attempt ~metrics_enabled job with
+    | result ->
+      {
+        job_id;
+        job;
+        outcome = Completed;
+        attempts = attempt;
+        sim_time_ns = result.Testbench.sim_time_ns;
+        kernel_activations = result.Testbench.kernel_activations;
+        delta_cycles = result.Testbench.delta_cycles;
+        transactions = result.Testbench.transactions;
+        completed_ops = result.Testbench.completed_ops;
+        failures = Testbench.total_failures result;
+        checker_stats = result.Testbench.checker_stats;
+        metrics = result.Testbench.metrics;
+        wall_seconds = clock () -. t0;
+      }
+    | exception e ->
+      let error = Printexc.to_string e in
+      if attempt >= max_attempts then
+        {
+          job_id;
+          job;
+          outcome = Crashed { error };
+          attempts = attempt;
+          sim_time_ns = 0;
+          kernel_activations = 0;
+          delta_cycles = 0;
+          transactions = 0;
+          completed_ops = 0;
+          failures = 0;
+          checker_stats = [];
+          metrics = [];
+          wall_seconds = clock () -. t0;
+        }
+      else go (attempt + 1)
+  in
+  go 1
+
+(* --- the pool ------------------------------------------------------- *)
+
+type summary = {
+  results : job_result list;
+  workers : int;
+  retries : int;
+  completed : int;
+  crashed : int;
+  total_failures : int;
+  total_sim_time_ns : int;
+  total_activations : int;
+  total_delta_cycles : int;
+  total_transactions : int;
+  total_completed_ops : int;
+  checker_activations : int;
+  checker_passes : int;
+  checker_cache_hits : int;
+  checker_cache_misses : int;
+  failures_by_property : (string * int) list;
+  merged_metrics : Tabv_obs.Metrics.snapshot;
+  wall_seconds : float;
+}
+
+let summarize ~workers ~retries ~wall_seconds results =
+  let crashed =
+    List.length
+      (List.filter (fun r -> r.outcome <> Completed) results)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let stat_sum f =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left (fun acc s -> acc + f s) acc r.checker_stats)
+      0 results
+  in
+  let failures_by_property =
+    let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (s : Tabv_obs.Checker_snapshot.t) ->
+            let n = List.length s.failures in
+            if n > 0 then
+              Hashtbl.replace tbl s.property_name
+                (n + Option.value ~default:0 (Hashtbl.find_opt tbl s.property_name)))
+          r.checker_stats)
+      results;
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    results;
+    workers;
+    retries;
+    completed = List.length results - crashed;
+    crashed;
+    total_failures = sum (fun r -> r.failures);
+    total_sim_time_ns = sum (fun r -> r.sim_time_ns);
+    total_activations = sum (fun r -> r.kernel_activations);
+    total_delta_cycles = sum (fun r -> r.delta_cycles);
+    total_transactions = sum (fun r -> r.transactions);
+    total_completed_ops = sum (fun r -> r.completed_ops);
+    checker_activations =
+      stat_sum (fun (s : Tabv_obs.Checker_snapshot.t) -> s.activations);
+    checker_passes = stat_sum (fun (s : Tabv_obs.Checker_snapshot.t) -> s.passes);
+    checker_cache_hits =
+      stat_sum (fun (s : Tabv_obs.Checker_snapshot.t) -> s.cache_hits);
+    checker_cache_misses =
+      stat_sum (fun (s : Tabv_obs.Checker_snapshot.t) -> s.cache_misses);
+    failures_by_property;
+    merged_metrics =
+      Tabv_obs.Metrics.merge_all (List.map (fun r -> r.metrics) results);
+    wall_seconds;
+  }
+
+let run ?(workers = 1) ?(retries = 1) ?(clock = fun () -> 0.) ?(metrics = true)
+    jobs =
+  (match
+     List.find_map
+       (fun j -> Result.fold ~ok:(fun () -> None) ~error:Option.some (validate j))
+       jobs
+   with
+   | Some reason -> invalid_arg ("Campaign.run: " ^ reason)
+   | None -> ());
+  if retries < 0 then invalid_arg "Campaign.run: retries must be >= 0";
+  let workers = max 1 workers in
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let results : job_result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  (* Each worker claims the next unclaimed job index atomically and
+     writes exactly one result slot; [Domain.join] publishes the slots
+     back to the coordinator.  Workers are spawned even for
+     [workers = 1] so the caller's domain (and its interning universe)
+     is never touched by job execution. *)
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (run_one ~retries ~clock ~metrics_enabled:metrics i jobs.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = clock () in
+  let domains = List.init workers (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let wall_seconds = clock () -. t0 in
+  let results =
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* every index < n was claimed *))
+  in
+  summarize ~workers ~retries ~wall_seconds results
+
+let all_green summary = summary.total_failures = 0 && summary.crashed = 0
+
+(* --- deterministic report ------------------------------------------- *)
+
+let campaign_schema_version = 1
+
+let job_json r =
+  let open Tabv_core.Report_json in
+  let base =
+    [ ("id", Int r.job_id);
+      ("duv", String (duv_name r.job.duv));
+      ("level", String (level_name r.job.level));
+      ("seed", Int r.job.seed);
+      ("ops", Int r.job.ops);
+      ("props", String (selection_name r.job.selection));
+      ( "outcome",
+        String (match r.outcome with Completed -> "completed" | Crashed _ -> "crashed") );
+      ("attempts", Int r.attempts) ]
+  in
+  let error =
+    match r.outcome with
+    | Completed -> []
+    | Crashed { error } -> [ ("error", String error) ]
+  in
+  let body =
+    match r.outcome with
+    | Crashed _ -> []
+    | Completed ->
+      [ ("sim_time_ns", Int r.sim_time_ns);
+        ("kernel_activations", Int r.kernel_activations);
+        ("delta_cycles", Int r.delta_cycles);
+        ("transactions", Int r.transactions);
+        ("completed_ops", Int r.completed_ops);
+        ("failures", Int r.failures);
+        ("properties", List (List.map checker_snapshot_json r.checker_stats));
+        ("metrics", metrics_snapshot_json r.metrics) ]
+  in
+  Assoc (base @ error @ body)
+
+let report_json summary =
+  let open Tabv_core.Report_json in
+  let cache_total = summary.checker_cache_hits + summary.checker_cache_misses in
+  let cache_hit_rate =
+    if cache_total = 0 then 0.
+    else float_of_int summary.checker_cache_hits /. float_of_int cache_total
+  in
+  Assoc
+    [ ("schema", Int campaign_schema_version);
+      ( "campaign",
+        Assoc
+          [ ("jobs", Int (List.length summary.results));
+            ("retries", Int summary.retries) ] );
+      ("jobs", List (List.map job_json summary.results));
+      ( "aggregate",
+        Assoc
+          [ ("completed", Int summary.completed);
+            ("crashed", Int summary.crashed);
+            ("failures", Int summary.total_failures);
+            ("sim_time_ns", Int summary.total_sim_time_ns);
+            ("kernel_activations", Int summary.total_activations);
+            ("delta_cycles", Int summary.total_delta_cycles);
+            ("transactions", Int summary.total_transactions);
+            ("completed_ops", Int summary.total_completed_ops);
+            ( "checker",
+              Assoc
+                [ ("activations", Int summary.checker_activations);
+                  ("passes", Int summary.checker_passes);
+                  ("cache_hits", Int summary.checker_cache_hits);
+                  ("cache_misses", Int summary.checker_cache_misses);
+                  ("cache_hit_rate", Float cache_hit_rate) ] );
+            ( "failures_by_property",
+              Assoc
+                (List.map (fun (name, n) -> (name, Int n)) summary.failures_by_property)
+            );
+            ("metrics", metrics_snapshot_json summary.merged_metrics) ] ) ]
+
+(* --- printing ------------------------------------------------------- *)
+
+let pp_summary ppf summary =
+  Format.fprintf ppf "%-34s %9s %8s %12s %12s %9s@." "job" "outcome" "attempts"
+    "sim time" "activations" "failures";
+  List.iter
+    (fun r ->
+      let outcome =
+        match r.outcome with
+        | Completed -> "ok"
+        | Crashed _ -> "CRASHED"
+      in
+      Format.fprintf ppf "%-34s %9s %8d %10dns %12d %9d@." (job_name r.job)
+        outcome r.attempts r.sim_time_ns r.kernel_activations r.failures;
+      match r.outcome with
+      | Crashed { error } -> Format.fprintf ppf "    error: %s@." error
+      | Completed -> ())
+    summary.results;
+  Format.fprintf ppf
+    "%d jobs on %d worker(s): %d completed, %d crashed, %d property failure(s)@."
+    (List.length summary.results) summary.workers summary.completed
+    summary.crashed summary.total_failures;
+  Format.fprintf ppf
+    "aggregate: %dns simulated, %d activations, %d transactions, %d ops, \
+     checker cache %d/%d@."
+    summary.total_sim_time_ns summary.total_activations
+    summary.total_transactions summary.total_completed_ops
+    summary.checker_cache_hits
+    (summary.checker_cache_hits + summary.checker_cache_misses);
+  if summary.failures_by_property <> [] then begin
+    Format.fprintf ppf "failures by property:@.";
+    List.iter
+      (fun (name, n) -> Format.fprintf ppf "  %-24s %d@." name n)
+      summary.failures_by_property
+  end;
+  if summary.wall_seconds > 0. then
+    Format.fprintf ppf "wall time: %.3fs@." summary.wall_seconds

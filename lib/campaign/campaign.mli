@@ -1,0 +1,197 @@
+(** Multicore verification-campaign runner.
+
+    A {e campaign} is the paper's evaluation as a first-class object:
+    a declarative job matrix (DUV x abstraction level x workload seed
+    x property selection x transaction count) executed by a fixed pool
+    of OCaml [Domain]s pulling jobs from a shared atomically-indexed
+    queue.  Each job runs a fresh simulation kernel and a fresh
+    metrics registry end-to-end through the existing testbench entry
+    points; per-job exceptions are caught and recorded as a crashed
+    outcome under a bounded retry policy, so one diverging job never
+    kills the campaign.
+
+    {2 Determinism}
+
+    The merged results — and {!report_json} — are byte-identical
+    regardless of worker count and completion order:
+    {ul
+    {- results are merged sorted by job id, never by completion
+       order;}
+    {- every job starts from a fresh per-domain checker universe
+       ({!Tabv_checker.Progression.reset_universe}), so transition
+       cache statistics depend only on the job, not on which worker it
+       landed on or what ran there before;}
+    {- wall-clock measurements (and the worker count itself) are
+       reported by {!val-run} but deliberately excluded from
+       {!report_json}, mirroring the metrics-registry rule that
+       snapshots never contain wall-clock values.}}
+
+    {2 Domain safety}
+
+    Workers are always spawned domains (even with one worker), so the
+    caller's interning universe is never touched.  All cross-domain
+    communication is the atomic queue index and one result slot per
+    job, written by exactly one worker and read after [Domain.join]. *)
+
+(** {1 Job model} *)
+
+type duv =
+  | Des56
+  | Colorconv
+  | Memctrl
+
+type level =
+  | Rtl
+  | Tlm_ca
+  | Tlm_at
+  | Tlm_lt  (** DES56 only: loosely-timed, boolean invariants only *)
+
+(** Which slice of the level's built-in property set to attach.
+    [Take n] keeps the first [n] (the paper's 1-checker / 5-checker
+    columns); [No_checkers] runs the bare testbench (the "w/out c."
+    columns). *)
+type selection =
+  | All
+  | Take of int
+  | No_checkers
+
+type job = {
+  duv : duv;
+  level : level;
+  seed : int;  (** workload seed *)
+  ops : int;  (** workload size (operations / pixels) *)
+  selection : selection;
+  chaos : int;
+      (** test/diagnostic hook: deterministically raise on the first
+          [chaos] attempts of this job (0 = never).  With
+          [chaos <= retries] the job completes on a retry; with
+          [chaos > retries] it crashes — both paths are exercised by
+          the test suite and stay deterministic. *)
+}
+
+(** [job ?selection ?chaos ~duv ~level ~seed ~ops ()] with [selection]
+    defaulting to [All] and [chaos] to [0]. *)
+val job :
+  ?selection:selection -> ?chaos:int -> duv:duv -> level:level -> seed:int ->
+  ops:int -> unit -> job
+
+val duv_name : duv -> string
+val level_name : level -> string
+val selection_name : selection -> string
+val duv_of_name : string -> duv option
+val level_of_name : string -> level option
+val selection_of_name : string -> selection option
+
+(** [Error reason] for combinations the testbenches cannot run
+    (currently: [Tlm_lt] on anything but DES56). *)
+val validate : job -> (unit, string) result
+
+(** Deterministic matrix expansion: DUV-major, then level, then seed
+    order; invalid combinations ([Tlm_lt] off DES56) are skipped, so a
+    matrix may name [Tlm_lt] once and only DES56 picks it up. *)
+val expand_matrix :
+  ?selection:selection ->
+  duvs:duv list -> levels:level list -> seeds:int list -> ops:int -> unit ->
+  job list
+
+(** {1 Manifests} *)
+
+type manifest = {
+  manifest_jobs : job list;
+  manifest_retries : int option;  (** overridden by [run ~retries] *)
+}
+
+(** Parse a campaign manifest document:
+    {v
+    { "retries": 1,
+      "jobs":   [ {"duv":"des56","level":"rtl","seed":1,"ops":40,
+                   "props":"all"} ],
+      "matrix": { "duvs":   ["des56","colorconv"],
+                  "levels": ["rtl","tlm-ca","tlm-at"],
+                  "seeds":  [1,2],
+                  "ops":    40,
+                  "props":  "all" } }
+    v}
+    Explicit ["jobs"] come first, then the expanded ["matrix"] (both
+    optional, at least one required).  ["props"] is ["all"], ["none"]
+    or an integer [n] (= take the first [n]); jobs additionally accept
+    ["chaos": k].  Unknown keys are rejected. *)
+val manifest_of_json : Tabv_core.Report_json.json -> (manifest, string) result
+
+(** {!manifest_of_json} o {!Tabv_core.Report_json.of_string}, folding
+    parse errors into [Error]. *)
+val manifest_of_string : string -> (manifest, string) result
+
+(** {1 Running} *)
+
+type outcome =
+  | Completed
+  | Crashed of { error : string }  (** last attempt's exception *)
+
+type job_result = {
+  job_id : int;  (** index in the submitted job list *)
+  job : job;
+  outcome : outcome;
+  attempts : int;  (** 1 = first attempt succeeded *)
+  sim_time_ns : int;
+  kernel_activations : int;
+  delta_cycles : int;
+  transactions : int;
+  completed_ops : int;
+  failures : int;  (** property failures (0 when crashed) *)
+  checker_stats : Tabv_obs.Checker_snapshot.t list;
+  metrics : Tabv_obs.Metrics.snapshot;
+  wall_seconds : float;  (** all attempts; excluded from JSON *)
+}
+
+type summary = {
+  results : job_result list;  (** ascending [job_id] *)
+  workers : int;
+  retries : int;
+  completed : int;
+  crashed : int;
+  total_failures : int;
+  total_sim_time_ns : int;
+  total_activations : int;
+  total_delta_cycles : int;
+  total_transactions : int;
+  total_completed_ops : int;
+  checker_activations : int;
+  checker_passes : int;
+  checker_cache_hits : int;
+  checker_cache_misses : int;
+  failures_by_property : (string * int) list;
+      (** properties with at least one failure, sorted by name *)
+  merged_metrics : Tabv_obs.Metrics.snapshot;
+      (** {!Tabv_obs.Metrics.merge_all} of the per-job snapshots *)
+  wall_seconds : float;  (** excluded from JSON *)
+}
+
+(** [run ?workers ?retries ?clock ?metrics jobs] executes the campaign
+    on [workers] spawned domains (default 1) with up to [retries]
+    retries per crashing job (default 1).  [clock] (seconds, default
+    [fun () -> 0.]) feeds only the wall-time fields; pass
+    [Unix.gettimeofday] from binaries that link [unix].  [metrics]
+    (default [true]) attaches a fresh enabled registry to every job.
+    @raise Invalid_argument if any job fails {!validate}. *)
+val run :
+  ?workers:int ->
+  ?retries:int ->
+  ?clock:(unit -> float) ->
+  ?metrics:bool ->
+  job list ->
+  summary
+
+(** True iff no property failed and no job crashed (the CLI's exit
+    criterion). *)
+val all_green : summary -> bool
+
+(** The deterministic campaign report: schema-versioned, sorted by job
+    id, free of wall-clock values and of the worker count — running
+    the same job list with any [?workers] yields byte-identical
+    output. *)
+val report_json : summary -> Tabv_core.Report_json.json
+
+(** Human-oriented per-job table and aggregate roll-up (includes wall
+    times — not deterministic). *)
+val pp_summary : Format.formatter -> summary -> unit

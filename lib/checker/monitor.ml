@@ -145,9 +145,12 @@ let rec merge_sorted a b =
     if x <= y then x :: merge_sorted xs b else y :: merge_sorted a ys
 
 let step_interned t ~time lookup initial =
-  let hits0 = Progression.raw_hits () in
-  let misses0 = Progression.raw_misses () in
-  let bypassed0 = Progression.raw_bypassed () in
+  (* One DLS lookup per step: every state of the multiset steps, and
+     every counter snapshot reads, through this handle. *)
+  let stats = Progression.handle () in
+  let hits0 = Progression.handle_hits stats in
+  let misses0 = Progression.handle_misses stats in
+  let bypassed0 = Progression.handle_bypassed stats in
   (* One atom-evaluation closure per instant, reused across the whole
      multiset (and feeding the shared sampler). *)
   let eval = Sampler.eval_atom t.sampler ~time lookup in
@@ -183,11 +186,13 @@ let step_interned t ~time lookup initial =
      many live instances sit in it. *)
   List.iter
     (fun ls ->
-      resolve (Progression.step_atoms ~time eval ls.state) ls.activations_at)
+      resolve
+        (Progression.step_atoms_in stats ~time eval ls.state)
+        ls.activations_at)
     t.live;
   (* Activation of a new instance. *)
   let activate () =
-    let ob = Progression.step_atoms ~time eval initial in
+    let ob = Progression.step_atoms_in stats ~time eval initial in
     match Progression.verdict ob with
     | Some true ->
       t.passes <- t.passes + 1;
@@ -202,11 +207,11 @@ let step_interned t ~time lookup initial =
   if t.repeating then activate ()
   else if not t.started then activate ();
   t.live <- List.rev !merged;
-  t.cache_hits <- t.cache_hits + (Progression.raw_hits () - hits0);
+  t.cache_hits <- t.cache_hits + (Progression.handle_hits stats - hits0);
   t.cache_misses <-
     t.cache_misses
-    + (Progression.raw_misses () - misses0)
-    + (Progression.raw_bypassed () - bypassed0);
+    + (Progression.handle_misses stats - misses0)
+    + (Progression.handle_bypassed stats - bypassed0);
   if !merged_count > t.peak_distinct then t.peak_distinct <- !merged_count
 
 (* --- legacy / automaton engines: list of live instances ------------ *)

@@ -171,8 +171,55 @@ module Ob_table = Hashtbl.Make (struct
   let hash = onode_hash
 end)
 
-let ob_table : t Ob_table.t = Ob_table.create 1024
-let ob_counter = ref 0
+(* The canonical True/False states are shared by every domain: they
+   are safe to share because they are the only obligations whose
+   [memo] field is never written (stepping True/False returns the
+   state itself before touching the memo), so they carry no mutable
+   state in practice.  Sharing them keeps [is_true]/[is_false] a
+   physical comparison against one node, domain-independent. *)
+let ob_true = { onode = OTrue; oid = 0; has_at = false; otimed = false; memo = No_memo }
+
+let ob_false =
+  { onode = OFalse; oid = 1; has_at = false; otimed = false; memo = No_memo }
+
+(* Per-domain obligation universe: hash-cons table, id counter and the
+   transition-memo statistics all live behind [Domain.DLS], mirroring
+   [Interned]'s per-domain formula universe, so concurrent campaign
+   workers build their checker automata without sharing (or
+   corrupting) any table.  Fresh universes are pre-seeded with the
+   shared True/False states. *)
+type stats_record = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypassed : int;
+  mutable transitions : int;
+}
+
+type universe = {
+  ob_table : t Ob_table.t;
+  mutable ob_counter : int;
+  ustats : stats_record;
+}
+
+let fresh_universe () =
+  let ob_table = Ob_table.create 1024 in
+  Ob_table.add ob_table OTrue ob_true;
+  Ob_table.add ob_table OFalse ob_false;
+  {
+    ob_table;
+    ob_counter = 2;
+    ustats = { hits = 0; misses = 0; bypassed = 0; transitions = 0 };
+  }
+
+let universe_key : universe Domain.DLS.key = Domain.DLS.new_key fresh_universe
+let universe () = Domain.DLS.get universe_key
+
+(* Fresh obligation universe *and* fresh interned-formula universe for
+   the calling domain: one call gives a batch runner a cold, isolated
+   checker world per job. *)
+let reset_universe () =
+  Domain.DLS.set universe_key (fresh_universe ());
+  Interned.reset_universe ()
 
 let onode_has_at = function
   | OTrue | OFalse | OFormula _ -> false
@@ -186,12 +233,13 @@ let onode_timed = function
   | OAnd (a, b) | OOr (a, b) -> a.otimed || b.otimed
 
 let make onode =
+  let u = universe () in
   (* Exception-based probe: hits allocate nothing. *)
-  match Ob_table.find ob_table onode with
+  match Ob_table.find u.ob_table onode with
   | ob -> ob
   | exception Not_found ->
-    let oid = !ob_counter in
-    incr ob_counter;
+    let oid = u.ob_counter in
+    u.ob_counter <- oid + 1;
     let ob =
       {
         onode;
@@ -201,11 +249,9 @@ let make onode =
         memo = No_memo;
       }
     in
-    Ob_table.add ob_table onode ob;
+    Ob_table.add u.ob_table onode ob;
     ob
 
-let ob_true = make OTrue
-let ob_false = make OFalse
 let formula f = make (OFormula f)
 let at target f = make (OAt (target, f))
 
@@ -268,15 +314,6 @@ let rec next_evaluation_time ob =
 
 let max_memo_atoms = 62
 
-type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable bypassed : int;
-  mutable transitions : int;
-}
-
-let stats = { hits = 0; misses = 0; bypassed = 0; transitions = 0 }
-
 type cache_stats = {
   cache_hits : int;
   cache_misses : int;
@@ -287,12 +324,15 @@ type cache_stats = {
 }
 
 let cache_stats () =
+  let u = universe () in
   {
-    cache_hits = stats.hits;
-    cache_misses = stats.misses;
-    cache_bypassed = stats.bypassed;
-    distinct_states = Ob_table.length ob_table;
-    distinct_transitions = stats.transitions;
+    cache_hits = u.ustats.hits;
+    cache_misses = u.ustats.misses;
+    cache_bypassed = u.ustats.bypassed;
+    (* The pre-seeded True/False states count, exactly as they did
+       when they were interned at module-init time. *)
+    distinct_states = Ob_table.length u.ob_table;
+    distinct_transitions = u.ustats.transitions;
     interned_formulas = Interned.node_count ();
   }
 
@@ -341,7 +381,7 @@ exception Too_many_atoms
    already carrying its transition table — costs one pointer load, one
    atom-evaluation pass to pack the valuation bits, and one
    exception-based hashtable probe; nothing is allocated on a hit. *)
-let step_untimed ~time eval ob =
+let step_untimed_in stats ~time eval ob =
   match ob.memo with
   | Transitions { atoms; results } ->
     let n = Array.length atoms in
@@ -404,8 +444,8 @@ let step_untimed ~time eval ob =
 (* Full step: timed parts recurse structurally (their transitions
    depend on absolute time and cannot be tabled); every untimed
    subtree reached on the way goes through the memo. *)
-let rec step_eval ~time eval ob =
-  if not ob.otimed then step_untimed ~time eval ob
+let rec step_eval_in stats ~time eval ob =
+  if not ob.otimed then step_untimed_in stats ~time eval ob
   else
     match ob.onode with
     | OTrue | OFalse -> ob
@@ -414,26 +454,49 @@ let rec step_eval ~time eval ob =
       if time < target then ob
       else if time = target then progress ~time eval f
       else ob_false
-    | OAnd (a, b) -> ob_and (step_eval ~time eval a) (step_eval ~time eval b)
-    | OOr (a, b) -> ob_or (step_eval ~time eval a) (step_eval ~time eval b)
+    | OAnd (a, b) ->
+      ob_and
+        (step_eval_in stats ~time eval a)
+        (step_eval_in stats ~time eval b)
+    | OOr (a, b) ->
+      ob_or
+        (step_eval_in stats ~time eval a)
+        (step_eval_in stats ~time eval b)
 
 let eval_of_lookup lookup atom =
   match Interned.node atom with
   | Interned.Atom e -> Expr.eval lookup e
   | _ -> assert false
 
-let step ~time lookup ob = step_eval ~time (eval_of_lookup lookup) ob
+let step ~time lookup ob =
+  step_eval_in (universe ()).ustats ~time (eval_of_lookup lookup) ob
 
 let step_sampled sampler ~time lookup ob =
-  step_eval ~time (Sampler.eval_atom sampler ~time lookup) ob
+  step_eval_in (universe ()).ustats ~time
+    (Sampler.eval_atom sampler ~time lookup)
+    ob
 
 (* Caller-supplied atom evaluator: lets a monitor build one evaluation
    closure per instant and reuse it across its whole state multiset. *)
-let step_atoms = step_eval
+let step_atoms ~time eval ob = step_eval_in (universe ()).ustats ~time eval ob
 
-let raw_hits () = stats.hits
-let raw_misses () = stats.misses
-let raw_bypassed () = stats.bypassed
+(* A handle is the calling domain's live statistics record itself:
+   grabbing it once per monitor step replaces the per-state (and
+   per-counter-read) [Domain.DLS] lookups of the naive API with plain
+   field accesses — the DLS get is ~10ns, which multiplied by every
+   live state of every monitor at every instant was a measurable slice
+   of the interned engine's hot path. *)
+type handle = stats_record
+
+let handle () = (universe ()).ustats
+let handle_hits (h : handle) = h.hits
+let handle_misses (h : handle) = h.misses
+let handle_bypassed (h : handle) = h.bypassed
+let step_atoms_in (h : handle) ~time eval ob = step_eval_in h ~time eval ob
+
+let raw_hits () = (universe ()).ustats.hits
+let raw_misses () = (universe ()).ustats.misses
+let raw_bypassed () = (universe ()).ustats.bypassed
 
 let rec pp ppf ob =
   match ob.onode with

@@ -29,12 +29,24 @@ open Tabv_psl
     collapse into one state.  For {e untimed} states the result of one
     step is a pure function of the values of the atoms the progression
     reads, and the atom read-set of a fixed state is itself fixed (the
-    progression never short-circuits); a process-global
+    progression never short-circuits); a domain-global
     [(state, atom valuation) -> state] memo therefore tables the
     transition relation lazily, building the paper's explicit checker
     automaton over reachable states only.  Timed ([at]) waits depend
     on absolute instants and always take the direct rewriting path;
-    the untimed subtrees beneath them still hit the memo. *)
+    the untimed subtrees beneath them still hit the memo.
+
+    {2 Domain safety}
+
+    The obligation hash-cons table, the transition memo and its
+    statistics are all domain-local ([Domain.DLS]), mirroring
+    {!Interned}: concurrent workers (e.g. the campaign runner's job
+    domains) each build a private checker automaton with no shared
+    mutable state.  Obligations must not flow between domains.  The
+    canonical True/False states are the one deliberate exception —
+    they are shared so {!is_true}/{!is_false} stay a single physical
+    comparison, which is safe because those two states never mutate
+    (their transition memo is never written). *)
 
 type t
 
@@ -98,10 +110,20 @@ type cache_stats = {
   interned_formulas : int;  (** hash-consed LTL terms ever created *)
 }
 
-(** Process-global counters (the memo is shared by every monitor, so a
-    caller interested in per-monitor attribution snapshots this before
-    and after stepping — see {!Monitor}). *)
+(** Domain-global counters (the memo is shared by every monitor of the
+    calling domain, so a caller interested in per-monitor attribution
+    snapshots this before and after stepping — see {!Monitor}). *)
 val cache_stats : unit -> cache_stats
+
+(** Replace the calling domain's obligation universe (hash-cons table,
+    transition memo, statistics) {e and} its interned-formula universe
+    ({!Interned.reset_universe}) with fresh, empty ones.  The campaign
+    runner calls this at the start of every job so a job's cache
+    statistics depend only on the job itself, never on which worker it
+    landed on or what ran there before.  Must only be called between
+    runs, when no live monitor or obligation from the old universe
+    will be stepped again. *)
+val reset_universe : unit -> unit
 
 (** Allocation-free raw counters, for per-step attribution on the hot
     path ({!cache_stats} builds a record and measures table sizes). *)
@@ -109,6 +131,31 @@ val raw_hits : unit -> int
 
 val raw_misses : unit -> int
 val raw_bypassed : unit -> int
+
+(** {2 Batched stepping}
+
+    Each of {!step}, {!step_sampled}, {!step_atoms} and the raw
+    counters above performs one [Domain.DLS] lookup to reach the
+    calling domain's universe.  That lookup is cheap but not free, and
+    a monitor pays it once per live state per instant plus six times
+    per step for the before/after counter snapshots.  A {!handle}
+    amortises all of that to a single lookup per monitor step: grab it
+    once, then step every state and read every counter through it. *)
+
+(** The calling domain's live statistics record.  Valid until the next
+    {!reset_universe}; must not be shared across domains. *)
+type handle
+
+(** One [Domain.DLS] lookup. *)
+val handle : unit -> handle
+
+val handle_hits : handle -> int
+val handle_misses : handle -> int
+val handle_bypassed : handle -> int
+
+(** {!step_atoms} with the universe lookup hoisted out: counts cache
+    traffic into [handle] with plain field writes. *)
+val step_atoms_in : handle -> time:int -> (Interned.t -> bool) -> t -> t
 
 (** {2 Reference engine} *)
 

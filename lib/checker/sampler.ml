@@ -25,11 +25,18 @@ open Tabv_psl
    on the hot path.  Stamps come from a process-global counter, so two
    samplers active at the same instant never mistake each other's
    values (they just overwrite the slot, which only costs a
-   re-evaluation). *)
+   re-evaluation).
 
-let global_stamp = ref 0
+   The stamp counter is domain-local ([Domain.DLS]), matching the
+   interning universe: stamps only need to be unique among the
+   samplers of one domain because interned nodes — and hence the
+   scratch slots the stamps tag — are confined to the domain that
+   created them. *)
+
+let stamp_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_stamp () =
+  let global_stamp = Domain.DLS.get stamp_key in
   incr global_stamp;
   !global_stamp
 

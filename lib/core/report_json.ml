@@ -61,6 +61,235 @@ let to_string json =
   emit json;
   Buffer.contents buffer
 
+(* --- parsing ---------------------------------------------------------
+
+   A small recursive-descent RFC 8259 parser, self-contained like the
+   emitter above.  It exists for the inputs the toolbox reads back —
+   campaign manifests and previously emitted reports — so it accepts
+   exactly the document model [to_string] produces: numbers without
+   fraction/exponent parse as [Int], all others as [Float]; [\uXXXX]
+   escapes outside ASCII are transcribed as UTF-8. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type parser_state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the current line's first byte *)
+}
+
+let parse_fail st message =
+  raise (Parse_error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some _ | None -> ()
+
+let expect st c =
+  match peek st with
+  | Some found when found = c -> advance st
+  | Some found ->
+    parse_fail st (Printf.sprintf "expected '%c', found '%c'" c found)
+  | None -> parse_fail st (Printf.sprintf "expected '%c', found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.input && String.sub st.input st.pos n = word
+  then begin
+    for _ = 1 to n do
+      advance st
+    done;
+    value
+  end
+  else parse_fail st (Printf.sprintf "invalid literal (expected %s)" word)
+
+let utf8_of_code buffer code =
+  (* Transcribe one Unicode scalar value to UTF-8 bytes. *)
+  if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string_body st =
+  expect st '"';
+  let buffer = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> parse_fail st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buffer
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some '"' -> Buffer.add_char buffer '"'; advance st
+       | Some '\\' -> Buffer.add_char buffer '\\'; advance st
+       | Some '/' -> Buffer.add_char buffer '/'; advance st
+       | Some 'b' -> Buffer.add_char buffer '\b'; advance st
+       | Some 'f' -> Buffer.add_char buffer '\012'; advance st
+       | Some 'n' -> Buffer.add_char buffer '\n'; advance st
+       | Some 'r' -> Buffer.add_char buffer '\r'; advance st
+       | Some 't' -> Buffer.add_char buffer '\t'; advance st
+       | Some 'u' ->
+         advance st;
+         if st.pos + 4 > String.length st.input then
+           parse_fail st "truncated \\u escape";
+         let hex = String.sub st.input st.pos 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+          | Some code ->
+            for _ = 1 to 4 do
+              advance st
+            done;
+            utf8_of_code buffer code
+          | None -> parse_fail st "invalid \\u escape")
+       | Some c -> parse_fail st (Printf.sprintf "invalid escape '\\%c'" c)
+       | None -> parse_fail st "unterminated escape");
+      loop ()
+    | Some c when Char.code c < 0x20 -> parse_fail st "raw control character in string"
+    | Some c ->
+      Buffer.add_char buffer c;
+      advance st;
+      loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let integral = ref true in
+  if peek st = Some '-' then advance st;
+  let rec digits () =
+    match peek st with
+    | Some '0' .. '9' ->
+      advance st;
+      digits ()
+    | Some _ | None -> ()
+  in
+  digits ();
+  (match peek st with
+   | Some '.' ->
+     integral := false;
+     advance st;
+     digits ()
+   | Some _ | None -> ());
+  (match peek st with
+   | Some ('e' | 'E') ->
+     integral := false;
+     advance st;
+     (match peek st with
+      | Some ('+' | '-') -> advance st
+      | Some _ | None -> ());
+     digits ()
+   | Some _ | None -> ());
+  let text = String.sub st.input start (st.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> parse_fail st (Printf.sprintf "invalid number %S" text)
+  else
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_fail st (Printf.sprintf "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_fail st "unexpected end of input"
+  | Some '"' -> String (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let item = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (item :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (item :: acc)
+        | Some c -> parse_fail st (Printf.sprintf "expected ',' or ']', found '%c'" c)
+        | None -> parse_fail st "unterminated array"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Assoc []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let value = parse_value st in
+        (key, value)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields (f :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (f :: acc)
+        | Some c -> parse_fail st (Printf.sprintf "expected ',' or '}', found '%c'" c)
+        | None -> parse_fail st "unterminated object"
+      in
+      Assoc (fields [])
+    end
+  | Some c -> parse_fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let of_string input =
+  let st = { input; pos = 0; line = 1; bol = 0 } in
+  let value = parse_value st in
+  skip_ws st;
+  (match peek st with
+   | Some c -> parse_fail st (Printf.sprintf "trailing content '%c'" c)
+   | None -> ());
+  value
+
+(* --- accessors ------------------------------------------------------- *)
+
+let member key = function
+  | Assoc fields -> List.assoc_opt key fields
+  | _ -> None
+
 (* --- checker statistics ---------------------------------------------
 
    [tabv_core] sits below the checker library in the dependency order,

@@ -17,6 +17,19 @@ type json =
 
 val to_string : json -> string
 
+(** Raised by {!of_string} with 1-based position information. *)
+exception Parse_error of { line : int; col : int; message : string }
+
+(** Parse one RFC 8259 document (the inverse of {!to_string}, used for
+    campaign manifests and read-back reports).  Numbers without
+    fraction or exponent parse as [Int], all others as [Float].
+    @raise Parse_error on malformed input. *)
+val of_string : string -> json
+
+(** [member key json] is the value of [key] when [json] is an [Assoc]
+    containing it, [None] otherwise. *)
+val member : string -> json -> json option
+
 (** Per-property checker statistics as JSON, from the shared
     {!Tabv_obs.Checker_snapshot.t} record ([Monitor.snapshot] produces
     it directly).  Same keys as the legacy {!checker_stat_json}, plus

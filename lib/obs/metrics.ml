@@ -267,9 +267,68 @@ let value_of = function
   | Histogram_i h -> Histogram (summarize h)
   | Probe_i p -> Gauge (eval_probe p)
 
+type snapshot = (string * value) list
+
 let snapshot t =
   Hashtbl.fold (fun name i acc -> (name, value_of i) :: acc) t.instruments []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- snapshot merging ----------------------------------------------- *)
+
+(* Combining two runs' worth of statistics follows the nature of each
+   instrument: counters and histogram populations are additive, gauges
+   (and probes, which snapshot as gauges) track peaks so they combine
+   with [max].  Merging is name-aligned over the sorted snapshot order,
+   so the result is itself a well-formed (sorted, deterministic)
+   snapshot — the campaign runner folds per-job snapshots into one
+   aggregate with byte-identical JSON regardless of job placement. *)
+
+let merge_histogram (a : histogram_summary) (b : histogram_summary) =
+  let rec merge_buckets xs ys =
+    match xs, ys with
+    | [], rest | rest, [] -> rest
+    | (bx, cx) :: tx, (by, cy) :: ty ->
+      if bx = by then (bx, cx + cy) :: merge_buckets tx ty
+      else if bx < by then (bx, cx) :: merge_buckets tx ys
+      else (by, cy) :: merge_buckets xs ty
+  in
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    {
+      count = a.count + b.count;
+      sum = a.sum + b.sum;
+      min_value = min a.min_value b.min_value;
+      max_value = max a.max_value b.max_value;
+      by_upper_bound = merge_buckets a.by_upper_bound b.by_upper_bound;
+    }
+
+let merge_value name a b =
+  match a, b with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (max x y)
+  | Histogram x, Histogram y -> Histogram (merge_histogram x y)
+  | (Counter _ | Gauge _ | Histogram _), _ ->
+    invalid_arg
+      (Printf.sprintf "Metrics.merge: %S has mismatched kinds" name)
+
+let merge (a : snapshot) (b : snapshot) : snapshot =
+  (* Tolerate unsorted input (snapshots from [snapshot] are already
+     sorted; hand-built ones may not be). *)
+  let sort s = List.sort (fun (x, _) (y, _) -> compare x y) s in
+  let rec go xs ys =
+    match xs, ys with
+    | [], rest | rest, [] -> rest
+    | (nx, vx) :: tx, (ny, vy) :: ty ->
+      if nx = ny then (nx, merge_value nx vx vy) :: go tx ty
+      else if nx < ny then (nx, vx) :: go tx ys
+      else (ny, vy) :: go xs ty
+  in
+  go (sort a) (sort b)
+
+let merge_all = function
+  | [] -> []
+  | first :: rest -> List.fold_left merge first rest
 
 let find t name = Option.map value_of (Hashtbl.find_opt t.instruments name)
 

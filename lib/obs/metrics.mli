@@ -129,9 +129,26 @@ type value =
   | Gauge of int  (** gauges and probes *)
   | Histogram of histogram_summary
 
+(** A registry snapshot: instrument values keyed by name, sorted by
+    name, deterministic (no wall-clock values). *)
+type snapshot = (string * value) list
+
 (** All instruments, sorted by name; probes are evaluated here.
     Deterministic: no wall-clock values. *)
-val snapshot : t -> (string * value) list
+val snapshot : t -> snapshot
+
+(** [merge a b] combines two snapshots name-by-name: counters and
+    histograms (count, sum, per-bucket populations) are summed, gauges
+    and probes keep the maximum (peak semantics), min/max histogram
+    bounds widen, and names present in only one input pass through
+    unchanged.  Inputs are re-sorted if needed; the result is a
+    well-formed sorted snapshot, so merging is associative and
+    independent of fold order up to that sort.
+    @raise Invalid_argument when one name carries different kinds. *)
+val merge : snapshot -> snapshot -> snapshot
+
+(** Fold {!merge} over a list ([[]] for the empty list). *)
+val merge_all : snapshot list -> snapshot
 
 val find : t -> string -> value option
 

@@ -4,9 +4,20 @@
    heap node, so equality is physical equality, every node carries a
    dense unique id usable as a hash-table key, and derived attributes
    (timedness, atom sets) are computed once per distinct term instead
-   of once per occurrence.  The table is global and append-only: terms
-   are never forgotten, which keeps ids stable for the lifetime of the
-   process — exactly what the checker's transition memo needs. *)
+   of once per occurrence.  The table is domain-local and append-only:
+   terms are never forgotten, which keeps ids stable for the lifetime
+   of their domain — exactly what the checker's transition memo needs.
+
+   Domain safety: every domain owns a private interning universe
+   (table + id counter) behind [Domain.DLS], so concurrent workers
+   (e.g. the campaign runner's job pool) never contend on, or corrupt,
+   a shared hashtable.  A term interned on one domain must never be
+   mixed with terms interned on another: [equal] is physical equality
+   and the mutable per-node scratch slots ([sample_stamp]) are only
+   race-free because a node is confined to the domain that interned
+   it.  The single-domain fast path is unchanged: [Domain.DLS.get] on
+   an initialized key is a handful of loads, no locks, no branches on
+   the hot probe itself. *)
 
 type t = {
   node : node;
@@ -75,8 +86,19 @@ module Table = Hashtbl.Make (struct
   let hash = node_hash
 end)
 
-let table : t Table.t = Table.create 1024
-let counter = ref 0
+(* One interning universe per domain.  [counter] is plain mutable
+   state (not [Atomic]): it is only ever touched by its owning
+   domain. *)
+type universe = {
+  table : t Table.t;
+  mutable counter : int;
+}
+
+let fresh_universe () = { table = Table.create 1024; counter = 0 }
+let universe_key : universe Domain.DLS.key = Domain.DLS.new_key fresh_universe
+let universe () = Domain.DLS.get universe_key
+
+let reset_universe () = Domain.DLS.set universe_key (fresh_universe ())
 
 let node_timed = function
   | Atom _ -> false
@@ -86,13 +108,14 @@ let node_timed = function
     p.timed || q.timed
 
 let make node =
+  let u = universe () in
   (* Exception-based probe: hits (the common case once the formula set
      is warm) allocate nothing. *)
-  match Table.find table node with
+  match Table.find u.table node with
   | t -> t
   | exception Not_found ->
-    let id = !counter in
-    incr counter;
+    let id = u.counter in
+    u.counter <- id + 1;
     let t =
       {
         node;
@@ -103,16 +126,20 @@ let make node =
         sample_value = false;
       }
     in
-    Table.add table node t;
+    Table.add u.table node t;
     t
 
-let node_count () = Table.length table
+let node_count () = Table.length (universe ()).table
 
 (* --- smart constructors ------------------------------------------- *)
 
 let atom e = make (Atom e)
-let tt = atom (Expr.Bool true)
-let ff = atom (Expr.Bool false)
+
+(* Functions, not values: a top-level [tt] would be interned into the
+   initial domain's universe at module-init time and then leak — with
+   its mutable scratch slot — into every other domain. *)
+let tt () = atom (Expr.Bool true)
+let ff () = atom (Expr.Bool false)
 let not_ p = make (Not p)
 let and_ p q = make (And (p, q))
 let or_ p q = make (Or (p, q))

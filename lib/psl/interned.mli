@@ -6,10 +6,19 @@
     the term contains the timed [next_eps^tau] operator) are computed
     once per distinct term.
 
-    The intern table is global and append-only: ids are stable for the
-    lifetime of the process.  This is what makes the checker's
-    [(state, atom valuation) -> state] transition memo sound — a state
-    id observed once always denotes the same formula. *)
+    The intern table is domain-local ([Domain.DLS]) and append-only:
+    ids are stable for the lifetime of the owning domain.  This is
+    what makes the checker's [(state, atom valuation) -> state]
+    transition memo sound — a state id observed once always denotes
+    the same formula.
+
+    {b Domain safety.} Each domain owns a private interning universe
+    (table, id counter, and the scratch slots of the nodes it
+    creates), so concurrent workers may intern and progress formulas
+    without synchronization.  Terms must not be shared across domains:
+    {!equal} is physical equality within one universe only, and the
+    {!set_sample} scratch slot is single-writer by the confinement of
+    its node to the interning domain. *)
 
 type t = private {
   node : node;
@@ -36,8 +45,13 @@ and node =
 (** {2 Smart constructors} *)
 
 val atom : Expr.t -> t
-val tt : t
-val ff : t
+
+(** [tt ()] / [ff ()] intern the boolean constants in the calling
+    domain's universe (functions, not values, so one domain's node —
+    and its mutable scratch slot — never leaks into another). *)
+val tt : unit -> t
+
+val ff : unit -> t
 val not_ : t -> t
 val and_ : t -> t -> t
 val or_ : t -> t -> t
@@ -77,8 +91,19 @@ val is_timed : t -> bool
 val node : t -> node
 val is_nnf : t -> bool
 
-(** Number of distinct terms interned so far (process-global). *)
+(** Number of distinct terms interned so far in the calling domain's
+    universe. *)
 val node_count : unit -> int
+
+(** Replace the calling domain's interning universe with a fresh,
+    empty one.  Terms interned before the reset stay structurally
+    valid but are no longer canonical: a subsequent {!intern} of an
+    equal formula yields a {e different} node, so never mix terms from
+    across a reset.  Intended for batch runners (the campaign runner
+    resets between jobs so per-job statistics are independent of job
+    placement); must only be called when no obligations or monitors
+    built from the old universe are still stepped. *)
+val reset_universe : unit -> unit
 
 (** {2 Per-instant scratch slot}
 

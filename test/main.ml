@@ -31,4 +31,5 @@ let () =
       Test_sim_extra.suite;
       Test_robustness.suite;
       Test_multiclock.suite;
-      Test_obs.suite ]
+      Test_obs.suite;
+      Test_campaign.suite ]

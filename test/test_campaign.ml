@@ -1,0 +1,288 @@
+(* Test suite for the multicore campaign runner (lib/campaign): job
+   matrix expansion, manifest parsing, crash isolation with bounded
+   retries, deterministic result merging — plus the domain-safety
+   regression for the interning/progression universes the runner
+   relies on (each worker domain owns a private Domain.DLS universe). *)
+
+open Tabv_psl
+open Tabv_campaign
+module C = Campaign
+module J = Tabv_core.Report_json
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+(* --- Domain.DLS universes --------------------------------------------- *)
+
+(* One worker's whole checker workload: reset to a fresh universe,
+   intern a family of formulas, progress one of them over a fixed
+   input sequence, and report everything observable — verdict, node
+   count, memo statistics.  Running this concurrently on several
+   domains must give each domain the same answers as running it
+   alone (universes are private, so no cross-domain interference). *)
+let universe_probe () =
+  let open Tabv_checker in
+  Progression.reset_universe ();
+  let formulas =
+    [ "always(!a || next[2](b))"; "a until b"; "eventually(a && b)";
+      "always(a -> eventually(b))" ]
+  in
+  let interned = List.map (fun s -> Interned.intern (Parser.formula_only s)) formulas in
+  let ids = List.map Interned.id interned in
+  let env (a, b) name =
+    match name with
+    | "a" -> Some (Expr.VBool a)
+    | "b" -> Some (Expr.VBool b)
+    | _ -> None
+  in
+  let inputs = [ (true, false); (true, true); (false, false); (true, true) ] in
+  let ob = ref (Progression.of_formula (Parser.formula_only "a until b")) in
+  List.iteri (fun i v -> ob := Progression.step ~time:(i * 10) (env v) !ob) inputs;
+  let stats = Progression.cache_stats () in
+  ( ids,
+    Progression.verdict !ob,
+    Interned.node_count (),
+    stats.Progression.cache_hits,
+    stats.Progression.cache_misses )
+
+let dls_cases =
+  [ slow_case "4 domains intern/progress the same formulas independently"
+      (fun () ->
+        let baseline = universe_probe () in
+        let nodes_before = Interned.node_count () in
+        let domains =
+          List.init 4 (fun _ -> Domain.spawn (fun () -> universe_probe ()))
+        in
+        let results = List.map Domain.join domains in
+        List.iteri
+          (fun i r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "domain %d matches the single-domain run" i)
+              true (r = baseline))
+          results;
+        (* Peer domains never touched this domain's universe. *)
+        Alcotest.(check int) "caller universe untouched" nodes_before
+          (Interned.node_count ()));
+    case "reset_universe starts a fresh interning universe" (fun () ->
+      Tabv_checker.Progression.reset_universe ();
+      let n0 = Interned.node_count () in
+      ignore (Interned.intern (Parser.formula_only "always(a -> next(b))"));
+      Alcotest.(check bool) "interning grows the universe" true
+        (Interned.node_count () > n0);
+      Tabv_checker.Progression.reset_universe ();
+      Alcotest.(check int) "fresh universe after reset" n0
+        (Interned.node_count ())) ]
+
+(* --- matrix expansion -------------------------------------------------- *)
+
+let job_label j =
+  Printf.sprintf "%s/%s/s%d" (C.duv_name j.C.duv) (C.level_name j.C.level)
+    j.C.seed
+
+let matrix_cases =
+  [ case "expansion is DUV-major, then level, then seed" (fun () ->
+      let jobs =
+        C.expand_matrix ~duvs:[ C.Des56; C.Colorconv ]
+          ~levels:[ C.Rtl; C.Tlm_ca ] ~seeds:[ 1; 2 ] ~ops:10 ()
+      in
+      Alcotest.(check (list string)) "order"
+        [ "des56/rtl/s1"; "des56/rtl/s2"; "des56/tlm-ca/s1"; "des56/tlm-ca/s2";
+          "colorconv/rtl/s1"; "colorconv/rtl/s2"; "colorconv/tlm-ca/s1";
+          "colorconv/tlm-ca/s2" ]
+        (List.map job_label jobs));
+    case "tlm-lt is kept for DES56 and skipped elsewhere" (fun () ->
+      let jobs =
+        C.expand_matrix ~duvs:[ C.Des56; C.Colorconv; C.Memctrl ]
+          ~levels:[ C.Tlm_lt ] ~seeds:[ 1 ] ~ops:10 ()
+      in
+      Alcotest.(check (list string)) "only des56" [ "des56/tlm-lt/s1" ]
+        (List.map job_label jobs));
+    case "validate rejects what the testbenches cannot run" (fun () ->
+      let bad = C.job ~duv:C.Memctrl ~level:C.Tlm_lt ~seed:1 ~ops:10 () in
+      (match C.validate bad with
+       | Error _ -> ()
+       | Ok () -> Alcotest.fail "memctrl/tlm-lt accepted");
+      (match C.validate (C.job ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:0 ()) with
+       | Error _ -> ()
+       | Ok () -> Alcotest.fail "ops=0 accepted");
+      match
+        C.run [ bad ]
+      with
+      | _ -> Alcotest.fail "run accepted an invalid job"
+      | exception Invalid_argument _ -> ());
+    case "name round-trips" (fun () ->
+      List.iter
+        (fun duv ->
+          Alcotest.(check bool) (C.duv_name duv) true
+            (C.duv_of_name (C.duv_name duv) = Some duv))
+        [ C.Des56; C.Colorconv; C.Memctrl ];
+      List.iter
+        (fun level ->
+          Alcotest.(check bool) (C.level_name level) true
+            (C.level_of_name (C.level_name level) = Some level))
+        [ C.Rtl; C.Tlm_ca; C.Tlm_at; C.Tlm_lt ];
+      List.iter
+        (fun sel ->
+          Alcotest.(check bool) (C.selection_name sel) true
+            (C.selection_of_name (C.selection_name sel) = Some sel))
+        [ C.All; C.No_checkers; C.Take 5 ]) ]
+
+(* --- manifests --------------------------------------------------------- *)
+
+let manifest_cases =
+  [ case "explicit jobs and a matrix compose" (fun () ->
+      let doc =
+        {|{ "retries": 2,
+            "jobs": [ { "duv": "memctrl", "level": "tlm-at", "seed": 9,
+                        "ops": 25, "props": 3 } ],
+            "matrix": { "duvs": ["des56"], "levels": ["rtl", "tlm-lt"],
+                        "seeds": [1], "ops": 10, "props": "none" } }|}
+      in
+      match C.manifest_of_string doc with
+      | Error msg -> Alcotest.fail msg
+      | Ok m ->
+        Alcotest.(check (option int)) "retries" (Some 2) m.C.manifest_retries;
+        Alcotest.(check (list string)) "jobs"
+          [ "memctrl/tlm-at/s9"; "des56/rtl/s1"; "des56/tlm-lt/s1" ]
+          (List.map job_label m.C.manifest_jobs);
+        let explicit = List.hd m.C.manifest_jobs in
+        Alcotest.(check bool) "props take 3" true
+          (explicit.C.selection = C.Take 3);
+        Alcotest.(check bool) "matrix props none" true
+          ((List.nth m.C.manifest_jobs 1).C.selection = C.No_checkers));
+    case "unknown keys are rejected" (fun () ->
+      match
+        C.manifest_of_string
+          {|{ "jobs": [ { "duv": "des56", "level": "rtl", "seed": 1,
+                          "ops": 5, "wat": true } ] }|}
+      with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown job key accepted");
+    case "empty manifests and parse errors are reported" (fun () ->
+      (match C.manifest_of_string "{}" with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "empty manifest accepted");
+      match C.manifest_of_string "{ not json" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed JSON accepted") ]
+
+(* --- JSON parser (Report_json.of_string) ------------------------------- *)
+
+let json_parser_cases =
+  [ case "of_string inverts to_string" (fun () ->
+      let doc =
+        J.Assoc
+          [ ("s", J.String "a\"b\\c\n\t\xe2\x82\xac");
+            ("i", J.Int (-42));
+            ("f", J.Float 1.5);
+            ("l", J.List [ J.Bool true; J.Null; J.Int 0 ]);
+            ("o", J.Assoc [ ("nested", J.List []) ]) ]
+      in
+      Alcotest.(check string) "round trip" (J.to_string doc)
+        (J.to_string (J.of_string (J.to_string doc))));
+    case "numbers parse as Int without fraction/exponent" (fun () ->
+      Alcotest.(check bool) "int" true (J.of_string "17" = J.Int 17);
+      Alcotest.(check bool) "float" true (J.of_string "1.25" = J.Float 1.25);
+      Alcotest.(check bool) "exponent" true (J.of_string "1e2" = J.Float 100.));
+    case "unicode escapes decode to UTF-8" (fun () ->
+      Alcotest.(check bool) "euro sign" true
+        (J.of_string {|"€"|} = J.String "\xe2\x82\xac"));
+    case "malformed documents raise Parse_error with a position" (fun () ->
+      List.iter
+        (fun doc ->
+          match J.of_string doc with
+          | _ -> Alcotest.failf "accepted %S" doc
+          | exception J.Parse_error { line; col; _ } ->
+            Alcotest.(check bool) "position" true (line >= 1 && col >= 1))
+        [ "{"; "[1,]"; "\"unterminated"; "{\"a\":1} trailing"; "nul" ]);
+    case "member reads object fields" (fun () ->
+      let doc = J.of_string {|{ "a": 1, "b": [2] }|} in
+      Alcotest.(check bool) "a" true (J.member "a" doc = Some (J.Int 1));
+      Alcotest.(check bool) "missing" true (J.member "z" doc = None);
+      Alcotest.(check bool) "non-object" true (J.member "a" (J.Int 3) = None)) ]
+
+(* --- running ----------------------------------------------------------- *)
+
+let small_matrix =
+  C.expand_matrix ~duvs:[ C.Des56; C.Colorconv ] ~levels:[ C.Rtl; C.Tlm_ca ]
+    ~seeds:[ 1 ] ~ops:8 ()
+
+let run_cases =
+  [ slow_case "reports are byte-identical for 1 and 2 workers" (fun () ->
+      let report workers =
+        J.to_string (C.report_json (C.run ~workers small_matrix))
+      in
+      Alcotest.(check string) "deterministic" (report 1) (report 2));
+    slow_case "summary counts and per-job results line up" (fun () ->
+      let s = C.run ~workers:2 small_matrix in
+      Alcotest.(check int) "completed" (List.length small_matrix) s.C.completed;
+      Alcotest.(check int) "crashed" 0 s.C.crashed;
+      Alcotest.(check bool) "green" true (C.all_green s);
+      Alcotest.(check (list int)) "ascending job ids"
+        (List.init (List.length small_matrix) Fun.id)
+        (List.map (fun r -> r.C.job_id) s.C.results);
+      List.iter
+        (fun r ->
+          Alcotest.(check int) (job_label r.C.job ^ " attempts") 1 r.C.attempts;
+          Alcotest.(check bool) (job_label r.C.job ^ " completed") true
+            (r.C.outcome = C.Completed);
+          Alcotest.(check int)
+            (job_label r.C.job ^ " completed ops")
+            r.C.job.C.ops r.C.completed_ops)
+        s.C.results;
+      Alcotest.(check bool) "merged metrics non-empty" true
+        (s.C.merged_metrics <> []));
+    slow_case "a crashing job retries and then completes" (fun () ->
+      let jobs =
+        [ C.job ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 ();
+          C.job ~chaos:1 ~duv:C.Des56 ~level:C.Tlm_ca ~seed:1 ~ops:5 () ]
+      in
+      let s = C.run ~workers:2 ~retries:1 jobs in
+      Alcotest.(check int) "completed" 2 s.C.completed;
+      Alcotest.(check int) "crashed" 0 s.C.crashed;
+      let retried = List.nth s.C.results 1 in
+      Alcotest.(check int) "attempts" 2 retried.C.attempts;
+      Alcotest.(check bool) "green" true (C.all_green s));
+    slow_case "a persistently crashing job is isolated" (fun () ->
+      let jobs =
+        [ C.job ~chaos:99 ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 ();
+          C.job ~duv:C.Colorconv ~level:C.Rtl ~seed:1 ~ops:5 () ]
+      in
+      let s = C.run ~workers:2 ~retries:1 jobs in
+      Alcotest.(check int) "completed" 1 s.C.completed;
+      Alcotest.(check int) "crashed" 1 s.C.crashed;
+      Alcotest.(check bool) "not green" false (C.all_green s);
+      let crashed = List.hd s.C.results in
+      Alcotest.(check int) "attempts = retries + 1" 2 crashed.C.attempts;
+      (match crashed.C.outcome with
+       | C.Crashed { error } ->
+         Alcotest.(check bool) "error recorded" true (String.length error > 0)
+       | C.Completed -> Alcotest.fail "expected a crash");
+      let survivor = List.nth s.C.results 1 in
+      Alcotest.(check bool) "other job completed" true
+        (survivor.C.outcome = C.Completed));
+    slow_case "crashed jobs are stamped in the report JSON" (fun () ->
+      let jobs = [ C.job ~chaos:99 ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 () ] in
+      let s = C.run ~retries:0 jobs in
+      let doc = J.of_string (J.to_string (C.report_json s)) in
+      match J.member "jobs" doc with
+      | Some (J.List [ job ]) ->
+        Alcotest.(check bool) "outcome" true
+          (J.member "outcome" job = Some (J.String "crashed"));
+        Alcotest.(check bool) "error present" true
+          (match J.member "error" job with
+           | Some (J.String _) -> true
+           | _ -> false)
+      | _ -> Alcotest.fail "report jobs malformed");
+    slow_case "property selection changes the attached checker set" (fun () ->
+      let run_sel selection =
+        let jobs = [ C.job ~selection ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 () ] in
+        List.length (List.hd (C.run jobs).C.results).C.checker_stats
+      in
+      Alcotest.(check int) "none" 0 (run_sel C.No_checkers);
+      Alcotest.(check int) "take 1" 1 (run_sel (C.Take 1));
+      Alcotest.(check bool) "all" true (run_sel C.All > 1)) ]
+
+let suite =
+  ( "campaign",
+    dls_cases @ matrix_cases @ manifest_cases @ json_parser_cases @ run_cases )

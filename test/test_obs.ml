@@ -175,6 +175,82 @@ let snapshot_cases =
       Alcotest.check value "probe survives reset" (Metrics.Gauge 5)
         (Option.get (Metrics.find m "p"))) ]
 
+(* --- merge ------------------------------------------------------------ *)
+
+let merge_cases =
+  let registry fill =
+    let m = Metrics.create () in
+    fill m;
+    Metrics.snapshot m
+  in
+  [ case "merge sums counters and maxes gauges" (fun () ->
+      let a =
+        registry (fun m ->
+          Metrics.add (Metrics.counter m "c") 3;
+          Metrics.set (Metrics.gauge m "g") 7)
+      in
+      let b =
+        registry (fun m ->
+          Metrics.add (Metrics.counter m "c") 4;
+          Metrics.set (Metrics.gauge m "g") 5)
+      in
+      let merged = Metrics.merge a b in
+      Alcotest.check value "counter" (Metrics.Counter 7)
+        (List.assoc "c" merged);
+      Alcotest.check value "gauge" (Metrics.Gauge 7) (List.assoc "g" merged));
+    case "merge aligns by name and passes singletons through" (fun () ->
+      let a = registry (fun m -> Metrics.add (Metrics.counter m "only_a") 1) in
+      let b =
+        registry (fun m ->
+          Metrics.add (Metrics.counter m "only_b") 2;
+          Metrics.add (Metrics.counter m "zz") 3)
+      in
+      Alcotest.(check (list string))
+        "names sorted" [ "only_a"; "only_b"; "zz" ]
+        (List.map fst (Metrics.merge a b)));
+    case "merge sums histograms bucket by bucket" (fun () ->
+      let a =
+        registry (fun m ->
+          let h = Metrics.histogram m "h" in
+          Metrics.observe h 1;
+          Metrics.observe h 100)
+      in
+      let b =
+        registry (fun m ->
+          let h = Metrics.histogram m "h" in
+          Metrics.observe h 100;
+          Metrics.observe h 5000)
+      in
+      match List.assoc "h" (Metrics.merge a b) with
+      | Metrics.Histogram s ->
+        Alcotest.(check int) "count" 4 s.count;
+        Alcotest.(check int) "sum" 5201 s.sum;
+        Alcotest.(check int) "min" 1 s.min_value;
+        Alcotest.(check int) "max" 5000 s.max_value;
+        let total = List.fold_left (fun acc (_, n) -> acc + n) 0 s.by_upper_bound in
+        Alcotest.(check int) "bucket total" 4 total
+      | _ -> Alcotest.fail "histogram expected");
+    case "merge with an empty-count histogram keeps the other side" (fun () ->
+      let a = registry (fun m -> ignore (Metrics.histogram m "h")) in
+      let b =
+        registry (fun m -> Metrics.observe (Metrics.histogram m "h") 9)
+      in
+      match List.assoc "h" (Metrics.merge a b) with
+      | Metrics.Histogram s ->
+        Alcotest.(check int) "count" 1 s.count;
+        Alcotest.(check int) "min" 9 s.min_value
+      | _ -> Alcotest.fail "histogram expected");
+    case "merge rejects mismatched kinds" (fun () ->
+      let a = registry (fun m -> ignore (Metrics.counter m "x")) in
+      let b = registry (fun m -> ignore (Metrics.gauge m "x")) in
+      expect_invalid_arg "kind clash" (fun () -> Metrics.merge a b));
+    case "merge_all folds many snapshots" (fun () ->
+      let snap n = registry (fun m -> Metrics.add (Metrics.counter m "c") n) in
+      Alcotest.check value "sum" (Metrics.Counter 6)
+        (List.assoc "c" (Metrics.merge_all [ snap 1; snap 2; snap 3 ]));
+      Alcotest.(check (list (pair string value))) "empty" []
+        (Metrics.merge_all [])) ]
+
 (* --- timers ----------------------------------------------------------- *)
 
 let timer_cases =
@@ -341,4 +417,5 @@ let integration_cases =
 let suite =
   ( "obs",
     counter_cases @ histogram_cases @ probe_cases @ snapshot_cases
-    @ timer_cases @ span_cases @ checker_snapshot_cases @ integration_cases )
+    @ merge_cases @ timer_cases @ span_cases @ checker_snapshot_cases
+    @ integration_cases )
