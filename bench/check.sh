@@ -27,6 +27,13 @@
 #                         FAILS below the 2x speedup floor; on machines
 #                         with fewer than 4 recommended domains the
 #                         gate records a skip and exits 0)
+#   7. bench/main.exe --quick --fault-only
+#                        (measures the armed-but-idle cost of the fault
+#                         subsystem -- a latent plan plus the
+#                         qualification guard on the densest checker
+#                         run -- writes BENCH_fault_overhead.json, and
+#                         FAILS if the slowdown exceeds 2% or the
+#                         latent plan perturbs the run)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,5 +59,8 @@ dune exec bench/main.exe -- --quick --obs-only
 
 echo "== campaign scaling gate (>= 2x at 4 workers; skips below 4 domains)"
 dune exec bench/main.exe -- --quick --campaign-only
+
+echo "== fault-subsystem overhead gate (<= 2% armed-but-idle)"
+dune exec bench/main.exe -- --quick --fault-only
 
 echo "== all checks passed"

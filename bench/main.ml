@@ -563,6 +563,78 @@ let campaign_skip () =
     Out_channel.output_string oc (to_string json);
     Out_channel.output_char oc '\n')
 
+(* --- Fault subsystem: armed-but-idle overhead ----------------------- *)
+
+(* The fault subsystem's contract is "free when unused": the Signal /
+   Tlm interposition hooks, the watchdog checks and the crash
+   containment must not tax fault-free runs.  This section measures
+   the worst case short of an actual injection — a latent saboteur
+   installed on the output signal plus the qualification guard
+   (delta-cycle cap + crash containment) — against the plain run, on
+   the densest checker configuration, and gates the slowdown at
+   [fault_gate_pct].  The latent plan must also leave the run
+   bit-identical (same outputs, zero triggers, Completed). *)
+
+let fault_gate_pct = 2.0
+
+let fault_overhead_section ?(ops_count = 2000) ?(repeat = 9) () =
+  print_endline
+    "=== Fault injection: armed-but-idle overhead (DES56 RTL, all 9 checkers) ===";
+  let ops = Workload.des56 ~seed:42 ~count:ops_count () in
+  let latent_plan =
+    match Duv_fault.plan_for Duv_fault.Des56 Duv_fault.Rtl "out_stuck0_late" with
+    | Some plan -> plan
+    | None -> failwith "out_stuck0_late has no RTL carrier"
+  in
+  let guard =
+    { Tabv_sim.Kernel.max_delta_cycles = Some 10_000;
+      max_steps = None;
+      contain_crashes = true }
+  in
+  let run_plain () = Testbench.run_des56_rtl ~properties:Des56_props.all ops in
+  let run_armed () =
+    Testbench.run_des56_rtl ~properties:Des56_props.all
+      ~fault_plan:latent_plan ~guard ops
+  in
+  let reference = run_plain () in
+  let armed = run_armed () in
+  let unperturbed =
+    armed.Testbench.outputs = reference.Testbench.outputs
+    && armed.Testbench.faults_triggered = 0
+    && armed.Testbench.diagnosis = Tabv_sim.Kernel.Completed
+    && Testbench.total_failures armed = 0
+  in
+  let t_plain = timed ~repeat run_plain in
+  let t_armed = timed ~repeat run_armed in
+  let overhead_pct = (t_armed -. t_plain) /. t_plain *. 100. in
+  Printf.printf "plain run        : %8.3f s\n" t_plain;
+  Printf.printf "latent plan+guard: %8.3f s\n" t_armed;
+  Printf.printf "overhead         : %+7.2f %%  (gate: <= %.1f%%)\n" overhead_pct
+    fault_gate_pct;
+  Printf.printf "run unperturbed  : %b\n" unperturbed;
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("benchmark", String "fault_overhead");
+        ( "workload",
+          Assoc
+            [ ("des56_ops", Int ops_count);
+              ("checkers", Int (List.length Des56_props.all)) ] );
+        ("latent_plan", String "out_stuck0_late");
+        ("guard_delta_cap", Int 10_000);
+        ("plain_seconds", Float t_plain);
+        ("armed_seconds", Float t_armed);
+        ("overhead_pct", Float overhead_pct);
+        ("gate_pct", Float fault_gate_pct);
+        ("unperturbed", Bool unperturbed) ]
+  in
+  Out_channel.with_open_text "BENCH_fault_overhead.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n');
+  Printf.printf "wrote BENCH_fault_overhead.json (overhead %+.2f%%)\n\n"
+    overhead_pct;
+  (overhead_pct, unperturbed)
+
 (* --- Bechamel micro-benchmarks ------------------------------------ *)
 
 let bechamel_section () =
@@ -641,6 +713,7 @@ let () =
   let cache_only = Array.exists (fun a -> a = "--cache-only") Sys.argv in
   let obs_only = Array.exists (fun a -> a = "--obs-only") Sys.argv in
   let campaign_only = Array.exists (fun a -> a = "--campaign-only") Sys.argv in
+  let fault_only = Array.exists (fun a -> a = "--fault-only") Sys.argv in
   let des_count = if quick then 1000 else 8000 in
   let pixel_count = if quick then 20_000 else 150_000 in
   if obs_only then begin
@@ -682,6 +755,26 @@ let () =
     end;
     exit 0
   end;
+  if fault_only then begin
+    (* CI entry point (bench/check.sh): the fault subsystem's
+       zero-cost claim — a latent plan plus the qualification guard
+       must neither slow the densest run by more than the gate nor
+       perturb it. *)
+    let overhead, unperturbed =
+      fault_overhead_section ~ops_count:(if quick then 1000 else 2000) ()
+    in
+    if not unperturbed then begin
+      Printf.eprintf
+        "FAIL: latent fault plan / guard perturbed the reference run\n";
+      exit 1
+    end;
+    if overhead > fault_gate_pct then begin
+      Printf.eprintf "FAIL: armed-but-idle fault overhead %.2f%% > %.1f%%\n"
+        overhead fault_gate_pct;
+      exit 1
+    end;
+    exit 0
+  end;
   if cache_only then begin
     (* CI entry point (bench/check.sh): only the interned-vs-legacy
        replay comparison, with a hard floor on the speedup. *)
@@ -712,6 +805,7 @@ let () =
   ablation_wrapper_stats (Workload.des56 ~seed:42 ~count:(des_count / 4) ());
   ignore (checker_cache_section ~ops_count:(des_count / 4) ());
   ignore (obs_overhead_section ~ops_count:(des_count / 4) ());
+  ignore (fault_overhead_section ~ops_count:(des_count / 4) ());
   (if Domain.recommended_domain_count () >= campaign_workers then
      ignore (campaign_section ~ops:(des_count / 20) ())
    else campaign_skip ());

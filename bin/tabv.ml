@@ -589,6 +589,88 @@ let campaign_cmd =
       const run $ manifest $ duvs $ levels $ seeds $ ops $ props $ workers
       $ retries $ report_out)
 
+(* --- qualify ------------------------------------------------------ *)
+
+let qualify_cmd =
+  let open Tabv_campaign in
+  let duv =
+    Arg.(value & opt string "des56" & info [ "duv" ] ~docv:"DUV"
+           ~doc:"Device under verification: des56, colorconv or memctrl.")
+  in
+  let levels =
+    Arg.(value & opt_all string [] & info [ "level" ] ~docv:"LEVEL"
+           ~doc:"Abstraction level to qualify (repeatable): rtl, tlm-ca, \
+                 tlm-at, tlm-lt (DES56 only).  Default: rtl tlm-ca tlm-at.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Workload seed (shared by every job in the matrix).")
+  in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops"; "n" ] ~docv:"N"
+           ~doc:"Workload size per job (operations / pixels).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None & info [ "workers"; "j" ] ~docv:"N"
+           ~doc:"Worker domains (default: the machine's recommended domain \
+                 count).")
+  in
+  let report_out =
+    Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
+           ~doc:"Write the deterministic detection-matrix report as JSON to \
+                 FILE ('-' for stdout).")
+  in
+  let run duv levels seed ops workers report_out =
+    let fail msg = Printf.eprintf "tabv qualify: %s\n" msg; exit 2 in
+    let duv =
+      match Campaign.duv_of_name duv with
+      | Some d -> d
+      | None -> fail (Printf.sprintf "unknown DUV %S" duv)
+    in
+    let levels =
+      let names =
+        if levels = [] then [ "rtl"; "tlm-ca"; "tlm-at" ] else levels
+      in
+      List.map
+        (fun name ->
+          match Campaign.level_of_name name with
+          | Some l -> l
+          | None -> fail (Printf.sprintf "unknown level %S" name))
+        names
+    in
+    let workers =
+      match workers with
+      | Some w when w >= 1 -> w
+      | Some w -> fail (Printf.sprintf "--workers must be >= 1 (got %d)" w)
+      | None -> Domain.recommended_domain_count ()
+    in
+    let report =
+      try Qualify.run ~workers ~duv ~levels ~seed ~ops ()
+      with Invalid_argument msg -> fail msg
+    in
+    Format.printf "%a@." Qualify.pp_report report;
+    (match report_out with
+     | None -> ()
+     | Some "-" ->
+       print_endline
+         (Tabv_core.Report_json.to_string (Qualify.report_json report))
+     | Some path ->
+       let oc = open_out_bin path in
+       output_string oc
+         (Tabv_core.Report_json.to_string (Qualify.report_json report));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "wrote qualification report to %s\n" path);
+    if not (Qualify.ok report) then exit 1
+  in
+  let doc =
+    "Fault-qualify the property suites: build the fault x property \
+     detection matrix across abstraction levels and check the seeded \
+     resilience scenarios."
+  in
+  Cmd.v (Cmd.info "qualify" ~doc)
+    Term.(const run $ duv $ levels $ seed $ ops $ workers $ report_out)
+
 (* --- doctor ------------------------------------------------------- *)
 
 let doctor_cmd =
@@ -677,5 +759,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ abstract_cmd; check_cmd; campaign_cmd; trace_cmd; replay_cmd;
-            doctor_cmd; fig3_cmd ]))
+          [ abstract_cmd; check_cmd; campaign_cmd; qualify_cmd; trace_cmd;
+            replay_cmd; doctor_cmd; fig3_cmd ]))

@@ -309,8 +309,8 @@ let lt_invariant () =
       ~context:(Context.Transaction Context.Base_trans)
       (Parser.formula_only "always(!rdy || ds)") ]
 
-let builtin_properties job =
-  match job.duv, job.level with
+let builtin_properties duv level =
+  match duv, level with
   | Des56, (Rtl | Tlm_ca) -> Des56_props.all
   | Des56, Tlm_at -> Des56_props.tlm_reviewed ()
   | Des56, Tlm_lt -> lt_invariant ()
@@ -328,30 +328,46 @@ let select selection properties =
   | No_checkers -> []
   | Take n -> List.filteri (fun i _ -> i < n) properties
 
-let run_testbench job ~metrics =
-  let properties = select job.selection (builtin_properties job) in
-  match job.duv with
+(* One (DUV, level) run through the matching testbench entry point.
+   The qualification runner calls this directly with a fault plan and
+   a watchdog guard; plain campaign jobs go through [run_testbench]
+   with neither. *)
+let run_level ?(selection = All) ?metrics ?fault_plan ?guard duv level ~seed ~ops
+    =
+  let properties = select selection (builtin_properties duv level) in
+  match duv with
   | Des56 ->
-    let ops = Workload.des56 ~seed:job.seed ~count:job.ops () in
-    (match job.level with
-     | Rtl -> Testbench.run_des56_rtl ?metrics ~properties ops
-     | Tlm_ca -> Testbench.run_des56_tlm_ca ?metrics ~properties ops
-     | Tlm_at -> Testbench.run_des56_tlm_at ?metrics ~properties ops
-     | Tlm_lt -> Testbench.run_des56_tlm_lt ?metrics ~properties ops)
+    let workload = Workload.des56 ~seed ~count:ops () in
+    (match level with
+     | Rtl -> Testbench.run_des56_rtl ?metrics ?fault_plan ?guard ~properties workload
+     | Tlm_ca ->
+       Testbench.run_des56_tlm_ca ?metrics ?fault_plan ?guard ~properties workload
+     | Tlm_at ->
+       Testbench.run_des56_tlm_at ?metrics ?fault_plan ?guard ~properties workload
+     | Tlm_lt ->
+       Testbench.run_des56_tlm_lt ?metrics ?fault_plan ?guard ~properties workload)
   | Colorconv ->
-    let bursts = Workload.colorconv ~seed:job.seed ~count:job.ops () in
-    (match job.level with
-     | Rtl -> Testbench.run_colorconv_rtl ?metrics ~properties bursts
-     | Tlm_ca -> Testbench.run_colorconv_tlm_ca ?metrics ~properties bursts
-     | Tlm_at -> Testbench.run_colorconv_tlm_at ?metrics ~properties bursts
+    let bursts = Workload.colorconv ~seed ~count:ops () in
+    (match level with
+     | Rtl -> Testbench.run_colorconv_rtl ?metrics ?fault_plan ?guard ~properties bursts
+     | Tlm_ca ->
+       Testbench.run_colorconv_tlm_ca ?metrics ?fault_plan ?guard ~properties bursts
+     | Tlm_at ->
+       Testbench.run_colorconv_tlm_at ?metrics ?fault_plan ?guard ~properties bursts
      | Tlm_lt -> invalid_arg "Campaign: tlm-lt is only defined for des56")
   | Memctrl ->
-    let ops = Workload.memctrl ~seed:job.seed ~count:job.ops () in
-    (match job.level with
-     | Rtl -> Memctrl_testbench.run_rtl ?metrics ~properties ops
-     | Tlm_ca -> Memctrl_testbench.run_tlm_ca ?metrics ~properties ops
-     | Tlm_at -> Memctrl_testbench.run_tlm_at ?metrics ~properties ops
+    let workload = Workload.memctrl ~seed ~count:ops () in
+    (match level with
+     | Rtl -> Memctrl_testbench.run_rtl ?metrics ?fault_plan ?guard ~properties workload
+     | Tlm_ca ->
+       Memctrl_testbench.run_tlm_ca ?metrics ?fault_plan ?guard ~properties workload
+     | Tlm_at ->
+       Memctrl_testbench.run_tlm_at ?metrics ?fault_plan ?guard ~properties workload
      | Tlm_lt -> invalid_arg "Campaign: tlm-lt is only defined for des56")
+
+let run_testbench job ~metrics =
+  run_level ~selection:job.selection ?metrics job.duv job.level ~seed:job.seed
+    ~ops:job.ops
 
 type outcome =
   | Completed
@@ -370,6 +386,7 @@ type job_result = {
   failures : int;
   checker_stats : Tabv_obs.Checker_snapshot.t list;
   metrics : Tabv_obs.Metrics.snapshot;
+  diagnosis : Tabv_sim.Kernel.diagnosis;
   wall_seconds : float;
 }
 
@@ -405,6 +422,7 @@ let run_one ~retries ~clock ~metrics_enabled job_id job =
         failures = Testbench.total_failures result;
         checker_stats = result.Testbench.checker_stats;
         metrics = result.Testbench.metrics;
+        diagnosis = result.Testbench.diagnosis;
         wall_seconds = clock () -. t0;
       }
     | exception e ->
@@ -423,6 +441,7 @@ let run_one ~retries ~clock ~metrics_enabled job_id job =
           failures = 0;
           checker_stats = [];
           metrics = [];
+          diagnosis = Tabv_sim.Kernel.Process_crashed { name = "campaign-job"; error };
           wall_seconds = clock () -. t0;
         }
       else go (attempt + 1)
@@ -580,6 +599,7 @@ let job_json r =
         ("transactions", Int r.transactions);
         ("completed_ops", Int r.completed_ops);
         ("failures", Int r.failures);
+        ("diagnosis", Tabv_fault.Fault.diagnosis_json r.diagnosis);
         ("properties", List (List.map checker_snapshot_json r.checker_stats));
         ("metrics", metrics_snapshot_json r.metrics) ]
   in

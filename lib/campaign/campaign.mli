@@ -86,6 +86,28 @@ val selection_of_name : string -> selection option
     (currently: [Tlm_lt] on anything but DES56). *)
 val validate : job -> (unit, string) result
 
+(** The built-in property suite a campaign attaches at one (DUV,
+    level): the Fig. 3 sets at RTL/TLM-CA, the abstracted
+    (auto-safe + reviewed) sets at TLM-AT, the boolean invariant at
+    TLM-LT.  @raise Invalid_argument on [Tlm_lt] off DES56. *)
+val builtin_properties : duv -> level -> Tabv_psl.Property.t list
+
+(** One (DUV, level) run through the matching testbench entry point —
+    the primitive under both campaign jobs and {!Qualify} fault runs.
+    [fault_plan] and [guard] are forwarded to the testbench (see
+    {!Tabv_duv.Testbench}); defaults run clean and unguarded.
+    @raise Invalid_argument on [Tlm_lt] off DES56. *)
+val run_level :
+  ?selection:selection ->
+  ?metrics:Tabv_obs.Metrics.t ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
+  duv ->
+  level ->
+  seed:int ->
+  ops:int ->
+  Tabv_duv.Testbench.run_result
+
 (** Deterministic matrix expansion: DUV-major, then level, then seed
     order; invalid combinations ([Tlm_lt] off DES56) are skipped, so a
     matrix may name [Tlm_lt] once and only DES56 picks it up. *)
@@ -141,6 +163,9 @@ type job_result = {
   failures : int;  (** property failures (0 when crashed) *)
   checker_stats : Tabv_obs.Checker_snapshot.t list;
   metrics : Tabv_obs.Metrics.snapshot;
+  diagnosis : Tabv_sim.Kernel.diagnosis;
+      (** how the job's simulation ended; a synthetic
+          [Process_crashed] when the job itself crashed *)
   wall_seconds : float;  (** all attempts; excluded from JSON *)
 }
 

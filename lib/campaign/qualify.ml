@@ -1,0 +1,406 @@
+(* Fault-qualification campaigns.
+
+   One qualification run = per requested level, a clean baseline plus
+   one faulted run per applicable catalog fault, all executed on the
+   same kind of domain pool as plain campaigns (atomic queue index,
+   one result slot per job, fresh per-domain checker universe before
+   every job).  Verdict attribution, coverage, cross-level regressions
+   and the resilience scenarios are folded after [Domain.join], so the
+   report is a pure function of (duv, levels, seed, ops). *)
+
+open Tabv_duv
+module Detect = Tabv_checker.Detect
+module Fault = Tabv_fault.Fault
+module Kernel = Tabv_sim.Kernel
+
+(* Delta cap fixed (so a livelock diagnosis reports the same
+   [delta_cycles] everywhere), step budget off, crashes contained. *)
+let job_guard =
+  { Kernel.max_delta_cycles = Some 10_000; max_steps = None; contain_crashes = true }
+
+let fault_duv = function
+  | Campaign.Des56 -> Duv_fault.Des56
+  | Campaign.Colorconv -> Duv_fault.Colorconv
+  | Campaign.Memctrl -> Duv_fault.Memctrl
+
+let fault_level = function
+  | Campaign.Rtl -> Duv_fault.Rtl
+  | Campaign.Tlm_ca -> Duv_fault.Tlm_ca
+  | Campaign.Tlm_at -> Duv_fault.Tlm_at
+  | Campaign.Tlm_lt -> Duv_fault.Tlm_lt
+
+let diagnosis_kind = function
+  | Kernel.Completed -> "completed"
+  | Kernel.Starved _ -> "starved"
+  | Kernel.Livelock _ -> "livelock"
+  | Kernel.Budget_exhausted _ -> "budget_exhausted"
+  | Kernel.Process_crashed _ -> "process_crashed"
+
+(* --- report model --------------------------------------------------- *)
+
+type fault_outcome =
+  | No_carrier
+  | Qualified of {
+      plan : Fault.plan;
+      triggered : int;
+      diagnosis : Kernel.diagnosis;
+      verdicts : Detect.property_verdict list;
+      verdict : Detect.verdict;
+    }
+
+type fault_row = {
+  fault : string;
+  outcome : fault_outcome;
+}
+
+type level_report = {
+  level : Campaign.level;
+  baseline_failures : int;
+  baseline_diagnosis : Kernel.diagnosis;
+  rows : fault_row list;
+  detected : int;
+  missed : int;
+  latent : int;
+  applicable : int;
+  coverage : float;
+}
+
+type scenario = {
+  scenario : string;
+  scenario_level : Campaign.level;
+  expected : string;
+  diagnosis : Kernel.diagnosis;
+  matched : bool;
+}
+
+type report = {
+  duv : Campaign.duv;
+  seed : int;
+  ops : int;
+  levels : level_report list;
+  resilience : scenario list;
+  regressions : string list;
+}
+
+(* --- the job pool --------------------------------------------------- *)
+
+type pool_job =
+  | Baseline of Campaign.level
+  | Fault_run of {
+      level : Campaign.level;
+      fault : string;
+      plan : Fault.plan;
+    }
+  | Scenario_run of {
+      name : string;
+      level : Campaign.level;
+      plan : Fault.plan;
+      expected : string;
+    }
+
+let exec_job ~duv ~seed ~ops = function
+  | Baseline level -> Campaign.run_level duv level ~seed ~ops ~guard:job_guard
+  | Fault_run { level; plan; _ } ->
+    Campaign.run_level duv level ~seed ~ops ~fault_plan:plan ~guard:job_guard
+  | Scenario_run { level; plan; _ } ->
+    (* The scenarios assert termination diagnoses, not property
+       verdicts: run bare (no checkers). *)
+    Campaign.run_level ~selection:Campaign.No_checkers duv level ~seed ~ops
+      ~fault_plan:plan ~guard:job_guard
+
+let dedup levels =
+  List.fold_left
+    (fun acc level -> if List.mem level acc then acc else level :: acc)
+    [] levels
+  |> List.rev
+
+let scenarios_for ~fduv levels =
+  let first = List.hd levels in
+  let chaos =
+    [ ( "crash",
+        first,
+        Duv_fault.crash_plan ~at_ns:45 ~name:"qualify_crash",
+        "process_crashed" );
+      ("livelock", first, Duv_fault.livelock_plan ~at_ns:45, "livelock")
+    ]
+  in
+  let deadlock =
+    List.find_map
+      (fun level ->
+        Option.map
+          (fun plan -> ("deadlock", level, plan, "starved"))
+          (Duv_fault.hang_plan fduv (fault_level level) ~index:2))
+      levels
+  in
+  chaos @ Option.to_list deadlock
+
+let run ?(workers = 1) ~duv ~levels ~seed ~ops () =
+  let levels = dedup levels in
+  if levels = [] then invalid_arg "Qualify.run: no levels";
+  List.iter
+    (fun level ->
+      match Campaign.validate (Campaign.job ~duv ~level ~seed ~ops ()) with
+      | Ok () -> ()
+      | Error reason -> invalid_arg ("Qualify.run: " ^ reason))
+    levels;
+  let fduv = fault_duv duv in
+  let names = Duv_fault.fault_names fduv in
+  (* Plans are pure descriptions: compile the whole matrix up front,
+     in deterministic (level-major, catalog) order. *)
+  let fault_jobs =
+    List.concat_map
+      (fun level ->
+        Baseline level
+        :: List.filter_map
+             (fun fault ->
+               Option.map
+                 (fun plan -> Fault_run { level; fault; plan })
+                 (Duv_fault.plan_for fduv (fault_level level) fault))
+             names)
+      levels
+  in
+  let scenario_jobs =
+    List.map
+      (fun (name, level, plan, expected) ->
+        Scenario_run { name; level; plan; expected })
+      (scenarios_for ~fduv levels)
+  in
+  let jobs = Array.of_list (fault_jobs @ scenario_jobs) in
+  let n = Array.length jobs in
+  let results : Tabv_duv.Testbench.run_result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (* Fresh interning + obligation universes per job: snapshots
+           depend only on the job, not on its worker placement. *)
+        Tabv_checker.Progression.reset_universe ();
+        results.(i) <- Some (exec_job ~duv ~seed ~ops jobs.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init (max 1 workers) (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let result i =
+    match results.(i) with
+    | Some r -> r
+    | None -> assert false (* every index < n was claimed *)
+  in
+  (* --- fold the matrix --- *)
+  let level_reports = ref [] in
+  let rtl_detected = ref [] and ca_missed = ref [] in
+  let i = ref 0 in
+  List.iter
+    (fun level ->
+      let baseline = result !i in
+      incr i;
+      let rows =
+        List.map
+          (fun fault ->
+            match Duv_fault.plan_for fduv (fault_level level) fault with
+            | None -> { fault; outcome = No_carrier }
+            | Some plan ->
+              let r = result !i in
+              incr i;
+              let verdicts =
+                Detect.classify
+                  ~triggered:r.Tabv_duv.Testbench.faults_triggered
+                  ~baseline:baseline.Tabv_duv.Testbench.checker_stats
+                  ~faulted:r.Tabv_duv.Testbench.checker_stats
+              in
+              let verdict = Detect.summary verdicts in
+              (match level, verdict with
+               | Campaign.Rtl, Detect.Detected ->
+                 rtl_detected := fault :: !rtl_detected
+               | Campaign.Tlm_ca, (Detect.Missed | Detect.Latent) ->
+                 ca_missed := fault :: !ca_missed
+               | _ -> ());
+              {
+                fault;
+                outcome =
+                  Qualified
+                    {
+                      plan;
+                      triggered = r.Tabv_duv.Testbench.faults_triggered;
+                      diagnosis = r.Tabv_duv.Testbench.diagnosis;
+                      verdicts;
+                      verdict;
+                    };
+              })
+          names
+      in
+      let count v =
+        List.length
+          (List.filter
+             (fun row ->
+               match row.outcome with
+               | Qualified q -> q.verdict = v
+               | No_carrier -> false)
+             rows)
+      in
+      let detected = count Detect.Detected in
+      let missed = count Detect.Missed in
+      let latent = count Detect.Latent in
+      let applicable = detected + missed + latent in
+      let coverage =
+        let denominator = applicable - latent in
+        if denominator <= 0 then 1.0
+        else float_of_int detected /. float_of_int denominator
+      in
+      level_reports :=
+        {
+          level;
+          baseline_failures = Tabv_duv.Testbench.total_failures baseline;
+          baseline_diagnosis = baseline.Tabv_duv.Testbench.diagnosis;
+          rows;
+          detected;
+          missed;
+          latent;
+          applicable;
+          coverage;
+        }
+        :: !level_reports)
+    levels;
+  let resilience =
+    List.map
+      (fun (name, level, _plan, expected) ->
+        let r = result !i in
+        incr i;
+        let diagnosis = r.Tabv_duv.Testbench.diagnosis in
+        {
+          scenario = name;
+          scenario_level = level;
+          expected;
+          diagnosis;
+          matched = diagnosis_kind diagnosis = expected;
+        })
+      (scenarios_for ~fduv levels)
+  in
+  (* The re-use claim, falsifiable: a fault the RTL suite detects,
+     whose TLM-CA carrier exists, must be detected at TLM-CA too. *)
+  let regressions =
+    List.filter (fun fault -> List.mem fault !ca_missed) (List.rev !rtl_detected)
+  in
+  { duv; seed; ops; levels = List.rev !level_reports; resilience; regressions }
+
+let ok report =
+  report.regressions = [] && List.for_all (fun s -> s.matched) report.resilience
+
+(* --- deterministic report ------------------------------------------- *)
+
+let qualify_schema_version = 1
+
+let verdict_json (v : Detect.property_verdict) =
+  let open Tabv_core.Report_json in
+  Assoc
+    [ ("property", String v.Detect.property);
+      ("verdict", String (Detect.verdict_to_string v.Detect.verdict));
+      ("baseline_failures", Int v.Detect.baseline_failures);
+      ("fault_failures", Int v.Detect.fault_failures) ]
+
+let row_json row =
+  let open Tabv_core.Report_json in
+  match row.outcome with
+  | No_carrier ->
+    Assoc [ ("fault", String row.fault); ("status", String "no-carrier") ]
+  | Qualified q ->
+    Assoc
+      [ ("fault", String row.fault);
+        ("status", String "qualified");
+        ("verdict", String (Detect.verdict_to_string q.verdict));
+        ("triggered", Int q.triggered);
+        ("diagnosis", Fault.diagnosis_json q.diagnosis);
+        ("plan", Fault.plan_json q.plan);
+        ("properties", List (List.map verdict_json q.verdicts)) ]
+
+let level_json l =
+  let open Tabv_core.Report_json in
+  Assoc
+    [ ("level", String (Campaign.level_name l.level));
+      ("baseline_failures", Int l.baseline_failures);
+      ("baseline_diagnosis", Fault.diagnosis_json l.baseline_diagnosis);
+      ("faults", List (List.map row_json l.rows));
+      ( "coverage",
+        Assoc
+          [ ("detected", Int l.detected);
+            ("missed", Int l.missed);
+            ("latent", Int l.latent);
+            ("applicable", Int l.applicable);
+            ("score", Float l.coverage) ] ) ]
+
+let scenario_json s =
+  let open Tabv_core.Report_json in
+  Assoc
+    [ ("scenario", String s.scenario);
+      ("level", String (Campaign.level_name s.scenario_level));
+      ("expected", String s.expected);
+      ("diagnosis", Fault.diagnosis_json s.diagnosis);
+      ("matched", Bool s.matched) ]
+
+let report_json report =
+  let open Tabv_core.Report_json in
+  Assoc
+    [ ("schema", Int qualify_schema_version);
+      ( "qualify",
+        Assoc
+          [ ("duv", String (Campaign.duv_name report.duv));
+            ("seed", Int report.seed);
+            ("ops", Int report.ops) ] );
+      ("levels", List (List.map level_json report.levels));
+      ("resilience", List (List.map scenario_json report.resilience));
+      ("regressions", List (List.map (fun f -> String f) report.regressions));
+      ("ok", Bool (ok report)) ]
+
+(* --- printing ------------------------------------------------------- *)
+
+let verdict_cell = function
+  | No_carrier -> "-"
+  | Qualified { verdict = Detect.Detected; _ } -> "D"
+  | Qualified { verdict = Detect.Missed; _ } -> "M"
+  | Qualified { verdict = Detect.Latent; _ } -> "L"
+
+let pp_report ppf report =
+  let fduv = fault_duv report.duv in
+  let names = Duv_fault.fault_names fduv in
+  Format.fprintf ppf "detection matrix (%s, seed=%d, ops=%d)@."
+    (Campaign.duv_name report.duv) report.seed report.ops;
+  Format.fprintf ppf "%-16s" "fault";
+  List.iter
+    (fun l -> Format.fprintf ppf " %8s" (Campaign.level_name l.level))
+    report.levels;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun fault ->
+      Format.fprintf ppf "%-16s" fault;
+      List.iter
+        (fun l ->
+          let row = List.find (fun r -> r.fault = fault) l.rows in
+          Format.fprintf ppf " %8s" (verdict_cell row.outcome))
+        report.levels;
+      Format.fprintf ppf "@.")
+    names;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf
+        "%s: %d detected, %d missed, %d latent of %d applicable (coverage %.2f)@."
+        (Campaign.level_name l.level) l.detected l.missed l.latent l.applicable
+        l.coverage)
+    report.levels;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "resilience %-9s @@%s: expected %s, got %s%s@."
+        s.scenario
+        (Campaign.level_name s.scenario_level)
+        s.expected
+        (Kernel.diagnosis_to_string s.diagnosis)
+        (if s.matched then "" else "  <- MISMATCH"))
+    report.resilience;
+  (match report.regressions with
+   | [] -> ()
+   | faults ->
+     Format.fprintf ppf "cross-level regressions (RTL detected, TLM-CA missed):@.";
+     List.iter (fun f -> Format.fprintf ppf "  %s@." f) faults);
+  Format.fprintf ppf "verdict: %s@." (if ok report then "OK" else "FAILED")

@@ -1,0 +1,105 @@
+(** Fault-qualification campaigns: the detection matrix.
+
+    A qualification run asks, for one DUV, whether each property suite
+    still {e detects} the catalog's conceptual design bugs
+    ({!Tabv_duv.Duv_fault}) after RTL-to-TLM abstraction.  Per
+    requested level it runs one clean baseline plus one faulted run
+    per applicable catalog fault (all jobs on a {!Campaign}-style
+    domain pool), attributes per-property verdicts with
+    {!Tabv_checker.Detect}, and folds everything into one
+    deterministic report:
+
+    {ul
+    {- the {b detection matrix} — fault x property ->
+       detected / missed / latent, per level;}
+    {- per-level {b fault coverage} — detected / (applicable - latent);}
+    {- {b cross-level regressions} — faults detected by the RTL suite
+       whose TLM-CA carrier exists but whose TLM-CA suite misses them
+       (the paper's re-use claim, falsifiable);}
+    {- {b resilience scenarios} — seeded crash / livelock / deadlock
+       injections, each required to terminate with the matching
+       structured {!Tabv_sim.Kernel.diagnosis}.}}
+
+    Reports are byte-identical for any worker count: jobs land in
+    slots indexed by position, every job starts from a fresh
+    per-domain checker universe, and all watchdog caps are fixed. *)
+
+(** The guard every qualification job runs under: delta-cap 10k (so a
+    livelock diagnosis is worker-independent), crash containment on. *)
+val job_guard : Tabv_sim.Kernel.guard
+
+(** {1 Report model} *)
+
+type fault_outcome =
+  | No_carrier
+      (** the fault's carrier was abstracted away at this level *)
+  | Qualified of {
+      plan : Tabv_fault.Fault.plan;
+      triggered : int;
+      diagnosis : Tabv_sim.Kernel.diagnosis;
+      verdicts : Tabv_checker.Detect.property_verdict list;
+      verdict : Tabv_checker.Detect.verdict;  (** suite verdict *)
+    }
+
+type fault_row = {
+  fault : string;
+  outcome : fault_outcome;
+}
+
+type level_report = {
+  level : Campaign.level;
+  baseline_failures : int;
+  baseline_diagnosis : Tabv_sim.Kernel.diagnosis;
+  rows : fault_row list;  (** catalog order *)
+  detected : int;
+  missed : int;
+  latent : int;
+  applicable : int;  (** rows with a carrier *)
+  coverage : float;  (** detected / (applicable - latent); 1.0 if none *)
+}
+
+type scenario = {
+  scenario : string;  (** "crash" | "livelock" | "deadlock" *)
+  scenario_level : Campaign.level;
+  expected : string;  (** diagnosis kind *)
+  diagnosis : Tabv_sim.Kernel.diagnosis;
+  matched : bool;
+}
+
+type report = {
+  duv : Campaign.duv;
+  seed : int;
+  ops : int;
+  levels : level_report list;  (** in requested order *)
+  resilience : scenario list;
+  regressions : string list;
+      (** faults detected at RTL, carried but missed at TLM-CA *)
+}
+
+(** {1 Running} *)
+
+(** [run ?workers ~duv ~levels ~seed ~ops ()] — the full qualification
+    campaign on a domain pool (default 1 worker).  Levels are
+    deduplicated, kept in first-appearance order; resilience scenarios
+    run crash + livelock on the first level and deadlock on the first
+    level with an initiator socket (skipped when none).
+    @raise Invalid_argument on an empty or invalid level list. *)
+val run :
+  ?workers:int ->
+  duv:Campaign.duv ->
+  levels:Campaign.level list ->
+  seed:int ->
+  ops:int ->
+  unit ->
+  report
+
+(** No cross-level regressions and every resilience scenario matched
+    (the CLI's exit criterion). *)
+val ok : report -> bool
+
+(** Deterministic, schema-versioned report (no wall clock, no worker
+    count). *)
+val report_json : report -> Tabv_core.Report_json.json
+
+(** Human-oriented matrix rendering. *)
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,47 @@
+type verdict =
+  | Detected
+  | Missed
+  | Latent
+
+let verdict_to_string = function
+  | Detected -> "detected"
+  | Missed -> "missed"
+  | Latent -> "latent"
+
+type property_verdict = {
+  property : string;
+  verdict : verdict;
+  baseline_failures : int;
+  fault_failures : int;
+}
+
+let failures (s : Tabv_obs.Checker_snapshot.t) = List.length s.failures
+
+let classify ~triggered ~baseline ~faulted =
+  List.map
+    (fun (f : Tabv_obs.Checker_snapshot.t) ->
+      let baseline_failures =
+        match
+          List.find_opt
+            (fun (b : Tabv_obs.Checker_snapshot.t) ->
+              b.property_name = f.property_name)
+            baseline
+        with
+        | Some b -> failures b
+        | None -> 0
+      in
+      let fault_failures = failures f in
+      let verdict =
+        if triggered = 0 then Latent
+        else if fault_failures > baseline_failures then Detected
+        else Missed
+      in
+      { property = f.property_name; verdict; baseline_failures; fault_failures })
+    faulted
+
+let detected verdicts = List.exists (fun v -> v.verdict = Detected) verdicts
+
+let summary verdicts =
+  if detected verdicts then Detected
+  else if List.for_all (fun v -> v.verdict = Latent) verdicts then Latent
+  else Missed

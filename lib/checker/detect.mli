@@ -1,0 +1,45 @@
+(** Detection attribution for fault-qualification runs.
+
+    Given the per-property checker snapshots of a clean {e baseline}
+    run and a {e faulted} run of the same workload, attribute each
+    property a verdict for that fault:
+    {ul
+    {- [Detected] — the property failed (more) under the fault;}
+    {- [Missed] — the fault was exercised but the property did not
+       object;}
+    {- [Latent] — the fault was never exercised ([triggered = 0]), so
+       the run says nothing about it.}}
+
+    The detection matrix of a qualification campaign is one verdict
+    per (fault, property) pair; a suite {e detects} a fault when at
+    least one of its properties does. *)
+
+type verdict =
+  | Detected
+  | Missed
+  | Latent
+
+val verdict_to_string : verdict -> string
+
+type property_verdict = {
+  property : string;
+  verdict : verdict;
+  baseline_failures : int;
+  fault_failures : int;
+}
+
+(** [classify ~triggered ~baseline ~faulted] — one verdict per faulted
+    snapshot, in faulted order.  A property absent from the baseline
+    counts zero baseline failures. *)
+val classify :
+  triggered:int ->
+  baseline:Tabv_obs.Checker_snapshot.t list ->
+  faulted:Tabv_obs.Checker_snapshot.t list ->
+  property_verdict list
+
+(** At least one [Detected]. *)
+val detected : property_verdict list -> bool
+
+(** Suite verdict: [Detected] if any property detects, else [Latent]
+    if the fault never triggered, else [Missed]. *)
+val summary : property_verdict list -> verdict

@@ -15,7 +15,7 @@ type fault =
   | Result_zeroed
 
 type t = {
-  fault : fault option;
+  late_rdy : bool;  (* the one behavioural (timing) legacy fault *)
   ds : bool Signal.t;
   decrypt : bool Signal.t;
   key : int64 Signal.t;
@@ -31,7 +31,7 @@ type t = {
 let create ?fault kernel clock =
   let t =
     {
-      fault;
+      late_rdy = fault = Some Rdy_one_cycle_late;
       ds = Signal.create kernel ~name:"ds" false;
       decrypt = Signal.create kernel ~name:"decrypt" false;
       key = Signal.create kernel ~name:"key" 0L;
@@ -66,18 +66,12 @@ let create ?fault kernel clock =
         b.r <- r'
       end;
       b.round_index <- b.round_index + 1;
-      let finish_round = if t.fault = Some Rdy_one_cycle_late then 17 else 16 in
+      let finish_round = if t.late_rdy then 17 else 16 in
       (match b.round_index with
        | 14 -> Signal.write t.rdy_next_next_cycle true
-       | 15 ->
-         if t.fault <> Some Rdy_next_cycle_stuck_low then
-           Signal.write t.rdy_next_cycle true
+       | 15 -> Signal.write t.rdy_next_cycle true
        | n when n = finish_round ->
-         let result =
-           if t.fault = Some Result_zeroed then 0L
-           else Des.final_swap_permutation (b.l, b.r)
-         in
-         Signal.write t.out result;
+         Signal.write t.out (Des.final_swap_permutation (b.l, b.r));
          Signal.write t.rdy true;
          t.completed <- t.completed + 1;
          t.state <- Idle
@@ -85,6 +79,41 @@ let create ?fault kernel clock =
   in
   Process.method_process kernel ~name:"des56_rtl" ~initialize:false
     ~sensitivity:[ Clock.posedge clock ] on_posedge;
+  (* Deprecated [?fault] shim: the two value faults are expressed as
+     generic stuck-at saboteurs on the ports (the behaviour the
+     hard-coded variants used to hack into the datapath); only the
+     timing fault remains behavioural. *)
+  (match fault with
+  | None | Some Rdy_one_cycle_late -> ()
+  | Some Rdy_next_cycle_stuck_low ->
+    let binding =
+      { Tabv_fault.Fault.kernel;
+        signals = [ ("rdy_next_cycle", Tabv_fault.Fault.Bool_signal t.rdy_next_cycle) ];
+        sockets = []
+      }
+    in
+    ignore
+      (Tabv_fault.Fault.install binding
+         (Tabv_fault.Fault.plan ~name:"des56-legacy-rdy-nc-stuck0"
+            [ Tabv_fault.Fault.Signal_fault
+                { signal = "rdy_next_cycle";
+                  fault = Tabv_fault.Fault.Stuck_at_0 { from_ns = 0 }
+                }
+            ]))
+  | Some Result_zeroed ->
+    let binding =
+      { Tabv_fault.Fault.kernel;
+        signals =
+          [ ("out", Tabv_fault.Fault.Int64_signal { signal = t.out; width = 64 }) ];
+        sockets = []
+      }
+    in
+    ignore
+      (Tabv_fault.Fault.install binding
+         (Tabv_fault.Fault.plan ~name:"des56-legacy-result-zeroed"
+            [ Tabv_fault.Fault.Signal_fault
+                { signal = "out"; fault = Tabv_fault.Fault.Stuck_at_0 { from_ns = 0 } }
+            ])));
   t
 
 let ds t = t.ds

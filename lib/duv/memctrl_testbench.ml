@@ -19,10 +19,14 @@ let op_latency = function
   | Memctrl_iface.Write _ -> Memctrl_iface.write_latency
   | Memctrl_iface.Read _ -> Memctrl_iface.read_latency
 
-let run_rtl ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
+let run_rtl ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ?fault_plan
+    ?guard ops =
   let kernel = Kernel.create ?metrics () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Memctrl_rtl.create kernel clock in
+  let faults =
+    Testbench.install_plan (Duv_fault.memctrl_rtl_binding kernel model) fault_plan
+  in
   let lookup = Memctrl_rtl.lookup model in
   let sampler = Testbench.pool_sampler kernel in
   let checkers =
@@ -59,7 +63,7 @@ let run_rtl ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
       Process.wait_event negedge
     done;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     Testbench.sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -70,13 +74,22 @@ let run_rtl ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
     checker_stats = List.map Checker.snapshot checkers;
     metrics = Testbench.metrics_snapshot kernel;
     trace = None;
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = Testbench.faults_triggered_of faults;
   }
 
-let run_tlm_ca ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
+let run_tlm_ca ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ?fault_plan
+    ?guard ops =
   let kernel = Kernel.create ?metrics () in
   let model = Memctrl_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_ca_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_ca.target model);
+  let faults =
+    Testbench.install_plan
+      (Duv_fault.memctrl_tlm_binding kernel initiator
+         (Memctrl_tlm_ca.observables model))
+      fault_plan
+  in
   let lookup = Memctrl_tlm_ca.lookup model in
   let sampler = Testbench.pool_sampler kernel in
   let checkers =
@@ -114,7 +127,7 @@ let run_tlm_ca ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
       send_frame (Memctrl_iface.make_frame ()) false
     done;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     Testbench.sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -125,14 +138,22 @@ let run_tlm_ca ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
     checker_stats = List.map Checker.snapshot checkers;
     metrics = Testbench.metrics_snapshot kernel;
     trace = None;
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = Testbench.faults_triggered_of faults;
   }
 
 let run_tlm_at ?(properties = []) ?engine ?metrics ?(gap_cycles = 2)
-    ?write_latency_ns ?read_latency_ns ops =
+    ?write_latency_ns ?read_latency_ns ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics () in
   let model = Memctrl_tlm_at.create ?write_latency_ns ?read_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_at_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_at.target model);
+  let faults =
+    Testbench.install_plan
+      (Duv_fault.memctrl_tlm_binding kernel initiator
+         (Memctrl_tlm_at.observables model))
+      fault_plan
+  in
   let lookup = Memctrl_tlm_at.lookup model in
   let sampler = Testbench.pool_sampler kernel in
   let checkers =
@@ -167,7 +188,7 @@ let run_tlm_at ?(properties = []) ?engine ?metrics ?(gap_cycles = 2)
       ops;
     Process.wait_ns kernel period;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     Testbench.sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -178,4 +199,6 @@ let run_tlm_at ?(properties = []) ?engine ?metrics ?(gap_cycles = 2)
     checker_stats = List.map Checker.snapshot checkers;
     metrics = Testbench.metrics_snapshot kernel;
     trace = None;
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = Testbench.faults_triggered_of faults;
   }

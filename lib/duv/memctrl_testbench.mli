@@ -11,6 +11,8 @@ val run_rtl :
   ?engine:Monitor.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Memctrl_iface.op list ->
   Testbench.run_result
 
@@ -21,6 +23,8 @@ val run_tlm_ca :
   ?engine:Monitor.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Memctrl_iface.op list ->
   Testbench.run_result
 
@@ -33,5 +37,7 @@ val run_tlm_at :
   ?gap_cycles:int ->
   ?write_latency_ns:int ->
   ?read_latency_ns:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Memctrl_iface.op list ->
   Testbench.run_result

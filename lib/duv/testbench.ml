@@ -28,6 +28,8 @@ type run_result = {
   checker_stats : checker_stat list;
   metrics : (string * Tabv_obs.Metrics.value) list;
   trace : Trace.t option;
+  diagnosis : Kernel.diagnosis;
+  faults_triggered : int;
 }
 
 let total_failures result =
@@ -46,7 +48,9 @@ let metrics_json ?(run = []) result =
         ("delta_cycles", Int result.delta_cycles);
         ("transactions", Int result.transactions);
         ("completed_ops", Int result.completed_ops);
-        ("failures", Int (total_failures result)) ]
+        ("failures", Int (total_failures result));
+        ("diagnosis", Tabv_fault.Fault.diagnosis_json result.diagnosis);
+        ("faults_triggered", Int result.faults_triggered) ]
   in
   let cache = Progression.cache_stats () in
   let engine =
@@ -88,15 +92,31 @@ let metrics_snapshot kernel =
   let m = Kernel.metrics kernel in
   if Tabv_obs.Metrics.enabled m then Tabv_obs.Metrics.snapshot m else []
 
+(* --- fault-plan plumbing -------------------------------------------- *)
+
+(* Compile an optional fault plan onto the design through its binding.
+   [None] (the default) touches nothing: no interposition is installed
+   and the run is byte-identical to a build without the fault
+   subsystem. *)
+let install_plan binding = function
+  | None -> None
+  | Some plan when Tabv_fault.Fault.is_empty plan -> None
+  | Some plan -> Some (Tabv_fault.Fault.install binding plan)
+
+let faults_triggered_of = function
+  | None -> 0
+  | Some installed -> Tabv_fault.Fault.triggered installed
+
 let period = 10
 
 (* --- DES56 / RTL --- *)
 
 let run_des56_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false)
-    ?(gap_cycles = 2) ?fault ops =
+    ?(gap_cycles = 2) ?fault ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Des56_rtl.create ?fault kernel clock in
+  let faults = install_plan (Duv_fault.des56_rtl_binding kernel model) fault_plan in
   let lookup = Des56_rtl.lookup model in
   (* All checkers sample the same environment at the same edges: share
      one evaluation-point sampler so each distinct atom is evaluated
@@ -137,7 +157,7 @@ let run_des56_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false)
       Process.wait_event negedge
     done;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -148,16 +168,23 @@ let run_des56_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false)
     checker_stats = List.map Checker.snapshot checkers;
     metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = faults_triggered_of faults;
   }
 
 (* --- DES56 / TLM-CA --- *)
 
 let run_des56_tlm_ca ?(properties = []) ?engine ?metrics ?(record_trace = false)
-    ?(gap_cycles = 2) ops =
+    ?(gap_cycles = 2) ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics () in
   let model = Des56_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_ca_init" in
   Tlm.Initiator.bind initiator (Des56_tlm_ca.target model);
+  let faults =
+    install_plan
+      (Duv_fault.des56_tlm_binding kernel initiator (Des56_tlm_ca.observables model))
+      fault_plan
+  in
   let lookup = Des56_tlm_ca.lookup model in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -203,7 +230,7 @@ let run_des56_tlm_ca ?(properties = []) ?engine ?metrics ?(record_trace = false)
       send_frame (idle_frame ())
     done;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -214,16 +241,24 @@ let run_des56_tlm_ca ?(properties = []) ?engine ?metrics ?(record_trace = false)
     checker_stats = List.map Checker.snapshot checkers;
     metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = faults_triggered_of faults;
   }
 
 (* --- DES56 / TLM-AT --- *)
 
 let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?metrics
-    ?(record_trace = false) ?(gap_cycles = 2) ?model_latency_ns ops =
+    ?(record_trace = false) ?(gap_cycles = 2) ?model_latency_ns ?fault_plan ?guard
+    ops =
   let kernel = Kernel.create ?metrics () in
   let model = Des56_tlm_at.create ?latency_ns:model_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_at_init" in
   Tlm.Initiator.bind initiator (Des56_tlm_at.target model);
+  let faults =
+    install_plan
+      (Duv_fault.des56_tlm_binding kernel initiator (Des56_tlm_at.observables model))
+      fault_plan
+  in
   let lookup = Des56_tlm_at.lookup model in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -270,7 +305,7 @@ let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?metrics
         Process.wait_ns kernel (gap_cycles * period))
       ops;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -281,15 +316,23 @@ let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?metrics
     checker_stats = List.map Checker.snapshot checkers;
     metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = faults_triggered_of faults;
   }
 
 (* --- DES56 / TLM-LT --- *)
 
-let run_des56_tlm_lt ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
+let run_des56_tlm_lt ?(properties = []) ?engine ?metrics ?(gap_cycles = 2)
+    ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics () in
   let model = Des56_tlm_lt.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_lt_init" in
   Tlm.Initiator.bind initiator (Des56_tlm_lt.target model);
+  let faults =
+    install_plan
+      (Duv_fault.des56_tlm_binding kernel initiator (Des56_tlm_lt.observables model))
+      fault_plan
+  in
   let lookup = Des56_tlm_lt.lookup model in
   let sampler = pool_sampler kernel in
   let checkers =
@@ -322,7 +365,7 @@ let run_des56_tlm_lt ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
       ops;
     Process.wait_ns kernel period;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -333,6 +376,8 @@ let run_des56_tlm_lt ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ops =
     checker_stats = List.map Checker.snapshot checkers;
     metrics = metrics_snapshot kernel;
     trace = None;
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = faults_triggered_of faults;
   }
 
 (* --- ColorConv --- *)
@@ -341,10 +386,13 @@ let pack_ycbcr { Colorconv.y; cb; cr } =
   Int64.of_int (y lor (cb lsl 8) lor (cr lsl 16))
 
 let run_colorconv_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false)
-    ?(gap_cycles = 2) bursts =
+    ?(gap_cycles = 2) ?fault_plan ?guard bursts =
   let kernel = Kernel.create ?metrics () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Colorconv_rtl.create kernel clock in
+  let faults =
+    install_plan (Duv_fault.colorconv_rtl_binding kernel model) fault_plan
+  in
   let lookup = Colorconv_rtl.lookup model in
   let sampler = pool_sampler kernel in
   let checkers =
@@ -392,7 +440,7 @@ let run_colorconv_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false
       Process.wait_event negedge
     done;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -403,14 +451,22 @@ let run_colorconv_rtl ?(properties = []) ?engine ?metrics ?(record_trace = false
     checker_stats = List.map Checker.snapshot checkers;
     metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = faults_triggered_of faults;
   }
 
 let run_colorconv_tlm_ca ?(properties = []) ?engine ?metrics
-    ?(record_trace = false) ?(gap_cycles = 2) bursts =
+    ?(record_trace = false) ?(gap_cycles = 2) ?fault_plan ?guard bursts =
   let kernel = Kernel.create ?metrics () in
   let model = Colorconv_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"colorconv_ca_init" in
   Tlm.Initiator.bind initiator (Colorconv_tlm_ca.target model);
+  let faults =
+    install_plan
+      (Duv_fault.colorconv_tlm_binding kernel initiator
+         (Colorconv_tlm_ca.observables model))
+      fault_plan
+  in
   let lookup = Colorconv_tlm_ca.lookup model in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -465,7 +521,7 @@ let run_colorconv_tlm_ca ?(properties = []) ?engine ?metrics
       send_frame (idle_frame ())
     done;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -476,6 +532,8 @@ let run_colorconv_tlm_ca ?(properties = []) ?engine ?metrics
     checker_stats = List.map Checker.snapshot checkers;
     metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = faults_triggered_of faults;
   }
 
 (* TLM-AT agenda: precomputed transaction schedule with deterministic
@@ -494,11 +552,17 @@ let cc_priority = function
   | Cc_write _ -> 3
 
 let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
-    ?metrics ?(record_trace = false) ?(gap_cycles = 2) bursts =
+    ?metrics ?(record_trace = false) ?(gap_cycles = 2) ?fault_plan ?guard bursts =
   let kernel = Kernel.create ?metrics () in
   let model = Colorconv_tlm_at.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"colorconv_at_init" in
   Tlm.Initiator.bind initiator (Colorconv_tlm_at.target model);
+  let faults =
+    install_plan
+      (Duv_fault.colorconv_tlm_binding kernel initiator
+         (Colorconv_tlm_at.observables model))
+      fault_plan
+  in
   let lookup = Colorconv_tlm_at.lookup model in
   let recorder = Trace_rec.create () in
   if record_trace then
@@ -574,7 +638,7 @@ let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
        transaction run before stopping. *)
     Process.wait_ns kernel period;
     Kernel.stop kernel);
-  let sim_time_ns = Kernel.run kernel in
+  let sim_time_ns = Kernel.run ?guard kernel in
   {
     sim_time_ns;
     kernel_activations = Kernel.activation_count kernel;
@@ -585,4 +649,6 @@ let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine
     checker_stats = List.map Checker.snapshot checkers;
     metrics = metrics_snapshot kernel;
     trace = (if record_trace then Some (Trace_rec.to_trace recorder) else None);
+    diagnosis = Kernel.last_diagnosis kernel;
+    faults_triggered = faults_triggered_of faults;
   }

@@ -47,6 +47,13 @@ type run_result = {
       (** end-of-run registry snapshot; [[]] unless the run was given
           an enabled {!Tabv_obs.Metrics.t} *)
   trace : Trace.t option;
+  diagnosis : Tabv_sim.Kernel.diagnosis;
+      (** how the simulation ended ([Completed] for a clean stop;
+          [Starved]/[Livelock]/[Budget_exhausted]/[Process_crashed]
+          under fault injection or a tripped {!Tabv_sim.Kernel.guard}) *)
+  faults_triggered : int;
+      (** activations of the run's {!Tabv_fault.Fault.plan}; [0] when
+          no plan was given or the plan was latent (never exercised) *)
 }
 
 (** Total failures across all checkers. *)
@@ -97,6 +104,16 @@ val attach_pool :
 val metrics_snapshot :
   Tabv_sim.Kernel.t -> (string * Tabv_obs.Metrics.value) list
 
+(** Compile an optional fault plan onto a design binding; [None] or an
+    empty plan installs nothing (zero overhead on fault-free runs). *)
+val install_plan :
+  Tabv_fault.Fault.binding ->
+  Tabv_fault.Fault.plan option ->
+  Tabv_fault.Fault.installed option
+
+(** Fault activations of an installed plan; [0] for [None]. *)
+val faults_triggered_of : Tabv_fault.Fault.installed option -> int
+
 (** {1 DES56} *)
 
 (** [gap_cycles] idle cycles between operations (default 2);
@@ -109,6 +126,8 @@ val run_des56_rtl :
   ?record_trace:bool ->
   ?gap_cycles:int ->
   ?fault:Des56_rtl.fault ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Des56_iface.op list ->
   run_result
 
@@ -120,6 +139,8 @@ val run_des56_tlm_ca :
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Des56_iface.op list ->
   run_result
 
@@ -136,6 +157,8 @@ val run_des56_tlm_at :
   ?record_trace:bool ->
   ?gap_cycles:int ->
   ?model_latency_ns:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Des56_iface.op list ->
   run_result
 (** [grid_properties] are checked with the grid-mode wrapper
@@ -150,6 +173,8 @@ val run_des56_tlm_lt :
   ?engine:Monitor.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Des56_iface.op list ->
   run_result
 
@@ -161,6 +186,8 @@ val run_colorconv_rtl :
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Colorconv.pixel list list ->
   run_result
 
@@ -170,6 +197,8 @@ val run_colorconv_tlm_ca :
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Colorconv.pixel list list ->
   run_result
 
@@ -180,6 +209,8 @@ val run_colorconv_tlm_at :
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
+  ?fault_plan:Tabv_fault.Fault.plan ->
+  ?guard:Tabv_sim.Kernel.guard ->
   Colorconv.pixel list list ->
   run_result
 

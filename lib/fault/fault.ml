@@ -1,0 +1,522 @@
+open Tabv_sim
+module J = Tabv_core.Report_json
+
+type signal_fault =
+  | Stuck_at_0 of { from_ns : int }
+  | Stuck_at_1 of { from_ns : int }
+  | Bit_flip of { bit : int; at_ns : int }
+  | Glitch of { bit : int; from_ns : int; duration_ns : int }
+
+type tlm_fault =
+  | Corrupt_field of { field : string; fault : signal_fault }
+  | Corrupt_data of { index : int; bit : int }
+  | Drop of { index : int }
+  | Extra_delay of { index : int; delay_ns : int }
+  | Duplicate of { index : int }
+  | Hang of { index : int }
+
+type chaos =
+  | Crash of { at_ns : int; name : string }
+  | Livelock_loop of { at_ns : int }
+
+type injection =
+  | Signal_fault of { signal : string; fault : signal_fault }
+  | Tlm_mutation of { socket : string; fault : tlm_fault }
+  | Chaos of chaos
+
+type plan = {
+  plan_name : string;
+  injections : injection list;
+}
+
+let no_faults = { plan_name = "no-faults"; injections = [] }
+let plan ~name injections = { plan_name = name; injections }
+let is_empty p = p.injections = []
+let injection_count p = List.length p.injections
+let equal_plan (a : plan) (b : plan) = a = b
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let signal_fault_json = function
+  | Stuck_at_0 { from_ns } ->
+    J.Assoc [ ("kind", J.String "stuck_at_0"); ("from_ns", J.Int from_ns) ]
+  | Stuck_at_1 { from_ns } ->
+    J.Assoc [ ("kind", J.String "stuck_at_1"); ("from_ns", J.Int from_ns) ]
+  | Bit_flip { bit; at_ns } ->
+    J.Assoc [ ("kind", J.String "bit_flip"); ("bit", J.Int bit); ("at_ns", J.Int at_ns) ]
+  | Glitch { bit; from_ns; duration_ns } ->
+    J.Assoc
+      [ ("kind", J.String "glitch");
+        ("bit", J.Int bit);
+        ("from_ns", J.Int from_ns);
+        ("duration_ns", J.Int duration_ns)
+      ]
+
+let tlm_fault_json = function
+  | Corrupt_field { field; fault } ->
+    J.Assoc
+      [ ("kind", J.String "corrupt_field");
+        ("field", J.String field);
+        ("fault", signal_fault_json fault)
+      ]
+  | Corrupt_data { index; bit } ->
+    J.Assoc
+      [ ("kind", J.String "corrupt_data"); ("index", J.Int index); ("bit", J.Int bit) ]
+  | Drop { index } -> J.Assoc [ ("kind", J.String "drop"); ("index", J.Int index) ]
+  | Extra_delay { index; delay_ns } ->
+    J.Assoc
+      [ ("kind", J.String "extra_delay");
+        ("index", J.Int index);
+        ("delay_ns", J.Int delay_ns)
+      ]
+  | Duplicate { index } ->
+    J.Assoc [ ("kind", J.String "duplicate"); ("index", J.Int index) ]
+  | Hang { index } -> J.Assoc [ ("kind", J.String "hang"); ("index", J.Int index) ]
+
+let chaos_json = function
+  | Crash { at_ns; name } ->
+    J.Assoc
+      [ ("kind", J.String "crash"); ("at_ns", J.Int at_ns); ("name", J.String name) ]
+  | Livelock_loop { at_ns } ->
+    J.Assoc [ ("kind", J.String "livelock"); ("at_ns", J.Int at_ns) ]
+
+let injection_json = function
+  | Signal_fault { signal; fault } ->
+    J.Assoc
+      [ ("kind", J.String "signal");
+        ("signal", J.String signal);
+        ("fault", signal_fault_json fault)
+      ]
+  | Tlm_mutation { socket; fault } ->
+    J.Assoc
+      [ ("kind", J.String "tlm");
+        ("socket", J.String socket);
+        ("fault", tlm_fault_json fault)
+      ]
+  | Chaos c -> J.Assoc [ ("kind", J.String "chaos"); ("fault", chaos_json c) ]
+
+let plan_json p =
+  J.Assoc
+    [ ("plan", J.String p.plan_name);
+      ("injections", J.List (List.map injection_json p.injections))
+    ]
+
+let pp_plan ppf p = Format.pp_print_string ppf (J.to_string (plan_json p))
+
+(* Decoding: a small result-monad reader over the document model. *)
+
+let ( let* ) = Result.bind
+
+let assoc = function
+  | J.Assoc kvs -> Ok kvs
+  | _ -> Error "fault plan: expected an object"
+
+let key name kvs =
+  match List.assoc_opt name kvs with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "fault plan: missing key %S" name)
+
+let int_key name kvs =
+  let* v = key name kvs in
+  match v with
+  | J.Int n -> Ok n
+  | _ -> Error (Printf.sprintf "fault plan: key %S must be an integer" name)
+
+let string_key name kvs =
+  let* v = key name kvs in
+  match v with
+  | J.String s -> Ok s
+  | _ -> Error (Printf.sprintf "fault plan: key %S must be a string" name)
+
+let signal_fault_of_json j =
+  let* kvs = assoc j in
+  let* kind = string_key "kind" kvs in
+  match kind with
+  | "stuck_at_0" ->
+    let* from_ns = int_key "from_ns" kvs in
+    Ok (Stuck_at_0 { from_ns })
+  | "stuck_at_1" ->
+    let* from_ns = int_key "from_ns" kvs in
+    Ok (Stuck_at_1 { from_ns })
+  | "bit_flip" ->
+    let* bit = int_key "bit" kvs in
+    let* at_ns = int_key "at_ns" kvs in
+    Ok (Bit_flip { bit; at_ns })
+  | "glitch" ->
+    let* bit = int_key "bit" kvs in
+    let* from_ns = int_key "from_ns" kvs in
+    let* duration_ns = int_key "duration_ns" kvs in
+    Ok (Glitch { bit; from_ns; duration_ns })
+  | other -> Error (Printf.sprintf "fault plan: unknown signal fault kind %S" other)
+
+let tlm_fault_of_json j =
+  let* kvs = assoc j in
+  let* kind = string_key "kind" kvs in
+  match kind with
+  | "corrupt_field" ->
+    let* field = string_key "field" kvs in
+    let* f = key "fault" kvs in
+    let* fault = signal_fault_of_json f in
+    Ok (Corrupt_field { field; fault })
+  | "corrupt_data" ->
+    let* index = int_key "index" kvs in
+    let* bit = int_key "bit" kvs in
+    Ok (Corrupt_data { index; bit })
+  | "drop" ->
+    let* index = int_key "index" kvs in
+    Ok (Drop { index })
+  | "extra_delay" ->
+    let* index = int_key "index" kvs in
+    let* delay_ns = int_key "delay_ns" kvs in
+    Ok (Extra_delay { index; delay_ns })
+  | "duplicate" ->
+    let* index = int_key "index" kvs in
+    Ok (Duplicate { index })
+  | "hang" ->
+    let* index = int_key "index" kvs in
+    Ok (Hang { index })
+  | other -> Error (Printf.sprintf "fault plan: unknown tlm fault kind %S" other)
+
+let chaos_of_json j =
+  let* kvs = assoc j in
+  let* kind = string_key "kind" kvs in
+  match kind with
+  | "crash" ->
+    let* at_ns = int_key "at_ns" kvs in
+    let* name = string_key "name" kvs in
+    Ok (Crash { at_ns; name })
+  | "livelock" ->
+    let* at_ns = int_key "at_ns" kvs in
+    Ok (Livelock_loop { at_ns })
+  | other -> Error (Printf.sprintf "fault plan: unknown chaos kind %S" other)
+
+let injection_of_json j =
+  let* kvs = assoc j in
+  let* kind = string_key "kind" kvs in
+  match kind with
+  | "signal" ->
+    let* signal = string_key "signal" kvs in
+    let* f = key "fault" kvs in
+    let* fault = signal_fault_of_json f in
+    Ok (Signal_fault { signal; fault })
+  | "tlm" ->
+    let* socket = string_key "socket" kvs in
+    let* f = key "fault" kvs in
+    let* fault = tlm_fault_of_json f in
+    Ok (Tlm_mutation { socket; fault })
+  | "chaos" ->
+    let* f = key "fault" kvs in
+    let* fault = chaos_of_json f in
+    Ok (Chaos fault)
+  | other -> Error (Printf.sprintf "fault plan: unknown injection kind %S" other)
+
+let plan_of_json j =
+  let* kvs = assoc j in
+  let* plan_name = string_key "plan" kvs in
+  let* injections = key "injections" kvs in
+  let* items =
+    match injections with
+    | J.List items -> Ok items
+    | _ -> Error "fault plan: key \"injections\" must be an array"
+  in
+  let rec decode acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+      let* inj = injection_of_json item in
+      decode (inj :: acc) rest
+  in
+  let* injections = decode [] items in
+  Ok { plan_name; injections }
+
+let plan_of_string s =
+  match J.of_string s with
+  | exception J.Parse_error { line; col; message } ->
+    Error (Printf.sprintf "fault plan: %d:%d: %s" line col message)
+  | j -> plan_of_json j
+
+let diagnosis_json (d : Kernel.diagnosis) =
+  match d with
+  | Kernel.Completed -> J.Assoc [ ("kind", J.String "completed") ]
+  | Kernel.Starved { waiting } ->
+    J.Assoc [ ("kind", J.String "starved"); ("waiting", J.Int waiting) ]
+  | Kernel.Livelock { time; delta_cycles } ->
+    J.Assoc
+      [ ("kind", J.String "livelock");
+        ("time", J.Int time);
+        ("delta_cycles", J.Int delta_cycles)
+      ]
+  | Kernel.Budget_exhausted { steps } ->
+    J.Assoc [ ("kind", J.String "budget_exhausted"); ("steps", J.Int steps) ]
+  | Kernel.Process_crashed { name; error } ->
+    J.Assoc
+      [ ("kind", J.String "process_crashed");
+        ("process", J.String name);
+        ("error", J.String error)
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let generate ~seed ~signals ~sockets ~horizon_ns ~count =
+  let name = Printf.sprintf "generated-%d" seed in
+  if signals = [] && sockets = [] then { plan_name = name; injections = [] }
+  else begin
+    let st = Random.State.make [| 0x7ab5; seed |] in
+    let instant () = Random.State.int st (max 1 horizon_ns) in
+    let pick_signal () =
+      let signal, width =
+        List.nth signals (Random.State.int st (List.length signals))
+      in
+      let bit = Random.State.int st (max 1 width) in
+      let fault =
+        match Random.State.int st 4 with
+        | 0 -> Stuck_at_0 { from_ns = instant () }
+        | 1 -> Stuck_at_1 { from_ns = instant () }
+        | 2 -> Bit_flip { bit; at_ns = instant () }
+        | _ ->
+          let from_ns = instant () in
+          let duration_ns = 1 + Random.State.int st (max 1 (horizon_ns - from_ns)) in
+          Glitch { bit; from_ns; duration_ns }
+      in
+      Signal_fault { signal; fault }
+    in
+    let pick_tlm () =
+      let socket = List.nth sockets (Random.State.int st (List.length sockets)) in
+      let index = Random.State.int st 16 in
+      let fault =
+        match Random.State.int st 4 with
+        | 0 -> Corrupt_data { index; bit = Random.State.int st 64 }
+        | 1 -> Drop { index }
+        | 2 -> Extra_delay { index; delay_ns = 1 + Random.State.int st 50 }
+        | _ -> Duplicate { index }
+      in
+      Tlm_mutation { socket; fault }
+    in
+    (* Build in index order: [List.init] has unspecified evaluation
+       order, which would break seeded determinism. *)
+    let rec draw acc n =
+      if n = 0 then List.rev acc
+      else begin
+        let inj =
+          if sockets = [] then pick_signal ()
+          else if signals = [] then pick_tlm ()
+          else if Random.State.int st 3 < 2 then pick_signal ()
+          else pick_tlm ()
+        in
+        draw (inj :: acc) (n - 1)
+      end
+    in
+    { plan_name = name; injections = draw [] count }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Binding and installation                                            *)
+(* ------------------------------------------------------------------ *)
+
+type target =
+  | Bool_signal of bool Signal.t
+  | Int_signal of { signal : int Signal.t; width : int }
+  | Int64_signal of { signal : int64 Signal.t; width : int }
+
+type lens = {
+  get : unit -> int64;
+  set : int64 -> unit;
+  width : int;
+}
+
+type socket_binding = {
+  initiator : Tlm.Initiator.t;
+  fields : (string * lens) list;
+}
+
+type binding = {
+  kernel : Kernel.t;
+  signals : (string * target) list;
+  sockets : (string * socket_binding) list;
+}
+
+type installed = {
+  mutable triggered_count : int;
+  armed_count : int;
+}
+
+let armed inst = inst.armed_count
+let triggered inst = inst.triggered_count
+let trigger inst = inst.triggered_count <- inst.triggered_count + 1
+let ones width = if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+let mask width v = Int64.logand v (ones width)
+
+(* One saboteur application over the int64 bits view.  Triggering is
+   counted only when the fault actually alters the value: an armed
+   stuck-at on a signal already at that value is latent, which is the
+   honest qualification verdict. *)
+let apply_signal_fault inst ~now ~width bits fault =
+  match fault with
+  | Stuck_at_0 { from_ns } ->
+    if now >= from_ns then begin
+      if bits <> 0L then trigger inst;
+      0L
+    end
+    else bits
+  | Stuck_at_1 { from_ns } ->
+    if now >= from_ns then begin
+      let v = ones width in
+      if bits <> v then trigger inst;
+      v
+    end
+    else bits
+  | Bit_flip { bit; at_ns } ->
+    if now = at_ns && bit < width then begin
+      trigger inst;
+      mask width (Int64.logxor bits (Int64.shift_left 1L bit))
+    end
+    else bits
+  | Glitch { bit; from_ns; duration_ns } ->
+    if now >= from_ns && now < from_ns + duration_ns && bit < width then begin
+      trigger inst;
+      mask width (Int64.logxor bits (Int64.shift_left 1L bit))
+    end
+    else bits
+
+(* Instants at which a fault arms or disarms: the saboteur needs an
+   update-phase application there even if the design writes nothing,
+   so each boundary schedules a {!Signal.refresh}. *)
+let boundaries = function
+  | Stuck_at_0 { from_ns } | Stuck_at_1 { from_ns } -> [ from_ns ]
+  | Bit_flip { at_ns; _ } -> [ at_ns; at_ns + 1 ]
+  | Glitch { from_ns; duration_ns; _ } -> [ from_ns; from_ns + duration_ns ]
+
+let install_signal kernel inst target faults =
+  let transform_bits width bits =
+    let now = Kernel.now kernel in
+    List.fold_left (fun b f -> apply_signal_fault inst ~now ~width b f) bits faults
+  in
+  let refresh =
+    match target with
+    | Bool_signal s ->
+      Signal.interpose s (fun v ->
+        Int64.logand (transform_bits 1 (if v then 1L else 0L)) 1L <> 0L);
+      fun () -> Signal.refresh s
+    | Int_signal { signal; width } ->
+      Signal.interpose signal (fun v -> Int64.to_int (transform_bits width (Int64.of_int v)));
+      fun () -> Signal.refresh signal
+    | Int64_signal { signal; width } ->
+      Signal.interpose signal (fun v -> transform_bits width v);
+      fun () -> Signal.refresh signal
+  in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun time -> if time >= Kernel.now kernel then Kernel.schedule_at kernel ~time refresh)
+        (boundaries fault))
+    faults
+
+let install_socket kernel inst sb faults =
+  List.iter
+    (function
+      | Corrupt_field { field; _ } when not (List.mem_assoc field sb.fields) ->
+        invalid_arg
+          (Printf.sprintf "Fault.install: unknown field %S on socket %s" field
+             (Tlm.Initiator.name sb.initiator))
+      | _ -> ())
+    faults;
+  let count = ref 0 in
+  Tlm.Initiator.interpose sb.initiator (fun transport payload ->
+    let i = !count in
+    incr count;
+    (* Pre-transport mutations: timing first, then the call itself. *)
+    List.iter
+      (function
+        | Extra_delay { index; delay_ns } when index = i ->
+          trigger inst;
+          Process.wait_ns kernel delay_ns
+        | Hang { index } when index = i ->
+          trigger inst;
+          (* An event nobody ever notifies: the initiator thread
+             blocks forever and the run ends [Starved]. *)
+          Process.wait_event (Event.create kernel "fault.hang")
+        | _ -> ())
+      faults;
+    let dropped = List.exists (function Drop { index } -> index = i | _ -> false) faults in
+    if dropped then begin
+      trigger inst;
+      payload.Tlm.response_ok <- false
+    end
+    else begin
+      transport payload;
+      List.iter
+        (function
+          | Duplicate { index } when index = i ->
+            trigger inst;
+            transport payload
+          | _ -> ())
+        faults
+    end;
+    (* Post-transport corruption: visible to the abstracted property
+       suite because the checker samples one delta later. *)
+    List.iter
+      (function
+        | Corrupt_data { index; bit } when index = i ->
+          trigger inst;
+          payload.Tlm.data <- Int64.logxor payload.Tlm.data (Int64.shift_left 1L bit)
+        | Corrupt_field { field; fault } ->
+          let lens = List.assoc field sb.fields in
+          let v = lens.get () in
+          let v' = apply_signal_fault inst ~now:(Kernel.now kernel) ~width:lens.width v fault in
+          if v' <> v then lens.set v'
+        | _ -> ())
+      faults)
+
+let install_chaos kernel inst = function
+  | Crash { at_ns; name } ->
+    Kernel.schedule_at kernel ~time:at_ns (fun () ->
+      trigger inst;
+      Kernel.set_label kernel name;
+      failwith (Printf.sprintf "injected crash: %s" name))
+  | Livelock_loop { at_ns } ->
+    Kernel.schedule_at kernel ~time:at_ns (fun () ->
+      trigger inst;
+      let rec spin () = Kernel.schedule_next_delta kernel spin in
+      spin ())
+
+let install binding plan =
+  let inst = { triggered_count = 0; armed_count = List.length plan.injections } in
+  (* Group per signal / per socket (first-appearance order) so each
+     carrier gets exactly one composite interposer. *)
+  let by_signal = ref [] and by_socket = ref [] in
+  let push groups name fault =
+    match List.assoc_opt name !groups with
+    | Some faults -> faults := fault :: !faults
+    | None -> groups := !groups @ [ (name, ref [ fault ]) ]
+  in
+  List.iter
+    (function
+      | Signal_fault { signal; fault } ->
+        if not (List.mem_assoc signal binding.signals) then
+          invalid_arg (Printf.sprintf "Fault.install: unknown signal %S" signal);
+        push by_signal signal fault
+      | Tlm_mutation { socket; fault } ->
+        if not (List.mem_assoc socket binding.sockets) then
+          invalid_arg (Printf.sprintf "Fault.install: unknown socket %S" socket);
+        push by_socket socket fault
+      | Chaos c -> install_chaos binding.kernel inst c)
+    plan.injections;
+  List.iter
+    (fun (name, faults) ->
+      install_signal binding.kernel inst (List.assoc name binding.signals)
+        (List.rev !faults))
+    !by_signal;
+  List.iter
+    (fun (name, faults) ->
+      install_socket binding.kernel inst (List.assoc name binding.sockets)
+        (List.rev !faults))
+    !by_socket;
+  if plan.injections <> [] then begin
+    let metrics = Kernel.metrics binding.kernel in
+    Tabv_obs.Metrics.probe metrics "fault.armed" (fun () -> inst.armed_count);
+    Tabv_obs.Metrics.probe metrics "fault.triggered" (fun () -> inst.triggered_count)
+  end;
+  inst

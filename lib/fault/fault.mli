@@ -1,0 +1,156 @@
+(** Deterministic, seedable fault injection for qualification
+    campaigns.
+
+    A {!plan} is a pure description of design bugs to inject — signal
+    saboteurs, TLM transaction mutators and kernel-level chaos — that
+    serializes to/from the campaign manifest JSON and compiles, via
+    {!install}, onto a concrete design through the {!Tabv_sim.Signal}
+    and {!Tabv_sim.Tlm} interposition hooks.  No DUV logic is touched:
+    saboteurs transform driven signal values in the update phase,
+    mutators wrap the blocking-transport call, and chaos injections
+    are scheduled kernel actions.  Everything is a function of the
+    plan and the simulation schedule, so a replay of the same plan on
+    the same design is bit-identical.
+
+    The point (after Bombieri et al.'s re-use argument): inject the
+    same conceptual fault at RTL and at the abstracted TLM levels and
+    check that the rewritten property suite still detects it. *)
+
+(** {2 Fault vocabulary} *)
+
+(** A saboteur on one signal (or, inside {!Corrupt_field}, on one
+    observable field).  Times are absolute instants in ns. *)
+type signal_fault =
+  | Stuck_at_0 of { from_ns : int }  (** all bits forced to 0 from [from_ns] on *)
+  | Stuck_at_1 of { from_ns : int }  (** all bits forced to 1 from [from_ns] on *)
+  | Bit_flip of { bit : int; at_ns : int }
+      (** XOR of one bit during the single instant [at_ns] *)
+  | Glitch of { bit : int; from_ns : int; duration_ns : int }
+      (** XOR of one bit during \[[from_ns], [from_ns + duration_ns]) *)
+
+(** A mutator on one initiator socket.  [index] is the 0-based count
+    of transactions issued through that socket. *)
+type tlm_fault =
+  | Corrupt_field of { field : string; fault : signal_fault }
+      (** after each transport call, pass the named observable field
+          (bound by a {!lens}) through [fault] *)
+  | Corrupt_data of { index : int; bit : int }
+      (** flip one bit of [payload.data] after transaction [index] *)
+  | Drop of { index : int }
+      (** transaction [index] never reaches the target; its
+          [response_ok] is cleared *)
+  | Extra_delay of { index : int; delay_ns : int }
+      (** transaction [index] consumes [delay_ns] extra ns first *)
+  | Duplicate of { index : int }  (** transaction [index] is sent twice *)
+  | Hang of { index : int }
+      (** transaction [index] blocks forever (the initiator thread
+          waits on an event that never fires — ends as [Starved]) *)
+
+(** Kernel-level chaos, for exercising the watchdogs. *)
+type chaos =
+  | Crash of { at_ns : int; name : string }
+      (** a labelled action raises at [at_ns] (ends as
+          [Process_crashed] under [contain_crashes]) *)
+  | Livelock_loop of { at_ns : int }
+      (** an action reschedules itself every delta cycle from [at_ns]
+          (ends as [Livelock] via the delta cap) *)
+
+type injection =
+  | Signal_fault of { signal : string; fault : signal_fault }
+  | Tlm_mutation of { socket : string; fault : tlm_fault }
+  | Chaos of chaos
+
+type plan = {
+  plan_name : string;
+  injections : injection list;
+}
+
+val no_faults : plan
+val plan : name:string -> injection list -> plan
+val is_empty : plan -> bool
+val injection_count : plan -> int
+val equal_plan : plan -> plan -> bool
+val pp_plan : Format.formatter -> plan -> unit
+
+(** {2 JSON (campaign manifests and reports)} *)
+
+(** [{"plan": name, "injections": [{"kind": ..}, ..]}] — deterministic
+    key order, round-trips through {!plan_of_json}. *)
+val plan_json : plan -> Tabv_core.Report_json.json
+
+val plan_of_json : Tabv_core.Report_json.json -> (plan, string) result
+
+(** Parse a JSON string into a plan ([Error] on malformed JSON too). *)
+val plan_of_string : string -> (plan, string) result
+
+(** A {!Tabv_sim.Kernel.diagnosis} as a JSON object, e.g.
+    [{"kind":"livelock","time":40,"delta_cycles":1000000}]. *)
+val diagnosis_json : Tabv_sim.Kernel.diagnosis -> Tabv_core.Report_json.json
+
+(** {2 Seeded generation}
+
+    [generate ~seed ~signals ~sockets ~horizon_ns ~count] draws
+    [count] injections over the given signal (name, width) and socket
+    namespaces with all instants inside [horizon_ns].  Pure function
+    of its arguments (private PRNG), so campaign workers regenerate
+    identical plans from the manifest seed.  Only terminating,
+    self-contained faults are drawn (no [Hang], no [Corrupt_field],
+    no chaos — those are named explicitly in plans). *)
+val generate :
+  seed:int ->
+  signals:(string * int) list ->
+  sockets:string list ->
+  horizon_ns:int ->
+  count:int ->
+  plan
+
+(** {2 Binding and installation} *)
+
+(** A signal a saboteur can attach to, with its bit width. *)
+type target =
+  | Bool_signal of bool Tabv_sim.Signal.t
+  | Int_signal of { signal : int Tabv_sim.Signal.t; width : int }
+  | Int64_signal of { signal : int64 Tabv_sim.Signal.t; width : int }
+
+(** A named observable field for {!Corrupt_field}: getter/setter over
+    an [int64] view plus the field's width.  DUV adapters point these
+    at the model's observables record so corruption is visible to the
+    property checkers, whatever the payload shape. *)
+type lens = {
+  get : unit -> int64;
+  set : int64 -> unit;
+  width : int;
+}
+
+type socket_binding = {
+  initiator : Tabv_sim.Tlm.Initiator.t;
+  fields : (string * lens) list;
+}
+
+(** What a plan's names resolve against for one concrete design. *)
+type binding = {
+  kernel : Tabv_sim.Kernel.t;
+  signals : (string * target) list;
+  sockets : (string * socket_binding) list;
+}
+
+type installed
+
+(** Compile the plan onto the design: installs one composite transform
+    per sabotaged signal ({!Tabv_sim.Signal.interpose}) with refreshes
+    scheduled at every fault boundary instant, one mutator per socket
+    ({!Tabv_sim.Tlm.Initiator.interpose}), and schedules chaos
+    actions.  Registers [fault.armed] / [fault.triggered] probes on
+    the kernel's metrics registry.
+    @raise Invalid_argument when the plan names a signal, socket or
+    field absent from the binding (plans are written per abstraction
+    level). *)
+val install : binding -> plan -> installed
+
+(** Number of injections compiled in. *)
+val armed : installed -> int
+
+(** Total fault activations so far: a saboteur application that
+    changed a value, or a mutator/chaos firing.  [0] at the end of a
+    run means the fault was {e latent} — never exercised. *)
+val triggered : installed -> int

@@ -63,6 +63,24 @@ module Heap = struct
       Some top
 end
 
+type diagnosis =
+  | Completed
+  | Starved of { waiting : int }
+  | Livelock of { time : int; delta_cycles : int }
+  | Budget_exhausted of { steps : int }
+  | Process_crashed of { name : string; error : string }
+
+type guard = {
+  max_delta_cycles : int option;
+  max_steps : int option;
+  contain_crashes : bool;
+}
+
+let default_guard =
+  { max_delta_cycles = Some 1_000_000; max_steps = None; contain_crashes = false }
+
+let unguarded = { max_delta_cycles = None; max_steps = None; contain_crashes = false }
+
 type t = {
   mutable now : int;
   mutable delta : int;
@@ -77,6 +95,12 @@ type t = {
   mutable deltas : int;
   mutable time_advances : int;
   mutable update_actions : int;
+  mutable diagnosis : diagnosis;
+  mutable waiters : int;
+  mutable label : string;
+  mutable watchdog_trips : int;
+  mutable contained_crashes : int;
+  mutable crash : (string * string) option;  (* first contained crash *)
   metrics : Tabv_obs.Metrics.t;
   eval_timer : Tabv_obs.Metrics.timer;
   update_timer : Tabv_obs.Metrics.timer;
@@ -104,6 +128,12 @@ let create ?metrics () =
       deltas = 0;
       time_advances = 0;
       update_actions = 0;
+      diagnosis = Completed;
+      waiters = 0;
+      label = "";
+      watchdog_trips = 0;
+      contained_crashes = 0;
+      crash = None;
       metrics;
       eval_timer = Tabv_obs.Metrics.timer metrics "kernel.eval_phase";
       update_timer = Tabv_obs.Metrics.timer metrics "kernel.update_phase";
@@ -120,6 +150,9 @@ let create ?metrics () =
   probe metrics "kernel.update_actions" (fun () -> t.update_actions);
   probe metrics "kernel.timed_scheduled" (fun () -> t.seq);
   probe metrics "kernel.sim_time_ns" ~combine:`Max (fun () -> t.now);
+  probe metrics "kernel.watchdog_trips" (fun () -> t.watchdog_trips);
+  probe metrics "kernel.contained_crashes" (fun () -> t.contained_crashes);
+  probe metrics "kernel.blocked_waiters" ~combine:`Max (fun () -> t.waiters);
   t
 
 let metrics t = t.metrics
@@ -142,26 +175,53 @@ let schedule_now t action = Queue.add action t.runnable
 let schedule_next_delta t action = Queue.add action t.next_delta
 let request_update t action = t.updates <- action :: t.updates
 let stop t = t.stopping <- true
+let add_waiter t = t.waiters <- t.waiters + 1
+let remove_waiter t = t.waiters <- t.waiters - 1
+let waiting_count t = t.waiters
+let set_label t name = t.label <- name
 
-let run ?until t =
+let run ?until ?(guard = default_guard) t =
   if t.running then invalid_arg "Kernel.run: already running";
   t.running <- true;
   t.stopping <- false;
+  t.crash <- None;
+  t.diagnosis <- Completed;
+  let steps0 = t.time_advances in
+  (* A tripped watchdog ends the run gracefully: the verdict is
+     recorded here and surfaced through {!last_diagnosis}. *)
+  let tripped = ref None in
   let horizon_ok time =
     match until with
     | None -> true
     | Some h -> time <= h
   in
   let rec loop () =
-    if t.stopping then ()
+    if t.stopping || !tripped <> None then ()
     else begin
       (* Evaluation phase. *)
       Tabv_obs.Metrics.start t.eval_timer;
-      while not (Queue.is_empty t.runnable) && not t.stopping do
-        let action = Queue.pop t.runnable in
-        t.activations <- t.activations + 1;
-        action ()
-      done;
+      if guard.contain_crashes then
+        while not (Queue.is_empty t.runnable) && not t.stopping do
+          let action = Queue.pop t.runnable in
+          t.activations <- t.activations + 1;
+          try action ()
+          with e ->
+            (* Contain the crash: the raising process is dead (its
+               continuation is lost with the exception), the rest of
+               the design keeps simulating, and the first crash is
+               attributed to the last labelled process. *)
+            t.contained_crashes <- t.contained_crashes + 1;
+            if t.crash = None then begin
+              let name = if t.label = "" then "<anonymous>" else t.label in
+              t.crash <- Some (name, Printexc.to_string e)
+            end
+        done
+      else
+        while not (Queue.is_empty t.runnable) && not t.stopping do
+          let action = Queue.pop t.runnable in
+          t.activations <- t.activations + 1;
+          action ()
+        done;
       Tabv_obs.Metrics.stop t.eval_timer;
       if t.stopping then ()
       else begin
@@ -177,10 +237,17 @@ let run ?until t =
         Tabv_obs.Metrics.stop t.update_timer;
         (* Delta notification phase. *)
         if not (Queue.is_empty t.next_delta) then begin
-          Queue.transfer t.next_delta t.runnable;
-          t.delta <- t.delta + 1;
-          t.deltas <- t.deltas + 1;
-          loop ()
+          match guard.max_delta_cycles with
+          | Some cap when t.delta >= cap ->
+            (* Livelock watchdog: the instant never converges. *)
+            t.watchdog_trips <- t.watchdog_trips + 1;
+            Queue.clear t.next_delta;
+            tripped := Some (Livelock { time = t.now; delta_cycles = t.delta })
+          | Some _ | None ->
+            Queue.transfer t.next_delta t.runnable;
+            t.delta <- t.delta + 1;
+            t.deltas <- t.deltas + 1;
+            loop ()
         end
         else begin
           (* Advance time to the next timed action, if any. *)
@@ -188,19 +255,26 @@ let run ?until t =
           let advanced =
             match Heap.peek t.timed with
             | Some { Heap.time; _ } when horizon_ok time ->
-              t.now <- time;
-              t.delta <- 0;
-              t.time_advances <- t.time_advances + 1;
-              let rec drain () =
-                match Heap.peek t.timed with
-                | Some entry when entry.Heap.time = time ->
-                  ignore (Heap.pop t.timed);
-                  Queue.add entry.Heap.action t.runnable;
-                  drain ()
-                | Some _ | None -> ()
-              in
-              drain ();
-              true
+              (match guard.max_steps with
+               | Some cap when t.time_advances - steps0 >= cap ->
+                 (* Step-budget watchdog: too many time advances. *)
+                 t.watchdog_trips <- t.watchdog_trips + 1;
+                 tripped := Some (Budget_exhausted { steps = cap });
+                 false
+               | Some _ | None ->
+                 t.now <- time;
+                 t.delta <- 0;
+                 t.time_advances <- t.time_advances + 1;
+                 let rec drain () =
+                   match Heap.peek t.timed with
+                   | Some entry when entry.Heap.time = time ->
+                     ignore (Heap.pop t.timed);
+                     Queue.add entry.Heap.action t.runnable;
+                     drain ()
+                   | Some _ | None -> ()
+                 in
+                 drain ();
+                 true)
             | Some _ | None -> false
           in
           Tabv_obs.Metrics.stop t.advance_timer;
@@ -209,11 +283,42 @@ let run ?until t =
       end
     end
   in
-  loop ();
-  t.running <- false;
+  Fun.protect ~finally:(fun () -> t.running <- false) (fun () -> loop ());
+  let ended_by_horizon =
+    match Heap.peek t.timed with
+    | Some e -> not (horizon_ok e.Heap.time)
+    | None -> false
+  in
+  t.diagnosis <-
+    (match t.crash with
+    | Some (name, error) -> Process_crashed { name; error }
+    | None -> (
+      match !tripped with
+      | Some d -> d
+      | None ->
+        if (not t.stopping) && (not ended_by_horizon) && t.waiters > 0 then
+          (* Quiescent end with processes still blocked on events that
+             can no longer fire: event starvation, not completion. *)
+          Starved { waiting = t.waiters }
+        else Completed));
   t.now
+
+let last_diagnosis t = t.diagnosis
+
+let diagnosis_to_string = function
+  | Completed -> "completed"
+  | Starved { waiting } -> Printf.sprintf "starved(waiting=%d)" waiting
+  | Livelock { time; delta_cycles } ->
+    Printf.sprintf "livelock(time=%d,delta_cycles=%d)" time delta_cycles
+  | Budget_exhausted { steps } -> Printf.sprintf "budget_exhausted(steps=%d)" steps
+  | Process_crashed { name; error } ->
+    Printf.sprintf "process_crashed(%s: %s)" name error
+
+let pp_diagnosis ppf d = Format.pp_print_string ppf (diagnosis_to_string d)
 
 let activation_count t = t.activations
 let delta_count t = t.deltas
 let time_advance_count t = t.time_advances
 let update_action_count t = t.update_actions
+let watchdog_trip_count t = t.watchdog_trips
+let contained_crash_count t = t.contained_crashes

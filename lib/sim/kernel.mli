@@ -13,15 +13,53 @@
 
 type t
 
+(** How a {!run} ended.  [Completed] covers both an explicit {!stop}
+    and reaching the [until] horizon; the other verdicts are the
+    degraded-but-structured endings introduced for fault-injection
+    campaigns: a quiescent end with processes still blocked on events
+    ([Starved]), a tripped delta-cycle watchdog ([Livelock]), an
+    exhausted time-advance budget ([Budget_exhausted]) and a contained
+    process exception ([Process_crashed], first crash wins). *)
+type diagnosis =
+  | Completed
+  | Starved of { waiting : int }  (** blocked event waiters at the end *)
+  | Livelock of { time : int; delta_cycles : int }
+  | Budget_exhausted of { steps : int }
+  | Process_crashed of { name : string; error : string }
+
+(** Watchdog configuration for one {!run}. *)
+type guard = {
+  max_delta_cycles : int option;
+      (** per-instant delta-cycle cap; tripping yields [Livelock] *)
+  max_steps : int option;
+      (** per-run time-advance budget; tripping yields [Budget_exhausted] *)
+  contain_crashes : bool;
+      (** catch exceptions from evaluation-phase actions: the raising
+          process dies, the run continues, the diagnosis becomes
+          [Process_crashed] *)
+}
+
+(** [{ max_delta_cycles = Some 1_000_000; max_steps = None;
+    contain_crashes = false }] — a delta cap generous enough that no
+    legitimate design trips it, so zero-delay feedback livelocks
+    terminate by default. *)
+val default_guard : guard
+
+(** All watchdogs off (the pre-diagnosis behaviour: a livelocked
+    design hangs). *)
+val unguarded : guard
+
 (** [create ?metrics ()] — when [metrics] is given, the kernel
     registers its phase probes ([kernel.activations],
     [kernel.delta_cycles], [kernel.time_advances],
     [kernel.update_actions], [kernel.timed_scheduled],
-    [kernel.sim_time_ns]) and phase timers ([kernel.eval_phase],
-    [kernel.update_phase], [kernel.advance_phase]) on that registry;
-    components created on this kernel ({!Signal}, {!Tlm}) instrument
-    the same registry.  Without [metrics] a private disabled registry
-    is used: probes still answer, push updates are no-ops. *)
+    [kernel.sim_time_ns], [kernel.watchdog_trips],
+    [kernel.contained_crashes], [kernel.blocked_waiters]) and phase
+    timers ([kernel.eval_phase], [kernel.update_phase],
+    [kernel.advance_phase]) on that registry; components created on
+    this kernel ({!Signal}, {!Tlm}) instrument the same registry.
+    Without [metrics] a private disabled registry is used: probes
+    still answer, push updates are no-ops. *)
 val create : ?metrics:Tabv_obs.Metrics.t -> unit -> t
 
 (** The registry this kernel (and everything created on it) reports to. *)
@@ -53,10 +91,32 @@ val request_update : t -> (unit -> unit) -> unit
 (** Stop the simulation at the end of the current evaluation phase. *)
 val stop : t -> unit
 
-(** [run t ()] runs until no activity remains, [stop] is called, or
-    the optional [until] horizon (ns) would be crossed; returns the
-    final simulation time.  Re-entrant calls are rejected. *)
-val run : ?until:int -> t -> int
+(** Blocked-process accounting, maintained by {!Process} around event
+    waits: a positive count at a quiescent end means event starvation
+    (diagnosed as [Starved]), not completion. *)
+val add_waiter : t -> unit
+
+val remove_waiter : t -> unit
+
+(** Threads currently blocked on an event wait. *)
+val waiting_count : t -> int
+
+(** Name the process about to run, for [Process_crashed] attribution;
+    {!Process} calls this before each body/continuation resume. *)
+val set_label : t -> string -> unit
+
+(** [run t ()] runs until no activity remains, [stop] is called, a
+    watchdog of [guard] (default {!default_guard}) trips, or the
+    optional [until] horizon (ns) would be crossed; returns the final
+    simulation time.  How the run ended is available from
+    {!last_diagnosis}.  Re-entrant calls are rejected. *)
+val run : ?until:int -> ?guard:guard -> t -> int
+
+(** Diagnosis of the most recent {!run} ([Completed] before any run). *)
+val last_diagnosis : t -> diagnosis
+
+val diagnosis_to_string : diagnosis -> string
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
 
 (** Number of evaluation-phase process activations so far (a good
     proxy for simulator load, used by the benchmarks). *)
@@ -70,3 +130,9 @@ val time_advance_count : t -> int
 
 (** Number of update-phase actions applied so far. *)
 val update_action_count : t -> int
+
+(** Watchdogs tripped so far (livelock caps and step budgets). *)
+val watchdog_trip_count : t -> int
+
+(** Process exceptions contained so far (under [contain_crashes]). *)
+val contained_crash_count : t -> int

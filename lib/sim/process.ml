@@ -3,12 +3,23 @@ type _ Effect.t +=
   | Wait_event : Event.t -> unit Effect.t
   | Wait_any : Event.t list -> unit Effect.t
 
-let method_process kernel ~name:_ ?(initialize = true) ~sensitivity body =
+let method_process kernel ~name ?(initialize = true) ~sensitivity body =
+  let body () =
+    Kernel.set_label kernel name;
+    body ()
+  in
   List.iter (fun ev -> Event.on_event ev body) sensitivity;
   if initialize then Kernel.schedule_now kernel body
 
-let spawn kernel ~name:_ body =
+let spawn kernel ~name body =
   let open Effect.Deep in
+  (* Every resume goes through [label]: the kernel always knows which
+     thread process is running, so a contained crash can be attributed
+     by name in the [Process_crashed] diagnosis. *)
+  let label f () =
+    Kernel.set_label kernel name;
+    f ()
+  in
   let start () =
     match_with body ()
       {
@@ -20,29 +31,42 @@ let spawn kernel ~name:_ body =
             | Wait_ns (k, delay) ->
               Some
                 (fun (cont : (a, _) continuation) ->
-                  Kernel.schedule_after k ~delay (fun () -> continue cont ()))
+                  Kernel.schedule_after k ~delay (label (fun () -> continue cont ())))
             | Wait_event ev ->
               Some
                 (fun (cont : (a, _) continuation) ->
-                  Event.once ev (fun () -> continue cont ()))
+                  (* Blocked on an event: counted so a quiescent end
+                     with pending waiters diagnoses as [Starved]. *)
+                  let k = Event.kernel ev in
+                  Kernel.add_waiter k;
+                  Event.once ev
+                    (label (fun () ->
+                       Kernel.remove_waiter k;
+                       continue cont ())))
             | Wait_any events ->
               Some
                 (fun (cont : (a, _) continuation) ->
                   (* The continuation may resume only once; later
-                     notifications of the other events are ignored. *)
+                     notifications of the other events are ignored.
+                     One waiter is counted for the whole group and
+                     released on the first resume. *)
+                  let k = Event.kernel (List.hd events) in
+                  Kernel.add_waiter k;
                   let resumed = ref false in
                   List.iter
                     (fun ev ->
-                      Event.once ev (fun () ->
-                        if not !resumed then begin
-                          resumed := true;
-                          continue cont ()
-                        end))
+                      Event.once ev
+                        (label (fun () ->
+                           if not !resumed then begin
+                             resumed := true;
+                             Kernel.remove_waiter k;
+                             continue cont ()
+                           end)))
                     events)
             | _ -> None);
       }
   in
-  Kernel.schedule_now kernel start
+  Kernel.schedule_now kernel (label start)
 
 let wait_ns kernel delay =
   if delay < 0 then invalid_arg "Process.wait_ns: negative delay";

@@ -5,6 +5,7 @@ type 'a t = {
   mutable current : 'a;
   mutable next : 'a;
   mutable update_pending : bool;
+  mutable transform : ('a -> 'a) option;  (* saboteur interposition *)
   changed : Event.t;
   mutable changes : int;
   m_writes : Tabv_obs.Metrics.counter;  (* shared per kernel *)
@@ -20,6 +21,7 @@ let create kernel ~name ?(equal = ( = )) init =
     current = init;
     next = init;
     update_pending = false;
+    transform = None;
     changed = Event.create kernel (name ^ ".changed");
     changes = 0;
     m_writes = Tabv_obs.Metrics.counter metrics "signal.writes";
@@ -31,20 +33,43 @@ let read t = t.current
 
 let apply_update t () =
   t.update_pending <- false;
-  if not (t.equal t.current t.next) then begin
-    t.current <- t.next;
+  let next =
+    (* The interposition hook: a saboteur sees the driven value and
+       may replace it.  [t.next] keeps the honest driven value so a
+       disarmed saboteur restores it at the next refresh/update. *)
+    match t.transform with
+    | None -> t.next
+    | Some f -> f t.next
+  in
+  if not (t.equal t.current next) then begin
+    t.current <- next;
     t.changes <- t.changes + 1;
     Tabv_obs.Metrics.incr t.m_updates;
     Event.notify t.changed
   end
 
-let write t v =
-  t.next <- v;
-  Tabv_obs.Metrics.incr t.m_writes;
+let schedule_update t =
   if not t.update_pending then begin
     t.update_pending <- true;
     Kernel.request_update t.kernel (apply_update t)
   end
+
+let write t v =
+  t.next <- v;
+  Tabv_obs.Metrics.incr t.m_writes;
+  schedule_update t
+
+let interpose t f =
+  match t.transform with
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Signal.interpose: %s already has an interposer" t.name)
+  | None -> t.transform <- Some f
+
+let clear_interpose t = t.transform <- None
+let interposed t = t.transform <> None
+
+let refresh t = schedule_update t
 
 let changed t = t.changed
 let change_count t = t.changes

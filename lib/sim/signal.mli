@@ -19,6 +19,28 @@ val read : 'a t -> 'a
 (** Schedule [v] as the value after the next update phase. *)
 val write : 'a t -> 'a -> unit
 
+(** {2 Interposition (saboteurs)}
+
+    A fault-injection layer may install one {e transform} per signal:
+    each update-phase application first passes the driven value
+    through the transform, so a saboteur can force, flip or glitch the
+    observed value without touching the driving logic.  The honest
+    driven value is retained internally — clearing the interposer and
+    {!refresh}ing restores it. *)
+
+(** [interpose t f] installs [f] as the signal's transform.
+    @raise Invalid_argument if one is already installed (compose
+    faults into one transform instead). *)
+val interpose : 'a t -> ('a -> 'a) -> unit
+
+val clear_interpose : 'a t -> unit
+val interposed : 'a t -> bool
+
+(** Request an update-phase re-application of the last driven value
+    even without a new {!write}: this is how a saboteur arms or
+    disarms at an instant where the design itself is silent. *)
+val refresh : 'a t -> unit
+
 (** Notified each time the value actually changes. *)
 val changed : 'a t -> Event.t
 

@@ -36,6 +36,7 @@ module Initiator = struct
     kernel : Kernel.t;
     name : string;
     mutable target : Target.t option;
+    mutable interposer : ((payload -> unit) -> payload -> unit) option;
     mutable observers : (transaction -> unit) list;  (* reversed *)
     mutable completed : int;
     spans : Tabv_obs.Span.t;
@@ -51,6 +52,7 @@ module Initiator = struct
         kernel;
         name;
         target = None;
+        interposer = None;
         observers = [];
         completed = 0;
         spans = Tabv_obs.Span.create ();
@@ -80,7 +82,12 @@ module Initiator = struct
     | Some target ->
       Tabv_obs.Metrics.incr t.m_starts;
       let start_time = Kernel.now t.kernel in
-      target.Target.transport payload;
+      (* The mutator interposition hook: a fault layer wraps the
+         transport call and may corrupt, drop, delay or duplicate the
+         transaction without touching initiator or target logic. *)
+      (match t.interposer with
+      | None -> target.Target.transport payload
+      | Some f -> f target.Target.transport payload);
       let end_time = Kernel.now t.kernel in
       t.completed <- t.completed + 1;
       Tabv_obs.Metrics.incr t.m_completions;
@@ -91,6 +98,16 @@ module Initiator = struct
       let transaction = { payload; start_time; end_time } in
       List.iter (fun observe -> observe transaction) (List.rev t.observers)
 
+  let interpose t f =
+    match t.interposer with
+    | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Tlm.Initiator.interpose: %s already has an interposer"
+           t.name)
+    | None -> t.interposer <- Some f
+
+  let clear_interpose t = t.interposer <- None
+  let interposed t = t.interposer <> None
   let on_transaction t observe = t.observers <- observe :: t.observers
   let transaction_count t = t.completed
   let spans t = t.spans

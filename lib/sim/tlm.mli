@@ -59,6 +59,19 @@ module Initiator : sig
       @raise Invalid_argument when unbound. *)
   val b_transport : t -> payload -> unit
 
+  (** [interpose t f] installs a transaction mutator: every
+      {!b_transport} call becomes [f underlying payload] where
+      [underlying] is the bound target's transport.  A mutator may
+      corrupt the payload, skip the call (dropped response), call it
+      twice (duplicate), or consume extra simulation time first —
+      without touching initiator or target logic.  Observers and
+      timing still see the transaction as one completed call.
+      @raise Invalid_argument if one is already installed. *)
+  val interpose : t -> ((payload -> unit) -> payload -> unit) -> unit
+
+  val clear_interpose : t -> unit
+  val interposed : t -> bool
+
   (** Subscribe to completed transactions, in completion order. *)
   val on_transaction : t -> (transaction -> unit) -> unit
 

@@ -83,4 +83,252 @@ let tlm_cases =
       in
       Alcotest.(check bool) "failures" true (Testbench.total_failures result > 0)) ]
 
-let suite = ("fault_injection", rtl_cases @ tlm_cases)
+(* --- generic fault plans (lib/fault + Duv_fault catalog) -------------- *)
+
+module F = Tabv_fault.Fault
+module K = Tabv_sim.Kernel
+module J = Tabv_core.Report_json
+module Detect = Tabv_checker.Detect
+
+(* indata = 0 on every op so the p1/q1 antecedents fire. *)
+let zero_ops = Workload.des56 ~seed:3 ~count:8 ~zero_fraction:1.0 ()
+
+let catalog_plan level name =
+  match Duv_fault.plan_for Duv_fault.Des56 level name with
+  | Some plan -> plan
+  | None -> Alcotest.failf "no %s carrier for %s" name
+              (Duv_fault.level_to_string level)
+
+let plan_cases =
+  [ case "catalog saboteur at RTL is caught by p1" (fun () ->
+      let result =
+        Testbench.run_des56_rtl ~properties:Des56_props.all
+          ~fault_plan:(catalog_plan Duv_fault.Rtl "out_stuck0") zero_ops
+      in
+      Alcotest.(check bool) "triggered" true (result.Testbench.faults_triggered > 0);
+      Alcotest.(check bool) "p1 fails" true
+        (List.mem "p1" (failing_properties result)));
+    case "same conceptual fault at TLM-CA is caught by the re-used suite"
+      (fun () ->
+        let result =
+          Testbench.run_des56_tlm_ca ~properties:Des56_props.all
+            ~fault_plan:(catalog_plan Duv_fault.Tlm_ca "out_stuck0") zero_ops
+        in
+        Alcotest.(check bool) "triggered" true
+          (result.Testbench.faults_triggered > 0);
+        Alcotest.(check bool) "p1 fails" true
+          (List.mem "p1" (failing_properties result)));
+    case "same conceptual fault at TLM-AT is caught by the abstracted suite"
+      (fun () ->
+        let result =
+          Testbench.run_des56_tlm_at
+            ~properties:(Des56_props.tlm_reviewed ())
+            ~fault_plan:(catalog_plan Duv_fault.Tlm_at "out_stuck0") zero_ops
+        in
+        Alcotest.(check bool) "triggered" true
+          (result.Testbench.faults_triggered > 0);
+        Alcotest.(check bool) "failures" true
+          (Testbench.total_failures result > 0));
+    case "never-exercised fault is attributed Latent, not Missed" (fun () ->
+      let baseline =
+        Testbench.run_des56_rtl ~properties:Des56_props.all zero_ops
+      in
+      let result =
+        Testbench.run_des56_rtl ~properties:Des56_props.all
+          ~fault_plan:(catalog_plan Duv_fault.Rtl "out_stuck0_late") zero_ops
+      in
+      Alcotest.(check int) "never triggered" 0 result.Testbench.faults_triggered;
+      let verdicts =
+        Detect.classify ~triggered:result.Testbench.faults_triggered
+          ~baseline:baseline.Testbench.checker_stats
+          ~faulted:result.Testbench.checker_stats
+      in
+      Alcotest.(check string) "suite verdict" "latent"
+        (Detect.verdict_to_string (Detect.summary verdicts)));
+    case "deprecated Des56_rtl.fault shim matches its generic saboteur"
+      (fun () ->
+        let legacy =
+          Testbench.run_des56_rtl ~fault:Des56_rtl.Rdy_next_cycle_stuck_low
+            ~properties:Des56_props.all ops
+        in
+        let generic =
+          Testbench.run_des56_rtl
+            ~fault_plan:(catalog_plan Duv_fault.Rtl "rdy_nc_stuck0")
+            ~properties:Des56_props.all ops
+        in
+        Alcotest.(check (list string)) "same failing properties"
+          (failing_properties legacy) (failing_properties generic);
+        Alcotest.(check (list int64)) "same outputs"
+          legacy.Testbench.outputs generic.Testbench.outputs);
+    case "installing a plan against a missing carrier is rejected" (fun () ->
+      let kernel = K.create () in
+      let binding = { F.kernel; signals = []; sockets = [] } in
+      let plan =
+        F.plan ~name:"bad"
+          [ F.Signal_fault
+              { signal = "no_such"; fault = F.Stuck_at_0 { from_ns = 0 } } ]
+      in
+      match F.install binding plan with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ()) ]
+
+(* --- resilience: every diverging injection ends in a diagnosis -------- *)
+
+let diagnosis_cases =
+  [ case "TLM Hang mutator deadlocks into a Starved diagnosis" (fun () ->
+      let plan =
+        match Duv_fault.hang_plan Duv_fault.Des56 Duv_fault.Tlm_ca ~index:1 with
+        | Some plan -> plan
+        | None -> Alcotest.fail "expected a TLM-CA initiator socket"
+      in
+      let result =
+        Testbench.run_des56_tlm_ca ~properties:Des56_props.all ~fault_plan:plan
+          ~guard:Tabv_campaign.Qualify.job_guard ops
+      in
+      (match result.Testbench.diagnosis with
+       | K.Starved { waiting } ->
+         Alcotest.(check bool) "a waiter is blocked" true (waiting >= 1)
+       | d ->
+         Alcotest.failf "expected starved, got %s" (K.diagnosis_to_string d));
+      Alcotest.(check bool) "some ops never completed" true
+        (result.Testbench.completed_ops < List.length ops));
+    case "chaos crash is contained into a Process_crashed diagnosis" (fun () ->
+      let result =
+        Testbench.run_des56_rtl ~properties:Des56_props.all
+          ~fault_plan:(Duv_fault.crash_plan ~at_ns:45 ~name:"test_crash")
+          ~guard:Tabv_campaign.Qualify.job_guard ops
+      in
+      match result.Testbench.diagnosis with
+      | K.Process_crashed { name; _ } ->
+        Alcotest.(check string) "attributed" "test_crash" name
+      | d ->
+        Alcotest.failf "expected process_crashed, got %s"
+          (K.diagnosis_to_string d));
+    case "chaos livelock trips the delta cap into a Livelock diagnosis"
+      (fun () ->
+        let result =
+          Testbench.run_des56_rtl ~properties:Des56_props.all
+            ~fault_plan:(Duv_fault.livelock_plan ~at_ns:45)
+            ~guard:Tabv_campaign.Qualify.job_guard ops
+        in
+        match result.Testbench.diagnosis with
+        | K.Livelock { time; _ } -> Alcotest.(check int) "at injection" 45 time
+        | d ->
+          Alcotest.failf "expected livelock, got %s" (K.diagnosis_to_string d));
+    case "run diagnosis is surfaced in the metrics JSON" (fun () ->
+      let result = Testbench.run_des56_rtl ~properties:Des56_props.all ops in
+      let doc = J.of_string (J.to_string (Testbench.metrics_json result)) in
+      let run_section =
+        match J.member "run" doc with
+        | Some section -> section
+        | None -> Alcotest.fail "no run section"
+      in
+      (match J.member "diagnosis" run_section with
+       | Some diagnosis ->
+         Alcotest.(check bool) "kind" true
+           (J.member "kind" diagnosis = Some (J.String "completed"))
+       | None -> Alcotest.fail "no diagnosis in the run section");
+      Alcotest.(check bool) "faults_triggered" true
+        (J.member "faults_triggered" run_section = Some (J.Int 0))) ]
+
+(* --- plan JSON round-trips -------------------------------------------- *)
+
+let full_vocabulary_plan =
+  F.plan ~name:"everything"
+    [ F.Signal_fault { signal = "s0"; fault = F.Stuck_at_0 { from_ns = 10 } };
+      F.Signal_fault { signal = "s1"; fault = F.Stuck_at_1 { from_ns = 0 } };
+      F.Signal_fault { signal = "s2"; fault = F.Bit_flip { bit = 3; at_ns = 40 } };
+      F.Signal_fault
+        { signal = "s3";
+          fault = F.Glitch { bit = 0; from_ns = 170; duration_ns = 10 } };
+      F.Tlm_mutation
+        { socket = "init";
+          fault =
+            F.Corrupt_field
+              { field = "out"; fault = F.Stuck_at_0 { from_ns = 0 } } };
+      F.Tlm_mutation { socket = "init"; fault = F.Corrupt_data { index = 2; bit = 7 } };
+      F.Tlm_mutation { socket = "init"; fault = F.Drop { index = 1 } };
+      F.Tlm_mutation
+        { socket = "init"; fault = F.Extra_delay { index = 0; delay_ns = 30 } };
+      F.Tlm_mutation { socket = "init"; fault = F.Duplicate { index = 4 } };
+      F.Tlm_mutation { socket = "init"; fault = F.Hang { index = 5 } };
+      F.Chaos (F.Crash { at_ns = 45; name = "boom" });
+      F.Chaos (F.Livelock_loop { at_ns = 90 }) ]
+
+let json_cases =
+  [ case "every injection kind round-trips through JSON" (fun () ->
+      match F.plan_of_json (F.plan_json full_vocabulary_plan) with
+      | Ok plan ->
+        Alcotest.(check bool) "equal" true
+          (F.equal_plan full_vocabulary_plan plan)
+      | Error msg -> Alcotest.fail msg);
+    case "malformed plan documents are rejected with Error" (fun () ->
+      List.iter
+        (fun doc ->
+          match F.plan_of_string doc with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted %S" doc)
+        [ "{ not json"; "{}"; {|{"plan":"p"}|};
+          {|{"plan":"p","injections":[{"kind":"wat"}]}|};
+          {|{"plan":"p","injections":[{"kind":"signal","signal":"s"}]}|} ]);
+    Helpers.qtest ~count:100 "generated plans round-trip through JSON"
+      QCheck.(pair small_nat (int_bound 8))
+      (fun (seed, count) ->
+        let plan =
+          F.generate ~seed
+            ~signals:[ ("a", 1); ("b", 8); ("c", 64) ]
+            ~sockets:[ "init0"; "init1" ] ~horizon_ns:500 ~count
+        in
+        match F.plan_of_string (J.to_string (F.plan_json plan)) with
+        | Ok round -> F.equal_plan plan round
+        | Error _ -> false);
+    Helpers.qtest ~count:50 "generation is a pure function of the seed"
+      QCheck.small_nat
+      (fun seed ->
+        let gen () =
+          F.generate ~seed ~signals:[ ("a", 1); ("b", 16) ]
+            ~sockets:[ "init" ] ~horizon_ns:400 ~count:6
+        in
+        F.equal_plan (gen ()) (gen ())) ]
+
+(* --- qualification campaign ------------------------------------------- *)
+
+let qualify_cases =
+  [ Alcotest.test_case "qualification reports are worker-count independent"
+      `Slow (fun () ->
+        let open Tabv_campaign in
+        let report workers =
+          J.to_string
+            (Qualify.report_json
+               (Qualify.run ~workers ~duv:Campaign.Des56
+                  ~levels:[ Campaign.Rtl; Campaign.Tlm_ca ] ~seed:1 ~ops:8 ()))
+        in
+        Alcotest.(check string) "1 worker = 4 workers" (report 1) (report 4));
+    Alcotest.test_case "RTL detections carry over to TLM-CA (re-use claim)"
+      `Slow (fun () ->
+        let open Tabv_campaign in
+        let report =
+          Qualify.run ~workers:2 ~duv:Campaign.Des56
+            ~levels:[ Campaign.Rtl; Campaign.Tlm_ca ] ~seed:1 ~ops:40 ()
+        in
+        Alcotest.(check (list string)) "no cross-level regressions" []
+          report.Qualify.regressions;
+        Alcotest.(check bool) "resilience scenarios all matched" true
+          (List.for_all (fun s -> s.Qualify.matched) report.Qualify.resilience);
+        Alcotest.(check bool) "ok" true (Qualify.ok report);
+        List.iter
+          (fun (lr : Qualify.level_report) ->
+            Alcotest.(check bool)
+              (Campaign.level_name lr.Qualify.level ^ " detects something")
+              true (lr.Qualify.detected > 0);
+            Alcotest.(check bool)
+              (Campaign.level_name lr.Qualify.level ^ " clean baseline")
+              true
+              (lr.Qualify.baseline_failures = 0
+               && lr.Qualify.baseline_diagnosis = K.Completed))
+          report.Qualify.levels) ]
+
+let suite =
+  ( "fault_injection",
+    rtl_cases @ tlm_cases @ plan_cases @ diagnosis_cases @ json_cases
+    @ qualify_cases )

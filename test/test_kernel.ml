@@ -200,4 +200,90 @@ let stress_cases =
         ignore (Kernel.run k);
         !violations = 0) ]
 
-let suite = ("kernel", scheduling_cases @ event_cases @ thread_cases @ stress_cases)
+(* Watchdogs and end-of-run diagnosis: the graceful-degradation layer
+   the fault-qualification campaigns rely on.  Every diverging
+   behaviour (delta livelock, runaway time advance, process crash,
+   deadlocked waiters) must terminate with the matching structured
+   diagnosis instead of hanging or killing the process. *)
+let watchdog_cases =
+  [ run_kernel_case "clean run diagnoses Completed" (fun () ->
+      let k = Kernel.create () in
+      Kernel.schedule_at k ~time:10 ignore;
+      ignore (Kernel.run k);
+      Alcotest.(check bool) "completed" true
+        (Kernel.last_diagnosis k = Kernel.Completed);
+      Alcotest.(check int) "no trips" 0 (Kernel.watchdog_trip_count k));
+    run_kernel_case "delta cap diagnoses Livelock at the diverging instant"
+      (fun () ->
+        let k = Kernel.create () in
+        let rec spin () = Kernel.schedule_next_delta k spin in
+        Kernel.schedule_at k ~time:40 spin;
+        let guard = { Kernel.default_guard with max_delta_cycles = Some 50 } in
+        ignore (Kernel.run ~guard k);
+        (match Kernel.last_diagnosis k with
+         | Kernel.Livelock { time; delta_cycles } ->
+           Alcotest.(check int) "time" 40 time;
+           Alcotest.(check bool) "cap reached" true (delta_cycles >= 50)
+         | d ->
+           Alcotest.failf "expected livelock, got %s"
+             (Kernel.diagnosis_to_string d));
+        Alcotest.(check int) "one trip" 1 (Kernel.watchdog_trip_count k));
+    run_kernel_case "step budget diagnoses Budget_exhausted" (fun () ->
+      let k = Kernel.create () in
+      let rec tick time =
+        Kernel.schedule_at k ~time (fun () -> tick (time + 10))
+      in
+      tick 10;
+      let guard = { Kernel.default_guard with max_steps = Some 25 } in
+      ignore (Kernel.run ~guard k);
+      match Kernel.last_diagnosis k with
+      | Kernel.Budget_exhausted { steps } ->
+        Alcotest.(check int) "steps" 25 steps
+      | d ->
+        Alcotest.failf "expected budget_exhausted, got %s"
+          (Kernel.diagnosis_to_string d));
+    run_kernel_case "contained crash is attributed and the run continues"
+      (fun () ->
+        let k = Kernel.create () in
+        let survivor = ref false in
+        Process.spawn k ~name:"victim" (fun () ->
+          Process.wait_ns k 10;
+          failwith "boom");
+        Kernel.schedule_at k ~time:20 (fun () -> survivor := true);
+        let guard = { Kernel.default_guard with contain_crashes = true } in
+        ignore (Kernel.run ~guard k);
+        Alcotest.(check bool) "later event still fired" true !survivor;
+        Alcotest.(check int) "contained" 1 (Kernel.contained_crash_count k);
+        match Kernel.last_diagnosis k with
+        | Kernel.Process_crashed { name; error } ->
+          Alcotest.(check string) "name" "victim" name;
+          Alcotest.(check bool) "error recorded" true (String.length error > 0)
+        | d ->
+          Alcotest.failf "expected process_crashed, got %s"
+            (Kernel.diagnosis_to_string d));
+    run_kernel_case "uncontained crash still propagates" (fun () ->
+      let k = Kernel.create () in
+      Process.spawn k ~name:"victim" (fun () -> failwith "boom");
+      match Kernel.run k with
+      | _ -> Alcotest.fail "expected the exception to propagate"
+      | exception Failure _ -> ());
+    run_kernel_case "deadlock regression: starved waiters are diagnosed"
+      (fun () ->
+        (* A process blocks on an event nobody ever notifies.  The run
+           must terminate (no events left) and report the blocked
+           waiter instead of claiming completion. *)
+        let k = Kernel.create () in
+        let never = Event.create k "never" in
+        Process.spawn k ~name:"blocked" (fun () -> Process.wait_event never);
+        Kernel.schedule_at k ~time:10 ignore;
+        ignore (Kernel.run k);
+        match Kernel.last_diagnosis k with
+        | Kernel.Starved { waiting } -> Alcotest.(check int) "waiting" 1 waiting
+        | d ->
+          Alcotest.failf "expected starved, got %s"
+            (Kernel.diagnosis_to_string d)) ]
+
+let suite =
+  ( "kernel",
+    scheduling_cases @ event_cases @ thread_cases @ watchdog_cases
+    @ stress_cases )
