@@ -34,6 +34,13 @@
 #                         run -- writes BENCH_fault_overhead.json, and
 #                         FAILS if the slowdown exceeds 2% or the
 #                         latent plan perturbs the run)
+#   8. bench/main.exe --quick --isolate-only
+#                        (times the same crash-free job matrix on the
+#                         in-domain and subprocess executors, asserts
+#                         byte-identical report JSON across executors,
+#                         writes BENCH_isolate_overhead.json, and
+#                         FAILS if process isolation costs more than
+#                         1.5x the in-domain pool)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,5 +69,8 @@ dune exec bench/main.exe -- --quick --campaign-only
 
 echo "== fault-subsystem overhead gate (<= 2% armed-but-idle)"
 dune exec bench/main.exe -- --quick --fault-only
+
+echo "== subprocess isolation overhead gate (<= 1.5x in-domain)"
+dune exec bench/main.exe -- --quick --isolate-only
 
 echo "== all checks passed"

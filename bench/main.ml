@@ -563,6 +563,70 @@ let campaign_skip () =
     Out_channel.output_string oc (to_string json);
     Out_channel.output_char oc '\n')
 
+(* --- Subprocess isolation: overhead over in-domain workers --------- *)
+
+(* The subprocess executor buys crash containment (a SIGSEGV, OOM kill
+   or livelock in one job cannot take down the coordinator) at the
+   price of forked workers and a length-prefixed JSON wire.  Workers
+   are long-lived — one fork per worker slot, not per job — so the
+   price must stay a bounded multiple of the in-domain pool on a
+   healthy (crash-free) matrix.  This section times the same job
+   matrix on both executors with the same worker count, checks the two
+   reports byte for byte (the determinism contract spans executors),
+   and gates the ratio. *)
+
+let isolate_gate = 1.5
+let isolate_workers = 2
+
+let isolate_section ?(ops = 150) ?(repeat = 3) () =
+  print_endline
+    "=== Isolation: subprocess executor overhead (vs in-domain, 2 workers) ===";
+  let open Tabv_campaign in
+  let open Tabv_campaign.Campaign in
+  let jobs =
+    expand_matrix
+      ~duvs:[ Des56; Colorconv ]
+      ~levels:[ Rtl; Tlm_ca; Tlm_at ]
+      ~seeds:[ 1; 2 ] ~ops ()
+  in
+  let exec_in = Executor.config Executor.In_domain in
+  let exec_sub = Executor.config Executor.Subprocess in
+  let report exec =
+    Tabv_core.Report_json.to_string
+      (report_json (run ~workers:isolate_workers ~exec jobs))
+  in
+  let identical = String.equal (report exec_in) (report exec_sub) in
+  let t_in =
+    timed ~repeat (fun () -> run ~workers:isolate_workers ~exec:exec_in jobs)
+  in
+  let t_sub =
+    timed ~repeat (fun () -> run ~workers:isolate_workers ~exec:exec_sub jobs)
+  in
+  let ratio = t_sub /. t_in in
+  Printf.printf "jobs             : %d (ops=%d each)\n" (List.length jobs) ops;
+  Printf.printf "in-domain        : %8.3f s\n" t_in;
+  Printf.printf "subprocess       : %8.3f s\n" t_sub;
+  Printf.printf "ratio            : %8.2fx  (gate: <= %.1fx)\n" ratio isolate_gate;
+  Printf.printf "report identical : %b\n" identical;
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("benchmark", String "isolate_overhead");
+        ("jobs", Int (List.length jobs));
+        ("ops_per_job", Int ops);
+        ("workers", Int isolate_workers);
+        ("seconds_in_domain", Float t_in);
+        ("seconds_subprocess", Float t_sub);
+        ("ratio", Float ratio);
+        ("gate", Float isolate_gate);
+        ("report_identical", Bool identical) ]
+  in
+  Out_channel.with_open_text "BENCH_isolate_overhead.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n');
+  Printf.printf "wrote BENCH_isolate_overhead.json (ratio %.2fx)\n\n" ratio;
+  (ratio, identical)
+
 (* --- Fault subsystem: armed-but-idle overhead ----------------------- *)
 
 (* The fault subsystem's contract is "free when unused": the Signal /
@@ -707,12 +771,22 @@ let bechamel_section () =
 
 (* --- driver ------------------------------------------------------- *)
 
+(* Hidden subprocess-executor hook: the isolation-overhead gate runs
+   campaigns on the subprocess executor with the default worker argv,
+   which re-executes *this* binary with [_worker]. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "_worker" then begin
+    Tabv_campaign.Worker.main ();
+    exit 0
+  end
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let skip_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv in
   let cache_only = Array.exists (fun a -> a = "--cache-only") Sys.argv in
   let obs_only = Array.exists (fun a -> a = "--obs-only") Sys.argv in
   let campaign_only = Array.exists (fun a -> a = "--campaign-only") Sys.argv in
+  let isolate_only = Array.exists (fun a -> a = "--isolate-only") Sys.argv in
   let fault_only = Array.exists (fun a -> a = "--fault-only") Sys.argv in
   let des_count = if quick then 1000 else 8000 in
   let pixel_count = if quick then 20_000 else 150_000 in
@@ -751,6 +825,24 @@ let () =
     if speedup < campaign_gate then begin
       Printf.eprintf "FAIL: campaign scaling %.2fx < %.1fx\n" speedup
         campaign_gate;
+      exit 1
+    end;
+    exit 0
+  end;
+  if isolate_only then begin
+    (* CI entry point (bench/check.sh): the price of process
+       isolation — the subprocess executor must produce the same
+       report bytes as the in-domain pool and cost at most
+       [isolate_gate]x its wall-clock on a crash-free matrix. *)
+    let ratio, identical = isolate_section ~ops:(if quick then 60 else 150) () in
+    if not identical then begin
+      Printf.eprintf
+        "FAIL: subprocess and in-domain campaign reports differ\n";
+      exit 1
+    end;
+    if ratio > isolate_gate then begin
+      Printf.eprintf "FAIL: subprocess isolation overhead %.2fx > %.1fx\n"
+        ratio isolate_gate;
       exit 1
     end;
     exit 0
@@ -809,6 +901,7 @@ let () =
   (if Domain.recommended_domain_count () >= campaign_workers then
      ignore (campaign_section ~ops:(des_count / 20) ())
    else campaign_skip ());
+  ignore (isolate_section ~ops:(des_count / 50) ());
   memctrl_section (des_count * 2);
   if not skip_bechamel then bechamel_section ();
   print_endline "done."

@@ -472,6 +472,75 @@ let replay_cmd =
   let doc = "Check properties offline against a recorded VCD waveform." in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ vcd $ props)
 
+(* --- campaign / qualify shared plumbing --------------------------- *)
+
+(* Executor, journal and interrupt flags shared by `campaign` and
+   `qualify`. *)
+
+let isolate_arg =
+  Arg.(value & flag & info [ "isolate" ]
+         ~doc:"Run jobs in crash-isolated worker subprocesses instead of \
+               in-process domains.  A job that aborts, segfaults, allocates \
+               without bound or busy-loops kills only its worker; the \
+               campaign records the death and continues.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+         ~doc:"Per-job wall-clock watchdog (requires $(b,--isolate)): a \
+               worker still running after SECS is SIGKILLed and the job \
+               recorded as timed out after its retries are exhausted.")
+
+let journal_arg =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Write-ahead journal: append every completed job's result \
+               durably to FILE as it finishes, so an interrupted run can be \
+               finished later with $(b,--resume).")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Replay completed jobs from the $(b,--journal) file instead \
+               of re-running them.  The journal must belong to exactly this \
+               campaign (same jobs, same retry budget); the final report is \
+               byte-identical to an uninterrupted run.")
+
+(* Build the executor configuration from the flags. *)
+let executor_of_flags ~fail ~isolate ~timeout =
+  let open Tabv_campaign.Executor in
+  match (isolate, timeout) with
+  | false, Some _ -> fail "--timeout requires --isolate"
+  | false, None -> config In_domain
+  | true, timeout -> config ?job_timeout_s:timeout Subprocess
+
+(* Open (or not) the journal named by the flags. *)
+let journal_of_flags ~fail ~kind ~fingerprint ~path ~resume =
+  match (path, resume) with
+  | None, true -> fail "--resume requires --journal"
+  | None, false -> None
+  | Some path, resume ->
+    (match Tabv_campaign.Journal.open_ ~path ~kind ~fingerprint ~resume () with
+     | Ok j -> Some j
+     | Error msg -> fail (Printf.sprintf "%s: %s" path msg))
+
+(* Run [f interrupted] with SIGINT/SIGTERM captured into [interrupted]
+   (restoring the previous dispositions afterwards), so a ^C drains
+   gracefully: workers die, the journal keeps its completed records,
+   and the command reports what is pending instead of vanishing. *)
+let with_interrupt f =
+  let flag = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+  let previous_int = Sys.signal Sys.sigint handler in
+  let previous_term = Sys.signal Sys.sigterm handler in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint previous_int;
+      Sys.set_signal Sys.sigterm previous_term)
+    (fun () -> f (fun () -> Atomic.get flag))
+
+(* The "how to pick the run back up" part of an interrupt message. *)
+let resume_hint = function
+  | Some path -> Printf.sprintf "; resume with --journal %s --resume" path
+  | None -> " (no --journal, so completed work is lost)"
+
 (* --- campaign ----------------------------------------------------- *)
 
 let campaign_cmd =
@@ -520,7 +589,8 @@ let campaign_cmd =
            ~doc:"Write the deterministic campaign report as JSON to FILE \
                  ('-' for stdout).")
   in
-  let run manifest duvs levels seeds ops props workers retries report_out =
+  let run manifest duvs levels seeds ops props workers retries report_out
+      isolate timeout journal_path resume =
     let fail msg = Printf.eprintf "tabv campaign: %s\n" msg; exit 2 in
     let manifest =
       match manifest with
@@ -563,8 +633,19 @@ let campaign_cmd =
       | Some w -> fail (Printf.sprintf "--workers must be >= 1 (got %d)" w)
       | None -> min (Domain.recommended_domain_count ()) (List.length jobs)
     in
+    let exec = executor_of_flags ~fail ~isolate ~timeout in
+    let journal =
+      journal_of_flags ~fail ~kind:Campaign.journal_kind
+        ~fingerprint:(Campaign.fingerprint ~retries jobs) ~path:journal_path
+        ~resume
+    in
     let summary =
-      Campaign.run ~workers ~retries ~clock:Unix.gettimeofday jobs
+      Fun.protect
+        ~finally:(fun () -> Option.iter Journal.close journal)
+        (fun () ->
+          with_interrupt (fun interrupted ->
+            Campaign.run ~workers ~retries ~clock:Unix.gettimeofday ~exec
+              ?journal ~interrupted jobs))
     in
     Format.printf "%a@." Campaign.pp_summary summary;
     (match report_out with
@@ -579,15 +660,22 @@ let campaign_cmd =
        output_char oc '\n';
        close_out oc;
        Printf.printf "wrote campaign report to %s\n" path);
+    if summary.Campaign.pending > 0 then begin
+      Printf.eprintf "tabv campaign: interrupted with %d job(s) pending%s\n"
+        summary.Campaign.pending (resume_hint journal_path);
+      exit 130
+    end;
     if not (Campaign.all_green summary) then exit 1
   in
   let doc =
-    "Run a verification campaign (job matrix) on a pool of worker domains."
+    "Run a verification campaign (job matrix) on a pool of worker domains \
+     or crash-isolated worker subprocesses."
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ manifest $ duvs $ levels $ seeds $ ops $ props $ workers
-      $ retries $ report_out)
+      $ retries $ report_out $ isolate_arg $ timeout_arg $ journal_arg
+      $ resume_arg)
 
 (* --- qualify ------------------------------------------------------ *)
 
@@ -615,12 +703,17 @@ let qualify_cmd =
            ~doc:"Worker domains (default: the machine's recommended domain \
                  count).")
   in
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retries per crashing pool job (default 1).")
+  in
   let report_out =
     Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
            ~doc:"Write the deterministic detection-matrix report as JSON to \
                  FILE ('-' for stdout).")
   in
-  let run duv levels seed ops workers report_out =
+  let run duv levels seed ops workers retries report_out isolate timeout
+      journal_path resume =
     let fail msg = Printf.eprintf "tabv qualify: %s\n" msg; exit 2 in
     let duv =
       match Campaign.duv_of_name duv with
@@ -644,9 +737,28 @@ let qualify_cmd =
       | Some w -> fail (Printf.sprintf "--workers must be >= 1 (got %d)" w)
       | None -> Domain.recommended_domain_count ()
     in
+    let exec = executor_of_flags ~fail ~isolate ~timeout in
+    let journal =
+      journal_of_flags ~fail ~kind:Qualify.journal_kind
+        ~fingerprint:(Qualify.fingerprint ~duv ~levels ~seed ~ops)
+        ~path:journal_path ~resume
+    in
     let report =
-      try Qualify.run ~workers ~duv ~levels ~seed ~ops ()
-      with Invalid_argument msg -> fail msg
+      try
+        Fun.protect
+          ~finally:(fun () -> Option.iter Journal.close journal)
+          (fun () ->
+            with_interrupt (fun interrupted ->
+              Qualify.run ~workers ~retries ~exec ?journal ~interrupted ~duv
+                ~levels ~seed ~ops ()))
+      with
+      | Invalid_argument msg -> fail msg
+      | Qualify.Interrupted ->
+        Printf.eprintf
+          "tabv qualify: interrupted before the pool drained; a partial \
+           detection matrix is meaningless, so no report was produced%s\n"
+          (resume_hint journal_path);
+        exit 130
     in
     Format.printf "%a@." Qualify.pp_report report;
     (match report_out with
@@ -669,7 +781,9 @@ let qualify_cmd =
      resilience scenarios."
   in
   Cmd.v (Cmd.info "qualify" ~doc)
-    Term.(const run $ duv $ levels $ seed $ ops $ workers $ report_out)
+    Term.(
+      const run $ duv $ levels $ seed $ ops $ workers $ retries $ report_out
+      $ isolate_arg $ timeout_arg $ journal_arg $ resume_arg)
 
 (* --- doctor ------------------------------------------------------- *)
 
@@ -732,6 +846,55 @@ let doctor_cmd =
     check "mini-campaign (4 jobs, 2 worker domains)"
       (Tabv_campaign.Campaign.all_green mini_campaign
        && mini_campaign.Tabv_campaign.Campaign.completed = 4);
+    let executor_smoke =
+      let open Tabv_campaign in
+      let jobs =
+        Campaign.expand_matrix ~duvs:[ Campaign.Des56 ]
+          ~levels:[ Campaign.Rtl; Campaign.Tlm_ca ] ~seeds:[ 1 ] ~ops:10 ()
+      in
+      let report exec =
+        Tabv_core.Report_json.to_string
+          (Campaign.report_json (Campaign.run ~workers:2 ~exec jobs))
+      in
+      report (Executor.config Executor.In_domain)
+      = report (Executor.config Executor.Subprocess)
+    in
+    check "subprocess executor matches in-domain (byte-identical report)"
+      executor_smoke;
+    let journal_smoke =
+      let open Tabv_campaign in
+      let jobs =
+        Campaign.expand_matrix ~duvs:[ Campaign.Colorconv ]
+          ~levels:[ Campaign.Rtl ] ~seeds:[ 1; 2 ] ~ops:10 ()
+      in
+      let fingerprint = Campaign.fingerprint ~retries:1 jobs in
+      let path = Filename.temp_file "tabv_doctor" ".journal" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let with_journal ~resume f =
+            match
+              Journal.open_ ~path ~kind:Campaign.journal_kind ~fingerprint
+                ~resume ()
+            with
+            | Error msg -> failwith msg
+            | Ok j ->
+              Fun.protect ~finally:(fun () -> Journal.close j) (fun () -> f j)
+          in
+          let fresh =
+            with_journal ~resume:false (fun journal ->
+              Campaign.run ~workers:2 ~journal jobs)
+          in
+          let resumed =
+            with_journal ~resume:true (fun journal ->
+              Campaign.run ~workers:2 ~journal jobs)
+          in
+          resumed.Campaign.replayed = List.length jobs
+          && Tabv_core.Report_json.to_string (Campaign.report_json fresh)
+             = Tabv_core.Report_json.to_string (Campaign.report_json resumed))
+    in
+    check "journal round-trip (resume replays all jobs byte-identically)"
+      journal_smoke;
     if !failures = 0 then print_endline "all checks passed"
     else begin
       Printf.printf "%d check(s) FAILED\n" !failures;
@@ -752,6 +915,16 @@ let fig3_cmd =
   in
   let doc = "Reproduce the paper's Fig. 3 property rewriting (p1-p3 to q1-q3)." in
   Cmd.v (Cmd.info "fig3" ~doc) Term.(const run $ const ())
+
+(* The hidden worker hook: `tabv _worker` never parses a command line —
+   it turns this process into a frame server for a subprocess-executor
+   coordinator (usually another tabv).  Must run before Cmd.eval so no
+   cmdliner output pollutes the frame protocol on stdout. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "_worker" then begin
+    Tabv_campaign.Worker.main ();
+    exit 0
+  end
 
 let () =
   let doc = "RTL property abstraction for TLM assertion-based verification" in

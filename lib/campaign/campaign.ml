@@ -2,17 +2,18 @@
 
    One campaign = the paper's evaluation matrix as data: every job
    names a DUV, an abstraction level, a workload (seed, size) and a
-   property selection, and the pool executes them on N spawned
-   domains.  See campaign.mli for the determinism and domain-safety
-   contracts; the short version is that all shared mutable state is
-   one [Atomic] queue index plus one result slot per job, every job
-   starts from a fresh per-domain checker universe, and everything
-   reported in JSON is simulation-derived (no wall clock, no worker
-   count). *)
+   property selection, and the jobs execute on a pluggable
+   {!Executor} — the in-domain pool of spawned domains, or a pool of
+   crash-isolated worker subprocesses.  See campaign.mli for the
+   determinism contracts; the short version is that every job starts
+   from a fresh checker universe, a job's result is a pure function of
+   its spec, and everything reported in JSON is simulation-derived (no
+   wall clock, no worker count, no executor kind). *)
 
 open Tabv_psl
 open Tabv_checker
 open Tabv_duv
+module J = Tabv_core.Report_json
 
 (* --- job model ------------------------------------------------------ *)
 
@@ -32,6 +33,10 @@ type selection =
   | Take of int
   | No_checkers
 
+type chaos_kind =
+  | Chaos_raise
+  | Chaos_hard of Tabv_fault.Fault.hard_failure
+
 type job = {
   duv : duv;
   level : level;
@@ -39,10 +44,12 @@ type job = {
   ops : int;
   selection : selection;
   chaos : int;
+  chaos_kind : chaos_kind;
 }
 
-let job ?(selection = All) ?(chaos = 0) ~duv ~level ~seed ~ops () =
-  { duv; level; seed; ops; selection; chaos }
+let job ?(selection = All) ?(chaos = 0) ?(chaos_kind = Chaos_raise) ~duv ~level
+    ~seed ~ops () =
+  { duv; level; seed; ops; selection; chaos; chaos_kind }
 
 let duv_name = function
   | Des56 -> "des56"
@@ -59,6 +66,10 @@ let selection_name = function
   | All -> "all"
   | Take n -> string_of_int n
   | No_checkers -> "none"
+
+let chaos_kind_name = function
+  | Chaos_raise -> "raise"
+  | Chaos_hard f -> Tabv_fault.Fault.hard_failure_name f
 
 let duv_of_name = function
   | "des56" -> Some Des56
@@ -80,6 +91,10 @@ let selection_of_name = function
     (match int_of_string_opt s with
      | Some n when n >= 0 -> Some (Take n)
      | Some _ | None -> None)
+
+let chaos_kind_of_name = function
+  | "raise" -> Some Chaos_raise
+  | s -> Option.map (fun f -> Chaos_hard f) (Tabv_fault.Fault.hard_failure_of_name s)
 
 let job_name job =
   Printf.sprintf "%s/%s seed=%d ops=%d props=%s" (duv_name job.duv)
@@ -106,7 +121,9 @@ let expand_matrix ?(selection = All) ~duvs ~levels ~seeds ~ops () =
           | (Colorconv | Memctrl), Tlm_lt -> []
           | _ ->
             List.map
-              (fun seed -> { duv; level; seed; ops; selection; chaos = 0 })
+              (fun seed ->
+                { duv; level; seed; ops; selection; chaos = 0;
+                  chaos_kind = Chaos_raise })
               seeds)
         levels)
     duvs
@@ -129,19 +146,19 @@ let rec map_result f = function
     Ok (y :: ys)
 
 let open_assoc what = function
-  | Tabv_core.Report_json.Assoc fields -> Ok fields
+  | J.Assoc fields -> Ok fields
   | _ -> Error (what ^ ": expected an object")
 
 let open_list what = function
-  | Tabv_core.Report_json.List items -> Ok items
+  | J.List items -> Ok items
   | _ -> Error (what ^ ": expected an array")
 
 let open_int what = function
-  | Tabv_core.Report_json.Int n -> Ok n
+  | J.Int n -> Ok n
   | _ -> Error (what ^ ": expected an integer")
 
 let open_string what = function
-  | Tabv_core.Report_json.String s -> Ok s
+  | J.String s -> Ok s
   | _ -> Error (what ^ ": expected a string")
 
 let check_keys what allowed fields =
@@ -150,19 +167,20 @@ let check_keys what allowed fields =
   | None -> Ok ()
 
 let selection_of_json what = function
-  | Tabv_core.Report_json.String s ->
+  | J.String s ->
     (match selection_of_name s with
      | Some sel -> Ok sel
      | None ->
        Error (Printf.sprintf "%s: props must be \"all\", \"none\" or n" what))
-  | Tabv_core.Report_json.Int n when n >= 0 -> Ok (Take n)
+  | J.Int n when n >= 0 -> Ok (Take n)
   | _ -> Error (Printf.sprintf "%s: props must be \"all\", \"none\" or n" what)
 
-let job_of_json index json =
-  let what = Printf.sprintf "jobs[%d]" index in
+let job_of_json_what what json =
   let* fields = open_assoc what json in
   let* () =
-    check_keys what [ "duv"; "level"; "seed"; "ops"; "props"; "chaos" ] fields
+    check_keys what
+      [ "duv"; "level"; "seed"; "ops"; "props"; "chaos"; "chaos_kind" ]
+      fields
   in
   let field key = List.assoc_opt key fields in
   let* duv =
@@ -203,9 +221,44 @@ let job_of_json index json =
     | None -> Ok 0
     | Some v -> open_int (what ^ ".chaos") v
   in
-  let job = { duv; level; seed; ops; selection; chaos } in
+  let* chaos_kind =
+    match field "chaos_kind" with
+    | None -> Ok Chaos_raise
+    | Some v ->
+      let* name = open_string (what ^ ".chaos_kind") v in
+      (match chaos_kind_of_name name with
+       | Some k -> Ok k
+       | None ->
+         Error
+           (Printf.sprintf
+              "%s: chaos_kind must be \"raise\", \"abort\", \"alloc_storm\" or \
+               \"busy_loop\" (got %S)"
+              what name))
+  in
+  let job = { duv; level; seed; ops; selection; chaos; chaos_kind } in
   let* () = validate job in
   Ok job
+
+let job_of_json index json =
+  job_of_json_what (Printf.sprintf "jobs[%d]" index) json
+
+let job_spec_of_json json = job_of_json_what "job" json
+
+(* Canonical job spec: the manifest-format object a worker request and
+   the journal fingerprint are built from. *)
+let job_spec_json job =
+  J.Assoc
+    ([ ("duv", J.String (duv_name job.duv));
+       ("level", J.String (level_name job.level));
+       ("seed", J.Int job.seed);
+       ("ops", J.Int job.ops);
+       ("props", J.String (selection_name job.selection));
+       ("chaos", J.Int job.chaos) ]
+    @
+    match job.chaos_kind with
+    | Chaos_raise -> []
+    | Chaos_hard _ ->
+      [ ("chaos_kind", J.String (chaos_kind_name job.chaos_kind)) ])
 
 let matrix_of_json json =
   let what = "matrix" in
@@ -213,7 +266,7 @@ let matrix_of_json json =
   let* () = check_keys what [ "duvs"; "levels"; "seeds"; "ops"; "props" ] fields in
   let field key = List.assoc_opt key fields in
   let names what_key of_name = function
-    | Tabv_core.Report_json.List items ->
+    | J.List items ->
       map_result
         (fun item ->
           let* name = open_string what_key item in
@@ -286,9 +339,9 @@ let manifest_of_json json =
   | manifest_jobs -> Ok { manifest_jobs; manifest_retries }
 
 let manifest_of_string text =
-  match Tabv_core.Report_json.of_string text with
+  match J.of_string text with
   | json -> manifest_of_json json
-  | exception Tabv_core.Report_json.Parse_error { line; col; message } ->
+  | exception J.Parse_error { line; col; message } ->
     Error (Printf.sprintf "%d:%d: %s" line col message)
 
 (* --- single-job execution ------------------------------------------- *)
@@ -369,9 +422,112 @@ let run_testbench job ~metrics =
   run_level ~selection:job.selection ?metrics job.duv job.level ~seed:job.seed
     ~ops:job.ops
 
+(* --- execution payloads --------------------------------------------- *)
+
+(* Everything a completed job contributes to the report, and nothing
+   else: the payload is the unit that crosses a worker pipe and lands
+   in the journal, so a result is field-for-field identical whether it
+   was produced in-process, in a subprocess, or replayed from disk. *)
+type exec_payload = {
+  p_sim_time_ns : int;
+  p_kernel_activations : int;
+  p_delta_cycles : int;
+  p_transactions : int;
+  p_completed_ops : int;
+  p_checker_stats : Tabv_obs.Checker_snapshot.t list;
+  p_metrics : Tabv_obs.Metrics.snapshot;
+  p_diagnosis : Tabv_sim.Kernel.diagnosis;
+}
+
+let payload_of_run (r : Testbench.run_result) =
+  {
+    p_sim_time_ns = r.Testbench.sim_time_ns;
+    p_kernel_activations = r.Testbench.kernel_activations;
+    p_delta_cycles = r.Testbench.delta_cycles;
+    p_transactions = r.Testbench.transactions;
+    p_completed_ops = r.Testbench.completed_ops;
+    p_checker_stats = r.Testbench.checker_stats;
+    p_metrics = r.Testbench.metrics;
+    p_diagnosis = r.Testbench.diagnosis;
+  }
+
+let payload_json p =
+  J.Assoc
+    [ ("sim_time_ns", J.Int p.p_sim_time_ns);
+      ("kernel_activations", J.Int p.p_kernel_activations);
+      ("delta_cycles", J.Int p.p_delta_cycles);
+      ("transactions", J.Int p.p_transactions);
+      ("completed_ops", J.Int p.p_completed_ops);
+      ("diagnosis", Tabv_fault.Fault.diagnosis_json p.p_diagnosis);
+      ("properties", J.List (List.map J.checker_snapshot_json p.p_checker_stats));
+      ("metrics", J.metrics_snapshot_json p.p_metrics) ]
+
+let payload_of_json json =
+  let what = "job payload" in
+  let* fields = Wire.open_assoc what json in
+  let* p_sim_time_ns = Wire.int_field what "sim_time_ns" fields in
+  let* p_kernel_activations = Wire.int_field what "kernel_activations" fields in
+  let* p_delta_cycles = Wire.int_field what "delta_cycles" fields in
+  let* p_transactions = Wire.int_field what "transactions" fields in
+  let* p_completed_ops = Wire.int_field what "completed_ops" fields in
+  let* p_diagnosis =
+    let* v = Wire.field what "diagnosis" fields in
+    Wire.diagnosis_of_json v
+  in
+  let* p_checker_stats =
+    let* v = Wire.field what "properties" fields in
+    let* items = Wire.open_list (what ^ ".properties") v in
+    Wire.map_result Wire.checker_snapshot_of_json items
+  in
+  let* p_metrics =
+    let* v = Wire.field what "metrics" fields in
+    Wire.metrics_snapshot_of_json v
+  in
+  Ok
+    {
+      p_sim_time_ns;
+      p_kernel_activations;
+      p_delta_cycles;
+      p_transactions;
+      p_completed_ops;
+      p_checker_stats;
+      p_metrics;
+      p_diagnosis;
+    }
+
+let exec_job ~attempt ~metrics_enabled job =
+  (* Fresh interning + obligation universes per attempt: job
+     statistics become placement-independent (the determinism
+     contract) and a crashed attempt's half-built tables are
+     discarded rather than inherited by the retry. *)
+  Progression.reset_universe ();
+  if attempt <= job.chaos then begin
+    match job.chaos_kind with
+    | Chaos_raise -> raise Chaos
+    | Chaos_hard failure -> Tabv_fault.Fault.execute_hard_failure failure
+  end;
+  let metrics =
+    if metrics_enabled then Some (Tabv_obs.Metrics.create ~enabled:true ())
+    else None
+  in
+  payload_of_run (run_testbench job ~metrics)
+
+(* --- worker protocol ------------------------------------------------- *)
+
+let request_json ~attempt ~metrics job =
+  J.Assoc
+    [ ("op", J.String "campaign_job");
+      ("attempt", J.Int attempt);
+      ("metrics", J.Bool metrics);
+      ("job", job_spec_json job) ]
+
+(* --- results --------------------------------------------------------- *)
+
 type outcome =
   | Completed
   | Crashed of { error : string }
+  | Killed of { signal : int }
+  | Timed_out
 
 type job_result = {
   job_id : int;
@@ -390,63 +546,76 @@ type job_result = {
   wall_seconds : float;
 }
 
-let run_job ~attempt ~metrics_enabled job =
-  (* Fresh interning + obligation universes per attempt: job
-     statistics become placement-independent (the determinism
-     contract) and a crashed attempt's half-built tables are
-     discarded rather than inherited by the retry. *)
-  Progression.reset_universe ();
-  if attempt <= job.chaos then raise Chaos;
-  let metrics =
-    if metrics_enabled then Some (Tabv_obs.Metrics.create ~enabled:true ())
-    else None
-  in
-  run_testbench job ~metrics
+let result_of_payload ~job_id ~job ~attempts ~wall_seconds p =
+  {
+    job_id;
+    job;
+    outcome = Completed;
+    attempts;
+    sim_time_ns = p.p_sim_time_ns;
+    kernel_activations = p.p_kernel_activations;
+    delta_cycles = p.p_delta_cycles;
+    transactions = p.p_transactions;
+    completed_ops = p.p_completed_ops;
+    failures = Tabv_obs.Checker_snapshot.total_failures p.p_checker_stats;
+    checker_stats = p.p_checker_stats;
+    metrics = p.p_metrics;
+    diagnosis = p.p_diagnosis;
+    wall_seconds;
+  }
 
-let run_one ~retries ~clock ~metrics_enabled job_id job =
-  let t0 = clock () in
-  let max_attempts = retries + 1 in
-  let rec go attempt =
-    match run_job ~attempt ~metrics_enabled job with
-    | result ->
-      {
-        job_id;
-        job;
-        outcome = Completed;
-        attempts = attempt;
-        sim_time_ns = result.Testbench.sim_time_ns;
-        kernel_activations = result.Testbench.kernel_activations;
-        delta_cycles = result.Testbench.delta_cycles;
-        transactions = result.Testbench.transactions;
-        completed_ops = result.Testbench.completed_ops;
-        failures = Testbench.total_failures result;
-        checker_stats = result.Testbench.checker_stats;
-        metrics = result.Testbench.metrics;
-        diagnosis = result.Testbench.diagnosis;
-        wall_seconds = clock () -. t0;
-      }
-    | exception e ->
-      let error = Printexc.to_string e in
-      if attempt >= max_attempts then
-        {
-          job_id;
-          job;
-          outcome = Crashed { error };
-          attempts = attempt;
-          sim_time_ns = 0;
-          kernel_activations = 0;
-          delta_cycles = 0;
-          transactions = 0;
-          completed_ops = 0;
-          failures = 0;
-          checker_stats = [];
-          metrics = [];
-          diagnosis = Tabv_sim.Kernel.Process_crashed { name = "campaign-job"; error };
-          wall_seconds = clock () -. t0;
-        }
-      else go (attempt + 1)
+let result_of_failure ~job_id ~job ~attempts failure =
+  let outcome, name, error =
+    match (failure : Executor.failure) with
+    | Executor.Crashed { error } -> (Crashed { error }, "campaign-job", error)
+    | Executor.Killed { signal } ->
+      ( Killed { signal },
+        "campaign-worker",
+        Printf.sprintf "killed by signal %d" signal )
+    | Executor.Timed_out ->
+      (Timed_out, "campaign-worker", "wall-clock watchdog expired")
   in
-  go 1
+  {
+    job_id;
+    job;
+    outcome;
+    attempts;
+    sim_time_ns = 0;
+    kernel_activations = 0;
+    delta_cycles = 0;
+    transactions = 0;
+    completed_ops = 0;
+    failures = 0;
+    checker_stats = [];
+    metrics = [];
+    diagnosis = Tabv_sim.Kernel.Process_crashed { name; error };
+    wall_seconds = 0.;
+  }
+
+(* --- journal records ------------------------------------------------- *)
+
+let journal_kind = "campaign"
+
+let fingerprint ~retries jobs =
+  Journal.fingerprint_of_string
+    (J.to_string
+       (J.Assoc
+          [ ("kind", J.String journal_kind);
+            ("retries", J.Int retries);
+            ("jobs", J.List (List.map job_spec_json jobs)) ]))
+
+let record_json ~attempts payload =
+  J.Assoc [ ("attempts", J.Int attempts); ("payload", payload_json payload) ]
+
+let record_of_json json =
+  let what = "campaign journal record" in
+  let* fields = Wire.open_assoc what json in
+  let* attempts = Wire.int_field what "attempts" fields in
+  let* payload =
+    let* v = Wire.field what "payload" fields in
+    payload_of_json v
+  in
+  Ok (attempts, payload)
 
 (* --- the pool ------------------------------------------------------- *)
 
@@ -456,6 +625,10 @@ type summary = {
   retries : int;
   completed : int;
   crashed : int;
+  killed : int;
+  timed_out : int;
+  replayed : int;
+  pending : int;
   total_failures : int;
   total_sim_time_ns : int;
   total_activations : int;
@@ -471,11 +644,11 @@ type summary = {
   wall_seconds : float;
 }
 
-let summarize ~workers ~retries ~wall_seconds results =
-  let crashed =
-    List.length
-      (List.filter (fun r -> r.outcome <> Completed) results)
-  in
+let summarize ~workers ~retries ~replayed ~pending ~wall_seconds results =
+  let count p = List.length (List.filter p results) in
+  let crashed = count (fun r -> match r.outcome with Crashed _ -> true | _ -> false) in
+  let killed = count (fun r -> match r.outcome with Killed _ -> true | _ -> false) in
+  let timed_out = count (fun r -> r.outcome = Timed_out) in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
   let stat_sum f =
     List.fold_left
@@ -502,8 +675,12 @@ let summarize ~workers ~retries ~wall_seconds results =
     results;
     workers;
     retries;
-    completed = List.length results - crashed;
+    completed = List.length results - crashed - killed - timed_out;
     crashed;
+    killed;
+    timed_out;
+    replayed;
+    pending;
     total_failures = sum (fun r -> r.failures);
     total_sim_time_ns = sum (fun r -> r.sim_time_ns);
     total_activations = sum (fun r -> r.kernel_activations);
@@ -524,7 +701,7 @@ let summarize ~workers ~retries ~wall_seconds results =
   }
 
 let run ?(workers = 1) ?(retries = 1) ?(clock = fun () -> 0.) ?(metrics = true)
-    jobs =
+    ?exec ?journal ?interrupted jobs =
   (match
      List.find_map
        (fun j -> Result.fold ~ok:(fun () -> None) ~error:Option.some (validate j))
@@ -534,45 +711,99 @@ let run ?(workers = 1) ?(retries = 1) ?(clock = fun () -> 0.) ?(metrics = true)
    | None -> ());
   if retries < 0 then invalid_arg "Campaign.run: retries must be >= 0";
   let workers = max 1 workers in
+  let exec =
+    match exec with
+    | Some config -> config
+    | None -> Executor.config Executor.In_domain
+  in
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
-  let results : job_result option array = Array.make n None in
-  let next = Atomic.make 0 in
-  (* Each worker claims the next unclaimed job index atomically and
-     writes exactly one result slot; [Domain.join] publishes the slots
-     back to the coordinator.  Workers are spawned even for
-     [workers = 1] so the caller's domain (and its interning universe)
-     is never touched by job execution. *)
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (run_one ~retries ~clock ~metrics_enabled:metrics i jobs.(i));
-        loop ()
-      end
-    in
-    loop ()
+  (* Journal replay: completed results read back by [Journal.open_
+     ~resume:true] are decoded here and their slots skipped.  A record
+     the current code cannot decode is corruption, not a crash
+     artifact — fail loudly rather than silently re-running. *)
+  let replayed_tbl : (int, int * exec_payload) Hashtbl.t = Hashtbl.create 16 in
+  (match journal with
+   | None -> ()
+   | Some jr ->
+     List.iter
+       (fun (id, record) ->
+         if id < n then
+           match record_of_json record with
+           | Ok (attempts, payload) ->
+             Hashtbl.replace replayed_tbl id (attempts, payload)
+           | Error e ->
+             invalid_arg (Printf.sprintf "Campaign.run: journal record %d: %s" id e))
+       (Journal.replayed jr));
+  let tasks =
+    {
+      Executor.count = n;
+      skip = (fun i -> Hashtbl.mem replayed_tbl i);
+      execute =
+        (fun i ~attempt ->
+          let t0 = clock () in
+          let p = exec_job ~attempt ~metrics_enabled:metrics jobs.(i) in
+          (p, clock () -. t0));
+      request = (fun i ~attempt -> request_json ~attempt ~metrics jobs.(i));
+      decode =
+        (fun _ json -> Result.map (fun p -> (p, 0.)) (payload_of_json json));
+      on_result =
+        (fun i r ->
+          match journal, r.Executor.outcome with
+          | Some jr, Executor.Done (payload, _) ->
+            Journal.append jr ~id:i (record_json ~attempts:r.Executor.attempts payload)
+          | _ -> ());
+    }
   in
   let t0 = clock () in
-  let domains = List.init workers (fun _ -> Domain.spawn worker) in
-  List.iter Domain.join domains;
+  let slots = Executor.run exec ~workers ~retries ?interrupted tasks in
   let wall_seconds = clock () -. t0 in
+  let pending = ref 0 in
   let results =
-    Array.to_list results
-    |> List.map (function
-         | Some r -> r
-         | None -> assert false (* every index < n was claimed *))
+    List.filter_map
+      (fun i ->
+        match Hashtbl.find_opt replayed_tbl i with
+        | Some (attempts, payload) ->
+          Some
+            (result_of_payload ~job_id:i ~job:jobs.(i) ~attempts ~wall_seconds:0.
+               payload)
+        | None ->
+          (match slots.(i) with
+           | Some { Executor.attempts; outcome = Executor.Done (payload, wall) } ->
+             Some
+               (result_of_payload ~job_id:i ~job:jobs.(i) ~attempts
+                  ~wall_seconds:wall payload)
+           | Some { Executor.attempts; outcome = Executor.Failed failure } ->
+             Some (result_of_failure ~job_id:i ~job:jobs.(i) ~attempts failure)
+           | None ->
+             (* Interrupted before this job ran: no row at all — the
+                job re-runs on [--resume]. *)
+             incr pending;
+             None))
+      (List.init n Fun.id)
   in
-  summarize ~workers ~retries ~wall_seconds results
+  summarize ~workers ~retries ~replayed:(Hashtbl.length replayed_tbl)
+    ~pending:!pending ~wall_seconds results
 
-let all_green summary = summary.total_failures = 0 && summary.crashed = 0
+let all_green summary =
+  summary.total_failures = 0
+  && summary.crashed = 0
+  && summary.killed = 0
+  && summary.timed_out = 0
+  && summary.pending = 0
 
 (* --- deterministic report ------------------------------------------- *)
 
 let campaign_schema_version = 1
 
+let outcome_name = function
+  | Completed -> "completed"
+  | Crashed _ -> "crashed"
+  | Killed _ -> "killed"
+  | Timed_out -> "timed_out"
+
 let job_json r =
-  let open Tabv_core.Report_json in
+  let open J in
   let base =
     [ ("id", Int r.job_id);
       ("duv", String (duv_name r.job.duv));
@@ -580,18 +811,21 @@ let job_json r =
       ("seed", Int r.job.seed);
       ("ops", Int r.job.ops);
       ("props", String (selection_name r.job.selection));
-      ( "outcome",
-        String (match r.outcome with Completed -> "completed" | Crashed _ -> "crashed") );
+      ("outcome", String (outcome_name r.outcome));
       ("attempts", Int r.attempts) ]
   in
   let error =
     match r.outcome with
     | Completed -> []
     | Crashed { error } -> [ ("error", String error) ]
+    | Killed { signal } ->
+      [ ("error", String (Printf.sprintf "killed by signal %d" signal));
+        ("signal", Int signal) ]
+    | Timed_out -> [ ("error", String "wall-clock watchdog expired") ]
   in
   let body =
     match r.outcome with
-    | Crashed _ -> []
+    | Crashed _ | Killed _ | Timed_out -> []
     | Completed ->
       [ ("sim_time_ns", Int r.sim_time_ns);
         ("kernel_activations", Int r.kernel_activations);
@@ -606,7 +840,7 @@ let job_json r =
   Assoc (base @ error @ body)
 
 let report_json summary =
-  let open Tabv_core.Report_json in
+  let open J in
   let cache_total = summary.checker_cache_hits + summary.checker_cache_misses in
   let cache_hit_rate =
     if cache_total = 0 then 0.
@@ -623,6 +857,8 @@ let report_json summary =
         Assoc
           [ ("completed", Int summary.completed);
             ("crashed", Int summary.crashed);
+            ("killed", Int summary.killed);
+            ("timed_out", Int summary.timed_out);
             ("failures", Int summary.total_failures);
             ("sim_time_ns", Int summary.total_sim_time_ns);
             ("kernel_activations", Int summary.total_activations);
@@ -653,17 +889,27 @@ let pp_summary ppf summary =
         match r.outcome with
         | Completed -> "ok"
         | Crashed _ -> "CRASHED"
+        | Killed _ -> "KILLED"
+        | Timed_out -> "TIMEOUT"
       in
       Format.fprintf ppf "%-34s %9s %8d %10dns %12d %9d@." (job_name r.job)
         outcome r.attempts r.sim_time_ns r.kernel_activations r.failures;
       match r.outcome with
       | Crashed { error } -> Format.fprintf ppf "    error: %s@." error
+      | Killed { signal } ->
+        Format.fprintf ppf "    error: killed by signal %d@." signal
+      | Timed_out -> Format.fprintf ppf "    error: wall-clock watchdog expired@."
       | Completed -> ())
     summary.results;
   Format.fprintf ppf
-    "%d jobs on %d worker(s): %d completed, %d crashed, %d property failure(s)@."
+    "%d jobs on %d worker(s): %d completed, %d crashed, %d killed, %d timed \
+     out, %d property failure(s)@."
     (List.length summary.results) summary.workers summary.completed
-    summary.crashed summary.total_failures;
+    summary.crashed summary.killed summary.timed_out summary.total_failures;
+  if summary.replayed > 0 then
+    Format.fprintf ppf "replayed from journal: %d job(s)@." summary.replayed;
+  if summary.pending > 0 then
+    Format.fprintf ppf "interrupted: %d job(s) not run@." summary.pending;
   Format.fprintf ppf
     "aggregate: %dns simulated, %d activations, %d transactions, %d ops, \
      checker cache %d/%d@."

@@ -2,36 +2,44 @@
 
     A {e campaign} is the paper's evaluation as a first-class object:
     a declarative job matrix (DUV x abstraction level x workload seed
-    x property selection x transaction count) executed by a fixed pool
-    of OCaml [Domain]s pulling jobs from a shared atomically-indexed
-    queue.  Each job runs a fresh simulation kernel and a fresh
-    metrics registry end-to-end through the existing testbench entry
-    points; per-job exceptions are caught and recorded as a crashed
-    outcome under a bounded retry policy, so one diverging job never
+    x property selection x transaction count) executed on a pluggable
+    {!Executor} — either the historical pool of spawned OCaml
+    [Domain]s, or a pool of crash-isolated worker subprocesses.  Each
+    job runs a fresh simulation kernel and a fresh metrics registry
+    end-to-end through the existing testbench entry points; a failing
+    job is retried under a bounded policy and recorded as a
+    crashed / killed / timed-out outcome, so one diverging job never
     kills the campaign.
 
     {2 Determinism}
 
     The merged results — and {!report_json} — are byte-identical
-    regardless of worker count and completion order:
+    regardless of worker count, executor kind, and journal resumes:
     {ul
     {- results are merged sorted by job id, never by completion
        order;}
-    {- every job starts from a fresh per-domain checker universe
+    {- every job starts from a fresh checker universe
        ({!Tabv_checker.Progression.reset_universe}), so transition
-       cache statistics depend only on the job, not on which worker it
-       landed on or what ran there before;}
-    {- wall-clock measurements (and the worker count itself) are
-       reported by {!val-run} but deliberately excluded from
-       {!report_json}, mirroring the metrics-registry rule that
-       snapshots never contain wall-clock values.}}
+       cache statistics depend only on the job, not on which worker
+       (domain {e or} process) it landed on or what ran there before;}
+    {- a job's contribution to the report is exactly its
+       {!exec_payload}, which round-trips losslessly through the
+       worker pipes and the write-ahead journal;}
+    {- wall-clock measurements, the worker count, the executor kind
+       and the replay count are reported by {!val-run} but
+       deliberately excluded from {!report_json}, mirroring the
+       metrics-registry rule that snapshots never contain wall-clock
+       values.}}
 
-    {2 Domain safety}
+    {2 Crash containment}
 
-    Workers are always spawned domains (even with one worker), so the
-    caller's interning universe is never touched.  All cross-domain
-    communication is the atomic queue index and one result slot per
-    job, written by exactly one worker and read after [Domain.join]. *)
+    Under {!Executor.In_domain}, containment is [try/with]: an
+    exception becomes [Crashed], but aborts, unbounded allocation and
+    non-yielding loops take the whole process down.  Under
+    {!Executor.Subprocess} the OS is the boundary: any worker death is
+    classified ([Killed] with the POSIX signal, [Crashed] on a clean
+    exit, [Timed_out] when the wall-clock watchdog fired) and the
+    campaign keeps running. *)
 
 (** {1 Job model} *)
 
@@ -55,6 +63,16 @@ type selection =
   | Take of int
   | No_checkers
 
+(** What an armed [chaos] attempt does.  [Chaos_raise] raises an
+    ordinary exception — containable by any executor.  [Chaos_hard]
+    executes a {!Tabv_fault.Fault.hard_failure} (abort / allocation
+    storm / busy loop) that no in-process handler survives: it exists
+    to prove, in tests, that only the subprocess executor contains
+    what [try/with] provably cannot. *)
+type chaos_kind =
+  | Chaos_raise
+  | Chaos_hard of Tabv_fault.Fault.hard_failure
+
 type job = {
   duv : duv;
   level : level;
@@ -62,25 +80,29 @@ type job = {
   ops : int;  (** workload size (operations / pixels) *)
   selection : selection;
   chaos : int;
-      (** test/diagnostic hook: deterministically raise on the first
+      (** test/diagnostic hook: deterministically fail the first
           [chaos] attempts of this job (0 = never).  With
           [chaos <= retries] the job completes on a retry; with
-          [chaos > retries] it crashes — both paths are exercised by
+          [chaos > retries] it fails — both paths are exercised by
           the test suite and stay deterministic. *)
+  chaos_kind : chaos_kind;  (** how an armed attempt fails *)
 }
 
-(** [job ?selection ?chaos ~duv ~level ~seed ~ops ()] with [selection]
-    defaulting to [All] and [chaos] to [0]. *)
+(** [job ?selection ?chaos ?chaos_kind ~duv ~level ~seed ~ops ()] with
+    [selection] defaulting to [All], [chaos] to [0] and [chaos_kind]
+    to [Chaos_raise]. *)
 val job :
-  ?selection:selection -> ?chaos:int -> duv:duv -> level:level -> seed:int ->
-  ops:int -> unit -> job
+  ?selection:selection -> ?chaos:int -> ?chaos_kind:chaos_kind -> duv:duv ->
+  level:level -> seed:int -> ops:int -> unit -> job
 
 val duv_name : duv -> string
 val level_name : level -> string
 val selection_name : selection -> string
+val chaos_kind_name : chaos_kind -> string
 val duv_of_name : string -> duv option
 val level_of_name : string -> level option
 val selection_of_name : string -> selection option
+val chaos_kind_of_name : string -> chaos_kind option
 
 (** [Error reason] for combinations the testbenches cannot run
     (currently: [Tlm_lt] on anything but DES56). *)
@@ -137,18 +159,77 @@ type manifest = {
     Explicit ["jobs"] come first, then the expanded ["matrix"] (both
     optional, at least one required).  ["props"] is ["all"], ["none"]
     or an integer [n] (= take the first [n]); jobs additionally accept
-    ["chaos": k].  Unknown keys are rejected. *)
+    ["chaos": k] and ["chaos_kind": "raise" | "abort" | "alloc_storm"
+    | "busy_loop"].  Unknown keys are rejected. *)
 val manifest_of_json : Tabv_core.Report_json.json -> (manifest, string) result
 
 (** {!manifest_of_json} o {!Tabv_core.Report_json.of_string}, folding
     parse errors into [Error]. *)
 val manifest_of_string : string -> (manifest, string) result
 
+(** One job in canonical manifest form (keys [duv] / [level] / [seed]
+    / [ops] / [props] / [chaos] (+ [chaos_kind] when not [raise])) —
+    the unit worker requests and journal fingerprints are built
+    from. *)
+val job_spec_json : job -> Tabv_core.Report_json.json
+
+(** Inverse of {!job_spec_json} (also accepts any manifest job
+    object). *)
+val job_spec_of_json : Tabv_core.Report_json.json -> (job, string) result
+
+(** {1 Execution payloads}
+
+    The deterministic product of one completed job — exactly what the
+    report is built from, and therefore exactly what crosses a worker
+    pipe ([{"ok": payload}] reply frames) and lands in the write-ahead
+    journal. *)
+
+type exec_payload = {
+  p_sim_time_ns : int;
+  p_kernel_activations : int;
+  p_delta_cycles : int;
+  p_transactions : int;
+  p_completed_ops : int;
+  p_checker_stats : Tabv_obs.Checker_snapshot.t list;
+  p_metrics : Tabv_obs.Metrics.snapshot;
+  p_diagnosis : Tabv_sim.Kernel.diagnosis;
+}
+
+(** Execute one attempt of one job in the calling domain/process:
+    resets the checker universe, arms the chaos hook
+    ([attempt <= chaos]), runs the testbench.  Raises on [Chaos_raise]
+    chaos; {e does not return} on armed [Chaos_hard] chaos.  This is
+    the single execution primitive shared by the in-domain executor
+    and the [_worker] serve loop. *)
+val exec_job : attempt:int -> metrics_enabled:bool -> job -> exec_payload
+
+val payload_json : exec_payload -> Tabv_core.Report_json.json
+val payload_of_json : Tabv_core.Report_json.json -> (exec_payload, string) result
+
+(** The [{"op":"campaign_job",..}] request document the subprocess
+    executor ships to a worker for one attempt of one job. *)
+val request_json :
+  attempt:int -> metrics:bool -> job -> Tabv_core.Report_json.json
+
+(** {1 Journals} *)
+
+(** The {!Journal.open_} [~kind] campaign journals use. *)
+val journal_kind : string
+
+(** Journal fingerprint of a job list under a retry budget: a digest
+    of the canonical spec JSON, so a journal can only ever resume the
+    exact campaign that wrote it. *)
+val fingerprint : retries:int -> job list -> string
+
 (** {1 Running} *)
 
 type outcome =
   | Completed
   | Crashed of { error : string }  (** last attempt's exception *)
+  | Killed of { signal : int }
+      (** worker terminated by [signal] (POSIX numbering) — subprocess
+          executor only *)
+  | Timed_out  (** per-job wall-clock watchdog — subprocess only *)
 
 type job_result = {
   job_id : int;  (** index in the submitted job list *)
@@ -160,21 +241,27 @@ type job_result = {
   delta_cycles : int;
   transactions : int;
   completed_ops : int;
-  failures : int;  (** property failures (0 when crashed) *)
+  failures : int;  (** property failures (0 when not completed) *)
   checker_stats : Tabv_obs.Checker_snapshot.t list;
   metrics : Tabv_obs.Metrics.snapshot;
   diagnosis : Tabv_sim.Kernel.diagnosis;
       (** how the job's simulation ended; a synthetic
-          [Process_crashed] when the job itself crashed *)
-  wall_seconds : float;  (** all attempts; excluded from JSON *)
+          [Process_crashed] when the job itself failed *)
+  wall_seconds : float;
+      (** indicative only (in-domain: the successful attempt; 0 for
+          subprocess / replayed / failed jobs); excluded from JSON *)
 }
 
 type summary = {
-  results : job_result list;  (** ascending [job_id] *)
+  results : job_result list;  (** ascending [job_id]; pending jobs absent *)
   workers : int;
   retries : int;
   completed : int;
   crashed : int;
+  killed : int;  (** subprocess executor only *)
+  timed_out : int;  (** subprocess executor only *)
+  replayed : int;  (** results taken from the journal, not re-run *)
+  pending : int;  (** jobs not run because the campaign was interrupted *)
   total_failures : int;
   total_sim_time_ns : int;
   total_activations : int;
@@ -192,31 +279,55 @@ type summary = {
   wall_seconds : float;  (** excluded from JSON *)
 }
 
-(** [run ?workers ?retries ?clock ?metrics jobs] executes the campaign
-    on [workers] spawned domains (default 1) with up to [retries]
-    retries per crashing job (default 1).  [clock] (seconds, default
-    [fun () -> 0.]) feeds only the wall-time fields; pass
-    [Unix.gettimeofday] from binaries that link [unix].  [metrics]
-    (default [true]) attaches a fresh enabled registry to every job.
-    @raise Invalid_argument if any job fails {!validate}. *)
+(** [run ?workers ?retries ?clock ?metrics ?exec ?journal ?interrupted
+    jobs] executes the campaign on [workers] workers (default 1) with
+    up to [retries] retries per failing job (default 1).
+
+    [clock] (seconds, default [fun () -> 0.]) feeds only the wall-time
+    fields; pass [Unix.gettimeofday] from binaries that link [unix].
+    [metrics] (default [true]) attaches a fresh enabled registry to
+    every job.
+
+    [exec] selects the executor (default
+    [Executor.config Executor.In_domain]); see {!Executor} for the
+    subprocess pool, watchdog and backoff knobs.
+
+    [journal] must have been opened with {!journal_kind} and
+    {!fingerprint} over exactly [jobs] and [retries]: its replayed
+    records substitute for their jobs (which are skipped), and every
+    newly completed job is durably appended before the campaign moves
+    on.  A fresh-vs-resumed pair of runs produces byte-identical
+    {!report_json}.
+
+    [interrupted] is polled during execution; once it returns [true],
+    no further job starts (subprocess workers are killed), completed
+    results keep their journal records, and unstarted jobs are
+    reported as [pending].
+
+    @raise Invalid_argument if any job fails {!validate}, on a
+    negative retry budget, or on an undecodable journal record. *)
 val run :
   ?workers:int ->
   ?retries:int ->
   ?clock:(unit -> float) ->
   ?metrics:bool ->
+  ?exec:Executor.config ->
+  ?journal:Journal.t ->
+  ?interrupted:(unit -> bool) ->
   job list ->
   summary
 
-(** True iff no property failed and no job crashed (the CLI's exit
-    criterion). *)
+(** True iff no property failed, no job crashed / was killed / timed
+    out, and nothing is pending (the CLI's exit criterion). *)
 val all_green : summary -> bool
 
 (** The deterministic campaign report: schema-versioned, sorted by job
-    id, free of wall-clock values and of the worker count — running
-    the same job list with any [?workers] yields byte-identical
-    output. *)
+    id, free of wall-clock values, of the worker count, of the
+    executor kind and of replay provenance — running the same job list
+    with any [?workers], either executor, or across an
+    interrupt/resume yields byte-identical output. *)
 val report_json : summary -> Tabv_core.Report_json.json
 
 (** Human-oriented per-job table and aggregate roll-up (includes wall
-    times — not deterministic). *)
+    times and replay/pending counts — not deterministic). *)
 val pp_summary : Format.formatter -> summary -> unit

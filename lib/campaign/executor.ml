@@ -1,0 +1,517 @@
+(* Pluggable campaign executors.  See executor.mli for the contract.
+
+   The in-domain pool is the historical one: an atomic queue index,
+   one result slot per task, every attempt wrapped in [try/with].
+
+   The subprocess pool is a single-threaded coordinator around
+   [Unix.select]: each worker is a forked re-execution of the current
+   binary speaking the {!Wire} frame protocol over its stdin/stdout,
+   with exactly one outstanding request at a time.  Death of any kind
+   — crash, abort, OOM kill, watchdog SIGKILL — surfaces as EOF on the
+   worker's pipe plus a [waitpid] status, so containment is the OS's,
+   not [try/with]'s. *)
+
+module J = Tabv_core.Report_json
+
+type kind =
+  | In_domain
+  | Subprocess
+
+type config = {
+  c_kind : kind;
+  job_timeout_s : float option;
+  backoff_base_s : float;
+  backoff_seed : int;
+  worker_argv : string array;
+  obs : Tabv_obs.Metrics.t option;
+  obs_prefix : string;
+}
+
+let config ?job_timeout_s ?(backoff_base_s = 0.) ?(backoff_seed = 0) ?worker_argv
+    ?obs ?(obs_prefix = "campaign") kind =
+  let worker_argv =
+    match worker_argv with
+    | Some argv ->
+      if Array.length argv = 0 then
+        invalid_arg "Executor.config: worker_argv must not be empty";
+      argv
+    | None -> [| Sys.executable_name; "_worker" |]
+  in
+  (match job_timeout_s with
+   | Some t when t <= 0. ->
+     invalid_arg "Executor.config: job_timeout_s must be positive"
+   | _ -> ());
+  if backoff_base_s < 0. then
+    invalid_arg "Executor.config: backoff_base_s must be >= 0";
+  { c_kind = kind; job_timeout_s; backoff_base_s; backoff_seed; worker_argv;
+    obs; obs_prefix }
+
+let kind_of c = c.c_kind
+
+let kind_name = function
+  | In_domain -> "in-domain"
+  | Subprocess -> "subprocess"
+
+type failure =
+  | Crashed of { error : string }
+  | Killed of { signal : int }
+  | Timed_out
+
+let failure_to_string = function
+  | Crashed { error } -> "crashed: " ^ error
+  | Killed { signal } -> Printf.sprintf "killed by signal %d" signal
+  | Timed_out -> "wall-clock watchdog expired"
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of failure
+
+type 'a task_result = {
+  attempts : int;
+  outcome : 'a outcome;
+}
+
+type 'a tasks = {
+  count : int;
+  skip : int -> bool;
+  execute : int -> attempt:int -> 'a;
+  request : int -> attempt:int -> J.json;
+  decode : int -> J.json -> ('a, string) result;
+  on_result : int -> 'a task_result -> unit;
+}
+
+(* Deterministic per-(seed, task, attempt) retry delay: exponential in
+   the attempt number with a hash-derived jitter in [0, 0.25).  Only
+   *when* a retry runs depends on this — never what it produces. *)
+let backoff config ~task ~attempt =
+  if config.backoff_base_s <= 0. then 0.
+  else begin
+    let h = Hashtbl.hash (config.backoff_seed, task, attempt) in
+    let jitter = float_of_int (h land 0xFFFF) /. 262144. in
+    config.backoff_base_s *. (2. ** float_of_int (attempt - 1)) *. (1. +. jitter)
+  end
+
+let respawn_counter config =
+  match config.obs with
+  | None -> None
+  | Some m -> Some (Tabv_obs.Metrics.counter m (config.obs_prefix ^ ".workers_respawned"))
+
+let timeout_counter config =
+  match config.obs with
+  | None -> None
+  | Some m -> Some (Tabv_obs.Metrics.counter m (config.obs_prefix ^ ".jobs_timed_out"))
+
+let bump = Option.iter Tabv_obs.Metrics.incr
+
+(* --- in-domain pool -------------------------------------------------- *)
+
+let run_in_domain config ~workers ~retries ~interrupted tasks =
+  let n = tasks.count in
+  let slots : 'a task_result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  (* Workers are always spawned domains (even for [workers = 1]) so
+     the caller's interning universe is never touched by execution. *)
+  let worker () =
+    let rec loop () =
+      if not (interrupted ()) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          if not (tasks.skip i) then begin
+            let rec attempt_loop attempt =
+              match tasks.execute i ~attempt with
+              | v -> { attempts = attempt; outcome = Done v }
+              | exception e ->
+                let error = Printexc.to_string e in
+                if attempt > retries then
+                  { attempts = attempt; outcome = Failed (Crashed { error }) }
+                else begin
+                  let d = backoff config ~task:i ~attempt in
+                  if d > 0. then Unix.sleepf d;
+                  attempt_loop (attempt + 1)
+                end
+            in
+            let r = attempt_loop 1 in
+            slots.(i) <- Some r;
+            tasks.on_result i r
+          end;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let domains = List.init workers (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  slots
+
+(* --- subprocess pool ------------------------------------------------- *)
+
+(* OCaml's [Sys.sig*] values are an internal negative encoding; worker
+   death is reported with POSIX numbers so reports and logs mean the
+   same thing everywhere. *)
+let posix_signal n =
+  if n > 0 then n
+  else if n = Sys.sighup then 1
+  else if n = Sys.sigint then 2
+  else if n = Sys.sigquit then 3
+  else if n = Sys.sigill then 4
+  else if n = Sys.sigtrap then 5
+  else if n = Sys.sigabrt then 6
+  else if n = Sys.sigbus then 7
+  else if n = Sys.sigfpe then 8
+  else if n = Sys.sigkill then 9
+  else if n = Sys.sigusr1 then 10
+  else if n = Sys.sigsegv then 11
+  else if n = Sys.sigusr2 then 12
+  else if n = Sys.sigpipe then 13
+  else if n = Sys.sigalrm then 14
+  else if n = Sys.sigterm then 15
+  else if n = Sys.sigchld then 17
+  else if n = Sys.sigcont then 18
+  else if n = Sys.sigstop then 19
+  else if n = Sys.sigtstp then 20
+  else if n = Sys.sigttin then 21
+  else if n = Sys.sigttou then 22
+  else if n = Sys.sigurg then 23
+  else if n = Sys.sigxcpu then 24
+  else if n = Sys.sigxfsz then 25
+  else if n = Sys.sigvtalrm then 26
+  else if n = Sys.sigprof then 27
+  else if n = Sys.sigpoll then 29
+  else if n = Sys.sigsys then 31
+  else -n
+
+type worker_state = {
+  mutable pid : int;
+  mutable to_w : Unix.file_descr;
+  mutable from_w : Unix.file_descr;
+  mutable stream : Wire.stream;
+  mutable current : (int * int) option;  (* (task, attempt) in flight *)
+  mutable deadline : float;  (* watchdog expiry; [infinity] when idle *)
+  mutable alive : bool;
+}
+
+let spawn_process argv =
+  (* Both pipes are close-on-exec end to end: [create_process] dup2s
+     the child's ends onto fds 0/1 (which clears the flag on the
+     copies), so the worker inherits nothing else — in particular not
+     the write end of {e its own} stdin pipe (which would swallow the
+     EOF that tells it to shut down) and not another worker's ends
+     (which would postpone the EOF that signals that worker's
+     death). *)
+  let req_read, req_write = Unix.pipe ~cloexec:true () in
+  let rsp_read, rsp_write = Unix.pipe ~cloexec:true () in
+  let pid =
+    try Unix.create_process argv.(0) argv req_read rsp_write Unix.stderr
+    with e ->
+      Unix.close req_read; Unix.close req_write;
+      Unix.close rsp_read; Unix.close rsp_write;
+      raise e
+  in
+  Unix.close req_read;
+  Unix.close rsp_write;
+  (pid, req_write, rsp_read)
+
+let spawn_worker argv =
+  let pid, to_w, from_w = spawn_process argv in
+  { pid; to_w; from_w; stream = Wire.stream (); current = None;
+    deadline = infinity; alive = true }
+
+let respawn argv w =
+  let pid, to_w, from_w = spawn_process argv in
+  w.pid <- pid;
+  w.to_w <- to_w;
+  w.from_w <- from_w;
+  w.stream <- Wire.stream ();
+  w.current <- None;
+  w.deadline <- infinity;
+  w.alive <- true
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let reap w =
+  (* The worker is dead or dying: release our pipe ends and collect
+     the exit status (after a SIGKILL the zombie is immediate). *)
+  close_noerr w.to_w;
+  close_noerr w.from_w;
+  w.alive <- false;
+  match Unix.waitpid [] w.pid with
+  | _, status -> status
+  | exception Unix.Unix_error _ -> Unix.WEXITED 127
+
+let kill_noerr pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let run_subprocess config ~workers ~retries ~interrupted tasks =
+  let n = tasks.count in
+  let slots : 'a task_result option array = Array.make n None in
+  let respawned = respawn_counter config in
+  let timed_out = timeout_counter config in
+  (* Pending work: (task, attempt, not_before).  Retries re-enter here
+     with their backoff delay; order never affects results. *)
+  let pending = ref [] in
+  let remaining = ref 0 in
+  for i = n - 1 downto 0 do
+    if not (tasks.skip i) then begin
+      pending := (i, 1, 0.) :: !pending;
+      incr remaining
+    end
+  done;
+  if !remaining = 0 then slots
+  else begin
+    let prev_sigpipe =
+      (* A worker dying between our [select] and our request write
+         must surface as a failed attempt, not kill the campaign. *)
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
+    let pool = Array.init (min workers !remaining) (fun _ -> spawn_worker config.worker_argv) in
+    let finish task result =
+      slots.(task) <- Some result;
+      tasks.on_result task result;
+      decr remaining
+    in
+    let fail_attempt task attempt failure =
+      if attempt > retries then
+        finish task { attempts = attempt; outcome = Failed failure }
+      else begin
+        let d = backoff config ~task ~attempt in
+        pending := (task, attempt + 1, Unix.gettimeofday () +. d) :: !pending
+      end
+    in
+    let worker_died w =
+      let status = reap w in
+      (match w.current with
+       | None -> ()
+       | Some (task, attempt) ->
+         let failure =
+           match status with
+           | Unix.WSIGNALED sg -> Killed { signal = posix_signal sg }
+           | Unix.WEXITED code ->
+             Crashed
+               { error =
+                   Printf.sprintf "worker exited with code %d before replying" code }
+           | Unix.WSTOPPED sg ->
+             Crashed { error = Printf.sprintf "worker stopped by signal %d" (posix_signal sg) }
+         in
+         w.current <- None;
+         fail_attempt task attempt failure);
+      if !remaining > 0 then begin
+        respawn config.worker_argv w;
+        bump respawned
+      end
+    in
+    let handle_reply w frame =
+      match w.current with
+      | None ->
+        (* An unsolicited frame is a protocol violation: replace the
+           worker, nothing was in flight so nothing fails. *)
+        kill_noerr w.pid;
+        ignore (reap w);
+        if !remaining > 0 then begin
+          respawn config.worker_argv w;
+          bump respawned
+        end
+      | Some (task, attempt) ->
+        w.current <- None;
+        w.deadline <- infinity;
+        (match J.of_string frame with
+         | exception J.Parse_error _ ->
+           fail_attempt task attempt
+             (Crashed { error = "worker protocol error: unparsable reply" })
+         | json ->
+           (match (J.member "ok" json, J.member "error" json) with
+            | Some payload, _ ->
+              (match tasks.decode task payload with
+               | Ok v -> finish task { attempts = attempt; outcome = Done v }
+               | Error e ->
+                 fail_attempt task attempt
+                   (Crashed { error = "worker protocol error: " ^ e }))
+            | None, Some (J.String error) ->
+              fail_attempt task attempt (Crashed { error })
+            | None, _ ->
+              fail_attempt task attempt
+                (Crashed { error = "worker protocol error: reply without ok/error" })))
+    in
+    let send w task attempt =
+      let payload = J.to_string (tasks.request task ~attempt) in
+      w.current <- Some (task, attempt);
+      w.deadline <-
+        (match config.job_timeout_s with
+         | None -> infinity
+         | Some t -> Unix.gettimeofday () +. t);
+      match write_all w.to_w (Wire.encode_frame payload) with
+      | () -> ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+        (* Worker already dead; its EOF is (or will be) readable and
+           the death handler re-queues the attempt. *)
+        ()
+    in
+    (* Pop the ready pending task with the lowest index (stable,
+       debuggable order; results don't depend on it). *)
+    let pop_ready now =
+      let ready, rest =
+        List.partition (fun (_, _, nb) -> nb <= now) !pending
+      in
+      match List.sort (fun (a, _, _) (b, _, _) -> compare a b) ready with
+      | [] -> None
+      | ((task, attempt, _) as chosen) :: _ ->
+        pending := List.filter (fun p -> p != chosen) ready @ rest;
+        Some (task, attempt)
+    in
+    let assign now =
+      Array.iter
+        (fun w ->
+          if w.alive && w.current = None then
+            match pop_ready now with
+            | Some (task, attempt) -> send w task attempt
+            | None -> ())
+        pool
+    in
+    let abort_all () =
+      Array.iter
+        (fun w ->
+          if w.alive then begin
+            kill_noerr w.pid;
+            ignore (reap w)
+          end)
+        pool
+    in
+    let shutdown () =
+      (* Closing a worker's stdin makes its serve loop see EOF and
+         exit cleanly; then reap. *)
+      Array.iter (fun w -> if w.alive then close_noerr w.to_w) pool;
+      Array.iter (fun w -> if w.alive then begin
+        close_noerr w.from_w;
+        w.alive <- false;
+        (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+      end) pool
+    in
+    let rec loop () =
+      if interrupted () then abort_all ()
+      else if !remaining = 0 then shutdown ()
+      else begin
+        let now = Unix.gettimeofday () in
+        assign now;
+        (* Watchdogs: SIGKILL any worker past its deadline. *)
+        Array.iter
+          (fun w ->
+            if w.alive && w.deadline <= now then begin
+              (match w.current with
+               | Some (task, attempt) ->
+                 w.current <- None;
+                 bump timed_out;
+                 fail_attempt task attempt Timed_out
+               | None -> ());
+              kill_noerr w.pid;
+              ignore (reap w);
+              if !remaining > 0 then begin
+                respawn config.worker_argv w;
+                bump respawned
+              end
+            end)
+          pool;
+        let busy_fds =
+          Array.to_list pool
+          |> List.filter_map (fun w -> if w.alive && w.current <> None then Some w.from_w else None)
+        in
+        let timeout =
+          let next_deadline =
+            Array.fold_left
+              (fun acc w -> if w.alive then min acc w.deadline else acc)
+              infinity pool
+          in
+          let next_retry =
+            List.fold_left (fun acc (_, _, nb) -> min acc nb) infinity !pending
+          in
+          let horizon = min next_deadline next_retry in
+          if horizon = infinity then 0.2
+          else Float.max 0. (Float.min 0.2 (horizon -. now))
+        in
+        let readable =
+          if busy_fds = [] then begin
+            (* Nothing in flight: either retries are cooling down or
+               every task is terminal.  Sleep to the horizon. *)
+            if !remaining > 0 && timeout > 0. then Unix.sleepf timeout;
+            []
+          end
+          else
+            match Unix.select busy_fds [] [] timeout with
+            | readable, _, _ -> readable
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            match
+              Array.to_list pool
+              |> List.find_opt (fun w -> w.alive && w.from_w == fd)
+            with
+            | None -> ()
+            | Some w ->
+              let buf = Bytes.create 65536 in
+              (match Unix.read w.from_w buf 0 (Bytes.length buf) with
+               | 0 -> worker_died w
+               | n ->
+                 Wire.feed w.stream (Bytes.sub_string buf 0 n);
+                 let rec drain () =
+                   match Wire.pop w.stream with
+                   | Some frame ->
+                     handle_reply w frame;
+                     drain ()
+                   | None -> ()
+                   | exception Wire.Protocol_error _ ->
+                     (* Garbage on the pipe: replace the worker; the
+                        in-flight attempt fails and retries. *)
+                     (match w.current with
+                      | Some (task, attempt) ->
+                        w.current <- None;
+                        fail_attempt task attempt
+                          (Crashed { error = "worker protocol error: bad frame" })
+                      | None -> ());
+                     kill_noerr w.pid;
+                     ignore (reap w);
+                     if !remaining > 0 then begin
+                       respawn config.worker_argv w;
+                       bump respawned
+                     end
+                 in
+                 drain ()
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+          readable;
+        loop ()
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (match prev_sigpipe with
+         | Some behavior -> (try Sys.set_signal Sys.sigpipe behavior with Invalid_argument _ -> ())
+         | None -> ());
+        (* Never leak workers, whatever happened above. *)
+        Array.iter
+          (fun w ->
+            if w.alive then begin
+              kill_noerr w.pid;
+              ignore (reap w)
+            end)
+          pool)
+      loop;
+    slots
+  end
+
+(* --- entry point ----------------------------------------------------- *)
+
+let run config ~workers ~retries ?(interrupted = fun () -> false) tasks =
+  if retries < 0 then invalid_arg "Executor.run: retries must be >= 0";
+  if workers < 1 then invalid_arg "Executor.run: workers must be >= 1";
+  match config.c_kind with
+  | In_domain -> run_in_domain config ~workers ~retries ~interrupted tasks
+  | Subprocess -> run_subprocess config ~workers ~retries ~interrupted tasks

@@ -1,0 +1,122 @@
+(** Pluggable campaign executors: where jobs physically run.
+
+    Both campaign flavours ({!Campaign}, {!Qualify}) describe their
+    work as an indexed array of deterministic tasks and hand it to one
+    of two executors:
+
+    {ul
+    {- {!In_domain} — the historical pool of spawned OCaml [Domain]s.
+       Cheap, but an attempt is contained only as far as [try/with]
+       reaches: a segfault, an abort, unbounded allocation or a
+       non-yielding busy loop takes the whole campaign process with
+       it.}
+    {- {!Subprocess} — a pool of forked OS worker processes (the
+       binary re-executes itself with a hidden [_worker] argv hook)
+       exchanging requests and replies as length-prefixed JSON frames
+       over pipes ({!Wire}).  The OS is the containment boundary:
+       a worker death of {e any} kind is observed as EOF + [waitpid]
+       status, classified as {!Killed} / {!Crashed}, and the worker is
+       respawned.  A per-task wall-clock watchdog SIGKILLs workers
+       that exceed [job_timeout_s] ({!Timed_out}).}}
+
+    Failed attempts are retried up to [retries] times under seeded
+    exponential backoff ([backoff_base_s * 2^(attempt-1)], plus a
+    deterministic per-(seed, task, attempt) jitter).  Task {e results}
+    stay deterministic either way: what executes, how often it is
+    attempted on a deterministic failure, and everything a task
+    returns are pure functions of the task — wall-clock only decides
+    {e when} retries happen, never {e what} they produce.
+
+    The executor reports how each task ended; turning failures into
+    report rows (and keeping wall-clock metadata out of them) is the
+    caller's business. *)
+
+type kind =
+  | In_domain
+  | Subprocess
+
+type config
+
+(** [config ?job_timeout_s ?backoff_base_s ?backoff_seed ?worker_argv
+    ?obs ?obs_prefix kind].
+
+    [job_timeout_s] — per-attempt wall-clock watchdog ({!Subprocess}
+    only; ignored in-domain where a stuck domain cannot be killed).
+    [backoff_base_s] (default [0.]) — base retry delay; [0.] retries
+    immediately.  [backoff_seed] (default [0]) seeds the jitter.
+    [worker_argv] (default [[| Sys.executable_name; "_worker" |]]) —
+    how to launch a worker; test binaries point it at themselves.
+    [obs] registers [<obs_prefix>.workers_respawned] and
+    [<obs_prefix>.jobs_timed_out] counters ([obs_prefix] default
+    ["campaign"]); this registry is runner-level observability and
+    must never be merged into a deterministic report. *)
+val config :
+  ?job_timeout_s:float ->
+  ?backoff_base_s:float ->
+  ?backoff_seed:int ->
+  ?worker_argv:string array ->
+  ?obs:Tabv_obs.Metrics.t ->
+  ?obs_prefix:string ->
+  kind ->
+  config
+
+val kind_of : config -> kind
+val kind_name : kind -> string
+
+(** How a task ultimately failed (after all retries). *)
+type failure =
+  | Crashed of { error : string }
+      (** an exception ({!In_domain}) or a worker [{"error":..}] reply
+          / clean worker exit before replying ({!Subprocess}) *)
+  | Killed of { signal : int }
+      (** worker terminated by [signal] (POSIX numbering) —
+          {!Subprocess} only *)
+  | Timed_out  (** wall-clock watchdog expired — {!Subprocess} only *)
+
+val failure_to_string : failure -> string
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of failure
+
+type 'a task_result = {
+  attempts : int;
+      (** attempts actually made; on [Done] the succeeding attempt's
+          number, on [Failed] [retries + 1] *)
+  outcome : 'a outcome;
+}
+
+(** One campaign's work, as the executor sees it.  All callbacks must
+    be pure functions of the task index (plus [attempt]) — that is the
+    determinism contract that makes retries and resumes invisible in
+    reports. *)
+type 'a tasks = {
+  count : int;
+  skip : int -> bool;
+      (** journaled tasks to leave untouched (slot stays [None]) *)
+  execute : int -> attempt:int -> 'a;
+      (** {!In_domain}: run the task, raising on failure *)
+  request : int -> attempt:int -> Tabv_core.Report_json.json;
+      (** {!Subprocess}: the request document shipped to a worker *)
+  decode : int -> Tabv_core.Report_json.json -> ('a, string) result;
+      (** {!Subprocess}: decode a worker's [ok] reply payload *)
+  on_result : int -> 'a task_result -> unit;
+      (** fired once per task as it reaches a terminal result, in
+          completion order (journal appends live here); may be called
+          concurrently from worker domains under {!In_domain} *)
+}
+
+(** [run config ~workers ~retries ?interrupted tasks] executes every
+    non-skipped task and returns one slot per task — [None] for
+    skipped tasks and for tasks not run because [interrupted ()]
+    turned true (polled between jobs in-domain, continuously in the
+    subprocess select loop; on interrupt, subprocess workers are
+    SIGKILLed and in-flight tasks also land [None]).
+    @raise Invalid_argument when [retries < 0] or [workers < 1]. *)
+val run :
+  config ->
+  workers:int ->
+  retries:int ->
+  ?interrupted:(unit -> bool) ->
+  'a tasks ->
+  'a task_result option array

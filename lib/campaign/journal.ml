@@ -1,0 +1,192 @@
+(* Write-ahead journal for resumable campaigns.  See journal.mli for
+   the durability and fingerprint contracts; the implementation notes
+   here are about the failure modes.
+
+   Append path: one line = one record, written with a single
+   [output_string], then [flush] + [Unix.fsync].  The line is built
+   before any byte reaches the channel, so a crash can only truncate
+   the *last* line, never interleave two.
+
+   Read-back path (resume): lines are split on '\n'; a final fragment
+   without a terminating newline is a truncated append — the file is
+   truncated back to the last complete line and the job the fragment
+   belonged to simply re-runs.  A malformed line *before* a
+   well-formed one, however, is corruption — not a crash artifact —
+   and is reported as an error. *)
+
+module J = Tabv_core.Report_json
+
+let journal_schema_version = 1
+
+type t = {
+  path : string;
+  kind : string;
+  mutable oc : out_channel option;
+  mutable replayed : (int * J.json) list;
+  mutable count : int;
+  lock : Mutex.t;
+}
+
+let fingerprint_of_string s = Digest.to_hex (Digest.string s)
+
+let header_json ~kind ~fingerprint =
+  J.Assoc
+    [ ("journal", J.Int journal_schema_version);
+      ("kind", J.String kind);
+      ("fingerprint", J.String fingerprint) ]
+
+let ( let* ) = Result.bind
+
+let parse_line what line =
+  match J.of_string line with
+  | json -> Ok json
+  | exception J.Parse_error { line = l; col; message } ->
+    Error (Printf.sprintf "%s: %d:%d: %s" what l col message)
+
+let check_header ~kind ~fingerprint line =
+  let* json = parse_line "journal header" line in
+  let str key =
+    match J.member key json with
+    | Some (J.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "journal header: missing key %S" key)
+  in
+  let* () =
+    match J.member "journal" json with
+    | Some (J.Int v) when v = journal_schema_version -> Ok ()
+    | Some (J.Int v) ->
+      Error (Printf.sprintf "journal header: unsupported version %d" v)
+    | _ -> Error "journal header: missing key \"journal\""
+  in
+  let* k = str "kind" in
+  let* () =
+    if k = kind then Ok ()
+    else Error (Printf.sprintf "journal is a %S journal, expected %S" k kind)
+  in
+  let* fp = str "fingerprint" in
+  if fp = fingerprint then Ok ()
+  else
+    Error
+      "journal fingerprint does not match this job list (different manifest, \
+       retries or code version) — refusing to graft results across campaigns"
+
+let parse_record index line =
+  let what = Printf.sprintf "journal record %d" index in
+  let* json = parse_line what line in
+  match (J.member "id" json, J.member "record" json) with
+  | Some (J.Int id), Some record when id >= 0 -> Ok (id, record)
+  | _ -> Error (what ^ ": expected {\"id\":n,\"record\":..}")
+
+(* Complete (newline-terminated) lines of [text], with the byte length
+   of that valid prefix.  A dangling fragment after the last '\n' is
+   excluded from both. *)
+let complete_lines text =
+  let rec go acc start =
+    match String.index_from_opt text start '\n' with
+    | None -> (List.rev acc, start)
+    | Some i -> go (String.sub text start (i - start) :: acc) (i + 1)
+  in
+  go [] 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* [(records, valid_prefix_bytes)]; [valid_prefix_bytes = 0] means not
+   even the header line survived (a crash before the first fsync
+   completed) — the journal restarts from scratch. *)
+let scan ~kind ~fingerprint text =
+  match complete_lines text with
+  | [], _ -> Ok ([], 0)
+  | header :: records, valid_len ->
+    let* () = check_header ~kind ~fingerprint header in
+    let* records =
+      let rec go acc index = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          let* r = parse_record index line in
+          go (r :: acc) (index + 1) rest
+      in
+      go [] 0 records
+    in
+    Ok (records, valid_len)
+
+let dedup_by_id records =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (id, _) ->
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    records
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let write_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let open_ ?obs ~path ~kind ~fingerprint ~resume () =
+  let* replayed, valid_len =
+    if resume && Sys.file_exists path then begin
+      let text = read_file path in
+      let* records, valid_len = scan ~kind ~fingerprint text in
+      if valid_len < String.length text then
+        (* Drop the torn trailing append before reopening. *)
+        Unix.truncate path valid_len;
+      Ok (dedup_by_id records, valid_len)
+    end
+    else Ok ([], 0)
+  in
+  let fresh = valid_len = 0 in
+  let oc =
+    if fresh then open_out_bin path
+    else open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+  in
+  if fresh then write_line oc (J.to_string (header_json ~kind ~fingerprint));
+  let t =
+    {
+      path;
+      kind;
+      oc = Some oc;
+      replayed;
+      count = List.length replayed;
+      lock = Mutex.create ();
+    }
+  in
+  (match obs with
+   | None -> ()
+   | Some registry ->
+     Tabv_obs.Metrics.probe registry ~combine:`Max (kind ^ ".journal_records")
+       (fun () -> t.count));
+  Ok t
+
+let replayed t = t.replayed
+let records t = t.count
+
+let append t ~id record =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.oc with
+      | None -> invalid_arg (Printf.sprintf "Journal.append: %s is closed" t.path)
+      | Some oc ->
+        let line = J.to_string (J.Assoc [ ("id", J.Int id); ("record", record) ]) in
+        write_line oc line;
+        t.count <- t.count + 1)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        t.oc <- None;
+        close_out_noerr oc)

@@ -1,0 +1,70 @@
+(** Write-ahead journal for resumable campaigns.
+
+    An append-only JSONL file of {e completed} job results.  The first
+    line is a header binding the journal to one job list:
+    {v
+    {"journal":1,"kind":"campaign","fingerprint":"<hex digest>"}
+    v}
+    and every following line is one record:
+    {v
+    {"id":<job id>,"record":<result JSON>}
+    v}
+    Each append is flushed and [fsync]ed before {!append} returns, so
+    a record is either durably on disk or absent — a run killed
+    mid-write loses at most the line being written, and {!open_}
+    tolerates exactly one truncated trailing line on resume (it is
+    dropped, and the corresponding job re-runs).
+
+    Only completed results are journaled.  Crashed / killed / timed-out
+    jobs re-run on resume: they are deterministic functions of the job
+    spec, so the resumed report stays byte-identical to an
+    uninterrupted run — which is the whole contract.  For the same
+    reason the record payloads are the exact JSON the report is built
+    from ({!Wire} round-trip), never wall-clock values.
+
+    The [fingerprint] is a digest of the canonical job-list JSON (plus
+    anything else that changes results, e.g. the retry budget).
+    Opening with [~resume:true] against a different fingerprint is an
+    error — a journal must never graft results from one campaign onto
+    another. *)
+
+type t
+
+(** [open_ ?obs ~path ~kind ~fingerprint ~resume ()].
+
+    With [resume = false]: truncate/create [path] and write a fresh
+    header.  With [resume = true]: read [path] back (missing file =
+    empty journal), verify header [kind] and [fingerprint], collect
+    the replayable records, and reopen for appending.  [Error] on a
+    malformed header, wrong kind, or fingerprint mismatch — never an
+    exception for bad file contents.
+
+    [obs] registers a [<kind>.journal_records] probe (current record
+    count, replayed ones included) on the given registry. *)
+val open_ :
+  ?obs:Tabv_obs.Metrics.t ->
+  path:string ->
+  kind:string ->
+  fingerprint:string ->
+  resume:bool ->
+  unit ->
+  (t, string) result
+
+(** Records read back by [open_ ~resume:true], ascending [id].
+    Duplicate ids keep the first occurrence. *)
+val replayed : t -> (int * Tabv_core.Report_json.json) list
+
+(** Number of records currently in the journal (replayed + appended). *)
+val records : t -> int
+
+(** Durably append one completed record ([flush] + [fsync]).
+    Thread-safe (the executor's completion callbacks may fire from a
+    coordinator loop interleaved with replay accounting). *)
+val append : t -> id:int -> Tabv_core.Report_json.json -> unit
+
+(** Close the underlying channel (idempotent). *)
+val close : t -> unit
+
+(** Canonical fingerprint helper: hex MD5 digest of a canonical
+    description string. *)
+val fingerprint_of_string : string -> string

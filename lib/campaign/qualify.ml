@@ -2,16 +2,20 @@
 
    One qualification run = per requested level, a clean baseline plus
    one faulted run per applicable catalog fault, all executed on the
-   same kind of domain pool as plain campaigns (atomic queue index,
-   one result slot per job, fresh per-domain checker universe before
-   every job).  Verdict attribution, coverage, cross-level regressions
-   and the resilience scenarios are folded after [Domain.join], so the
-   report is a pure function of (duv, levels, seed, ops). *)
+   same pluggable {!Executor} as plain campaigns (fresh checker
+   universe before every job).  Verdict attribution, coverage,
+   cross-level regressions and the resilience scenarios are folded
+   after the pool drains, so the report is a pure function of
+   (duv, levels, seed, ops) — whatever executor ran it, and whether or
+   not it was resumed from a journal. *)
 
 open Tabv_duv
 module Detect = Tabv_checker.Detect
 module Fault = Tabv_fault.Fault
 module Kernel = Tabv_sim.Kernel
+module J = Tabv_core.Report_json
+
+let ( let* ) = Result.bind
 
 (* Delta cap fixed (so a livelock diagnosis reports the same
    [delta_cycles] everywhere), step budget off, crashes contained. *)
@@ -84,6 +88,8 @@ type report = {
 
 (* --- the job pool --------------------------------------------------- *)
 
+exception Interrupted
+
 type pool_job =
   | Baseline of Campaign.level
   | Fault_run of {
@@ -98,7 +104,7 @@ type pool_job =
       expected : string;
     }
 
-let exec_job ~duv ~seed ~ops = function
+let exec_pool_job ~duv ~seed ~ops = function
   | Baseline level -> Campaign.run_level duv level ~seed ~ops ~guard:job_guard
   | Fault_run { level; plan; _ } ->
     Campaign.run_level duv level ~seed ~ops ~fault_plan:plan ~guard:job_guard
@@ -134,19 +140,13 @@ let scenarios_for ~fduv levels =
   in
   chaos @ Option.to_list deadlock
 
-let run ?(workers = 1) ~duv ~levels ~seed ~ops () =
-  let levels = dedup levels in
-  if levels = [] then invalid_arg "Qualify.run: no levels";
-  List.iter
-    (fun level ->
-      match Campaign.validate (Campaign.job ~duv ~level ~seed ~ops ()) with
-      | Ok () -> ()
-      | Error reason -> invalid_arg ("Qualify.run: " ^ reason))
-    levels;
+(* The whole job matrix as a deterministic function of (duv, levels):
+   plans are pure descriptions, compiled up front in (level-major,
+   catalog) order, scenarios last.  A worker process regenerates the
+   identical array from the request parameters and picks one index. *)
+let pool_jobs ~duv ~levels =
   let fduv = fault_duv duv in
   let names = Duv_fault.fault_names fduv in
-  (* Plans are pure descriptions: compile the whole matrix up front,
-     in deterministic (level-major, catalog) order. *)
   let fault_jobs =
     List.concat_map
       (fun level ->
@@ -165,29 +165,149 @@ let run ?(workers = 1) ~duv ~levels ~seed ~ops () =
         Scenario_run { name; level; plan; expected })
       (scenarios_for ~fduv levels)
   in
-  let jobs = Array.of_list (fault_jobs @ scenario_jobs) in
-  let n = Array.length jobs in
-  let results : Tabv_duv.Testbench.run_result option array = Array.make n None in
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (* Fresh interning + obligation universes per job: snapshots
-           depend only on the job, not on its worker placement. *)
-        Tabv_checker.Progression.reset_universe ();
-        results.(i) <- Some (exec_job ~duv ~seed ~ops jobs.(i));
-        loop ()
-      end
-    in
-    loop ()
+  Array.of_list (fault_jobs @ scenario_jobs)
+
+(* --- execution payloads --------------------------------------------- *)
+
+type qrun = {
+  q_checker_stats : Tabv_obs.Checker_snapshot.t list;
+  q_faults_triggered : int;
+  q_diagnosis : Kernel.diagnosis;
+}
+
+let qrun_of_run (r : Testbench.run_result) =
+  {
+    q_checker_stats = r.Testbench.checker_stats;
+    q_faults_triggered = r.Testbench.faults_triggered;
+    q_diagnosis = r.Testbench.diagnosis;
+  }
+
+let qrun_json q =
+  J.Assoc
+    [ ("faults_triggered", J.Int q.q_faults_triggered);
+      ("diagnosis", Fault.diagnosis_json q.q_diagnosis);
+      ("properties", J.List (List.map J.checker_snapshot_json q.q_checker_stats))
+    ]
+
+let qrun_of_json json =
+  let what = "qualify payload" in
+  let* fields = Wire.open_assoc what json in
+  let* q_faults_triggered = Wire.int_field what "faults_triggered" fields in
+  let* q_diagnosis =
+    let* v = Wire.field what "diagnosis" fields in
+    Wire.diagnosis_of_json v
   in
-  let domains = List.init (max 1 workers) (fun _ -> Domain.spawn worker) in
-  List.iter Domain.join domains;
+  let* q_checker_stats =
+    let* v = Wire.field what "properties" fields in
+    let* items = Wire.open_list (what ^ ".properties") v in
+    Wire.map_result Wire.checker_snapshot_of_json items
+  in
+  Ok { q_checker_stats; q_faults_triggered; q_diagnosis }
+
+let exec_index ~duv ~levels ~seed ~ops index =
+  let jobs = pool_jobs ~duv ~levels in
+  if index < 0 || index >= Array.length jobs then
+    invalid_arg (Printf.sprintf "Qualify.exec_index: index %d out of range" index);
+  (* Fresh interning + obligation universes per job: snapshots depend
+     only on the job, not on its worker placement. *)
+  Tabv_checker.Progression.reset_universe ();
+  qrun_of_run (exec_pool_job ~duv ~seed ~ops jobs.(index))
+
+(* --- worker protocol ------------------------------------------------- *)
+
+let request_json ~duv ~levels ~seed ~ops ~index =
+  J.Assoc
+    [ ("op", J.String "qualify_job");
+      ("duv", J.String (Campaign.duv_name duv));
+      ( "levels",
+        J.List (List.map (fun l -> J.String (Campaign.level_name l)) levels) );
+      ("seed", J.Int seed);
+      ("ops", J.Int ops);
+      ("index", J.Int index) ]
+
+(* --- journals -------------------------------------------------------- *)
+
+let journal_kind = "qualify"
+
+let params_json ~duv ~levels ~seed ~ops =
+  J.Assoc
+    [ ("kind", J.String journal_kind);
+      ("duv", J.String (Campaign.duv_name duv));
+      ( "levels",
+        J.List (List.map (fun l -> J.String (Campaign.level_name l)) levels) );
+      ("seed", J.Int seed);
+      ("ops", J.Int ops) ]
+
+let fingerprint ~duv ~levels ~seed ~ops =
+  Journal.fingerprint_of_string
+    (J.to_string (params_json ~duv:(duv : Campaign.duv) ~levels:(dedup levels) ~seed ~ops))
+
+(* --- running --------------------------------------------------------- *)
+
+let run ?(workers = 1) ?(retries = 1) ?exec ?journal ?interrupted ~duv ~levels
+    ~seed ~ops () =
+  let levels = dedup levels in
+  if levels = [] then invalid_arg "Qualify.run: no levels";
+  List.iter
+    (fun level ->
+      match Campaign.validate (Campaign.job ~duv ~level ~seed ~ops ()) with
+      | Ok () -> ()
+      | Error reason -> invalid_arg ("Qualify.run: " ^ reason))
+    levels;
+  let exec =
+    match exec with
+    | Some config -> config
+    | None -> Executor.config Executor.In_domain
+  in
+  let fduv = fault_duv duv in
+  let names = Duv_fault.fault_names fduv in
+  let jobs = pool_jobs ~duv ~levels in
+  let n = Array.length jobs in
+  let replayed_tbl : (int, qrun) Hashtbl.t = Hashtbl.create 16 in
+  (match journal with
+   | None -> ()
+   | Some jr ->
+     List.iter
+       (fun (id, record) ->
+         if id < n then
+           match qrun_of_json record with
+           | Ok q -> Hashtbl.replace replayed_tbl id q
+           | Error e ->
+             invalid_arg (Printf.sprintf "Qualify.run: journal record %d: %s" id e))
+       (Journal.replayed jr));
+  let tasks =
+    {
+      Executor.count = n;
+      skip = (fun i -> Hashtbl.mem replayed_tbl i);
+      execute = (fun i ~attempt:_ -> exec_index ~duv ~levels ~seed ~ops i);
+      request = (fun i ~attempt:_ -> request_json ~duv ~levels ~seed ~ops ~index:i);
+      decode = (fun _ json -> qrun_of_json json);
+      on_result =
+        (fun i r ->
+          match journal, r.Executor.outcome with
+          | Some jr, Executor.Done q -> Journal.append jr ~id:i (qrun_json q)
+          | _ -> ());
+    }
+  in
+  let slots = Executor.run exec ~workers ~retries ?interrupted tasks in
   let result i =
-    match results.(i) with
-    | Some r -> r
-    | None -> assert false (* every index < n was claimed *)
+    match Hashtbl.find_opt replayed_tbl i with
+    | Some q -> q
+    | None ->
+      (match slots.(i) with
+       | Some { Executor.outcome = Executor.Done q; _ } -> q
+       | Some { Executor.outcome = Executor.Failed failure; _ } ->
+         (* A job the executor could not complete still gets a row:
+            deterministic failures produce the same synthetic crash
+            diagnosis on every run. *)
+         {
+           q_checker_stats = [];
+           q_faults_triggered = 0;
+           q_diagnosis =
+             Kernel.Process_crashed
+               { name = "qualify-job"; error = Executor.failure_to_string failure };
+         }
+       | None -> raise Interrupted)
   in
   (* --- fold the matrix --- *)
   let level_reports = ref [] in
@@ -207,9 +327,9 @@ let run ?(workers = 1) ~duv ~levels ~seed ~ops () =
               incr i;
               let verdicts =
                 Detect.classify
-                  ~triggered:r.Tabv_duv.Testbench.faults_triggered
-                  ~baseline:baseline.Tabv_duv.Testbench.checker_stats
-                  ~faulted:r.Tabv_duv.Testbench.checker_stats
+                  ~triggered:r.q_faults_triggered
+                  ~baseline:baseline.q_checker_stats
+                  ~faulted:r.q_checker_stats
               in
               let verdict = Detect.summary verdicts in
               (match level, verdict with
@@ -224,8 +344,8 @@ let run ?(workers = 1) ~duv ~levels ~seed ~ops () =
                   Qualified
                     {
                       plan;
-                      triggered = r.Tabv_duv.Testbench.faults_triggered;
-                      diagnosis = r.Tabv_duv.Testbench.diagnosis;
+                      triggered = r.q_faults_triggered;
+                      diagnosis = r.q_diagnosis;
                       verdicts;
                       verdict;
                     };
@@ -253,8 +373,9 @@ let run ?(workers = 1) ~duv ~levels ~seed ~ops () =
       level_reports :=
         {
           level;
-          baseline_failures = Tabv_duv.Testbench.total_failures baseline;
-          baseline_diagnosis = baseline.Tabv_duv.Testbench.diagnosis;
+          baseline_failures =
+            Tabv_obs.Checker_snapshot.total_failures baseline.q_checker_stats;
+          baseline_diagnosis = baseline.q_diagnosis;
           rows;
           detected;
           missed;
@@ -269,7 +390,7 @@ let run ?(workers = 1) ~duv ~levels ~seed ~ops () =
       (fun (name, level, _plan, expected) ->
         let r = result !i in
         incr i;
-        let diagnosis = r.Tabv_duv.Testbench.diagnosis in
+        let diagnosis = r.q_diagnosis in
         {
           scenario = name;
           scenario_level = level;
@@ -294,7 +415,7 @@ let ok report =
 let qualify_schema_version = 1
 
 let verdict_json (v : Detect.property_verdict) =
-  let open Tabv_core.Report_json in
+  let open J in
   Assoc
     [ ("property", String v.Detect.property);
       ("verdict", String (Detect.verdict_to_string v.Detect.verdict));
@@ -302,7 +423,7 @@ let verdict_json (v : Detect.property_verdict) =
       ("fault_failures", Int v.Detect.fault_failures) ]
 
 let row_json row =
-  let open Tabv_core.Report_json in
+  let open J in
   match row.outcome with
   | No_carrier ->
     Assoc [ ("fault", String row.fault); ("status", String "no-carrier") ]
@@ -317,7 +438,7 @@ let row_json row =
         ("properties", List (List.map verdict_json q.verdicts)) ]
 
 let level_json l =
-  let open Tabv_core.Report_json in
+  let open J in
   Assoc
     [ ("level", String (Campaign.level_name l.level));
       ("baseline_failures", Int l.baseline_failures);
@@ -332,7 +453,7 @@ let level_json l =
             ("score", Float l.coverage) ] ) ]
 
 let scenario_json s =
-  let open Tabv_core.Report_json in
+  let open J in
   Assoc
     [ ("scenario", String s.scenario);
       ("level", String (Campaign.level_name s.scenario_level));
@@ -341,7 +462,7 @@ let scenario_json s =
       ("matched", Bool s.matched) ]
 
 let report_json report =
-  let open Tabv_core.Report_json in
+  let open J in
   Assoc
     [ ("schema", Int qualify_schema_version);
       ( "qualify",

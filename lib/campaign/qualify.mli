@@ -20,9 +20,12 @@
        injections, each required to terminate with the matching
        structured {!Tabv_sim.Kernel.diagnosis}.}}
 
-    Reports are byte-identical for any worker count: jobs land in
-    slots indexed by position, every job starts from a fresh
-    per-domain checker universe, and all watchdog caps are fixed. *)
+    Reports are byte-identical for any worker count, either
+    {!Executor} kind, and across journal interrupt/resume cycles: jobs
+    land in slots indexed by position, every job starts from a fresh
+    checker universe, each result round-trips losslessly through the
+    worker pipes and the write-ahead journal, and all watchdog caps
+    are fixed. *)
 
 (** The guard every qualification job runs under: delta-cap 10k (so a
     livelock diagnosis is worker-independent), crash containment on. *)
@@ -76,16 +79,78 @@ type report = {
       (** faults detected at RTL, carried but missed at TLM-CA *)
 }
 
+(** {1 Execution payloads} *)
+
+(** The deterministic product of one pool job — what crosses a worker
+    pipe and lands in the journal. *)
+type qrun = {
+  q_checker_stats : Tabv_obs.Checker_snapshot.t list;
+  q_faults_triggered : int;
+  q_diagnosis : Tabv_sim.Kernel.diagnosis;
+}
+
+val qrun_json : qrun -> Tabv_core.Report_json.json
+val qrun_of_json : Tabv_core.Report_json.json -> (qrun, string) result
+
+(** Execute pool job [index] of the deterministic job matrix derived
+    from [(duv, levels)] in the calling domain/process (levels must
+    already be deduplicated — pass what {!fingerprint} was computed
+    over).  Resets the checker universe first.  This is the execution
+    primitive shared by the in-domain executor and the [_worker] serve
+    loop: a worker regenerates the identical matrix from the request
+    parameters and picks one index.
+    @raise Invalid_argument on an out-of-range index. *)
+val exec_index :
+  duv:Campaign.duv ->
+  levels:Campaign.level list ->
+  seed:int ->
+  ops:int ->
+  int ->
+  qrun
+
+(** {1 Journals} *)
+
+(** The {!Journal.open_} [~kind] qualification journals use. *)
+val journal_kind : string
+
+(** Journal fingerprint of one qualification run's parameters (levels
+    are deduplicated first, mirroring {!run}). *)
+val fingerprint :
+  duv:Campaign.duv ->
+  levels:Campaign.level list ->
+  seed:int ->
+  ops:int ->
+  string
+
 (** {1 Running} *)
 
-(** [run ?workers ~duv ~levels ~seed ~ops ()] — the full qualification
-    campaign on a domain pool (default 1 worker).  Levels are
-    deduplicated, kept in first-appearance order; resilience scenarios
-    run crash + livelock on the first level and deadlock on the first
+(** Raised by {!run} when [interrupted] fired before the pool drained:
+    a partial detection matrix is meaningless, so there is no partial
+    report — completed jobs stay journaled and a [--resume] re-run
+    finishes the rest. *)
+exception Interrupted
+
+(** [run ?workers ?retries ?exec ?journal ?interrupted ~duv ~levels
+    ~seed ~ops ()] — the full qualification campaign (default: 1
+    worker, 1 retry, in-domain executor).  Levels are deduplicated,
+    kept in first-appearance order; resilience scenarios run
+    crash + livelock on the first level and deadlock on the first
     level with an initiator socket (skipped when none).
-    @raise Invalid_argument on an empty or invalid level list. *)
+
+    [journal] must have been opened with {!journal_kind} and
+    {!fingerprint}; replayed records substitute for their pool jobs
+    and completed jobs are durably appended as they finish.  A job the
+    executor could not complete (crashed / killed / timed out after
+    all retries) contributes a synthetic [Process_crashed] result
+    rather than aborting the campaign.
+    @raise Invalid_argument on an empty or invalid level list.
+    @raise Interrupted when [interrupted] fired mid-pool. *)
 val run :
   ?workers:int ->
+  ?retries:int ->
+  ?exec:Executor.config ->
+  ?journal:Journal.t ->
+  ?interrupted:(unit -> bool) ->
   duv:Campaign.duv ->
   levels:Campaign.level list ->
   seed:int ->

@@ -1,0 +1,98 @@
+(** Wire codecs for process-isolated campaign execution.
+
+    The subprocess executor ships jobs to forked workers and results
+    back over pipes; the write-ahead journal persists completed
+    results between runs.  Both speak the exact JSON the deterministic
+    reports are built from, so a result that round-trips through a
+    worker pipe or a journal line is field-for-field identical to one
+    produced in-process.
+
+    This module holds the generic halves: decoders for the shared
+    observability records (whose emitters live in
+    {!Tabv_core.Report_json} and {!Tabv_fault.Fault}) and the
+    length-prefixed frame protocol.  Campaign- and qualify-specific
+    payload codecs live next to their types in [Campaign] and
+    [Qualify]. *)
+
+(** {2 Result-monad helpers (shared by the payload codecs)} *)
+
+val map_result : ('a -> ('b, string) result) -> 'a list -> ('b list, string) result
+
+val open_assoc :
+  string -> Tabv_core.Report_json.json -> ((string * Tabv_core.Report_json.json) list, string) result
+
+val open_list :
+  string -> Tabv_core.Report_json.json -> (Tabv_core.Report_json.json list, string) result
+
+val field :
+  string -> string -> (string * Tabv_core.Report_json.json) list ->
+  (Tabv_core.Report_json.json, string) result
+
+val int_field :
+  string -> string -> (string * Tabv_core.Report_json.json) list -> (int, string) result
+
+val string_field :
+  string -> string -> (string * Tabv_core.Report_json.json) list -> (string, string) result
+
+val bool_field :
+  string -> string -> (string * Tabv_core.Report_json.json) list -> (bool, string) result
+
+(** {2 Observability record decoders} *)
+
+(** Inverse of {!Tabv_core.Report_json.checker_snapshot_json}.  The
+    derived ["cache_hit_rate"] float is ignored (it is recomputed from
+    the integer fields on re-emission, so nothing lossy crosses the
+    wire). *)
+val checker_snapshot_of_json :
+  Tabv_core.Report_json.json -> (Tabv_obs.Checker_snapshot.t, string) result
+
+(** Inverse of {!Tabv_core.Report_json.metrics_snapshot_json}. *)
+val metrics_snapshot_of_json :
+  Tabv_core.Report_json.json ->
+  ((string * Tabv_obs.Metrics.value) list, string) result
+
+(** Inverse of {!Tabv_fault.Fault.diagnosis_json}. *)
+val diagnosis_of_json :
+  Tabv_core.Report_json.json -> (Tabv_sim.Kernel.diagnosis, string) result
+
+(** {2 Length-prefixed frames}
+
+    8 lowercase hex digits (payload byte length) + ['\n'] + payload.
+    Fixed-width, so both sides read an exact header before the body —
+    no scanning, no ambiguity with payload bytes. *)
+
+val header_length : int
+
+val encode_frame : string -> string
+
+(** [None] on anything that is not 8 hex digits + newline. *)
+val decode_header : string -> int option
+
+(** Write one frame and flush. *)
+val write_frame : out_channel -> string -> unit
+
+(** Blocking read of one frame.  [None] on a clean EOF at a frame
+    boundary.
+    @raise Failure on a malformed header or truncated body. *)
+val read_frame : in_channel -> string option
+
+(** {2 Incremental frame accumulator}
+
+    For the coordinator's non-blocking reads: feed raw chunks, pop
+    complete frames. *)
+
+type stream
+
+val stream : unit -> stream
+
+(** Bytes currently buffered (useful to detect a partial trailing
+    frame after EOF). *)
+val stream_length : stream -> int
+
+val feed : stream -> string -> unit
+
+exception Protocol_error of string
+
+(** Pop the next complete frame, if any.
+    @raise Protocol_error on a malformed buffered header. *)
+val pop : stream -> string option

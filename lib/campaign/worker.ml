@@ -1,0 +1,86 @@
+(* The subprocess executor's worker half: a frame server over
+   stdin/stdout.  See worker.mli for the protocol. *)
+
+module J = Tabv_core.Report_json
+
+let ( let* ) = Result.bind
+
+(* Decode a request into a thunk.  Decoding is separated from
+   execution so malformed requests answer [{"error":..}] without
+   running anything. *)
+let decode_request json =
+  let what = "request" in
+  let* fields = Wire.open_assoc what json in
+  let* op = Wire.string_field what "op" fields in
+  match op with
+  | "campaign_job" ->
+    let* attempt = Wire.int_field what "attempt" fields in
+    let* metrics = Wire.bool_field what "metrics" fields in
+    let* job =
+      let* v = Wire.field what "job" fields in
+      Campaign.job_spec_of_json v
+    in
+    Ok
+      (fun () ->
+        Campaign.payload_json
+          (Campaign.exec_job ~attempt ~metrics_enabled:metrics job))
+  | "qualify_job" ->
+    let* duv =
+      let* name = Wire.string_field what "duv" fields in
+      match Campaign.duv_of_name name with
+      | Some duv -> Ok duv
+      | None -> Error (Printf.sprintf "%s: unknown duv %S" what name)
+    in
+    let* levels =
+      let* v = Wire.field what "levels" fields in
+      let* items = Wire.open_list (what ^ ".levels") v in
+      Wire.map_result
+        (fun item ->
+          match item with
+          | J.String name ->
+            (match Campaign.level_of_name name with
+             | Some level -> Ok level
+             | None -> Error (Printf.sprintf "%s: unknown level %S" what name))
+          | _ -> Error (what ^ ".levels: expected strings"))
+        items
+    in
+    let* seed = Wire.int_field what "seed" fields in
+    let* ops = Wire.int_field what "ops" fields in
+    let* index = Wire.int_field what "index" fields in
+    Ok (fun () -> Qualify.qrun_json (Qualify.exec_index ~duv ~levels ~seed ~ops index))
+  | other -> Error (Printf.sprintf "%s: unknown op %S" what other)
+
+let reply_of_request payload =
+  match J.of_string payload with
+  | exception J.Parse_error { line; col; message } ->
+    J.Assoc
+      [ ( "error",
+          J.String (Printf.sprintf "worker: unparsable request: %d:%d: %s" line col message) )
+      ]
+  | json ->
+    (match decode_request json with
+     | Error e -> J.Assoc [ ("error", J.String ("worker: " ^ e)) ]
+     | Ok execute ->
+       (* An ordinary exception here must read exactly like the
+          in-domain executor's [Crashed] record — [Printexc.to_string]
+          both places — so the two executors stay byte-identical.
+          Hard failures never reach the [with]: the process dies and
+          the coordinator classifies the corpse. *)
+       (match execute () with
+        | result -> J.Assoc [ ("ok", result) ]
+        | exception e -> J.Assoc [ ("error", J.String (Printexc.to_string e)) ]))
+
+let serve ic oc =
+  let rec loop () =
+    match Wire.read_frame ic with
+    | None -> ()
+    | Some payload ->
+      Wire.write_frame oc (J.to_string (reply_of_request payload));
+      loop ()
+  in
+  loop ()
+
+let main () =
+  set_binary_mode_in stdin true;
+  set_binary_mode_out stdout true;
+  serve stdin stdout

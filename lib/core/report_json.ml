@@ -118,17 +118,67 @@ let literal st word value =
   else parse_fail st (Printf.sprintf "invalid literal (expected %s)" word)
 
 let utf8_of_code buffer code =
-  (* Transcribe one Unicode scalar value to UTF-8 bytes. *)
+  (* Transcribe one Unicode scalar value to UTF-8 bytes (1..4 bytes;
+     the caller guarantees [code <= 0x10FFFF] and no surrogates). *)
   if code < 0x80 then Buffer.add_char buffer (Char.chr code)
   else if code < 0x800 then begin
     Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
     Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
   end
-  else begin
+  else if code < 0x10000 then begin
     Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
     Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
     Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
   end
+  else begin
+    Buffer.add_char buffer (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+(* Exactly four hex digits (strict: [int_of_string "0x.."] would also
+   accept underscores). *)
+let hex4 st =
+  if st.pos + 4 > String.length st.input then parse_fail st "truncated \\u escape";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> parse_fail st "invalid \\u escape"
+  in
+  let code = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+     | Some c -> code := (!code lsl 4) lor digit c
+     | None -> parse_fail st "truncated \\u escape");
+    advance st
+  done;
+  !code
+
+let is_high_surrogate code = code >= 0xD800 && code <= 0xDBFF
+let is_low_surrogate code = code >= 0xDC00 && code <= 0xDFFF
+
+(* One [\uXXXX] escape, the [\u] already consumed.  A high surrogate
+   must be followed by [\uXXXX] with a low surrogate; the pair is
+   combined into one supplementary-plane scalar (RFC 8259 §7).
+   Unpaired surrogates are rejected — they have no UTF-8 encoding. *)
+let parse_unicode_escape st buffer =
+  let code = hex4 st in
+  if is_low_surrogate code then parse_fail st "unpaired low surrogate"
+  else if is_high_surrogate code then begin
+    (match (peek st, st.pos + 1 < String.length st.input) with
+     | (Some '\\', true) when st.input.[st.pos + 1] = 'u' ->
+       advance st;
+       advance st
+     | _ -> parse_fail st "unpaired high surrogate");
+    let low = hex4 st in
+    if not (is_low_surrogate low) then parse_fail st "unpaired high surrogate";
+    let scalar = 0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00) in
+    utf8_of_code buffer scalar
+  end
+  else utf8_of_code buffer code
 
 let parse_string_body st =
   expect st '"';
@@ -152,16 +202,7 @@ let parse_string_body st =
        | Some 't' -> Buffer.add_char buffer '\t'; advance st
        | Some 'u' ->
          advance st;
-         if st.pos + 4 > String.length st.input then
-           parse_fail st "truncated \\u escape";
-         let hex = String.sub st.input st.pos 4 in
-         (match int_of_string_opt ("0x" ^ hex) with
-          | Some code ->
-            for _ = 1 to 4 do
-              advance st
-            done;
-            utf8_of_code buffer code
-          | None -> parse_fail st "invalid \\u escape")
+         parse_unicode_escape st buffer
        | Some c -> parse_fail st (Printf.sprintf "invalid escape '\\%c'" c)
        | None -> parse_fail st "unterminated escape");
       loop ()

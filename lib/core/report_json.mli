@@ -23,6 +23,9 @@ exception Parse_error of { line : int; col : int; message : string }
 (** Parse one RFC 8259 document (the inverse of {!to_string}, used for
     campaign manifests and read-back reports).  Numbers without
     fraction or exponent parse as [Int], all others as [Float].
+    [\uXXXX] escapes are fully decoded to UTF-8, including
+    supplementary-plane surrogate pairs ([😀] is the four
+    UTF-8 bytes of U+1F600); unpaired surrogates are rejected.
     @raise Parse_error on malformed input. *)
 val of_string : string -> json
 

@@ -15,9 +15,15 @@ type tlm_fault =
   | Duplicate of { index : int }
   | Hang of { index : int }
 
+type hard_failure =
+  | Abort
+  | Alloc_storm
+  | Busy_loop
+
 type chaos =
   | Crash of { at_ns : int; name : string }
   | Livelock_loop of { at_ns : int }
+  | Hard of { at_ns : int; failure : hard_failure }
 
 type injection =
   | Signal_fault of { signal : string; fault : signal_fault }
@@ -75,12 +81,26 @@ let tlm_fault_json = function
     J.Assoc [ ("kind", J.String "duplicate"); ("index", J.Int index) ]
   | Hang { index } -> J.Assoc [ ("kind", J.String "hang"); ("index", J.Int index) ]
 
+let hard_failure_name = function
+  | Abort -> "abort"
+  | Alloc_storm -> "alloc_storm"
+  | Busy_loop -> "busy_loop"
+
+let hard_failure_of_name = function
+  | "abort" -> Some Abort
+  | "alloc_storm" -> Some Alloc_storm
+  | "busy_loop" -> Some Busy_loop
+  | _ -> None
+
 let chaos_json = function
   | Crash { at_ns; name } ->
     J.Assoc
       [ ("kind", J.String "crash"); ("at_ns", J.Int at_ns); ("name", J.String name) ]
   | Livelock_loop { at_ns } ->
     J.Assoc [ ("kind", J.String "livelock"); ("at_ns", J.Int at_ns) ]
+  | Hard { at_ns; failure } ->
+    J.Assoc
+      [ ("kind", J.String (hard_failure_name failure)); ("at_ns", J.Int at_ns) ]
 
 let injection_json = function
   | Signal_fault { signal; fault } ->
@@ -190,7 +210,12 @@ let chaos_of_json j =
   | "livelock" ->
     let* at_ns = int_key "at_ns" kvs in
     Ok (Livelock_loop { at_ns })
-  | other -> Error (Printf.sprintf "fault plan: unknown chaos kind %S" other)
+  | other ->
+    (match hard_failure_of_name other with
+     | Some failure ->
+       let* at_ns = int_key "at_ns" kvs in
+       Ok (Hard { at_ns; failure })
+     | None -> Error (Printf.sprintf "fault plan: unknown chaos kind %S" other))
 
 let injection_of_json j =
   let* kvs = assoc j in
@@ -470,6 +495,42 @@ let install_socket kernel inst sb faults =
         | _ -> ())
       faults)
 
+(* Hard failures: crash classes that in-process exception catching
+   provably cannot contain.  They exist to validate the process-level
+   isolation of the campaign subprocess executor (lib/campaign):
+
+   - [Abort] raises SIGABRT in the current process — no OCaml handler
+     runs, the OS terminates the process (containment = fork
+     boundary);
+   - [Alloc_storm] grows the live heap monotonically and never
+     returns.  It is rate-limited (~64 MiB/s) so that in tests the
+     executor's wall-clock watchdog, not the machine's OOM killer, is
+     the expected containment;
+   - [Busy_loop] spins inside one scheduled action without ever
+     yielding to the kernel, so the delta-cycle and step-budget
+     watchdogs never get a chance to trip — only an external
+     wall-clock watchdog (SIGKILL) contains it. *)
+let execute_hard_failure = function
+  | Abort ->
+    Unix.kill (Unix.getpid ()) Sys.sigabrt;
+    (* Unreachable: SIGABRT's default disposition terminates. *)
+    assert false
+  | Alloc_storm ->
+    let hoard = ref [] in
+    let rec grow () =
+      hoard := Bytes.create 65536 :: !hoard;
+      Unix.sleepf 0.001;
+      grow ()
+    in
+    grow ()
+  | Busy_loop ->
+    let x = ref 0 in
+    let rec spin () =
+      x := !x lxor 1;
+      spin ()
+    in
+    spin ()
+
 let install_chaos kernel inst = function
   | Crash { at_ns; name } ->
     Kernel.schedule_at kernel ~time:at_ns (fun () ->
@@ -481,6 +542,10 @@ let install_chaos kernel inst = function
       trigger inst;
       let rec spin () = Kernel.schedule_next_delta kernel spin in
       spin ())
+  | Hard { at_ns; failure } ->
+    Kernel.schedule_at kernel ~time:at_ns (fun () ->
+      trigger inst;
+      execute_hard_failure failure)
 
 let install binding plan =
   let inst = { triggered_count = 0; armed_count = List.length plan.injections } in

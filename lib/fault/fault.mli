@@ -46,6 +46,21 @@ type tlm_fault =
       (** transaction [index] blocks forever (the initiator thread
           waits on an event that never fires — ends as [Starved]) *)
 
+(** Hard failures: crash classes that no in-process exception handler
+    can contain.  They exist to validate process-level isolation (the
+    campaign subprocess executor): in-domain catching provably cannot
+    survive them. *)
+type hard_failure =
+  | Abort  (** raise SIGABRT in the current process — immediate death *)
+  | Alloc_storm
+      (** grow the live heap monotonically, never returning
+          (rate-limited to ~64 MiB/s so a wall-clock watchdog, not the
+          OOM killer, is the expected containment in tests) *)
+  | Busy_loop
+      (** spin inside one action without yielding — invisible to the
+          kernel's delta/step watchdogs, only an external wall-clock
+          watchdog (SIGKILL) contains it *)
+
 (** Kernel-level chaos, for exercising the watchdogs. *)
 type chaos =
   | Crash of { at_ns : int; name : string }
@@ -54,6 +69,8 @@ type chaos =
   | Livelock_loop of { at_ns : int }
       (** an action reschedules itself every delta cycle from [at_ns]
           (ends as [Livelock] via the delta cap) *)
+  | Hard of { at_ns : int; failure : hard_failure }
+      (** an action executes {!execute_hard_failure} at [at_ns] *)
 
 type injection =
   | Signal_fault of { signal : string; fault : signal_fault }
@@ -64,6 +81,19 @@ type plan = {
   plan_name : string;
   injections : injection list;
 }
+
+(** ["abort"] / ["alloc_storm"] / ["busy_loop"] (also the JSON chaos
+    kinds). *)
+val hard_failure_name : hard_failure -> string
+
+val hard_failure_of_name : string -> hard_failure option
+
+(** Execute one hard failure {e in the calling process} — never
+    returns normally.  [Abort] terminates the process via SIGABRT;
+    [Alloc_storm] and [Busy_loop] never terminate on their own.  Used
+    by kernel chaos injections ({!chaos}) and by the campaign runner's
+    deterministic per-job chaos hook. *)
+val execute_hard_failure : hard_failure -> 'a
 
 val no_faults : plan
 val plan : name:string -> injection list -> plan

@@ -199,13 +199,331 @@ let json_parser_cases =
       let doc = J.of_string {|{ "a": 1, "b": [2] }|} in
       Alcotest.(check bool) "a" true (J.member "a" doc = Some (J.Int 1));
       Alcotest.(check bool) "missing" true (J.member "z" doc = None);
-      Alcotest.(check bool) "non-object" true (J.member "a" (J.Int 3) = None)) ]
+      Alcotest.(check bool) "non-object" true (J.member "a" (J.Int 3) = None));
+    case "\\uXXXX escapes cover all UTF-8 widths" (fun () ->
+      List.iter
+        (fun (doc, expected) ->
+          match J.of_string doc with
+          | J.String s -> Alcotest.(check string) doc expected s
+          | _ -> Alcotest.failf "%s: not a string" doc)
+        [ ({|"\u0041"|}, "A");  (* 1 byte *)
+          ({|"\u00e9"|}, "\xc3\xa9");  (* 2 bytes: U+00E9 *)
+          ({|"\u20AC"|}, "\xe2\x82\xac");  (* 3 bytes, upper hex *)
+          ({|"\u0000"|}, "\x00");  (* NUL decodes, not truncates *)
+          ({|"\ufffd"|}, "\xef\xbf\xbd") (* U+FFFD *) ]);
+    case "surrogate pairs decode to one 4-byte scalar" (fun () ->
+      (* U+1F600 GRINNING FACE, encoded the only way JSON allows. *)
+      Alcotest.(check bool) "grinning face" true
+        (J.of_string {|"\ud83d\ude00"|} = J.String "\xf0\x9f\x98\x80");
+      (* round trip: the emitter escapes control bytes only, so the
+         4-byte sequence survives to_string verbatim *)
+      let doc = J.of_string {|"\ud83d\ude00"|} in
+      Alcotest.(check bool) "re-parse" true (J.of_string (J.to_string doc) = doc));
+    case "unpaired surrogates are rejected" (fun () ->
+      List.iter
+        (fun doc ->
+          match J.of_string doc with
+          | _ -> Alcotest.failf "accepted %s" doc
+          | exception J.Parse_error _ -> ())
+        [ {|"\ud83d"|};  (* lone high *)
+          {|"\ud83dx"|};  (* high + ordinary char *)
+          {|"\ud83dA"|};  (* high + non-surrogate escape *)
+          {|"\ude00"|};  (* lone low *)
+          {|"\u12g4"|} (* bad hex digit *) ]) ]
 
-(* --- running ----------------------------------------------------------- *)
-
+(* A small but non-trivial matrix shared by the merging, journal and
+   executor suites. *)
 let small_matrix =
   C.expand_matrix ~duvs:[ C.Des56; C.Colorconv ] ~levels:[ C.Rtl; C.Tlm_ca ]
     ~seeds:[ 1 ] ~ops:8 ()
+
+(* --- wire framing ------------------------------------------------------ *)
+
+let wire_cases =
+  [ case "frames are length-prefixed with a fixed 9-byte header" (fun () ->
+      let frame = Wire.encode_frame "hello" in
+      Alcotest.(check string) "encoding" "00000005\nhello" frame;
+      Alcotest.(check (option int)) "header decodes" (Some 5)
+        (Wire.decode_header (String.sub frame 0 Wire.header_length));
+      Alcotest.(check (option int)) "garbage header" None
+        (Wire.decode_header "0x5\nhelloo");
+      (* underscore-tolerant int_of_string must not leak through *)
+      Alcotest.(check (option int)) "underscores rejected" None
+        (Wire.decode_header "0000_005\n"));
+    case "a stream fed byte by byte pops whole frames" (fun () ->
+      let s = Wire.stream () in
+      let bytes = Wire.encode_frame "first" ^ Wire.encode_frame "" in
+      String.iter (fun c -> Wire.feed s (String.make 1 c)) bytes;
+      Alcotest.(check (option string)) "first" (Some "first") (Wire.pop s);
+      Alcotest.(check (option string)) "empty frame" (Some "") (Wire.pop s);
+      Alcotest.(check (option string)) "drained" None (Wire.pop s);
+      Alcotest.(check int) "no residue" 0 (Wire.stream_length s));
+    case "a corrupt header raises Protocol_error" (fun () ->
+      let s = Wire.stream () in
+      Wire.feed s "not-hex!!\nwhatever";
+      match Wire.pop s with
+      | _ -> Alcotest.fail "corrupt header accepted"
+      | exception Wire.Protocol_error _ -> ()) ]
+
+(* --- execution payloads ------------------------------------------------ *)
+
+let payload_cases =
+  [ case "job specs round-trip through JSON, chaos included" (fun () ->
+      List.iter
+        (fun job ->
+          match C.job_spec_of_json (J.of_string (J.to_string (C.job_spec_json job))) with
+          | Ok back -> Alcotest.(check bool) "identical" true (back = job)
+          | Error e -> Alcotest.fail e)
+        [ C.job ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 ();
+          C.job ~selection:(C.Take 2) ~chaos:3 ~duv:C.Memctrl ~level:C.Tlm_at
+            ~seed:7 ~ops:12 ();
+          C.job ~chaos:1 ~chaos_kind:(C.Chaos_hard Tabv_fault.Fault.Abort)
+            ~duv:C.Colorconv ~level:C.Tlm_ca ~seed:2 ~ops:6 ();
+          C.job ~chaos:2 ~chaos_kind:(C.Chaos_hard Tabv_fault.Fault.Busy_loop)
+            ~selection:C.No_checkers ~duv:C.Des56 ~level:C.Tlm_lt ~seed:3
+            ~ops:4 () ]);
+    slow_case "exec payloads survive the wire byte-for-byte" (fun () ->
+      let job = C.job ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 () in
+      let payload = C.exec_job ~attempt:1 ~metrics_enabled:true job in
+      let emitted = J.to_string (C.payload_json payload) in
+      match C.payload_of_json (J.of_string emitted) with
+      | Error e -> Alcotest.fail e
+      | Ok back ->
+        Alcotest.(check string) "re-emission identical" emitted
+          (J.to_string (C.payload_json back)));
+    slow_case "qualify qruns survive the wire byte-for-byte" (fun () ->
+      let qrun =
+        Qualify.exec_index ~duv:C.Colorconv ~levels:[ C.Rtl ] ~seed:1 ~ops:5 0
+      in
+      let emitted = J.to_string (Qualify.qrun_json qrun) in
+      match Qualify.qrun_of_json (J.of_string emitted) with
+      | Error e -> Alcotest.fail e
+      | Ok back ->
+        Alcotest.(check string) "re-emission identical" emitted
+          (J.to_string (Qualify.qrun_json back))) ]
+
+(* --- write-ahead journal ----------------------------------------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "tabv_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let journal_open ~path ~kind ~fingerprint ~resume =
+  match Journal.open_ ~path ~kind ~fingerprint ~resume () with
+  | Ok j -> j
+  | Error e -> Alcotest.fail e
+
+let journal_cases =
+  [ case "appended records replay sorted by id on resume" (fun () ->
+      with_temp_journal (fun path ->
+        let j = journal_open ~path ~kind:"t" ~fingerprint:"fp" ~resume:false in
+        Journal.append j ~id:2 (J.String "two");
+        Journal.append j ~id:0 (J.String "zero");
+        Journal.close j;
+        let j = journal_open ~path ~kind:"t" ~fingerprint:"fp" ~resume:true in
+        Alcotest.(check bool) "sorted replay" true
+          (Journal.replayed j = [ (0, J.String "zero"); (2, J.String "two") ]);
+        Alcotest.(check int) "records" 2 (Journal.records j);
+        Journal.append j ~id:1 (J.String "one");
+        Journal.close j;
+        let j = journal_open ~path ~kind:"t" ~fingerprint:"fp" ~resume:true in
+        Alcotest.(check int) "records after second resume" 3 (Journal.records j);
+        Journal.close j));
+    case "resume refuses a different campaign" (fun () ->
+      with_temp_journal (fun path ->
+        Journal.close
+          (journal_open ~path ~kind:"t" ~fingerprint:"fp" ~resume:false);
+        (match Journal.open_ ~path ~kind:"t" ~fingerprint:"other" ~resume:true () with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "fingerprint mismatch accepted");
+        match Journal.open_ ~path ~kind:"u" ~fingerprint:"fp" ~resume:true () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "kind mismatch accepted"));
+    case "a torn trailing line is dropped, not fatal" (fun () ->
+      with_temp_journal (fun path ->
+        let j = journal_open ~path ~kind:"t" ~fingerprint:"fp" ~resume:false in
+        Journal.append j ~id:0 (J.Int 7);
+        Journal.close j;
+        (* Simulate a crash mid-append: half a record, no newline. *)
+        let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+        output_string oc {|{"id":1,"rec|};
+        close_out oc;
+        let j = journal_open ~path ~kind:"t" ~fingerprint:"fp" ~resume:true in
+        Alcotest.(check bool) "intact record survives" true
+          (Journal.replayed j = [ (0, J.Int 7) ]);
+        (* The torn bytes were truncated away: appending now yields a
+           well-formed journal again. *)
+        Journal.append j ~id:1 (J.Int 8);
+        Journal.close j;
+        let j = journal_open ~path ~kind:"t" ~fingerprint:"fp" ~resume:true in
+        Alcotest.(check bool) "clean after truncate + append" true
+          (Journal.replayed j = [ (0, J.Int 7); (1, J.Int 8) ]);
+        Journal.close j));
+    slow_case "campaign resume replays journaled jobs byte-identically" (fun () ->
+      with_temp_journal (fun path ->
+        let jobs = small_matrix in
+        let fingerprint = C.fingerprint ~retries:1 jobs in
+        let open_j resume =
+          journal_open ~path ~kind:C.journal_kind ~fingerprint ~resume
+        in
+        let run journal = C.run ~workers:2 ~journal jobs in
+        let j = open_j false in
+        let fresh = run j in
+        Journal.close j;
+        let j = open_j true in
+        let resumed = run j in
+        Journal.close j;
+        Alcotest.(check int) "all jobs replayed" (List.length jobs)
+          resumed.C.replayed;
+        Alcotest.(check int) "fresh run replayed nothing" 0 fresh.C.replayed;
+        Alcotest.(check string) "byte-identical report"
+          (J.to_string (C.report_json fresh))
+          (J.to_string (C.report_json resumed))));
+    slow_case "an interrupted campaign leaves a resumable journal" (fun () ->
+      with_temp_journal (fun path ->
+        let jobs = small_matrix in
+        let fingerprint = C.fingerprint ~retries:1 jobs in
+        let open_j resume =
+          journal_open ~path ~kind:C.journal_kind ~fingerprint ~resume
+        in
+        (* One worker + a poll counter: the in-domain pool checks
+           [interrupted] once before claiming each job, so exactly two
+           jobs complete before the stop. *)
+        let polls = ref 0 in
+        let j = open_j false in
+        let partial =
+          C.run ~workers:1 ~journal:j
+            ~interrupted:(fun () -> incr polls; !polls > 2)
+            jobs
+        in
+        Journal.close j;
+        Alcotest.(check int) "two jobs pending" 2 partial.C.pending;
+        Alcotest.(check bool) "interrupted runs are not green" false
+          (C.all_green partial);
+        Alcotest.(check int) "two records journaled" 2
+          (List.length partial.C.results);
+        let j = open_j true in
+        let resumed = C.run ~workers:2 ~journal:j jobs in
+        Journal.close j;
+        Alcotest.(check int) "completed jobs replayed" 2 resumed.C.replayed;
+        Alcotest.(check int) "nothing pending" 0 resumed.C.pending;
+        Alcotest.(check string) "resumed report = uninterrupted report"
+          (J.to_string (C.report_json (C.run ~workers:2 jobs)))
+          (J.to_string (C.report_json resumed)))) ]
+
+(* --- subprocess executor ----------------------------------------------- *)
+
+(* The test binary cannot serve as its own worker: assembling the
+   qcheck suites prints a seed banner on stdout at module init, before
+   main.ml's [_worker] hook can run, and that banner would corrupt the
+   frame protocol.  The executor tests therefore run their workers out
+   of the real tabv binary, located relative to this executable
+   (dune builds both under _build/default; the test stanza depends on
+   it). *)
+let tabv_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "tabv.exe"))
+
+let subprocess ?job_timeout_s () =
+  Executor.config ?job_timeout_s ~worker_argv:[| tabv_exe; "_worker" |]
+    Executor.Subprocess
+
+let executor_cases =
+  [ slow_case "subprocess reports are byte-identical to in-domain" (fun () ->
+      let report exec =
+        J.to_string (C.report_json (C.run ~workers:2 ~exec small_matrix))
+      in
+      Alcotest.(check string) "executor-independent"
+        (report (Executor.config Executor.In_domain))
+        (report (subprocess ())));
+    slow_case "chaos crashes read identically across executors" (fun () ->
+      (* One job that crashes on attempt 1 and completes on the retry,
+         one that crashes forever: attempts, outcomes and the recorded
+         error string must not betray where the job ran. *)
+      let jobs =
+        [ C.job ~chaos:1 ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 ();
+          C.job ~chaos:99 ~duv:C.Colorconv ~level:C.Rtl ~seed:1 ~ops:5 () ]
+      in
+      let report exec =
+        J.to_string (C.report_json (C.run ~workers:2 ~retries:1 ~exec jobs))
+      in
+      Alcotest.(check string) "executor-independent"
+        (report (Executor.config Executor.In_domain))
+        (report (subprocess ())));
+    slow_case "an aborting job is contained and classified as killed" (fun () ->
+      let jobs =
+        [ C.job ~chaos:99 ~chaos_kind:(C.Chaos_hard Tabv_fault.Fault.Abort)
+            ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 ();
+          C.job ~duv:C.Colorconv ~level:C.Rtl ~seed:1 ~ops:5 () ]
+      in
+      let s = C.run ~workers:2 ~retries:1 ~exec:(subprocess ()) jobs in
+      Alcotest.(check int) "killed" 1 s.C.killed;
+      Alcotest.(check int) "completed" 1 s.C.completed;
+      (match (List.hd s.C.results).C.outcome with
+       | C.Killed { signal } ->
+         Alcotest.(check int) "SIGABRT" 6 signal
+       | _ -> Alcotest.fail "expected Killed");
+      Alcotest.(check int) "attempts = retries + 1" 2
+        (List.hd s.C.results).C.attempts;
+      Alcotest.(check bool) "survivor unharmed" true
+        ((List.nth s.C.results 1).C.outcome = C.Completed));
+    slow_case "a busy-looping job trips the wall-clock watchdog" (fun () ->
+      let jobs =
+        [ C.job ~chaos:99 ~chaos_kind:(C.Chaos_hard Tabv_fault.Fault.Busy_loop)
+            ~duv:C.Des56 ~level:C.Rtl ~seed:1 ~ops:5 ();
+          C.job ~duv:C.Des56 ~level:C.Rtl ~seed:2 ~ops:5 () ]
+      in
+      let s =
+        C.run ~workers:2 ~retries:0 ~exec:(subprocess ~job_timeout_s:0.5 ())
+          jobs
+      in
+      Alcotest.(check int) "timed out" 1 s.C.timed_out;
+      Alcotest.(check bool) "outcome" true
+        ((List.hd s.C.results).C.outcome = C.Timed_out);
+      Alcotest.(check bool) "survivor unharmed" true
+        ((List.nth s.C.results 1).C.outcome = C.Completed));
+    slow_case "qualify reports are executor-independent" (fun () ->
+      let report exec =
+        J.to_string
+          (Qualify.report_json
+             (Qualify.run ~workers:2 ~exec ~duv:C.Colorconv ~levels:[ C.Rtl ]
+                ~seed:1 ~ops:6 ()))
+      in
+      Alcotest.(check string) "executor-independent"
+        (report (Executor.config Executor.In_domain))
+        (report (subprocess ())));
+    slow_case "qualify journals resume byte-identically" (fun () ->
+      with_temp_journal (fun path ->
+        let duv = C.Colorconv and levels = [ C.Rtl ] and seed = 1 and ops = 6 in
+        let fingerprint = Qualify.fingerprint ~duv ~levels ~seed ~ops in
+        let open_j resume =
+          journal_open ~path ~kind:Qualify.journal_kind ~fingerprint ~resume
+        in
+        let run journal =
+          Qualify.run ~workers:2 ~journal ~duv ~levels ~seed ~ops ()
+        in
+        let j = open_j false in
+        let fresh = run j in
+        Journal.close j;
+        let j = open_j true in
+        let resumed = run j in
+        Journal.close j;
+        Alcotest.(check string) "byte-identical report"
+          (J.to_string (Qualify.report_json fresh))
+          (J.to_string (Qualify.report_json resumed))));
+    slow_case "qualify raises Interrupted instead of a partial matrix" (fun () ->
+      let polls = ref 0 in
+      match
+        Qualify.run ~workers:1 ~interrupted:(fun () -> incr polls; !polls > 2)
+          ~duv:C.Colorconv ~levels:[ C.Rtl ] ~seed:1 ~ops:6 ()
+      with
+      | _ -> Alcotest.fail "expected Interrupted"
+      | exception Qualify.Interrupted -> ()) ]
+
+(* --- running ----------------------------------------------------------- *)
 
 let run_cases =
   [ slow_case "reports are byte-identical for 1 and 2 workers" (fun () ->
@@ -257,7 +575,8 @@ let run_cases =
       (match crashed.C.outcome with
        | C.Crashed { error } ->
          Alcotest.(check bool) "error recorded" true (String.length error > 0)
-       | C.Completed -> Alcotest.fail "expected a crash");
+       | C.Completed | C.Killed _ | C.Timed_out ->
+         Alcotest.fail "expected a crash");
       let survivor = List.nth s.C.results 1 in
       Alcotest.(check bool) "other job completed" true
         (survivor.C.outcome = C.Completed));
@@ -285,4 +604,5 @@ let run_cases =
 
 let suite =
   ( "campaign",
-    dls_cases @ matrix_cases @ manifest_cases @ json_parser_cases @ run_cases )
+    dls_cases @ matrix_cases @ manifest_cases @ json_parser_cases @ wire_cases
+    @ payload_cases @ journal_cases @ run_cases @ executor_cases )

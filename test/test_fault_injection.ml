@@ -253,7 +253,10 @@ let full_vocabulary_plan =
       F.Tlm_mutation { socket = "init"; fault = F.Duplicate { index = 4 } };
       F.Tlm_mutation { socket = "init"; fault = F.Hang { index = 5 } };
       F.Chaos (F.Crash { at_ns = 45; name = "boom" });
-      F.Chaos (F.Livelock_loop { at_ns = 90 }) ]
+      F.Chaos (F.Livelock_loop { at_ns = 90 });
+      F.Chaos (F.Hard { at_ns = 120; failure = F.Abort });
+      F.Chaos (F.Hard { at_ns = 150; failure = F.Alloc_storm });
+      F.Chaos (F.Hard { at_ns = 180; failure = F.Busy_loop }) ]
 
 let json_cases =
   [ case "every injection kind round-trips through JSON" (fun () ->
@@ -262,6 +265,20 @@ let json_cases =
         Alcotest.(check bool) "equal" true
           (F.equal_plan full_vocabulary_plan plan)
       | Error msg -> Alcotest.fail msg);
+    case "hard-failure names round-trip and unknown names are refused" (fun () ->
+      List.iter
+        (fun failure ->
+          match F.hard_failure_of_name (F.hard_failure_name failure) with
+          | Some round ->
+            Alcotest.(check bool)
+              (F.hard_failure_name failure ^ " round-trips")
+              true (round = failure)
+          | None ->
+            Alcotest.failf "%s did not round-trip" (F.hard_failure_name failure))
+        [ F.Abort; F.Alloc_storm; F.Busy_loop ];
+      match F.hard_failure_of_name "segv" with
+      | None -> ()
+      | Some _ -> Alcotest.fail "accepted an unknown hard-failure name");
     case "malformed plan documents are rejected with Error" (fun () ->
       List.iter
         (fun doc ->
