@@ -41,6 +41,14 @@
 #                         writes BENCH_isolate_overhead.json, and
 #                         FAILS if process isolation costs more than
 #                         1.5x the in-domain pool)
+#   9. bench/main.exe --quick --sched-only
+#                        (times a scheduling-dense netlist under the
+#                         classic and compiled kernel engines, asserts
+#                         byte-identical metrics documents on the
+#                         cache-bench workload, writes
+#                         BENCH_sched_speedup.json, and FAILS if the
+#                         compiled engine is below the 3x speedup
+#                         floor)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,5 +80,8 @@ dune exec bench/main.exe -- --quick --fault-only
 
 echo "== subprocess isolation overhead gate (<= 1.5x in-domain)"
 dune exec bench/main.exe -- --quick --isolate-only
+
+echo "== compiled scheduler gate (>= 3x on the scheduling-dense netlist)"
+dune exec bench/main.exe -- --quick --sched-only
 
 echo "== all checks passed"

@@ -145,6 +145,28 @@ let model_name = function
   | Memctrl_ca_m -> "memctrl-tlm-ca"
   | Memctrl_at_m -> "memctrl-tlm-at"
 
+(* Engine selection is a process-wide default ([Kernel.create] reads
+   it), so one flag covers every kernel a subcommand creates —
+   including worker subprocesses, which receive the selection over the
+   wire ([sim_engine] in every request). *)
+let engine_arg =
+  let engine_enum =
+    Arg.enum
+      [ ("classic", Tabv_sim.Kernel.Classic);
+        ("compiled", Tabv_sim.Kernel.Compiled) ]
+  in
+  Arg.(
+    value
+    & opt (some engine_enum) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulation kernel engine: $(b,classic) (the dynamic event-driven \
+           reference) or $(b,compiled) (levelized static schedule over a \
+           dense signal arena).  Reports and metrics are byte-identical \
+           across engines; compiled is faster on scheduling-bound runs.")
+
+let apply_engine = Option.iter Tabv_sim.Kernel.set_default_engine
+
 let check_cmd =
   let model =
     Arg.(required & opt (some model_conv) None & info [ "model"; "m" ] ~docv:"MODEL"
@@ -184,7 +206,8 @@ let check_cmd =
            ~doc:"Deprecated alias of $(b,--metrics-json).")
   in
   let run model count seed props_file metrics_flag metrics_json stats_flag
-      stats_json =
+      stats_json engine =
+    apply_engine engine;
     if stats_flag then
       prerr_endline "tabv check: --stats is deprecated; use --metrics";
     if stats_json <> None then
@@ -408,7 +431,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ model $ count $ seed $ props_file $ metrics_flag $ metrics_json
-      $ stats_flag $ stats_json)
+      $ stats_flag $ stats_json $ engine_arg)
 
 (* --- trace -------------------------------------------------------- *)
 
@@ -590,7 +613,8 @@ let campaign_cmd =
                  ('-' for stdout).")
   in
   let run manifest duvs levels seeds ops props workers retries report_out
-      isolate timeout journal_path resume =
+      isolate timeout journal_path resume engine =
+    apply_engine engine;
     let fail msg = Printf.eprintf "tabv campaign: %s\n" msg; exit 2 in
     let manifest =
       match manifest with
@@ -675,7 +699,7 @@ let campaign_cmd =
     Term.(
       const run $ manifest $ duvs $ levels $ seeds $ ops $ props $ workers
       $ retries $ report_out $ isolate_arg $ timeout_arg $ journal_arg
-      $ resume_arg)
+      $ resume_arg $ engine_arg)
 
 (* --- qualify ------------------------------------------------------ *)
 
@@ -713,7 +737,8 @@ let qualify_cmd =
                  FILE ('-' for stdout).")
   in
   let run duv levels seed ops workers retries report_out isolate timeout
-      journal_path resume =
+      journal_path resume engine =
+    apply_engine engine;
     let fail msg = Printf.eprintf "tabv qualify: %s\n" msg; exit 2 in
     let duv =
       match Campaign.duv_of_name duv with
@@ -783,7 +808,7 @@ let qualify_cmd =
   Cmd.v (Cmd.info "qualify" ~doc)
     Term.(
       const run $ duv $ levels $ seed $ ops $ workers $ retries $ report_out
-      $ isolate_arg $ timeout_arg $ journal_arg $ resume_arg)
+      $ isolate_arg $ timeout_arg $ journal_arg $ resume_arg $ engine_arg)
 
 (* --- doctor ------------------------------------------------------- *)
 
@@ -837,6 +862,23 @@ let doctor_cmd =
     check "MemCtrl RTL read-back"
       ((Memctrl_testbench.run_rtl mem_ops).Testbench.outputs
        = List.map Int64.of_int (Memctrl_testbench.reference_reads mem_ops));
+    let engine_identity =
+      (* Same workload on both kernel engines, full metrics on: the
+         observability documents must be byte-identical (the compiled
+         engine's contract), with a fresh checker universe per run so
+         interning order cannot leak between them. *)
+      let report sim_engine =
+        Tabv_checker.Progression.reset_universe ();
+        let metrics = Tabv_obs.Metrics.create ~enabled:true () in
+        Tabv_core.Report_json.to_string
+          (Testbench.metrics_json
+             (Testbench.run_des56_rtl ~metrics ~sim_engine
+                ~properties:Des56_props.all quick_ops))
+      in
+      report Tabv_sim.Kernel.Classic = report Tabv_sim.Kernel.Compiled
+    in
+    check "engine_identity: compiled run reports byte-identically to classic"
+      engine_identity;
     let mini_campaign =
       let open Tabv_campaign.Campaign in
       run ~workers:2

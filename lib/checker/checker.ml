@@ -38,6 +38,14 @@ type t = {
   mutable step_scheduled_for : int;  (* instant with a pending step, -1 if none *)
 }
 
+(* Every step goes through the batched sampler: priming reads the
+   environment once per evaluation point and fans the valuations out
+   to all monitors sharing the sampler (idempotent per instant), so
+   the per-monitor step is answered from the cache. *)
+let step_primed monitor ~time lookup =
+  Sampler.prime (Monitor.sampler monitor) ~time lookup;
+  Monitor.step monitor ~time lookup
+
 (* Several transactions may end at the same instant; Def. III.2's
    transaction context evaluates the property once per instant, on the
    final observable state, exactly as an RTL checker evaluates once
@@ -48,7 +56,7 @@ let schedule_step t kernel lookup =
   if t.step_scheduled_for <> now then begin
     t.step_scheduled_for <- now;
     Kernel.schedule_next_delta kernel (fun () ->
-      Monitor.step t.monitor ~time:now lookup)
+      step_primed t.monitor ~time:now lookup)
   end
 
 let require_transaction_context ~what property =
@@ -113,7 +121,7 @@ let attach (spec : Attach.spec) kernel property ~lookup =
        schedule_step t kernel lookup)
    | Attach.Grid { clock_period; phase } ->
      let rec tick () =
-       Monitor.step monitor ~time:(Kernel.now kernel) lookup;
+       step_primed monitor ~time:(Kernel.now kernel) lookup;
        Kernel.schedule_after kernel ~delay:clock_period tick
      in
      Kernel.schedule_at kernel ~time:phase tick
@@ -135,7 +143,7 @@ let attach (spec : Attach.spec) kernel property ~lookup =
                  property.Property.name name))
        | Context.Transaction _ -> assert false (* validated above *)
      in
-     let sample () = Monitor.step monitor ~time:(Kernel.now kernel) lookup in
+     let sample () = step_primed monitor ~time:(Kernel.now kernel) lookup in
      (match edge with
       | Context.Posedge -> Event.on_event (Clock.posedge sampling_clock) sample
       | Context.Negedge -> Event.on_event (Clock.negedge sampling_clock) sample

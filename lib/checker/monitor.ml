@@ -100,6 +100,27 @@ let create ?(engine = `Progression) ?sampler property =
        | exception Automaton.Unsupported _ -> interned_backend ())
   in
   let gate = gate_of_context property.Property.context in
+  let gate_atom = Option.map Interned.atom gate in
+  let sampler =
+    match sampler with
+    | Some s -> s
+    | None -> Sampler.create ()
+  in
+  (* Batched sampling: hand the monitor's atom set to the sampler up
+     front.  Progression only rewrites the registered formula, so the
+     atom set is closed under stepping; the interned backend is the
+     one that reads atoms through the sampler, and the gate is
+     sampler-read on every backend. *)
+  (match backend with
+   | Interned_backend _ ->
+     ignore
+       (Ltl.map_atoms
+          (fun e ->
+            Sampler.register sampler (Interned.atom e);
+            e)
+          body)
+   | Legacy_backend | Auto_backend _ -> ());
+  Option.iter (Sampler.register sampler) gate_atom;
   {
     property;
     body;
@@ -107,8 +128,8 @@ let create ?(engine = `Progression) ?sampler property =
     backend;
     repeating;
     gate;
-    gate_atom = Option.map Interned.atom gate;
-    sampler = (match sampler with Some s -> s | None -> Sampler.create ());
+    gate_atom;
+    sampler;
     live = [];
     instances = [];
     started = false;

@@ -45,9 +45,19 @@ type t = {
   mutable stamp : int;  (* stamp tagging this sampler's values at [now] *)
   mutable queries : int;  (* atom evaluations requested *)
   mutable evals : int;  (* atom evaluations actually performed *)
+  mutable atoms : Interned.t list;  (* registered for batched priming *)
+  mutable primed : int;  (* stamp the batch pass last ran for *)
 }
 
-let create () = { now = min_int; stamp = fresh_stamp (); queries = 0; evals = 0 }
+let create () =
+  {
+    now = min_int;
+    stamp = fresh_stamp ();
+    queries = 0;
+    evals = 0;
+    atoms = [];
+    primed = 0;
+  }
 
 let refresh t ~time =
   if t.now <> time then begin
@@ -70,6 +80,25 @@ let eval_atom t ~time lookup atom =
     Interned.set_sample atom ~stamp:t.stamp ~value:v;
     v
   end
+
+(* Batched sampling: monitors register their atom sets at creation;
+   the attach layer then primes the sampler once per evaluation point,
+   so the environment (signal arena or transaction mirror) is read in
+   one pass and every monitor's step is answered from the cache.
+   Priming goes through [eval_atom], so the query/eval accounting is
+   identical on every engine and whether or not a caller primes. *)
+
+let register t atom =
+  if not (List.memq atom t.atoms) then t.atoms <- atom :: t.atoms
+
+let prime t ~time lookup =
+  refresh t ~time;
+  if t.primed <> t.stamp then begin
+    t.primed <- t.stamp;
+    List.iter (fun atom -> ignore (eval_atom t ~time lookup atom)) t.atoms
+  end
+
+let registered_atoms t = List.length t.atoms
 
 let queries t = t.queries
 let evals t = t.evals

@@ -26,6 +26,26 @@ val create : unit -> t
 val eval_atom :
   t -> time:int -> (string -> Expr.value option) -> Interned.t -> bool
 
+(** {2 Batched sampling}
+
+    {!Monitor.create} registers every atom of its (normalized) formula
+    plus its gate; the attach layer calls {!prime} once per evaluation
+    point, which evaluates all registered atoms in one pass over the
+    environment and fans the valuations out to every attached monitor
+    through the per-instant cache. *)
+
+(** Register an [Atom] node for batched priming (idempotent per node;
+    interned nodes are hash-consed, so physical identity applies). *)
+val register : t -> Interned.t -> unit
+
+(** [prime t ~time lookup] evaluates every registered atom at [time]
+    (idempotent per instant).  Accounting is routed through
+    {!eval_atom}, so queries/evals stay engine-independent. *)
+val prime : t -> time:int -> (string -> Expr.value option) -> unit
+
+(** Number of atoms registered for priming. *)
+val registered_atoms : t -> int
+
 (** Atom evaluations requested so far (including cache hits). *)
 val queries : t -> int
 

@@ -19,21 +19,24 @@ type t = {
 }
 
 let create kernel clock =
+  let el = Elab.create kernel in
   let t =
     {
-      dv = Signal.create kernel ~name:"dv" false;
-      r = Signal.create kernel ~name:"r" 0;
-      g = Signal.create kernel ~name:"g" 0;
-      b = Signal.create kernel ~name:"b" 0;
-      ovalid = Signal.create kernel ~name:"ovalid" false;
-      y = Signal.create kernel ~name:"y" 0;
-      cb = Signal.create kernel ~name:"cb" 0;
-      cr = Signal.create kernel ~name:"cr" 0;
+      dv = Elab.signal_bool el "dv";
+      r = Elab.signal_int el "r";
+      g = Elab.signal_int el "g";
+      b = Elab.signal_int el "b";
+      ovalid = Elab.signal_bool el "ovalid";
+      y = Elab.signal_int el "y";
+      cb = Elab.signal_int el "cb";
+      cr = Elab.signal_int el "cr";
       valids =
-        Array.init 7 (fun i -> Signal.create kernel ~name:(Printf.sprintf "v%d" (i + 1)) false);
+        Array.init 7 (fun i -> Elab.signal_bool el (Printf.sprintf "v%d" (i + 1)));
       pipe =
+        (* Structured payloads stay heap-backed: the generic
+           constructor has no arena pool for option payloads. *)
         Array.init 7 (fun i ->
-          Signal.create kernel ~name:(Printf.sprintf "pipe%d" i) None);
+            Elab.signal el ~init:None (Printf.sprintf "pipe%d" i));
       completed = 0;
     }
   in
@@ -68,8 +71,16 @@ let create kernel clock =
     Signal.write t.pipe.(0) admitted;
     Signal.write t.valids.(0) (admitted <> None)
   in
-  Process.method_process kernel ~name:"colorconv_rtl" ~initialize:false
-    ~sensitivity:[ Clock.posedge clock ] on_posedge;
+  Elab.process el ~name:"colorconv_rtl" ~pos:__POS__ ~initialize:false
+    ~sensitivity:[ Clock.posedge clock ]
+    ~reads:
+      ([ Elab.Pack t.dv; Elab.Pack t.r; Elab.Pack t.g; Elab.Pack t.b ]
+      @ Array.to_list (Array.map (fun s -> Elab.Pack s) t.pipe))
+    ~writes:
+      ([ Elab.Pack t.ovalid; Elab.Pack t.y; Elab.Pack t.cb; Elab.Pack t.cr ]
+      @ Array.to_list (Array.map (fun s -> Elab.Pack s) t.valids)
+      @ Array.to_list (Array.map (fun s -> Elab.Pack s) t.pipe))
+    on_posedge;
   t
 
 let dv t = t.dv
@@ -82,19 +93,21 @@ let cb t = t.cb
 let cr t = t.cr
 let valids t = t.valids
 
+(* Observation paths read through the engine interface
+   ([Signal.observe]), keeping traces and lookups engine-agnostic. *)
 let bindings t =
-  [ ("dv", fun () -> Duv_util.vbool (Signal.read t.dv));
-    ("r", fun () -> Duv_util.vint (Signal.read t.r));
-    ("g", fun () -> Duv_util.vint (Signal.read t.g));
-    ("b", fun () -> Duv_util.vint (Signal.read t.b));
-    ("ovalid", fun () -> Duv_util.vbool (Signal.read t.ovalid));
-    ("y", fun () -> Duv_util.vint (Signal.read t.y));
-    ("cb", fun () -> Duv_util.vint (Signal.read t.cb));
-    ("cr", fun () -> Duv_util.vint (Signal.read t.cr)) ]
+  [ ("dv", fun () -> Duv_util.vbool (Signal.observe t.dv));
+    ("r", fun () -> Duv_util.vint (Signal.observe t.r));
+    ("g", fun () -> Duv_util.vint (Signal.observe t.g));
+    ("b", fun () -> Duv_util.vint (Signal.observe t.b));
+    ("ovalid", fun () -> Duv_util.vbool (Signal.observe t.ovalid));
+    ("y", fun () -> Duv_util.vint (Signal.observe t.y));
+    ("cb", fun () -> Duv_util.vint (Signal.observe t.cb));
+    ("cr", fun () -> Duv_util.vint (Signal.observe t.cr)) ]
   @ Array.to_list
       (Array.mapi
          (fun i signal ->
-           (Printf.sprintf "v%d" (i + 1), fun () -> Duv_util.vbool (Signal.read signal)))
+           (Printf.sprintf "v%d" (i + 1), fun () -> Duv_util.vbool (Signal.observe signal)))
          t.valids)
 
 let lookup t = Duv_util.lookup_of (bindings t)

@@ -29,18 +29,19 @@ type t = {
 }
 
 let create ?fault kernel clock =
+  let el = Elab.create kernel in
   let t =
     {
       late_rdy = fault = Some Rdy_one_cycle_late;
-      ds = Signal.create kernel ~name:"ds" false;
-      decrypt = Signal.create kernel ~name:"decrypt" false;
-      key = Signal.create kernel ~name:"key" 0L;
-      indata = Signal.create kernel ~name:"indata" 0L;
-      out = Signal.create kernel ~name:"out" 0L;
-      rdy = Signal.create kernel ~name:"rdy" false;
-      rdy_next_cycle = Signal.create kernel ~name:"rdy_next_cycle" false;
-      rdy_next_next_cycle = Signal.create kernel ~name:"rdy_next_next_cycle" false;
-    state = Idle;
+      ds = Elab.signal_bool el "ds";
+      decrypt = Elab.signal_bool el "decrypt";
+      key = Elab.signal_int64 el "key";
+      indata = Elab.signal_int64 el "indata";
+      out = Elab.signal_int64 el "out";
+      rdy = Elab.signal_bool el "rdy";
+      rdy_next_cycle = Elab.signal_bool el "rdy_next_cycle";
+      rdy_next_next_cycle = Elab.signal_bool el "rdy_next_next_cycle";
+      state = Idle;
       completed = 0;
     }
   in
@@ -77,8 +78,16 @@ let create ?fault kernel clock =
          t.state <- Idle
        | _ -> ())
   in
-  Process.method_process kernel ~name:"des56_rtl" ~initialize:false
-    ~sensitivity:[ Clock.posedge clock ] on_posedge;
+  Elab.process el ~name:"des56_rtl" ~pos:__POS__ ~initialize:false
+    ~sensitivity:[ Clock.posedge clock ]
+    ~reads:[ Elab.Pack t.ds; Elab.Pack t.decrypt; Elab.Pack t.key; Elab.Pack t.indata ]
+    ~writes:
+      [ Elab.Pack t.out;
+        Elab.Pack t.rdy;
+        Elab.Pack t.rdy_next_cycle;
+        Elab.Pack t.rdy_next_next_cycle
+      ]
+    on_posedge;
   (* Deprecated [?fault] shim: the two value faults are expressed as
      generic stuck-at saboteurs on the ports (the behaviour the
      hard-coded variants used to hack into the datapath); only the
@@ -125,25 +134,28 @@ let rdy t = t.rdy
 let rdy_next_cycle t = t.rdy_next_cycle
 let rdy_next_next_cycle t = t.rdy_next_next_cycle
 
+(* Observation paths go through [Signal.observe] — the engine
+   interface read — so lookups, traces and VCD dumps are agnostic to
+   where the engine stores the value. *)
 let lookup t =
   Duv_util.lookup_of
-    [ ("ds", fun () -> Duv_util.vbool (Signal.read t.ds));
-      ("decrypt", fun () -> Duv_util.vbool (Signal.read t.decrypt));
-      ("key", fun () -> Duv_util.vdata (Signal.read t.key));
-      ("indata", fun () -> Duv_util.vdata (Signal.read t.indata));
-      ("out", fun () -> Duv_util.vdata (Signal.read t.out));
-      ("rdy", fun () -> Duv_util.vbool (Signal.read t.rdy));
-      ("rdy_next_cycle", fun () -> Duv_util.vbool (Signal.read t.rdy_next_cycle));
-      ("rdy_next_next_cycle", fun () -> Duv_util.vbool (Signal.read t.rdy_next_next_cycle)) ]
+    [ ("ds", fun () -> Duv_util.vbool (Signal.observe t.ds));
+      ("decrypt", fun () -> Duv_util.vbool (Signal.observe t.decrypt));
+      ("key", fun () -> Duv_util.vdata (Signal.observe t.key));
+      ("indata", fun () -> Duv_util.vdata (Signal.observe t.indata));
+      ("out", fun () -> Duv_util.vdata (Signal.observe t.out));
+      ("rdy", fun () -> Duv_util.vbool (Signal.observe t.rdy));
+      ("rdy_next_cycle", fun () -> Duv_util.vbool (Signal.observe t.rdy_next_cycle));
+      ("rdy_next_next_cycle", fun () -> Duv_util.vbool (Signal.observe t.rdy_next_next_cycle)) ]
 
 let env t =
-  [ ("ds", Duv_util.vbool (Signal.read t.ds));
-    ("decrypt", Duv_util.vbool (Signal.read t.decrypt));
-    ("key", Duv_util.vdata (Signal.read t.key));
-    ("indata", Duv_util.vdata (Signal.read t.indata));
-    ("out", Duv_util.vdata (Signal.read t.out));
-    ("rdy", Duv_util.vbool (Signal.read t.rdy));
-    ("rdy_next_cycle", Duv_util.vbool (Signal.read t.rdy_next_cycle));
-    ("rdy_next_next_cycle", Duv_util.vbool (Signal.read t.rdy_next_next_cycle)) ]
+  [ ("ds", Duv_util.vbool (Signal.observe t.ds));
+    ("decrypt", Duv_util.vbool (Signal.observe t.decrypt));
+    ("key", Duv_util.vdata (Signal.observe t.key));
+    ("indata", Duv_util.vdata (Signal.observe t.indata));
+    ("out", Duv_util.vdata (Signal.observe t.out));
+    ("rdy", Duv_util.vbool (Signal.observe t.rdy));
+    ("rdy_next_cycle", Duv_util.vbool (Signal.observe t.rdy_next_cycle));
+    ("rdy_next_next_cycle", Duv_util.vbool (Signal.observe t.rdy_next_next_cycle)) ]
 
 let completed t = t.completed

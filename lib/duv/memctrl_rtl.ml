@@ -23,15 +23,16 @@ type t = {
 }
 
 let create kernel clock =
+  let el = Elab.create kernel in
   let t =
     {
-      req = Signal.create kernel ~name:"req" false;
-      we = Signal.create kernel ~name:"we" false;
-      addr = Signal.create kernel ~name:"addr" 0;
-      wdata = Signal.create kernel ~name:"wdata" 0;
-      ack = Signal.create kernel ~name:"ack" false;
-      ack_next_cycle = Signal.create kernel ~name:"ack_next_cycle" false;
-      rdata = Signal.create kernel ~name:"rdata" 0;
+      req = Elab.signal_bool el "req";
+      we = Elab.signal_bool el "we";
+      addr = Elab.signal_int el "addr";
+      wdata = Elab.signal_int el "wdata";
+      ack = Elab.signal_bool el "ack";
+      ack_next_cycle = Elab.signal_bool el "ack_next_cycle";
+      rdata = Elab.signal_int el "rdata";
       memory = Array.make Memctrl_iface.address_space 0;
       pending = No_op;
       completed = 0;
@@ -71,8 +72,11 @@ let create kernel clock =
         if remaining = 1 then Signal.write t.ack_next_cycle true
       end
   in
-  Process.method_process kernel ~name:"memctrl_rtl" ~initialize:false
-    ~sensitivity:[ Clock.posedge clock ] on_posedge;
+  Elab.process el ~name:"memctrl_rtl" ~pos:__POS__ ~initialize:false
+    ~sensitivity:[ Clock.posedge clock ]
+    ~reads:[ Elab.Pack t.req; Elab.Pack t.we; Elab.Pack t.addr; Elab.Pack t.wdata ]
+    ~writes:[ Elab.Pack t.ack; Elab.Pack t.ack_next_cycle; Elab.Pack t.rdata ]
+    on_posedge;
   t
 
 let req t = t.req
@@ -83,14 +87,16 @@ let ack t = t.ack
 let ack_next_cycle t = t.ack_next_cycle
 let rdata t = t.rdata
 
+(* Observation paths read through the engine interface
+   ([Signal.observe]), keeping traces and lookups engine-agnostic. *)
 let bindings t =
-  [ ("req", fun () -> Duv_util.vbool (Signal.read t.req));
-    ("we", fun () -> Duv_util.vbool (Signal.read t.we));
-    ("addr", fun () -> Duv_util.vint (Signal.read t.addr));
-    ("wdata", fun () -> Duv_util.vint (Signal.read t.wdata));
-    ("ack", fun () -> Duv_util.vbool (Signal.read t.ack));
-    ("ack_next_cycle", fun () -> Duv_util.vbool (Signal.read t.ack_next_cycle));
-    ("rdata", fun () -> Duv_util.vint (Signal.read t.rdata)) ]
+  [ ("req", fun () -> Duv_util.vbool (Signal.observe t.req));
+    ("we", fun () -> Duv_util.vbool (Signal.observe t.we));
+    ("addr", fun () -> Duv_util.vint (Signal.observe t.addr));
+    ("wdata", fun () -> Duv_util.vint (Signal.observe t.wdata));
+    ("ack", fun () -> Duv_util.vbool (Signal.observe t.ack));
+    ("ack_next_cycle", fun () -> Duv_util.vbool (Signal.observe t.ack_next_cycle));
+    ("rdata", fun () -> Duv_util.vint (Signal.observe t.rdata)) ]
 
 let lookup t = Duv_util.lookup_of (bindings t)
 let env t = List.map (fun (name, thunk) -> (name, thunk ())) (bindings t)

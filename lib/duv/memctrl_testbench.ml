@@ -19,9 +19,9 @@ let op_latency = function
   | Memctrl_iface.Write _ -> Memctrl_iface.write_latency
   | Memctrl_iface.Read _ -> Memctrl_iface.read_latency
 
-let run_rtl ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ?fault_plan
+let run_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2) ?fault_plan
     ?guard ops =
-  let kernel = Kernel.create ?metrics () in
+  let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Memctrl_rtl.create kernel clock in
   let faults =
@@ -78,9 +78,9 @@ let run_rtl ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ?fault_plan
     faults_triggered = Testbench.faults_triggered_of faults;
   }
 
-let run_tlm_ca ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ?fault_plan
+let run_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2) ?fault_plan
     ?guard ops =
-  let kernel = Kernel.create ?metrics () in
+  let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Memctrl_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_ca_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_ca.target model);
@@ -142,9 +142,9 @@ let run_tlm_ca ?(properties = []) ?engine ?metrics ?(gap_cycles = 2) ?fault_plan
     faults_triggered = Testbench.faults_triggered_of faults;
   }
 
-let run_tlm_at ?(properties = []) ?engine ?metrics ?(gap_cycles = 2)
+let run_tlm_at ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2)
     ?write_latency_ns ?read_latency_ns ?fault_plan ?guard ops =
-  let kernel = Kernel.create ?metrics () in
+  let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Memctrl_tlm_at.create ?write_latency_ns ?read_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_at_init" in
   Tlm.Initiator.bind initiator (Memctrl_tlm_at.target model);

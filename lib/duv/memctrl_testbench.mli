@@ -9,6 +9,7 @@ val reference_reads : Memctrl_iface.op list -> int list
 val run_rtl :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
@@ -21,6 +22,7 @@ val run_rtl :
 val run_tlm_ca :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
@@ -33,6 +35,7 @@ val run_tlm_ca :
 val run_tlm_at :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   ?write_latency_ns:int ->

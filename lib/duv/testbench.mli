@@ -118,10 +118,14 @@ val faults_triggered_of : Tabv_fault.Fault.installed option -> int
 
 (** [gap_cycles] idle cycles between operations (default 2);
     [fault] injects a design bug (see {!Des56_rtl.fault});
-    [engine] selects the checker synthesis backend. *)
+    [engine] selects the checker synthesis backend; [sim_engine]
+    the simulation kernel engine (default:
+    {!Tabv_sim.Kernel.get_default_engine}) — all run functions take
+    both, and every report is byte-identical across kernel engines. *)
 val run_des56_rtl :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
@@ -136,6 +140,7 @@ val run_des56_rtl :
 val run_des56_tlm_ca :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
@@ -153,6 +158,7 @@ val run_des56_tlm_at :
   ?properties:Property.t list ->
   ?grid_properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
@@ -171,6 +177,7 @@ val run_des56_tlm_at :
 val run_des56_tlm_lt :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
@@ -183,6 +190,7 @@ val run_des56_tlm_lt :
 val run_colorconv_rtl :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
@@ -194,6 +202,7 @@ val run_colorconv_rtl :
 val run_colorconv_tlm_ca :
   ?properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->
@@ -206,6 +215,7 @@ val run_colorconv_tlm_at :
   ?properties:Property.t list ->
   ?grid_properties:Property.t list ->
   ?engine:Monitor.engine ->
+  ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
   ?gap_cycles:int ->

@@ -42,4 +42,5 @@ let () =
       Test_robustness.suite;
       Test_multiclock.suite;
       Test_obs.suite;
+      Test_engine.suite;
       Test_campaign.suite ]
