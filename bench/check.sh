@@ -49,6 +49,14 @@
 #                         BENCH_sched_speedup.json, and FAILS if the
 #                         compiled engine is below the 3x speedup
 #                         floor)
+#  10. bench/main.exe --quick --trace-only
+#                        (records one des56-rtl run to a compact binary
+#                         trace, times live check vs offline recheck on
+#                         a 10-property invariant set, asserts the two
+#                         verdict reports are byte-identical, writes
+#                         BENCH_trace_recheck.json, and FAILS if the
+#                         recheck is below the 5x speedup floor or the
+#                         trace exceeds 20% of the equivalent VCD)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -83,5 +91,8 @@ dune exec bench/main.exe -- --quick --isolate-only
 
 echo "== compiled scheduler gate (>= 3x on the scheduling-dense netlist)"
 dune exec bench/main.exe -- --quick --sched-only
+
+echo "== trace recheck gate (>= 5x, <= 20% of VCD)"
+dune exec bench/main.exe -- --quick --trace-only
 
 echo "== all checks passed"

@@ -293,6 +293,17 @@ let assert_equivalent_outcomes level legacy interned =
              l.Replay.property.Property.name))
     legacy interned
 
+(* Replay with the offline stutter fast path off: this section isolates
+   the per-step engine cost (interned vs legacy rewriting), and the
+   fast path would skip exactly the steps being compared — equally for
+   both engines, diluting the ratio toward 1. *)
+let replay_run ?engine props trace =
+  let open Tabv_checker.Offline in
+  List.map
+    (fun (property, monitor) -> { Tabv_checker.Replay.property; monitor })
+    (let module R = Run (Monitors) in
+     R.over_trace (Monitors.config ?engine ~stutter:false props) trace)
+
 let checker_cache_section ?(ops_count = 1000) ?(replicate = 8) () =
   print_endline
     "=== Checker cache: interned progression vs legacy rewriting (replay) ===";
@@ -321,16 +332,16 @@ let checker_cache_section ?(ops_count = 1000) ?(replicate = 8) () =
         (* Correctness first: both engines must agree on everything
            observable before their times are worth comparing. *)
         let legacy_outcomes =
-          Tabv_checker.Replay.run ~engine:`Progression_legacy props trace
+          replay_run ~engine:`Progression_legacy props trace
         in
-        let interned_outcomes = Tabv_checker.Replay.run props trace in
+        let interned_outcomes = replay_run props trace in
         assert_equivalent_outcomes level legacy_outcomes interned_outcomes;
         let t_legacy =
           timed (fun () ->
-            Tabv_checker.Replay.run ~engine:`Progression_legacy props trace)
+            replay_run ~engine:`Progression_legacy props trace)
         in
         let before = Tabv_checker.Progression.cache_stats () in
-        let t_interned = timed (fun () -> Tabv_checker.Replay.run props trace) in
+        let t_interned = timed (fun () -> replay_run props trace) in
         let after = Tabv_checker.Progression.cache_stats () in
         let hits = after.Tabv_checker.Progression.cache_hits - before.Tabv_checker.Progression.cache_hits in
         let misses =
@@ -626,6 +637,138 @@ let isolate_section ?(ops = 150) ?(repeat = 3) () =
     Out_channel.output_char oc '\n');
   Printf.printf "wrote BENCH_isolate_overhead.json (ratio %.2fx)\n\n" ratio;
   (ratio, identical)
+
+(* --- Trace capture: record once, recheck many ----------------------- *)
+
+(* The simulate-once / check-many contract behind [tabv record] /
+   [tabv recheck]: replaying a property set against the recorded
+   binary trace must beat re-simulating the model with live checkers
+   by a wide margin (the simulator, not the checkers, dominates a
+   live run), and the compact binary encoding must stay a small
+   fraction of the equivalent VCD.  This section records one
+   des56-rtl run, times live check vs offline recheck on a
+   ten-property handshake-invariant set, compares the two verdict
+   reports byte for byte and gates both the speedup and the size
+   ratio. *)
+
+let trace_gate_speedup = 5.0
+let trace_gate_size_pct = 20.0
+
+(* The gate's 10-property set: boolean handshake invariants over the
+   DES56 interface, the bread-and-butter regression properties a
+   recheck campaign sweeps after every abstraction tweak.  Invariants
+   keep the checker cost roughly proportional on both sides, so the
+   ratio measures what the trace subsystem actually saves: replaying a
+   stored valuation stream (plus the offline stutter fast path) versus
+   re-running the RTL simulation. *)
+let trace_gate_props =
+  List.init 10 (fun i ->
+      Parser.property_exn
+        ~name:(Printf.sprintf "trace_inv_%d" i)
+        (match i mod 5 with
+        | 0 -> "always (!rdy || !rdy_next_cycle) @clk_pos"
+        | 1 -> "always (!ds || !rdy) @clk_pos"
+        | 2 -> "always (!(ds && indata = 0) || !rdy) @clk_pos"
+        | 3 -> "always (!rdy_next_next_cycle || !rdy) @clk_pos"
+        | _ -> "always (!decrypt || !rdy_next_cycle) @clk_pos"))
+
+let trace_section ?(ops_count = 2000) ?(repeat = 5) () =
+  print_endline
+    "=== Trace: offline recheck vs live re-simulation (des56-rtl) ===";
+  let ops = Workload.des56 ~seed:42 ~count:ops_count () in
+  let props = trace_gate_props in
+  let trace_path = Filename.temp_file "tabv_bench" ".trace" in
+  let vcd_path = Filename.temp_file "tabv_bench" ".vcd" in
+  let meta =
+    Tabv_trace.Meta.
+      { model = "des56-rtl";
+        seed = 42;
+        ops = ops_count;
+        engine = Tabv_sim.Kernel.(engine_name (get_default_engine ())) }
+  in
+  (* Each measured run starts from a cold checker universe so neither
+     side inherits the other's warm transition cache. *)
+  (* Six idle cycles between operations: a bus master that issues
+     back-to-back with zero think time is the unrealistic extreme, and
+     idle cycles are exactly where the trace subsystem earns its keep
+     (a stuttered sample is two bytes on disk and a counter bump on
+     replay, but a full simulated cycle plus checker steps live). *)
+  let gap_cycles = 8 in
+  let live () =
+    Tabv_checker.Progression.reset_universe ();
+    Testbench.run_des56_rtl ~gap_cycles ~properties:props ops
+  in
+  (* One recording pass: the binary trace via the writer tap, the VCD
+     via the legacy in-memory trace. *)
+  let recorded =
+    Tabv_trace.Writer.with_file ~path:trace_path meta (fun w ->
+        Tabv_checker.Progression.reset_universe ();
+        Testbench.run_des56_rtl ~gap_cycles ~properties:props
+          ~record_trace:true ~trace_writer:w ops)
+  in
+  (match recorded.Testbench.trace with
+  | Some trace -> Tabv_sim.Trace_dump.to_file trace vcd_path
+  | None -> failwith "trace bench: testbench recorded no trace");
+  let recheck () =
+    Tabv_campaign.Recheck.run ~workers:1 ~retries:0 ~trace:trace_path props
+  in
+  let live_report =
+    let open Tabv_core.Report_json in
+    to_string
+      (verdict_report_json
+         ~run:
+           [ ("model", String meta.Tabv_trace.Meta.model);
+             ("seed", Int meta.Tabv_trace.Meta.seed);
+             ("ops", Int meta.Tabv_trace.Meta.ops) ]
+         ~properties:(live ()).Testbench.checker_stats ())
+  in
+  let recheck_report =
+    Tabv_core.Report_json.to_string
+      (Tabv_campaign.Recheck.report_json (recheck ()))
+  in
+  let identical = String.equal live_report recheck_report in
+  let t_live = timed ~repeat live in
+  let t_recheck = timed ~repeat recheck in
+  let speedup = t_live /. t_recheck in
+  let trace_bytes = (Unix.stat trace_path).Unix.st_size in
+  let vcd_bytes = (Unix.stat vcd_path).Unix.st_size in
+  let size_pct = 100.0 *. float_of_int trace_bytes /. float_of_int vcd_bytes in
+  Sys.remove trace_path;
+  Sys.remove vcd_path;
+  Printf.printf "properties       : %d\n" (List.length props);
+  Printf.printf "ops              : %d\n" ops_count;
+  Printf.printf "live check       : %8.3f s\n" t_live;
+  Printf.printf "offline recheck  : %8.3f s\n" t_recheck;
+  Printf.printf "speedup          : %8.2fx  (gate: >= %.1fx)\n" speedup
+    trace_gate_speedup;
+  Printf.printf "trace size       : %8d B\n" trace_bytes;
+  Printf.printf "vcd size         : %8d B\n" vcd_bytes;
+  Printf.printf "trace/vcd        : %8.2f%%  (gate: <= %.0f%%)\n" size_pct
+    trace_gate_size_pct;
+  Printf.printf "report identical : %b\n" identical;
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("benchmark", String "trace_recheck");
+        ("properties", Int (List.length props));
+        ("ops", Int ops_count);
+        ("seconds_live_check", Float t_live);
+        ("seconds_recheck", Float t_recheck);
+        ("speedup", Float speedup);
+        ("trace_bytes", Int trace_bytes);
+        ("vcd_bytes", Int vcd_bytes);
+        ("trace_vcd_pct", Float size_pct);
+        ("gate_speedup", Float trace_gate_speedup);
+        ("gate_size_pct", Float trace_gate_size_pct);
+        ("report_identical", Bool identical) ]
+  in
+  Out_channel.with_open_text "BENCH_trace_recheck.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n');
+  Printf.printf
+    "wrote BENCH_trace_recheck.json (speedup %.2fx, %.1f%% of VCD)\n\n" speedup
+    size_pct;
+  (speedup, size_pct, identical)
 
 (* --- Fault subsystem: armed-but-idle overhead ----------------------- *)
 
@@ -940,6 +1083,7 @@ let () =
   let isolate_only = Array.exists (fun a -> a = "--isolate-only") Sys.argv in
   let fault_only = Array.exists (fun a -> a = "--fault-only") Sys.argv in
   let sched_only = Array.exists (fun a -> a = "--sched-only") Sys.argv in
+  let trace_only = Array.exists (fun a -> a = "--trace-only") Sys.argv in
   let des_count = if quick then 1000 else 8000 in
   let pixel_count = if quick then 20_000 else 150_000 in
   if obs_only then begin
@@ -1036,6 +1180,31 @@ let () =
     if speedup < sched_gate then begin
       Printf.eprintf "FAIL: compiled scheduler speedup %.2fx < %.1fx\n" speedup
         sched_gate;
+      exit 1
+    end;
+    exit 0
+  end;
+  if trace_only then begin
+    (* CI entry point (bench/check.sh): the simulate-once / check-many
+       contract — offline recheck must beat live re-simulation by the
+       speedup floor, the binary trace must stay under the VCD size
+       ceiling, and the two verdict reports must match byte for
+       byte. *)
+    let speedup, size_pct, identical =
+      trace_section ~ops_count:(if quick then 1500 else 4000) ()
+    in
+    if not identical then begin
+      Printf.eprintf "FAIL: live and recheck verdict reports differ\n";
+      exit 1
+    end;
+    if speedup < trace_gate_speedup then begin
+      Printf.eprintf "FAIL: recheck speedup %.2fx < %.1fx\n" speedup
+        trace_gate_speedup;
+      exit 1
+    end;
+    if size_pct > trace_gate_size_pct then begin
+      Printf.eprintf "FAIL: trace is %.1f%% of the VCD > %.0f%%\n" size_pct
+        trace_gate_size_pct;
       exit 1
     end;
     exit 0

@@ -1,0 +1,368 @@
+(* Shared flag specs and run plumbing for the tabv subcommands.
+
+   `check`, `record` and `recheck` must agree on everything that shapes
+   a run — the model enumeration, the workload flags, property-file
+   parsing and linting, the AT abstraction split, the executor /
+   journal / interrupt plumbing and the JSON report writers — because
+   the whole point of recording is that `record` + `recheck` is
+   byte-identical to the live `check`.  One spec here, many terms
+   there. *)
+
+open Cmdliner
+open Tabv_psl
+open Tabv_duv
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* [fail] prints `tabv CMD: message` and exits with the usage status
+   (2): flag-level problems, not verification verdicts. *)
+let fail cmd msg =
+  Printf.eprintf "tabv %s: %s\n" cmd msg;
+  exit 2
+
+(* --- models ------------------------------------------------------- *)
+
+type model =
+  | Des56_rtl_m
+  | Des56_ca_m
+  | Des56_at_m
+  | Des56_lt_m
+  | Colorconv_rtl_m
+  | Colorconv_ca_m
+  | Colorconv_at_m
+  | Memctrl_rtl_m
+  | Memctrl_ca_m
+  | Memctrl_at_m
+
+let model_names =
+  [ ("des56-rtl", Des56_rtl_m); ("des56-tlm-ca", Des56_ca_m);
+    ("des56-tlm-at", Des56_at_m); ("des56-tlm-lt", Des56_lt_m);
+    ("colorconv-rtl", Colorconv_rtl_m); ("colorconv-tlm-ca", Colorconv_ca_m);
+    ("colorconv-tlm-at", Colorconv_at_m); ("memctrl-rtl", Memctrl_rtl_m);
+    ("memctrl-tlm-ca", Memctrl_ca_m); ("memctrl-tlm-at", Memctrl_at_m) ]
+
+let model_conv = Arg.enum model_names
+
+let model_name model =
+  fst (List.find (fun (_, m) -> m = model) model_names)
+
+let model_of_name name =
+  List.assoc_opt name model_names
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some model_conv) None
+    & info [ "model"; "m" ] ~docv:"MODEL"
+        ~doc:
+          "One of des56-rtl, des56-tlm-ca, des56-tlm-at, des56-tlm-lt, \
+           colorconv-rtl, colorconv-tlm-ca, colorconv-tlm-at, memctrl-rtl, \
+           memctrl-tlm-ca, memctrl-tlm-at.")
+
+let known_signals = function
+  | Des56_rtl_m | Des56_ca_m | Des56_at_m | Des56_lt_m ->
+    Des56_iface.signal_names
+  | Colorconv_rtl_m | Colorconv_ca_m | Colorconv_at_m ->
+    Colorconv_iface.signal_names
+  | Memctrl_rtl_m | Memctrl_ca_m | Memctrl_at_m -> Memctrl_iface.signal_names
+
+(* --- workload flags ----------------------------------------------- *)
+
+let ops_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "ops"; "n" ] ~docv:"N" ~doc:"Workload size (operations or pixels).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let props_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "props"; "p" ] ~docv:"FILE"
+        ~doc:
+          "Check the RTL properties from this file instead of the built-in \
+           set.  On an approximately-timed model the properties are first \
+           abstracted with Methodology III.1 (clock 10 ns, the model's \
+           abstracted signals); only the automatically-safe results are \
+           attached.")
+
+(* --- engine ------------------------------------------------------- *)
+
+(* Engine selection is a process-wide default ([Kernel.create] reads
+   it), so one flag covers every kernel a subcommand creates —
+   including worker subprocesses, which receive the selection over the
+   wire ([sim_engine] in every request). *)
+let engine_arg =
+  let engine_enum =
+    Arg.enum
+      [ ("classic", Tabv_sim.Kernel.Classic);
+        ("compiled", Tabv_sim.Kernel.Compiled) ]
+  in
+  Arg.(
+    value
+    & opt (some engine_enum) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulation kernel engine: $(b,classic) (the dynamic event-driven \
+           reference) or $(b,compiled) (levelized static schedule over a \
+           dense signal arena).  Reports and metrics are byte-identical \
+           across engines; compiled is faster on scheduling-bound runs.")
+
+let apply_engine = Option.iter Tabv_sim.Kernel.set_default_engine
+
+(* --- property files ----------------------------------------------- *)
+
+let parse_props_file path =
+  match Parser.file (read_file path) with
+  | properties -> properties
+  | exception Parser.Parse_error { line; col; message } ->
+    Printf.eprintf "%s:%d:%d: %s\n" path line col message;
+    exit 1
+
+let lint_props ~known properties =
+  List.iter
+    (fun p ->
+      match Property.unknown_signals ~known p with
+      | [] -> ()
+      | unknown ->
+        Printf.eprintf "warning: property %s mentions unknown signal(s): %s\n"
+          p.Property.name
+          (String.concat ", " unknown))
+    properties
+
+(* Split the automatically-safe abstractions into strict-wrapper
+   properties and grid-wrapper ones (timed operators under
+   until/release need the full clock grid). *)
+let abstract_for_at ~abstracted_signals properties =
+  let reports =
+    Tabv_core.Methodology.abstract_all ~clock_period:10 ~abstracted_signals
+      properties
+  in
+  List.fold_left
+    (fun (strict, grid) r ->
+      match r.Tabv_core.Methodology.output with
+      | Some q when not r.Tabv_core.Methodology.requires_review ->
+        if Tabv_core.Methodology.needs_dense_trace q.Property.formula then
+          (strict, q :: grid)
+        else (q :: strict, grid)
+      | Some _ | None -> (strict, grid))
+    ([], []) reports
+  |> fun (strict, grid) -> (List.rev strict, List.rev grid)
+
+(* The property sets a run actually attaches for [model], given the
+   optional user property set: [(properties, grid_properties)] in
+   attach (= report) order.  Shared by `check`/`record` (what to
+   attach) and `recheck` (the default property set of a trace). *)
+let properties_for model user =
+  let rtl_or builtin =
+    match user with
+    | Some properties -> properties
+    | None -> builtin
+  in
+  match model with
+  | Des56_rtl_m | Des56_ca_m -> (rtl_or Des56_props.all, [])
+  | Des56_at_m ->
+    (match user with
+     | Some properties ->
+       abstract_for_at ~abstracted_signals:Des56_props.abstracted_signals
+         properties
+     | None -> (Des56_props.tlm_reviewed (), []))
+  | Des56_lt_m ->
+    (* Boolean invariants only: the LT model is not timing equivalent,
+       timed properties would fail by design. *)
+    (match user with
+     | Some properties ->
+       ( List.filter
+           (fun p -> Simple_subset.is_boolean p.Property.formula)
+           (fst
+              (abstract_for_at
+                 ~abstracted_signals:Des56_props.abstracted_signals properties)),
+         [] )
+     | None ->
+       ( [ Property.make ~name:"lt_inv"
+             ~context:(Context.Transaction Context.Base_trans)
+             (Parser.formula_only "always(!rdy || ds)") ],
+         [] ))
+  | Colorconv_rtl_m | Colorconv_ca_m -> (rtl_or Colorconv_props.all, [])
+  | Colorconv_at_m ->
+    (match user with
+     | Some properties ->
+       abstract_for_at ~abstracted_signals:Colorconv_props.abstracted_signals
+         properties
+     | None -> (Colorconv_props.tlm_reviewed (), []))
+  | Memctrl_rtl_m | Memctrl_ca_m -> (rtl_or Memctrl_props.all, [])
+  | Memctrl_at_m ->
+    (match user with
+     | Some properties ->
+       ( fst
+           (abstract_for_at
+              ~abstracted_signals:Memctrl_props.abstracted_signals properties),
+         [] )
+     | None -> (Memctrl_props.tlm_auto_safe (), []))
+
+(* Drive [model] over its seeded workload with [properties] attached
+   (and, on the AT models, [grid_properties] under the grid wrapper).
+   [trace_writer] taps the checker evaluation points into a binary
+   trace; `check` leaves it [None], `record` supplies one. *)
+let run_model ?metrics ?trace_writer model ~seed ~ops ~properties
+    ~grid_properties =
+  match model with
+  | Des56_rtl_m ->
+    Testbench.run_des56_rtl ?metrics ?trace_writer ~properties
+      (Workload.des56 ~seed ~count:ops ())
+  | Des56_ca_m ->
+    Testbench.run_des56_tlm_ca ?metrics ?trace_writer ~properties
+      (Workload.des56 ~seed ~count:ops ())
+  | Des56_at_m ->
+    Testbench.run_des56_tlm_at ?metrics ?trace_writer ~properties
+      ~grid_properties
+      (Workload.des56 ~seed ~count:ops ())
+  | Des56_lt_m ->
+    Testbench.run_des56_tlm_lt ?metrics ~properties
+      (Workload.des56 ~seed ~count:ops ())
+  | Colorconv_rtl_m ->
+    Testbench.run_colorconv_rtl ?metrics ?trace_writer ~properties
+      (Workload.colorconv ~seed ~count:ops ())
+  | Colorconv_ca_m ->
+    Testbench.run_colorconv_tlm_ca ?metrics ?trace_writer ~properties
+      (Workload.colorconv ~seed ~count:ops ())
+  | Colorconv_at_m ->
+    Testbench.run_colorconv_tlm_at ?metrics ?trace_writer ~properties
+      ~grid_properties
+      (Workload.colorconv ~seed ~count:ops ())
+  | Memctrl_rtl_m ->
+    Memctrl_testbench.run_rtl ?metrics ?trace_writer ~properties
+      (Workload.memctrl ~seed ~count:ops ())
+  | Memctrl_ca_m ->
+    Memctrl_testbench.run_tlm_ca ?metrics ?trace_writer ~properties
+      (Workload.memctrl ~seed ~count:ops ())
+  | Memctrl_at_m ->
+    Memctrl_testbench.run_tlm_at ?metrics ?trace_writer ~properties
+      (Workload.memctrl ~seed ~count:ops ())
+
+(* The LT model records nothing: it exists to violate timing
+   equivalence, so a trace of it would not replay meaningfully. *)
+let supports_trace = function
+  | Des56_lt_m -> false
+  | Des56_rtl_m | Des56_ca_m | Des56_at_m | Colorconv_rtl_m | Colorconv_ca_m
+  | Colorconv_at_m | Memctrl_rtl_m | Memctrl_ca_m | Memctrl_at_m ->
+    true
+
+(* --- executor / journal / interrupt plumbing ---------------------- *)
+
+let isolate_arg =
+  Arg.(
+    value & flag
+    & info [ "isolate" ]
+        ~doc:
+          "Run jobs in crash-isolated worker subprocesses instead of \
+           in-process domains.  A job that aborts, segfaults, allocates \
+           without bound or busy-loops kills only its worker; the campaign \
+           records the death and continues.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Per-job wall-clock watchdog (requires $(b,--isolate)): a worker \
+           still running after SECS is SIGKILLed and the job recorded as \
+           timed out after its retries are exhausted.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Write-ahead journal: append every completed job's result durably \
+           to FILE as it finishes, so an interrupted run can be finished \
+           later with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay completed jobs from the $(b,--journal) file instead of \
+           re-running them.  The journal must belong to exactly this \
+           campaign (same jobs, same retry budget); the final report is \
+           byte-identical to an uninterrupted run.")
+
+(* Build the executor configuration from the flags. *)
+let executor_of_flags ~fail ~isolate ~timeout =
+  let open Tabv_campaign.Executor in
+  match (isolate, timeout) with
+  | false, Some _ -> fail "--timeout requires --isolate"
+  | false, None -> config In_domain
+  | true, timeout -> config ?job_timeout_s:timeout Subprocess
+
+(* Open (or not) the journal named by the flags. *)
+let journal_of_flags ~fail ~kind ~fingerprint ~path ~resume =
+  match (path, resume) with
+  | None, true -> fail "--resume requires --journal"
+  | None, false -> None
+  | Some path, resume ->
+    (match Tabv_campaign.Journal.open_ ~path ~kind ~fingerprint ~resume () with
+     | Ok j -> Some j
+     | Error msg -> fail (Printf.sprintf "%s: %s" path msg))
+
+(* Run [f interrupted] with SIGINT/SIGTERM captured into [interrupted]
+   (restoring the previous dispositions afterwards), so a ^C drains
+   gracefully: workers die, the journal keeps its completed records,
+   and the command reports what is pending instead of vanishing. *)
+let with_interrupt f =
+  let flag = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+  let previous_int = Sys.signal Sys.sigint handler in
+  let previous_term = Sys.signal Sys.sigterm handler in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint previous_int;
+      Sys.set_signal Sys.sigterm previous_term)
+    (fun () -> f (fun () -> Atomic.get flag))
+
+(* The "how to pick the run back up" part of an interrupt message. *)
+let resume_hint = function
+  | Some path -> Printf.sprintf "; resume with --journal %s --resume" path
+  | None -> " (no --journal, so completed work is lost)"
+
+(* --- report writers ----------------------------------------------- *)
+
+(* Write a JSON document to FILE, or stdout for "-"; the trailing
+   newline makes the file diff-friendly (the byte-identity tests diff
+   these files directly). *)
+let write_json ?(announce = "report") path doc =
+  let text = Tabv_core.Report_json.to_string doc in
+  match path with
+  | "-" -> print_endline text
+  | path ->
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc text;
+        Out_channel.output_char oc '\n');
+    Printf.printf "wrote %s to %s\n" announce path
+
+let report_json_arg ~doc =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-json" ] ~docv:"FILE" ~doc)
+
+(* The deterministic verdict report of one live run: run identification
+   from the command line, per-property counters from the testbench in
+   attach order.  `recheck` builds the same document from the trace
+   meta + merged snapshots; the two must be byte-identical. *)
+let verdict_report ~model ~seed ~ops result =
+  let open Tabv_core.Report_json in
+  verdict_report_json
+    ~run:
+      [ ("model", String (model_name model)); ("seed", Int seed);
+        ("ops", Int ops) ]
+    ~properties:result.Testbench.checker_stats ()

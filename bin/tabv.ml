@@ -3,19 +3,20 @@
    Subcommands:
      abstract  rewrite an RTL property file into TLM properties
      check     simulate a built-in DUV model with checkers attached
+     record    check + capture the evaluation trace to a binary file
+     recheck   re-check properties against a recorded trace, in parallel
      campaign  run a job matrix on a pool of worker domains
      trace     dump a VCD waveform of a short DES56 RTL run
-     fig3      reproduce the paper's Fig. 3 rewriting demonstration *)
+     replay    check properties offline against a VCD waveform
+     fig3      reproduce the paper's Fig. 3 rewriting demonstration
+
+   The flag specs shared between subcommands (model/workload/engine
+   flags, executor and journal plumbing, report writers) live in
+   {!Cli}. *)
 
 open Cmdliner
 open Tabv_psl
 open Tabv_duv
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* --- abstract ----------------------------------------------------- *)
 
@@ -49,7 +50,7 @@ let abstract_cmd =
                  language (ready for 'tabv check -p FILE' or 'tabv replay').")
   in
   let run file clock_period clock_periods removed summary json output =
-    match Parser.file (read_file file) with
+    match Parser.file (Cli.read_file file) with
     | exception Parser.Parse_error { line; col; message } ->
       Printf.eprintf "%s:%d:%d: %s\n" file line col message;
       exit 1
@@ -110,311 +111,335 @@ let abstract_cmd =
       const run $ file $ clock_period $ clock_periods $ removed $ summary $ json
       $ output)
 
-(* --- check -------------------------------------------------------- *)
+(* --- check / record ----------------------------------------------- *)
 
-type model =
-  | Des56_rtl_m
-  | Des56_ca_m
-  | Des56_at_m
-  | Des56_lt_m
-  | Colorconv_rtl_m
-  | Colorconv_ca_m
-  | Colorconv_at_m
-  | Memctrl_rtl_m
-  | Memctrl_ca_m
-  | Memctrl_at_m
+let metrics_flag_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Enable the observability registry for the run and print it: \
+               kernel phase counters, signal/TLM activity, per-property \
+               checker statistics (transition-cache hit rate, peak live \
+               instances, peak distinct hash-consed states), shared-sampler \
+               counters and the process-global interning counters.")
 
-let model_conv =
-  Arg.enum
-    [ ("des56-rtl", Des56_rtl_m); ("des56-tlm-ca", Des56_ca_m);
-      ("des56-tlm-at", Des56_at_m); ("des56-tlm-lt", Des56_lt_m);
-      ("colorconv-rtl", Colorconv_rtl_m);
-      ("colorconv-tlm-ca", Colorconv_ca_m); ("colorconv-tlm-at", Colorconv_at_m);
-      ("memctrl-rtl", Memctrl_rtl_m); ("memctrl-tlm-ca", Memctrl_ca_m);
-      ("memctrl-tlm-at", Memctrl_at_m) ]
+let metrics_json_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+         ~doc:"Write the observability report as schema-versioned JSON to \
+               FILE (deterministic: byte-identical across runs with the \
+               same seed).")
 
-let model_name = function
-  | Des56_rtl_m -> "des56-rtl"
-  | Des56_ca_m -> "des56-tlm-ca"
-  | Des56_at_m -> "des56-tlm-at"
-  | Des56_lt_m -> "des56-tlm-lt"
-  | Colorconv_rtl_m -> "colorconv-rtl"
-  | Colorconv_ca_m -> "colorconv-tlm-ca"
-  | Colorconv_at_m -> "colorconv-tlm-at"
-  | Memctrl_rtl_m -> "memctrl-rtl"
-  | Memctrl_ca_m -> "memctrl-tlm-ca"
-  | Memctrl_at_m -> "memctrl-tlm-at"
+let stats_flag_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Deprecated alias of $(b,--metrics).")
 
-(* Engine selection is a process-wide default ([Kernel.create] reads
-   it), so one flag covers every kernel a subcommand creates —
-   including worker subprocesses, which receive the selection over the
-   wire ([sim_engine] in every request). *)
-let engine_arg =
-  let engine_enum =
-    Arg.enum
-      [ ("classic", Tabv_sim.Kernel.Classic);
-        ("compiled", Tabv_sim.Kernel.Compiled) ]
+let stats_json_arg =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+         ~doc:"Deprecated alias of $(b,--metrics-json).")
+
+let check_report_json_arg =
+  Cli.report_json_arg
+    ~doc:
+      "Write the deterministic per-property verdict report as JSON to FILE \
+       ('-' for stdout).  The same document 'tabv recheck --report-json' \
+       emits for a recording of this run — byte for byte."
+
+(* The one simulation driver behind `check` and `record`; [trace_out]
+   is what separates them. *)
+let simulate_run ~cmd trace_out model count seed props_file metrics_flag
+    metrics_json stats_flag stats_json report_out engine =
+  Cli.apply_engine engine;
+  let fail = Cli.fail cmd in
+  if stats_flag then
+    Printf.eprintf "tabv %s: --stats is deprecated; use --metrics\n" cmd;
+  if stats_json <> None then
+    Printf.eprintf "tabv %s: --stats-json is deprecated; use --metrics-json\n"
+      cmd;
+  let metrics_flag = metrics_flag || stats_flag in
+  let metrics_json =
+    match metrics_json with
+    | Some _ as path -> path
+    | None -> stats_json
   in
-  Arg.(
-    value
-    & opt (some engine_enum) None
-    & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:
-          "Simulation kernel engine: $(b,classic) (the dynamic event-driven \
-           reference) or $(b,compiled) (levelized static schedule over a \
-           dense signal arena).  Reports and metrics are byte-identical \
-           across engines; compiled is faster on scheduling-bound runs.")
-
-let apply_engine = Option.iter Tabv_sim.Kernel.set_default_engine
+  let metrics =
+    if metrics_flag || metrics_json <> None then begin
+      let m = Tabv_obs.Metrics.create ~enabled:true () in
+      (* Wall-clock phase timers feed the human table only; the JSON
+         report is deterministic and excludes them, so the clock is
+         installed just for --metrics. *)
+      if metrics_flag then Tabv_obs.Metrics.set_clock m Sys.time;
+      Some m
+    end
+    else None
+  in
+  let user = Option.map Cli.parse_props_file props_file in
+  (* Lint user properties against the model's interface. *)
+  (match user with
+   | Some properties ->
+     Cli.lint_props ~known:(Cli.known_signals model) properties
+   | None -> ());
+  let properties, grid_properties = Cli.properties_for model user in
+  let writer =
+    match trace_out with
+    | None -> None
+    | Some path ->
+      if not (Cli.supports_trace model) then
+        fail
+          (Printf.sprintf
+             "%s records no trace (the loosely-timed model is deliberately \
+              not timing equivalent, so a recording would not replay \
+              meaningfully)"
+             (Cli.model_name model));
+      let meta =
+        { Tabv_trace.Meta.model = Cli.model_name model; seed; ops = count;
+          engine =
+            Tabv_sim.Kernel.engine_name (Tabv_sim.Kernel.get_default_engine ())
+        }
+      in
+      Some (Tabv_trace.Writer.create ~path meta)
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Tabv_trace.Writer.close writer)
+      (fun () ->
+        Cli.run_model ?metrics ?trace_writer:writer model ~seed ~ops:count
+          ~properties ~grid_properties)
+  in
+  Printf.printf "simulated %dns, %d operations, %d kernel activations, %d transactions\n"
+    result.Testbench.sim_time_ns result.Testbench.completed_ops
+    result.Testbench.kernel_activations result.Testbench.transactions;
+  List.iter
+    (fun stat -> Format.printf "%a@." Testbench.pp_checker_stat stat)
+    result.Testbench.checker_stats;
+  (match (trace_out, writer) with
+   | Some path, Some w ->
+     Printf.printf "wrote trace to %s (%d samples, %d spans, %d bytes)\n" path
+       (Tabv_trace.Writer.samples w)
+       (Tabv_trace.Writer.spans w)
+       (Tabv_trace.Writer.bytes_written w)
+   | _ -> ());
+  if metrics_flag then begin
+    print_endline "checker-engine statistics:";
+    List.iter
+      (fun stat ->
+        Printf.printf
+          "  %-24s cache %d/%d (%.1f%% hit), peak live %d, peak distinct \
+           states %d\n"
+          stat.Testbench.property_name stat.Testbench.cache_hits
+          (stat.Testbench.cache_hits + stat.Testbench.cache_misses)
+          (100. *. Testbench.cache_hit_rate stat)
+          stat.Testbench.peak_instances stat.Testbench.peak_distinct_states)
+      result.Testbench.checker_stats;
+    let c = Tabv_checker.Progression.cache_stats () in
+    Printf.printf
+      "  global: %d distinct states, %d memoized transitions, %d interned \
+       formulas, %d bypassed steps\n"
+      c.Tabv_checker.Progression.distinct_states
+      c.Tabv_checker.Progression.distinct_transitions
+      c.Tabv_checker.Progression.interned_formulas
+      c.Tabv_checker.Progression.cache_bypassed;
+    if result.Testbench.metrics <> [] then begin
+      print_endline "metrics:";
+      Format.printf "%a@." Tabv_obs.Metrics.pp_snapshot result.Testbench.metrics
+    end;
+    match metrics with
+    | Some m when Tabv_obs.Metrics.timers m <> [] ->
+      print_endline "phase timers (wall clock, excluded from JSON):";
+      List.iter
+        (fun (name, seconds, laps) ->
+          Printf.printf "  %-24s %.6fs over %d laps\n" name seconds laps)
+        (Tabv_obs.Metrics.timers m)
+    | Some _ | None -> ()
+  end;
+  (match metrics_json with
+   | None -> ()
+   | Some path ->
+     let open Tabv_core.Report_json in
+     Cli.write_json ~announce:"metrics" path
+       (Testbench.metrics_json
+          ~run:
+            [ ("model", String (Cli.model_name model));
+              ("seed", Int seed);
+              ("ops", Int count) ]
+          result));
+  (match report_out with
+   | None -> ()
+   | Some path ->
+     Cli.write_json ~announce:"verdict report" path
+       (Cli.verdict_report ~model ~seed ~ops:count result));
+  let failures = Testbench.total_failures result in
+  if failures = 0 then print_endline "all checkers passed"
+  else begin
+    Printf.printf "%d failure(s):\n" failures;
+    List.iter
+      (fun stat ->
+        List.iter
+          (fun f -> Format.printf "  %a@." Tabv_checker.Monitor.pp_failure f)
+          stat.Testbench.failures)
+      result.Testbench.checker_stats;
+    exit 1
+  end
 
 let check_cmd =
-  let model =
-    Arg.(required & opt (some model_conv) None & info [ "model"; "m" ] ~docv:"MODEL"
-           ~doc:"One of des56-rtl, des56-tlm-ca, des56-tlm-at, des56-tlm-lt, \
-                 colorconv-rtl, colorconv-tlm-ca, colorconv-tlm-at, memctrl-rtl, \
-                 memctrl-tlm-ca, memctrl-tlm-at.")
+  let doc = "Run a built-in DUV model with its property checkers attached." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const (simulate_run ~cmd:"check") $ const None $ Cli.model_arg
+      $ Cli.ops_arg $ Cli.seed_arg $ Cli.props_arg $ metrics_flag_arg
+      $ metrics_json_arg $ stats_flag_arg $ stats_json_arg
+      $ check_report_json_arg $ Cli.engine_arg)
+
+let record_cmd =
+  let trace_out =
+    Arg.(required & opt (some string) None & info [ "trace-out"; "o" ]
+           ~docv:"FILE"
+           ~doc:"Capture the run's evaluation trace (dictionary-encoded, \
+                 delta-timed binary format) to FILE for later 'tabv recheck'.")
   in
-  let count =
-    Arg.(value & opt int 200 & info [ "ops"; "n" ] ~docv:"N"
-           ~doc:"Workload size (operations or pixels).")
+  let doc =
+    "Run a model with checkers attached (exactly like $(b,check)) and \
+     capture the evaluation trace to a compact binary file for offline \
+     re-checking."
   in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
-  let props_file =
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const (fun path -> simulate_run ~cmd:"record" (Some path))
+      $ trace_out $ Cli.model_arg $ Cli.ops_arg $ Cli.seed_arg $ Cli.props_arg
+      $ metrics_flag_arg $ metrics_json_arg $ stats_flag_arg $ stats_json_arg
+      $ check_report_json_arg $ Cli.engine_arg)
+
+(* --- recheck ------------------------------------------------------ *)
+
+let recheck_cmd =
+  let trace_in =
+    Arg.(required & opt (some file) None & info [ "trace-in"; "i" ]
+           ~docv:"FILE"
+           ~doc:"Binary trace recorded by 'tabv record'.")
+  in
+  let props =
     Arg.(value & opt (some file) None & info [ "props"; "p" ] ~docv:"FILE"
-           ~doc:"Check the RTL properties from this file instead of the built-in                  set.  On an approximately-timed model the properties are first                  abstracted with Methodology III.1 (clock 10 ns, the model's                  abstracted signals); only the automatically-safe results are                  attached.")
+           ~doc:"Property file to re-check instead of the recorded model's \
+                 built-in set.  Abstracted for approximately-timed models \
+                 exactly as 'tabv check --props' would.")
   in
-  let metrics_flag =
-    Arg.(value & flag & info [ "metrics" ]
-           ~doc:"Enable the observability registry for the run and print it: \
-                 kernel phase counters, signal/TLM activity, per-property \
-                 checker statistics (transition-cache hit rate, peak live \
-                 instances, peak distinct hash-consed states), shared-sampler \
-                 counters and the process-global interning counters.")
+  let workers =
+    Arg.(value & opt (some int) None & info [ "workers"; "j" ] ~docv:"N"
+           ~doc:"Worker count (default: the machine's recommended domain \
+                 count, capped by the property count).  The report is \
+                 byte-identical for any worker count.")
   in
-  let metrics_json =
-    Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
-           ~doc:"Write the observability report as schema-versioned JSON to \
-                 FILE (deterministic: byte-identical across runs with the \
-                 same seed).")
+  let executor =
+    Arg.(value
+         & opt (Arg.enum [ ("in-domain", `In_domain); ("subprocess", `Subprocess) ])
+             `In_domain
+         & info [ "executor" ] ~docv:"KIND"
+             ~doc:"Where chunks run: $(b,in-domain) (worker domains in this \
+                   process) or $(b,subprocess) (crash-isolated worker \
+                   processes).  Reports are byte-identical across both.")
   in
-  let stats_flag =
-    Arg.(value & flag & info [ "stats" ]
-           ~doc:"Deprecated alias of $(b,--metrics).")
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retries per crashing chunk (default 1).")
   in
-  let stats_json =
-    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
-           ~doc:"Deprecated alias of $(b,--metrics-json).")
+  let report_out =
+    Cli.report_json_arg
+      ~doc:
+        "Write the deterministic per-property verdict report as JSON to FILE \
+         ('-' for stdout) — byte-identical to 'tabv check --report-json' of \
+         the recorded run."
   in
-  let run model count seed props_file metrics_flag metrics_json stats_flag
-      stats_json engine =
-    apply_engine engine;
-    if stats_flag then
-      prerr_endline "tabv check: --stats is deprecated; use --metrics";
-    if stats_json <> None then
-      prerr_endline "tabv check: --stats-json is deprecated; use --metrics-json";
-    let metrics_flag = metrics_flag || stats_flag in
-    let metrics_json =
-      match metrics_json with
-      | Some _ as path -> path
-      | None -> stats_json
+  let run trace_in props workers executor retries report_out =
+    let fail = Cli.fail "recheck" in
+    let open Tabv_campaign in
+    (* Header + dictionary gate: a non-trace file, a stale version or
+       a truncated header is a usage error (exit 2), reported with the
+       trace's identity when we have one. *)
+    let meta, trace_signals =
+      try Recheck.probe trace_in with
+      | Tabv_trace.Reader.Format_error { path; message } ->
+        fail (Printf.sprintf "%s: %s" path message)
     in
-    let metrics =
-      if metrics_flag || metrics_json <> None then begin
-        let m = Tabv_obs.Metrics.create ~enabled:true () in
-        (* Wall-clock phase timers feed the human table only; the JSON
-           report is deterministic and excludes them, so the clock is
-           installed just for --metrics. *)
-        if metrics_flag then Tabv_obs.Metrics.set_clock m Sys.time;
-        Some m
-      end
-      else None
+    let model =
+      match Cli.model_of_name meta.Tabv_trace.Meta.model with
+      | Some model -> model
+      | None ->
+        fail
+          (Format.asprintf
+             "%s: recorded from unknown model %a — stale trace or newer tabv?"
+             trace_in Tabv_trace.Meta.pp meta)
     in
-    let user_props () =
-      match props_file with
-      | None -> None
-      | Some file ->
-        (match Parser.file (read_file file) with
-         | properties -> Some properties
-         | exception Parser.Parse_error { line; col; message } ->
-           Printf.eprintf "%s:%d:%d: %s\n" file line col message;
-           exit 1)
-    in
-    (* Split the automatically-safe abstractions into strict-wrapper
-       properties and grid-wrapper ones (timed operators under
-       until/release need the full clock grid). *)
-    let abstract_for_at ~abstracted_signals properties =
-      let reports =
-        Tabv_core.Methodology.abstract_all ~clock_period:10 ~abstracted_signals
-          properties
-      in
-      List.fold_left
-        (fun (strict, grid) r ->
-          match r.Tabv_core.Methodology.output with
-          | Some q when not r.Tabv_core.Methodology.requires_review ->
-            if Tabv_core.Methodology.needs_dense_trace q.Property.formula then
-              (strict, q :: grid)
-            else (q :: strict, grid)
-          | Some _ | None -> (strict, grid))
-        ([], []) reports
-      |> fun (strict, grid) -> (List.rev strict, List.rev grid)
-    in
-    let rtl_or user builtin =
-      match user with
-      | Some properties -> properties
-      | None -> builtin
-    in
-    let user = user_props () in
-    (* Lint user properties against the model's interface. *)
-    let known =
-      match model with
-      | Des56_rtl_m | Des56_ca_m | Des56_at_m | Des56_lt_m ->
-        Des56_iface.signal_names
-      | Colorconv_rtl_m | Colorconv_ca_m | Colorconv_at_m ->
-        Colorconv_iface.signal_names
-      | Memctrl_rtl_m | Memctrl_ca_m | Memctrl_at_m -> Memctrl_iface.signal_names
-    in
+    let user = Option.map Cli.parse_props_file props in
     (match user with
      | Some properties ->
-       List.iter
-         (fun p ->
-           match Property.unknown_signals ~known p with
-           | [] -> ()
-           | unknown ->
-             Printf.eprintf "warning: property %s mentions unknown signal(s): %s\n"
-               p.Property.name (String.concat ", " unknown))
-         properties
+       Cli.lint_props ~known:(Cli.known_signals model) properties
      | None -> ());
-    let result =
-      match model with
-      | Des56_rtl_m ->
-        Testbench.run_des56_rtl ?metrics ~properties:(rtl_or user Des56_props.all)
-          (Workload.des56 ~seed ~count ())
-      | Des56_ca_m ->
-        Testbench.run_des56_tlm_ca ?metrics
-          ~properties:(rtl_or user Des56_props.all)
-          (Workload.des56 ~seed ~count ())
-      | Des56_at_m ->
-        let properties, grid_properties =
-          match user with
-          | Some properties ->
-            abstract_for_at ~abstracted_signals:Des56_props.abstracted_signals
-              properties
-          | None -> (Des56_props.tlm_reviewed (), [])
-        in
-        Testbench.run_des56_tlm_at ?metrics ~properties ~grid_properties
-          (Workload.des56 ~seed ~count ())
-      | Colorconv_rtl_m ->
-        Testbench.run_colorconv_rtl ?metrics
-          ~properties:(rtl_or user Colorconv_props.all)
-          (Workload.colorconv ~seed ~count ())
-      | Colorconv_ca_m ->
-        Testbench.run_colorconv_tlm_ca ?metrics
-          ~properties:(rtl_or user Colorconv_props.all)
-          (Workload.colorconv ~seed ~count ())
-      | Colorconv_at_m ->
-        let properties, grid_properties =
-          match user with
-          | Some properties ->
-            abstract_for_at ~abstracted_signals:Colorconv_props.abstracted_signals
-              properties
-          | None -> (Colorconv_props.tlm_reviewed (), [])
-        in
-        Testbench.run_colorconv_tlm_at ?metrics ~properties ~grid_properties
-          (Workload.colorconv ~seed ~count ())
-      | Des56_lt_m ->
-        (* Boolean invariants only: the LT model is not timing
-           equivalent, timed properties would fail by design. *)
-        let properties =
-          match user with
-          | Some properties ->
+    let properties, grid_properties = Cli.properties_for model user in
+    if grid_properties <> [] then
+      fail
+        (Printf.sprintf
+           "%d propert%s need full-grid transactions (grid wrapper) and \
+            cannot be re-checked against a recorded trace: %s"
+           (List.length grid_properties)
+           (if List.length grid_properties = 1 then "y" else "ies")
+           (String.concat ", "
+              (List.map (fun p -> p.Property.name) grid_properties)));
+    if properties = [] then fail "no properties to re-check";
+    (* Fingerprint/dictionary gate: every signal a property samples
+       must have been recorded, or the verdicts would silently differ
+       from a live check.  (An empty trace has no dictionary; nothing
+       is sampled either, so any property set is fine.) *)
+    if trace_signals <> [] then begin
+      let missing =
+        List.concat_map
+          (fun p ->
             List.filter
-              (fun p -> Tabv_psl.Simple_subset.is_boolean p.Property.formula)
-              (fst
-                 (abstract_for_at ~abstracted_signals:Des56_props.abstracted_signals
-                    properties))
-          | None ->
-            [ Property.make ~name:"lt_inv"
-                ~context:(Context.Transaction Context.Base_trans)
-                (Parser.formula_only "always(!rdy || ds)") ]
-        in
-        Testbench.run_des56_tlm_lt ?metrics ~properties
-          (Workload.des56 ~seed ~count ())
-      | Memctrl_rtl_m ->
-        Memctrl_testbench.run_rtl ?metrics
-          ~properties:(rtl_or user Memctrl_props.all)
-          (Workload.memctrl ~seed ~count ())
-      | Memctrl_ca_m ->
-        Memctrl_testbench.run_tlm_ca ?metrics
-          ~properties:(rtl_or user Memctrl_props.all)
-          (Workload.memctrl ~seed ~count ())
-      | Memctrl_at_m ->
-        let properties =
-          match user with
-          | Some properties ->
-            fst
-              (abstract_for_at ~abstracted_signals:Memctrl_props.abstracted_signals
-                 properties)
-          | None -> Memctrl_props.tlm_auto_safe ()
-        in
-        Memctrl_testbench.run_tlm_at ?metrics ~properties
-          (Workload.memctrl ~seed ~count ())
+              (fun s -> not (List.mem s trace_signals))
+              (Property.signals p))
+          properties
+        |> List.sort_uniq compare
+      in
+      if missing <> [] then
+        fail
+          (Format.asprintf
+             "%s: trace (%a) does not record signal(s) %s — stale trace or \
+              mismatched property set"
+             trace_in Tabv_trace.Meta.pp meta
+             (String.concat ", " missing))
+    end;
+    let workers =
+      match workers with
+      | Some w when w >= 1 -> w
+      | Some w -> fail (Printf.sprintf "--workers must be >= 1 (got %d)" w)
+      | None ->
+        min (Domain.recommended_domain_count ()) (List.length properties)
     in
-    Printf.printf "simulated %dns, %d operations, %d kernel activations, %d transactions\n"
-      result.Testbench.sim_time_ns result.Testbench.completed_ops
-      result.Testbench.kernel_activations result.Testbench.transactions;
+    let exec =
+      match executor with
+      | `In_domain -> Executor.config Executor.In_domain
+      | `Subprocess -> Executor.config Executor.Subprocess
+    in
+    let result =
+      try
+        Cli.with_interrupt (fun interrupted ->
+            Recheck.run ~exec ~interrupted ~workers ~retries ~trace:trace_in
+              properties)
+      with
+      | Tabv_trace.Reader.Format_error { path; message } ->
+        fail (Printf.sprintf "%s: %s" path message)
+      | Recheck.Chunk_failed message ->
+        Printf.eprintf "tabv recheck: chunk failed: %s\n" message;
+        exit 1
+    in
+    Format.printf "rechecked %d properties against %a: %d samples, %d spans@."
+      (List.length properties) Tabv_trace.Meta.pp result.Recheck.meta
+      result.Recheck.samples result.Recheck.spans;
     List.iter
       (fun stat -> Format.printf "%a@." Testbench.pp_checker_stat stat)
-      result.Testbench.checker_stats;
-    if metrics_flag then begin
-      print_endline "checker-engine statistics:";
-      List.iter
-        (fun stat ->
-          Printf.printf
-            "  %-24s cache %d/%d (%.1f%% hit), peak live %d, peak distinct \
-             states %d\n"
-            stat.Testbench.property_name stat.Testbench.cache_hits
-            (stat.Testbench.cache_hits + stat.Testbench.cache_misses)
-            (100. *. Testbench.cache_hit_rate stat)
-            stat.Testbench.peak_instances stat.Testbench.peak_distinct_states)
-        result.Testbench.checker_stats;
-      let c = Tabv_checker.Progression.cache_stats () in
-      Printf.printf
-        "  global: %d distinct states, %d memoized transitions, %d interned \
-         formulas, %d bypassed steps\n"
-        c.Tabv_checker.Progression.distinct_states
-        c.Tabv_checker.Progression.distinct_transitions
-        c.Tabv_checker.Progression.interned_formulas
-        c.Tabv_checker.Progression.cache_bypassed;
-      if result.Testbench.metrics <> [] then begin
-        print_endline "metrics:";
-        Format.printf "%a@." Tabv_obs.Metrics.pp_snapshot result.Testbench.metrics
-      end;
-      match metrics with
-      | Some m when Tabv_obs.Metrics.timers m <> [] ->
-        print_endline "phase timers (wall clock, excluded from JSON):";
-        List.iter
-          (fun (name, seconds, laps) ->
-            Printf.printf "  %-24s %.6fs over %d laps\n" name seconds laps)
-          (Tabv_obs.Metrics.timers m)
-      | Some _ | None -> ()
-    end;
-    (match metrics_json with
+      result.Recheck.snapshots;
+    (match report_out with
      | None -> ()
      | Some path ->
-       let open Tabv_core.Report_json in
-       let doc =
-         Testbench.metrics_json
-           ~run:
-             [ ("model", String (model_name model));
-               ("seed", Int seed);
-               ("ops", Int count) ]
-           result
-       in
-       Out_channel.with_open_text path (fun oc ->
-           Out_channel.output_string oc (to_string doc);
-           Out_channel.output_char oc '\n');
-       Printf.printf "wrote metrics to %s\n" path);
-    let failures = Testbench.total_failures result in
+       Cli.write_json ~announce:"verdict report" path
+         (Recheck.report_json result));
+    let failures = Recheck.total_failures result in
     if failures = 0 then print_endline "all checkers passed"
     else begin
       Printf.printf "%d failure(s):\n" failures;
@@ -422,16 +447,19 @@ let check_cmd =
         (fun stat ->
           List.iter
             (fun f -> Format.printf "  %a@." Tabv_checker.Monitor.pp_failure f)
-            stat.Testbench.failures)
-        result.Testbench.checker_stats;
+            stat.Tabv_obs.Checker_snapshot.failures)
+        result.Recheck.snapshots;
       exit 1
     end
   in
-  let doc = "Run a built-in DUV model with its property checkers attached." in
-  Cmd.v (Cmd.info "check" ~doc)
+  let doc =
+    "Re-check a property set against a recorded binary trace — in parallel, \
+     without re-simulating; the verdict report is byte-identical to the \
+     live $(b,check) of the recorded run."
+  in
+  Cmd.v (Cmd.info "recheck" ~doc)
     Term.(
-      const run $ model $ count $ seed $ props_file $ metrics_flag $ metrics_json
-      $ stats_flag $ stats_json $ engine_arg)
+      const run $ trace_in $ props $ workers $ executor $ retries $ report_out)
 
 (* --- trace -------------------------------------------------------- *)
 
@@ -474,7 +502,7 @@ let replay_cmd =
         exit 1
     in
     let properties =
-      match Parser.file (read_file props) with
+      match Parser.file (Cli.read_file props) with
       | properties -> properties
       | exception Parser.Parse_error { line; col; message } ->
         Printf.eprintf "%s:%d:%d: %s\n" props line col message;
@@ -484,7 +512,8 @@ let replay_cmd =
       (Trace.length waveform.Tabv_sim.Vcd_reader.trace)
       (List.length waveform.Tabv_sim.Vcd_reader.signals);
     let outcomes =
-      Tabv_checker.Replay.run properties waveform.Tabv_sim.Vcd_reader.trace
+      (Tabv_checker.Replay.run [@alert "-deprecated"])
+        properties waveform.Tabv_sim.Vcd_reader.trace
     in
     let monitors =
       List.map (fun o -> o.Tabv_checker.Replay.monitor) outcomes
@@ -494,75 +523,6 @@ let replay_cmd =
   in
   let doc = "Check properties offline against a recorded VCD waveform." in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ vcd $ props)
-
-(* --- campaign / qualify shared plumbing --------------------------- *)
-
-(* Executor, journal and interrupt flags shared by `campaign` and
-   `qualify`. *)
-
-let isolate_arg =
-  Arg.(value & flag & info [ "isolate" ]
-         ~doc:"Run jobs in crash-isolated worker subprocesses instead of \
-               in-process domains.  A job that aborts, segfaults, allocates \
-               without bound or busy-loops kills only its worker; the \
-               campaign records the death and continues.")
-
-let timeout_arg =
-  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
-         ~doc:"Per-job wall-clock watchdog (requires $(b,--isolate)): a \
-               worker still running after SECS is SIGKILLed and the job \
-               recorded as timed out after its retries are exhausted.")
-
-let journal_arg =
-  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
-         ~doc:"Write-ahead journal: append every completed job's result \
-               durably to FILE as it finishes, so an interrupted run can be \
-               finished later with $(b,--resume).")
-
-let resume_arg =
-  Arg.(value & flag & info [ "resume" ]
-         ~doc:"Replay completed jobs from the $(b,--journal) file instead \
-               of re-running them.  The journal must belong to exactly this \
-               campaign (same jobs, same retry budget); the final report is \
-               byte-identical to an uninterrupted run.")
-
-(* Build the executor configuration from the flags. *)
-let executor_of_flags ~fail ~isolate ~timeout =
-  let open Tabv_campaign.Executor in
-  match (isolate, timeout) with
-  | false, Some _ -> fail "--timeout requires --isolate"
-  | false, None -> config In_domain
-  | true, timeout -> config ?job_timeout_s:timeout Subprocess
-
-(* Open (or not) the journal named by the flags. *)
-let journal_of_flags ~fail ~kind ~fingerprint ~path ~resume =
-  match (path, resume) with
-  | None, true -> fail "--resume requires --journal"
-  | None, false -> None
-  | Some path, resume ->
-    (match Tabv_campaign.Journal.open_ ~path ~kind ~fingerprint ~resume () with
-     | Ok j -> Some j
-     | Error msg -> fail (Printf.sprintf "%s: %s" path msg))
-
-(* Run [f interrupted] with SIGINT/SIGTERM captured into [interrupted]
-   (restoring the previous dispositions afterwards), so a ^C drains
-   gracefully: workers die, the journal keeps its completed records,
-   and the command reports what is pending instead of vanishing. *)
-let with_interrupt f =
-  let flag = Atomic.make false in
-  let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
-  let previous_int = Sys.signal Sys.sigint handler in
-  let previous_term = Sys.signal Sys.sigterm handler in
-  Fun.protect
-    ~finally:(fun () ->
-      Sys.set_signal Sys.sigint previous_int;
-      Sys.set_signal Sys.sigterm previous_term)
-    (fun () -> f (fun () -> Atomic.get flag))
-
-(* The "how to pick the run back up" part of an interrupt message. *)
-let resume_hint = function
-  | Some path -> Printf.sprintf "; resume with --journal %s --resume" path
-  | None -> " (no --journal, so completed work is lost)"
 
 (* --- campaign ----------------------------------------------------- *)
 
@@ -608,18 +568,19 @@ let campaign_cmd =
                  key is used when this flag is absent).")
   in
   let report_out =
-    Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
-           ~doc:"Write the deterministic campaign report as JSON to FILE \
-                 ('-' for stdout).")
+    Cli.report_json_arg
+      ~doc:
+        "Write the deterministic campaign report as JSON to FILE ('-' for \
+         stdout)."
   in
   let run manifest duvs levels seeds ops props workers retries report_out
       isolate timeout journal_path resume engine =
-    apply_engine engine;
-    let fail msg = Printf.eprintf "tabv campaign: %s\n" msg; exit 2 in
+    Cli.apply_engine engine;
+    let fail = Cli.fail "campaign" in
     let manifest =
       match manifest with
       | Some path ->
-        (match Campaign.manifest_of_string (read_file path) with
+        (match Campaign.manifest_of_string (Cli.read_file path) with
          | Ok m -> m
          | Error msg -> fail (Printf.sprintf "%s: %s" path msg))
       | None ->
@@ -657,9 +618,9 @@ let campaign_cmd =
       | Some w -> fail (Printf.sprintf "--workers must be >= 1 (got %d)" w)
       | None -> min (Domain.recommended_domain_count ()) (List.length jobs)
     in
-    let exec = executor_of_flags ~fail ~isolate ~timeout in
+    let exec = Cli.executor_of_flags ~fail ~isolate ~timeout in
     let journal =
-      journal_of_flags ~fail ~kind:Campaign.journal_kind
+      Cli.journal_of_flags ~fail ~kind:Campaign.journal_kind
         ~fingerprint:(Campaign.fingerprint ~retries jobs) ~path:journal_path
         ~resume
     in
@@ -667,26 +628,19 @@ let campaign_cmd =
       Fun.protect
         ~finally:(fun () -> Option.iter Journal.close journal)
         (fun () ->
-          with_interrupt (fun interrupted ->
+          Cli.with_interrupt (fun interrupted ->
             Campaign.run ~workers ~retries ~clock:Unix.gettimeofday ~exec
               ?journal ~interrupted jobs))
     in
     Format.printf "%a@." Campaign.pp_summary summary;
     (match report_out with
      | None -> ()
-     | Some "-" ->
-       print_endline
-         (Tabv_core.Report_json.to_string (Campaign.report_json summary))
      | Some path ->
-       let oc = open_out_bin path in
-       output_string oc
-         (Tabv_core.Report_json.to_string (Campaign.report_json summary));
-       output_char oc '\n';
-       close_out oc;
-       Printf.printf "wrote campaign report to %s\n" path);
+       Cli.write_json ~announce:"campaign report" path
+         (Campaign.report_json summary));
     if summary.Campaign.pending > 0 then begin
       Printf.eprintf "tabv campaign: interrupted with %d job(s) pending%s\n"
-        summary.Campaign.pending (resume_hint journal_path);
+        summary.Campaign.pending (Cli.resume_hint journal_path);
       exit 130
     end;
     if not (Campaign.all_green summary) then exit 1
@@ -698,8 +652,8 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ manifest $ duvs $ levels $ seeds $ ops $ props $ workers
-      $ retries $ report_out $ isolate_arg $ timeout_arg $ journal_arg
-      $ resume_arg $ engine_arg)
+      $ retries $ report_out $ Cli.isolate_arg $ Cli.timeout_arg
+      $ Cli.journal_arg $ Cli.resume_arg $ Cli.engine_arg)
 
 (* --- qualify ------------------------------------------------------ *)
 
@@ -732,14 +686,15 @@ let qualify_cmd =
            ~doc:"Retries per crashing pool job (default 1).")
   in
   let report_out =
-    Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
-           ~doc:"Write the deterministic detection-matrix report as JSON to \
-                 FILE ('-' for stdout).")
+    Cli.report_json_arg
+      ~doc:
+        "Write the deterministic detection-matrix report as JSON to FILE \
+         ('-' for stdout)."
   in
   let run duv levels seed ops workers retries report_out isolate timeout
       journal_path resume engine =
-    apply_engine engine;
-    let fail msg = Printf.eprintf "tabv qualify: %s\n" msg; exit 2 in
+    Cli.apply_engine engine;
+    let fail = Cli.fail "qualify" in
     let duv =
       match Campaign.duv_of_name duv with
       | Some d -> d
@@ -762,9 +717,9 @@ let qualify_cmd =
       | Some w -> fail (Printf.sprintf "--workers must be >= 1 (got %d)" w)
       | None -> Domain.recommended_domain_count ()
     in
-    let exec = executor_of_flags ~fail ~isolate ~timeout in
+    let exec = Cli.executor_of_flags ~fail ~isolate ~timeout in
     let journal =
-      journal_of_flags ~fail ~kind:Qualify.journal_kind
+      Cli.journal_of_flags ~fail ~kind:Qualify.journal_kind
         ~fingerprint:(Qualify.fingerprint ~duv ~levels ~seed ~ops)
         ~path:journal_path ~resume
     in
@@ -773,7 +728,7 @@ let qualify_cmd =
         Fun.protect
           ~finally:(fun () -> Option.iter Journal.close journal)
           (fun () ->
-            with_interrupt (fun interrupted ->
+            Cli.with_interrupt (fun interrupted ->
               Qualify.run ~workers ~retries ~exec ?journal ~interrupted ~duv
                 ~levels ~seed ~ops ()))
       with
@@ -782,22 +737,15 @@ let qualify_cmd =
         Printf.eprintf
           "tabv qualify: interrupted before the pool drained; a partial \
            detection matrix is meaningless, so no report was produced%s\n"
-          (resume_hint journal_path);
+          (Cli.resume_hint journal_path);
         exit 130
     in
     Format.printf "%a@." Qualify.pp_report report;
     (match report_out with
      | None -> ()
-     | Some "-" ->
-       print_endline
-         (Tabv_core.Report_json.to_string (Qualify.report_json report))
      | Some path ->
-       let oc = open_out_bin path in
-       output_string oc
-         (Tabv_core.Report_json.to_string (Qualify.report_json report));
-       output_char oc '\n';
-       close_out oc;
-       Printf.printf "wrote qualification report to %s\n" path);
+       Cli.write_json ~announce:"qualification report" path
+         (Qualify.report_json report));
     if not (Qualify.ok report) then exit 1
   in
   let doc =
@@ -808,7 +756,8 @@ let qualify_cmd =
   Cmd.v (Cmd.info "qualify" ~doc)
     Term.(
       const run $ duv $ levels $ seed $ ops $ workers $ retries $ report_out
-      $ isolate_arg $ timeout_arg $ journal_arg $ resume_arg $ engine_arg)
+      $ Cli.isolate_arg $ Cli.timeout_arg $ Cli.journal_arg $ Cli.resume_arg
+      $ Cli.engine_arg)
 
 (* --- doctor ------------------------------------------------------- *)
 
@@ -879,6 +828,45 @@ let doctor_cmd =
     in
     check "engine_identity: compiled run reports byte-identically to classic"
       engine_identity;
+    let record_recheck_identity =
+      (* Record a short run with a binary trace tapped in, then replay
+         the same property set offline: the verdict documents must be
+         byte-identical (the recheck contract, end to end). *)
+      let path = Filename.temp_file "tabv_doctor" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let meta =
+            { Tabv_trace.Meta.model = "des56-rtl"; seed = 1; ops = 10;
+              engine =
+                Tabv_sim.Kernel.engine_name
+                  (Tabv_sim.Kernel.get_default_engine ()) }
+          in
+          let live =
+            Tabv_trace.Writer.with_file ~path meta (fun writer ->
+                Testbench.run_des56_rtl ~trace_writer:writer
+                  ~properties:Des56_props.all quick_ops)
+          in
+          let live_doc =
+            Tabv_core.Report_json.to_string
+              (Tabv_core.Report_json.verdict_report_json
+                 ~run:[ ("model", Tabv_core.Report_json.String "des56-rtl") ]
+                 ~properties:live.Testbench.checker_stats ())
+          in
+          let rechecked =
+            Tabv_campaign.Recheck.run ~workers:2 ~retries:0 ~trace:path
+              Des56_props.all
+          in
+          let recheck_doc =
+            Tabv_core.Report_json.to_string
+              (Tabv_core.Report_json.verdict_report_json
+                 ~run:[ ("model", Tabv_core.Report_json.String "des56-rtl") ]
+                 ~properties:rechecked.Tabv_campaign.Recheck.snapshots ())
+          in
+          live_doc = recheck_doc)
+    in
+    check "record + recheck reports byte-identically to the live check"
+      record_recheck_identity;
     let mini_campaign =
       let open Tabv_campaign.Campaign in
       run ~workers:2
@@ -974,5 +962,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ abstract_cmd; check_cmd; campaign_cmd; qualify_cmd; trace_cmd;
-            replay_cmd; doctor_cmd; fig3_cmd ]))
+          [ abstract_cmd; check_cmd; record_cmd; recheck_cmd; campaign_cmd;
+            qualify_cmd; trace_cmd; replay_cmd; doctor_cmd; fig3_cmd ]))

@@ -21,7 +21,9 @@ let dump_trace trace = Trace_dump.to_file trace vcd_path
 
 let replay title trace =
   Printf.printf "\n=== %s ===\n" title;
-  let outcomes = Tabv_checker.Replay.run Des56_props.all trace in
+  let outcomes =
+    (Tabv_checker.Replay.run [@alert "-deprecated"]) Des56_props.all trace
+  in
   let monitors = List.map (fun o -> o.Tabv_checker.Replay.monitor) outcomes in
   Format.printf "%a@." Tabv_checker.Coverage.pp_table monitors
 

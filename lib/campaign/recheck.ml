@@ -1,0 +1,155 @@
+open Tabv_psl
+module J = Tabv_core.Report_json
+
+type result = {
+  meta : Tabv_trace.Meta.t;
+  snapshots : Tabv_obs.Checker_snapshot.t list;
+  samples : int;
+  spans : int;
+}
+
+exception Chunk_failed of string
+
+let property_source p =
+  Format.asprintf "property %s = %a %a;" p.Property.name Ltl.pp
+    p.Property.formula Context.pp p.Property.context
+
+module Monitors_run = Tabv_checker.Offline.Run (Tabv_checker.Offline.Monitors)
+
+let exec_chunk ~trace ~properties =
+  (* Fresh universe per chunk, as Campaign.exec_job does per job: the
+     verdict fields are universe-independent anyway, but a bounded
+     per-chunk universe also keeps long recheck runs from accreting
+     interned state. *)
+  Tabv_checker.Progression.reset_universe ();
+  Tabv_trace.Reader.with_file trace (fun reader ->
+      let monitors =
+        Monitors_run.over_seq
+          (Tabv_checker.Offline.Monitors.config properties)
+          (Tabv_trace.Reader.to_seq reader)
+      in
+      ( Tabv_trace.Reader.samples reader,
+        Tabv_trace.Reader.spans reader,
+        Tabv_checker.Offline.Monitors.snapshots monitors ))
+
+let probe path =
+  Tabv_trace.Reader.with_file path (fun reader ->
+      (* The dictionary precedes the first sample, but spans may come
+         first — scan until the dictionary shows up (or the trace ends
+         without samples, which legitimately has no signals). *)
+      let rec scan () =
+        match Tabv_trace.Reader.signals reader with
+        | _ :: _ as signals -> signals
+        | [] ->
+          (match Tabv_trace.Reader.next reader with
+           | Some _ -> scan ()
+           | None -> [])
+      in
+      let signals = scan () in
+      (Tabv_trace.Reader.meta reader, signals))
+
+(* Contiguous balanced chunks: chunk i gets every property, in order,
+   exactly once across chunks.  Chunk boundaries are a function of
+   (count, chunks) only, so the merged snapshot order is independent
+   of scheduling. *)
+let chunk_bounds ~chunks count =
+  let base = count / chunks and extra = count mod chunks in
+  List.init chunks (fun i ->
+      let start = (i * base) + min i extra in
+      let len = base + if i < extra then 1 else 0 in
+      (start, len))
+
+let sub_list start len items =
+  List.filteri (fun i _ -> i >= start && i < start + len) items
+
+let request_json ~trace ~properties =
+  J.Assoc
+    [ ("op", J.String "recheck_job");
+      ("trace", J.String trace);
+      ( "properties",
+        J.List (List.map (fun p -> J.String (property_source p)) properties) )
+    ]
+
+let payload_json (samples, spans, snapshots) =
+  J.Assoc
+    [ ("samples", J.Int samples);
+      ("spans", J.Int spans);
+      ("properties", J.List (List.map J.checker_snapshot_json snapshots)) ]
+
+let payload_of_json json =
+  let ( let* ) = Result.bind in
+  let what = "recheck reply" in
+  let* fields = Wire.open_assoc what json in
+  let* samples = Wire.int_field what "samples" fields in
+  let* spans = Wire.int_field what "spans" fields in
+  let* props = Wire.field what "properties" fields in
+  let* items = Wire.open_list (what ^ ".properties") props in
+  let* snapshots = Wire.map_result Wire.checker_snapshot_of_json items in
+  Ok (samples, spans, snapshots)
+
+let run ?(exec = Executor.config Executor.In_domain) ?interrupted ~workers
+    ~retries ~trace properties =
+  if workers < 1 then invalid_arg "Recheck.run: workers must be >= 1";
+  (* Validate the file before spinning up any executor, so a damaged
+     trace fails with its Format_error, not a chunk failure. *)
+  let meta, _signals = probe trace in
+  let count = List.length properties in
+  let chunks = max 1 (min workers count) in
+  if chunks = 1 && Executor.kind_of exec = Executor.In_domain then begin
+    (* One in-domain chunk needs no worker pool: stream in the calling
+       domain.  Byte-identity with the pooled path is pinned by the
+       worker-count-independence tests. *)
+    let samples, spans, snapshots = exec_chunk ~trace ~properties in
+    { meta; snapshots; samples; spans }
+  end
+  else begin
+  let bounds = chunk_bounds ~chunks count in
+  let chunk_props =
+    List.map (fun (start, len) -> sub_list start len properties) bounds
+  in
+  let chunk_array = Array.of_list chunk_props in
+  let tasks =
+    {
+      Executor.count = chunks;
+      skip = (fun _ -> false);
+      execute =
+        (fun index ~attempt:_ ->
+          exec_chunk ~trace ~properties:chunk_array.(index));
+      request =
+        (fun index ~attempt:_ ->
+          request_json ~trace ~properties:chunk_array.(index));
+      decode = (fun _index json -> payload_of_json json);
+      on_result = (fun _ _ -> ());
+    }
+  in
+  let results = Executor.run exec ~workers ~retries ?interrupted tasks in
+  let samples = ref 0 and spans = ref 0 in
+  let snapshots =
+    List.concat
+      (List.mapi
+         (fun index _ ->
+           match results.(index) with
+           | None -> raise (Chunk_failed "interrupted before completion")
+           | Some { Executor.outcome = Executor.Failed failure; _ } ->
+             raise (Chunk_failed (Executor.failure_to_string failure))
+           | Some { Executor.outcome = Executor.Done (s, sp, snaps); _ } ->
+             (* Every chunk reads the whole trace; the totals are the
+                per-chunk counts, not their sum. *)
+             samples := s;
+             spans := sp;
+             snaps)
+         chunk_props)
+  in
+  { meta; snapshots; samples = !samples; spans = !spans }
+  end
+
+let report_json result =
+  J.verdict_report_json
+    ~run:
+      [ ("model", J.String result.meta.Tabv_trace.Meta.model);
+        ("seed", J.Int result.meta.Tabv_trace.Meta.seed);
+        ("ops", J.Int result.meta.Tabv_trace.Meta.ops) ]
+    ~properties:result.snapshots ()
+
+let total_failures result =
+  Tabv_obs.Checker_snapshot.total_failures result.snapshots

@@ -68,6 +68,29 @@ let decode_request json =
       (fun () ->
         set_engine ();
         Qualify.qrun_json (Qualify.exec_index ~duv ~levels ~seed ~ops index))
+  | "recheck_job" ->
+    let* trace = Wire.string_field what "trace" fields in
+    let* sources =
+      let* v = Wire.field what "properties" fields in
+      let* items = Wire.open_list (what ^ ".properties") v in
+      Wire.map_result
+        (fun item ->
+          match item with
+          | J.String source -> Ok source
+          | _ -> Error (what ^ ".properties: expected strings"))
+        items
+    in
+    Ok
+      (fun () ->
+        (* Property sources travel as re-parseable property-language
+           lines; parse errors surface as the worker's [{"error":..}]
+           reply through the exception path below. *)
+        let properties =
+          List.concat_map
+            (fun source -> Tabv_psl.Parser.file source)
+            sources
+        in
+        Recheck.payload_json (Recheck.exec_chunk ~trace ~properties))
   | other -> Error (Printf.sprintf "%s: unknown op %S" what other)
 
 let reply_of_request payload =

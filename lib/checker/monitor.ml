@@ -47,6 +47,28 @@ type live_state = {
   mutable activations_at : int list;
 }
 
+(* Counter deltas of the most recent {!step}, for the stutter fast
+   path: when the caller knows the relevant valuation is unchanged
+   since the previous evaluation point, a step whose outcome cannot
+   depend on anything else (no live obligations before or after, no
+   failure recorded — or a gated-out no-op) is a pure function of the
+   valuation and can be replayed by re-applying its deltas.  The
+   [stuttered] flag records that the memoized step itself ran on an
+   unchanged valuation, so its cache-counter deltas are already in
+   the steady (memo-warm) regime and replaying them is exact; a step
+   with zero cache misses is in that regime regardless (repeating it
+   is guaranteed to hit the just-written memo entries again). *)
+type step_memo = {
+  m_steps : int;
+  m_activations : int;
+  m_passes : int;
+  m_trivial : int;
+  m_hits : int;
+  m_misses : int;
+  m_eligible : bool;
+  m_stuttered : bool;
+}
+
 type t = {
   property : Property.t;
   body : Ltl.t;
@@ -68,6 +90,10 @@ type t = {
   mutable trivial_passes : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  (* Delta-replay memoization is opt-in (offline re-checking pools):
+     live checking must not pay the per-step capture. *)
+  mutable memo_enabled : bool;
+  mutable memo : step_memo option;
 }
 
 let gate_of_context = function
@@ -142,6 +168,8 @@ let create ?(engine = `Progression) ?sampler property =
     trivial_passes = 0;
     cache_hits = 0;
     cache_misses = 0;
+    memo_enabled = false;
+    memo = None;
   }
 
 let property t = t.property
@@ -321,7 +349,7 @@ let live_instances t =
     List.fold_left (fun acc ls -> acc + List.length ls.activations_at) 0 t.live
   | Legacy_backend | Auto_backend _ -> List.length t.instances
 
-let step t ~time lookup =
+let step_core t ~time lookup =
   let gated_out =
     match t.gate_atom with
     | None -> false
@@ -336,6 +364,66 @@ let step t ~time lookup =
     let live = live_instances t in
     if live > t.peak then t.peak <- live
   end
+
+let enable_memo t = t.memo_enabled <- true
+
+let step ?(stuttered = false) t ~time lookup =
+  if not t.memo_enabled then step_core t ~time lookup
+  else begin
+    let live_before = t.live == [] && t.instances == [] in
+    let steps0 = t.steps in
+    let activations0 = t.activations in
+    let passes0 = t.passes in
+    let trivial0 = t.trivial_passes in
+    let hits0 = t.cache_hits in
+    let misses0 = t.cache_misses in
+    let failures0 = t.failures in
+    step_core t ~time lookup;
+    let live_after = t.live == [] && t.instances == [] in
+    let d_steps = t.steps - steps0 in
+    t.memo <-
+      Some
+        {
+          m_steps = d_steps;
+          m_activations = t.activations - activations0;
+          m_passes = t.passes - passes0;
+          m_trivial = t.trivial_passes - trivial0;
+          m_hits = t.cache_hits - hits0;
+          m_misses = t.cache_misses - misses0;
+          (* Replayable iff the step touched nothing but counters: no
+             failure was recorded (failure records carry the evaluation
+             time) and no live obligation existed before or after (a
+             gated-out step, [d_steps = 0], is a no-op either way). *)
+          m_eligible =
+            t.failures == failures0
+            && (d_steps = 0 || (live_before && live_after));
+          m_stuttered = stuttered;
+        }
+  end
+
+let can_replay t =
+  match t.memo with
+  | Some m -> m.m_eligible && (m.m_stuttered || m.m_misses = 0)
+  | None -> false
+
+let replay t ~count =
+  if count > 0 then
+    match t.memo with
+    | Some m ->
+      t.steps <- t.steps + (count * m.m_steps);
+      t.activations <- t.activations + (count * m.m_activations);
+      t.passes <- t.passes + (count * m.m_passes);
+      t.trivial_passes <- t.trivial_passes + (count * m.m_trivial);
+      t.cache_hits <- t.cache_hits + (count * m.m_hits);
+      t.cache_misses <- t.cache_misses + (count * m.m_misses)
+    | None -> invalid_arg "Monitor.replay: no step to replay"
+
+let step_stuttered t ~time:_ =
+  if can_replay t then begin
+    replay t ~count:1;
+    true
+  end
+  else false
 
 (* --- reporting ------------------------------------------------------ *)
 

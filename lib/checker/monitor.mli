@@ -61,9 +61,47 @@ val engine : t -> engine
 
 val property : t -> Property.t
 
+(** Opt this monitor into delta-replay memoization: every subsequent
+    {!step} records its counter deltas for {!step_stuttered} /
+    {!replay}.  Off by default so live checking does not pay the
+    per-step capture; offline re-checking pools
+    ([Offline.Monitors.init]) turn it on. *)
+val enable_memo : t -> unit
+
 (** Consume one evaluation point.  [lookup] samples the observable
-    environment at this instant. *)
-val step : t -> time:int -> (string -> Expr.value option) -> unit
+    environment at this instant.  [stuttered] declares that the
+    caller knows every signal this monitor reads (formula atoms and
+    context gate) holds the same value as at the previous evaluation
+    point; it never changes the step's outcome, it only certifies the
+    recorded counter deltas as steady so a later {!step_stuttered}
+    may replay them (meaningful only under {!enable_memo}). *)
+val step : ?stuttered:bool -> t -> time:int -> (string -> Expr.value option) -> unit
+
+(** Stutter fast path: consume one evaluation point whose relevant
+    valuation is unchanged since the previous point {e without}
+    re-evaluating anything, by re-applying the previous step's counter
+    deltas.  Sound only when the previous step touched nothing but
+    counters (no live obligations before or after, no failure
+    recorded — or a gated-out no-op) and its cache counters are in
+    the steady regime (the step was itself taken with
+    [~stuttered:true], or it ran without a single cache miss);
+    returns [false] otherwise, and the caller must fall back to
+    {!step}. *)
+val step_stuttered : t -> time:int -> bool
+
+(** [can_replay t] is true when the memoized counter deltas of the
+    previous step are replayable under the conditions documented at
+    {!step_stuttered} — i.e. a [step_stuttered] call right now would
+    succeed.  Lets a caller test the whole pool once at the start of a
+    stutter run and then batch. *)
+val can_replay : t -> bool
+
+(** [replay t ~count] applies the memoized deltas [count] times in
+    O(1), equivalent to [count] successful {!step_stuttered} calls.
+    Precondition: {!can_replay}[ t] held when the run started and no
+    other step was taken since.  Raises [Invalid_argument] if the
+    monitor has never stepped. *)
+val replay : t -> count:int -> unit
 
 (** End-of-simulation summary, deterministically ordered:
     chronological by failure time, and within one evaluation point in

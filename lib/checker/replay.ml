@@ -5,24 +5,15 @@ type outcome = {
   monitor : Monitor.t;
 }
 
+module Monitors_run = Offline.Run (Offline.Monitors)
+
 let run ?engine properties trace =
-  (* One shared sampler for the whole replay: every monitor sees the
-     same (time, environment) pairs, so each distinct atom is
-     evaluated once per trace entry across all properties. *)
-  let sampler = Sampler.create () in
-  let outcomes =
-    List.map
-      (fun p -> { property = p; monitor = Monitor.create ?engine ~sampler p })
-      properties
-  in
-  for i = 0 to Trace.length trace - 1 do
-    let entry = Trace.get trace i in
-    List.iter
-      (fun outcome ->
-        Monitor.step outcome.monitor ~time:entry.Trace.time (Trace.lookup entry))
-      outcomes
-  done;
-  outcomes
+  (* Deprecated shim: one Offline.Monitors pass over the in-memory
+     trace.  New code should drive Offline directly (over_file for
+     stored traces, which streams in bounded memory). *)
+  List.map
+    (fun (property, monitor) -> { property; monitor })
+    (Monitors_run.over_trace (Offline.Monitors.config ?engine properties) trace)
 
 let all_passed outcomes =
   List.for_all (fun outcome -> Monitor.failures outcome.monitor = []) outcomes

@@ -19,8 +19,15 @@ type outcome = {
 (** [run ?engine properties trace] replays the whole trace through a
     fresh monitor per property.  All monitors share one evaluation
     sampler, so each distinct atom is evaluated once per trace entry
-    no matter how many properties mention it. *)
+    no matter how many properties mention it.
+
+    @deprecated This is a shim over {!Offline.Monitors} (the
+    [OFFLINE_CHECKER] instance), kept for source compatibility.  It
+    requires the whole trace in memory; new code should use
+    [Offline.Run(Offline.Monitors)] — [over_file] streams a stored
+    trace through {!Tabv_trace.Reader} in bounded memory. *)
 val run : ?engine:Monitor.engine -> Property.t list -> Trace.t -> outcome list
+[@@alert deprecated "use Offline.Run(Offline.Monitors) instead"]
 
 (** True iff no monitor recorded a failure. *)
 val all_passed : outcome list -> bool

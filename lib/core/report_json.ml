@@ -360,6 +360,36 @@ let checker_snapshot_json (s : Tabv_obs.Checker_snapshot.t) =
       ("cache_hit_rate", Float (Tabv_obs.Checker_snapshot.cache_hit_rate s));
       ("failures", List (List.map failure_json s.failures)) ]
 
+(* The verdict subset of a snapshot: every field above that only
+   depends on the property and the evaluation points it saw.  The
+   transition-memo counters (cache_hits/cache_misses and the derived
+   rate) are excluded on purpose — they depend on what else shares the
+   process-wide checker universe, so a 4-worker recheck would diverge
+   from a 1-worker one.  Everything here is universe-independent,
+   which is what makes a live check and an offline recheck of the same
+   run byte-comparable. *)
+let checker_verdict_json (s : Tabv_obs.Checker_snapshot.t) =
+  Assoc
+    [ ("property", String s.property_name);
+      ("engine", String s.engine);
+      ("activations", Int s.activations);
+      ("passes", Int s.passes);
+      ("trivial_passes", Int s.trivial_passes);
+      ("vacuous", Bool s.vacuous);
+      ("peak_instances", Int s.peak_instances);
+      ("peak_distinct_states", Int s.peak_distinct_states);
+      ("pending", Int s.pending);
+      ("steps", Int s.steps);
+      ("failures", List (List.map failure_json s.failures)) ]
+
+let verdict_schema_version = 1
+
+let verdict_report_json ~run ~properties () =
+  Assoc
+    [ ("schema", Int verdict_schema_version);
+      ("run", Assoc run);
+      ("properties", List (List.map checker_verdict_json properties)) ]
+
 let checker_stat_json ~property_name ~activations ~passes ~trivial_passes
     ~vacuous ~peak_instances ~peak_distinct_states ~pending ~cache_hits
     ~cache_misses ~failures () =

@@ -39,6 +39,29 @@ val member : string -> json -> json option
     ["engine"] and ["steps"]; [cache_hit_rate] is derived. *)
 val checker_snapshot_json : Tabv_obs.Checker_snapshot.t -> json
 
+(** Universe-independent subset of {!checker_snapshot_json}: same keys
+    minus the transition-memo counters ([cache_hits], [cache_misses],
+    [cache_hit_rate]), which depend on what else shares the
+    process-wide checker universe and would make reports diverge
+    across worker counts. *)
+val checker_verdict_json : Tabv_obs.Checker_snapshot.t -> json
+
+(** Version stamped into the ["schema"] key of {!verdict_report_json}. *)
+val verdict_schema_version : int
+
+(** The deterministic per-run verdict report shared by
+    [tabv check --report-json], [tabv record --report-json] and
+    [tabv recheck --report-json]:
+    [{"schema":1,"run":{..},"properties":[..]}] with one
+    {!checker_verdict_json} per property.  The contract: re-checking a
+    recorded trace — any worker count, either executor — must emit
+    bytes identical to the live check of the same run. *)
+val verdict_report_json :
+  run:(string * json) list ->
+  properties:Tabv_obs.Checker_snapshot.t list ->
+  unit ->
+  json
+
 (** Deprecated: use {!checker_snapshot_json}.  This legacy emitter
     takes the 12 statistics as plain labelled arguments (the record
     now lives in [Tabv_obs.Checker_snapshot]); it is kept only so

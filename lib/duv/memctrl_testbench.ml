@@ -19,8 +19,8 @@ let op_latency = function
   | Memctrl_iface.Write _ -> Memctrl_iface.write_latency
   | Memctrl_iface.Read _ -> Memctrl_iface.read_latency
 
-let run_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2) ?fault_plan
-    ?guard ops =
+let run_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?trace_writer
+    ?(gap_cycles = 2) ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Memctrl_rtl.create kernel clock in
@@ -33,6 +33,13 @@ let run_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2) ?f
     Testbench.attach_pool ?engine kernel (Checker.Attach.clock_edge clock)
       sampler properties ~lookup
   in
+  Testbench.arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Process.method_process kernel ~name:"trace_bin" ~initialize:false
+      ~sensitivity:[ Clock.posedge clock ]
+      (fun () ->
+        Testbench.write_sample trace_writer ~time:(Kernel.now kernel)
+          (Memctrl_rtl.env model));
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
     let negedge = Clock.negedge clock in
@@ -78,8 +85,8 @@ let run_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2) ?f
     faults_triggered = Testbench.faults_triggered_of faults;
   }
 
-let run_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2) ?fault_plan
-    ?guard ops =
+let run_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?trace_writer
+    ?(gap_cycles = 2) ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Memctrl_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_ca_init" in
@@ -97,6 +104,11 @@ let run_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2)
       (Checker.Attach.transaction_unabstracted initiator)
       sampler properties ~lookup
   in
+  Testbench.arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      Testbench.write_transaction trace_writer transaction
+        (Memctrl_iface.env_of (Memctrl_tlm_ca.observables model)));
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
     Process.wait_ns kernel period;
@@ -142,8 +154,8 @@ let run_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2)
     faults_triggered = Testbench.faults_triggered_of faults;
   }
 
-let run_tlm_at ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2)
-    ?write_latency_ns ?read_latency_ns ?fault_plan ?guard ops =
+let run_tlm_at ?(properties = []) ?engine ?sim_engine ?metrics ?trace_writer
+    ?(gap_cycles = 2) ?write_latency_ns ?read_latency_ns ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Memctrl_tlm_at.create ?write_latency_ns ?read_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"memctrl_at_init" in
@@ -161,6 +173,11 @@ let run_tlm_at ?(properties = []) ?engine ?sim_engine ?metrics ?(gap_cycles = 2)
       (Checker.Attach.transaction initiator)
       sampler properties ~lookup
   in
+  Testbench.arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      Testbench.write_transaction trace_writer transaction
+        (Memctrl_iface.env_of (Memctrl_tlm_at.observables model)));
   let outputs = ref [] in
   Process.spawn kernel ~name:"driver" (fun () ->
     Process.wait_ns kernel period;

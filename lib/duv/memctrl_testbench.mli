@@ -11,6 +11,7 @@ val run_rtl :
   ?engine:Monitor.engine ->
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
   ?guard:Tabv_sim.Kernel.guard ->
@@ -24,6 +25,7 @@ val run_tlm_ca :
   ?engine:Monitor.engine ->
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
   ?guard:Tabv_sim.Kernel.guard ->
@@ -37,6 +39,7 @@ val run_tlm_at :
   ?engine:Monitor.engine ->
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?write_latency_ns:int ->
   ?read_latency_ns:int ->

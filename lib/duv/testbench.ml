@@ -92,6 +92,48 @@ let metrics_snapshot kernel =
   let m = Kernel.metrics kernel in
   if Tabv_obs.Metrics.enabled m then Tabv_obs.Metrics.snapshot m else []
 
+(* --- trace-writer plumbing ------------------------------------------ *)
+
+(* The streaming binary writer taps the exact hooks that feed the
+   in-memory Trace_rec recorder (posedge process at RTL, transaction
+   completion at TLM), so a stored trace carries the same evaluation
+   points a live checker pool saw.  Disarmed (None) costs nothing; an
+   armed kernel metrics registry additionally publishes the writer's
+   volume counters as pull probes. *)
+let arm_writer kernel = function
+  | None -> ()
+  | Some writer ->
+    let metrics = Kernel.metrics kernel in
+    if Tabv_obs.Metrics.enabled metrics then begin
+      Tabv_obs.Metrics.probe metrics ~combine:`Sum "trace.samples" (fun () ->
+          Tabv_trace.Writer.samples writer);
+      Tabv_obs.Metrics.probe metrics ~combine:`Sum "trace.spans" (fun () ->
+          Tabv_trace.Writer.spans writer);
+      Tabv_obs.Metrics.probe metrics ~combine:`Sum "trace.bytes" (fun () ->
+          Tabv_trace.Writer.bytes_written writer)
+    end
+
+let write_sample writer ~time env =
+  match writer with
+  | None -> ()
+  | Some w -> Tabv_trace.Writer.sample w ~time env
+
+let span_label transaction =
+  match transaction.Tlm.payload.Tlm.command with
+  | Tlm.Read -> "read"
+  | Tlm.Write -> "write"
+
+(* Sample at the transaction end (last-wins within an instant, exactly
+   like the Trace_rec hook) and record the begin/end span. *)
+let write_transaction writer transaction env =
+  match writer with
+  | None -> ()
+  | Some w ->
+    Tabv_trace.Writer.sample w ~time:transaction.Tlm.end_time env;
+    Tabv_trace.Writer.span w ~label:(span_label transaction)
+      ~start_time:transaction.Tlm.start_time
+      ~end_time:transaction.Tlm.end_time
+
 (* --- fault-plan plumbing -------------------------------------------- *)
 
 (* Compile an optional fault plan onto the design through its binding.
@@ -112,7 +154,7 @@ let period = 10
 (* --- DES56 / RTL --- *)
 
 let run_des56_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(record_trace = false)
-    ?(gap_cycles = 2) ?fault ?fault_plan ?guard ops =
+    ?trace_writer ?(gap_cycles = 2) ?fault ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Des56_rtl.create ?fault kernel clock in
@@ -131,6 +173,12 @@ let run_des56_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(record_trace
     Process.method_process kernel ~name:"trace" ~initialize:false
       ~sensitivity:[ Clock.posedge clock ]
       (fun () -> Trace_rec.sample recorder ~time:(Kernel.now kernel) (Des56_rtl.env model));
+  arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Process.method_process kernel ~name:"trace_bin" ~initialize:false
+      ~sensitivity:[ Clock.posedge clock ]
+      (fun () ->
+        write_sample trace_writer ~time:(Kernel.now kernel) (Des56_rtl.env model));
   let outputs = ref [] in
   Process.method_process kernel ~name:"collect" ~initialize:false
     ~sensitivity:[ Clock.posedge clock ]
@@ -175,7 +223,7 @@ let run_des56_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(record_trace
 (* --- DES56 / TLM-CA --- *)
 
 let run_des56_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?(record_trace = false)
-    ?(gap_cycles = 2) ?fault_plan ?guard ops =
+    ?trace_writer ?(gap_cycles = 2) ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Des56_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_ca_init" in
@@ -190,6 +238,11 @@ let run_des56_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?(record_tr
   if record_trace then
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Des56_iface.env_of (Des56_tlm_ca.observables model)));
+  arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      write_transaction trace_writer transaction
         (Des56_iface.env_of (Des56_tlm_ca.observables model)));
   let sampler = pool_sampler kernel in
   let checkers =
@@ -248,8 +301,8 @@ let run_des56_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics ?(record_tr
 (* --- DES56 / TLM-AT --- *)
 
 let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?sim_engine ?metrics
-    ?(record_trace = false) ?(gap_cycles = 2) ?model_latency_ns ?fault_plan ?guard
-    ops =
+    ?(record_trace = false) ?trace_writer ?(gap_cycles = 2) ?model_latency_ns
+    ?fault_plan ?guard ops =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Des56_tlm_at.create ?latency_ns:model_latency_ns kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"des56_at_init" in
@@ -264,6 +317,11 @@ let run_des56_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?sim_eng
   if record_trace then
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Des56_iface.env_of (Des56_tlm_at.observables model)));
+  arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      write_transaction trace_writer transaction
         (Des56_iface.env_of (Des56_tlm_at.observables model)));
   (* Strict wrappers sample in the deferred-delta phase of transaction
      instants; grid wrappers sample on the clock grid.  The two pools
@@ -386,7 +444,7 @@ let pack_ycbcr { Colorconv.y; cb; cr } =
   Int64.of_int (y lor (cb lsl 8) lor (cr lsl 16))
 
 let run_colorconv_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(record_trace = false)
-    ?(gap_cycles = 2) ?fault_plan ?guard bursts =
+    ?trace_writer ?(gap_cycles = 2) ?fault_plan ?guard bursts =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let clock = Clock.create kernel ~name:"clk" ~period () in
   let model = Colorconv_rtl.create kernel clock in
@@ -405,6 +463,13 @@ let run_colorconv_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(record_t
       ~sensitivity:[ Clock.posedge clock ]
       (fun () ->
         Trace_rec.sample recorder ~time:(Kernel.now kernel) (Colorconv_rtl.env model));
+  arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Process.method_process kernel ~name:"trace_bin" ~initialize:false
+      ~sensitivity:[ Clock.posedge clock ]
+      (fun () ->
+        write_sample trace_writer ~time:(Kernel.now kernel)
+          (Colorconv_rtl.env model));
   let outputs = ref [] in
   Process.method_process kernel ~name:"collect" ~initialize:false
     ~sensitivity:[ Clock.posedge clock ]
@@ -456,7 +521,8 @@ let run_colorconv_rtl ?(properties = []) ?engine ?sim_engine ?metrics ?(record_t
   }
 
 let run_colorconv_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics
-    ?(record_trace = false) ?(gap_cycles = 2) ?fault_plan ?guard bursts =
+    ?(record_trace = false) ?trace_writer ?(gap_cycles = 2) ?fault_plan ?guard
+    bursts =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Colorconv_tlm_ca.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"colorconv_ca_init" in
@@ -472,6 +538,11 @@ let run_colorconv_tlm_ca ?(properties = []) ?engine ?sim_engine ?metrics
   if record_trace then
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Colorconv_iface.env_of (Colorconv_tlm_ca.observables model)));
+  arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      write_transaction trace_writer transaction
         (Colorconv_iface.env_of (Colorconv_tlm_ca.observables model)));
   let sampler = pool_sampler kernel in
   let checkers =
@@ -552,7 +623,8 @@ let cc_priority = function
   | Cc_write _ -> 3
 
 let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?sim_engine
-    ?metrics ?(record_trace = false) ?(gap_cycles = 2) ?fault_plan ?guard bursts =
+    ?metrics ?(record_trace = false) ?trace_writer ?(gap_cycles = 2) ?fault_plan
+    ?guard bursts =
   let kernel = Kernel.create ?metrics ?engine:sim_engine () in
   let model = Colorconv_tlm_at.create kernel in
   let initiator = Tlm.Initiator.create kernel ~name:"colorconv_at_init" in
@@ -568,6 +640,11 @@ let run_colorconv_tlm_at ?(properties = []) ?(grid_properties = []) ?engine ?sim
   if record_trace then
     Tlm.Initiator.on_transaction initiator (fun transaction ->
       Trace_rec.sample recorder ~time:transaction.Tlm.end_time
+        (Colorconv_iface.env_of (Colorconv_tlm_at.observables model)));
+  arm_writer kernel trace_writer;
+  if trace_writer <> None then
+    Tlm.Initiator.on_transaction initiator (fun transaction ->
+      write_transaction trace_writer transaction
         (Colorconv_iface.env_of (Colorconv_tlm_at.observables model)));
   let sampler = pool_sampler kernel in
   let grid_sampler = pool_sampler kernel in

@@ -104,6 +104,34 @@ val attach_pool :
 val metrics_snapshot :
   Tabv_sim.Kernel.t -> (string * Tabv_obs.Metrics.value) list
 
+(** {1 Trace-writer plumbing}
+
+    Every testbench accepts an optional streaming binary
+    {!Tabv_trace.Writer.t} ([?trace_writer]) fed from the same hooks
+    as the in-memory recorder; disarmed runs pay nothing.  These
+    helpers are shared with the sibling testbenches. *)
+
+(** Publish a writer's volume counters ([trace.samples]/[trace.spans]/
+    [trace.bytes]) as pull probes when the kernel's registry is armed;
+    no-op for [None] or a disabled registry. *)
+val arm_writer : Tabv_sim.Kernel.t -> Tabv_trace.Writer.t option -> unit
+
+(** Feed one evaluation point to an optional writer. *)
+val write_sample :
+  Tabv_trace.Writer.t option ->
+  time:int ->
+  (string * Expr.value) list ->
+  unit
+
+(** Feed one completed transaction to an optional writer: a sample at
+    the transaction end (last-wins within an instant) plus a
+    begin/end span labelled by the TLM command. *)
+val write_transaction :
+  Tabv_trace.Writer.t option ->
+  Tabv_sim.Tlm.transaction ->
+  (string * Expr.value) list ->
+  unit
+
 (** Compile an optional fault plan onto a design binding; [None] or an
     empty plan installs nothing (zero overhead on fault-free runs). *)
 val install_plan :
@@ -128,6 +156,7 @@ val run_des56_rtl :
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?fault:Des56_rtl.fault ->
   ?fault_plan:Tabv_fault.Fault.plan ->
@@ -143,6 +172,7 @@ val run_des56_tlm_ca :
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
   ?guard:Tabv_sim.Kernel.guard ->
@@ -161,6 +191,7 @@ val run_des56_tlm_at :
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?model_latency_ns:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
@@ -193,6 +224,7 @@ val run_colorconv_rtl :
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
   ?guard:Tabv_sim.Kernel.guard ->
@@ -205,6 +237,7 @@ val run_colorconv_tlm_ca :
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
   ?guard:Tabv_sim.Kernel.guard ->
@@ -218,6 +251,7 @@ val run_colorconv_tlm_at :
   ?sim_engine:Tabv_sim.Kernel.engine ->
   ?metrics:Tabv_obs.Metrics.t ->
   ?record_trace:bool ->
+  ?trace_writer:Tabv_trace.Writer.t ->
   ?gap_cycles:int ->
   ?fault_plan:Tabv_fault.Fault.plan ->
   ?guard:Tabv_sim.Kernel.guard ->

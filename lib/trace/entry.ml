@@ -1,0 +1,29 @@
+open Tabv_psl
+
+type t =
+  | Sample of { time : int; env : (string * Expr.value) list }
+  | Span of { label : string; start_time : int; end_time : int }
+
+let of_trace trace =
+  Seq.map
+    (fun e -> Sample { time = e.Trace.time; env = e.Trace.env })
+    (Seq.init (Trace.length trace) (Trace.get trace))
+
+let to_trace entries =
+  Trace.of_list
+    (Seq.fold_left
+       (fun acc entry ->
+         match entry with
+         | Sample { time; env } -> { Trace.time; env } :: acc
+         | Span _ -> acc)
+       [] entries
+    |> List.rev)
+
+let pp ppf = function
+  | Sample { time; env } ->
+    Format.fprintf ppf "@[<h>#%d %a@]" time
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (n, v) ->
+           Format.fprintf ppf "%s=%a" n Expr.pp_value v))
+      env
+  | Span { label; start_time; end_time } ->
+    Format.fprintf ppf "span %s [%d,%d]" label start_time end_time

@@ -1,0 +1,23 @@
+open Tabv_psl
+
+(** One stored evaluation point.
+
+    A trace file carries two independent streams: atom-valuation
+    samples (one per evaluation point, strictly increasing times) and
+    transaction spans (begin/end timestamps of completed TLM
+    transactions).  Relative order is guaranteed {e within} each
+    stream only; offline checkers must not rely on sample-vs-span
+    interleaving. *)
+type t =
+  | Sample of { time : int; env : (string * Expr.value) list }
+  | Span of { label : string; start_time : int; end_time : int }
+
+(** The samples of an in-memory evaluation trace, in order (no
+    spans — {!Tabv_psl.Trace.t} does not carry them). *)
+val of_trace : Trace.t -> t Seq.t
+
+(** Collect the sample entries back into an in-memory trace.
+    @raise Trace.Non_monotonic like {!Tabv_psl.Trace.of_list}. *)
+val to_trace : t Seq.t -> Trace.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Byte-level layout constants shared by {!Writer} and {!Reader}.
+
+    File = magic (8 bytes, version in the last byte) · meta · records.
+    Records are tagged; samples are delta-timed and change-masked (a
+    bitmask of the dictionary entries whose value changed, then the
+    changed bool values bit-packed and the changed ints as zigzag
+    varints).  The file is only complete once the [tag_end] record —
+    carrying the total sample/span counts — has been written; a reader
+    that hits EOF first reports truncation. *)
+
+val magic : string
+(** ["tabvtrc"] + the format version byte; 8 bytes. *)
+
+val version : int
+
+val tag_dict : char
+val tag_sample : char
+val tag_label : char
+val tag_span : char
+val tag_end : char
+
+val kind_bool : char
+val kind_int : char
+
+(** Refuse pathological length fields early instead of allocating. *)
+val max_string : int
+
+val max_dictionary : int

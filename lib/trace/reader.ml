@@ -1,0 +1,245 @@
+open Tabv_psl
+
+exception Format_error of { path : string; message : string }
+
+type dict_entry = { name : string; kind : char }
+
+type t = {
+  ic : in_channel;
+  path : string;
+  meta : Meta.t;
+  mutable dict : dict_entry array;
+  mutable dict_read : bool;
+  mutable values : Expr.value array;  (* current valuation *)
+  mutable env_cache : (string * Expr.value) list;  (* last emitted env *)
+  mutable have_prev : bool;
+  mutable prev_time : int;
+  mutable labels : string array;
+  mutable prev_span_start : int;
+  mutable n_samples : int;
+  mutable n_spans : int;
+  mutable finished : bool;
+  mutable closed : bool;
+}
+
+let corrupt t message = raise (Format_error { path = t.path; message })
+
+(* All reads funnel through [byte]; a clean EOF is only legal where
+   [next] checks for it explicitly, so [byte] maps EOF to truncation. *)
+let byte t () =
+  match input_char t.ic with
+  | c -> c
+  | exception End_of_file -> corrupt t "truncated (unexpected end of file)"
+
+let read_uint t =
+  match Varint.read_uint (byte t) with
+  | v -> v
+  | exception Varint.Corrupt msg -> corrupt t msg
+
+let read_zigzag t =
+  match Varint.read_zigzag (byte t) with
+  | v -> v
+  | exception Varint.Corrupt msg -> corrupt t msg
+
+let read_string t =
+  let len = read_uint t in
+  if len < 0 || len > Layout.max_string then corrupt t "oversized string field";
+  let b = Bytes.create len in
+  match really_input t.ic b 0 len with
+  | () -> Bytes.unsafe_to_string b
+  | exception End_of_file -> corrupt t "truncated (unexpected end of file)"
+
+let open_file path =
+  let ic = open_in_bin path in
+  let t =
+    {
+      ic;
+      path;
+      meta = { Meta.model = ""; seed = 0; ops = 0; engine = "" };
+      dict = [||];
+      dict_read = false;
+      values = [||];
+      env_cache = [];
+      have_prev = false;
+      prev_time = 0;
+      labels = [||];
+      prev_span_start = 0;
+      n_samples = 0;
+      n_spans = 0;
+      finished = false;
+      closed = false;
+    }
+  in
+  try
+    let magic = Bytes.create (String.length Layout.magic) in
+    (match really_input ic magic 0 (Bytes.length magic) with
+     | () -> ()
+     | exception End_of_file -> corrupt t "not a tabv trace (file too short)");
+    let magic = Bytes.unsafe_to_string magic in
+    let prefix = String.sub Layout.magic 0 (String.length Layout.magic - 1) in
+    if not (String.length magic > 0 && String.sub magic 0 (String.length prefix) = prefix)
+    then corrupt t "not a tabv trace (bad magic)";
+    let version = Char.code magic.[String.length magic - 1] in
+    if version <> Layout.version then
+      corrupt t
+        (Printf.sprintf "unsupported trace format version %d (this tabv reads %d)"
+           version Layout.version);
+    let model = read_string t in
+    let seed = read_zigzag t in
+    let ops = read_uint t in
+    let engine = read_string t in
+    { t with meta = { Meta.model; seed; ops; engine } }
+  with e ->
+    close_in_noerr ic;
+    raise e
+
+let meta t = t.meta
+let signals t = Array.to_list (Array.map (fun e -> e.name) t.dict)
+let samples t = t.n_samples
+let spans t = t.n_spans
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_in_noerr t.ic
+  end
+
+let read_dict t =
+  if t.dict_read then corrupt t "duplicate signal dictionary";
+  let n = read_uint t in
+  if n < 0 || n > Layout.max_dictionary then
+    corrupt t "oversized signal dictionary";
+  t.dict <-
+    Array.init n (fun _ ->
+        let name = read_string t in
+        let kind = byte t () in
+        if kind <> Layout.kind_bool && kind <> Layout.kind_int then
+          corrupt t "unknown signal kind";
+        { name; kind });
+  t.dict_read <- true;
+  t.values <- Array.make n (Expr.VBool false)
+
+let read_bits t count =
+  let bytes = (count + 7) / 8 in
+  let packed = Bytes.create bytes in
+  (match really_input t.ic packed 0 bytes with
+   | () -> ()
+   | exception End_of_file -> corrupt t "truncated (unexpected end of file)");
+  fun i -> Char.code (Bytes.get packed (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let read_sample t =
+  if not t.dict_read then corrupt t "sample before signal dictionary";
+  let dt = read_uint t in
+  let time =
+    if t.have_prev then begin
+      if dt <= 0 then corrupt t "non-increasing sample time";
+      t.prev_time + dt
+    end
+    else dt
+  in
+  let first = not t.have_prev in
+  let n = Array.length t.dict in
+  let changed = read_bits t n in
+  let changed_bools = ref [] in
+  let changed_ints = ref 0 in
+  for i = n - 1 downto 0 do
+    if changed i then
+      if t.dict.(i).kind = Layout.kind_bool then
+        changed_bools := i :: !changed_bools
+      else incr changed_ints
+  done;
+  let changed_bools = Array.of_list !changed_bools in
+  let bool_bits = read_bits t (Array.length changed_bools) in
+  Array.iteri
+    (fun j i -> t.values.(i) <- Expr.VBool (bool_bits j))
+    changed_bools;
+  for i = 0 to n - 1 do
+    if changed i && t.dict.(i).kind = Layout.kind_int then
+      t.values.(i) <- Expr.VInt (read_zigzag t)
+  done;
+  if (not t.have_prev) && n > 0 then
+    (* The first sample must carry every signal. *)
+    for i = 0 to n - 1 do
+      if not (changed i) then corrupt t "first sample is missing signals"
+    done;
+  t.have_prev <- true;
+  t.prev_time <- time;
+  t.n_samples <- t.n_samples + 1;
+  (* A change-mask-0 sample re-emits the previous env, physically —
+     no allocation, and downstream consumers (the offline stutter
+     fast path) can detect stuttering with one pointer compare. *)
+  let env =
+    if (not first) && Array.length changed_bools = 0 && !changed_ints = 0 then
+      t.env_cache
+    else List.init n (fun i -> (t.dict.(i).name, t.values.(i)))
+  in
+  t.env_cache <- env;
+  Entry.Sample { time; env }
+
+let read_span t =
+  let id = read_uint t in
+  if id < 0 || id >= Array.length t.labels then corrupt t "unknown span label";
+  let start_time = t.prev_span_start + read_zigzag t in
+  let duration = read_uint t in
+  if duration < 0 then corrupt t "negative span duration";
+  t.prev_span_start <- start_time;
+  t.n_spans <- t.n_spans + 1;
+  Entry.Span { label = t.labels.(id); start_time; end_time = start_time + duration }
+
+let read_end t =
+  let want_samples = read_uint t in
+  let want_spans = read_uint t in
+  if want_samples <> t.n_samples || want_spans <> t.n_spans then
+    corrupt t
+      (Printf.sprintf
+         "end record disagrees with contents (%d/%d samples, %d/%d spans)"
+         t.n_samples want_samples t.n_spans want_spans);
+  (match input_char t.ic with
+   | _ -> corrupt t "trailing bytes after end record"
+   | exception End_of_file -> ());
+  t.finished <- true
+
+let rec next t =
+  if t.finished || t.closed then None
+  else
+    match input_char t.ic with
+    | exception End_of_file ->
+      corrupt t "truncated (no end record)"
+    | tag when tag = Layout.tag_dict ->
+      read_dict t;
+      next t
+    | tag when tag = Layout.tag_sample -> Some (read_sample t)
+    | tag when tag = Layout.tag_label ->
+      t.labels <- Array.append t.labels [| read_string t |];
+      next t
+    | tag when tag = Layout.tag_span -> Some (read_span t)
+    | tag when tag = Layout.tag_end ->
+      read_end t;
+      None
+    | tag -> corrupt t (Printf.sprintf "unknown record tag 0x%02x" (Char.code tag))
+
+let to_seq t =
+  let rec seq () =
+    match next t with
+    | None -> Seq.Nil
+    | Some entry -> Seq.Cons (entry, seq)
+  in
+  seq
+
+let with_file path f =
+  let t = open_file path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let read_trace path =
+  with_file path (fun t ->
+      let entries = ref [] in
+      let rec drain () =
+        match next t with
+        | None -> ()
+        | Some (Entry.Sample { time; env }) ->
+          entries := { Trace.time; env } :: !entries;
+          drain ()
+        | Some (Entry.Span _) -> drain ()
+      in
+      drain ();
+      (t.meta, Trace.of_list (List.rev !entries)))

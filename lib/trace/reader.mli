@@ -1,0 +1,49 @@
+open Tabv_psl
+
+(** Streaming binary trace reader.
+
+    Memory is bounded by the signal dictionary (the current valuation
+    is kept for change-mask decoding), not by the trace length — a
+    multi-gigabyte campaign trace replays in O(signal count) live
+    words.  Every structural problem — wrong magic, unsupported
+    version, truncation (EOF before the end record), counts that do
+    not match the end record, trailing bytes — raises {!Format_error}
+    with the offending path; a damaged file is refused, never
+    silently misread. *)
+
+type t
+
+exception Format_error of { path : string; message : string }
+
+(** Open the file and decode the header.
+    @raise Format_error on a non-trace file or unsupported version.
+    @raise Sys_error like [open_in_bin]. *)
+val open_file : string -> t
+
+val meta : t -> Meta.t
+
+(** Signal dictionary, in sample order — [[]] until the first sample
+    record has been read (or for an empty trace). *)
+val signals : t -> string list
+
+(** Next entry, [None] once the end record has been consumed.
+    @raise Format_error on corruption or truncation. *)
+val next : t -> Entry.t option
+
+(** Samples/spans decoded so far. *)
+val samples : t -> int
+
+val spans : t -> int
+val close : t -> unit
+
+(** One-shot ephemeral sequence of the remaining entries (consuming
+    [t]; do not reuse after forcing). *)
+val to_seq : t -> Entry.t Seq.t
+
+(** [with_file path f] opens, runs [f], closes (also on exception). *)
+val with_file : string -> (t -> 'a) -> 'a
+
+(** Convenience: stream the whole file once, returning the meta and
+    the materialized sample trace (spans discarded).  For tooling and
+    tests — re-checking should stay on the streaming path. *)
+val read_trace : string -> Meta.t * Trace.t

@@ -1,0 +1,28 @@
+exception Corrupt of string
+
+let rec write_uint buf v =
+  let low = v land 0x7f in
+  (* [lsr] is a logical shift, so a negative int drains to 0 after at
+     most 9 rounds instead of looping on sign bits. *)
+  let rest = v lsr 7 in
+  if rest = 0 then Buffer.add_char buf (Char.chr low)
+  else begin
+    Buffer.add_char buf (Char.chr (low lor 0x80));
+    write_uint buf rest
+  end
+
+let write_zigzag buf v =
+  write_uint buf ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
+
+let read_uint next =
+  let rec go shift acc =
+    if shift >= Sys.int_size then raise (Corrupt "varint wider than 63 bits");
+    let byte = Char.code (next ()) in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_zigzag next =
+  let u = read_uint next in
+  (u lsr 1) lxor (- (u land 1))

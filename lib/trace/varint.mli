@@ -1,0 +1,20 @@
+(** LEB128-style variable-length integer codec over the full 63-bit
+    native [int] range.
+
+    [write_uint]/[read_uint] treat the int as its 63-bit pattern (so a
+    negative int round-trips, at up to 9 bytes); [write_zigzag]/
+    [read_zigzag] map small-magnitude signed values to short encodings
+    first.  Readers raise {!Corrupt} on overlong or truncated input. *)
+
+exception Corrupt of string
+
+val write_uint : Buffer.t -> int -> unit
+val write_zigzag : Buffer.t -> int -> unit
+
+(** [read_uint next] pulls bytes from [next] (which raises
+    [End_of_file] when exhausted).
+    @raise Corrupt on an encoding wider than 63 bits.
+    @raise End_of_file like [next]. *)
+val read_uint : (unit -> char) -> int
+
+val read_zigzag : (unit -> char) -> int

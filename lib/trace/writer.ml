@@ -1,0 +1,231 @@
+open Tabv_psl
+
+type dict_entry = { name : string; kind : char }
+
+type t = {
+  oc : out_channel;
+  buf : Buffer.t;  (* staging area for one record *)
+  mutable dict : dict_entry array;  (* [||] until the first sample *)
+  mutable dict_written : bool;
+  mutable prev_values : Expr.value array;  (* last committed sample *)
+  mutable have_prev : bool;
+  mutable prev_time : int;
+  mutable pending : (int * Expr.value array) option;
+  labels : (string, int) Hashtbl.t;
+  mutable next_label : int;
+  mutable prev_span_start : int;
+  mutable n_samples : int;
+  mutable n_spans : int;
+  mutable bytes : int;
+  mutable closed : bool;
+}
+
+let flush_buf t =
+  Buffer.output_buffer t.oc t.buf;
+  t.bytes <- t.bytes + Buffer.length t.buf;
+  Buffer.clear t.buf
+
+let write_string buf s =
+  Varint.write_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let create ~path meta =
+  let oc = open_out_bin path in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf Layout.magic;
+  write_string buf meta.Meta.model;
+  Varint.write_zigzag buf meta.Meta.seed;
+  Varint.write_uint buf meta.Meta.ops;
+  write_string buf meta.Meta.engine;
+  let t =
+    {
+      oc;
+      buf;
+      dict = [||];
+      dict_written = false;
+      prev_values = [||];
+      have_prev = false;
+      prev_time = 0;
+      pending = None;
+      labels = Hashtbl.create 8;
+      next_label = 0;
+      prev_span_start = 0;
+      n_samples = 0;
+      n_spans = 0;
+      bytes = 0;
+      closed = false;
+    }
+  in
+  flush_buf t;
+  t
+
+let check_open t = if t.closed then invalid_arg "Trace writer: already closed"
+
+let kind_of_value = function
+  | Expr.VBool _ -> Layout.kind_bool
+  | Expr.VInt _ -> Layout.kind_int
+
+let write_dict t env =
+  t.dict <-
+    Array.of_list
+      (List.map (fun (name, v) -> { name; kind = kind_of_value v }) env);
+  if Array.length t.dict > Layout.max_dictionary then
+    invalid_arg "Trace writer: too many signals";
+  Buffer.add_char t.buf Layout.tag_dict;
+  Varint.write_uint t.buf (Array.length t.dict);
+  Array.iter
+    (fun e ->
+      write_string t.buf e.name;
+      Buffer.add_char t.buf e.kind)
+    t.dict;
+  flush_buf t
+
+(* Turn an environment into a dictionary-aligned value array, checking
+   that the signal set, order and kinds are stable across the run. *)
+let values_of_env t env =
+  let n = Array.length t.dict in
+  let values = Array.make n (Expr.VBool false) in
+  let i = ref 0 in
+  List.iter
+    (fun (name, v) ->
+      if !i >= n then invalid_arg "Trace writer: sample has extra signals";
+      let e = t.dict.(!i) in
+      if not (String.equal e.name name) then
+        invalid_arg
+          (Printf.sprintf "Trace writer: signal %d is %S, dictionary says %S"
+             !i name e.name);
+      if kind_of_value v <> e.kind then
+        invalid_arg (Printf.sprintf "Trace writer: signal %S changed kind" name);
+      values.(!i) <- v;
+      incr i)
+    env;
+  if !i <> n then invalid_arg "Trace writer: sample is missing signals";
+  values
+
+(* Encode the pending sample: delta time, change mask, then the
+   changed bool values bit-packed and the changed ints as zigzag
+   varints, all in dictionary order. *)
+let commit t time values =
+  let n = Array.length t.dict in
+  Buffer.add_char t.buf Layout.tag_sample;
+  if t.have_prev then Varint.write_uint t.buf (time - t.prev_time)
+  else begin
+    if time < 0 then invalid_arg "Trace writer: negative time";
+    Varint.write_uint t.buf time
+  end;
+  let changed i =
+    (not t.have_prev) || values.(i) <> t.prev_values.(i)
+  in
+  let add_bits test count =
+    let byte = ref 0 and fill = ref 0 in
+    for i = 0 to count - 1 do
+      if test i then byte := !byte lor (1 lsl !fill);
+      incr fill;
+      if !fill = 8 then begin
+        Buffer.add_char t.buf (Char.chr !byte);
+        byte := 0;
+        fill := 0
+      end
+    done;
+    if !fill > 0 then Buffer.add_char t.buf (Char.chr !byte)
+  in
+  add_bits changed n;
+  (* Bool values of the changed entries, bit-packed in dict order. *)
+  let changed_bools = ref [] in
+  for i = n - 1 downto 0 do
+    if changed i && t.dict.(i).kind = Layout.kind_bool then
+      changed_bools := i :: !changed_bools
+  done;
+  let changed_bools = Array.of_list !changed_bools in
+  add_bits
+    (fun j ->
+      match values.(changed_bools.(j)) with
+      | Expr.VBool b -> b
+      | Expr.VInt _ -> assert false)
+    (Array.length changed_bools);
+  for i = 0 to n - 1 do
+    if changed i && t.dict.(i).kind = Layout.kind_int then
+      match values.(i) with
+      | Expr.VInt v -> Varint.write_zigzag t.buf v
+      | Expr.VBool _ -> assert false
+  done;
+  flush_buf t;
+  t.prev_values <- values;
+  t.have_prev <- true;
+  t.prev_time <- time
+
+let flush_pending t =
+  match t.pending with
+  | None -> ()
+  | Some (time, values) ->
+    t.pending <- None;
+    commit t time values
+
+let sample t ~time env =
+  check_open t;
+  if not t.dict_written then begin
+    write_dict t env;
+    t.dict_written <- true
+  end;
+  let values = values_of_env t env in
+  (match t.pending with
+   | Some (pending_time, _) when time = pending_time ->
+     (* Last-wins within an instant, as in Trace_rec. *)
+     t.pending <- Some (time, values)
+   | Some (pending_time, _) when time < pending_time ->
+     invalid_arg
+       (Printf.sprintf "Trace writer: time went backwards (%d after %d)" time
+          pending_time)
+   | Some _ ->
+     flush_pending t;
+     t.pending <- Some (time, values);
+     t.n_samples <- t.n_samples + 1
+   | None ->
+     if t.have_prev && time <= t.prev_time then
+       invalid_arg
+         (Printf.sprintf "Trace writer: time went backwards (%d after %d)" time
+            t.prev_time);
+     t.pending <- Some (time, values);
+     t.n_samples <- t.n_samples + 1)
+
+let span t ~label ~start_time ~end_time =
+  check_open t;
+  if end_time < start_time then
+    invalid_arg "Trace writer: span ends before it starts";
+  let id =
+    match Hashtbl.find_opt t.labels label with
+    | Some id -> id
+    | None ->
+      let id = t.next_label in
+      t.next_label <- id + 1;
+      Hashtbl.add t.labels label id;
+      Buffer.add_char t.buf Layout.tag_label;
+      write_string t.buf label;
+      id
+  in
+  Buffer.add_char t.buf Layout.tag_span;
+  Varint.write_uint t.buf id;
+  Varint.write_zigzag t.buf (start_time - t.prev_span_start);
+  Varint.write_uint t.buf (end_time - start_time);
+  t.prev_span_start <- start_time;
+  t.n_spans <- t.n_spans + 1;
+  flush_buf t
+
+let samples t = t.n_samples
+let spans t = t.n_spans
+let bytes_written t = t.bytes
+
+let close t =
+  if not t.closed then begin
+    flush_pending t;
+    Buffer.add_char t.buf Layout.tag_end;
+    Varint.write_uint t.buf t.n_samples;
+    Varint.write_uint t.buf t.n_spans;
+    flush_buf t;
+    t.closed <- true;
+    close_out t.oc
+  end
+
+let with_file ~path meta f =
+  let t = create ~path meta in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,50 @@
+open Tabv_psl
+
+(** Streaming binary trace writer.
+
+    Create one per recorded run, feed it {!sample}/{!span} calls from
+    the testbench hooks (the same hooks that feed the in-memory
+    {!Tabv_sim.Trace_rec} recorder), and {!close} it when the
+    simulation ends.  Memory is O(signal count): only the previous
+    valuation (for change masks) and at most one pending sample are
+    retained.
+
+    Same-instant samples overwrite each other (last-wins), matching
+    {!Tabv_sim.Trace_rec.sample}: a TLM run may complete several
+    transactions in one instant and checkers observe the final
+    environment of the instant.  The pending-sample buffer is what
+    makes this streamable — a sample is only encoded once a strictly
+    later one (or {!close}) proves it final. *)
+type t
+
+(** [create ~path meta] opens [path] for writing and emits the header.
+    @raise Sys_error like [open_out_bin]. *)
+val create : path:string -> Meta.t -> t
+
+(** Record the full environment at [time].  The first sample fixes the
+    signal dictionary (names, order, bool/int kinds); every later
+    sample must present the same signals in the same order.
+    @raise Invalid_argument on time going backwards, a dictionary
+    mismatch, or a value changing kind. *)
+val sample : t -> time:int -> (string * Expr.value) list -> unit
+
+(** Record one completed transaction span.
+    @raise Invalid_argument if [end_time < start_time]. *)
+val span : t -> label:string -> start_time:int -> end_time:int -> unit
+
+(** Samples committed so far (the pending one counts). *)
+val samples : t -> int
+
+val spans : t -> int
+
+(** Bytes written so far (header included; pending sample excluded). *)
+val bytes_written : t -> int
+
+(** Flush the pending sample, write the end record (sample/span
+    totals — the reader's truncation check) and close the file.
+    Idempotent. *)
+val close : t -> unit
+
+(** [with_file ~path meta f] = create, run [f], close (also on
+    exception). *)
+val with_file : path:string -> Meta.t -> (t -> 'a) -> 'a

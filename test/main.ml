@@ -43,4 +43,5 @@ let () =
       Test_multiclock.suite;
       Test_obs.suite;
       Test_engine.suite;
-      Test_campaign.suite ]
+      Test_campaign.suite;
+      Test_trace.suite ]

@@ -1,0 +1,401 @@
+open Tabv_psl
+open Tabv_trace
+
+(* The binary trace format: encode/decode round trips, damaged-file
+   refusal, the writer's same-instant last-wins buffer, the offline
+   checker runner (including its equivalence with the deprecated
+   [Replay.run] shim), parallel re-checking, and the streaming reader's
+   bounded memory. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let meta =
+  { Meta.model = "test-model"; seed = 7; ops = 3; engine = "classic" }
+
+let temp_trace () = Filename.temp_file "tabv_test" ".trace"
+
+let with_temp f =
+  let path = temp_trace () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* --- generators for the round-trip property ----------------------- *)
+
+(* A random recording: a dictionary (names + kinds), strictly
+   increasing sample times with per-kind random values, and spans over
+   a small label set. *)
+type recording = {
+  rec_samples : (int * (string * Expr.value) list) list;
+  rec_spans : (string * int * int) list;
+}
+
+let gen_recording =
+  let open QCheck.Gen in
+  let* n_signals = int_range 1 6 in
+  let* kinds = list_repeat n_signals bool in
+  let signals =
+    List.mapi (fun i is_bool -> (Printf.sprintf "s%d" i, is_bool)) kinds
+  in
+  let gen_value is_bool =
+    if is_bool then map (fun b -> Expr.VBool b) bool
+    else
+      oneof
+        [ map (fun v -> Expr.VInt v) (int_range (-1000) 1000);
+          oneofl [ Expr.VInt max_int; Expr.VInt min_int; Expr.VInt 0 ] ]
+  in
+  let gen_env =
+    flatten_l
+      (List.map
+         (fun (name, is_bool) -> map (fun v -> (name, v)) (gen_value is_bool))
+         signals)
+  in
+  let* n_samples = int_range 0 40 in
+  let* t0 = int_range 0 50 in
+  let* deltas = list_repeat n_samples (int_range 1 100) in
+  let times =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (t, acc) d ->
+              let t = t + d in
+              (t, t :: acc))
+            (t0, []) deltas))
+  in
+  let* envs = list_repeat n_samples gen_env in
+  let* n_spans = int_range 0 10 in
+  let* spans =
+    list_repeat n_spans
+      (let* label = oneofl [ "read"; "write"; "burst" ] in
+       let* start = int_range 0 5000 in
+       let* duration = int_range 0 500 in
+       return (label, start, start + duration))
+  in
+  return { rec_samples = List.combine times envs; rec_spans = spans }
+
+let arb_recording =
+  QCheck.make
+    ~print:(fun r ->
+      Printf.sprintf "%d samples, %d spans"
+        (List.length r.rec_samples)
+        (List.length r.rec_spans))
+    gen_recording
+
+let write_recording path r =
+  Writer.with_file ~path meta (fun w ->
+      List.iter (fun (time, env) -> Writer.sample w ~time env) r.rec_samples;
+      List.iter
+        (fun (label, start_time, end_time) ->
+          Writer.span w ~label ~start_time ~end_time)
+        r.rec_spans)
+
+(* Samples and spans are independent streams (the pending-sample
+   buffer reorders them within an instant), so read them back
+   separately. *)
+let read_streams path =
+  Reader.with_file path (fun reader ->
+      Seq.fold_left
+        (fun (samples, spans) entry ->
+          match entry with
+          | Entry.Sample { time; env } -> ((time, env) :: samples, spans)
+          | Entry.Span { label; start_time; end_time } ->
+            (samples, (label, start_time, end_time) :: spans))
+        ([], []) (Reader.to_seq reader)
+      |> fun (samples, spans) -> (List.rev samples, List.rev spans))
+
+let roundtrip_cases =
+  [ Helpers.qtest ~count:300 "write/read round trip (samples and spans)"
+      arb_recording
+      (fun r ->
+        with_temp (fun path ->
+            write_recording path r;
+            let samples, spans = read_streams path in
+            samples = r.rec_samples && spans = r.rec_spans));
+    case "meta survives the header" (fun () ->
+      with_temp (fun path ->
+          write_recording path { rec_samples = []; rec_spans = [] };
+          let got = Reader.with_file path Reader.meta in
+          Alcotest.(check bool) "meta equal" true (Meta.equal meta got)));
+    case "signal dictionary is recovered in sample order" (fun () ->
+      with_temp (fun path ->
+          write_recording path
+            { rec_samples =
+                [ (5, [ ("b", Expr.VBool true); ("a", Expr.VInt 3) ]) ];
+              rec_spans = [] };
+          Reader.with_file path (fun reader ->
+              Seq.iter ignore (Reader.to_seq reader);
+              Alcotest.(check (list string))
+                "dict order" [ "b"; "a" ] (Reader.signals reader))));
+    case "same-instant samples collapse last-wins (as in Trace_rec)" (fun () ->
+      with_temp (fun path ->
+          Writer.with_file ~path meta (fun w ->
+              Writer.sample w ~time:10 [ ("x", Expr.VBool true) ];
+              Writer.sample w ~time:10 [ ("x", Expr.VBool false) ];
+              Writer.sample w ~time:20 [ ("x", Expr.VBool false) ]);
+          let samples, _ = read_streams path in
+          Alcotest.(check bool) "last write wins" true
+            (samples
+             = [ (10, [ ("x", Expr.VBool false) ]);
+                 (20, [ ("x", Expr.VBool false) ]) ])));
+    case "writer refuses time going backwards" (fun () ->
+      with_temp (fun path ->
+          let w = Writer.create ~path meta in
+          Writer.sample w ~time:10 [ ("x", Expr.VBool true) ];
+          (match Writer.sample w ~time:5 [ ("x", Expr.VBool true) ] with
+           | () -> Alcotest.fail "accepted a backwards sample"
+           | exception Invalid_argument _ -> ());
+          Writer.close w));
+    case "writer refuses an unstable signal set" (fun () ->
+      with_temp (fun path ->
+          let w = Writer.create ~path meta in
+          Writer.sample w ~time:0 [ ("x", Expr.VBool true) ];
+          (match
+             Writer.sample w ~time:10
+               [ ("x", Expr.VBool true); ("y", Expr.VInt 1) ]
+           with
+           | () -> Alcotest.fail "accepted extra signals"
+           | exception Invalid_argument _ -> ());
+          (match Writer.sample w ~time:20 [ ("x", Expr.VInt 1) ] with
+           | () -> Alcotest.fail "accepted a kind change"
+           | exception Invalid_argument _ -> ());
+          Writer.close w)) ]
+
+(* --- damaged files ------------------------------------------------ *)
+
+let read_all path =
+  Reader.with_file path (fun reader -> Seq.iter ignore (Reader.to_seq reader))
+
+let refuses path =
+  match read_all path with
+  | () -> false
+  | exception Reader.Format_error _ -> true
+
+let write_bytes path bytes =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes)
+
+let corrupt_cases =
+  [ case "refuses a non-trace file" (fun () ->
+      with_temp (fun path ->
+          write_bytes path "definitely not a trace";
+          Alcotest.(check bool) "refused" true (refuses path)));
+    case "refuses an unsupported version" (fun () ->
+      with_temp (fun path ->
+          write_recording path { rec_samples = []; rec_spans = [] };
+          let bytes = Bytes.of_string In_channel.(with_open_bin path input_all) in
+          Bytes.set bytes 7 '\x63';
+          write_bytes path (Bytes.to_string bytes);
+          Alcotest.(check bool) "refused" true (refuses path)));
+    case "refuses every truncation point" (fun () ->
+      with_temp (fun path ->
+          write_recording path
+            { rec_samples =
+                [ (0, [ ("a", Expr.VBool true); ("n", Expr.VInt 42) ]);
+                  (10, [ ("a", Expr.VBool false); ("n", Expr.VInt 42) ]);
+                  (25, [ ("a", Expr.VBool false); ("n", Expr.VInt (-7)) ]) ];
+              rec_spans = [ ("read", 0, 20); ("write", 5, 10) ] };
+          let full = In_channel.(with_open_bin path input_all) in
+          Alcotest.(check bool) "full file reads" false (refuses path);
+          for cut = 0 to String.length full - 1 do
+            write_bytes path (String.sub full 0 cut);
+            if not (refuses path) then
+              Alcotest.failf "accepted a %d-byte truncation" cut
+          done));
+    case "refuses trailing bytes after the end record" (fun () ->
+      with_temp (fun path ->
+          write_recording path
+            { rec_samples = [ (0, [ ("a", Expr.VBool true) ]) ];
+              rec_spans = [] };
+          let full = In_channel.(with_open_bin path input_all) in
+          write_bytes path (full ^ "\x00");
+          Alcotest.(check bool) "refused" true (refuses path))) ]
+
+(* --- the offline checker API -------------------------------------- *)
+
+let des56_trace ops_count =
+  let ops = Tabv_duv.Workload.des56 ~seed:3 ~count:ops_count () in
+  let result = Tabv_duv.Testbench.run_des56_rtl ~record_trace:true ops in
+  match result.Tabv_duv.Testbench.trace with
+  | Some trace -> trace
+  | None -> Alcotest.fail "testbench recorded no trace"
+
+module Monitors_run = Tabv_checker.Offline.Run (Tabv_checker.Offline.Monitors)
+module Stats_run = Tabv_checker.Offline.Run (Tabv_checker.Offline.Stats)
+
+let offline_cases =
+  [ case "deprecated Replay.run is the Monitors instance" (fun () ->
+      let trace = des56_trace 15 in
+      let props = Tabv_duv.Des56_props.all in
+      (* Reset the progression universe before each run so the
+         snapshot cache counters start from the same cold state. *)
+      Tabv_checker.Progression.reset_universe ();
+      let via_replay =
+        List.map
+          (fun o ->
+            Tabv_checker.Monitor.snapshot o.Tabv_checker.Replay.monitor)
+          ((Tabv_checker.Replay.run [@alert "-deprecated"]) props trace)
+      in
+      Tabv_checker.Progression.reset_universe ();
+      let via_offline =
+        Tabv_checker.Offline.Monitors.snapshots
+          (Monitors_run.over_trace
+             (Tabv_checker.Offline.Monitors.config props)
+             trace)
+      in
+      Alcotest.(check bool) "identical snapshots" true
+        (via_replay = via_offline));
+    case "over_file matches over_trace on a recorded run" (fun () ->
+      let trace = des56_trace 12 in
+      let props = Tabv_duv.Des56_props.all in
+      with_temp (fun path ->
+          Writer.with_file ~path meta (fun w ->
+              Seq.iter
+                (function
+                  | Entry.Sample { time; env } -> Writer.sample w ~time env
+                  | Entry.Span _ -> ())
+                (Entry.of_trace trace));
+          let config = Tabv_checker.Offline.Monitors.config props in
+          Tabv_checker.Progression.reset_universe ();
+          let of_file =
+            Tabv_checker.Offline.Monitors.snapshots
+              (Monitors_run.over_file config path)
+          in
+          Tabv_checker.Progression.reset_universe ();
+          let of_trace =
+            Tabv_checker.Offline.Monitors.snapshots
+              (Monitors_run.over_trace config trace)
+          in
+          Alcotest.(check bool) "identical snapshots" true
+            (of_file = of_trace)));
+    case "Stats checker counts points, changes and span latencies" (fun () ->
+      let open Tabv_checker.Offline.Stats in
+      let entries =
+        List.to_seq
+          [ Entry.Sample
+              { time = 0; env = [ ("a", Expr.VBool true); ("n", Expr.VInt 1) ] };
+            Entry.Span { label = "read"; start_time = 0; end_time = 20 };
+            Entry.Sample
+              { time = 10; env = [ ("a", Expr.VBool true); ("n", Expr.VInt 2) ] };
+            Entry.Span { label = "write"; start_time = 5; end_time = 10 };
+            Entry.Sample
+              { time = 30;
+                env = [ ("a", Expr.VBool false); ("n", Expr.VInt 2) ] };
+            Entry.Span { label = "read"; start_time = 10; end_time = 40 } ]
+      in
+      let stats = Stats_run.over_seq () entries in
+      Alcotest.(check int) "samples" 3 stats.samples;
+      Alcotest.(check int) "spans" 3 stats.spans;
+      Alcotest.(check int) "first" 0 stats.first_time;
+      Alcotest.(check int) "last" 30 stats.last_time;
+      Alcotest.(check bool) "changes" true
+        (stats.signals
+         = [ { signal = "a"; changes = 1 }; { signal = "n"; changes = 1 } ]);
+      Alcotest.(check bool) "span labels sorted with latencies" true
+        (stats.span_labels
+         = [ { label = "read"; count = 2; total_latency = 50; max_latency = 30 };
+             { label = "write"; count = 1; total_latency = 5; max_latency = 5 }
+           ])) ]
+
+(* --- parallel re-checking ----------------------------------------- *)
+
+let record_des56 path ops_count =
+  let ops = Tabv_duv.Workload.des56 ~seed:5 ~count:ops_count () in
+  let run_meta =
+    { Meta.model = "des56-rtl"; seed = 5; ops = ops_count; engine = "classic" }
+  in
+  Writer.with_file ~path run_meta (fun w ->
+      Tabv_duv.Testbench.run_des56_rtl ~trace_writer:w
+        ~properties:Tabv_duv.Des56_props.all ops)
+
+let recheck_cases =
+  [ case "recheck report is identical to the live check" (fun () ->
+      with_temp (fun path ->
+          let live = record_des56 path 15 in
+          let run_fields =
+            [ ("model", Tabv_core.Report_json.String "des56-rtl");
+              ("seed", Tabv_core.Report_json.Int 5);
+              ("ops", Tabv_core.Report_json.Int 15) ]
+          in
+          let live_doc =
+            Tabv_core.Report_json.to_string
+              (Tabv_core.Report_json.verdict_report_json ~run:run_fields
+                 ~properties:live.Tabv_duv.Testbench.checker_stats ())
+          in
+          let rechecked =
+            Tabv_campaign.Recheck.run ~workers:2 ~retries:0 ~trace:path
+              Tabv_duv.Des56_props.all
+          in
+          Alcotest.(check string) "byte-identical" live_doc
+            (Tabv_core.Report_json.to_string
+               (Tabv_campaign.Recheck.report_json rechecked))));
+    case "recheck report is independent of the worker count" (fun () ->
+      with_temp (fun path ->
+          ignore (record_des56 path 15);
+          let report workers =
+            Tabv_core.Report_json.to_string
+              (Tabv_campaign.Recheck.report_json
+                 (Tabv_campaign.Recheck.run ~workers ~retries:0 ~trace:path
+                    Tabv_duv.Des56_props.all))
+          in
+          let one = report 1 in
+          Alcotest.(check string) "1 = 3 workers" one (report 3);
+          Alcotest.(check string) "1 = 16 workers" one (report 16)));
+    case "property sources re-parse to the same property" (fun () ->
+      (* Machine-abstracted properties may carry expression-level
+         boolean connectives where the parser builds LTL-level ones
+         (both print and check identically), so the wire contract is
+         pinned on the printed form: name, context and formula text
+         must survive the source/parse round trip unchanged. *)
+      List.iter
+        (fun p ->
+          match
+            Parser.file (Tabv_campaign.Recheck.property_source p)
+          with
+          | [ q ] ->
+            if not (String.equal (Property.to_string p) (Property.to_string q))
+            then
+              Alcotest.failf "%s did not round trip" p.Property.name
+          | _ -> Alcotest.failf "%s parsed to several" p.Property.name)
+        (Tabv_duv.Des56_props.all @ Tabv_duv.Des56_props.tlm_reviewed ()
+        @ Tabv_duv.Memctrl_props.all)) ]
+
+(* --- bounded memory ----------------------------------------------- *)
+
+(* A long synthetic trace streamed through the reader must keep live
+   words flat: materializing it (the old Replay shape) would retain
+   tens of words per sample and trip the bound. *)
+let memory_cases =
+  [ Alcotest.test_case "streaming a 200k-sample trace is O(signal count)"
+      `Slow (fun () ->
+        with_temp (fun path ->
+            let n = 200_000 in
+            Writer.with_file ~path meta (fun w ->
+                for i = 0 to n - 1 do
+                  Writer.sample w ~time:(i * 10)
+                    [ ("a", Expr.VBool (i land 1 = 0));
+                      ("n", Expr.VInt (i * 3)) ]
+                done);
+            Gc.full_major ();
+            let baseline = (Gc.stat ()).Gc.live_words in
+            let peak = ref baseline in
+            let count = ref 0 in
+            Reader.with_file path (fun reader ->
+                Seq.iter
+                  (fun _ ->
+                    incr count;
+                    if !count mod 50_000 = 0 then begin
+                      Gc.full_major ();
+                      let live = (Gc.stat ()).Gc.live_words in
+                      if live > !peak then peak := live
+                    end)
+                  (Reader.to_seq reader));
+            Alcotest.(check int) "all samples streamed" n !count;
+            let growth = !peak - baseline in
+            if growth > 1_000_000 then
+              Alcotest.failf
+                "live words grew by %d (trace is being materialized)" growth))
+  ]
+
+let suite =
+  ( "trace",
+    roundtrip_cases @ corrupt_cases @ offline_cases @ recheck_cases
+    @ memory_cases )

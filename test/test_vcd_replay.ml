@@ -2,7 +2,10 @@ open Tabv_psl
 open Tabv_sim
 
 (* The VCD reader, and offline replay of checkers over parsed
-   waveforms. *)
+   waveforms.  The deprecated [Replay.run] shim is exercised on
+   purpose here (its equivalence with the offline runner is pinned in
+   test_trace.ml). *)
+[@@@alert "-deprecated"]
 
 let case name f = Alcotest.test_case name `Quick f
 
