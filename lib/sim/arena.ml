@@ -2,13 +2,20 @@
 
    The elaborated design's signals do not live in per-signal records:
    each typed signal claims one slot of a flat pool — parallel
-   [current] and [next] arrays plus a dirty bitset marking slots with
-   a scheduled update.  The pools are monomorphic ([bool], [int],
+   [current] and [next] arrays plus a dirty flag array marking slots
+   with a scheduled update.  The pools are monomorphic ([bool], [int],
    [int64] as unboxed-element arrays), so a signal read is one array
    load and an update is a load/compare/store with no allocation and
    no polymorphic comparison.
 
-   The arena stores values and pending-update bits only; scheduling
+   The dirty flags are one [bool] array element — one word — per slot,
+   not a packed bitset: partition-pool workers set and clear flags of
+   their own partition's slots concurrently, and disjoint plain word
+   stores are race-free under the OCaml memory model, whereas packed
+   bits would need a read-modify-write that can lose a neighbouring
+   partition's just-set bit.
+
+   The arena stores values and pending-update flags only; scheduling
    (which slot updates in which delta) stays with the kernel, and the
    [Signal] front-end keeps the per-signal metadata (name, change
    event, interposed transform). *)
@@ -16,7 +23,7 @@
 type 'a pool = {
   mutable cur : 'a array;
   mutable nxt : 'a array;
-  mutable dirty : Bytes.t;  (* bit per slot: update scheduled *)
+  mutable dirty : bool array;  (* per slot: update scheduled *)
   mutable len : int;
   p_dummy : 'a;
 }
@@ -31,7 +38,7 @@ let make_pool ?(capacity = 32) p_dummy =
   {
     cur = Array.make capacity p_dummy;
     nxt = Array.make capacity p_dummy;
-    dirty = Bytes.make ((capacity + 7) / 8) '\000';
+    dirty = Array.make capacity false;
     len = 0;
     p_dummy;
   }
@@ -53,8 +60,8 @@ let alloc pool init =
     in
     pool.cur <- grow pool.cur;
     pool.nxt <- grow pool.nxt;
-    let bits = Bytes.make (((2 * cap) + 7) / 8) '\000' in
-    Bytes.blit pool.dirty 0 bits 0 (Bytes.length pool.dirty);
+    let bits = Array.make (2 * cap) false in
+    Array.blit pool.dirty 0 bits 0 (Array.length pool.dirty);
     pool.dirty <- bits
   end;
   let slot = pool.len in
@@ -70,19 +77,6 @@ let set_cur pool slot v = Array.unsafe_set pool.cur slot v
 let get_next pool slot = Array.unsafe_get pool.nxt slot
 let set_next pool slot v = Array.unsafe_set pool.nxt slot v
 
-let dirty pool slot =
-  Char.code (Bytes.unsafe_get pool.dirty (slot lsr 3)) land (1 lsl (slot land 7))
-  <> 0
-
-let set_dirty pool slot =
-  let byte = slot lsr 3 in
-  Bytes.unsafe_set pool.dirty byte
-    (Char.unsafe_chr
-       (Char.code (Bytes.unsafe_get pool.dirty byte) lor (1 lsl (slot land 7))))
-
-let clear_dirty pool slot =
-  let byte = slot lsr 3 in
-  Bytes.unsafe_set pool.dirty byte
-    (Char.unsafe_chr
-       (Char.code (Bytes.unsafe_get pool.dirty byte)
-       land lnot (1 lsl (slot land 7))))
+let dirty pool slot = Array.unsafe_get pool.dirty slot
+let set_dirty pool slot = Array.unsafe_set pool.dirty slot true
+let clear_dirty pool slot = Array.unsafe_set pool.dirty slot false

@@ -329,7 +329,12 @@ let process t ~name ?pos ?(initialize = true) ~sensitivity ?(reads = [])
       (Printf.sprintf "Elab.process: %s registered after compilation" name);
   let k = t.e_kernel in
   let wrapped () =
-    Kernel.set_label k name;
+    (* Under a partition pool this wrapper runs on worker domains;
+       [set_label] would be an unsynchronized cross-domain write to
+       the kernel's label field.  Crash containment — the only reader
+       of labels — is forbidden with a pool, so the label is
+       unobservable there and the write is simply skipped. *)
+    if not (Kernel.pool_active k) then Kernel.set_label k name;
     body ()
   in
   let subs = List.map (fun ev -> (ev, Event.subscribe ev wrapped)) sensitivity in

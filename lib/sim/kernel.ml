@@ -689,8 +689,22 @@ let run_compiled ?until ?(guard = default_guard) t =
         Vec.clear t.crun_f;
         Vec.clear t.crun_p
       end;
-      pool_run_buckets t pool;
-      continue_ := (not (Vec.is_empty t.crun_f)) && not t.stopping
+      if t.stopping then begin
+        (* An inline action called [stop] mid-dispatch.  The serial
+           loops cease draining immediately, so mirror them: discard
+           the already-bucketed partition actions rather than running
+           them past the stop point (they were counted at dispatch,
+           matching the serial activation count for the pre-stop
+           prefix). *)
+        for p = 0 to pool.p_partitions - 1 do
+          Vec.clear pool.p_buckets.(p)
+        done;
+        continue_ := false
+      end
+      else begin
+        pool_run_buckets t pool;
+        continue_ := (not (Vec.is_empty t.crun_f)) && not t.stopping
+      end
     done
   in
   let rec loop () =

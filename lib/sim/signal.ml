@@ -2,7 +2,8 @@
    record ([S_heap]); the typed constructors ([create_bool] & co.)
    claim a slot of the kernel's dense arena instead ([S_slot]), so the
    compiled engine's signal traffic is flat-array loads and stores
-   with a bitset standing in for the per-signal pending flag.  Both
+   with a dirty-flag slot standing in for the per-signal pending flag.
+   Both
    storages behave identically under both engines — the arena is a
    layout change, not a semantics change. *)
 type 'a store =

@@ -14,7 +14,11 @@ let rec write_uint buf v =
 let write_zigzag buf v =
   write_uint buf ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
 
-let read_uint next =
+(* Raw decode of the full 63-bit pattern: the 9th byte (shift 56)
+   carries bits 56..62, so bit 6 of that byte lands on the OCaml int
+   sign bit.  Only [read_zigzag] may see it — zigzagged negatives of
+   large magnitude legitimately occupy all 63 bits. *)
+let read_raw next =
   let rec go shift acc =
     if shift >= Sys.int_size then raise (Corrupt "varint wider than 63 bits");
     let byte = Char.code (next ()) in
@@ -23,6 +27,16 @@ let read_uint next =
   in
   go 0 0
 
+let read_uint next =
+  let u = read_raw next in
+  (* A set sign bit means the encoding exceeded the 62 magnitude bits
+     a non-negative int can carry; the write side never produces it
+     for a uint field, so fail loudly instead of handing a negative
+     (or silently wrapped) value to call sites that expect a count,
+     length, or delta. *)
+  if u < 0 then raise (Corrupt "uint varint exceeds 62 bits");
+  u
+
 let read_zigzag next =
-  let u = read_uint next in
+  let u = read_raw next in
   (u lsr 1) lxor (- (u land 1))

@@ -1,10 +1,10 @@
-(** LEB128-style variable-length integer codec over the full 63-bit
-    native [int] range.
+(** LEB128-style variable-length integer codec over the native [int]
+    range.
 
-    [write_uint]/[read_uint] treat the int as its 63-bit pattern (so a
-    negative int round-trips, at up to 9 bytes); [write_zigzag]/
-    [read_zigzag] map small-magnitude signed values to short encodings
-    first.  Readers raise {!Corrupt} on overlong or truncated input. *)
+    [write_uint]/[read_uint] carry non-negative ints (62 magnitude
+    bits); [write_zigzag]/[read_zigzag] carry signed ints over the
+    full 63-bit pattern, mapping small magnitudes to short encodings.
+    Readers raise {!Corrupt} on overlong or truncated input. *)
 
 exception Corrupt of string
 
@@ -13,7 +13,9 @@ val write_zigzag : Buffer.t -> int -> unit
 
 (** [read_uint next] pulls bytes from [next] (which raises
     [End_of_file] when exhausted).
-    @raise Corrupt on an encoding wider than 63 bits.
+    @raise Corrupt on an encoding wider than 63 bits, or one whose
+    value does not fit the 62 non-negative magnitude bits (a decoded
+    uint is never negative).
     @raise End_of_file like [next]. *)
 val read_uint : (unit -> char) -> int
 

@@ -328,7 +328,108 @@ let partition_cases =
       let serial = final Kernel.Compiled ~pooled:false in
       let pooled = final Kernel.Compiled ~pooled:true in
       Alcotest.(check bool) "serial = classic" true (classic = serial);
-      Alcotest.(check bool) "pooled = classic" true (classic = pooled)) ]
+      Alcotest.(check bool) "pooled = classic" true (classic = pooled));
+    case "concurrent dirty flags on adjacent slots stay deduplicated" (fun () ->
+      (* Eight single-process partitions claim the first eight int
+         arena slots; every activation double-writes its signal, so
+         the second write must see the pending flag the first one set.
+         Worker domains mark those adjacent flags concurrently — a
+         packed bitset's read-modify-write could erase a neighbour
+         partition's just-set flag, staging a duplicate update thunk
+         and skewing [update_actions] (the regression behind the
+         per-slot flag array). *)
+      let final engine ~pooled =
+        let kernel = Kernel.create ~engine () in
+        let el = Elab.create kernel in
+        let clock = Clock.create kernel ~name:"clk" ~period:10 () in
+        let parts = 8 in
+        let cells =
+          Array.init parts (fun p ->
+              Elab.signal_int el (Printf.sprintf "slot%d_s" p))
+        in
+        Array.iteri
+          (fun p s ->
+            Elab.process el
+              ~name:(Printf.sprintf "slot%d" p)
+              ~pos:__POS__ ~initialize:false
+              ~sensitivity:[ Clock.posedge clock ]
+              ~reads:[ Elab.Pack s ] ~writes:[ Elab.Pack s ]
+              (fun () ->
+                let v = Signal.read s in
+                Signal.write s (v + 1);
+                Signal.write s ((v * 3) + 1)))
+          cells;
+        let parallelized =
+          if pooled then Elab.parallelize el ~domains:4 else false
+        in
+        ignore (Kernel.run ~until:2000 kernel);
+        Kernel.shutdown_pool kernel;
+        if pooled then
+          Alcotest.(check bool) "pool installed" true parallelized;
+        ( Array.to_list (Array.map Signal.observe cells),
+          Kernel.activation_count kernel,
+          Kernel.delta_count kernel,
+          Kernel.update_action_count kernel )
+      in
+      let classic = final Kernel.Classic ~pooled:false in
+      let serial = final Kernel.Compiled ~pooled:false in
+      let pooled = final Kernel.Compiled ~pooled:true in
+      Alcotest.(check bool) "serial = classic" true (classic = serial);
+      Alcotest.(check bool) "pooled = classic" true (classic = pooled));
+    case "stop from an inline action discards bucketed work" (fun () ->
+      (* An untagged action calling [stop] mid-dispatch halts the
+         pooled evaluation phase: partition actions already bucketed
+         are discarded, never run past the stop point, and the kernel
+         counters still match the serial engines (bucketed actions are
+         counted at dispatch). *)
+      let build engine =
+        let kernel = Kernel.create ~engine () in
+        let el = Elab.create kernel in
+        let clock = Clock.create kernel ~name:"clk" ~period:10 () in
+        let hits = Array.make 4 0 in
+        let part p =
+          let s = Elab.signal_int el (Printf.sprintf "stop%d_s" p) in
+          Elab.process el
+            ~name:(Printf.sprintf "stop%d" p)
+            ~pos:__POS__ ~initialize:false
+            ~sensitivity:[ Clock.posedge clock ]
+            ~reads:[ Elab.Pack s ] ~writes:[ Elab.Pack s ]
+            (fun () ->
+              hits.(p) <- hits.(p) + 1;
+              Signal.write s (Signal.read s + 1))
+        in
+        part 0;
+        part 1;
+        (* Untagged (no declared reads/writes): dispatched inline on
+           the main domain, between the two bucketed pairs. *)
+        Elab.process el ~name:"stopper" ~pos:__POS__ ~initialize:false
+          ~sensitivity:[ Clock.posedge clock ]
+          (fun () -> Kernel.stop kernel);
+        part 2;
+        part 3;
+        (kernel, el, hits)
+      in
+      let run engine ~pooled =
+        let kernel, el, hits = build engine in
+        if pooled then
+          Alcotest.(check bool) "pool installed" true
+            (Elab.parallelize el ~domains:2);
+        ignore (Kernel.run ~until:100 kernel);
+        Kernel.shutdown_pool kernel;
+        ( ( Kernel.activation_count kernel,
+            Kernel.delta_count kernel,
+            Kernel.update_action_count kernel,
+            Kernel.now kernel ),
+          Array.fold_left ( + ) 0 hits )
+      in
+      let classic, classic_hits = run Kernel.Classic ~pooled:false in
+      let serial, serial_hits = run Kernel.Compiled ~pooled:false in
+      let pooled, pooled_hits = run Kernel.Compiled ~pooled:true in
+      Alcotest.(check bool) "serial counters = classic" true (classic = serial);
+      Alcotest.(check bool) "pooled counters = classic" true (classic = pooled);
+      Alcotest.(check int) "serial ran the pre-stop prefix" classic_hits
+        serial_hits;
+      Alcotest.(check int) "no bucketed action ran past stop" 0 pooled_hits) ]
 
 (* --- random netlists (schedule vs dynamic reference) ---------------- *)
 

@@ -207,7 +207,43 @@ let corrupt_cases =
               rec_spans = [] };
           let full = In_channel.(with_open_bin path input_all) in
           write_bytes path (full ^ "\x00");
-          Alcotest.(check bool) "refused" true (refuses path))) ]
+          Alcotest.(check bool) "refused" true (refuses path)));
+    case "refuses a uint varint overflowing into the sign bit" (fun () ->
+      let next_of bytes =
+        let i = ref 0 in
+        fun () ->
+          if !i >= String.length bytes then raise End_of_file
+          else begin
+            let c = bytes.[!i] in
+            incr i;
+            c
+          end
+      in
+      (* Nine bytes whose payload sets bit 62 — the OCaml int sign bit.
+         A well-formed-looking uint field must not silently decode to a
+         negative value. *)
+      let negative = "\x80\x80\x80\x80\x80\x80\x80\x80\x40" in
+      (match Varint.read_uint (next_of negative) with
+       | v -> Alcotest.failf "decoded to %d instead of raising" v
+       | exception Varint.Corrupt _ -> ());
+      (* Ten-byte encodings stay rejected. *)
+      let overlong = "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01" in
+      (match Varint.read_uint (next_of overlong) with
+       | v -> Alcotest.failf "decoded to %d instead of raising" v
+       | exception Varint.Corrupt _ -> ());
+      (* The zigzag side still spans the full signed range (bit 62 is
+         a legitimate zigzag payload bit), and max uint round-trips. *)
+      List.iter
+        (fun v ->
+          let buf = Buffer.create 16 in
+          Varint.write_zigzag buf v;
+          Alcotest.(check int) "zigzag round trip" v
+            (Varint.read_zigzag (next_of (Buffer.contents buf))))
+        [ min_int; max_int; -1; 0; 1 ];
+      let buf = Buffer.create 16 in
+      Varint.write_uint buf max_int;
+      Alcotest.(check int) "max uint round trip" max_int
+        (Varint.read_uint (next_of (Buffer.contents buf)))) ]
 
 (* --- the offline checker API -------------------------------------- *)
 
