@@ -57,6 +57,15 @@
 #                         BENCH_trace_recheck.json, and FAILS if the
 #                         recheck is below the 5x speedup floor or the
 #                         trace exceeds 20% of the equivalent VCD)
+#  11. bench/main.exe --quick --serve-only
+#                        (boots a tabv-serve daemon with a warm worker
+#                         pool, drives it with 8 concurrent clients
+#                         through cold, warm and mixed check/recheck
+#                         rounds, asserts every socket response is
+#                         byte-identical to the one-shot report, writes
+#                         BENCH_serve_throughput.json, and FAILS below
+#                         the 5 req/s throughput floor or the 2x
+#                         warm-replay speedup gate)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -94,5 +103,8 @@ dune exec bench/main.exe -- --quick --sched-only
 
 echo "== trace recheck gate (>= 5x, <= 20% of VCD)"
 dune exec bench/main.exe -- --quick --trace-only
+
+echo "== serve throughput gate (8 clients; floor >= 5 req/s, warm >= 2x, byte-identical)"
+dune exec bench/main.exe -- --quick --serve-only
 
 echo "== all checks passed"

@@ -1063,6 +1063,183 @@ let bechamel_section () =
     rows;
   print_newline ()
 
+(* --- verification service (tabv serve) ---------------------------- *)
+
+(* Throughput and warm-reuse of the daemon under concurrent load:
+   [serve_clients] client threads drive one in-process daemon over its
+   Unix socket through three phases — cold checks (every request
+   executes), the identical checks again (every request is a warm
+   cache replay), and a mixed check/recheck round.  Gates: a floor on
+   sustained requests/sec, warm >= [serve_warm_gate]x faster than
+   cold, and every response byte-identical to the one-shot report
+   computed in this process. *)
+
+let serve_clients = 8
+let serve_rps_floor = 5.0
+let serve_warm_gate = 2.0
+
+let serve_section ~ops () =
+  let open Tabv_serve in
+  Printf.printf
+    "## verification service: %d concurrent clients over one daemon\n\n"
+    serve_clients;
+  let dir = Filename.temp_file "tabv_bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let trace_path = Filename.concat dir "bench.trace" in
+  let workers = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let config =
+    { (Server.default_config ~socket ()) with workers; queue_bound = 256 }
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        ignore
+          (Server.run ~on_ready:(fun () -> Atomic.set ready true) config))
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  let check_job seed =
+    Protocol.Check
+      { model = Models.Des56_rtl; seed; ops; props = None; engine = None;
+        trace_out = None }
+  in
+  (* The one-shot reference bytes: fresh universe, same model run,
+     same rendering — what `tabv check --report-json` would write. *)
+  let expected seed =
+    Tabv_checker.Progression.reset_universe ();
+    let properties, grid_properties =
+      Models.properties_for Models.Des56_rtl None
+    in
+    let result =
+      Models.run Models.Des56_rtl ~seed ~ops ~properties ~grid_properties
+    in
+    Tabv_core.Report_json.to_string
+      (Models.verdict_report Models.Des56_rtl ~seed ~ops result)
+    ^ "\n"
+  in
+  let identical = Atomic.make true in
+  let note_mismatch () = Atomic.set identical false in
+  let connect () =
+    match Client.connect (`Unix socket) with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let recheck_expected = expected 42 in
+  (* Record once so the mixed phase has a trace to recheck; the record
+     request's own report must already match the live check's. *)
+  let ctl = connect () in
+  (match
+     Client.request ctl
+       (Protocol.Check
+          { model = Models.Des56_rtl; seed = 42; ops; props = None;
+            engine = None; trace_out = Some trace_path })
+   with
+   | Client.Result { ok = true; report; _ } ->
+     if report <> recheck_expected then note_mismatch ()
+   | _ -> failwith "record request failed");
+  (* One phase: every client thread opens its own connection and
+     drains its request list; wall time covers all of them. *)
+  let run_phase jobs_for =
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init serve_clients (fun c ->
+          Thread.create
+            (fun () ->
+              let client = connect () in
+              Fun.protect
+                ~finally:(fun () -> Client.close client)
+                (fun () ->
+                  List.iter
+                    (fun (job, check_report) ->
+                      match Client.request_with_retry client job with
+                      | Client.Result { report; _ } -> check_report report
+                      | Client.Rejected _ | Client.Failed _ ->
+                        note_mismatch ())
+                    (jobs_for c)))
+            ())
+    in
+    List.iter Thread.join threads;
+    Unix.gettimeofday () -. t0
+  in
+  let seeds c = [ 1000 + (2 * c); 1001 + (2 * c) ] in
+  let expected_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      List.iter (fun s -> Hashtbl.replace expected_tbl s (expected s)) (seeds c))
+    (List.init serve_clients Fun.id);
+  let expect_seed s report =
+    if report <> Hashtbl.find expected_tbl s then note_mismatch ()
+  in
+  let check_phase () =
+    run_phase (fun c ->
+        List.map (fun s -> (check_job s, expect_seed s)) (seeds c))
+  in
+  let t_cold = check_phase () in
+  let t_warm = check_phase () in
+  let t_mixed =
+    run_phase (fun c ->
+        let s = 1000 + (2 * c) in
+        [ (check_job s, expect_seed s);
+          ( Protocol.Recheck
+              { trace = trace_path; props = None; workers = 1; retries = 1 },
+            fun report ->
+              if report <> recheck_expected then note_mismatch () ) ])
+  in
+  (match Client.control ctl Protocol.Shutdown with
+   | Client.Shutting_down -> ()
+   | _ -> note_mismatch ());
+  Client.close ctl;
+  Domain.join server;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let requests = (serve_clients * 2 * 3) + 1 in
+  let wall = t_cold +. t_warm +. t_mixed in
+  let rps = float_of_int requests /. wall in
+  let warm_speedup = t_cold /. Float.max t_warm 1e-6 in
+  Printf.printf "daemon           : %d in-domain workers, %d ops/check\n"
+    workers ops;
+  Printf.printf "cold checks      : %8.4f s  (%d requests)\n" t_cold
+    (serve_clients * 2);
+  Printf.printf "warm replays     : %8.4f s  (same requests, cache hits)\n"
+    t_warm;
+  Printf.printf "mixed round      : %8.4f s  (warm checks + rechecks)\n"
+    t_mixed;
+  Printf.printf "throughput       : %8.2f req/s  (floor: >= %.1f)\n" rps
+    serve_rps_floor;
+  Printf.printf "warm speedup     : %8.2fx  (gate: >= %.1fx)\n" warm_speedup
+    serve_warm_gate;
+  Printf.printf "byte-identical   : %s\n"
+    (if Atomic.get identical then "yes" else "NO");
+  let open Tabv_core.Report_json in
+  let json =
+    Assoc
+      [ ("clients", Int serve_clients);
+        ("workers", Int workers);
+        ("ops", Int ops);
+        ("requests", Int requests);
+        ("wall_s", Float wall);
+        ("cold_s", Float t_cold);
+        ("warm_s", Float t_warm);
+        ("mixed_s", Float t_mixed);
+        ("requests_per_s", Float rps);
+        ("rps_floor", Float serve_rps_floor);
+        ("warm_speedup", Float warm_speedup);
+        ("warm_gate", Float serve_warm_gate);
+        ("identical", Bool (Atomic.get identical)) ]
+  in
+  Out_channel.with_open_text "BENCH_serve_throughput.json" (fun oc ->
+    Out_channel.output_string oc (to_string json);
+    Out_channel.output_char oc '\n');
+  Printf.printf
+    "wrote BENCH_serve_throughput.json (%.2f req/s, warm %.2fx)\n\n" rps
+    warm_speedup;
+  (rps, warm_speedup, Atomic.get identical)
+
 (* --- driver ------------------------------------------------------- *)
 
 (* Hidden subprocess-executor hook: the isolation-overhead gate runs
@@ -1084,6 +1261,7 @@ let () =
   let fault_only = Array.exists (fun a -> a = "--fault-only") Sys.argv in
   let sched_only = Array.exists (fun a -> a = "--sched-only") Sys.argv in
   let trace_only = Array.exists (fun a -> a = "--trace-only") Sys.argv in
+  let serve_only = Array.exists (fun a -> a = "--serve-only") Sys.argv in
   let des_count = if quick then 1000 else 8000 in
   let pixel_count = if quick then 20_000 else 150_000 in
   if obs_only then begin
@@ -1209,6 +1387,30 @@ let () =
     end;
     exit 0
   end;
+  if serve_only then begin
+    (* CI entry point (bench/check.sh): the daemon under concurrent
+       load — sustained requests/sec over the floor, warm replays at
+       least [serve_warm_gate]x faster than cold execution, and every
+       socket response byte-identical to the one-shot report. *)
+    let rps, warm_speedup, identical =
+      serve_section ~ops:(if quick then 100 else 250) ()
+    in
+    if not identical then begin
+      Printf.eprintf "FAIL: serve responses differ from one-shot reports\n";
+      exit 1
+    end;
+    if rps < serve_rps_floor then begin
+      Printf.eprintf "FAIL: serve throughput %.2f req/s < %.1f\n" rps
+        serve_rps_floor;
+      exit 1
+    end;
+    if warm_speedup < serve_warm_gate then begin
+      Printf.eprintf "FAIL: warm replay speedup %.2fx < %.1fx\n" warm_speedup
+        serve_warm_gate;
+      exit 1
+    end;
+    exit 0
+  end;
   if cache_only then begin
     (* CI entry point (bench/check.sh): only the interned-vs-legacy
        replay comparison, with a hard floor on the speedup. *)
@@ -1245,6 +1447,7 @@ let () =
      ignore (campaign_section ~ops:(des_count / 20) ())
    else campaign_skip ());
   ignore (isolate_section ~ops:(des_count / 50) ());
+  ignore (serve_section ~ops:(des_count / 10) ());
   memctrl_section (des_count * 2);
   if not skip_bechamel then bechamel_section ();
   print_endline "done."

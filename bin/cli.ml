@@ -24,34 +24,18 @@ let fail cmd msg =
   Printf.eprintf "tabv %s: %s\n" cmd msg;
   exit 2
 
-(* --- models ------------------------------------------------------- *)
+(* --- models --------------------------------------------------------
 
-type model =
-  | Des56_rtl_m
-  | Des56_ca_m
-  | Des56_at_m
-  | Des56_lt_m
-  | Colorconv_rtl_m
-  | Colorconv_ca_m
-  | Colorconv_at_m
-  | Memctrl_rtl_m
-  | Memctrl_ca_m
-  | Memctrl_at_m
+   The catalog itself (names, property sets, testbench dispatch) lives
+   in [Tabv_duv.Models] so the serve daemon executes requests through
+   exactly the plumbing the one-shot subcommands use; this section only
+   dresses it in cmdliner clothes. *)
 
-let model_names =
-  [ ("des56-rtl", Des56_rtl_m); ("des56-tlm-ca", Des56_ca_m);
-    ("des56-tlm-at", Des56_at_m); ("des56-tlm-lt", Des56_lt_m);
-    ("colorconv-rtl", Colorconv_rtl_m); ("colorconv-tlm-ca", Colorconv_ca_m);
-    ("colorconv-tlm-at", Colorconv_at_m); ("memctrl-rtl", Memctrl_rtl_m);
-    ("memctrl-tlm-ca", Memctrl_ca_m); ("memctrl-tlm-at", Memctrl_at_m) ]
+type model = Models.t
 
-let model_conv = Arg.enum model_names
-
-let model_name model =
-  fst (List.find (fun (_, m) -> m = model) model_names)
-
-let model_of_name name =
-  List.assoc_opt name model_names
+let model_conv = Arg.enum Models.names
+let model_name = Models.name
+let model_of_name = Models.of_name
 
 let model_arg =
   Arg.(
@@ -63,12 +47,7 @@ let model_arg =
            colorconv-rtl, colorconv-tlm-ca, colorconv-tlm-at, memctrl-rtl, \
            memctrl-tlm-ca, memctrl-tlm-at.")
 
-let known_signals = function
-  | Des56_rtl_m | Des56_ca_m | Des56_at_m | Des56_lt_m ->
-    Des56_iface.signal_names
-  | Colorconv_rtl_m | Colorconv_ca_m | Colorconv_at_m ->
-    Colorconv_iface.signal_names
-  | Memctrl_rtl_m | Memctrl_ca_m | Memctrl_at_m -> Memctrl_iface.signal_names
+let known_signals = Models.known_signals
 
 (* --- workload flags ----------------------------------------------- *)
 
@@ -136,123 +115,9 @@ let lint_props ~known properties =
           (String.concat ", " unknown))
     properties
 
-(* Split the automatically-safe abstractions into strict-wrapper
-   properties and grid-wrapper ones (timed operators under
-   until/release need the full clock grid). *)
-let abstract_for_at ~abstracted_signals properties =
-  let reports =
-    Tabv_core.Methodology.abstract_all ~clock_period:10 ~abstracted_signals
-      properties
-  in
-  List.fold_left
-    (fun (strict, grid) r ->
-      match r.Tabv_core.Methodology.output with
-      | Some q when not r.Tabv_core.Methodology.requires_review ->
-        if Tabv_core.Methodology.needs_dense_trace q.Property.formula then
-          (strict, q :: grid)
-        else (q :: strict, grid)
-      | Some _ | None -> (strict, grid))
-    ([], []) reports
-  |> fun (strict, grid) -> (List.rev strict, List.rev grid)
-
-(* The property sets a run actually attaches for [model], given the
-   optional user property set: [(properties, grid_properties)] in
-   attach (= report) order.  Shared by `check`/`record` (what to
-   attach) and `recheck` (the default property set of a trace). *)
-let properties_for model user =
-  let rtl_or builtin =
-    match user with
-    | Some properties -> properties
-    | None -> builtin
-  in
-  match model with
-  | Des56_rtl_m | Des56_ca_m -> (rtl_or Des56_props.all, [])
-  | Des56_at_m ->
-    (match user with
-     | Some properties ->
-       abstract_for_at ~abstracted_signals:Des56_props.abstracted_signals
-         properties
-     | None -> (Des56_props.tlm_reviewed (), []))
-  | Des56_lt_m ->
-    (* Boolean invariants only: the LT model is not timing equivalent,
-       timed properties would fail by design. *)
-    (match user with
-     | Some properties ->
-       ( List.filter
-           (fun p -> Simple_subset.is_boolean p.Property.formula)
-           (fst
-              (abstract_for_at
-                 ~abstracted_signals:Des56_props.abstracted_signals properties)),
-         [] )
-     | None ->
-       ( [ Property.make ~name:"lt_inv"
-             ~context:(Context.Transaction Context.Base_trans)
-             (Parser.formula_only "always(!rdy || ds)") ],
-         [] ))
-  | Colorconv_rtl_m | Colorconv_ca_m -> (rtl_or Colorconv_props.all, [])
-  | Colorconv_at_m ->
-    (match user with
-     | Some properties ->
-       abstract_for_at ~abstracted_signals:Colorconv_props.abstracted_signals
-         properties
-     | None -> (Colorconv_props.tlm_reviewed (), []))
-  | Memctrl_rtl_m | Memctrl_ca_m -> (rtl_or Memctrl_props.all, [])
-  | Memctrl_at_m ->
-    (match user with
-     | Some properties ->
-       ( fst
-           (abstract_for_at
-              ~abstracted_signals:Memctrl_props.abstracted_signals properties),
-         [] )
-     | None -> (Memctrl_props.tlm_auto_safe (), []))
-
-(* Drive [model] over its seeded workload with [properties] attached
-   (and, on the AT models, [grid_properties] under the grid wrapper).
-   [trace_writer] taps the checker evaluation points into a binary
-   trace; `check` leaves it [None], `record` supplies one. *)
-let run_model ?metrics ?trace_writer model ~seed ~ops ~properties
-    ~grid_properties =
-  match model with
-  | Des56_rtl_m ->
-    Testbench.run_des56_rtl ?metrics ?trace_writer ~properties
-      (Workload.des56 ~seed ~count:ops ())
-  | Des56_ca_m ->
-    Testbench.run_des56_tlm_ca ?metrics ?trace_writer ~properties
-      (Workload.des56 ~seed ~count:ops ())
-  | Des56_at_m ->
-    Testbench.run_des56_tlm_at ?metrics ?trace_writer ~properties
-      ~grid_properties
-      (Workload.des56 ~seed ~count:ops ())
-  | Des56_lt_m ->
-    Testbench.run_des56_tlm_lt ?metrics ~properties
-      (Workload.des56 ~seed ~count:ops ())
-  | Colorconv_rtl_m ->
-    Testbench.run_colorconv_rtl ?metrics ?trace_writer ~properties
-      (Workload.colorconv ~seed ~count:ops ())
-  | Colorconv_ca_m ->
-    Testbench.run_colorconv_tlm_ca ?metrics ?trace_writer ~properties
-      (Workload.colorconv ~seed ~count:ops ())
-  | Colorconv_at_m ->
-    Testbench.run_colorconv_tlm_at ?metrics ?trace_writer ~properties
-      ~grid_properties
-      (Workload.colorconv ~seed ~count:ops ())
-  | Memctrl_rtl_m ->
-    Memctrl_testbench.run_rtl ?metrics ?trace_writer ~properties
-      (Workload.memctrl ~seed ~count:ops ())
-  | Memctrl_ca_m ->
-    Memctrl_testbench.run_tlm_ca ?metrics ?trace_writer ~properties
-      (Workload.memctrl ~seed ~count:ops ())
-  | Memctrl_at_m ->
-    Memctrl_testbench.run_tlm_at ?metrics ?trace_writer ~properties
-      (Workload.memctrl ~seed ~count:ops ())
-
-(* The LT model records nothing: it exists to violate timing
-   equivalence, so a trace of it would not replay meaningfully. *)
-let supports_trace = function
-  | Des56_lt_m -> false
-  | Des56_rtl_m | Des56_ca_m | Des56_at_m | Colorconv_rtl_m | Colorconv_ca_m
-  | Colorconv_at_m | Memctrl_rtl_m | Memctrl_ca_m | Memctrl_at_m ->
-    true
+let properties_for = Models.properties_for
+let run_model = Models.run
+let supports_trace = Models.supports_trace
 
 (* --- executor / journal / interrupt plumbing ---------------------- *)
 
@@ -355,14 +220,5 @@ let report_json_arg ~doc =
     & opt (some string) None
     & info [ "report-json" ] ~docv:"FILE" ~doc)
 
-(* The deterministic verdict report of one live run: run identification
-   from the command line, per-property counters from the testbench in
-   attach order.  `recheck` builds the same document from the trace
-   meta + merged snapshots; the two must be byte-identical. *)
 let verdict_report ~model ~seed ~ops result =
-  let open Tabv_core.Report_json in
-  verdict_report_json
-    ~run:
-      [ ("model", String (model_name model)); ("seed", Int seed);
-        ("ops", Int ops) ]
-    ~properties:result.Testbench.checker_stats ()
+  Models.verdict_report model ~seed ~ops result

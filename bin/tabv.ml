@@ -6,6 +6,9 @@
      record    check + capture the evaluation trace to a binary file
      recheck   re-check properties against a recorded trace, in parallel
      campaign  run a job matrix on a pool of worker domains
+     qualify   build the fault x property detection matrix
+     serve     persistent concurrent verification daemon over a socket
+     client    submit one request to a running serve daemon
      trace     dump a VCD waveform of a short DES56 RTL run
      replay    check properties offline against a VCD waveform
      fig3      reproduce the paper's Fig. 3 rewriting demonstration
@@ -759,6 +762,316 @@ let qualify_cmd =
       $ Cli.isolate_arg $ Cli.timeout_arg $ Cli.journal_arg $ Cli.resume_arg
       $ Cli.engine_arg)
 
+(* --- serve -------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path of the daemon.")
+
+let tcp_arg =
+  Arg.(value & opt (some (pair ~sep:':' string int)) None
+       & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP endpoint of the daemon (in addition to, or instead \
+                 of, the Unix-domain socket).")
+
+let serve_cmd =
+  let open Tabv_serve in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers"; "j" ] ~docv:"N"
+           ~doc:"Warm worker count (default 2).")
+  in
+  let queue_bound =
+    Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N"
+           ~doc:"Total queued requests across all clients before new \
+                 submissions are rejected with retry advice (default 64).")
+  in
+  let retry_after_ms =
+    Arg.(value & opt int 250 & info [ "retry-after-ms" ] ~docv:"MS"
+           ~doc:"Retry advice carried by backpressure rejections (default \
+                 250).")
+  in
+  let warm_bound =
+    Arg.(value & opt int 32 & info [ "warm-bound" ] ~docv:"N"
+           ~doc:"Warm result-cache entries kept under LRU (default 32).")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"Directory for journaled campaign state (crash recovery); \
+                 created if missing, stale journals are collected on \
+                 startup.  Without it, journaled campaign requests are \
+                 refused.")
+  in
+  let run socket tcp workers isolate queue_bound retry_after_ms warm_bound
+      state_dir =
+    let fail = Cli.fail "serve" in
+    let socket =
+      match socket with
+      | Some path -> path
+      | None -> fail "--socket is required"
+    in
+    if workers < 1 then fail "--workers must be >= 1";
+    if queue_bound < 1 then fail "--queue-bound must be >= 1";
+    if warm_bound < 1 then fail "--warm-bound must be >= 1";
+    (match state_dir with
+     | Some dir when not (Sys.file_exists dir) ->
+       (try Unix.mkdir dir 0o755 with
+        | Unix.Unix_error (e, _, _) ->
+          fail (Printf.sprintf "cannot create state dir %s: %s" dir
+                  (Unix.error_message e)))
+     | _ -> ());
+    let config =
+      { (Server.default_config ~socket ()) with
+        tcp;
+        workers;
+        executor =
+          (if isolate then Server.Subprocess_workers
+           else Server.In_domain_workers);
+        queue_bound;
+        retry_after_ms;
+        warm_bound;
+        state_dir }
+    in
+    Printf.printf "tabv serve: listening on %s%s (%d %s worker%s)\n%!" socket
+      (match tcp with
+       | Some (host, port) -> Printf.sprintf " and %s:%d" host port
+       | None -> "")
+      workers
+      (if isolate then "subprocess" else "in-domain")
+      (if workers = 1 then "" else "s");
+    let obs = Cli.with_interrupt (fun interrupted -> Server.run ~interrupted config) in
+    print_endline "tabv serve: drained";
+    Format.printf "%a@." Tabv_obs.Metrics.pp_snapshot (Tabv_obs.Metrics.snapshot obs)
+  in
+  let doc =
+    "Run the persistent verification daemon: concurrent check / record / \
+     recheck / campaign / qualify requests over a Unix-domain (optionally \
+     TCP) socket, with a bounded fair queue, a warm worker pool and \
+     journal-backed crash recovery.  Reports are byte-identical to the \
+     one-shot CLI."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ workers $ Cli.isolate_arg
+      $ queue_bound $ retry_after_ms $ warm_bound $ state_dir)
+
+(* --- client ------------------------------------------------------- *)
+
+let client_cmd =
+  let open Tabv_serve in
+  let op =
+    Arg.(required
+         & pos 0
+             (some
+                (Arg.enum
+                   [ ("check", `Check); ("record", `Record);
+                     ("recheck", `Recheck); ("campaign", `Campaign);
+                     ("qualify", `Qualify); ("ping", `Ping);
+                     ("stats", `Stats); ("invalidate", `Invalidate);
+                     ("shutdown", `Shutdown) ]))
+             None
+         & info [] ~docv:"OP"
+             ~doc:"Request to submit: a job (check, record, recheck, \
+                   campaign, qualify) or a control op (ping, stats, \
+                   invalidate, shutdown).")
+  in
+  let model =
+    Arg.(value & opt (some (Arg.enum Models.names)) None
+         & info [ "model"; "m" ] ~docv:"MODEL"
+             ~doc:"DUV model for check/record requests.")
+  in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops"; "n" ] ~docv:"N"
+           ~doc:"Workload size (operations / pixels).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let props =
+    Arg.(value & opt (some file) None & info [ "props"; "p" ] ~docv:"FILE"
+           ~doc:"Property file; its source is sent inline, so the daemon \
+                 needs no view of the client's filesystem.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out"; "o" ]
+           ~docv:"FILE"
+           ~doc:"Trace output path for record requests (server-side path).")
+  in
+  let trace_in =
+    Arg.(value & opt (some string) None & info [ "trace-in"; "i" ]
+           ~docv:"FILE"
+           ~doc:"Recorded trace path for recheck requests (server-side \
+                 path).")
+  in
+  let manifest =
+    Arg.(value & opt (some file) None & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"JSON campaign manifest for campaign requests (sent \
+                 inline).")
+  in
+  let journal =
+    Arg.(value & flag & info [ "journal" ]
+           ~doc:"Journal the campaign into the daemon's state dir (crash \
+                 recovery; concurrent identical campaigns are refused).")
+  in
+  let duv =
+    Arg.(value & opt string "des56" & info [ "duv" ] ~docv:"DUV"
+           ~doc:"DUV for qualify requests.")
+  in
+  let levels =
+    Arg.(value & opt_all string [] & info [ "level" ] ~docv:"LEVEL"
+           ~doc:"Abstraction level for qualify requests (repeatable; \
+                 default: rtl tlm-ca tlm-at).")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers"; "j" ] ~docv:"N"
+           ~doc:"Worker count used by the daemon for this request's inner \
+                 pool (recheck/campaign/qualify; default 2).")
+  in
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retries per crashing inner job (default 1).")
+  in
+  let attempts =
+    Arg.(value & opt int 10 & info [ "retry-attempts" ] ~docv:"N"
+           ~doc:"Resubmissions on backpressure rejection before giving up \
+                 (default 10; each sleeps the server's advice).")
+  in
+  let report_out =
+    Cli.report_json_arg
+      ~doc:
+        "Write the report to FILE ('-' or absent: stdout).  The bytes are \
+         exactly what the one-shot CLI's --report-json would have written."
+  in
+  let run op socket tcp model ops seed props engine trace_out trace_in
+      manifest journal duv levels workers retries attempts report_out =
+    let fail = Cli.fail "client" in
+    let endpoint =
+      match (tcp, socket) with
+      | Some (host, port), _ -> `Tcp (host, port)
+      | None, Some path -> `Unix path
+      | None, None -> fail "--socket or --tcp is required"
+    in
+    let client =
+      match Client.connect endpoint with
+      | Ok c -> c
+      | Error e -> fail e
+    in
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        let props_src = Option.map Cli.read_file props in
+        let require_model () =
+          match model with
+          | Some m -> m
+          | None -> fail "--model is required for this op"
+        in
+        let job =
+          match op with
+          | `Check ->
+            Some
+              (Protocol.Check
+                 { model = require_model (); seed; ops; props = props_src;
+                   engine; trace_out = None })
+          | `Record ->
+            let path =
+              match trace_out with
+              | Some p -> p
+              | None -> fail "--trace-out is required for record"
+            in
+            Some
+              (Protocol.Check
+                 { model = require_model (); seed; ops; props = props_src;
+                   engine; trace_out = Some path })
+          | `Recheck ->
+            let trace =
+              match trace_in with
+              | Some p -> p
+              | None -> fail "--trace-in is required for recheck"
+            in
+            Some (Protocol.Recheck { trace; props = props_src; workers; retries })
+          | `Campaign ->
+            let path =
+              match manifest with
+              | Some p -> p
+              | None -> fail "--manifest is required for campaign"
+            in
+            let manifest =
+              match Tabv_core.Report_json.of_string (Cli.read_file path) with
+              | json -> json
+              | exception Tabv_core.Report_json.Parse_error
+                  { line; col; message } ->
+                fail (Printf.sprintf "%s:%d:%d: %s" path line col message)
+            in
+            Some
+              (Protocol.Campaign
+                 { manifest; workers; retries = Some retries; journal })
+          | `Qualify ->
+            let duv =
+              match Tabv_campaign.Campaign.duv_of_name duv with
+              | Some d -> d
+              | None -> fail (Printf.sprintf "unknown DUV %S" duv)
+            in
+            let levels =
+              let names =
+                if levels = [] then [ "rtl"; "tlm-ca"; "tlm-at" ] else levels
+              in
+              List.map
+                (fun name ->
+                  match Tabv_campaign.Campaign.level_of_name name with
+                  | Some l -> l
+                  | None -> fail (Printf.sprintf "unknown level %S" name))
+                names
+            in
+            Some (Protocol.Qualify { duv; levels; seed; ops; workers; retries })
+          | `Ping | `Stats | `Invalidate | `Shutdown -> None
+        in
+        match job with
+        | Some job ->
+          (match Client.request_with_retry ~attempts client job with
+           | Client.Result { ok; warm; report } ->
+             (match report_out with
+              | Some "-" | None -> print_string report
+              | Some path ->
+                Out_channel.with_open_bin path (fun oc ->
+                    Out_channel.output_string oc report);
+                Printf.printf "wrote report to %s%s\n" path
+                  (if warm then " (warm)" else ""));
+             if not ok then exit 1
+           | Client.Rejected { retry_after_ms } ->
+             Printf.eprintf
+               "tabv client: server busy; giving up (server advice: retry \
+                after %dms)\n"
+               retry_after_ms;
+             exit 75
+           | Client.Failed message -> fail message)
+        | None ->
+          let control =
+            match op with
+            | `Ping -> Protocol.Ping
+            | `Stats -> Protocol.Stats
+            | `Invalidate -> Protocol.Invalidate
+            | `Shutdown -> Protocol.Shutdown
+            | _ -> assert false
+          in
+          (match Client.control client control with
+           | Client.Pong -> print_endline "pong"
+           | Client.Stats json ->
+             print_endline (Tabv_core.Report_json.to_string json)
+           | Client.Invalidated n ->
+             Printf.printf "invalidated %d warm entr%s\n" n
+               (if n = 1 then "y" else "ies")
+           | Client.Shutting_down -> print_endline "server draining"
+           | Client.Control_failed message -> fail message))
+  in
+  let doc =
+    "Submit one request to a running $(b,tabv serve) daemon and print or \
+     save its report — byte-identical to the one-shot CLI's."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ op $ socket_arg $ tcp_arg $ model $ ops $ seed $ props
+      $ Cli.engine_arg $ trace_out $ trace_in $ manifest $ journal $ duv
+      $ levels $ workers $ retries $ attempts $ report_out)
+
 (* --- doctor ------------------------------------------------------- *)
 
 let doctor_cmd =
@@ -925,6 +1238,109 @@ let doctor_cmd =
     in
     check "journal round-trip (resume replays all jobs byte-identically)"
       journal_smoke;
+    (* Serve smoke: an in-process daemon on a temp socket must answer a
+       check and a 2-job campaign with exactly the bytes the one-shot
+       paths produce, replay the check warm, and drain cleanly on a
+       shutdown request. *)
+    let serve_check_cold = ref false
+    and serve_check_warm = ref false
+    and serve_campaign_ok = ref false
+    and serve_shutdown_ok = ref false in
+    (let expected_check =
+       Tabv_checker.Progression.reset_universe ();
+       let properties, grid_properties =
+         Cli.properties_for Models.Des56_rtl None
+       in
+       let result =
+         Cli.run_model Models.Des56_rtl ~seed:5 ~ops:15 ~properties
+           ~grid_properties
+       in
+       Tabv_core.Report_json.to_string
+         (Models.verdict_report Models.Des56_rtl ~seed:5 ~ops:15 result)
+       ^ "\n"
+     in
+     let manifest_json =
+       let job level =
+         Tabv_core.Report_json.Assoc
+           [ ("duv", Tabv_core.Report_json.String "des56");
+             ("level", Tabv_core.Report_json.String level);
+             ("seed", Tabv_core.Report_json.Int 1);
+             ("ops", Tabv_core.Report_json.Int 10) ]
+       in
+       Tabv_core.Report_json.Assoc
+         [ ("jobs", Tabv_core.Report_json.List [ job "rtl"; job "tlm-ca" ]) ]
+     in
+     let expected_campaign =
+       match Tabv_campaign.Campaign.manifest_of_json manifest_json with
+       | Error msg -> failwith msg
+       | Ok m ->
+         Tabv_core.Report_json.to_string
+           (Tabv_campaign.Campaign.report_json
+              (Tabv_campaign.Campaign.run ~workers:2 ~retries:1
+                 m.Tabv_campaign.Campaign.manifest_jobs))
+         ^ "\n"
+     in
+     let dir = Filename.temp_file "tabv_doctor" ".serve" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o700;
+     let socket = Filename.concat dir "tabv.sock" in
+     Fun.protect
+       ~finally:(fun () ->
+         (try Sys.remove socket with Sys_error _ -> ());
+         (try Unix.rmdir dir with Unix.Unix_error _ -> ()))
+       (fun () ->
+         let config =
+           { (Tabv_serve.Server.default_config ~socket ()) with workers = 2 }
+         in
+         let ready = Atomic.make false in
+         let server =
+           Domain.spawn (fun () ->
+               ignore
+                 (Tabv_serve.Server.run
+                    ~on_ready:(fun () -> Atomic.set ready true)
+                    config))
+         in
+         while not (Atomic.get ready) do
+           Unix.sleepf 0.002
+         done;
+         (match Tabv_serve.Client.connect (`Unix socket) with
+          | Error msg -> prerr_endline ("serve smoke: " ^ msg)
+          | Ok client ->
+            let job =
+              Tabv_serve.Protocol.Check
+                { model = Models.Des56_rtl; seed = 5; ops = 15; props = None;
+                  engine = None; trace_out = None }
+            in
+            (match Tabv_serve.Client.request client job with
+             | Tabv_serve.Client.Result { ok = true; warm = false; report } ->
+               serve_check_cold := report = expected_check
+             | _ -> ());
+            (match Tabv_serve.Client.request client job with
+             | Tabv_serve.Client.Result { ok = true; warm = true; report } ->
+               serve_check_warm := report = expected_check
+             | _ -> ());
+            (match
+               Tabv_serve.Client.request client
+                 (Tabv_serve.Protocol.Campaign
+                    { manifest = manifest_json; workers = 2;
+                      retries = Some 1; journal = false })
+             with
+             | Tabv_serve.Client.Result { ok = true; warm = false; report } ->
+               serve_campaign_ok := report = expected_campaign
+             | _ -> ());
+            (match
+               Tabv_serve.Client.control client Tabv_serve.Protocol.Shutdown
+             with
+             | Tabv_serve.Client.Shutting_down -> serve_shutdown_ok := true
+             | _ -> ());
+            Tabv_serve.Client.close client);
+         Domain.join server));
+    check "serve: socket check is byte-identical to the one-shot path"
+      !serve_check_cold;
+    check "serve: warm replay is byte-identical" !serve_check_warm;
+    check "serve: 2-job campaign over the socket is byte-identical"
+      !serve_campaign_ok;
+    check "serve: graceful shutdown drains" !serve_shutdown_ok;
     if !failures = 0 then print_endline "all checks passed"
     else begin
       Printf.printf "%d check(s) FAILED\n" !failures;
@@ -952,7 +1368,75 @@ let fig3_cmd =
    cmdliner output pollutes the frame protocol on stdout. *)
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "_worker" then begin
+    (* Serve daemons delegate whole requests to subprocess workers via
+       a registered op; the worker must know how to decode it. *)
+    Tabv_serve.Handler.register_worker_op ();
     Tabv_campaign.Worker.main ();
+    exit 0
+  end
+
+(* Hidden two-process golden hook: `tabv _serve_golden OUT` boots a
+   daemon on a temp socket with *subprocess* workers, submits the same
+   check the rc_des56_rtl_live.json golden rule runs, verifies the
+   warm replay is byte-identical, and writes the report bytes to OUT
+   so the test suite can diff them against the one-shot CLI's file. *)
+let () =
+  if Array.length Sys.argv > 2 && Sys.argv.(1) = "_serve_golden" then begin
+    let out = Sys.argv.(2) in
+    let die msg =
+      prerr_endline ("tabv _serve_golden: " ^ msg);
+      exit 1
+    in
+    let dir = Filename.temp_file "tabv_serve" ".golden" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let socket = Filename.concat dir "tabv.sock" in
+    let config =
+      { (Tabv_serve.Server.default_config ~socket ()) with
+        workers = 2;
+        executor = Tabv_serve.Server.Subprocess_workers }
+    in
+    let ready = Atomic.make false in
+    let server =
+      Domain.spawn (fun () ->
+          ignore
+            (Tabv_serve.Server.run
+               ~on_ready:(fun () -> Atomic.set ready true)
+               config))
+    in
+    while not (Atomic.get ready) do
+      Unix.sleepf 0.002
+    done;
+    let client =
+      match Tabv_serve.Client.connect (`Unix socket) with
+      | Ok c -> c
+      | Error msg -> die msg
+    in
+    let job =
+      Tabv_serve.Protocol.Check
+        { model = Models.Des56_rtl; seed = 42; ops = 20; props = None;
+          engine = None; trace_out = None }
+    in
+    let cold =
+      match Tabv_serve.Client.request client job with
+      | Tabv_serve.Client.Result { ok = true; warm = false; report } -> report
+      | Tabv_serve.Client.Result _ -> die "unexpected first reply shape"
+      | Tabv_serve.Client.Rejected _ -> die "rejected"
+      | Tabv_serve.Client.Failed msg -> die msg
+    in
+    (match Tabv_serve.Client.request client job with
+     | Tabv_serve.Client.Result { ok = true; warm = true; report }
+       when report = cold ->
+       ()
+     | _ -> die "warm replay is not byte-identical");
+    (match Tabv_serve.Client.control client Tabv_serve.Protocol.Shutdown with
+     | Tabv_serve.Client.Shutting_down -> ()
+     | _ -> die "shutdown refused");
+    Tabv_serve.Client.close client;
+    Domain.join server;
+    Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc cold);
+    (try Sys.remove socket with Sys_error _ -> ());
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
     exit 0
   end
 
@@ -963,4 +1447,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ abstract_cmd; check_cmd; record_cmd; recheck_cmd; campaign_cmd;
-            qualify_cmd; trace_cmd; replay_cmd; doctor_cmd; fig3_cmd ]))
+            qualify_cmd; serve_cmd; client_cmd; trace_cmd; replay_cmd;
+            doctor_cmd; fig3_cmd ]))

@@ -180,6 +180,39 @@ let append t ~id record =
         write_line oc line;
         t.count <- t.count + 1)
 
+(* Collision-safe journal path for concurrent requests sharing one
+   state directory: the fingerprint already uniquely identifies the
+   job list, so it names the file.  Two concurrent *identical*
+   campaigns would still collide — the serve daemon rejects those at
+   admission instead of interleaving their appends. *)
+let journal_extension = ".journal"
+
+let state_path ~dir ~kind ~fingerprint =
+  Filename.concat dir (kind ^ "-" ^ fingerprint ^ journal_extension)
+
+let gc_stale ?now ~dir ~max_age_s () =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else begin
+    let now =
+      match now with
+      | Some t -> t
+      | None -> Unix.gettimeofday ()
+    in
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun entry ->
+           if not (Filename.check_suffix entry journal_extension) then None
+           else begin
+             let path = Filename.concat dir entry in
+             match Unix.stat path with
+             | { Unix.st_kind = Unix.S_REG; st_mtime; _ }
+               when now -. st_mtime > max_age_s ->
+               (match Unix.unlink path with
+                | () -> Some path
+                | exception Unix.Unix_error _ -> None)
+             | _ | (exception Unix.Unix_error _) -> None
+           end)
+  end
+
 let close t =
   Mutex.lock t.lock;
   Fun.protect

@@ -68,3 +68,25 @@ val close : t -> unit
 (** Canonical fingerprint helper: hex MD5 digest of a canonical
     description string. *)
 val fingerprint_of_string : string -> string
+
+(** {2 Shared state directories}
+
+    The serve daemon journals every journaled request into one state
+    directory; these helpers keep concurrent requests from colliding
+    and the directory from accumulating dead journals. *)
+
+(** [state_path ~dir ~kind ~fingerprint] —
+    [dir/<kind>-<fingerprint>.journal].  The fingerprint uniquely
+    identifies the job list, so concurrent {e distinct} requests get
+    distinct files; identical concurrent requests must be rejected at
+    admission instead (interleaved appends from two writers would
+    corrupt the record stream). *)
+val state_path : dir:string -> kind:string -> fingerprint:string -> string
+
+(** [gc_stale ?now ~dir ~max_age_s ()] — delete every [*.journal]
+    regular file in [dir] not modified in the last [max_age_s] seconds
+    and return the deleted paths (sorted).  A missing [dir] is an
+    empty result; entries that vanish or fail to stat mid-scan are
+    skipped.  [now] (seconds since the epoch) defaults to the current
+    time — tests pass it for determinism. *)
+val gc_stale : ?now:float -> dir:string -> max_age_s:float -> unit -> string list

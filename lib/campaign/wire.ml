@@ -184,71 +184,31 @@ let diagnosis_of_json json =
 
 (* --- framing ---------------------------------------------------------
 
-   Length-prefixed JSON: 8 lowercase hex digits (payload byte length)
-   + '\n' + payload.  Fixed-width so both sides read an exact header
-   before the body — no scanning, no ambiguity with payload bytes. *)
+   The length-prefixed frame protocol itself now lives in
+   {!Tabv_core.Frame} (it is shared with the [tabv serve] socket
+   protocol, which additionally uses Frame's versioned headers); this
+   module re-exports the plain-header subset the worker pipes speak so
+   the executor and worker keep one import. *)
 
-let header_length = 9
+module Frame = Tabv_core.Frame
 
-let encode_frame payload = Printf.sprintf "%08x\n%s" (String.length payload) payload
-
-let decode_header header =
-  if String.length header <> header_length || header.[8] <> '\n' then None
-  else begin
-    let ok = ref true in
-    for i = 0 to 7 do
-      match header.[i] with
-      | '0' .. '9' | 'a' .. 'f' -> ()
-      | _ -> ok := false
-    done;
-    if !ok then int_of_string_opt ("0x" ^ String.sub header 0 8) else None
-  end
-
-let write_frame oc payload =
-  output_string oc (encode_frame payload);
-  flush oc
+let header_length = Frame.header_length
+let encode_frame payload = Frame.encode payload
+let decode_header = Frame.decode_header
+let write_frame oc payload = Frame.write oc payload
 
 (* [None] on a clean EOF at a frame boundary.
    @raise Failure on a malformed header or truncated body. *)
-let read_frame ic =
-  match really_input_string ic header_length with
-  | exception End_of_file ->
-    (* Distinguish a clean EOF (no bytes at all) from a truncated
-       header: [really_input_string] consumed whatever was there
-       either way, so probe with a 1-byte read first next time.  In
-       practice the writer emits whole frames, so EOF mid-header means
-       the peer died mid-write — report it as such. *)
-    None
-  | header ->
-    (match decode_header header with
-     | None -> failwith "wire: malformed frame header"
-     | Some len ->
-       (match really_input_string ic len with
-        | payload -> Some payload
-        | exception End_of_file -> failwith "wire: truncated frame body"))
+let read_frame ic = Frame.read ic
 
 (* Incremental frame accumulator for the coordinator's non-blocking
    reads: feed raw chunks, pop complete frames. *)
-type stream = { mutable buffered : string }
+type stream = Frame.stream
 
-let stream () = { buffered = "" }
-let stream_length s = String.length s.buffered
-let feed s chunk = if chunk <> "" then s.buffered <- s.buffered ^ chunk
+let stream () = Frame.stream ()
+let stream_length = Frame.stream_length
+let feed = Frame.feed
 
-exception Protocol_error of string
+exception Protocol_error = Frame.Protocol_error
 
-let pop s =
-  let len = String.length s.buffered in
-  if len < header_length then None
-  else begin
-    match decode_header (String.sub s.buffered 0 header_length) with
-    | None -> raise (Protocol_error "malformed frame header")
-    | Some body ->
-      if len < header_length + body then None
-      else begin
-        let payload = String.sub s.buffered header_length body in
-        s.buffered <-
-          String.sub s.buffered (header_length + body) (len - header_length - body);
-        Some payload
-      end
-  end
+let pop = Frame.pop

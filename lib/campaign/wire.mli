@@ -59,7 +59,12 @@ val diagnosis_of_json :
 
     8 lowercase hex digits (payload byte length) + ['\n'] + payload.
     Fixed-width, so both sides read an exact header before the body —
-    no scanning, no ambiguity with payload bytes. *)
+    no scanning, no ambiguity with payload bytes.
+
+    These are re-exports of the plain-header subset of
+    {!Tabv_core.Frame}, which owns the protocol (and adds the
+    versioned headers the [tabv serve] socket protocol uses); kept
+    here so the executor, worker and journal share one import. *)
 
 val header_length : int
 

@@ -19,6 +19,15 @@ let decode_sim_engine what fields =
      | Error e -> Error (Printf.sprintf "%s.sim_engine: %s" what e))
   | Some _ -> Error (what ^ ".sim_engine: expected a string")
 
+(* Ops registered by layers above this library (lib/serve adds
+   "serve_request"): name -> decoder-to-thunk.  A registry rather than
+   a match arm because lib/serve depends on this library, not the
+   other way around; coordinators register before [main]. *)
+let extra_ops : (string, J.json -> (unit -> J.json, string) result) Hashtbl.t =
+  Hashtbl.create 4
+
+let register_op name decode = Hashtbl.replace extra_ops name decode
+
 (* Decode a request into a thunk.  Decoding is separated from
    execution so malformed requests answer [{"error":..}] without
    running anything. *)
@@ -91,7 +100,10 @@ let decode_request json =
             sources
         in
         Recheck.payload_json (Recheck.exec_chunk ~trace ~properties))
-  | other -> Error (Printf.sprintf "%s: unknown op %S" what other)
+  | other ->
+    (match Hashtbl.find_opt extra_ops other with
+     | Some decode -> decode json
+     | None -> Error (Printf.sprintf "%s: unknown op %S" what other))
 
 let reply_of_request payload =
   match J.of_string payload with

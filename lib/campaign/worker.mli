@@ -21,7 +21,20 @@
        ({!Campaign.request_json});}
     {- [{"op":"qualify_job","duv":..,"levels":[..],"seed":n,"ops":n,
        "index":i}] — one {!Qualify} pool job by index
-       ({!Qualify.request_json}).}} *)
+       ({!Qualify.request_json});}
+    {- any op added with {!register_op} (the serve daemon registers
+       ["serve_request"]).}} *)
+
+(** [register_op name decode] — extend the request vocabulary.
+    [decode] receives the whole request object and returns the
+    execution thunk (or a decode error, answered as [{"error":..}]).
+    Layers above this library register their ops before {!main};
+    re-registering a name replaces the previous decoder. *)
+val register_op :
+  string ->
+  (Tabv_core.Report_json.json ->
+   (unit -> Tabv_core.Report_json.json, string) result) ->
+  unit
 
 (** Serve requests from [ic] to [oc] until EOF on [ic].
     @raise Failure on a malformed frame (a broken coordinator). *)

@@ -1,0 +1,143 @@
+(* Length-prefixed frame protocol shared by every tabv peer-to-peer
+   channel: the subprocess-executor worker pipes ([Tabv_campaign.Wire]
+   re-exports this module) and the [tabv serve] client sockets.
+
+   Two header formats share one decoder infrastructure:
+
+   - {e plain} — 8 lowercase hex digits (payload byte length) + '\n'.
+     The historical worker-pipe header; both ends are always the same
+     binary, so no version negotiation is needed.
+   - {e versioned} — 2 lowercase hex digits (protocol version) +
+     8 lowercase hex digits (payload byte length) + '\n'.  Used on
+     sockets where the two ends may be different tabv builds: every
+     frame names the protocol it speaks, and a mismatch surfaces as a
+     {!Protocol_error} naming both versions instead of a garbled
+     stream.
+
+   Both are fixed-width so a reader consumes an exact header before
+   the body — no scanning, no ambiguity with payload bytes. *)
+
+let header_length = 9
+let versioned_header_length = 11
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | _ -> None
+
+(* [hex_field s off len] decodes [len] lowercase hex digits of [s]
+   starting at [off]; [None] on any non-hex byte. *)
+let hex_field s off len =
+  let rec go acc i =
+    if i = len then Some acc
+    else
+      match hex_value s.[off + i] with
+      | Some v -> go ((acc * 16) + v) (i + 1)
+      | None -> None
+  in
+  go 0 0
+
+let encode ?version payload =
+  match version with
+  | None -> Printf.sprintf "%08x\n%s" (String.length payload) payload
+  | Some v ->
+    if v < 0 || v > 0xff then
+      invalid_arg "Frame.encode: version must be in [0, 255]";
+    Printf.sprintf "%02x%08x\n%s" v (String.length payload) payload
+
+let decode_header header =
+  if String.length header <> header_length || header.[8] <> '\n' then None
+  else hex_field header 0 8
+
+let decode_versioned_header header =
+  if
+    String.length header <> versioned_header_length
+    || header.[versioned_header_length - 1] <> '\n'
+  then None
+  else
+    match (hex_field header 0 2, hex_field header 2 8) with
+    | Some v, Some len -> Some (v, len)
+    | _ -> None
+
+exception Protocol_error of string
+
+let version_mismatch ~got ~expected =
+  Protocol_error
+    (Printf.sprintf
+       "frame protocol version mismatch: peer speaks v%d, this side speaks \
+        v%d"
+       got expected)
+
+let write ?version oc payload =
+  output_string oc (encode ?version payload);
+  flush oc
+
+(* Blocking channel read of one frame; [None] on a clean EOF at a
+   frame boundary. *)
+let read ?expect_version ic =
+  let hlen =
+    match expect_version with
+    | None -> header_length
+    | Some _ -> versioned_header_length
+  in
+  match really_input_string ic hlen with
+  | exception End_of_file -> None
+  | header ->
+    let len =
+      match expect_version with
+      | None ->
+        (match decode_header header with
+         | Some len -> len
+         | None -> failwith "frame: malformed header")
+      | Some expected ->
+        (match decode_versioned_header header with
+         | Some (v, _) when v <> expected ->
+           raise (version_mismatch ~got:v ~expected)
+         | Some (_, len) -> len
+         | None -> failwith "frame: malformed versioned header")
+    in
+    (match really_input_string ic len with
+     | payload -> Some payload
+     | exception End_of_file -> failwith "frame: truncated body")
+
+(* Incremental frame accumulator for non-blocking reads: feed raw
+   chunks, pop complete frames. *)
+type stream = {
+  mutable buffered : string;
+  expect_version : int option;
+}
+
+let stream ?expect_version () = { buffered = ""; expect_version }
+let stream_length s = String.length s.buffered
+let feed s chunk = if chunk <> "" then s.buffered <- s.buffered ^ chunk
+
+let pop s =
+  let len = String.length s.buffered in
+  let hlen =
+    match s.expect_version with
+    | None -> header_length
+    | Some _ -> versioned_header_length
+  in
+  if len < hlen then None
+  else begin
+    let body =
+      match s.expect_version with
+      | None ->
+        (match decode_header (String.sub s.buffered 0 hlen) with
+         | Some body -> body
+         | None -> raise (Protocol_error "malformed frame header"))
+      | Some expected ->
+        (match decode_versioned_header (String.sub s.buffered 0 hlen) with
+         | Some (v, _) when v <> expected ->
+           raise (version_mismatch ~got:v ~expected)
+         | Some (_, body) -> body
+         | None -> raise (Protocol_error "malformed versioned frame header"))
+    in
+    if len < hlen + body then None
+    else begin
+      let payload = String.sub s.buffered hlen body in
+      s.buffered <- String.sub s.buffered (hlen + body) (len - hlen - body);
+      Some payload
+    end
+  end

@@ -1,0 +1,73 @@
+(** Length-prefixed frame protocol shared by every tabv peer-to-peer
+    channel: the subprocess-executor worker pipes
+    ({!Tabv_campaign.Wire} re-exports this module) and the
+    [tabv serve] client sockets.
+
+    Two fixed-width header formats:
+
+    {ul
+    {- {e plain} — 8 lowercase hex digits (payload byte length) +
+       ['\n'].  The historical worker-pipe header; both pipe ends are
+       always the same binary, so no version negotiation is needed.}
+    {- {e versioned} — 2 lowercase hex digits (protocol version) +
+       8 lowercase hex digits (payload byte length) + ['\n'].  Used on
+       sockets where the two ends may be different tabv builds: every
+       frame names the protocol it speaks, and a mismatch surfaces as
+       a {!Protocol_error} naming both versions instead of a garbled
+       stream.}} *)
+
+(** Plain header byte length (8 hex digits + newline). *)
+val header_length : int
+
+(** Versioned header byte length (2 + 8 hex digits + newline). *)
+val versioned_header_length : int
+
+(** [encode ?version payload] — one whole frame.  Plain header when
+    [version] is absent; versioned otherwise.
+    @raise Invalid_argument when [version] is outside [[0, 255]]. *)
+val encode : ?version:int -> string -> string
+
+(** [None] on anything that is not 8 hex digits + newline. *)
+val decode_header : string -> int option
+
+(** [(version, length)], or [None] on a malformed header. *)
+val decode_versioned_header : string -> (int * int) option
+
+exception Protocol_error of string
+
+(** The error both the channel reader and the incremental decoder
+    raise on a version-field mismatch (as {!Protocol_error}). *)
+val version_mismatch : got:int -> expected:int -> exn
+
+(** Write one frame and flush.  [version] selects the header format
+    and must match what the peer's reader expects. *)
+val write : ?version:int -> out_channel -> string -> unit
+
+(** Blocking read of one frame.  [None] on a clean EOF at a frame
+    boundary.  With [expect_version] the versioned header is read and
+    the version field checked.
+    @raise Protocol_error on a version mismatch.
+    @raise Failure on a malformed header or truncated body. *)
+val read : ?expect_version:int -> in_channel -> string option
+
+(** {2 Incremental frame accumulator}
+
+    For non-blocking reads: feed raw chunks, pop complete frames. *)
+
+type stream
+
+(** [stream ?expect_version ()] — a fresh decoder.  With
+    [expect_version] it decodes versioned headers and checks the
+    version field of every frame. *)
+val stream : ?expect_version:int -> unit -> stream
+
+(** Bytes currently buffered (useful to detect a partial trailing
+    frame after EOF). *)
+val stream_length : stream -> int
+
+val feed : stream -> string -> unit
+
+(** Pop the next complete frame, if any.
+    @raise Protocol_error on a malformed buffered header or a version
+    mismatch. *)
+val pop : stream -> string option

@@ -1,0 +1,189 @@
+(* Blocking client for the tabv-serve protocol.
+
+   Connects, validates the server's hello (frame version is checked by
+   the stream decoder, application protocol by {!Protocol.check_hello}),
+   then exchanges one request at a time: [request] submits a job and
+   blocks through the accepted/started progress events until a
+   terminal event arrives; [control] does the same for control ops.
+   Request ids are allocated per connection. *)
+
+module J = Tabv_core.Report_json
+module Frame = Tabv_core.Frame
+
+type endpoint =
+  [ `Unix of string  (* socket path *)
+  | `Tcp of string * int ]
+
+type t = {
+  fd : Unix.file_descr;
+  stream : Frame.stream;
+  mutable next_id : int;
+}
+
+type reply =
+  | Result of { ok : bool; warm : bool; report : string }
+  | Rejected of { retry_after_ms : int }
+  | Failed of string
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send t payload =
+  let frame = Frame.encode ~version:Protocol.frame_version payload in
+  write_all t.fd frame 0 (String.length frame)
+
+(* Next complete frame, reading as needed.  [None] on orderly EOF. *)
+let read_frame t =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Frame.pop t.stream with
+    | Some payload -> Some payload
+    | None ->
+      (match Unix.read t.fd buf 0 65536 with
+       | 0 -> None
+       | n ->
+         Frame.feed t.stream (Bytes.sub_string buf 0 n);
+         go ())
+  in
+  go ()
+
+let connect (endpoint : endpoint) =
+  let fd =
+    match endpoint with
+    | `Unix path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | `Tcp (host, port) ->
+      let addr =
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
+        | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+        | exception Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+  in
+  let t =
+    { fd; stream = Frame.stream ~expect_version:Protocol.frame_version ();
+      next_id = 0 }
+  in
+  match read_frame t with
+  | None ->
+    Unix.close fd;
+    Error "server closed the connection before saying hello"
+  | exception e ->
+    Unix.close fd;
+    Error (Printexc.to_string e)
+  | Some payload ->
+    (match
+       match J.of_string payload with
+       | exception J.Parse_error _ -> Error "unparsable hello from server"
+       | json -> Protocol.check_hello json
+     with
+     | Ok () -> Ok t
+     | Error e ->
+       Unix.close fd;
+       Error e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+(* Raw protocol access (tests, benches, multi-request pipelining):
+   fire a request without waiting, and read the next event whoever it
+   belongs to. *)
+let send_request t ~id request =
+  send t (J.to_string (Protocol.request_json ~id request))
+
+let next_event t =
+  match read_frame t with
+  | None -> Error "server closed the connection"
+  | exception e -> Error (Printexc.to_string e)
+  | Some payload ->
+    (match J.of_string payload with
+     | exception J.Parse_error _ -> Error "unparsable event from server"
+     | json -> Protocol.event_of_json json)
+
+(* Wait for this request's terminal event, skipping progress events
+   ([accepted], [started]) and other requests' events. *)
+let await_terminal t ~id =
+  let rec go () =
+    match read_frame t with
+    | None -> Failed "server closed the connection mid-request"
+    | exception e -> Failed (Printexc.to_string e)
+    | Some payload ->
+      (match J.of_string payload with
+       | exception J.Parse_error _ -> Failed "unparsable event from server"
+       | json ->
+         (match Protocol.event_of_json json with
+          | Error e -> Failed e
+          | Ok (event_id, _) when event_id <> id -> go ()
+          | Ok (_, Protocol.Result { ok; warm; report }) ->
+            Result { ok; warm; report }
+          | Ok (_, Protocol.Rejected { retry_after_ms }) ->
+            Rejected { retry_after_ms }
+          | Ok (_, Protocol.Error { message }) -> Failed message
+          | Ok (_, (Protocol.Accepted _ | Protocol.Started)) -> go ()
+          | Ok (_, Protocol.Pong)
+          | Ok (_, Protocol.Stats_reply _)
+          | Ok (_, Protocol.Invalidated _)
+          | Ok (_, Protocol.Shutting_down) ->
+            Failed "unexpected control event for a job request"))
+  in
+  go ()
+
+let request t job =
+  let id = fresh_id t in
+  send t (J.to_string (Protocol.request_json ~id (Protocol.Job job)));
+  await_terminal t ~id
+
+(* Submit with bounded retries on backpressure, sleeping the server's
+   advice between attempts. *)
+let request_with_retry ?(attempts = 10) t job =
+  let rec go attempt =
+    match request t job with
+    | Rejected { retry_after_ms } when attempt < attempts ->
+      Unix.sleepf (float_of_int retry_after_ms /. 1000.);
+      go (attempt + 1)
+    | reply -> reply
+  in
+  go 1
+
+type control_reply =
+  | Pong
+  | Stats of J.json
+  | Invalidated of int
+  | Shutting_down
+  | Control_failed of string
+
+let control t op =
+  let id = fresh_id t in
+  send t (J.to_string (Protocol.request_json ~id (Protocol.Control op)));
+  let rec go () =
+    match read_frame t with
+    | None -> Control_failed "server closed the connection mid-request"
+    | exception e -> Control_failed (Printexc.to_string e)
+    | Some payload ->
+      (match J.of_string payload with
+       | exception J.Parse_error _ ->
+         Control_failed "unparsable event from server"
+       | json ->
+         (match Protocol.event_of_json json with
+          | Error e -> Control_failed e
+          | Ok (event_id, _) when event_id <> id -> go ()
+          | Ok (_, Protocol.Pong) -> Pong
+          | Ok (_, Protocol.Stats_reply metrics) -> Stats metrics
+          | Ok (_, Protocol.Invalidated { entries }) -> Invalidated entries
+          | Ok (_, Protocol.Shutting_down) -> Shutting_down
+          | Ok (_, Protocol.Error { message }) -> Control_failed message
+          | Ok (_, _) -> Control_failed "unexpected job event for a control op"))
+  in
+  go ()

@@ -1,0 +1,76 @@
+(* Bounded fair scheduler: one FIFO per client, round-robin service
+   across clients, explicit backpressure.
+
+   Fairness is per-connection, not per-request: a client that dumps
+   50 requests cannot starve one that sends a single check, because
+   [next] rotates a cursor over the clients that have queued work and
+   takes one request per visit.  The bound is global (total queued
+   across all clients); a submit over the bound is rejected with
+   explicit retry advice rather than queued into unbounded memory.
+
+   Plain single-threaded data structure — the server's coordinator
+   loop is the only caller. *)
+
+type 'a t = {
+  bound : int;
+  queues : (int, 'a Queue.t) Hashtbl.t;  (* client id -> its FIFO *)
+  mutable rotation : int list;  (* client service order, cursor at head *)
+  mutable depth : int;  (* total queued *)
+}
+
+let create ~bound =
+  if bound < 1 then invalid_arg "Sched.create: bound must be >= 1";
+  { bound; queues = Hashtbl.create 16; rotation = []; depth = 0 }
+
+let depth t = t.depth
+
+let add_client t client =
+  if not (Hashtbl.mem t.queues client) then begin
+    Hashtbl.replace t.queues client (Queue.create ());
+    t.rotation <- t.rotation @ [ client ]
+  end
+
+(* Forget [client]; its queued (never-started) requests come back to
+   the caller so their resources can be released. *)
+let remove_client t client =
+  match Hashtbl.find_opt t.queues client with
+  | None -> []
+  | Some q ->
+    Hashtbl.remove t.queues client;
+    t.rotation <- List.filter (fun c -> c <> client) t.rotation;
+    let dropped = List.of_seq (Queue.to_seq q) in
+    t.depth <- t.depth - List.length dropped;
+    dropped
+
+let submit t ~client item =
+  match Hashtbl.find_opt t.queues client with
+  | None -> invalid_arg "Sched.submit: unknown client"
+  | Some q ->
+    if t.depth >= t.bound then `Rejected
+    else begin
+      Queue.add item q;
+      t.depth <- t.depth + 1;
+      `Accepted t.depth
+    end
+
+(* The next request under round-robin: advance the cursor past clients
+   with empty queues, take one item from the first non-empty one, and
+   rotate it to the back so every client with work gets one turn per
+   revolution. *)
+let next t =
+  let rec go visited =
+    match t.rotation with
+    | [] -> None
+    | client :: rest ->
+      if visited >= List.length t.rotation then None
+      else begin
+        t.rotation <- rest @ [ client ];
+        match Hashtbl.find_opt t.queues client with
+        | Some q when not (Queue.is_empty q) ->
+          let item = Queue.take q in
+          t.depth <- t.depth - 1;
+          Some (client, item)
+        | _ -> go (visited + 1)
+      end
+  in
+  go 0

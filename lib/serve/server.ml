@@ -1,0 +1,872 @@
+(* The tabv-serve daemon: a persistent, concurrent verification
+   service over versioned Wire frames.
+
+   One single-threaded coordinator (this module's select loop) owns
+   every socket, the bounded fair scheduler, the warm result cache and
+   the request bookkeeping; verification work itself runs on a warm
+   worker pool — OCaml domains in-process, or crash-isolated [_worker]
+   subprocesses speaking the registered ["serve_request"] op.  The
+   coordinator never blocks on work or on a slow client: reads are
+   non-blocking through incremental frame streams, writes go through
+   per-connection backlogs drained when the socket is writable.
+
+   Life of a request:
+   {ol
+   {- decode; warm-cacheable requests consult the {!Warm} cache — a
+      hit answers immediately with the cached bytes ([warm:true]);}
+   {- admission: journaled campaigns whose journal path is already
+      active are refused (two writers on one journal would corrupt
+      it); a full queue answers [rejected] with retry advice;}
+   {- [accepted] with the queue position, then fair round-robin
+      scheduling across client connections ({!Sched});}
+   {- [started] when a worker picks it up; client disconnect sets the
+      request's interrupt flag (in-domain) or SIGKILLs the worker
+      (subprocess) and discards the result;}
+   {- [result] carries the exact one-shot CLI report bytes (see
+      {!Handler}); completed cacheable results warm the cache.}}
+
+   Shutdown (a [shutdown] request, or the caller's [interrupted]
+   turning true — the CLI wires SIGINT/SIGTERM to it) drains
+   gracefully: listeners close, accepted requests finish, then the
+   loop exits and every worker is torn down. *)
+
+module J = Tabv_core.Report_json
+module Frame = Tabv_core.Frame
+module Metrics = Tabv_obs.Metrics
+module Journal = Tabv_campaign.Journal
+
+type executor =
+  | In_domain_workers
+  | Subprocess_workers
+
+type config = {
+  socket : string;  (* Unix-domain socket path *)
+  tcp : (string * int) option;  (* optional extra TCP listener *)
+  workers : int;
+  executor : executor;
+  queue_bound : int;
+  retry_after_ms : int;  (* advice in rejected events *)
+  warm_bound : int;
+  state_dir : string option;  (* journals for journaled campaigns *)
+  journal_gc_age_s : float;  (* stale-journal GC horizon at startup *)
+  worker_argv : string array;  (* how to launch a subprocess worker *)
+  obs : Metrics.t option;  (* server observability registry *)
+}
+
+let default_config ~socket () =
+  {
+    socket;
+    tcp = None;
+    workers = 2;
+    executor = In_domain_workers;
+    queue_bound = 64;
+    retry_after_ms = 250;
+    warm_bound = 32;
+    state_dir = None;
+    journal_gc_age_s = 7. *. 24. *. 3600.;
+    worker_argv = [| Sys.executable_name; "_worker" |];
+    obs = None;
+  }
+
+(* --- bookkeeping types --------------------------------------------- *)
+
+type key = {
+  k_conn : int;
+  k_req : int;  (* the client-chosen request id *)
+}
+
+type queued = {
+  q_key : key;
+  q_job : Protocol.job;
+  q_fingerprint : string;
+  q_cacheable : bool;
+  q_journal_path : string option;
+}
+
+type running = {
+  r_queued : queued;
+  r_interrupted : bool Atomic.t;
+  r_started_at : float;
+  mutable r_cancelled : bool;  (* client gone: discard the result *)
+}
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_stream : Frame.stream;
+  mutable c_out : string;  (* unwritten outgoing bytes *)
+  mutable c_dead : bool;
+}
+
+(* One in-domain worker: a spawned domain blocking on its mailbox.
+   Results come back through a shared outbox plus a self-pipe byte so
+   the coordinator's select wakes up. *)
+type dtask =
+  | Run of running
+  | Quit
+
+type dworker = {
+  d_idx : int;
+  d_lock : Mutex.t;
+  d_cond : Condition.t;
+  mutable d_task : dtask option;
+  mutable d_busy : running option;  (* coordinator-side view *)
+  mutable d_domain : unit Domain.t option;
+}
+
+(* One subprocess worker (coordinator-side): the live process, its
+   pipe ends, and the plain-frame reassembly stream. *)
+type proc = {
+  p_pid : int;
+  p_to : Unix.file_descr;
+  p_from : Unix.file_descr;
+  p_stream : Frame.stream;
+}
+
+type pworker = {
+  s_idx : int;
+  mutable s_proc : proc option;
+  mutable s_busy : running option;
+}
+
+type pool =
+  | Domains of dworker array * Unix.file_descr * Unix.file_descr
+      (* workers, wake-pipe read end, write end *)
+  | Processes of pworker array
+
+type t = {
+  config : config;
+  obs : Metrics.t;
+  warm : Warm.t;
+  sched : queued Sched.t;
+  conns : (int, conn) Hashtbl.t;
+  active_journals : (string, unit) Hashtbl.t;
+  outbox : (key * (Handler.outcome, string) result) Queue.t;
+  outbox_lock : Mutex.t;
+  mutable next_conn : int;
+  mutable draining : bool;
+  mutable listeners : Unix.file_descr list;
+  pool : pool;
+  (* instruments *)
+  m_requests : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_cancelled : Metrics.counter;
+  m_failed : Metrics.counter;
+  m_served : Metrics.counter;
+  m_latency : Metrics.histogram;
+}
+
+(* --- small IO helpers ---------------------------------------------- *)
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let set_cloexec fd = try Unix.set_close_on_exec fd with Unix.Unix_error _ -> ()
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* Append [payload] as one versioned frame to the connection's
+   backlog; the select loop drains it when the socket is writable. *)
+let send_frame conn payload =
+  if not conn.c_dead then
+    conn.c_out <-
+      conn.c_out ^ Frame.encode ~version:Protocol.frame_version payload
+
+let send_event conn ~id event =
+  send_frame conn (J.to_string (Protocol.event_json ~id event))
+
+(* --- in-domain worker pool ----------------------------------------- *)
+
+let dworker_loop state_dir w wake_w outbox outbox_lock =
+  let rec loop () =
+    Mutex.lock w.d_lock;
+    while w.d_task = None do
+      Condition.wait w.d_cond w.d_lock
+    done;
+    let task = Option.get w.d_task in
+    w.d_task <- None;
+    Mutex.unlock w.d_lock;
+    match task with
+    | Quit -> ()
+    | Run r ->
+      let result =
+        match
+          Handler.execute
+            ~interrupted:(fun () -> Atomic.get r.r_interrupted)
+            ~state_dir r.r_queued.q_job
+        with
+        | result -> result
+        | exception e -> Error (Printexc.to_string e)
+      in
+      Mutex.lock outbox_lock;
+      Queue.add (r.r_queued.q_key, result) outbox;
+      Mutex.unlock outbox_lock;
+      (* Wake the coordinator; a full pipe just means it is already
+         awash in wakeups. *)
+      (try ignore (Unix.write_substring wake_w "x" 0 1) with
+       | Unix.Unix_error _ -> ());
+      loop ()
+  in
+  loop ()
+
+(* --- subprocess worker pool ---------------------------------------- *)
+
+let spawn_proc config =
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let rep_r, rep_w = Unix.pipe ~cloexec:false () in
+  set_cloexec req_w;
+  set_cloexec rep_r;
+  let pid =
+    Unix.create_process config.worker_argv.(0) config.worker_argv req_r rep_w
+      Unix.stderr
+  in
+  close_noerr req_r;
+  close_noerr rep_w;
+  { p_pid = pid; p_to = req_w; p_from = rep_r; p_stream = Frame.stream () }
+
+let kill_proc proc =
+  (try Unix.kill proc.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  close_noerr proc.p_to;
+  close_noerr proc.p_from;
+  (try ignore (Unix.waitpid [] proc.p_pid) with Unix.Unix_error _ -> ())
+
+(* Reap a worker that closed its pipe, classifying the death for the
+   failure message. *)
+let reap_proc proc =
+  close_noerr proc.p_to;
+  close_noerr proc.p_from;
+  match Unix.waitpid [] proc.p_pid with
+  | _, Unix.WSIGNALED signal ->
+    Printf.sprintf "worker killed by signal %d" signal
+  | _, Unix.WEXITED code ->
+    Printf.sprintf "worker exited with code %d before replying" code
+  | _, Unix.WSTOPPED _ -> "worker stopped"
+  | exception Unix.Unix_error _ -> "worker vanished"
+
+(* --- server construction ------------------------------------------- *)
+
+let make_pool config =
+  match config.executor with
+  | In_domain_workers ->
+    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock wake_r;
+    Unix.set_nonblock wake_w;
+    let workers =
+      Array.init config.workers (fun i ->
+          {
+            d_idx = i;
+            d_lock = Mutex.create ();
+            d_cond = Condition.create ();
+            d_task = None;
+            d_busy = None;
+            d_domain = None;
+          })
+    in
+    Domains (workers, wake_r, wake_w)
+  | Subprocess_workers ->
+    Processes
+      (Array.init config.workers (fun i ->
+           { s_idx = i; s_proc = None; s_busy = None }))
+
+let listen_unix path =
+  (* A previous daemon's socket file would make bind fail; connecting
+     to it would fail too (no listener), so removing it is safe. *)
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | _ -> ()
+   | exception Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  set_cloexec fd;
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp host port =
+  let addr =
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  set_cloexec fd;
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let create (config : config) =
+  let obs =
+    match config.obs with
+    | Some m -> m
+    | None -> Metrics.create ~enabled:true ()
+  in
+  let warm = Warm.create ~bound:config.warm_bound in
+  let sched = Sched.create ~bound:config.queue_bound in
+  let conns = Hashtbl.create 16 in
+  Metrics.probe obs "serve.queue_depth" (fun () -> Sched.depth sched);
+  Metrics.probe obs "serve.connections_active" (fun () -> Hashtbl.length conns);
+  Metrics.probe obs "serve.warm_entries" (fun () -> Warm.size warm);
+  Metrics.probe obs "serve.warm_hits" (fun () -> Warm.hits warm);
+  Metrics.probe obs "serve.warm_misses" (fun () -> Warm.misses warm);
+  Metrics.probe obs "serve.warm_evictions" (fun () -> Warm.evictions warm);
+  (* Stale-journal GC: journals of long-dead campaigns have no
+     recovery value and would accumulate forever. *)
+  (match config.state_dir with
+   | Some dir ->
+     ignore (Journal.gc_stale ~dir ~max_age_s:config.journal_gc_age_s ())
+   | None -> ());
+  {
+    config;
+    obs;
+    warm;
+    sched;
+    conns;
+    active_journals = Hashtbl.create 8;
+    outbox = Queue.create ();
+    outbox_lock = Mutex.create ();
+    next_conn = 0;
+    draining = false;
+    listeners = [];
+    pool = make_pool config;
+    m_requests = Metrics.counter obs "serve.requests_total";
+    m_rejected = Metrics.counter obs "serve.requests_rejected";
+    m_cancelled = Metrics.counter obs "serve.requests_cancelled";
+    m_failed = Metrics.counter obs "serve.requests_failed";
+    m_served = Metrics.counter obs "serve.requests_served";
+    m_latency = Metrics.histogram obs "serve.request_latency_ms";
+  }
+
+(* --- dispatch ------------------------------------------------------ *)
+
+let mark_journal t running active =
+  match running.r_queued.q_journal_path with
+  | None -> ()
+  | Some path ->
+    if active then Hashtbl.replace t.active_journals path ()
+    else Hashtbl.remove t.active_journals path
+
+let start_on_dworker t w running =
+  w.d_busy <- Some running;
+  mark_journal t running true;
+  Mutex.lock w.d_lock;
+  w.d_task <- Some (Run running);
+  Condition.signal w.d_cond;
+  Mutex.unlock w.d_lock
+
+let start_on_pworker t w running =
+  let proc =
+    match w.s_proc with
+    | Some proc -> proc
+    | None ->
+      let proc = spawn_proc t.config in
+      w.s_proc <- Some proc;
+      proc
+  in
+  w.s_busy <- Some running;
+  mark_journal t running true;
+  let request =
+    Handler.worker_request_json ~state_dir:t.config.state_dir
+      running.r_queued.q_job
+  in
+  let frame = Frame.encode (J.to_string request) in
+  write_all proc.p_to frame 0 (String.length frame)
+
+(* Hand queued requests to idle workers, telling their clients. *)
+let try_dispatch t =
+  let idle_slots () =
+    match t.pool with
+    | Domains (workers, _, _) ->
+      Array.to_list workers
+      |> List.filter_map (fun w ->
+             if w.d_busy = None then Some (`D w) else None)
+    | Processes workers ->
+      Array.to_list workers
+      |> List.filter_map (fun w ->
+             if w.s_busy = None then Some (`P w) else None)
+  in
+  let rec go = function
+    | [] -> ()
+    | slot :: slots ->
+      (match Sched.next t.sched with
+       | None -> ()
+       | Some (_client, queued) ->
+         let running =
+           {
+             r_queued = queued;
+             r_interrupted = Atomic.make false;
+             r_started_at = Unix.gettimeofday ();
+             r_cancelled = false;
+           }
+         in
+         (match Hashtbl.find_opt t.conns queued.q_key.k_conn with
+          | Some conn -> send_event conn ~id:queued.q_key.k_req Protocol.Started
+          | None -> ());
+         (match slot with
+          | `D w -> start_on_dworker t w running
+          | `P w -> start_on_pworker t w running);
+         go slots)
+  in
+  go (idle_slots ())
+
+(* --- request admission --------------------------------------------- *)
+
+let handle_request t conn ~id request =
+  match request with
+  | Protocol.Control Protocol.Ping -> send_event conn ~id Protocol.Pong
+  | Protocol.Control Protocol.Stats ->
+    send_event conn ~id
+      (Protocol.Stats_reply
+         (J.Assoc
+            [ ( "metrics",
+                Tabv_core.Report_json.metrics_snapshot_json
+                  (Metrics.snapshot t.obs) ) ]))
+  | Protocol.Control Protocol.Invalidate ->
+    send_event conn ~id (Protocol.Invalidated { entries = Warm.clear t.warm })
+  | Protocol.Control Protocol.Shutdown ->
+    send_event conn ~id Protocol.Shutting_down;
+    t.draining <- true
+  | Protocol.Job job ->
+    Metrics.incr t.m_requests;
+    let fingerprint = Handler.fingerprint job in
+    let cacheable = Handler.cacheable job in
+    let warm_hit =
+      if cacheable then Warm.find t.warm fingerprint else None
+    in
+    (match warm_hit with
+     | Some entry ->
+       Metrics.incr t.m_served;
+       send_event conn ~id
+         (Protocol.Result
+            { ok = entry.Warm.ok; warm = true; report = entry.Warm.report })
+     | None ->
+       let journal_path =
+         match t.config.state_dir with
+         | Some state_dir -> Handler.campaign_journal_path ~state_dir job
+         | None -> None
+       in
+       let journal_clash =
+         match journal_path with
+         | Some path -> Hashtbl.mem t.active_journals path
+         | None -> false
+       in
+       if journal_clash then begin
+         Metrics.incr t.m_rejected;
+         send_event conn ~id
+           (Protocol.Rejected { retry_after_ms = t.config.retry_after_ms })
+       end
+       else begin
+         let queued =
+           {
+             q_key = { k_conn = conn.c_id; k_req = id };
+             q_job = job;
+             q_fingerprint = fingerprint;
+             q_cacheable = cacheable;
+             q_journal_path = journal_path;
+           }
+         in
+         match Sched.submit t.sched ~client:conn.c_id queued with
+         | `Rejected ->
+           Metrics.incr t.m_rejected;
+           send_event conn ~id
+             (Protocol.Rejected { retry_after_ms = t.config.retry_after_ms })
+         | `Accepted position ->
+           send_event conn ~id (Protocol.Accepted { position });
+           try_dispatch t
+       end)
+
+(* --- result completion --------------------------------------------- *)
+
+let finish t running result =
+  mark_journal t running false;
+  let key = running.r_queued.q_key in
+  let elapsed_ms =
+    int_of_float ((Unix.gettimeofday () -. running.r_started_at) *. 1000.)
+  in
+  Metrics.observe t.m_latency (max 1 elapsed_ms);
+  if running.r_cancelled then Metrics.incr t.m_cancelled
+  else begin
+    (match result with
+     | Ok outcome ->
+       Metrics.incr t.m_served;
+       if running.r_queued.q_cacheable then
+         Warm.add t.warm running.r_queued.q_fingerprint
+           { Warm.ok = outcome.Handler.green; report = outcome.Handler.report };
+       (match Hashtbl.find_opt t.conns key.k_conn with
+        | Some conn ->
+          send_event conn ~id:key.k_req
+            (Protocol.Result
+               {
+                 ok = outcome.Handler.green;
+                 warm = false;
+                 report = outcome.Handler.report;
+               })
+        | None -> ())
+     | Error message ->
+       Metrics.incr t.m_failed;
+       (match Hashtbl.find_opt t.conns key.k_conn with
+        | Some conn ->
+          send_event conn ~id:key.k_req (Protocol.Error { message })
+        | None -> ()))
+  end
+
+(* Drain the in-domain outbox: match results to their workers, answer
+   clients, refill the workers. *)
+let drain_outbox t =
+  match t.pool with
+  | Processes _ -> ()
+  | Domains (workers, wake_r, _) ->
+    (* Swallow the wakeup bytes. *)
+    let buf = Bytes.create 64 in
+    let rec swallow () =
+      match Unix.read wake_r buf 0 64 with
+      | n when n > 0 -> swallow ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    swallow ();
+    let rec pop () =
+      Mutex.lock t.outbox_lock;
+      let next =
+        if Queue.is_empty t.outbox then None else Some (Queue.take t.outbox)
+      in
+      Mutex.unlock t.outbox_lock;
+      match next with
+      | None -> ()
+      | Some (key, result) ->
+        Array.iter
+          (fun w ->
+            match w.d_busy with
+            | Some running when running.r_queued.q_key = key ->
+              w.d_busy <- None;
+              finish t running result
+            | _ -> ())
+          workers;
+        pop ()
+    in
+    pop ();
+    try_dispatch t
+
+(* A subprocess worker's pipe turned readable: feed its stream, pop
+   complete reply frames, or observe its death. *)
+let service_pworker t w =
+  match w.s_proc with
+  | None -> ()
+  | Some proc ->
+    let buf = Bytes.create 65536 in
+    let died, chunk =
+      match Unix.read proc.p_from buf 0 65536 with
+      | 0 -> (true, "")
+      | n -> (false, Bytes.sub_string buf 0 n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (false, "")
+      | exception Unix.Unix_error _ -> (true, "")
+    in
+    if chunk <> "" then Frame.feed proc.p_stream chunk;
+    let pop () =
+      match Frame.pop proc.p_stream with
+      | exception Frame.Protocol_error _ -> Some (Error "worker spoke garbage")
+      | None -> None
+      | Some payload ->
+        (match J.of_string payload with
+         | exception J.Parse_error _ -> Some (Error "unparsable worker reply")
+         | json ->
+           (match J.member "ok" json with
+            | Some payload ->
+              (match Handler.decode_worker_reply payload with
+               | Ok outcome -> Some (Ok outcome)
+               | Error e -> Some (Error e))
+            | None ->
+              (match J.member "error" json with
+               | Some (J.String message) -> Some (Error message)
+               | _ -> Some (Error "malformed worker reply"))))
+    in
+    (match pop () with
+     | Some result ->
+       (match w.s_busy with
+        | Some running ->
+          w.s_busy <- None;
+          finish t running result
+        | None -> ());
+       ignore (pop ())
+     | None ->
+       if died then begin
+         let message = reap_proc proc in
+         w.s_proc <- None;
+         match w.s_busy with
+         | Some running ->
+           w.s_busy <- None;
+           finish t running (Error message)
+         | None -> ()
+       end);
+    try_dispatch t
+
+(* --- connection lifecycle ------------------------------------------ *)
+
+let accept_conn t listener =
+  match Unix.accept ~cloexec:true listener with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _addr ->
+    Unix.set_nonblock fd;
+    let conn =
+      {
+        c_id = t.next_conn;
+        c_fd = fd;
+        c_stream = Frame.stream ~expect_version:Protocol.frame_version ();
+        c_out = "";
+        c_dead = false;
+      }
+    in
+    t.next_conn <- t.next_conn + 1;
+    Hashtbl.replace t.conns conn.c_id conn;
+    Sched.add_client t.sched conn.c_id;
+    send_frame conn (J.to_string Protocol.hello_json)
+
+let disconnect t conn =
+  conn.c_dead <- true;
+  Hashtbl.remove t.conns conn.c_id;
+  let dropped = Sched.remove_client t.sched conn.c_id in
+  List.iter (fun _ -> Metrics.incr t.m_cancelled) dropped;
+  (* Cancel this client's in-flight work: in-domain requests get their
+     interrupt flag (the worker frees itself at the next interruption
+     point and the result is discarded); subprocess workers are killed
+     outright and respawn lazily. *)
+  (match t.pool with
+   | Domains (workers, _, _) ->
+     Array.iter
+       (fun w ->
+         match w.d_busy with
+         | Some running when running.r_queued.q_key.k_conn = conn.c_id ->
+           running.r_cancelled <- true;
+           Atomic.set running.r_interrupted true
+         | _ -> ())
+       workers
+   | Processes workers ->
+     Array.iter
+       (fun w ->
+         match w.s_busy with
+         | Some running when running.r_queued.q_key.k_conn = conn.c_id ->
+           running.r_cancelled <- true;
+           mark_journal t running false;
+           Metrics.incr t.m_cancelled;
+           w.s_busy <- None;
+           (match w.s_proc with
+            | Some proc ->
+              kill_proc proc;
+              w.s_proc <- None
+            | None -> ())
+         | _ -> ())
+       workers);
+  close_noerr conn.c_fd;
+  try_dispatch t
+
+let service_conn_read t conn =
+  let buf = Bytes.create 65536 in
+  let closed =
+    match Unix.read conn.c_fd buf 0 65536 with
+    | 0 -> true
+    | n ->
+      Frame.feed conn.c_stream (Bytes.sub_string buf 0 n);
+      false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      false
+    | exception Unix.Unix_error _ -> true
+  in
+  let protocol_failure message =
+    send_event conn ~id:(-1) (Protocol.Error { message });
+    (* Flush best-effort, then drop the connection: after a framing
+       error the byte stream has no recoverable structure. *)
+    (try write_all conn.c_fd conn.c_out 0 (String.length conn.c_out) with
+     | Unix.Unix_error _ -> ());
+    conn.c_out <- "";
+    disconnect t conn
+  in
+  let rec pump () =
+    if not conn.c_dead then
+      match Frame.pop conn.c_stream with
+      | exception Frame.Protocol_error message -> protocol_failure message
+      | None -> ()
+      | Some payload ->
+        (match J.of_string payload with
+         | exception J.Parse_error { line; col; message } ->
+           protocol_failure
+             (Printf.sprintf "unparsable request: %d:%d: %s" line col message)
+         | json ->
+           (match Protocol.request_of_json json with
+            | Error message -> send_event conn ~id:(-1) (Protocol.Error { message })
+            | Ok (id, request) -> handle_request t conn ~id request);
+           pump ())
+  in
+  pump ();
+  if closed && not conn.c_dead then disconnect t conn
+
+let service_conn_write t conn =
+  match Unix.write_substring conn.c_fd conn.c_out 0 (String.length conn.c_out)
+  with
+  | n -> conn.c_out <- String.sub conn.c_out n (String.length conn.c_out - n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> disconnect t conn
+
+(* --- the main loop ------------------------------------------------- *)
+
+let pool_busy t =
+  match t.pool with
+  | Domains (workers, _, _) ->
+    Array.exists (fun w -> w.d_busy <> None) workers
+  | Processes workers -> Array.exists (fun w -> w.s_busy <> None) workers
+
+let close_listeners t =
+  List.iter
+    (fun fd ->
+      close_noerr fd)
+    t.listeners;
+  t.listeners <- []
+
+let teardown t =
+  close_listeners t;
+  Hashtbl.iter
+    (fun _ conn ->
+      (try write_all conn.c_fd conn.c_out 0 (String.length conn.c_out) with
+       | Unix.Unix_error _ -> ());
+      close_noerr conn.c_fd)
+    t.conns;
+  Hashtbl.reset t.conns;
+  (match t.pool with
+   | Domains (workers, wake_r, wake_w) ->
+     Array.iter
+       (fun w ->
+         Mutex.lock w.d_lock;
+         w.d_task <- Some Quit;
+         Condition.signal w.d_cond;
+         Mutex.unlock w.d_lock)
+       workers;
+     Array.iter
+       (fun w -> Option.iter Domain.join w.d_domain)
+       workers;
+     close_noerr wake_r;
+     close_noerr wake_w
+   | Processes workers ->
+     Array.iter
+       (fun w ->
+         (match w.s_proc with
+          | Some proc -> kill_proc proc
+          | None -> ());
+         w.s_proc <- None)
+       workers);
+  (match Unix.lstat t.config.socket with
+   | { Unix.st_kind = Unix.S_SOCK; _ } ->
+     (try Unix.unlink t.config.socket with Unix.Unix_error _ -> ())
+   | _ -> ()
+   | exception Unix.Unix_error _ -> ())
+
+(* [run ?interrupted ?on_ready config] — bind, serve until drained.
+   [interrupted] turning true starts a graceful drain (the CLI wires
+   SIGINT/SIGTERM to it); [on_ready] fires once the listeners are
+   bound (tests and benches synchronize on it). *)
+let run ?(interrupted = fun () -> false) ?(on_ready = fun () -> ()) config =
+  let t = create config in
+  let unix_listener = listen_unix config.socket in
+  t.listeners <- [ unix_listener ];
+  (match config.tcp with
+   | Some (host, port) -> t.listeners <- t.listeners @ [ listen_tcp host port ]
+   | None -> ());
+  (match t.pool with
+   | Domains (workers, _, wake_w) ->
+     Array.iter
+       (fun w ->
+         w.d_domain <-
+           Some
+             (Domain.spawn (fun () ->
+                  dworker_loop config.state_dir w wake_w t.outbox
+                    t.outbox_lock)))
+       workers
+   | Processes _ -> ());
+  on_ready ();
+  let rec loop () =
+    if interrupted () then t.draining <- true;
+    if t.draining then close_listeners t;
+    let done_ =
+      t.draining && Sched.depth t.sched = 0 && not (pool_busy t)
+      && Hashtbl.fold (fun _ c acc -> acc && c.c_out = "") t.conns true
+    in
+    if done_ then ()
+    else begin
+      let reads =
+        t.listeners
+        @ Hashtbl.fold (fun _ c acc -> c.c_fd :: acc) t.conns []
+        @ (match t.pool with
+           | Domains (_, wake_r, _) -> [ wake_r ]
+           | Processes workers ->
+             Array.to_list workers
+             |> List.filter_map (fun w ->
+                    match w.s_proc with
+                    | Some proc when w.s_busy <> None -> Some proc.p_from
+                    | _ -> None))
+      in
+      let writes =
+        Hashtbl.fold
+          (fun _ c acc -> if c.c_out <> "" then c.c_fd :: acc else acc)
+          t.conns []
+      in
+      let readable, writable, _ =
+        match Unix.select reads writes [] 0.2 with
+        | sets -> sets
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          if List.memq fd t.listeners then accept_conn t fd
+          else begin
+            match
+              Hashtbl.fold
+                (fun _ c acc -> if c.c_fd == fd then Some c else acc)
+                t.conns None
+            with
+            | Some conn -> service_conn_read t conn
+            | None ->
+              (match t.pool with
+               | Domains (_, wake_r, _) when fd == wake_r -> drain_outbox t
+               | Domains _ -> ()
+               | Processes workers ->
+                 Array.iter
+                   (fun w ->
+                     match w.s_proc with
+                     | Some proc when proc.p_from == fd -> service_pworker t w
+                     | _ -> ())
+                   workers)
+          end)
+        readable;
+      List.iter
+        (fun fd ->
+          match
+            Hashtbl.fold
+              (fun _ c acc -> if c.c_fd == fd then Some c else acc)
+              t.conns None
+          with
+          | Some conn when not conn.c_dead && conn.c_out <> "" ->
+            service_conn_write t conn
+          | _ -> ())
+        writable;
+      (* In-domain results may land between selects; poll the outbox
+         even without a wakeup byte (cheap, and makes the loop robust
+         to a full wake pipe). *)
+      (match t.pool with
+       | Domains _ ->
+         let nonempty =
+           Mutex.lock t.outbox_lock;
+           let n = not (Queue.is_empty t.outbox) in
+           Mutex.unlock t.outbox_lock;
+           n
+         in
+         if nonempty then drain_outbox t
+       | Processes _ -> ());
+      loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> teardown t) loop;
+  t.obs

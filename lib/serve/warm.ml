@@ -1,0 +1,80 @@
+(* Warm result cache: rendered report text keyed by canonical request
+   fingerprint, bounded LRU.
+
+   The daemon's warm state is deliberately the *result*, not live
+   checker universes: a cold execution starts from a fresh universe
+   (exactly the one-shot CLI's semantics) and the rendered bytes are
+   cached verbatim, so a warm hit replays the identical bytes instead
+   of re-running — byte-identity across warm/cold is by construction,
+   and nothing about cache occupancy can perturb a report.
+
+   Single-threaded by design: every access happens on the server's
+   coordinator loop (dispatch and completion both), so no lock. *)
+
+type entry = {
+  ok : bool;  (* the request's CLI exit criterion *)
+  report : string;  (* exact --report-json file bytes *)
+}
+
+type t = {
+  bound : int;
+  table : (string, entry * int ref) Hashtbl.t;  (* key -> entry, last use *)
+  mutable tick : int;  (* recency clock *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~bound =
+  if bound < 1 then invalid_arg "Warm.create: bound must be >= 1";
+  { bound; table = Hashtbl.create 32; tick = 0; hits = 0; misses = 0;
+    evictions = 0 }
+
+let size t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let touch t stamp =
+  t.tick <- t.tick + 1;
+  stamp := t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some (entry, stamp) ->
+    touch t stamp;
+    t.hits <- t.hits + 1;
+    Some entry
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(* Evict the least-recently-used entry.  O(n) scan — the bound is
+   small (tens), and adds are rare next to the verification work that
+   produces them. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key (_, stamp) acc ->
+        match acc with
+        | Some (_, best) when best <= !stamp -> acc
+        | _ -> Some (key, !stamp))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key entry =
+  (match Hashtbl.find_opt t.table key with
+   | Some _ -> Hashtbl.remove t.table key
+   | None -> if Hashtbl.length t.table >= t.bound then evict_lru t);
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table key (entry, ref t.tick)
+
+let clear t =
+  let n = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  n

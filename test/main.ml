@@ -44,4 +44,5 @@ let () =
       Test_obs.suite;
       Test_engine.suite;
       Test_campaign.suite;
-      Test_trace.suite ]
+      Test_trace.suite;
+      Test_serve.suite ]

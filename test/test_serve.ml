@@ -1,0 +1,418 @@
+(* Test suite for the verification service (lib/serve): the bounded
+   fair scheduler, the warm LRU result cache, versioned framing,
+   journal state-dir helpers — and the daemon end to end over a real
+   Unix socket: byte-identity of cold/warm replies against the
+   in-process one-shot path, explicit backpressure with retry advice,
+   cancellation on client disconnect, cache invalidation and graceful
+   shutdown drain. *)
+
+open Tabv_serve
+module J = Tabv_core.Report_json
+module Frame = Tabv_core.Frame
+module Journal = Tabv_campaign.Journal
+module Models = Tabv_duv.Models
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- scheduler -------------------------------------------------------- *)
+
+let sched_cases =
+  [ case "round-robin is fair across two competing clients" (fun () ->
+        let s = Sched.create ~bound:16 in
+        Sched.add_client s 1;
+        Sched.add_client s 2;
+        (* Client 1 floods, client 2 sends two; service must alternate
+           while both have work. *)
+        List.iter
+          (fun item -> ignore (Sched.submit s ~client:1 item))
+          [ "a1"; "a2"; "a3"; "a4" ];
+        List.iter
+          (fun item -> ignore (Sched.submit s ~client:2 item))
+          [ "b1"; "b2" ];
+        let order =
+          List.init 6 (fun _ ->
+              match Sched.next s with
+              | Some (_, item) -> item
+              | None -> Alcotest.fail "queue drained early")
+        in
+        Alcotest.(check (list string))
+          "one item per client per revolution"
+          [ "a1"; "b1"; "a2"; "b2"; "a3"; "a4" ]
+          order;
+        Alcotest.(check bool) "drained" true (Sched.next s = None));
+    case "submissions over the bound are rejected" (fun () ->
+        let s = Sched.create ~bound:2 in
+        Sched.add_client s 1;
+        Alcotest.(check bool) "first fits" true
+          (Sched.submit s ~client:1 "x" = `Accepted 1);
+        Alcotest.(check bool) "second fits" true
+          (Sched.submit s ~client:1 "y" = `Accepted 2);
+        Alcotest.(check bool) "third rejected" true
+          (Sched.submit s ~client:1 "z" = `Rejected);
+        (* Draining one slot readmits. *)
+        ignore (Sched.next s);
+        Alcotest.(check bool) "readmitted after drain" true
+          (Sched.submit s ~client:1 "z" = `Accepted 2));
+    case "removing a client returns its queued work" (fun () ->
+        let s = Sched.create ~bound:8 in
+        Sched.add_client s 1;
+        Sched.add_client s 2;
+        ignore (Sched.submit s ~client:1 "a");
+        ignore (Sched.submit s ~client:2 "b");
+        ignore (Sched.submit s ~client:2 "c");
+        Alcotest.(check (list string)) "client 2's backlog comes back"
+          [ "b"; "c" ]
+          (Sched.remove_client s 2);
+        Alcotest.(check int) "depth excludes the dropped work" 1
+          (Sched.depth s);
+        Alcotest.(check bool) "survivor still served" true
+          (Sched.next s = Some (1, "a")));
+    case "unknown client is a caller bug" (fun () ->
+        let s = Sched.create ~bound:2 in
+        Alcotest.check_raises "submit before add_client"
+          (Invalid_argument "Sched.submit: unknown client") (fun () ->
+            ignore (Sched.submit s ~client:9 "x"))) ]
+
+(* --- warm cache ------------------------------------------------------- *)
+
+let entry report = { Warm.ok = true; report }
+
+let warm_cases =
+  [ case "LRU eviction keeps the recently used entries" (fun () ->
+        let w = Warm.create ~bound:2 in
+        Warm.add w "a" (entry "ra");
+        Warm.add w "b" (entry "rb");
+        (* Touch "a" so "b" is the LRU victim when "c" arrives. *)
+        ignore (Warm.find w "a");
+        Warm.add w "c" (entry "rc");
+        Alcotest.(check bool) "a survives" true (Warm.find w "a" <> None);
+        Alcotest.(check bool) "b evicted" true (Warm.find w "b" = None);
+        Alcotest.(check bool) "c present" true (Warm.find w "c" <> None);
+        Alcotest.(check int) "one eviction" 1 (Warm.evictions w));
+    case "hit/miss counters and clear" (fun () ->
+        let w = Warm.create ~bound:4 in
+        Alcotest.(check bool) "miss on empty" true (Warm.find w "k" = None);
+        Warm.add w "k" (entry "r");
+        (match Warm.find w "k" with
+         | Some e -> Alcotest.(check string) "bytes replayed" "r" e.Warm.report
+         | None -> Alcotest.fail "expected a hit");
+        Alcotest.(check int) "hits" 1 (Warm.hits w);
+        Alcotest.(check int) "misses" 1 (Warm.misses w);
+        Alcotest.(check int) "clear reports entries" 1 (Warm.clear w);
+        Alcotest.(check int) "empty after clear" 0 (Warm.size w));
+    case "re-adding a key replaces without eviction" (fun () ->
+        let w = Warm.create ~bound:2 in
+        Warm.add w "a" (entry "v1");
+        Warm.add w "b" (entry "rb");
+        Warm.add w "a" (entry "v2");
+        Alcotest.(check int) "no eviction" 0 (Warm.evictions w);
+        match Warm.find w "a" with
+        | Some e -> Alcotest.(check string) "newest value" "v2" e.Warm.report
+        | None -> Alcotest.fail "expected a hit") ]
+
+(* --- versioned framing ------------------------------------------------ *)
+
+let frame_cases =
+  [ case "version mismatch fails with a named error" (fun () ->
+        let s = Frame.stream ~expect_version:2 () in
+        Frame.feed s (Frame.encode ~version:1 "{}");
+        match Frame.pop s with
+        | exception Frame.Protocol_error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "names both versions: %s" msg)
+            true
+            (contains msg "version mismatch"
+             && contains msg "v1" && contains msg "v2")
+        | _ -> Alcotest.fail "expected Protocol_error");
+    case "matching version round-trips" (fun () ->
+        let s = Frame.stream ~expect_version:1 () in
+        Frame.feed s (Frame.encode ~version:1 "hello");
+        Alcotest.(check bool) "payload back" true (Frame.pop s = Some "hello"));
+    case "protocol events round-trip" (fun () ->
+        let round event =
+          match
+            Protocol.event_of_json (Protocol.event_json ~id:7 event)
+          with
+          | Ok (7, back) -> back = event
+          | _ -> false
+        in
+        Alcotest.(check bool) "rejected carries retry advice" true
+          (round (Protocol.Rejected { retry_after_ms = 250 }));
+        Alcotest.(check bool) "result carries the exact bytes" true
+          (round (Protocol.Result { ok = true; warm = true; report = "{}\n" }));
+        Alcotest.(check bool) "accepted carries the position" true
+          (round (Protocol.Accepted { position = 3 }))) ]
+
+(* --- journal state dir ------------------------------------------------ *)
+
+let journal_cases =
+  [ case "state_path is per-kind and per-fingerprint" (fun () ->
+        Alcotest.(check string) "composed path"
+          (Filename.concat "/tmp/state" "campaign-abc123.journal")
+          (Journal.state_path ~dir:"/tmp/state" ~kind:"campaign"
+             ~fingerprint:"abc123");
+        Alcotest.(check bool) "different fingerprints do not collide" true
+          (Journal.state_path ~dir:"d" ~kind:"campaign" ~fingerprint:"a"
+           <> Journal.state_path ~dir:"d" ~kind:"campaign" ~fingerprint:"b"));
+    case "gc_stale removes only old journals" (fun () ->
+        let dir = Filename.temp_file "tabv_serve_gc" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+              (Sys.readdir dir);
+            Unix.rmdir dir)
+          (fun () ->
+            let touch name =
+              let path = Filename.concat dir name in
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc "x");
+              path
+            in
+            let old_j = touch "campaign-old.journal" in
+            let fresh_j = touch "campaign-fresh.journal" in
+            let bystander = touch "notes.txt" in
+            (* Age the first journal artificially. *)
+            let past = Unix.gettimeofday () -. 10_000. in
+            Unix.utimes old_j past past;
+            let removed =
+              Journal.gc_stale ~dir ~max_age_s:3600. ()
+            in
+            Alcotest.(check (list string)) "only the stale journal" [ old_j ]
+              removed;
+            Alcotest.(check bool) "stale gone" false (Sys.file_exists old_j);
+            Alcotest.(check bool) "fresh kept" true (Sys.file_exists fresh_j);
+            Alcotest.(check bool) "non-journal kept" true
+              (Sys.file_exists bystander)));
+    case "gc_stale on a missing dir is a no-op" (fun () ->
+        Alcotest.(check (list string)) "nothing removed" []
+          (Journal.gc_stale ~dir:"/nonexistent/tabv-serve-state"
+             ~max_age_s:1. ())) ]
+
+(* --- request handling ------------------------------------------------- *)
+
+let check_job ?(seed = 5) ?(ops = 15) () =
+  Protocol.Check
+    { model = Models.Des56_rtl; seed; ops; props = None; engine = None;
+      trace_out = None }
+
+let handler_cases =
+  [ case "fingerprints are stable and discriminating" (fun () ->
+        Alcotest.(check string) "same job, same fingerprint"
+          (Handler.fingerprint (check_job ()))
+          (Handler.fingerprint (check_job ()));
+        Alcotest.(check bool) "seed changes the fingerprint" true
+          (Handler.fingerprint (check_job ())
+           <> Handler.fingerprint (check_job ~seed:6 ())));
+    case "cacheability: pure requests only" (fun () ->
+        Alcotest.(check bool) "check is cacheable" true
+          (Handler.cacheable (check_job ()));
+        Alcotest.(check bool) "record is not (writes a trace)" false
+          (Handler.cacheable
+             (Protocol.Check
+                { model = Models.Des56_rtl; seed = 1; ops = 5; props = None;
+                  engine = None; trace_out = Some "/tmp/t.trace" }));
+        Alcotest.(check bool) "recheck is not (reads external bytes)" false
+          (Handler.cacheable
+             (Protocol.Recheck
+                { trace = "/tmp/t.trace"; props = None; workers = 1;
+                  retries = 1 }));
+        Alcotest.(check bool) "journaled campaign is not" false
+          (Handler.cacheable
+             (Protocol.Campaign
+                { manifest = J.Assoc [ ("jobs", J.List []) ]; workers = 1;
+                  retries = None; journal = true }))) ]
+
+(* --- the daemon end to end -------------------------------------------- *)
+
+(* The expected one-shot report for [check_job]: fresh universe, same
+   model run, same rendering — computed in this process. *)
+let expected_check_report () =
+  Tabv_checker.Progression.reset_universe ();
+  let properties, grid_properties =
+    Models.properties_for Models.Des56_rtl None
+  in
+  let result =
+    Models.run Models.Des56_rtl ~seed:5 ~ops:15 ~properties ~grid_properties
+  in
+  J.to_string (Models.verdict_report Models.Des56_rtl ~seed:5 ~ops:15 result)
+  ^ "\n"
+
+(* Boot a daemon on a fresh temp socket, run [f client socket], always
+   drain and join the server. *)
+let with_server ?(configure = fun c -> c) f =
+  let dir = Filename.temp_file "tabv_serve_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove socket with Sys_error _ -> ());
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+        (Sys.readdir dir);
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ()))
+    (fun () ->
+      let config = configure (Server.default_config ~socket ()) in
+      let ready = Atomic.make false in
+      let server =
+        Domain.spawn (fun () ->
+            ignore
+              (Server.run ~on_ready:(fun () -> Atomic.set ready true) config))
+      in
+      while not (Atomic.get ready) do
+        Unix.sleepf 0.002
+      done;
+      Fun.protect
+        ~finally:(fun () -> Domain.join server)
+        (fun () ->
+          let client =
+            match Client.connect (`Unix socket) with
+            | Ok c -> c
+            | Error e -> Alcotest.fail e
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              (match Client.control client Protocol.Shutdown with
+               | Client.Shutting_down | Client.Control_failed _ -> ()
+               | _ -> ());
+              Client.close client)
+            (fun () -> f client socket)))
+
+let report_of = function
+  | Client.Result { report; _ } -> report
+  | Client.Rejected _ -> Alcotest.fail "unexpected backpressure rejection"
+  | Client.Failed msg -> Alcotest.fail msg
+
+let serve_cases =
+  [ slow_case "warm replay is byte-identical to the cold run" (fun () ->
+        let expected = expected_check_report () in
+        with_server (fun client _socket ->
+            (match Client.request client (check_job ()) with
+             | Client.Result { ok = true; warm = false; report } ->
+               Alcotest.(check string) "cold run matches the one-shot path"
+                 expected report
+             | _ -> Alcotest.fail "expected a cold ok result");
+            match Client.request client (check_job ()) with
+            | Client.Result { ok = true; warm = true; report } ->
+              Alcotest.(check string) "warm replay is the same bytes" expected
+                report
+            | _ -> Alcotest.fail "expected a warm ok result"));
+    slow_case "invalidate drops the warm cache" (fun () ->
+        with_server (fun client _socket ->
+            ignore (report_of (Client.request client (check_job ())));
+            (match Client.control client Protocol.Invalidate with
+             | Client.Invalidated 1 -> ()
+             | Client.Invalidated n ->
+               Alcotest.failf "expected 1 entry invalidated, got %d" n
+             | _ -> Alcotest.fail "expected an invalidated reply");
+            match Client.request client (check_job ()) with
+            | Client.Result { warm; _ } ->
+              Alcotest.(check bool) "cold again after invalidate" false warm
+            | _ -> Alcotest.fail "expected a result"));
+    slow_case "queue-full rejection carries the retry advice" (fun () ->
+        with_server
+          ~configure:(fun c ->
+            { c with Server.workers = 1; queue_bound = 1;
+              retry_after_ms = 123 })
+          (fun client _socket ->
+            (* Three pipelined jobs on one worker with a queue of one:
+               the first occupies the worker, the second fills the
+               queue, the third must bounce with the configured
+               advice.  Distinct seeds keep the warm cache out of the
+               admission path. *)
+            Client.send_request client ~id:0
+              (Protocol.Job (check_job ~seed:100 ~ops:400 ()));
+            Client.send_request client ~id:1
+              (Protocol.Job (check_job ~seed:101 ~ops:400 ()));
+            Client.send_request client ~id:2
+              (Protocol.Job (check_job ~seed:102 ~ops:400 ()));
+            let rejected = ref None
+            and results = ref 0 in
+            let rec pump () =
+              if !results < 2 || !rejected = None then
+                match Client.next_event client with
+                | Error e -> Alcotest.fail e
+                | Ok (id, Protocol.Rejected { retry_after_ms }) ->
+                  rejected := Some (id, retry_after_ms);
+                  pump ()
+                | Ok (_, Protocol.Result _) ->
+                  incr results;
+                  pump ()
+                | Ok (_, _) -> pump ()
+            in
+            pump ();
+            match !rejected with
+            | Some (2, 123) -> ()
+            | Some (id, ms) ->
+              Alcotest.failf
+                "expected request 2 rejected with 123ms advice, got %d/%dms"
+                id ms
+            | None -> Alcotest.fail "no rejection observed"));
+    slow_case "disconnect mid-request cancels and frees the worker" (fun () ->
+        with_server
+          ~configure:(fun c -> { c with Server.workers = 1 })
+          (fun client socket ->
+            (* A second client fires a request and vanishes without
+               reading; its work must be discarded and the worker must
+               come back to serve the surviving client. *)
+            (match Client.connect (`Unix socket) with
+             | Error e -> Alcotest.fail e
+             | Ok doomed ->
+               Client.send_request doomed ~id:0
+                 (Protocol.Job (check_job ~seed:200 ~ops:400 ()));
+               Client.close doomed);
+            (match Client.request client (check_job ()) with
+             | Client.Result { ok = true; _ } -> ()
+             | _ -> Alcotest.fail "worker never came back");
+            match Client.control client Protocol.Stats with
+            | Client.Stats json ->
+              let cancelled =
+                match J.member "metrics" json with
+                | Some metrics ->
+                  (match J.member "serve.requests_cancelled" metrics with
+                   | Some counter ->
+                     (match J.member "value" counter with
+                      | Some (J.Int n) -> n
+                      | _ -> -1)
+                   | None -> -1)
+                | None -> -1
+              in
+              Alcotest.(check int) "the abandoned request was cancelled" 1
+                cancelled
+            | _ -> Alcotest.fail "expected stats"));
+    slow_case "shutdown drains accepted work before exiting" (fun () ->
+        with_server (fun client _socket ->
+            (* Pipeline a job, then shutdown on the same connection:
+               the job was accepted, so its result must still arrive. *)
+            Client.send_request client ~id:0
+              (Protocol.Job (check_job ~seed:300 ~ops:100 ()));
+            Client.send_request client ~id:1 (Protocol.Control Protocol.Shutdown);
+            let got_result = ref false
+            and got_drain = ref false in
+            let rec pump () =
+              if not (!got_result && !got_drain) then
+                match Client.next_event client with
+                | Error e -> Alcotest.fail e
+                | Ok (0, Protocol.Result { ok = true; _ }) ->
+                  got_result := true;
+                  pump ()
+                | Ok (1, Protocol.Shutting_down) ->
+                  got_drain := true;
+                  pump ()
+                | Ok (_, _) -> pump ()
+            in
+            pump ())) ]
+
+let suite =
+  ( "serve",
+    sched_cases @ warm_cases @ frame_cases @ journal_cases @ handler_cases
+    @ serve_cases )
