@@ -831,14 +831,25 @@ let serve_cmd =
         warm_bound;
         state_dir }
     in
-    Printf.printf "tabv serve: listening on %s%s (%d %s worker%s)\n%!" socket
-      (match tcp with
-       | Some (host, port) -> Printf.sprintf " and %s:%d" host port
-       | None -> "")
-      workers
-      (if isolate then "subprocess" else "in-domain")
-      (if workers = 1 then "" else "s");
-    let obs = Cli.with_interrupt (fun interrupted -> Server.run ~interrupted config) in
+    let banner () =
+      Printf.printf "tabv serve: listening on %s%s (%d %s worker%s)\n%!" socket
+        (match tcp with
+         | Some (host, port) -> Printf.sprintf " and %s:%d" host port
+         | None -> "")
+        workers
+        (if isolate then "subprocess" else "in-domain")
+        (if workers = 1 then "" else "s")
+    in
+    let obs =
+      (* Bind-time problems (socket already served by a live daemon,
+         unresolvable --tcp host) surface as [Failure]. *)
+      match
+        Cli.with_interrupt (fun interrupted ->
+            Server.run ~interrupted ~on_ready:banner config)
+      with
+      | obs -> obs
+      | exception Failure msg -> fail msg
+    in
     print_endline "tabv serve: drained";
     Format.printf "%a@." Tabv_obs.Metrics.pp_snapshot (Tabv_obs.Metrics.snapshot obs)
   in

@@ -50,24 +50,56 @@ let read_frame t =
   in
   go ()
 
-let connect (endpoint : endpoint) =
-  let fd =
+(* Resolve + connect, closing the socket on failure.  Raises [Failure]
+   with a presentable message (unresolvable host, connection refused);
+   [connect] turns it into the [Error] result. *)
+let connect_fd (endpoint : endpoint) =
+  let describe () =
     match endpoint with
-    | `Unix path ->
-      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX path);
-      fd
-    | `Tcp (host, port) ->
-      let addr =
-        match Unix.gethostbyname host with
-        | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
-        | { Unix.h_addr_list; _ } -> h_addr_list.(0)
-        | exception Not_found -> Unix.inet_addr_of_string host
-      in
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_INET (addr, port));
-      fd
+    | `Unix path -> path
+    | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
   in
+  let with_fd fd addr =
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      failwith
+        (Printf.sprintf "cannot connect to %s: %s" (describe ())
+           (Unix.error_message e))
+  in
+  match endpoint with
+  | `Unix path ->
+    with_fd
+      (Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0)
+      (Unix.ADDR_UNIX path)
+  | `Tcp (host, port) ->
+    let addr =
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found ->
+        (* Not resolvable: accept a literal IP, otherwise a clean
+           error (inet_addr_of_string's bare [Failure] names no
+           host). *)
+        (try Unix.inet_addr_of_string host
+         with Failure _ ->
+           failwith (Printf.sprintf "cannot resolve host %s" host))
+    in
+    with_fd
+      (Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0)
+      (Unix.ADDR_INET (addr, port))
+
+let connect (endpoint : endpoint) =
+  (* A socket client must see a peer hangup as an error reply, not a
+     process-killing signal: a drained daemon may close the connection
+     while a request is still being written. *)
+  if Sys.os_type <> "Win32" then
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+  match connect_fd endpoint with
+  | exception Failure msg -> Error msg
+  | fd ->
   let t =
     { fd; stream = Frame.stream ~expect_version:Protocol.frame_version ();
       next_id = 0 }
@@ -142,8 +174,11 @@ let await_terminal t ~id =
 
 let request t job =
   let id = fresh_id t in
-  send t (J.to_string (Protocol.request_json ~id (Protocol.Job job)));
-  await_terminal t ~id
+  match send t (J.to_string (Protocol.request_json ~id (Protocol.Job job))) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Failed
+      (Printf.sprintf "cannot reach the server: %s" (Unix.error_message e))
+  | () -> await_terminal t ~id
 
 (* Submit with bounded retries on backpressure, sleeping the server's
    advice between attempts. *)
@@ -166,7 +201,13 @@ type control_reply =
 
 let control t op =
   let id = fresh_id t in
-  send t (J.to_string (Protocol.request_json ~id (Protocol.Control op)));
+  match
+    send t (J.to_string (Protocol.request_json ~id (Protocol.Control op)))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Control_failed
+      (Printf.sprintf "cannot reach the server: %s" (Unix.error_message e))
+  | () ->
   let rec go () =
     match read_frame t with
     | None -> Control_failed "server closed the connection mid-request"

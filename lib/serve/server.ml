@@ -14,9 +14,12 @@
    {ol
    {- decode; warm-cacheable requests consult the {!Warm} cache — a
       hit answers immediately with the cached bytes ([warm:true]);}
-   {- admission: journaled campaigns whose journal path is already
-      active are refused (two writers on one journal would corrupt
-      it); a full queue answers [rejected] with retry advice;}
+   {- admission: a job reusing the (connection, id) key of one still
+      queued or running is a protocol error; journaled campaigns
+      reserve their journal path here — queued or running, one owner
+      per path at a time (two writers on one journal would corrupt
+      it), so a clashing request is refused; a full queue answers
+      [rejected] with retry advice;}
    {- [accepted] with the queue position, then fair round-robin
       scheduling across client connections ({!Sched});}
    {- [started] when a worker picks it up; client disconnect sets the
@@ -47,6 +50,7 @@ type config = {
   queue_bound : int;
   retry_after_ms : int;  (* advice in rejected events *)
   warm_bound : int;
+  backlog_bound : int;  (* outgoing bytes buffered per connection *)
   state_dir : string option;  (* journals for journaled campaigns *)
   journal_gc_age_s : float;  (* stale-journal GC horizon at startup *)
   worker_argv : string array;  (* how to launch a subprocess worker *)
@@ -62,6 +66,7 @@ let default_config ~socket () =
     queue_bound = 64;
     retry_after_ms = 250;
     warm_bound = 32;
+    backlog_bound = 64 * 1024 * 1024;
     state_dir = None;
     journal_gc_age_s = 7. *. 24. *. 3600.;
     worker_argv = [| Sys.executable_name; "_worker" |];
@@ -94,7 +99,11 @@ type conn = {
   c_id : int;
   c_fd : Unix.file_descr;
   c_stream : Frame.stream;
-  mutable c_out : string;  (* unwritten outgoing bytes *)
+  c_out : string Queue.t;  (* pending outgoing frames, oldest first *)
+  mutable c_out_off : int;  (* bytes of the head frame already written *)
+  mutable c_out_len : int;  (* total unwritten bytes across the queue *)
+  c_out_bound : int;  (* backlog bytes before the client is dropped *)
+  mutable c_overflow : bool;  (* backlog over bound: disconnect pending *)
   mutable c_dead : bool;
 }
 
@@ -140,7 +149,10 @@ type t = {
   warm : Warm.t;
   sched : queued Sched.t;
   conns : (int, conn) Hashtbl.t;
+  (* Admission-time reservations, queued or running: journal paths
+     with exactly one owner each, and every live (conn, id) key. *)
   active_journals : (string, unit) Hashtbl.t;
+  inflight : (key, unit) Hashtbl.t;
   outbox : (key * (Handler.outcome, string) result) Queue.t;
   outbox_lock : Mutex.t;
   mutable next_conn : int;
@@ -169,11 +181,30 @@ let rec write_all fd s off len =
   end
 
 (* Append [payload] as one versioned frame to the connection's
-   backlog; the select loop drains it when the socket is writable. *)
+   backlog; the select loop drains it when the socket is writable.
+   A backlog over the bound marks the connection for disconnect (the
+   main loop sweeps it) instead of buffering without limit for a
+   client that never reads. *)
 let send_frame conn payload =
-  if not conn.c_dead then
-    conn.c_out <-
-      conn.c_out ^ Frame.encode ~version:Protocol.frame_version payload
+  if not conn.c_dead && not conn.c_overflow then begin
+    let frame = Frame.encode ~version:Protocol.frame_version payload in
+    Queue.add frame conn.c_out;
+    conn.c_out_len <- conn.c_out_len + String.length frame;
+    if conn.c_out_len > conn.c_out_bound then conn.c_overflow <- true
+  end
+
+(* Best-effort synchronous flush of the backlog (teardown, protocol
+   failures): stops at the first short write or error. *)
+let flush_backlog conn =
+  try
+    let first = ref true in
+    Queue.iter
+      (fun frame ->
+        let off = if !first then conn.c_out_off else 0 in
+        first := false;
+        write_all conn.c_fd frame off (String.length frame - off))
+      conn.c_out
+  with Unix.Unix_error _ -> ()
 
 let send_event conn ~id event =
   send_frame conn (J.to_string (Protocol.event_json ~id event))
@@ -272,15 +303,37 @@ let make_pool config =
            { s_idx = i; s_proc = None; s_busy = None }))
 
 let listen_unix path =
-  (* A previous daemon's socket file would make bind fail; connecting
-     to it would fail too (no listener), so removing it is safe. *)
+  (* A leftover socket file makes bind fail, but the file may belong
+     to a live daemon just as well as a dead one — probe it with a
+     connect before unlinking: a dead daemon's file refuses the
+     connection, a live listener accepts (and must not be silently
+     unseated by a second `tabv serve` on the same path). *)
   (match Unix.lstat path with
-   | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | { Unix.st_kind = Unix.S_SOCK; _ } ->
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let verdict =
+       match Unix.connect probe (Unix.ADDR_UNIX path) with
+       | () -> `Live
+       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+         -> `Dead
+       | exception Unix.Unix_error _ -> `Unknown  (* let bind decide *)
+     in
+     close_noerr probe;
+     (match verdict with
+      | `Live ->
+        failwith
+          (Printf.sprintf "a daemon is already listening on %s" path)
+      | `Dead -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | `Unknown -> ())
    | _ -> ()
    | exception Unix.Unix_error _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   set_cloexec fd;
-  Unix.bind fd (Unix.ADDR_UNIX path);
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     close_noerr fd;
+     failwith
+       (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e)));
   Unix.listen fd 64;
   fd
 
@@ -289,12 +342,22 @@ let listen_tcp host port =
     match Unix.gethostbyname host with
     | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
     | { Unix.h_addr_list; _ } -> h_addr_list.(0)
-    | exception Not_found -> Unix.inet_addr_of_string host
+    | exception Not_found ->
+      (* Not resolvable: accept a literal IP, otherwise a clean error
+         (inet_addr_of_string's bare [Failure] names no host). *)
+      (try Unix.inet_addr_of_string host
+       with Failure _ ->
+         failwith (Printf.sprintf "cannot resolve host %s" host))
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   set_cloexec fd;
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  (try Unix.bind fd (Unix.ADDR_INET (addr, port))
+   with Unix.Unix_error (e, _, _) ->
+     close_noerr fd;
+     failwith
+       (Printf.sprintf "cannot bind %s:%d: %s" host port
+          (Unix.error_message e)));
   Unix.listen fd 64;
   fd
 
@@ -326,6 +389,7 @@ let create (config : config) =
     sched;
     conns;
     active_journals = Hashtbl.create 8;
+    inflight = Hashtbl.create 16;
     outbox = Queue.create ();
     outbox_lock = Mutex.create ();
     next_conn = 0;
@@ -342,16 +406,27 @@ let create (config : config) =
 
 (* --- dispatch ------------------------------------------------------ *)
 
-let mark_journal t running active =
-  match running.r_queued.q_journal_path with
+(* Admission-time reservations ({!t.inflight}, {!t.active_journals})
+   are taken when a request is accepted into the queue and released
+   exactly once, when it leaves the system: completion, cancellation,
+   or being dropped from the queue with its client.  Reserving at
+   admission — not at dispatch — is what makes the one-writer-per-
+   journal guarantee hold for *queued* requests too: two clashing
+   campaigns queued behind busy workers must not both start. *)
+let reserve_request t (queued : queued) =
+  Hashtbl.replace t.inflight queued.q_key ();
+  match queued.q_journal_path with
   | None -> ()
-  | Some path ->
-    if active then Hashtbl.replace t.active_journals path ()
-    else Hashtbl.remove t.active_journals path
+  | Some path -> Hashtbl.replace t.active_journals path ()
 
-let start_on_dworker t w running =
+let release_request t (queued : queued) =
+  Hashtbl.remove t.inflight queued.q_key;
+  match queued.q_journal_path with
+  | None -> ()
+  | Some path -> Hashtbl.remove t.active_journals path
+
+let start_on_dworker w running =
   w.d_busy <- Some running;
-  mark_journal t running true;
   Mutex.lock w.d_lock;
   w.d_task <- Some (Run running);
   Condition.signal w.d_cond;
@@ -367,13 +442,18 @@ let start_on_pworker t w running =
       proc
   in
   w.s_busy <- Some running;
-  mark_journal t running true;
   let request =
     Handler.worker_request_json ~state_dir:t.config.state_dir
       running.r_queued.q_job
   in
   let frame = Frame.encode (J.to_string request) in
-  write_all proc.p_to frame 0 (String.length frame)
+  try write_all proc.p_to frame 0 (String.length frame)
+  with Unix.Unix_error _ ->
+    (* The worker died between requests (EPIPE with SIGPIPE ignored):
+       leave it marked busy — the select loop watches a busy worker's
+       reply pipe, sees the EOF, reaps the corpse and fails the
+       request through the normal worker-death path. *)
+    ()
 
 (* Hand queued requests to idle workers, telling their clients. *)
 let try_dispatch t =
@@ -406,7 +486,7 @@ let try_dispatch t =
           | Some conn -> send_event conn ~id:queued.q_key.k_req Protocol.Started
           | None -> ());
          (match slot with
-          | `D w -> start_on_dworker t w running
+          | `D w -> start_on_dworker w running
           | `P w -> start_on_pworker t w running);
          go slots)
   in
@@ -443,45 +523,63 @@ let handle_request t conn ~id request =
          (Protocol.Result
             { ok = entry.Warm.ok; warm = true; report = entry.Warm.report })
      | None ->
-       let journal_path =
-         match t.config.state_dir with
-         | Some state_dir -> Handler.campaign_journal_path ~state_dir job
-         | None -> None
-       in
-       let journal_clash =
-         match journal_path with
-         | Some path -> Hashtbl.mem t.active_journals path
-         | None -> false
-       in
-       if journal_clash then begin
-         Metrics.incr t.m_rejected;
+       let key = { k_conn = conn.c_id; k_req = id } in
+       if Hashtbl.mem t.inflight key then begin
+         (* Reusing a live id would cross-wire event delivery and the
+            worker bookkeeping keyed on (conn, id). *)
+         Metrics.incr t.m_failed;
          send_event conn ~id
-           (Protocol.Rejected { retry_after_ms = t.config.retry_after_ms })
+           (Protocol.Error
+              {
+                message =
+                  Printf.sprintf
+                    "request id %d is already queued or running on this \
+                     connection"
+                    id;
+              })
        end
        else begin
-         let queued =
-           {
-             q_key = { k_conn = conn.c_id; k_req = id };
-             q_job = job;
-             q_fingerprint = fingerprint;
-             q_cacheable = cacheable;
-             q_journal_path = journal_path;
-           }
+         let journal_path =
+           match t.config.state_dir with
+           | Some state_dir -> Handler.campaign_journal_path ~state_dir job
+           | None -> None
          in
-         match Sched.submit t.sched ~client:conn.c_id queued with
-         | `Rejected ->
+         let journal_clash =
+           match journal_path with
+           | Some path -> Hashtbl.mem t.active_journals path
+           | None -> false
+         in
+         if journal_clash then begin
            Metrics.incr t.m_rejected;
            send_event conn ~id
              (Protocol.Rejected { retry_after_ms = t.config.retry_after_ms })
-         | `Accepted position ->
-           send_event conn ~id (Protocol.Accepted { position });
-           try_dispatch t
+         end
+         else begin
+           let queued =
+             {
+               q_key = key;
+               q_job = job;
+               q_fingerprint = fingerprint;
+               q_cacheable = cacheable;
+               q_journal_path = journal_path;
+             }
+           in
+           match Sched.submit t.sched ~client:conn.c_id queued with
+           | `Rejected ->
+             Metrics.incr t.m_rejected;
+             send_event conn ~id
+               (Protocol.Rejected { retry_after_ms = t.config.retry_after_ms })
+           | `Accepted position ->
+             reserve_request t queued;
+             send_event conn ~id (Protocol.Accepted { position });
+             try_dispatch t
+         end
        end)
 
 (* --- result completion --------------------------------------------- *)
 
 let finish t running result =
-  mark_journal t running false;
+  release_request t running.r_queued;
   let key = running.r_queued.q_key in
   let elapsed_ms =
     int_of_float ((Unix.gettimeofday () -. running.r_started_at) *. 1000.)
@@ -618,7 +716,11 @@ let accept_conn t listener =
         c_id = t.next_conn;
         c_fd = fd;
         c_stream = Frame.stream ~expect_version:Protocol.frame_version ();
-        c_out = "";
+        c_out = Queue.create ();
+        c_out_off = 0;
+        c_out_len = 0;
+        c_out_bound = t.config.backlog_bound;
+        c_overflow = false;
         c_dead = false;
       }
     in
@@ -628,10 +730,15 @@ let accept_conn t listener =
     send_frame conn (J.to_string Protocol.hello_json)
 
 let disconnect t conn =
+ if not conn.c_dead then begin
   conn.c_dead <- true;
   Hashtbl.remove t.conns conn.c_id;
   let dropped = Sched.remove_client t.sched conn.c_id in
-  List.iter (fun _ -> Metrics.incr t.m_cancelled) dropped;
+  List.iter
+    (fun q ->
+      Metrics.incr t.m_cancelled;
+      release_request t q)
+    dropped;
   (* Cancel this client's in-flight work: in-domain requests get their
      interrupt flag (the worker frees itself at the next interruption
      point and the result is discarded); subprocess workers are killed
@@ -652,7 +759,7 @@ let disconnect t conn =
          match w.s_busy with
          | Some running when running.r_queued.q_key.k_conn = conn.c_id ->
            running.r_cancelled <- true;
-           mark_journal t running false;
+           release_request t running.r_queued;
            Metrics.incr t.m_cancelled;
            w.s_busy <- None;
            (match w.s_proc with
@@ -664,6 +771,7 @@ let disconnect t conn =
        workers);
   close_noerr conn.c_fd;
   try_dispatch t
+ end
 
 let service_conn_read t conn =
   let buf = Bytes.create 65536 in
@@ -681,9 +789,10 @@ let service_conn_read t conn =
     send_event conn ~id:(-1) (Protocol.Error { message });
     (* Flush best-effort, then drop the connection: after a framing
        error the byte stream has no recoverable structure. *)
-    (try write_all conn.c_fd conn.c_out 0 (String.length conn.c_out) with
-     | Unix.Unix_error _ -> ());
-    conn.c_out <- "";
+    flush_backlog conn;
+    Queue.clear conn.c_out;
+    conn.c_out_off <- 0;
+    conn.c_out_len <- 0;
     disconnect t conn
   in
   let rec pump () =
@@ -705,12 +814,29 @@ let service_conn_read t conn =
   pump ();
   if closed && not conn.c_dead then disconnect t conn
 
+(* Drain the backlog frame by frame from the head offset: no
+   re-allocation of the remainder, so a slow client costs O(bytes
+   actually written), not O(backlog) per writable event. *)
 let service_conn_write t conn =
-  match Unix.write_substring conn.c_fd conn.c_out 0 (String.length conn.c_out)
-  with
-  | n -> conn.c_out <- String.sub conn.c_out n (String.length conn.c_out - n)
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-  | exception Unix.Unix_error _ -> disconnect t conn
+  let rec go () =
+    match Queue.peek_opt conn.c_out with
+    | None -> ()
+    | Some frame ->
+      let len = String.length frame - conn.c_out_off in
+      (match Unix.write_substring conn.c_fd frame conn.c_out_off len with
+       | n ->
+         conn.c_out_len <- conn.c_out_len - n;
+         if n = len then begin
+           ignore (Queue.pop conn.c_out);
+           conn.c_out_off <- 0;
+           go ()
+         end
+         else conn.c_out_off <- conn.c_out_off + n
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         ()
+       | exception Unix.Unix_error _ -> disconnect t conn)
+  in
+  go ()
 
 (* --- the main loop ------------------------------------------------- *)
 
@@ -731,8 +857,7 @@ let teardown t =
   close_listeners t;
   Hashtbl.iter
     (fun _ conn ->
-      (try write_all conn.c_fd conn.c_out 0 (String.length conn.c_out) with
-       | Unix.Unix_error _ -> ());
+      flush_backlog conn;
       close_noerr conn.c_fd)
     t.conns;
   Hashtbl.reset t.conns;
@@ -786,13 +911,35 @@ let run ?(interrupted = fun () -> false) ?(on_ready = fun () -> ()) config =
                     t.outbox_lock)))
        workers
    | Processes _ -> ());
+  (* A peer that hangs up must surface as EPIPE on the write — the
+     default SIGPIPE disposition would kill the whole daemon the first
+     time a backlog flushes into a closed socket.  Restored on exit
+     (same save/ignore/restore dance as the campaign executor). *)
+  let prev_sigpipe =
+    if Sys.os_type = "Win32" then None
+    else
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore_sigpipe () =
+    match prev_sigpipe with
+    | Some behavior ->
+      (try Sys.set_signal Sys.sigpipe behavior with Invalid_argument _ -> ())
+    | None -> ()
+  in
   on_ready ();
   let rec loop () =
     if interrupted () then t.draining <- true;
     if t.draining then close_listeners t;
+    (* Drop clients whose backlog overflowed (collect first: disconnect
+       mutates [t.conns]). *)
+    Hashtbl.fold
+      (fun _ c acc -> if c.c_overflow && not c.c_dead then c :: acc else acc)
+      t.conns []
+    |> List.iter (fun c -> disconnect t c);
     let done_ =
       t.draining && Sched.depth t.sched = 0 && not (pool_busy t)
-      && Hashtbl.fold (fun _ c acc -> acc && c.c_out = "") t.conns true
+      && Hashtbl.fold (fun _ c acc -> acc && c.c_out_len = 0) t.conns true
     in
     if done_ then ()
     else begin
@@ -810,7 +957,7 @@ let run ?(interrupted = fun () -> false) ?(on_ready = fun () -> ()) config =
       in
       let writes =
         Hashtbl.fold
-          (fun _ c acc -> if c.c_out <> "" then c.c_fd :: acc else acc)
+          (fun _ c acc -> if c.c_out_len > 0 then c.c_fd :: acc else acc)
           t.conns []
       in
       let readable, writable, _ =
@@ -848,7 +995,7 @@ let run ?(interrupted = fun () -> false) ?(on_ready = fun () -> ()) config =
               (fun _ c acc -> if c.c_fd == fd then Some c else acc)
               t.conns None
           with
-          | Some conn when not conn.c_dead && conn.c_out <> "" ->
+          | Some conn when not conn.c_dead && conn.c_out_len > 0 ->
             service_conn_write t conn
           | _ -> ())
         writable;
@@ -868,5 +1015,9 @@ let run ?(interrupted = fun () -> false) ?(on_ready = fun () -> ()) config =
       loop ()
     end
   in
-  Fun.protect ~finally:(fun () -> teardown t) loop;
+  Fun.protect
+    ~finally:(fun () ->
+      teardown t;
+      restore_sigpipe ())
+    loop;
   t.obs

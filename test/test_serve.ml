@@ -357,6 +357,107 @@ let serve_cases =
                 "expected request 2 rejected with 123ms advice, got %d/%dms"
                 id ms
             | None -> Alcotest.fail "no rejection observed"));
+    slow_case "clashing journaled campaigns are refused while queued" (fun () ->
+        let journaled_campaign () =
+          Protocol.Campaign
+            {
+              manifest =
+                J.Assoc
+                  [ ( "jobs",
+                      J.List
+                        [ J.Assoc
+                            [ ("duv", J.String "des56");
+                              ("level", J.String "rtl");
+                              ("seed", J.Int 1);
+                              ("ops", J.Int 10) ] ] ) ];
+              workers = 1;
+              retries = None;
+              journal = true;
+            }
+        in
+        with_server
+          ~configure:(fun c ->
+            { c with Server.workers = 1;
+              state_dir = Some (Filename.dirname c.Server.socket) })
+          (fun client _socket ->
+            (* One worker, held by a slow check: both campaigns sit in
+               the queue, where neither is running yet — admission must
+               still refuse the second, or two writers would share one
+               journal file once the worker frees up. *)
+            Client.send_request client ~id:0
+              (Protocol.Job (check_job ~seed:400 ~ops:400 ()));
+            Client.send_request client ~id:1
+              (Protocol.Job (journaled_campaign ()));
+            Client.send_request client ~id:2
+              (Protocol.Job (journaled_campaign ()));
+            let rejected = ref None
+            and campaign_done = ref false in
+            let rec pump () =
+              if !rejected = None || not !campaign_done then
+                match Client.next_event client with
+                | Error e -> Alcotest.fail e
+                | Ok (id, Protocol.Rejected _) ->
+                  rejected := Some id;
+                  pump ()
+                | Ok (2, Protocol.Result _) ->
+                  Alcotest.fail "clashing campaign was executed"
+                | Ok (1, Protocol.Result { ok; _ }) ->
+                  Alcotest.(check bool) "surviving campaign is green" true ok;
+                  campaign_done := true;
+                  pump ()
+                | Ok (_, _) -> pump ()
+            in
+            pump ();
+            Alcotest.(check (option int)) "the queued clash bounced" (Some 2)
+              !rejected));
+    slow_case "a live request id cannot be reused" (fun () ->
+        with_server
+          ~configure:(fun c -> { c with Server.workers = 1 })
+          (fun client _socket ->
+            (* Same id pipelined while the first is still in flight:
+               the second must bounce with a protocol error (the
+               bookkeeping is keyed on (conn, id)), and the first must
+               be unaffected.  Distinct seeds keep the warm cache out
+               of the admission path. *)
+            Client.send_request client ~id:0
+              (Protocol.Job (check_job ~seed:500 ~ops:400 ()));
+            Client.send_request client ~id:0
+              (Protocol.Job (check_job ~seed:501 ~ops:400 ()));
+            let dup_error = ref false
+            and finished = ref false in
+            let rec pump () =
+              if not (!dup_error && !finished) then
+                match Client.next_event client with
+                | Error e -> Alcotest.fail e
+                | Ok (0, Protocol.Error { message }) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "names the collision: %s" message)
+                    true
+                    (contains message "already queued or running");
+                  dup_error := true;
+                  pump ()
+                | Ok (0, Protocol.Result { ok; _ }) ->
+                  Alcotest.(check bool) "first request unaffected" true ok;
+                  finished := true;
+                  pump ()
+                | Ok (_, _) -> pump ()
+            in
+            pump ()));
+    slow_case "a second daemon cannot steal a live socket" (fun () ->
+        with_server (fun client socket ->
+            (* The socket file exists and a daemon is listening: a
+               second serve on the same path must refuse to unlink it
+               (it would leave the first daemon running but
+               unreachable), and the first must stay reachable. *)
+            (match Server.run (Server.default_config ~socket ()) with
+             | _ -> Alcotest.fail "second daemon must refuse a live socket"
+             | exception Failure msg ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "names the path: %s" msg)
+                 true (contains msg socket));
+            match Client.control client Protocol.Ping with
+            | Client.Pong -> ()
+            | _ -> Alcotest.fail "original daemon no longer answers"));
     slow_case "disconnect mid-request cancels and frees the worker" (fun () ->
         with_server
           ~configure:(fun c -> { c with Server.workers = 1 })
