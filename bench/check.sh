@@ -66,6 +66,21 @@
 #                         BENCH_serve_throughput.json, and FAILS below
 #                         the 5 req/s throughput floor or the 2x
 #                         warm-replay speedup gate)
+#  12. bench/main.exe --quick --chaos-only
+#                        (boots a tabv-serve daemon and soaks it with 8
+#                         clients, each with a seeded wire-fault plan
+#                         interposed -- torn frames, truncated and
+#                         corrupted headers, slow-loris trickles,
+#                         mid-frame resets, duplicated frames and
+#                         handshake garbage -- plus journaled campaigns
+#                         riding along; asserts every completed request
+#                         stays byte-identical to the one-shot report,
+#                         the daemon ends drained and leak-free (no
+#                         inflight keys, journals, stale state files or
+#                         fds), writes BENCH_serve_chaos.json, and
+#                         FAILS if anything leaks or the armed-but-idle
+#                         cost of the net-fault hook exceeds 2% and
+#                         20 us absolute)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -106,5 +121,8 @@ dune exec bench/main.exe -- --quick --trace-only
 
 echo "== serve throughput gate (8 clients; floor >= 5 req/s, warm >= 2x, byte-identical)"
 dune exec bench/main.exe -- --quick --serve-only
+
+echo "== chaos soak gate (8 faulted clients; drained, leak-free, byte-identical)"
+dune exec bench/main.exe -- --quick --chaos-only
 
 echo "== all checks passed"

@@ -801,8 +801,42 @@ let serve_cmd =
                  startup.  Without it, journaled campaign requests are \
                  refused.")
   in
+  let job_timeout =
+    Arg.(value & opt float 300. & info [ "job-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline: a job running longer is cancelled \
+                 and its client answered with an error echoing the \
+                 deadline (default 300; 0 disables).  Subprocess workers \
+                 (--isolate) are killed outright; in-domain jobs are \
+                 interrupted at their next interruption point.")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 60. & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Mid-frame silence budget: a client that stops sending \
+                 halfway through a request frame is disconnected and its \
+                 reservations released (default 60).  Fully idle \
+                 connections (no partial frame) are unaffected.")
+  in
+  let breaker_threshold =
+    Arg.(value & opt int 3 & info [ "breaker-threshold" ] ~docv:"N"
+           ~doc:"Consecutive worker-infrastructure failures before the \
+                 worker slot's circuit breaker opens (default 3).")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 5. & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+           ~doc:"Quarantine length of an open worker circuit breaker \
+                 before a single half-open probe job is admitted \
+                 (default 5).")
+  in
+  let shed_watermark =
+    Arg.(value & opt (some int) None & info [ "shed-watermark" ] ~docv:"N"
+           ~doc:"Queue depth at which lower-priority submissions (bulk \
+                 campaigns before trace work before interactive checks) \
+                 start being shed with retry advice (default: 3/4 of \
+                 --queue-bound).")
+  in
   let run socket tcp workers isolate queue_bound retry_after_ms warm_bound
-      state_dir =
+      state_dir job_timeout idle_timeout breaker_threshold breaker_cooldown
+      shed_watermark =
     let fail = Cli.fail "serve" in
     let socket =
       match socket with
@@ -812,6 +846,14 @@ let serve_cmd =
     if workers < 1 then fail "--workers must be >= 1";
     if queue_bound < 1 then fail "--queue-bound must be >= 1";
     if warm_bound < 1 then fail "--warm-bound must be >= 1";
+    if job_timeout < 0. then fail "--job-timeout must be >= 0";
+    if idle_timeout <= 0. then fail "--idle-timeout must be > 0";
+    if breaker_threshold < 1 then fail "--breaker-threshold must be >= 1";
+    if breaker_cooldown < 0. then fail "--breaker-cooldown must be >= 0";
+    (match shed_watermark with
+     | Some w when w < 1 || w > queue_bound ->
+       fail "--shed-watermark must be in [1, --queue-bound]"
+     | _ -> ());
     (match state_dir with
      | Some dir when not (Sys.file_exists dir) ->
        (try Unix.mkdir dir 0o755 with
@@ -829,6 +871,11 @@ let serve_cmd =
         queue_bound;
         retry_after_ms;
         warm_bound;
+        job_timeout_s = (if job_timeout = 0. then None else Some job_timeout);
+        conn_idle_timeout_s = idle_timeout;
+        breaker_threshold;
+        breaker_cooldown_s = breaker_cooldown;
+        shed_watermark;
         state_dir }
     in
     let banner () =
@@ -863,7 +910,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ workers $ Cli.isolate_arg
-      $ queue_bound $ retry_after_ms $ warm_bound $ state_dir)
+      $ queue_bound $ retry_after_ms $ warm_bound $ state_dir $ job_timeout
+      $ idle_timeout $ breaker_threshold $ breaker_cooldown $ shed_watermark)
 
 (* --- client ------------------------------------------------------- *)
 
@@ -944,7 +992,14 @@ let client_cmd =
   let attempts =
     Arg.(value & opt int 10 & info [ "retry-attempts" ] ~docv:"N"
            ~doc:"Resubmissions on backpressure rejection before giving up \
-                 (default 10; each sleeps the server's advice).")
+                 (default 10).")
+  in
+  let retry_seed =
+    Arg.(value & opt (some int) None & info [ "retry-seed" ] ~docv:"SEED"
+           ~doc:"Seed for decorrelated-jitter backoff between backpressure \
+                 retries, grown from the server's advice (default: this \
+                 process id, so concurrent clients spread out).  Pass an \
+                 explicit seed for reproducible retry timing.")
   in
   let report_out =
     Cli.report_json_arg
@@ -953,7 +1008,8 @@ let client_cmd =
          exactly what the one-shot CLI's --report-json would have written."
   in
   let run op socket tcp model ops seed props engine trace_out trace_in
-      manifest journal duv levels workers retries attempts report_out =
+      manifest journal duv levels workers retries attempts retry_seed
+      report_out =
     let fail = Cli.fail "client" in
     let endpoint =
       match (tcp, socket) with
@@ -1037,7 +1093,12 @@ let client_cmd =
         in
         match job with
         | Some job ->
-          (match Client.request_with_retry ~attempts client job with
+          let backoff_seed =
+            match retry_seed with
+            | Some s -> s
+            | None -> Unix.getpid ()
+          in
+          (match Client.request_with_retry ~attempts ~backoff_seed client job with
            | Client.Result { ok; warm; report } ->
              (match report_out with
               | Some "-" | None -> print_string report
@@ -1081,7 +1142,7 @@ let client_cmd =
     Term.(
       const run $ op $ socket_arg $ tcp_arg $ model $ ops $ seed $ props
       $ Cli.engine_arg $ trace_out $ trace_in $ manifest $ journal $ duv
-      $ levels $ workers $ retries $ attempts $ report_out)
+      $ levels $ workers $ retries $ attempts $ retry_seed $ report_out)
 
 (* --- doctor ------------------------------------------------------- *)
 
@@ -1256,6 +1317,8 @@ let doctor_cmd =
     let serve_check_cold = ref false
     and serve_check_warm = ref false
     and serve_campaign_ok = ref false
+    and serve_journal_ok = ref false
+    and serve_state_clean = ref false
     and serve_shutdown_ok = ref false in
     (let expected_check =
        Tabv_checker.Progression.reset_universe ();
@@ -1294,14 +1357,31 @@ let doctor_cmd =
      let dir = Filename.temp_file "tabv_doctor" ".serve" in
      Sys.remove dir;
      Unix.mkdir dir 0o700;
+     let state = Filename.concat dir "state" in
+     Unix.mkdir state 0o700;
      let socket = Filename.concat dir "tabv.sock" in
+     (* The sweep must run on *every* exit path — a failed smoke check
+        must not leave stale journals (or the socket) behind in the
+        temp tree. *)
+     let sweep d =
+       match Sys.readdir d with
+       | entries ->
+         Array.iter
+           (fun entry ->
+             try Sys.remove (Filename.concat d entry) with Sys_error _ -> ())
+           entries;
+         (try Unix.rmdir d with Unix.Unix_error _ -> ())
+       | exception Sys_error _ -> ()
+     in
      Fun.protect
        ~finally:(fun () ->
-         (try Sys.remove socket with Sys_error _ -> ());
-         (try Unix.rmdir dir with Unix.Unix_error _ -> ()))
+         sweep state;
+         sweep dir)
        (fun () ->
          let config =
-           { (Tabv_serve.Server.default_config ~socket ()) with workers = 2 }
+           { (Tabv_serve.Server.default_config ~socket ()) with
+             workers = 2;
+             state_dir = Some state }
          in
          let ready = Atomic.make false in
          let server =
@@ -1340,6 +1420,18 @@ let doctor_cmd =
                serve_campaign_ok := report = expected_campaign
              | _ -> ());
             (match
+               Tabv_serve.Client.request client
+                 (Tabv_serve.Protocol.Campaign
+                    { manifest = manifest_json; workers = 2;
+                      retries = Some 1; journal = true })
+             with
+             | Tabv_serve.Client.Result { ok = true; report; _ } ->
+               serve_journal_ok := report = expected_campaign
+             | _ -> ());
+            (* A completed journaled campaign must collect its own
+               journal: nothing may be left in the state dir. *)
+            serve_state_clean := Sys.readdir state = [||];
+            (match
                Tabv_serve.Client.control client Tabv_serve.Protocol.Shutdown
              with
              | Tabv_serve.Client.Shutting_down -> serve_shutdown_ok := true
@@ -1351,6 +1443,10 @@ let doctor_cmd =
     check "serve: warm replay is byte-identical" !serve_check_warm;
     check "serve: 2-job campaign over the socket is byte-identical"
       !serve_campaign_ok;
+    check "serve: journaled campaign matches the plain one byte-for-byte"
+      !serve_journal_ok;
+    check "serve: state dir holds no stale journals after the smoke"
+      !serve_state_clean;
     check "serve: graceful shutdown drains" !serve_shutdown_ok;
     if !failures = 0 then print_endline "all checks passed"
     else begin

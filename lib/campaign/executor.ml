@@ -80,16 +80,32 @@ type 'a tasks = {
   on_result : int -> 'a task_result -> unit;
 }
 
-(* Deterministic per-(seed, task, attempt) retry delay: exponential in
-   the attempt number with a hash-derived jitter in [0, 0.25).  Only
-   *when* a retry runs depends on this — never what it produces. *)
-let backoff config ~task ~attempt =
-  if config.backoff_base_s <= 0. then 0.
+(* Deterministic decorrelated-jitter retry delay (AWS architecture
+   blog vintage): d1 = base, dn = min(cap, base + u * (3 * d(n-1) -
+   base)) where u in [0, 1) is a hash of (seed, task, n).  Compared to
+   plain exponential-with-fixed-jitter, successive delays from
+   different seeds decorrelate quickly — a fleet of clients rejected
+   at the same instant does not re-stampede on the same schedule.
+   Only *when* a retry runs depends on this — never what it produces.
+   Shared with the serve client's backpressure retries, which is why
+   it lives in the interface. *)
+let backoff_s ~seed ~task ~base_s ~attempt =
+  if base_s <= 0. || attempt < 1 then 0.
   else begin
-    let h = Hashtbl.hash (config.backoff_seed, task, attempt) in
-    let jitter = float_of_int (h land 0xFFFF) /. 262144. in
-    config.backoff_base_s *. (2. ** float_of_int (attempt - 1)) *. (1. +. jitter)
+    let cap = 32. *. base_s in
+    let frac n =
+      float_of_int (Hashtbl.hash (seed, task, n) land 0xFFFF) /. 65536.
+    in
+    let rec grow d n =
+      if n > attempt then d
+      else grow (Float.min cap (base_s +. (frac n *. ((3. *. d) -. base_s)))) (n + 1)
+    in
+    grow base_s 2
   end
+
+let backoff config ~task ~attempt =
+  backoff_s ~seed:config.backoff_seed ~task ~base_s:config.backoff_base_s
+    ~attempt
 
 let respawn_counter config =
   match config.obs with

@@ -20,8 +20,9 @@
        that exceed [job_timeout_s] ({!Timed_out}).}}
 
     Failed attempts are retried up to [retries] times under seeded
-    exponential backoff ([backoff_base_s * 2^(attempt-1)], plus a
-    deterministic per-(seed, task, attempt) jitter).  Task {e results}
+    decorrelated-jitter backoff ({!backoff_s}: capped growth from
+    [backoff_base_s] with a deterministic per-(seed, task, attempt)
+    jitter).  Task {e results}
     stay deterministic either way: what executes, how often it is
     attempted on a deterministic failure, and everything a task
     returns are pure functions of the task — wall-clock only decides
@@ -62,6 +63,17 @@ val config :
 
 val kind_of : config -> kind
 val kind_name : kind -> string
+
+(** [backoff_s ~seed ~task ~base_s ~attempt] — the deterministic
+    decorrelated-jitter retry delay used between attempts: [d1 =
+    base_s], [dn = min (32 * base_s) (base_s + u * (3 * d(n-1) -
+    base_s))] with [u] in [[0, 1)] hashed from [(seed, task, n)].
+    Pure function of its arguments; [0.] when [base_s <= 0.] or
+    [attempt < 1].  Exposed because the serve client reuses it for
+    backpressure retries — distinct seeds decorrelate a fleet of
+    clients rejected at the same instant, where fixed server advice
+    would re-stampede them in lockstep. *)
+val backoff_s : seed:int -> task:int -> base_s:float -> attempt:int -> float
 
 (** How a task ultimately failed (after all retries). *)
 type failure =

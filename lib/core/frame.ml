@@ -102,15 +102,41 @@ let read ?expect_version ic =
      | exception End_of_file -> failwith "frame: truncated body")
 
 (* Incremental frame accumulator for non-blocking reads: feed raw
-   chunks, pop complete frames. *)
+   chunks, pop complete frames.
+
+   [max_frame] bounds the body length a header may announce.  Without
+   it a single corrupted (or hostile) length prefix — "ffffffff\n" —
+   would make the decoder buffer 4 GiB before ever popping a frame;
+   with it the oversized header is a {!Protocol_error} the moment it
+   is decoded, while the buffered bytes are still tiny.
+
+   [xform] is an interpose hook in the style of [Signal.interpose]:
+   fault-injection harnesses rewrite raw inbound chunks (tear, drop,
+   corrupt) before the decoder sees them.  Production paths never set
+   it, so the cost when unarmed is one option check per feed. *)
 type stream = {
   mutable buffered : string;
   expect_version : int option;
+  max_frame : int option;
+  mutable xform : (string -> string) option;
 }
 
-let stream ?expect_version () = { buffered = ""; expect_version }
+let stream ?expect_version ?max_frame () =
+  (match max_frame with
+   | Some m when m < 0 -> invalid_arg "Frame.stream: max_frame must be >= 0"
+   | _ -> ());
+  { buffered = ""; expect_version; max_frame; xform = None }
+
 let stream_length s = String.length s.buffered
-let feed s chunk = if chunk <> "" then s.buffered <- s.buffered ^ chunk
+let interpose s f = s.xform <- Some f
+
+let feed s chunk =
+  let chunk =
+    match s.xform with
+    | None -> chunk
+    | Some f -> f chunk
+  in
+  if chunk <> "" then s.buffered <- s.buffered ^ chunk
 
 let pop s =
   let len = String.length s.buffered in
@@ -134,6 +160,14 @@ let pop s =
          | Some (_, body) -> body
          | None -> raise (Protocol_error "malformed versioned frame header"))
     in
+    (match s.max_frame with
+     | Some bound when body > bound ->
+       raise
+         (Protocol_error
+            (Printf.sprintf
+               "frame body of %d bytes exceeds the %d-byte frame bound" body
+               bound))
+     | _ -> ());
     if len < hlen + body then None
     else begin
       let payload = String.sub s.buffered hlen body in

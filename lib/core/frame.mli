@@ -56,18 +56,30 @@ val read : ?expect_version:int -> in_channel -> string option
 
 type stream
 
-(** [stream ?expect_version ()] — a fresh decoder.  With
+(** [stream ?expect_version ?max_frame ()] — a fresh decoder.  With
     [expect_version] it decodes versioned headers and checks the
-    version field of every frame. *)
-val stream : ?expect_version:int -> unit -> stream
+    version field of every frame.  With [max_frame] any header
+    announcing a body longer than [max_frame] bytes is a
+    {!Protocol_error} the moment the header is decoded — without it a
+    single corrupted length prefix would make the decoder buffer up to
+    4 GiB waiting for a body that never comes.
+    @raise Invalid_argument when [max_frame < 0]. *)
+val stream : ?expect_version:int -> ?max_frame:int -> unit -> stream
 
 (** Bytes currently buffered (useful to detect a partial trailing
     frame after EOF). *)
 val stream_length : stream -> int
 
+(** [interpose s f] rewrites every subsequently fed chunk through [f]
+    before the decoder sees it — a fault-injection hook in the style
+    of [Signal.interpose] (tear, truncate, corrupt raw inbound bytes).
+    Production paths never install one; the unarmed cost is one option
+    check per {!feed}. *)
+val interpose : stream -> (string -> string) -> unit
+
 val feed : stream -> string -> unit
 
 (** Pop the next complete frame, if any.
-    @raise Protocol_error on a malformed buffered header or a version
-    mismatch. *)
+    @raise Protocol_error on a malformed buffered header, a version
+    mismatch, or a body length over the stream's [max_frame]. *)
 val pop : stream -> string option

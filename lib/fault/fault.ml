@@ -585,3 +585,317 @@ let install binding plan =
     Tabv_obs.Metrics.probe metrics "fault.triggered" (fun () -> inst.triggered_count)
   end;
   inst
+
+(* ------------------------------------------------------------------ *)
+(* Wire/transport fault plans                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The same deterministic-saboteur philosophy one layer up: instead of
+   corrupting DUV signals, corrupt the byte stream a serve client
+   writes to the daemon.  A plan names {e which} outbound frame (0, 1,
+   2, ... counted across the client's whole life, reconnects included)
+   suffers {e what}; [arm]/[apply] turn one encoded frame into the
+   wire actions a fault-aware sender executes.  Nothing here touches a
+   socket — the client owns the fd and interprets the actions — so the
+   vocabulary stays pure, JSON round-trippable, and testable without
+   a daemon. *)
+module Net = struct
+  type fault =
+    | Torn_frame of { frame : int; pieces : int }
+        (* split one frame into [pieces] separate writes *)
+    | Truncated_header of { frame : int; keep : int }
+        (* write only the first [keep] header bytes, then reset *)
+    | Corrupt_length of { frame : int; digit : int }
+        (* rewrite hex digit [digit] of the length prefix *)
+    | Corrupt_version of { frame : int }
+        (* overwrite the version field with 0xff *)
+    | Slow_loris of { frame : int; delay_ms : int }
+        (* dribble the frame out in tiny delayed writes *)
+    | Reset_mid_frame of { frame : int; after : int }
+        (* write [after] bytes of the frame, then reset *)
+    | Delay_frame of { frame : int; delay_ms : int }
+        (* hold the whole frame back [delay_ms], then send intact *)
+    | Duplicate_frame of { frame : int }
+        (* send the frame twice back-to-back *)
+    | Handshake_garbage of { bytes : int }
+        (* [bytes] of non-protocol noise before the first frame *)
+
+  type plan = {
+    plan_name : string;
+    faults : fault list;
+  }
+
+  let no_faults = { plan_name = "no-net-faults"; faults = [] }
+  let plan ~name faults = { plan_name = name; faults }
+  let is_empty p = p.faults = []
+  let fault_count p = List.length p.faults
+
+  let fault_json = function
+    | Torn_frame { frame; pieces } ->
+      J.Assoc
+        [ ("kind", J.String "torn_frame");
+          ("frame", J.Int frame);
+          ("pieces", J.Int pieces)
+        ]
+    | Truncated_header { frame; keep } ->
+      J.Assoc
+        [ ("kind", J.String "truncated_header");
+          ("frame", J.Int frame);
+          ("keep", J.Int keep)
+        ]
+    | Corrupt_length { frame; digit } ->
+      J.Assoc
+        [ ("kind", J.String "corrupt_length");
+          ("frame", J.Int frame);
+          ("digit", J.Int digit)
+        ]
+    | Corrupt_version { frame } ->
+      J.Assoc [ ("kind", J.String "corrupt_version"); ("frame", J.Int frame) ]
+    | Slow_loris { frame; delay_ms } ->
+      J.Assoc
+        [ ("kind", J.String "slow_loris");
+          ("frame", J.Int frame);
+          ("delay_ms", J.Int delay_ms)
+        ]
+    | Reset_mid_frame { frame; after } ->
+      J.Assoc
+        [ ("kind", J.String "reset_mid_frame");
+          ("frame", J.Int frame);
+          ("after", J.Int after)
+        ]
+    | Delay_frame { frame; delay_ms } ->
+      J.Assoc
+        [ ("kind", J.String "delay_frame");
+          ("frame", J.Int frame);
+          ("delay_ms", J.Int delay_ms)
+        ]
+    | Duplicate_frame { frame } ->
+      J.Assoc [ ("kind", J.String "duplicate_frame"); ("frame", J.Int frame) ]
+    | Handshake_garbage { bytes } ->
+      J.Assoc [ ("kind", J.String "handshake_garbage"); ("bytes", J.Int bytes) ]
+
+  let plan_json p =
+    J.Assoc
+      [ ("plan", J.String p.plan_name);
+        ("faults", J.List (List.map fault_json p.faults))
+      ]
+
+  let fault_of_json j =
+    let* kvs = assoc j in
+    let* kind = string_key "kind" kvs in
+    match kind with
+    | "torn_frame" ->
+      let* frame = int_key "frame" kvs in
+      let* pieces = int_key "pieces" kvs in
+      Ok (Torn_frame { frame; pieces })
+    | "truncated_header" ->
+      let* frame = int_key "frame" kvs in
+      let* keep = int_key "keep" kvs in
+      Ok (Truncated_header { frame; keep })
+    | "corrupt_length" ->
+      let* frame = int_key "frame" kvs in
+      let* digit = int_key "digit" kvs in
+      Ok (Corrupt_length { frame; digit })
+    | "corrupt_version" ->
+      let* frame = int_key "frame" kvs in
+      Ok (Corrupt_version { frame })
+    | "slow_loris" ->
+      let* frame = int_key "frame" kvs in
+      let* delay_ms = int_key "delay_ms" kvs in
+      Ok (Slow_loris { frame; delay_ms })
+    | "reset_mid_frame" ->
+      let* frame = int_key "frame" kvs in
+      let* after = int_key "after" kvs in
+      Ok (Reset_mid_frame { frame; after })
+    | "delay_frame" ->
+      let* frame = int_key "frame" kvs in
+      let* delay_ms = int_key "delay_ms" kvs in
+      Ok (Delay_frame { frame; delay_ms })
+    | "duplicate_frame" ->
+      let* frame = int_key "frame" kvs in
+      Ok (Duplicate_frame { frame })
+    | "handshake_garbage" ->
+      let* bytes = int_key "bytes" kvs in
+      Ok (Handshake_garbage { bytes })
+    | other -> Error (Printf.sprintf "net fault plan: unknown kind %S" other)
+
+  let plan_of_json j =
+    let* kvs = assoc j in
+    let* plan_name = string_key "plan" kvs in
+    let* faults = key "faults" kvs in
+    let* items =
+      match faults with
+      | J.List items -> Ok items
+      | _ -> Error "net fault plan: key \"faults\" must be an array"
+    in
+    let rec decode acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* f = fault_of_json item in
+        decode (f :: acc) rest
+    in
+    let* faults = decode [] items in
+    Ok { plan_name; faults }
+
+  (* Seeded generation, same contract as the DUV-level {!generate}:
+     identical [(seed, frames, count)] always yields the identical
+     plan, and faults are drawn in index order. *)
+  let generate ~seed ~frames ~count =
+    let name = Printf.sprintf "net-generated-%d" seed in
+    if frames < 1 || count < 1 then { plan_name = name; faults = [] }
+    else begin
+      let st = Random.State.make [| 0x7ab5; 0x0e7; seed |] in
+      let pick () =
+        let frame = Random.State.int st frames in
+        match Random.State.int st 9 with
+        | 0 -> Torn_frame { frame; pieces = 2 + Random.State.int st 6 }
+        | 1 -> Truncated_header { frame; keep = 1 + Random.State.int st 9 }
+        | 2 -> Corrupt_length { frame; digit = Random.State.int st 8 }
+        | 3 -> Corrupt_version { frame }
+        | 4 -> Slow_loris { frame; delay_ms = 1 + Random.State.int st 5 }
+        | 5 -> Reset_mid_frame { frame; after = 1 + Random.State.int st 16 }
+        | 6 -> Delay_frame { frame; delay_ms = 1 + Random.State.int st 20 }
+        | 7 -> Duplicate_frame { frame }
+        | _ -> Handshake_garbage { bytes = 1 + Random.State.int st 64 }
+      in
+      let rec draw acc n =
+        if n = 0 then List.rev acc else draw (pick () :: acc) (n - 1)
+      in
+      { plan_name = name; faults = draw [] count }
+    end
+
+  (* --- arming and application --------------------------------------- *)
+
+  (* What a fault-aware sender does with one frame, in order.  [`Reset]
+     hard-closes the connection (and the sender treats the request as
+     failed); anything after a [`Reset] is unreachable by
+     construction. *)
+  type action =
+    [ `Chunk of string  (* write these bytes *)
+    | `Delay_ms of int  (* sleep before the next action *)
+    | `Reset  (* shut the socket down, both directions *)
+    ]
+
+  type armed = {
+    armed_plan : plan;
+    mutable next_frame : int;  (* frames seen so far, reconnect-proof *)
+    mutable net_triggered : int;
+  }
+
+  let arm p = { armed_plan = p; next_frame = 0; net_triggered = 0 }
+  let armed_faults a = fault_count a.armed_plan
+  let net_triggered a = a.net_triggered
+  let frames_sent a = a.next_frame
+
+  (* Deterministic non-protocol noise.  The first byte is never a hex
+     digit, so a reader fails on the very first header decode instead
+     of wandering into ambiguity. *)
+  let garbage_bytes n =
+    String.init n (fun i ->
+      let alphabet = "#garbage?noise!" in
+      alphabet.[i mod String.length alphabet])
+
+  let split_into ~pieces s =
+    let len = String.length s in
+    let pieces = max 1 (min pieces len) in
+    let base = len / pieces and extra = len mod pieces in
+    let rec go acc off i =
+      if i = pieces then List.rev acc
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        go (String.sub s off size :: acc) (off + size) (i + 1)
+      end
+    in
+    go [] 0 0
+
+  let rewrite s pos c =
+    let b = Bytes.of_string s in
+    Bytes.set b pos c;
+    Bytes.to_string b
+
+  let hex_digit v = "0123456789abcdef".[v land 0xf]
+
+  let hex_value = function
+    | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+    | _ -> None
+
+  (* Turn one encoded frame (versioned header assumed — the serve
+     protocol always versions its sockets) into wire actions.  At most
+     one fault fires per frame, the first in plan order; handshake
+     garbage additionally precedes frame 0.  Every fault that fires
+     counts as triggered. *)
+  let apply a frame_bytes =
+    let n = a.next_frame in
+    a.next_frame <- n + 1;
+    let len = String.length frame_bytes in
+    let prelude =
+      if n > 0 then []
+      else
+        List.concat_map
+          (function
+            | Handshake_garbage { bytes } when bytes > 0 ->
+              a.net_triggered <- a.net_triggered + 1;
+              [ `Chunk (garbage_bytes bytes) ]
+            | _ -> [])
+          a.armed_plan.faults
+    in
+    let targets_this_frame = function
+      | Torn_frame { frame; _ }
+      | Truncated_header { frame; _ }
+      | Corrupt_length { frame; _ }
+      | Corrupt_version { frame }
+      | Slow_loris { frame; _ }
+      | Reset_mid_frame { frame; _ }
+      | Delay_frame { frame; _ }
+      | Duplicate_frame { frame } -> frame = n
+      | Handshake_garbage _ -> false
+    in
+    let actions =
+      match List.find_opt targets_this_frame a.armed_plan.faults with
+      | None -> [ `Chunk frame_bytes ]
+      | Some fault ->
+        a.net_triggered <- a.net_triggered + 1;
+        (match fault with
+         | Torn_frame { pieces; _ } ->
+           List.map (fun p -> `Chunk p) (split_into ~pieces frame_bytes)
+         | Truncated_header { keep; _ } ->
+           let keep =
+             max 1 (min keep (min (len - 1) (Tabv_core.Frame.versioned_header_length - 1)))
+           in
+           [ `Chunk (String.sub frame_bytes 0 keep); `Reset ]
+         | Corrupt_length { digit; _ } when len >= Tabv_core.Frame.versioned_header_length ->
+           (* Digits 0-7 of the 8-hex length field sit at header
+              offsets 2-9; bump the digit's value so the announced
+              length is provably wrong, then reset — the stream past a
+              lied-about length is unrecoverable garbage either way. *)
+           let digit = (abs digit) mod 8 in
+           let pos = 2 + digit in
+           let v =
+             match hex_value frame_bytes.[pos] with
+             | Some v -> v
+             | None -> 0
+           in
+           [ `Chunk (rewrite frame_bytes pos (hex_digit ((v + 1 + digit) mod 16)));
+             `Reset
+           ]
+         | Corrupt_length _ -> [ `Chunk frame_bytes ]
+         | Corrupt_version _ when len >= Tabv_core.Frame.versioned_header_length ->
+           [ `Chunk (rewrite (rewrite frame_bytes 0 'f') 1 'f'); `Reset ]
+         | Corrupt_version _ -> [ `Chunk frame_bytes ]
+         | Slow_loris { delay_ms; _ } ->
+           (* Byte-ish dribble, capped at 32 writes so a huge frame
+              cannot turn one fault into minutes of sleeping. *)
+           List.concat_map
+             (fun p -> [ `Delay_ms delay_ms; `Chunk p ])
+             (split_into ~pieces:32 frame_bytes)
+         | Reset_mid_frame { after; _ } ->
+           let after = max 1 (min after (len - 1)) in
+           [ `Chunk (String.sub frame_bytes 0 after); `Reset ]
+         | Delay_frame { delay_ms; _ } ->
+           [ `Delay_ms delay_ms; `Chunk frame_bytes ]
+         | Duplicate_frame _ -> [ `Chunk frame_bytes; `Chunk frame_bytes ]
+         | Handshake_garbage _ -> [ `Chunk frame_bytes ])
+    in
+    (prelude @ actions : action list)
+end

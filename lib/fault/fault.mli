@@ -184,3 +184,93 @@ val armed : installed -> int
     changed a value, or a mutator/chaos firing.  [0] at the end of a
     run means the fault was {e latent} — never exercised. *)
 val triggered : installed -> int
+
+(** {2 Wire/transport fault plans}
+
+    The same deterministic-saboteur philosophy one layer up the stack:
+    instead of corrupting DUV signals, corrupt the length-prefixed
+    byte stream a [tabv serve] client writes to the daemon.  A plan
+    names {e which} outbound frame (0-based, counted across the
+    client's whole life — reconnects included) suffers {e what};
+    {!Net.arm}/{!Net.apply} turn one encoded frame into the wire
+    {!Net.action}s a fault-aware sender executes.  Nothing in here
+    touches a socket: the sender owns the fd and interprets the
+    actions, so the vocabulary stays pure, JSON round-trippable, and
+    testable without a daemon. *)
+module Net : sig
+  type fault =
+    | Torn_frame of { frame : int; pieces : int }
+        (** split the frame into [pieces] separate writes *)
+    | Truncated_header of { frame : int; keep : int }
+        (** write only the first [keep] header bytes, then reset *)
+    | Corrupt_length of { frame : int; digit : int }
+        (** rewrite hex digit [digit] (0-7) of the length prefix to a
+            different digit, then reset (the stream past a lied-about
+            length is unrecoverable) *)
+    | Corrupt_version of { frame : int }
+        (** overwrite the version field with [0xff], then reset *)
+    | Slow_loris of { frame : int; delay_ms : int }
+        (** dribble the frame out in up to 32 delayed writes *)
+    | Reset_mid_frame of { frame : int; after : int }
+        (** write [after] bytes of the frame, then reset *)
+    | Delay_frame of { frame : int; delay_ms : int }
+        (** hold the whole frame back [delay_ms], then send intact *)
+    | Duplicate_frame of { frame : int }
+        (** send the frame twice back-to-back *)
+    | Handshake_garbage of { bytes : int }
+        (** [bytes] of non-protocol noise before frame 0 (first byte
+            is never a hex digit, so the reader fails instantly) *)
+
+  type plan = {
+    plan_name : string;
+    faults : fault list;
+  }
+
+  val no_faults : plan
+  val plan : name:string -> fault list -> plan
+  val is_empty : plan -> bool
+  val fault_count : plan -> int
+
+  (** [{"plan": name, "faults": [{"kind": ..}, ..]}]; round-trips
+      through {!plan_of_json}. *)
+  val plan_json : plan -> Tabv_core.Report_json.json
+
+  val plan_of_json : Tabv_core.Report_json.json -> (plan, string) result
+
+  (** [generate ~seed ~frames ~count] draws [count] faults over frames
+      [0 .. frames-1].  Pure function of its arguments (private PRNG,
+      drawn in index order), like the DUV-level {!generate}. *)
+  val generate : seed:int -> frames:int -> count:int -> plan
+
+  (** One wire-level step of a faulted send, in order.  [`Reset]
+      hard-closes the connection (both directions) and the sender
+      treats the request as failed; actions after a [`Reset] are
+      unreachable by construction. *)
+  type action =
+    [ `Chunk of string  (** write these bytes *)
+    | `Delay_ms of int  (** sleep before the next action *)
+    | `Reset  (** shut the socket down *)
+    ]
+
+  (** Mutable per-sender state: the outbound frame counter and the
+      trigger count.  One [armed] per chaos client, surviving its
+      reconnects. *)
+  type armed
+
+  val arm : plan -> armed
+
+  (** [apply a frame_bytes] — the wire actions for the next outbound
+      frame (versioned header assumed, as on every serve socket).  At
+      most one fault fires per frame — the first in plan order —
+      plus any handshake garbage before frame 0.  An unfaulted frame
+      is exactly [[`Chunk frame_bytes]]. *)
+  val apply : armed -> string -> action list
+
+  val armed_faults : armed -> int
+
+  (** Faults that actually fired so far (latent faults target frames
+      never sent). *)
+  val net_triggered : armed -> int
+
+  val frames_sent : armed -> int
+end

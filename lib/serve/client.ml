@@ -14,10 +14,19 @@ type endpoint =
   [ `Unix of string  (* socket path *)
   | `Tcp of string * int ]
 
+(* One wire-level step of a (possibly fault-injected) send.
+   Structurally compatible with {!Tabv_fault.Fault.Net.action} without
+   a library dependency in either direction. *)
+type wire_action =
+  [ `Chunk of string
+  | `Delay_ms of int
+  | `Reset ]
+
 type t = {
   fd : Unix.file_descr;
   stream : Frame.stream;
   mutable next_id : int;
+  mutable wire : (string -> wire_action list) option;
 }
 
 type reply =
@@ -31,9 +40,35 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
+(* [interpose t f] routes every outbound frame through [f] — the
+   chaos-harness hook, in the style of [Signal.interpose].  [f]
+   receives the encoded frame and answers the wire actions to execute
+   instead of the single plain write.  Production paths never install
+   one. *)
+let interpose t f = t.wire <- Some f
+
 let send t payload =
   let frame = Frame.encode ~version:Protocol.frame_version payload in
-  write_all t.fd frame 0 (String.length frame)
+  match t.wire with
+  | None -> write_all t.fd frame 0 (String.length frame)
+  | Some f ->
+    let rec exec = function
+      | [] -> ()
+      | `Chunk s :: rest ->
+        write_all t.fd s 0 (String.length s);
+        exec rest
+      | `Delay_ms ms :: rest ->
+        Unix.sleepf (float_of_int ms /. 1000.);
+        exec rest
+      | `Reset :: _ ->
+        (* Injected mid-request connection loss: hard-close both
+           directions and surface the same error the caller would see
+           from a genuine peer reset. *)
+        (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        raise (Unix.Unix_error (Unix.EPIPE, "send", "injected reset"))
+    in
+    exec (f frame)
 
 (* Next complete frame, reading as needed.  [None] on orderly EOF. *)
 let read_frame t =
@@ -102,7 +137,7 @@ let connect (endpoint : endpoint) =
   | fd ->
   let t =
     { fd; stream = Frame.stream ~expect_version:Protocol.frame_version ();
-      next_id = 0 }
+      next_id = 0; wire = None }
   in
   match read_frame t with
   | None ->
@@ -180,13 +215,24 @@ let request t job =
       (Printf.sprintf "cannot reach the server: %s" (Unix.error_message e))
   | () -> await_terminal t ~id
 
-(* Submit with bounded retries on backpressure, sleeping the server's
-   advice between attempts. *)
-let request_with_retry ?(attempts = 10) t job =
+(* Submit with bounded retries on backpressure.  With [backoff_seed]
+   the server's advice seeds the campaign executor's decorrelated-
+   jitter backoff ({!Tabv_campaign.Executor.backoff_s}) so a fleet of
+   clients rejected at the same instant spreads out instead of
+   re-stampeding in lockstep; without it the raw advice is honored
+   as-is (deterministic, for tests). *)
+let retry_delay_s ?backoff_seed ~attempt retry_after_ms =
+  let advice = float_of_int retry_after_ms /. 1000. in
+  match backoff_seed with
+  | None -> advice
+  | Some seed ->
+    Tabv_campaign.Executor.backoff_s ~seed ~task:0 ~base_s:advice ~attempt
+
+let request_with_retry ?(attempts = 10) ?backoff_seed t job =
   let rec go attempt =
     match request t job with
     | Rejected { retry_after_ms } when attempt < attempts ->
-      Unix.sleepf (float_of_int retry_after_ms /. 1000.);
+      Unix.sleepf (retry_delay_s ?backoff_seed ~attempt retry_after_ms);
       go (attempt + 1)
     | reply -> reply
   in

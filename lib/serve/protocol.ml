@@ -74,6 +74,16 @@ let job_op = function
   | Campaign _ -> "campaign"
   | Qualify _ -> "qualify"
 
+(* Scheduling priority tiers for load shedding, a pure function of the
+   job shape so both ends of the wire agree without negotiating:
+   interactive single checks outrank trace work, which outranks bulk
+   campaigns — when the daemon is overloaded, the bulk work (cheap to
+   re-submit, expensive to run) is what gets shed first. *)
+let job_priority = function
+  | Check { trace_out = None; _ } -> 3
+  | Check { trace_out = Some _; _ } | Recheck _ -> 2
+  | Campaign _ | Qualify _ -> 1
+
 (* --- request JSON -------------------------------------------------- *)
 
 let opt_field name to_json = function

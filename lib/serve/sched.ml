@@ -1,28 +1,55 @@
 (* Bounded fair scheduler: one FIFO per client, round-robin service
-   across clients, explicit backpressure.
+   across clients, explicit backpressure — plus the two robustness
+   tiers in front of the bound:
+
+   - a {e load-shedding watermark}: once the queue is [watermark] deep
+     (default 3/4 of the bound), submissions whose priority is
+     strictly below the best work already queued are refused early,
+     with honest retry advice, instead of padding out a backlog that
+     will starve them anyway;
+   - {e displacement at the bound}: a full queue accepts a
+     strictly-higher-priority submission by evicting the freshest
+     lowest-priority queued (never started) item, which the caller
+     must reject back to its owner.
 
    Fairness is per-connection, not per-request: a client that dumps
    50 requests cannot starve one that sends a single check, because
    [next] rotates a cursor over the clients that have queued work and
    takes one request per visit.  The bound is global (total queued
-   across all clients); a submit over the bound is rejected with
-   explicit retry advice rather than queued into unbounded memory.
+   across all clients).
 
    Plain single-threaded data structure — the server's coordinator
    loop is the only caller. *)
 
-type 'a t = {
-  bound : int;
-  queues : (int, 'a Queue.t) Hashtbl.t;  (* client id -> its FIFO *)
-  mutable rotation : int list;  (* client service order, cursor at head *)
-  mutable depth : int;  (* total queued *)
+type 'a entry = {
+  e_priority : int;
+  e_item : 'a;
 }
 
-let create ~bound =
+type 'a t = {
+  bound : int;
+  watermark : int;
+  queues : (int, 'a entry Queue.t) Hashtbl.t;  (* client id -> its FIFO *)
+  mutable rotation : int list;  (* client service order, cursor at head *)
+  mutable depth : int;  (* total queued *)
+  mutable shed : int;  (* watermark refusals + displacements *)
+}
+
+let create ?watermark ~bound () =
   if bound < 1 then invalid_arg "Sched.create: bound must be >= 1";
-  { bound; queues = Hashtbl.create 16; rotation = []; depth = 0 }
+  let watermark =
+    match watermark with
+    | None -> max 1 (bound * 3 / 4)
+    | Some w ->
+      if w < 1 || w > bound then
+        invalid_arg "Sched.create: watermark must be in [1, bound]";
+      w
+  in
+  { bound; watermark; queues = Hashtbl.create 16; rotation = []; depth = 0;
+    shed = 0 }
 
 let depth t = t.depth
+let shed_count t = t.shed
 
 let add_client t client =
   if not (Hashtbl.mem t.queues client) then begin
@@ -38,17 +65,79 @@ let remove_client t client =
   | Some q ->
     Hashtbl.remove t.queues client;
     t.rotation <- List.filter (fun c -> c <> client) t.rotation;
-    let dropped = List.of_seq (Queue.to_seq q) in
+    let dropped = List.map (fun e -> e.e_item) (List.of_seq (Queue.to_seq q)) in
     t.depth <- t.depth - List.length dropped;
     dropped
 
-let submit t ~client item =
+(* Highest priority among queued entries ([min_int] when empty). *)
+let best_queued_priority t =
+  Hashtbl.fold
+    (fun _ q best ->
+      Queue.fold (fun best e -> max best e.e_priority) best q)
+    t.queues min_int
+
+(* Evict the freshest entry of the globally lowest queued priority
+   (scanning clients in rotation order), provided that priority is
+   strictly below [than].  Rebuilds the victim's FIFO minus the one
+   entry — queues are small and bounded, so the O(n) rebuild is
+   irrelevant. *)
+let displace_lowest t ~than =
+  let victim =
+    List.fold_left
+      (fun acc client ->
+        match Hashtbl.find_opt t.queues client with
+        | None -> acc
+        | Some q ->
+          Queue.fold
+            (fun acc e ->
+              match acc with
+              | Some (_, p) when p <= e.e_priority -> acc
+              | _ when e.e_priority < than -> Some (client, e.e_priority)
+              | _ -> acc)
+            acc q)
+      None t.rotation
+  in
+  match victim with
+  | None -> None
+  | Some (client, priority) ->
+    let q = Hashtbl.find t.queues client in
+    let entries = List.of_seq (Queue.to_seq q) in
+    (* Freshest matching entry: the last one at the victim priority. *)
+    let last = ref (-1) in
+    List.iteri
+      (fun i e -> if e.e_priority = priority then last := i)
+      entries;
+    let victim = List.nth entries !last in
+    Queue.clear q;
+    List.iteri (fun i e -> if i <> !last then Queue.add e q) entries;
+    t.depth <- t.depth - 1;
+    Some (client, victim.e_item)
+
+let submit ?(priority = 0) t ~client item =
   match Hashtbl.find_opt t.queues client with
   | None -> invalid_arg "Sched.submit: unknown client"
   | Some q ->
-    if t.depth >= t.bound then `Rejected
+    if t.depth >= t.bound then begin
+      (* Full: only strictly-better work gets in, by displacing the
+         freshest lowest-priority queued item. *)
+      match displace_lowest t ~than:priority with
+      | None -> `Rejected
+      | Some (victim_client, victim) ->
+        t.shed <- t.shed + 1;
+        Queue.add { e_priority = priority; e_item = item } q;
+        t.depth <- t.depth + 1;
+        `Displaced (victim_client, victim, t.depth)
+    end
+    else if t.depth >= t.watermark && priority < best_queued_priority t
+    then begin
+      (* Shedding tier: the backlog is deep and holds strictly better
+         work — refuse early with retry advice rather than queue work
+         that would starve behind it anyway. *)
+      t.shed <- t.shed + 1;
+      `Rejected
+    end
     else begin
-      Queue.add item q;
+      Queue.add { e_priority = priority; e_item = item } q;
       t.depth <- t.depth + 1;
       `Accepted t.depth
     end
@@ -67,10 +156,97 @@ let next t =
         t.rotation <- rest @ [ client ];
         match Hashtbl.find_opt t.queues client with
         | Some q when not (Queue.is_empty q) ->
-          let item = Queue.take q in
+          let e = Queue.take q in
           t.depth <- t.depth - 1;
-          Some (client, item)
+          Some (client, e.e_item)
         | _ -> go (visited + 1)
       end
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Worker circuit breaker                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Consecutive-infrastructure-failure tracking for one worker slot.
+   The classic three states:
+
+   - [Closed] — healthy; failures count up, successes reset them.
+     [threshold] consecutive failures trip the breaker.
+   - [Open] — the slot is quarantined until [cooldown_s] elapses; the
+     scheduler must not dispatch to it.
+   - [Half_open] — cooldown expired; exactly one probe job may be
+     dispatched.  Success re-closes the breaker, failure re-opens it
+     (counting a fresh trip and a fresh cooldown).
+
+   "Failure" here means {e worker infrastructure} failure (subprocess
+   death, garbage reply, a watchdog kill) — a request-level error
+   (bad props, bad manifest) is the job's fault, not the worker's, and
+   must be recorded as success.  Time is injected by the caller so the
+   logic stays clock-free and directly testable. *)
+module Breaker = struct
+  type state =
+    | Closed
+    | Open of { until : float }
+    | Half_open
+
+  type t = {
+    threshold : int;
+    cooldown_s : float;
+    mutable failures : int;  (* consecutive, while closed *)
+    mutable state : state;
+    mutable probing : bool;  (* a half-open probe is in flight *)
+    mutable trips : int;
+  }
+
+  let create ?(threshold = 3) ?(cooldown_s = 5.) () =
+    if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+    if cooldown_s < 0. then
+      invalid_arg "Breaker.create: cooldown must be >= 0";
+    { threshold; cooldown_s; failures = 0; state = Closed; probing = false;
+      trips = 0 }
+
+  let trips t = t.trips
+  let is_open t = match t.state with Open _ -> true | _ -> false
+
+  let record_success t =
+    t.failures <- 0;
+    t.probing <- false;
+    t.state <- Closed
+
+  let record_failure t ~now =
+    match t.state with
+    | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.threshold then begin
+        t.trips <- t.trips + 1;
+        t.failures <- 0;
+        t.state <- Open { until = now +. t.cooldown_s }
+      end
+    | Half_open ->
+      (* The probe failed: straight back to quarantine. *)
+      t.trips <- t.trips + 1;
+      t.probing <- false;
+      t.state <- Open { until = now +. t.cooldown_s }
+    | Open _ -> ()
+
+  (* May this slot take a job right now?  Checking an expired [Open]
+     transitions to [Half_open] as a side effect — the caller that
+     sees [true] and dispatches must call {!probe_started}. *)
+  let available t ~now =
+    match t.state with
+    | Closed -> true
+    | Half_open -> not t.probing
+    | Open { until } ->
+      if now >= until then begin
+        t.state <- Half_open;
+        t.probing <- false;
+        true
+      end
+      else false
+
+  let probe_started t =
+    match t.state with
+    | Half_open -> t.probing <- true
+    | Closed | Open _ -> ()
+end

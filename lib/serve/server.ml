@@ -48,9 +48,16 @@ type config = {
   workers : int;
   executor : executor;
   queue_bound : int;
-  retry_after_ms : int;  (* advice in rejected events *)
+  retry_after_ms : int;  (* base advice in rejected events *)
   warm_bound : int;
   backlog_bound : int;  (* outgoing bytes buffered per connection *)
+  frame_bound : int;  (* largest request frame body a client may announce *)
+  job_timeout_s : float option;  (* per-request deadline; None = no deadline *)
+  conn_idle_timeout_s : float;  (* max silence mid-frame before disconnect *)
+  breaker_threshold : int;  (* consecutive worker failures before quarantine *)
+  breaker_cooldown_s : float;  (* quarantine length before a half-open probe *)
+  shed_watermark : int option;  (* queue depth where low-priority shedding
+                                   starts; None = 3/4 of the bound *)
   state_dir : string option;  (* journals for journaled campaigns *)
   journal_gc_age_s : float;  (* stale-journal GC horizon at startup *)
   worker_argv : string array;  (* how to launch a subprocess worker *)
@@ -67,6 +74,12 @@ let default_config ~socket () =
     retry_after_ms = 250;
     warm_bound = 32;
     backlog_bound = 64 * 1024 * 1024;
+    frame_bound = 64 * 1024 * 1024;
+    job_timeout_s = Some 300.;
+    conn_idle_timeout_s = 60.;
+    breaker_threshold = 3;
+    breaker_cooldown_s = 5.;
+    shed_watermark = None;
     state_dir = None;
     journal_gc_age_s = 7. *. 24. *. 3600.;
     worker_argv = [| Sys.executable_name; "_worker" |];
@@ -93,6 +106,7 @@ type running = {
   r_interrupted : bool Atomic.t;
   r_started_at : float;
   mutable r_cancelled : bool;  (* client gone: discard the result *)
+  mutable r_deadlined : bool;  (* watchdog already answered and released *)
 }
 
 type conn = {
@@ -105,6 +119,10 @@ type conn = {
   c_out_bound : int;  (* backlog bytes before the client is dropped *)
   mutable c_overflow : bool;  (* backlog over bound: disconnect pending *)
   mutable c_dead : bool;
+  mutable c_frame_deadline : float option;
+      (* set while a partial frame sits in [c_stream]: a peer that goes
+         silent mid-frame holds a reservation-free connection hostage
+         forever unless it is timed out *)
 }
 
 (* One in-domain worker: a spawned domain blocking on its mailbox.
@@ -159,12 +177,17 @@ type t = {
   mutable draining : bool;
   mutable listeners : Unix.file_descr list;
   pool : pool;
+  (* One circuit breaker per worker slot, indexed like the pool:
+     consecutive infrastructure failures quarantine the slot. *)
+  breakers : Sched.Breaker.t array;
   (* instruments *)
   m_requests : Metrics.counter;
   m_rejected : Metrics.counter;
   m_cancelled : Metrics.counter;
   m_failed : Metrics.counter;
   m_served : Metrics.counter;
+  m_deadlined : Metrics.counter;
+  m_conn_timeouts : Metrics.counter;
   m_latency : Metrics.histogram;
 }
 
@@ -368,14 +391,34 @@ let create (config : config) =
     | None -> Metrics.create ~enabled:true ()
   in
   let warm = Warm.create ~bound:config.warm_bound in
-  let sched = Sched.create ~bound:config.queue_bound in
+  let sched =
+    Sched.create ?watermark:config.shed_watermark ~bound:config.queue_bound ()
+  in
   let conns = Hashtbl.create 16 in
+  let breakers =
+    Array.init config.workers (fun _ ->
+        Sched.Breaker.create ~threshold:config.breaker_threshold
+          ~cooldown_s:config.breaker_cooldown_s ())
+  in
+  let inflight = Hashtbl.create 16 in
+  let active_journals = Hashtbl.create 8 in
   Metrics.probe obs "serve.queue_depth" (fun () -> Sched.depth sched);
   Metrics.probe obs "serve.connections_active" (fun () -> Hashtbl.length conns);
   Metrics.probe obs "serve.warm_entries" (fun () -> Warm.size warm);
   Metrics.probe obs "serve.warm_hits" (fun () -> Warm.hits warm);
   Metrics.probe obs "serve.warm_misses" (fun () -> Warm.misses warm);
   Metrics.probe obs "serve.warm_evictions" (fun () -> Warm.evictions warm);
+  (* Leak detectors: both must read 0 once the daemon has drained. *)
+  Metrics.probe obs "serve.inflight_keys" (fun () -> Hashtbl.length inflight);
+  Metrics.probe obs "serve.active_journals" (fun () ->
+      Hashtbl.length active_journals);
+  Metrics.probe obs "serve.jobs_shed" (fun () -> Sched.shed_count sched);
+  Metrics.probe obs "serve.breaker_trips" (fun () ->
+      Array.fold_left (fun acc b -> acc + Sched.Breaker.trips b) 0 breakers);
+  Metrics.probe obs "serve.breaker_open" (fun () ->
+      Array.fold_left
+        (fun acc b -> acc + if Sched.Breaker.is_open b then 1 else 0)
+        0 breakers);
   (* Stale-journal GC: journals of long-dead campaigns have no
      recovery value and would accumulate forever. *)
   (match config.state_dir with
@@ -388,19 +431,22 @@ let create (config : config) =
     warm;
     sched;
     conns;
-    active_journals = Hashtbl.create 8;
-    inflight = Hashtbl.create 16;
+    active_journals;
+    inflight;
     outbox = Queue.create ();
     outbox_lock = Mutex.create ();
     next_conn = 0;
     draining = false;
     listeners = [];
     pool = make_pool config;
+    breakers;
     m_requests = Metrics.counter obs "serve.requests_total";
     m_rejected = Metrics.counter obs "serve.requests_rejected";
     m_cancelled = Metrics.counter obs "serve.requests_cancelled";
     m_failed = Metrics.counter obs "serve.requests_failed";
     m_served = Metrics.counter obs "serve.requests_served";
+    m_deadlined = Metrics.counter obs "serve.jobs_deadlined";
+    m_conn_timeouts = Metrics.counter obs "serve.connections_timed_out";
     m_latency = Metrics.histogram obs "serve.request_latency_ms";
   }
 
@@ -424,6 +470,14 @@ let release_request t (queued : queued) =
   match queued.q_journal_path with
   | None -> ()
   | Some path -> Hashtbl.remove t.active_journals path
+
+(* Honest backpressure advice: the configured base scaled by how deep
+   the queue actually is, so clients retrying a loaded daemon back off
+   harder than clients retrying a momentary blip (1x empty .. 5x at
+   the bound). *)
+let retry_advice_ms t =
+  t.config.retry_after_ms
+  * (1 + 4 * Sched.depth t.sched / max 1 t.config.queue_bound)
 
 let start_on_dworker w running =
   w.d_busy <- Some running;
@@ -455,18 +509,24 @@ let start_on_pworker t w running =
        request through the normal worker-death path. *)
     ()
 
-(* Hand queued requests to idle workers, telling their clients. *)
+(* Hand queued requests to idle, non-quarantined workers, telling
+   their clients.  A slot whose breaker is open is skipped; an expired
+   quarantine admits exactly one half-open probe job. *)
 let try_dispatch t =
+  let now = Unix.gettimeofday () in
+  let breaker_ok idx = Sched.Breaker.available t.breakers.(idx) ~now in
   let idle_slots () =
     match t.pool with
     | Domains (workers, _, _) ->
       Array.to_list workers
       |> List.filter_map (fun w ->
-             if w.d_busy = None then Some (`D w) else None)
+             if w.d_busy = None && breaker_ok w.d_idx then Some (`D w)
+             else None)
     | Processes workers ->
       Array.to_list workers
       |> List.filter_map (fun w ->
-             if w.s_busy = None then Some (`P w) else None)
+             if w.s_busy = None && breaker_ok w.s_idx then Some (`P w)
+             else None)
   in
   let rec go = function
     | [] -> ()
@@ -480,14 +540,19 @@ let try_dispatch t =
              r_interrupted = Atomic.make false;
              r_started_at = Unix.gettimeofday ();
              r_cancelled = false;
+             r_deadlined = false;
            }
          in
          (match Hashtbl.find_opt t.conns queued.q_key.k_conn with
           | Some conn -> send_event conn ~id:queued.q_key.k_req Protocol.Started
           | None -> ());
          (match slot with
-          | `D w -> start_on_dworker w running
-          | `P w -> start_on_pworker t w running);
+          | `D w ->
+            Sched.Breaker.probe_started t.breakers.(w.d_idx);
+            start_on_dworker w running
+          | `P w ->
+            Sched.Breaker.probe_started t.breakers.(w.s_idx);
+            start_on_pworker t w running);
          go slots)
   in
   go (idle_slots ())
@@ -552,7 +617,7 @@ let handle_request t conn ~id request =
          if journal_clash then begin
            Metrics.incr t.m_rejected;
            send_event conn ~id
-             (Protocol.Rejected { retry_after_ms = t.config.retry_after_ms })
+             (Protocol.Rejected { retry_after_ms = retry_advice_ms t })
          end
          else begin
            let queued =
@@ -564,11 +629,30 @@ let handle_request t conn ~id request =
                q_journal_path = journal_path;
              }
            in
-           match Sched.submit t.sched ~client:conn.c_id queued with
+           match
+             Sched.submit t.sched
+               ~priority:(Protocol.job_priority job)
+               ~client:conn.c_id queued
+           with
            | `Rejected ->
              Metrics.incr t.m_rejected;
              send_event conn ~id
-               (Protocol.Rejected { retry_after_ms = t.config.retry_after_ms })
+               (Protocol.Rejected { retry_after_ms = retry_advice_ms t })
+           | `Displaced (_victim_client, victim, position) ->
+             (* The full queue admitted this job by shedding a queued
+                lower-priority one: the victim's owner gets an honest
+                late [rejected] (its [accepted] was real at the time —
+                a retrying client resubmits on either event). *)
+             release_request t victim;
+             Metrics.incr t.m_rejected;
+             (match Hashtbl.find_opt t.conns victim.q_key.k_conn with
+              | Some vconn ->
+                send_event vconn ~id:victim.q_key.k_req
+                  (Protocol.Rejected { retry_after_ms = retry_advice_ms t })
+              | None -> ());
+             reserve_request t queued;
+             send_event conn ~id (Protocol.Accepted { position });
+             try_dispatch t
            | `Accepted position ->
              reserve_request t queued;
              send_event conn ~id (Protocol.Accepted { position });
@@ -578,7 +662,7 @@ let handle_request t conn ~id request =
 
 (* --- result completion --------------------------------------------- *)
 
-let finish t running result =
+let finish_live t running result =
   release_request t running.r_queued;
   let key = running.r_queued.q_key in
   let elapsed_ms =
@@ -611,6 +695,14 @@ let finish t running result =
         | None -> ()))
   end
 
+let finish t running result =
+  if running.r_deadlined then
+    (* The deadline watchdog already answered the client and released
+       the reservations; the late result (an in-domain job finally
+       hitting an interruption point) is dropped on the floor. *)
+    ()
+  else finish_live t running result
+
 (* Drain the in-domain outbox: match results to their workers, answer
    clients, refill the workers. *)
 let drain_outbox t =
@@ -642,6 +734,9 @@ let drain_outbox t =
             match w.d_busy with
             | Some running when running.r_queued.q_key = key ->
               w.d_busy <- None;
+              (* The domain came back alive: whatever the job's own
+                 verdict, the worker infrastructure is healthy. *)
+              Sched.Breaker.record_success t.breakers.(w.d_idx);
               finish t running result
             | _ -> ())
           workers;
@@ -666,32 +761,50 @@ let service_pworker t w =
       | exception Unix.Unix_error _ -> (true, "")
     in
     if chunk <> "" then Frame.feed proc.p_stream chunk;
+    (* [infra]: the failure indicts the worker itself (garbled pipe,
+       malformed reply), not the request — those count against the
+       slot's circuit breaker; a clean [{"error":..}] reply is the
+       job's own fault and counts as worker success. *)
     let pop () =
       match Frame.pop proc.p_stream with
-      | exception Frame.Protocol_error _ -> Some (Error "worker spoke garbage")
+      | exception Frame.Protocol_error _ ->
+        Some (`Infra, Error "worker spoke garbage")
       | None -> None
       | Some payload ->
         (match J.of_string payload with
-         | exception J.Parse_error _ -> Some (Error "unparsable worker reply")
+         | exception J.Parse_error _ ->
+           Some (`Infra, Error "unparsable worker reply")
          | json ->
            (match J.member "ok" json with
             | Some payload ->
               (match Handler.decode_worker_reply payload with
-               | Ok outcome -> Some (Ok outcome)
-               | Error e -> Some (Error e))
+               | Ok outcome -> Some (`Sound, Ok outcome)
+               | Error e -> Some (`Infra, Error e))
             | None ->
               (match J.member "error" json with
-               | Some (J.String message) -> Some (Error message)
-               | _ -> Some (Error "malformed worker reply"))))
+               | Some (J.String message) -> Some (`Sound, Error message)
+               | _ -> Some (`Infra, Error "malformed worker reply"))))
+    in
+    let record_outcome verdict =
+      match verdict with
+      | `Infra ->
+        Sched.Breaker.record_failure t.breakers.(w.s_idx)
+          ~now:(Unix.gettimeofday ());
+        (* A worker that garbles its pipe has nothing trustworthy left
+           to say: kill it and respawn lazily. *)
+        kill_proc proc;
+        w.s_proc <- None
+      | `Sound -> Sched.Breaker.record_success t.breakers.(w.s_idx)
     in
     (match pop () with
-     | Some result ->
+     | Some (verdict, result) ->
        (match w.s_busy with
         | Some running ->
           w.s_busy <- None;
+          record_outcome verdict;
           finish t running result
-        | None -> ());
-       ignore (pop ())
+        | None -> record_outcome verdict);
+       if w.s_proc <> None then ignore (pop ())
      | None ->
        if died then begin
          let message = reap_proc proc in
@@ -699,6 +812,8 @@ let service_pworker t w =
          match w.s_busy with
          | Some running ->
            w.s_busy <- None;
+           Sched.Breaker.record_failure t.breakers.(w.s_idx)
+             ~now:(Unix.gettimeofday ());
            finish t running (Error message)
          | None -> ()
        end);
@@ -715,13 +830,16 @@ let accept_conn t listener =
       {
         c_id = t.next_conn;
         c_fd = fd;
-        c_stream = Frame.stream ~expect_version:Protocol.frame_version ();
+        c_stream =
+          Frame.stream ~expect_version:Protocol.frame_version
+            ~max_frame:t.config.frame_bound ();
         c_out = Queue.create ();
         c_out_off = 0;
         c_out_len = 0;
         c_out_bound = t.config.backlog_bound;
         c_overflow = false;
         c_dead = false;
+        c_frame_deadline = None;
       }
     in
     t.next_conn <- t.next_conn + 1;
@@ -813,6 +931,18 @@ let service_conn_read t conn =
   in
   pump ();
   if closed && not conn.c_dead then disconnect t conn
+  else if not conn.c_dead then begin
+    (* Arm the mid-frame watchdog while a partial frame is buffered:
+       a peer that goes silent halfway through a request (slow-loris,
+       crash mid-write) must not hold the connection open forever.
+       A complete quiet connection (empty buffer) may idle freely. *)
+    if Frame.stream_length conn.c_stream > 0 then begin
+      if conn.c_frame_deadline = None then
+        conn.c_frame_deadline <-
+          Some (Unix.gettimeofday () +. t.config.conn_idle_timeout_s)
+    end
+    else conn.c_frame_deadline <- None
+  end
 
 (* Drain the backlog frame by frame from the head offset: no
    re-allocation of the remainder, so a slow client costs O(bytes
@@ -837,6 +967,89 @@ let service_conn_write t conn =
        | exception Unix.Unix_error _ -> disconnect t conn)
   in
   go ()
+
+(* --- watchdogs ----------------------------------------------------- *)
+
+(* Per-request deadlines, swept once per select tick.  A subprocess
+   job over deadline is SIGKILLed (the campaign watchdog's containment
+   boundary) and the slot respawns lazily; an in-domain job can only
+   be asked to stop — its interrupt flag is set, the client is
+   answered and the reservations released immediately, but the domain
+   itself stays pinned until the job reaches an interruption point
+   (honest limitation of in-process containment; [--isolate] is the
+   strong form).  Either way the error event echoes the deadline. *)
+let deadline_error_message t elapsed_s =
+  match t.config.job_timeout_s with
+  | None -> assert false
+  | Some limit ->
+    Printf.sprintf
+      "deadline exceeded: job ran %.1fs against the %gs --job-timeout"
+      elapsed_s limit
+
+let deadline_expire t running ~now =
+  running.r_deadlined <- true;
+  Atomic.set running.r_interrupted true;
+  release_request t running.r_queued;
+  Metrics.incr t.m_deadlined;
+  Metrics.incr t.m_failed;
+  let key = running.r_queued.q_key in
+  let elapsed = now -. running.r_started_at in
+  match Hashtbl.find_opt t.conns key.k_conn with
+  | Some conn ->
+    send_event conn ~id:key.k_req
+      (Protocol.Error { message = deadline_error_message t elapsed })
+  | None -> ()
+
+let enforce_deadlines t =
+  match t.config.job_timeout_s with
+  | None -> ()
+  | Some limit ->
+    let now = Unix.gettimeofday () in
+    let overdue r =
+      (not r.r_deadlined) && (not r.r_cancelled)
+      && now -. r.r_started_at > limit
+    in
+    (match t.pool with
+     | Domains (workers, _, _) ->
+       Array.iter
+         (fun w ->
+           match w.d_busy with
+           | Some running when overdue running -> deadline_expire t running ~now
+           | _ -> ())
+         workers
+     | Processes workers ->
+       Array.iter
+         (fun w ->
+           match w.s_busy with
+           | Some running when overdue running ->
+             deadline_expire t running ~now;
+             (* The watchdog kill is an infrastructure event on this
+                slot: repeated poison pins point at the worker until
+                the breaker quarantines it. *)
+             Sched.Breaker.record_failure t.breakers.(w.s_idx) ~now;
+             w.s_busy <- None;
+             (match w.s_proc with
+              | Some proc ->
+                kill_proc proc;
+                w.s_proc <- None
+              | None -> ())
+           | _ -> ())
+         workers)
+
+(* Disconnect peers that went silent mid-frame past the idle
+   timeout — their reservations release through the normal disconnect
+   path.  Collect first: [disconnect] mutates [t.conns]. *)
+let enforce_conn_timeouts t =
+  let now = Unix.gettimeofday () in
+  Hashtbl.fold
+    (fun _ c acc ->
+      match c.c_frame_deadline with
+      | Some deadline when (not c.c_dead) && now > deadline -> c :: acc
+      | _ -> acc)
+    t.conns []
+  |> List.iter (fun c ->
+         Metrics.incr t.m_conn_timeouts;
+         disconnect t c)
 
 (* --- the main loop ------------------------------------------------- *)
 
@@ -937,6 +1150,12 @@ let run ?(interrupted = fun () -> false) ?(on_ready = fun () -> ()) config =
       (fun _ c acc -> if c.c_overflow && not c.c_dead then c :: acc else acc)
       t.conns []
     |> List.iter (fun c -> disconnect t c);
+    (* Watchdogs: per-request deadlines, mid-frame silence.  Then a
+       dispatch pass — queued work may be waiting on nothing but a
+       breaker cooldown expiring, which no fd event announces. *)
+    enforce_deadlines t;
+    enforce_conn_timeouts t;
+    if Sched.depth t.sched > 0 then try_dispatch t;
     let done_ =
       t.draining && Sched.depth t.sched = 0 && not (pool_busy t)
       && Hashtbl.fold (fun _ c acc -> acc && c.c_out_len = 0) t.conns true

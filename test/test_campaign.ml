@@ -431,6 +431,32 @@ let subprocess ?job_timeout_s () =
   Executor.config ?job_timeout_s ~worker_argv:[| tabv_exe; "_worker" |]
     Executor.Subprocess
 
+let backoff_cases =
+  [ case "retry backoff is deterministic, jittered and capped" (fun () ->
+      let base_s = 0.25 in
+      let d ~seed ~task attempt =
+        Executor.backoff_s ~seed ~task ~base_s ~attempt
+      in
+      (* Pure function of (seed, task, attempt). *)
+      Alcotest.(check (float 0.)) "replayable"
+        (d ~seed:3 ~task:7 4) (d ~seed:3 ~task:7 4);
+      Alcotest.(check (float 0.)) "first attempt is the base"
+        base_s (d ~seed:3 ~task:7 1);
+      (* Decorrelation: two clients (distinct seeds) rejected at the
+         same instant must not re-stampede in lockstep. *)
+      Alcotest.(check bool) "distinct seeds decorrelate" true
+        (d ~seed:1 ~task:0 3 <> d ~seed:2 ~task:0 3);
+      (* Every delay stays inside [base, 32*base]. *)
+      for attempt = 1 to 12 do
+        let delay = d ~seed:11 ~task:2 attempt in
+        Alcotest.(check bool)
+          (Printf.sprintf "attempt %d in [base, 32*base]" attempt)
+          true
+          (delay >= base_s && delay <= 32. *. base_s)
+      done;
+      Alcotest.(check (float 0.)) "degenerate base yields no delay" 0.
+        (Executor.backoff_s ~seed:1 ~task:1 ~base_s:0. ~attempt:3)) ]
+
 let executor_cases =
   [ slow_case "subprocess reports are byte-identical to in-domain" (fun () ->
       let report exec =
@@ -605,4 +631,5 @@ let run_cases =
 let suite =
   ( "campaign",
     dls_cases @ matrix_cases @ manifest_cases @ json_parser_cases @ wire_cases
-    @ payload_cases @ journal_cases @ run_cases @ executor_cases )
+    @ payload_cases @ journal_cases @ backoff_cases @ run_cases
+    @ executor_cases )

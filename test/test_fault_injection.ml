@@ -308,6 +308,150 @@ let json_cases =
         in
         F.equal_plan (gen ()) (gen ())) ]
 
+(* --- wire/transport fault plans (Fault.Net) --------------------------- *)
+
+module N = F.Net
+
+(* A versioned frame like every serve socket carries. *)
+let net_frame payload = Tabv_core.Frame.encode ~version:1 payload
+
+(* Concatenated bytes a fault-aware sender would actually write, up to
+   (and excluding anything after) the first [`Reset]. *)
+let written_bytes actions =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | [] -> false
+    | `Reset :: _ -> true
+    | `Chunk s :: rest -> Buffer.add_string buf s; go rest
+    | `Delay_ms _ :: rest -> go rest
+  in
+  let reset = go actions in
+  (Buffer.contents buf, reset)
+
+let net_full_vocabulary =
+  N.plan ~name:"everything"
+    [ N.Torn_frame { frame = 0; pieces = 3 };
+      N.Truncated_header { frame = 1; keep = 4 };
+      N.Corrupt_length { frame = 2; digit = 5 };
+      N.Corrupt_version { frame = 3 };
+      N.Slow_loris { frame = 4; delay_ms = 2 };
+      N.Reset_mid_frame { frame = 5; after = 7 };
+      N.Delay_frame { frame = 6; delay_ms = 3 };
+      N.Duplicate_frame { frame = 7 };
+      N.Handshake_garbage { bytes = 9 } ]
+
+let net_cases =
+  [ case "every net fault kind round-trips through JSON" (fun () ->
+      match N.plan_of_json (N.plan_json net_full_vocabulary) with
+      | Ok round ->
+        Alcotest.(check string) "equal documents"
+          (J.to_string (N.plan_json net_full_vocabulary))
+          (J.to_string (N.plan_json round))
+      | Error msg -> Alcotest.fail msg);
+    case "net generation is a pure function of the seed" (fun () ->
+      let gen seed = N.generate ~seed ~frames:10 ~count:8 in
+      Alcotest.(check string) "same seed, same plan"
+        (J.to_string (N.plan_json (gen 7)))
+        (J.to_string (N.plan_json (gen 7)));
+      Alcotest.(check bool) "different seeds differ" true
+        (J.to_string (N.plan_json (gen 7))
+         <> J.to_string (N.plan_json (gen 8))));
+    case "an unfaulted frame passes through verbatim" (fun () ->
+      let armed = N.arm N.no_faults in
+      let frame = net_frame "hello" in
+      Alcotest.(check bool) "exactly one plain chunk" true
+        (N.apply armed frame = [ `Chunk frame ]);
+      Alcotest.(check int) "counted" 1 (N.frames_sent armed);
+      Alcotest.(check int) "nothing triggered" 0 (N.net_triggered armed));
+    case "structure-preserving faults conserve the frame bytes" (fun () ->
+      (* Torn and slow-loris sends reshape the writes, not the bytes:
+         the concatenation must be the exact frame.  (This is the
+         invariant whose violation would turn a chaos client into a
+         client that silently sends nothing.) *)
+      List.iter
+        (fun (name, fault, copies) ->
+          let armed = N.arm (N.plan ~name [ fault ]) in
+          let frame = net_frame "payload-under-test" in
+          let bytes, reset = written_bytes (N.apply armed frame) in
+          Alcotest.(check string)
+            (name ^ " conserves the frame")
+            (String.concat "" (List.init copies (fun _ -> frame)))
+            bytes;
+          Alcotest.(check bool) (name ^ " never resets") false reset;
+          Alcotest.(check int) (name ^ " triggered") 1 (N.net_triggered armed))
+        [ ("torn", N.Torn_frame { frame = 0; pieces = 4 }, 1);
+          ("slow-loris", N.Slow_loris { frame = 0; delay_ms = 1 }, 1);
+          ("delay", N.Delay_frame { frame = 0; delay_ms = 1 }, 1);
+          ("duplicate", N.Duplicate_frame { frame = 0 }, 2) ]);
+    case "structural faults send a strict mangling and then reset" (fun () ->
+      let frame = net_frame "payload-under-test" in
+      List.iter
+        (fun (name, fault) ->
+          let armed = N.arm (N.plan ~name [ fault ]) in
+          let bytes, reset = written_bytes (N.apply armed frame) in
+          Alcotest.(check bool) (name ^ " ends in a reset") true reset;
+          Alcotest.(check bool)
+            (name ^ " writes less than, or a corruption of, the frame")
+            true
+            (bytes <> frame && String.length bytes <= String.length frame))
+        [ ("truncated-header", N.Truncated_header { frame = 0; keep = 4 });
+          ("corrupt-length", N.Corrupt_length { frame = 0; digit = 5 });
+          ("corrupt-version", N.Corrupt_version { frame = 0 });
+          ("reset-mid-frame", N.Reset_mid_frame { frame = 0; after = 7 }) ]);
+    case "handshake garbage precedes frame 0 only and is never hex" (fun () ->
+      let armed =
+        N.arm (N.plan ~name:"hs" [ N.Handshake_garbage { bytes = 16 } ])
+      in
+      let frame = net_frame "first" in
+      (match N.apply armed frame with
+       | `Chunk garbage :: rest ->
+         Alcotest.(check int) "requested garbage size" 16
+           (String.length garbage);
+         Alcotest.(check bool) "reader fails on the first byte" false
+           (String.contains "0123456789abcdef" garbage.[0]);
+         let bytes, reset = written_bytes rest in
+         Alcotest.(check string) "the real frame follows" frame bytes;
+         Alcotest.(check bool) "no reset" false reset
+       | _ -> Alcotest.fail "expected a garbage prelude");
+      Alcotest.(check bool) "frame 1 is clean" true
+        (N.apply armed (net_frame "second") = [ `Chunk (net_frame "second") ]));
+    case "latent faults never trigger and the counters say so" (fun () ->
+      let armed =
+        N.arm (N.plan ~name:"latent" [ N.Torn_frame { frame = 99; pieces = 2 } ])
+      in
+      for i = 0 to 4 do
+        let frame = net_frame (string_of_int i) in
+        Alcotest.(check bool) "clean passthrough" true
+          (N.apply armed frame = [ `Chunk frame ])
+      done;
+      Alcotest.(check int) "five frames counted" 5 (N.frames_sent armed);
+      Alcotest.(check int) "one fault armed" 1 (N.armed_faults armed);
+      Alcotest.(check int) "zero triggered" 0 (N.net_triggered armed));
+    case "generated net plans conserve bytes on every non-reset frame" (fun () ->
+      (* Sweep several seeds through a whole client lifetime: whatever
+         the drawn faults, a frame's written bytes must be the frame
+         itself (possibly doubled, possibly after garbage) unless the
+         actions end in a reset — a reset is the only licence to write
+         fewer or different bytes. *)
+      List.iter
+        (fun seed ->
+          let armed = N.arm (N.generate ~seed ~frames:10 ~count:8) in
+          for i = 0 to 11 do
+            let frame = net_frame (Printf.sprintf "frame-%d-%d" seed i) in
+            let bytes, reset = written_bytes (N.apply armed frame) in
+            if not reset then
+              let ok =
+                bytes = frame
+                || bytes = frame ^ frame
+                || (String.length bytes > String.length frame
+                    && String.ends_with ~suffix:frame bytes)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d frame %d conserves bytes" seed i)
+                true ok
+          done)
+        [ 1; 2; 3; 4; 5 ]) ]
+
 (* --- qualification campaign ------------------------------------------- *)
 
 let qualify_cases =
@@ -348,4 +492,4 @@ let qualify_cases =
 let suite =
   ( "fault_injection",
     rtl_cases @ tlm_cases @ plan_cases @ diagnosis_cases @ json_cases
-    @ qualify_cases )
+    @ net_cases @ qualify_cases )

@@ -1,9 +1,12 @@
 (* Test suite for the verification service (lib/serve): the bounded
-   fair scheduler, the warm LRU result cache, versioned framing,
+   fair scheduler with its shedding watermark and displacement tiers,
+   the worker circuit breaker, the warm LRU result cache, versioned
+   framing (including hostile-input fuzz of the incremental decoder),
    journal state-dir helpers — and the daemon end to end over a real
    Unix socket: byte-identity of cold/warm replies against the
-   in-process one-shot path, explicit backpressure with retry advice,
-   cancellation on client disconnect, cache invalidation and graceful
+   in-process one-shot path, explicit backpressure with scaled retry
+   advice, cancellation on client disconnect, per-request deadlines,
+   mid-frame silence timeouts, cache invalidation and graceful
    shutdown drain. *)
 
 open Tabv_serve
@@ -24,7 +27,7 @@ let contains haystack needle =
 
 let sched_cases =
   [ case "round-robin is fair across two competing clients" (fun () ->
-        let s = Sched.create ~bound:16 in
+        let s = Sched.create ~bound:16 () in
         Sched.add_client s 1;
         Sched.add_client s 2;
         (* Client 1 floods, client 2 sends two; service must alternate
@@ -47,7 +50,7 @@ let sched_cases =
           order;
         Alcotest.(check bool) "drained" true (Sched.next s = None));
     case "submissions over the bound are rejected" (fun () ->
-        let s = Sched.create ~bound:2 in
+        let s = Sched.create ~bound:2 () in
         Sched.add_client s 1;
         Alcotest.(check bool) "first fits" true
           (Sched.submit s ~client:1 "x" = `Accepted 1);
@@ -60,7 +63,7 @@ let sched_cases =
         Alcotest.(check bool) "readmitted after drain" true
           (Sched.submit s ~client:1 "z" = `Accepted 2));
     case "removing a client returns its queued work" (fun () ->
-        let s = Sched.create ~bound:8 in
+        let s = Sched.create ~bound:8 () in
         Sched.add_client s 1;
         Sched.add_client s 2;
         ignore (Sched.submit s ~client:1 "a");
@@ -74,10 +77,99 @@ let sched_cases =
         Alcotest.(check bool) "survivor still served" true
           (Sched.next s = Some (1, "a")));
     case "unknown client is a caller bug" (fun () ->
-        let s = Sched.create ~bound:2 in
+        let s = Sched.create ~bound:2 () in
         Alcotest.check_raises "submit before add_client"
           (Invalid_argument "Sched.submit: unknown client") (fun () ->
-            ignore (Sched.submit s ~client:9 "x"))) ]
+            ignore (Sched.submit s ~client:9 "x")));
+    case "watermark sheds low-priority work behind better work" (fun () ->
+        let s = Sched.create ~bound:4 ~watermark:2 () in
+        Sched.add_client s 1;
+        Alcotest.(check bool) "first accepted" true
+          (Sched.submit ~priority:3 s ~client:1 "hi1" = `Accepted 1);
+        Alcotest.(check bool) "second accepted" true
+          (Sched.submit ~priority:3 s ~client:1 "hi2" = `Accepted 2);
+        (* Depth is at the watermark and the backlog holds strictly
+           better work: a low-priority submission is refused early
+           even though the bound has room for it. *)
+        Alcotest.(check bool) "low work shed at the watermark" true
+          (Sched.submit ~priority:1 s ~client:1 "low" = `Rejected);
+        Alcotest.(check int) "the refusal is counted" 1 (Sched.shed_count s);
+        (* Equal-priority work still gets in below the bound. *)
+        Alcotest.(check bool) "peer-priority work still admitted" true
+          (Sched.submit ~priority:3 s ~client:1 "hi3" = `Accepted 3));
+    case "a full queue displaces the freshest lowest-priority item" (fun () ->
+        let s = Sched.create ~bound:2 ~watermark:2 () in
+        Sched.add_client s 1;
+        ignore (Sched.submit ~priority:0 s ~client:1 "low-old");
+        ignore (Sched.submit ~priority:0 s ~client:1 "low-fresh");
+        (match Sched.submit ~priority:2 s ~client:1 "hi" with
+         | `Displaced (client, victim, depth) ->
+           Alcotest.(check int) "victim owner" 1 client;
+           Alcotest.(check string) "the freshest low item is evicted"
+             "low-fresh" victim;
+           Alcotest.(check int) "depth stays at the bound" 2 depth
+         | `Accepted _ -> Alcotest.fail "bound not enforced"
+         | `Rejected -> Alcotest.fail "better work must displace");
+        Alcotest.(check int) "displacement is counted as shed" 1
+          (Sched.shed_count s);
+        Alcotest.(check bool) "the older low item survives" true
+          (Sched.next s = Some (1, "low-old"));
+        Alcotest.(check bool) "the displacer is queued" true
+          (Sched.next s = Some (1, "hi")));
+    case "equal priority never displaces at the bound" (fun () ->
+        let s = Sched.create ~bound:1 ~watermark:1 () in
+        Sched.add_client s 1;
+        ignore (Sched.submit ~priority:1 s ~client:1 "a");
+        Alcotest.(check bool) "peer work is rejected, not displaced" true
+          (Sched.submit ~priority:1 s ~client:1 "b" = `Rejected)) ]
+
+(* --- worker circuit breaker ------------------------------------------- *)
+
+let breaker_cases =
+  let module B = Sched.Breaker in
+  [ case "consecutive failures trip the breaker at the threshold" (fun () ->
+        let b = B.create ~threshold:2 ~cooldown_s:10. () in
+        Alcotest.(check bool) "healthy slot is available" true
+          (B.available b ~now:0.);
+        B.record_failure b ~now:0.;
+        Alcotest.(check bool) "one failure is below the threshold" true
+          (B.available b ~now:1.);
+        B.record_failure b ~now:1.;
+        Alcotest.(check bool) "tripped" true (B.is_open b);
+        Alcotest.(check bool) "quarantined during cooldown" false
+          (B.available b ~now:5.);
+        Alcotest.(check int) "one trip recorded" 1 (B.trips b));
+    case "a success resets the consecutive-failure count" (fun () ->
+        let b = B.create ~threshold:2 ~cooldown_s:10. () in
+        B.record_failure b ~now:0.;
+        B.record_success b;
+        B.record_failure b ~now:1.;
+        Alcotest.(check bool) "non-consecutive failures never trip" false
+          (B.is_open b));
+    case "cooldown expiry admits exactly one half-open probe" (fun () ->
+        let b = B.create ~threshold:1 ~cooldown_s:5. () in
+        B.record_failure b ~now:0.;
+        Alcotest.(check bool) "open until the cooldown" false
+          (B.available b ~now:4.9);
+        Alcotest.(check bool) "half-open after the cooldown" true
+          (B.available b ~now:5.1);
+        B.probe_started b;
+        Alcotest.(check bool) "no second probe while one is in flight" false
+          (B.available b ~now:5.2);
+        B.record_success b;
+        Alcotest.(check bool) "probe success re-closes" true
+          (B.available b ~now:5.3 && not (B.is_open b)));
+    case "a failed probe re-opens with a fresh cooldown" (fun () ->
+        let b = B.create ~threshold:1 ~cooldown_s:5. () in
+        B.record_failure b ~now:0.;
+        Alcotest.(check bool) "probe admitted" true (B.available b ~now:6.);
+        B.probe_started b;
+        B.record_failure b ~now:6.;
+        Alcotest.(check bool) "straight back to quarantine" true (B.is_open b);
+        Alcotest.(check bool) "the cooldown restarts from the probe" false
+          (B.available b ~now:10.9);
+        Alcotest.(check bool) "and expires again" true (B.available b ~now:11.1);
+        Alcotest.(check int) "both trips counted" 2 (B.trips b)) ]
 
 (* --- warm cache ------------------------------------------------------- *)
 
@@ -148,6 +240,76 @@ let frame_cases =
           (round (Protocol.Result { ok = true; warm = true; report = "{}\n" }));
         Alcotest.(check bool) "accepted carries the position" true
           (round (Protocol.Accepted { position = 3 }))) ]
+
+(* Hostile-input fuzz of the incremental decoder: every truncation
+   point, oversized length prefixes, header garbage, and random
+   payloads under random chunking.  A {e negative} length prefix is
+   impossible by construction — the header is eight hex digits, so the
+   decoded length is always in [0, 0xffffffff]; the oversized case is
+   the reachable form of that attack and is bounded by [max_frame]. *)
+let frame_fuzz_cases =
+  let version = 1 in
+  [ case "truncation at every byte is a quiet partial frame" (fun () ->
+        let frame = Frame.encode ~version "torn mid-flight" in
+        for keep = 0 to String.length frame - 1 do
+          let s = Frame.stream ~expect_version:version () in
+          Frame.feed s (String.sub frame 0 keep);
+          (match Frame.pop s with
+           | None -> ()
+           | Some _ -> Alcotest.failf "popped a frame from %d/%d bytes" keep
+                         (String.length frame)
+           | exception e ->
+             Alcotest.failf "truncation at byte %d raised %s" keep
+               (Printexc.to_string e));
+          Alcotest.(check int)
+            (Printf.sprintf "all %d bytes stay buffered" keep)
+            keep (Frame.stream_length s)
+        done);
+    case "an oversized length prefix fails at header-decode time" (fun () ->
+        (* The body never arrives: the lie must surface the moment the
+           header is complete, not after buffering 16 MiB. *)
+        let s = Frame.stream ~expect_version:version ~max_frame:1024 () in
+        Frame.feed s (Printf.sprintf "%02x%08x\n" version 0x00ffffff);
+        match Frame.pop s with
+        | exception Frame.Protocol_error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "names the bound: %s" msg)
+            true (contains msg "1024")
+        | _ -> Alcotest.fail "expected Protocol_error");
+    case "garbage where the version belongs raises, never stalls" (fun () ->
+        List.iter
+          (fun junk ->
+            let s = Frame.stream ~expect_version:version () in
+            Frame.feed s junk;
+            match Frame.pop s with
+            | exception Frame.Protocol_error _ -> ()
+            | _ ->
+              Alcotest.failf "junk header %S decoded quietly" junk)
+          [ "zz0000000f\n";  (* non-hex version field *)
+            "01zzzzzzzz\n";  (* non-hex length field *)
+            "01000000050";   (* missing newline terminator *)
+            String.make 11 '\xff' ]);
+    Helpers.qtest ~count:200 "random payloads under random chunking round-trip"
+      QCheck.(pair (small_list (string_of_size (QCheck.Gen.int_bound 40)))
+                (int_range 1 7))
+      (fun (payloads, chunk) ->
+        let wire = String.concat "" (List.map (Frame.encode ~version) payloads) in
+        let s = Frame.stream ~expect_version:version () in
+        let decoded = ref [] in
+        let n = String.length wire in
+        let rec drain () =
+          match Frame.pop s with
+          | Some p -> decoded := p :: !decoded; drain ()
+          | None -> ()
+        in
+        let i = ref 0 in
+        while !i < n do
+          let len = min chunk (n - !i) in
+          Frame.feed s (String.sub wire !i len);
+          drain ();
+          i := !i + len
+        done;
+        List.rev !decoded = payloads && Frame.stream_length s = 0) ]
 
 (* --- journal state dir ------------------------------------------------ *)
 
@@ -326,9 +488,11 @@ let serve_cases =
           (fun client _socket ->
             (* Three pipelined jobs on one worker with a queue of one:
                the first occupies the worker, the second fills the
-               queue, the third must bounce with the configured
-               advice.  Distinct seeds keep the warm cache out of the
-               admission path. *)
+               queue, the third must bounce with the configured base
+               advice scaled by the actual backlog — the queue is at
+               its bound, so the 123ms base is stretched 5x to 615ms.
+               Distinct seeds keep the warm cache out of the admission
+               path. *)
             Client.send_request client ~id:0
               (Protocol.Job (check_job ~seed:100 ~ops:400 ()));
             Client.send_request client ~id:1
@@ -351,10 +515,10 @@ let serve_cases =
             in
             pump ();
             match !rejected with
-            | Some (2, 123) -> ()
+            | Some (2, 615) -> ()
             | Some (id, ms) ->
               Alcotest.failf
-                "expected request 2 rejected with 123ms advice, got %d/%dms"
+                "expected request 2 rejected with 615ms advice, got %d/%dms"
                 id ms
             | None -> Alcotest.fail "no rejection observed"));
     slow_case "clashing journaled campaigns are refused while queued" (fun () ->
@@ -511,9 +675,111 @@ let serve_cases =
                   pump ()
                 | Ok (_, _) -> pump ()
             in
-            pump ())) ]
+            pump ()));
+    slow_case "an overrunning job is deadlined with an honest error" (fun () ->
+        with_server
+          ~configure:(fun c ->
+            { c with Server.workers = 1; job_timeout_s = Some 0.2 })
+          (fun client _socket ->
+            (* ~1.4s of real work against a 0.2s deadline: the client
+               must get an error event naming the deadline, and the
+               worker slot must come back for the next request. *)
+            (match
+               Client.request client (check_job ~seed:700 ~ops:20_000 ())
+             with
+             | Client.Failed msg ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "echoes the deadline: %s" msg)
+                 true
+                 (contains msg "deadline exceeded"
+                  && contains msg "--job-timeout")
+             | Client.Result _ -> Alcotest.fail "the deadline never fired"
+             | Client.Rejected _ -> Alcotest.fail "unexpected rejection");
+            match Client.request client (check_job ()) with
+            | Client.Result { ok = true; _ } -> ()
+            | _ -> Alcotest.fail "worker never came back after the deadline"));
+    slow_case "a client silent mid-frame is timed out and releases its reservations"
+      (fun () ->
+        let journaled_campaign () =
+          Protocol.Campaign
+            {
+              manifest =
+                J.Assoc
+                  [ ( "jobs",
+                      J.List
+                        [ J.Assoc
+                            [ ("duv", J.String "des56");
+                              ("level", J.String "rtl");
+                              ("seed", J.Int 2);
+                              ("ops", J.Int 10) ] ] ) ];
+              workers = 1;
+              retries = None;
+              journal = true;
+            }
+        in
+        with_server
+          ~configure:(fun c ->
+            { c with Server.workers = 1; conn_idle_timeout_s = 0.4;
+              state_dir = Some (Filename.dirname c.Server.socket) })
+          (fun client socket ->
+            (* The main client parks a ~1.4s job on the only worker.
+               A second client then queues a journaled campaign (its
+               journal path is now reserved), starts another request
+               and goes silent halfway through the frame — a
+               half-alive peer, not a disconnect.  The server must
+               time the connection out while the worker is still busy
+               and release the queued campaign's reservation, or the
+               main client's identical campaign below would be refused
+               as a journal clash forever. *)
+            Client.send_request client ~id:0
+              (Protocol.Job (check_job ~seed:800 ~ops:20_000 ()));
+            let doomed =
+              match Client.connect (`Unix socket) with
+              | Ok c -> c
+              | Error e -> Alcotest.fail e
+            in
+            Client.send_request doomed ~id:0
+              (Protocol.Job (journaled_campaign ()));
+            Client.interpose doomed (fun frame ->
+                [ `Chunk (String.sub frame 0 (String.length frame - 5)) ]);
+            Client.send_request doomed ~id:1
+              (Protocol.Job (check_job ~seed:801 ()));
+            (* Wait out the parked job; the doomed connection times
+               out (0.4s) well before the worker frees (~1.4s). *)
+            let rec wait_parked () =
+              match Client.next_event client with
+              | Ok (0, Protocol.Result { ok = true; _ }) -> ()
+              | Ok (_, (Protocol.Accepted _ | Protocol.Started)) ->
+                wait_parked ()
+              | Ok _ -> Alcotest.fail "unexpected event for the parked job"
+              | Error e -> Alcotest.fail e
+            in
+            wait_parked ();
+            (match Client.request client (journaled_campaign ()) with
+             | Client.Result { ok = true; _ } -> ()
+             | Client.Result _ -> Alcotest.fail "campaign went red"
+             | Client.Rejected _ ->
+               Alcotest.fail "the dead client's journal reservation leaked"
+             | Client.Failed msg -> Alcotest.fail msg);
+            (match Client.control client Protocol.Stats with
+             | Client.Stats json ->
+               let timed_out =
+                 match J.member "metrics" json with
+                 | Some metrics ->
+                   (match J.member "serve.connections_timed_out" metrics with
+                    | Some counter ->
+                      (match J.member "value" counter with
+                       | Some (J.Int n) -> n
+                       | _ -> -1)
+                    | None -> -1)
+                 | None -> -1
+               in
+               Alcotest.(check int) "exactly the silent connection timed out" 1
+                 timed_out
+             | _ -> Alcotest.fail "expected stats");
+            Client.close doomed)) ]
 
 let suite =
   ( "serve",
-    sched_cases @ warm_cases @ frame_cases @ journal_cases @ handler_cases
-    @ serve_cases )
+    sched_cases @ breaker_cases @ warm_cases @ frame_cases @ frame_fuzz_cases
+    @ journal_cases @ handler_cases @ serve_cases )
