@@ -81,6 +81,20 @@
 #                         FAILS if anything leaks or the armed-but-idle
 #                         cost of the net-fault hook exceeds 2% and
 #                         20 us absolute)
+#  13. bench/main.exe --quick --durability-only
+#                        (runs a journaled campaign under the Fault.Io
+#                         observer to enumerate every durable write
+#                         boundary, truncates the journal at each one
+#                         -- simulated power cuts -- and resumes every
+#                         crash image, asserting each resumed report is
+#                         byte-identical to the uninterrupted run; also
+#                         fills the disk mid-append (ENOSPC) expecting
+#                         an honest storage error plus an identical
+#                         faultless resume, sweeps for stale *.tmp
+#                         debris, writes BENCH_io_durability.json, and
+#                         FAILS on any mismatch, debris, or if the
+#                         hookless IO seam costs more than 2% over a
+#                         raw fsynced append loop)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -124,5 +138,8 @@ dune exec bench/main.exe -- --quick --serve-only
 
 echo "== chaos soak gate (8 faulted clients; drained, leak-free, byte-identical)"
 dune exec bench/main.exe -- --quick --chaos-only
+
+echo "== durability gate (power-cut recovery soak; byte-identical resumes, <= 2% seam overhead)"
+dune exec bench/main.exe -- --quick --durability-only
 
 echo "== all checks passed"

@@ -176,7 +176,14 @@ let journal_of_flags ~fail ~kind ~fingerprint ~path ~resume =
   | None, false -> None
   | Some path, resume ->
     (match Tabv_campaign.Journal.open_ ~path ~kind ~fingerprint ~resume () with
-     | Ok j -> Some j
+     | Ok j ->
+       let dropped = Tabv_campaign.Journal.truncated_bytes j in
+       if dropped > 0 then
+         Printf.eprintf
+           "%s: dropped %d bytes of torn/corrupt journal suffix (the \
+            affected jobs will re-run)\n%!"
+           path dropped;
+       Some j
      | Error msg -> fail (Printf.sprintf "%s: %s" path msg))
 
 (* Run [f interrupted] with SIGINT/SIGTERM captured into [interrupted]
@@ -203,15 +210,15 @@ let resume_hint = function
 
 (* Write a JSON document to FILE, or stdout for "-"; the trailing
    newline makes the file diff-friendly (the byte-identity tests diff
-   these files directly). *)
+   these files directly).  Files commit via temp + fsync + atomic
+   rename, so an interrupted run leaves either the previous report or
+   the complete new one — never a torn file. *)
 let write_json ?(announce = "report") path doc =
   let text = Tabv_core.Report_json.to_string doc in
   match path with
   | "-" -> print_endline text
   | path ->
-    Out_channel.with_open_bin path (fun oc ->
-        Out_channel.output_string oc text;
-        Out_channel.output_char oc '\n');
+    Tabv_core.Io.write_file_atomic ~path (text ^ "\n");
     Printf.printf "wrote %s to %s\n" announce path
 
 let report_json_arg ~doc =

@@ -357,8 +357,10 @@ let recheck_cmd =
        trace's identity when we have one. *)
     let meta, trace_signals =
       try Recheck.probe trace_in with
-      | Tabv_trace.Reader.Format_error { path; message } ->
-        fail (Printf.sprintf "%s: %s" path message)
+      | Tabv_trace.Reader.Format_error { path; message; offset; valid_prefix } ->
+        fail
+          (Printf.sprintf "%s: %s (at byte %d; verified prefix %d bytes)" path
+             message offset valid_prefix)
     in
     let model =
       match Cli.model_of_name meta.Tabv_trace.Meta.model with
@@ -425,8 +427,10 @@ let recheck_cmd =
             Recheck.run ~exec ~interrupted ~workers ~retries ~trace:trace_in
               properties)
       with
-      | Tabv_trace.Reader.Format_error { path; message } ->
-        fail (Printf.sprintf "%s: %s" path message)
+      | Tabv_trace.Reader.Format_error { path; message; offset; valid_prefix } ->
+        fail
+          (Printf.sprintf "%s: %s (at byte %d; verified prefix %d bytes)" path
+             message offset valid_prefix)
       | Recheck.Chunk_failed message ->
         Printf.eprintf "tabv recheck: chunk failed: %s\n" message;
         exit 1
@@ -1103,8 +1107,10 @@ let client_cmd =
              (match report_out with
               | Some "-" | None -> print_string report
               | Some path ->
-                Out_channel.with_open_bin path (fun oc ->
-                    Out_channel.output_string oc report);
+                (* Same commit discipline as Cli.write_json: the
+                   served report bytes land atomically or not at
+                   all. *)
+                Tabv_core.Io.write_file_atomic ~path report;
                 Printf.printf "wrote report to %s%s\n" path
                   (if warm then " (warm)" else ""));
              if not ok then exit 1
@@ -1310,6 +1316,56 @@ let doctor_cmd =
     in
     check "journal round-trip (resume replays all jobs byte-identically)"
       journal_smoke;
+    let journal_recovery =
+      (* Crash-image recovery: run a journaled campaign, truncate the
+         journal at arbitrary bytes (torn appends, lost fsyncs), and
+         resume each image — the CRC framing must salvage the valid
+         prefix and every resumed report must be byte-identical to the
+         uninterrupted one. *)
+      let open Tabv_campaign in
+      let jobs =
+        Campaign.expand_matrix ~duvs:[ Campaign.Colorconv ]
+          ~levels:[ Campaign.Rtl ] ~seeds:[ 1; 2 ] ~ops:10 ()
+      in
+      let fingerprint = Campaign.fingerprint ~retries:1 jobs in
+      let path = Filename.temp_file "tabv_doctor" ".journal" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let with_journal ~resume f =
+            match
+              Journal.open_ ~path ~kind:Campaign.journal_kind ~fingerprint
+                ~resume ()
+            with
+            | Error msg -> failwith msg
+            | Ok j ->
+              Fun.protect ~finally:(fun () -> Journal.close j) (fun () -> f j)
+          in
+          let fresh =
+            with_journal ~resume:false (fun journal ->
+                Campaign.run ~workers:2 ~journal jobs)
+          in
+          let expected =
+            Tabv_core.Report_json.to_string (Campaign.report_json fresh)
+          in
+          let full = In_channel.with_open_bin path In_channel.input_all in
+          let len = String.length full in
+          let cuts = [ 1; len / 3; len / 2; len - 2 ] in
+          List.for_all
+            (fun cut ->
+              let cut = max 0 (min cut len) in
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc (String.sub full 0 cut));
+              let resumed =
+                with_journal ~resume:true (fun journal ->
+                    Campaign.run ~workers:2 ~journal jobs)
+              in
+              Tabv_core.Report_json.to_string (Campaign.report_json resumed)
+              = expected)
+            cuts)
+    in
+    check "journal recovery (resume from truncated crash images, byte-identical)"
+      journal_recovery;
     (* Serve smoke: an in-process daemon on a temp socket must answer a
        check and a 2-job campaign with exactly the bytes the one-shot
        paths produce, replay the check warm, and drain cleanly on a

@@ -899,3 +899,309 @@ module Net = struct
     in
     (prelude @ actions : action list)
 end
+
+(* --- filesystem fault plans --------------------------------------- *)
+
+module Io = struct
+  type fault =
+    | Short_write of { op : int; keep : int }
+        (* write op [op] keeps only [keep] bytes, then ENOSPC *)
+    | Enospc_after of { bytes : int }
+        (* cumulative in-scope writes past [bytes] hit ENOSPC *)
+    | Write_eio of { op : int }  (* write op [op] fails with EIO *)
+    | Fsync_eio of { op : int }  (* fsync op [op] fails with EIO *)
+    | Fsync_lie of { op : int }
+        (* fsync op [op] acks without syncing — durable prefix stalls *)
+    | Rename_fail of { op : int }  (* rename op [op] fails with EIO *)
+    | Power_cut of { op : int }
+        (* everything from write op [op] on fails with EIO *)
+
+  type plan = {
+    plan_name : string;
+    scope : string;
+    faults : fault list;
+  }
+
+  let no_faults = { plan_name = "no-io-faults"; scope = ""; faults = [] }
+  let plan ~name ~scope faults = { plan_name = name; scope; faults }
+  let is_empty p = p.faults = []
+  let fault_count p = List.length p.faults
+
+  let fault_json = function
+    | Short_write { op; keep } ->
+      J.Assoc
+        [ ("kind", J.String "short_write");
+          ("op", J.Int op);
+          ("keep", J.Int keep)
+        ]
+    | Enospc_after { bytes } ->
+      J.Assoc [ ("kind", J.String "enospc_after"); ("bytes", J.Int bytes) ]
+    | Write_eio { op } ->
+      J.Assoc [ ("kind", J.String "write_eio"); ("op", J.Int op) ]
+    | Fsync_eio { op } ->
+      J.Assoc [ ("kind", J.String "fsync_eio"); ("op", J.Int op) ]
+    | Fsync_lie { op } ->
+      J.Assoc [ ("kind", J.String "fsync_lie"); ("op", J.Int op) ]
+    | Rename_fail { op } ->
+      J.Assoc [ ("kind", J.String "rename_fail"); ("op", J.Int op) ]
+    | Power_cut { op } ->
+      J.Assoc [ ("kind", J.String "power_cut"); ("op", J.Int op) ]
+
+  let plan_json p =
+    J.Assoc
+      [ ("plan", J.String p.plan_name);
+        ("scope", J.String p.scope);
+        ("faults", J.List (List.map fault_json p.faults))
+      ]
+
+  let fault_of_json j =
+    let* kvs = assoc j in
+    let* kind = string_key "kind" kvs in
+    match kind with
+    | "short_write" ->
+      let* op = int_key "op" kvs in
+      let* keep = int_key "keep" kvs in
+      Ok (Short_write { op; keep })
+    | "enospc_after" ->
+      let* bytes = int_key "bytes" kvs in
+      Ok (Enospc_after { bytes })
+    | "write_eio" ->
+      let* op = int_key "op" kvs in
+      Ok (Write_eio { op })
+    | "fsync_eio" ->
+      let* op = int_key "op" kvs in
+      Ok (Fsync_eio { op })
+    | "fsync_lie" ->
+      let* op = int_key "op" kvs in
+      Ok (Fsync_lie { op })
+    | "rename_fail" ->
+      let* op = int_key "op" kvs in
+      Ok (Rename_fail { op })
+    | "power_cut" ->
+      let* op = int_key "op" kvs in
+      Ok (Power_cut { op })
+    | other -> Error (Printf.sprintf "io fault plan: unknown kind %S" other)
+
+  let plan_of_json j =
+    let* kvs = assoc j in
+    let* plan_name = string_key "plan" kvs in
+    let* scope = string_key "scope" kvs in
+    let* faults = key "faults" kvs in
+    let* items =
+      match faults with
+      | J.List items -> Ok items
+      | _ -> Error "io fault plan: key \"faults\" must be an array"
+    in
+    let rec decode acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* f = fault_of_json item in
+        decode (f :: acc) rest
+    in
+    let* faults = decode [] items in
+    Ok { plan_name; scope; faults }
+
+  let generate ~seed ~scope ~ops ~count =
+    let name = Printf.sprintf "io-generated-%d" seed in
+    if ops < 1 || count < 1 then { plan_name = name; scope; faults = [] }
+    else begin
+      let st = Random.State.make [| 0x10f5; 0xd15c; seed |] in
+      let pick () =
+        let op = Random.State.int st ops in
+        match Random.State.int st 7 with
+        | 0 -> Short_write { op; keep = Random.State.int st 16 }
+        | 1 -> Enospc_after { bytes = Random.State.int st 4096 }
+        | 2 -> Write_eio { op }
+        | 3 -> Fsync_eio { op }
+        | 4 -> Fsync_lie { op }
+        | 5 -> Rename_fail { op }
+        | _ -> Power_cut { op }
+      in
+      let rec draw acc n =
+        if n = 0 then List.rev acc else draw (pick () :: acc) (n - 1)
+      in
+      { plan_name = name; scope; faults = draw [] count }
+    end
+
+  (* --- arming ------------------------------------------------------ *)
+
+  type file_state = {
+    mutable flushed : int;  (* offset after the last allowed write *)
+    mutable durable : int;  (* offset at the last honest fsync *)
+    mutable boundaries : int list;  (* post-write offsets, reversed *)
+  }
+
+  type armed = {
+    armed_plan : plan;
+    files : (string, file_state) Hashtbl.t;
+    mutable writes : int;
+    mutable fsyncs : int;
+    mutable renames : int;
+    mutable dead : bool;  (* a Power_cut fired *)
+    mutable io_triggered : int;
+    lock : Mutex.t;  (* the hook is consulted from worker domains *)
+  }
+
+  let arm p =
+    {
+      armed_plan = p;
+      files = Hashtbl.create 8;
+      writes = 0;
+      fsyncs = 0;
+      renames = 0;
+      dead = false;
+      io_triggered = 0;
+      lock = Mutex.create ();
+    }
+
+  let armed_faults a = fault_count a.armed_plan
+  let io_triggered a = a.io_triggered
+
+  let locked a f =
+    Mutex.lock a.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock a.lock) f
+
+  (* A [.tmp] sibling of an in-scope path is in scope too, so
+     temp+rename commits face the same faults as the final file. *)
+  let in_scope a path =
+    let scope = a.armed_plan.scope in
+    scope = ""
+    || Filename.check_suffix path scope
+    || Tabv_core.Io.is_temp_path path
+       && Filename.check_suffix
+            (Filename.chop_suffix path Tabv_core.Io.temp_suffix)
+            scope
+
+  let file_state a path =
+    match Hashtbl.find_opt a.files path with
+    | Some st -> st
+    | None ->
+      let st = { flushed = 0; durable = 0; boundaries = [] } in
+      Hashtbl.add a.files path st;
+      st
+
+  let write_boundaries a path =
+    locked a (fun () ->
+        match Hashtbl.find_opt a.files path with
+        | None -> []
+        | Some st -> List.rev st.boundaries)
+
+  let durable_prefix a path =
+    locked a (fun () ->
+        match Hashtbl.find_opt a.files path with
+        | None -> 0
+        | Some st -> st.durable)
+
+  let fired a = a.io_triggered <- a.io_triggered + 1
+
+  (* At most one fault fires per operation — the first in plan order
+     that targets it; [Enospc_after] and an armed [Power_cut] are
+     standing conditions rather than indexed ops. *)
+  let on_write a ~path ~offset ~len =
+    if not (in_scope a path) then Tabv_core.Io.Write_through
+    else
+      locked a (fun () ->
+          let st = file_state a path in
+          (* A reopened file (append after resume) starts past the
+             recorded offsets: adopt the caller's offset. *)
+          if offset > st.flushed then st.flushed <- offset;
+          let n = a.writes in
+          a.writes <- n + 1;
+          if a.dead then Tabv_core.Io.Write_error Unix.EIO
+          else begin
+            let allow () =
+              st.flushed <- offset + len;
+              st.boundaries <- st.flushed :: st.boundaries;
+              Tabv_core.Io.Write_through
+            in
+            let decide = function
+              | Short_write { op; keep } when op = n ->
+                fired a;
+                let keep = max 0 (min keep len) in
+                st.flushed <- offset + keep;
+                Some (Tabv_core.Io.Write_short { bytes = keep; error = Unix.ENOSPC })
+              | Write_eio { op } when op = n ->
+                fired a;
+                Some (Tabv_core.Io.Write_error Unix.EIO)
+              | Power_cut { op } when op <= n ->
+                fired a;
+                a.dead <- true;
+                Some (Tabv_core.Io.Write_error Unix.EIO)
+              | Enospc_after { bytes } when offset + len > bytes ->
+                fired a;
+                if offset >= bytes then
+                  Some (Tabv_core.Io.Write_error Unix.ENOSPC)
+                else begin
+                  let keep = bytes - offset in
+                  st.flushed <- offset + keep;
+                  Some
+                    (Tabv_core.Io.Write_short
+                       { bytes = keep; error = Unix.ENOSPC })
+                end
+              | _ -> None
+            in
+            match List.find_map decide a.armed_plan.faults with
+            | Some d -> d
+            | None -> allow ()
+          end)
+
+  let on_fsync a ~path =
+    if not (in_scope a path) then Tabv_core.Io.Fsync_through
+    else
+      locked a (fun () ->
+          let st = file_state a path in
+          let n = a.fsyncs in
+          a.fsyncs <- n + 1;
+          if a.dead then Tabv_core.Io.Fsync_error Unix.EIO
+          else begin
+            let decide = function
+              | Fsync_eio { op } when op = n ->
+                fired a;
+                Some (Tabv_core.Io.Fsync_error Unix.EIO)
+              | Fsync_lie { op } when op = n ->
+                fired a;
+                Some Tabv_core.Io.Fsync_lost
+              | _ -> None
+            in
+            match List.find_map decide a.armed_plan.faults with
+            | Some d -> d
+            | None ->
+              st.durable <- st.flushed;
+              Tabv_core.Io.Fsync_through
+          end)
+
+  let on_rename a ~src ~dst =
+    ignore src;
+    if not (in_scope a dst) then Tabv_core.Io.Op_through
+    else
+      locked a (fun () ->
+          let n = a.renames in
+          a.renames <- n + 1;
+          if a.dead then Tabv_core.Io.Op_error Unix.EIO
+          else begin
+            let decide = function
+              | Rename_fail { op } when op = n ->
+                fired a;
+                Some (Tabv_core.Io.Op_error Unix.EIO)
+              | _ -> None
+            in
+            match List.find_map decide a.armed_plan.faults with
+            | Some d -> d
+            | None -> Tabv_core.Io.Op_through
+          end)
+
+  let on_close a ~path =
+    if (not (in_scope a path)) || not a.dead then Tabv_core.Io.Op_through
+    else Tabv_core.Io.Op_error Unix.EIO
+
+  let hook a =
+    {
+      Tabv_core.Io.on_write = (fun ~path ~offset ~len -> on_write a ~path ~offset ~len);
+      on_fsync = (fun ~path -> on_fsync a ~path);
+      on_rename = (fun ~src ~dst -> on_rename a ~src ~dst);
+      on_close = (fun ~path -> on_close a ~path);
+    }
+
+  let install a = Tabv_core.Io.interpose (hook a)
+  let uninstall () = Tabv_core.Io.clear_interpose ()
+end

@@ -274,3 +274,96 @@ module Net : sig
 
   val frames_sent : armed -> int
 end
+
+(** {2 Filesystem fault plans}
+
+    The same methodology one layer {e down}: corrupt the durable-IO
+    primitives every journal, trace and report write goes through
+    ({!Tabv_core.Io}).  A plan names {e which} operation (0-based,
+    counted per kind across all in-scope files) suffers {e what};
+    {!Io.arm} compiles it into a {!Tabv_core.Io.hook} that
+    {!Io.install} interposes globally.  The armed state additionally
+    records every in-scope {e write boundary} (the flushed offset
+    after each allowed chunk) and the {e durable prefix} (the offset
+    at the last honest fsync) — the raw material for power-cut
+    simulation: a crash image is the file truncated at a boundary, a
+    lying-disk image is the file truncated to the durable prefix.
+    Arming an empty plan is the pure observer the recovery soak uses
+    to enumerate truncation points. *)
+module Io : sig
+  type fault =
+    | Short_write of { op : int; keep : int }
+        (** write op [op] persists only its first [keep] bytes, then
+            fails with [ENOSPC] — a torn record *)
+    | Enospc_after of { bytes : int }
+        (** a full disk: cumulative in-scope writes past [bytes]
+            bytes are cut short / refused with [ENOSPC] *)
+    | Write_eio of { op : int }  (** write op [op] fails with [EIO] *)
+    | Fsync_eio of { op : int }  (** fsync op [op] fails with [EIO] *)
+    | Fsync_lie of { op : int }
+        (** fsync op [op] reports success without syncing: the durable
+            prefix does not advance, so a crash image drops the
+            acknowledged bytes *)
+    | Rename_fail of { op : int }
+        (** rename op [op] fails with [EIO] — a torn
+            temp+rename commit, leaving the [.tmp] orphan behind *)
+    | Power_cut of { op : int }
+        (** the machine dies at write op [op]: that write and every
+            in-scope primitive after it fail with [EIO]; the harness
+            then resumes from a truncated crash image *)
+
+  type plan = {
+    plan_name : string;
+    scope : string;
+        (** path suffix the plan applies to ([""] = every path); a
+            [.tmp] sibling of an in-scope path is in scope too *)
+    faults : fault list;
+  }
+
+  val no_faults : plan
+  val plan : name:string -> scope:string -> fault list -> plan
+  val is_empty : plan -> bool
+  val fault_count : plan -> int
+
+  (** [{"plan": name, "scope": suffix, "faults": [{"kind": ..}, ..]}];
+      round-trips through {!plan_of_json}. *)
+  val plan_json : plan -> Tabv_core.Report_json.json
+
+  val plan_of_json : Tabv_core.Report_json.json -> (plan, string) result
+
+  (** [generate ~seed ~scope ~ops ~count] draws [count] faults over
+      operation indices [0 .. ops-1].  Pure function of its arguments
+      (private PRNG, drawn in order), like the DUV-level
+      {!val:generate}. *)
+  val generate : seed:int -> scope:string -> ops:int -> count:int -> plan
+
+  (** Mutable bookkeeping shared by one compiled plan: per-path write
+      boundaries and durable prefixes, per-kind operation counters,
+      the trigger count.  Thread-safe — journal appends consult the
+      hook from worker domains. *)
+  type armed
+
+  val arm : plan -> armed
+
+  (** The compiled hook; [install] interposes it globally. *)
+  val hook : armed -> Tabv_core.Io.hook
+
+  val install : armed -> unit
+
+  (** Clears the global interpose hook. *)
+  val uninstall : unit -> unit
+
+  val armed_faults : armed -> int
+
+  (** Faults that actually fired so far. *)
+  val io_triggered : armed -> int
+
+  (** In-scope flushed offsets of [path] after each allowed write,
+      ascending — every prefix of the file a crash could leave
+      behind. *)
+  val write_boundaries : armed -> string -> int list
+
+  (** Flushed offset of [path] at its last honest fsync (what an
+      fsync-lie crash image keeps). *)
+  val durable_prefix : armed -> string -> int
+end

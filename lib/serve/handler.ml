@@ -125,8 +125,10 @@ let exec_recheck ~interrupted ~trace ~props ~workers ~retries =
   let* meta, trace_signals =
     match Recheck.probe trace with
     | probe -> Ok probe
-    | exception Tabv_trace.Reader.Format_error { path; message } ->
-      Error (Printf.sprintf "%s: %s" path message)
+    | exception Tabv_trace.Reader.Format_error { path; message; offset; valid_prefix } ->
+      Error
+        (Printf.sprintf "%s: %s (at byte %d; verified prefix %d bytes)" path
+           message offset valid_prefix)
   in
   let* model =
     match Models.of_name meta.Tabv_trace.Meta.model with
@@ -178,8 +180,10 @@ let exec_recheck ~interrupted ~trace ~props ~workers ~retries =
         green = Recheck.total_failures result = 0;
         report = render (Recheck.report_json result);
       }
-  | exception Tabv_trace.Reader.Format_error { path; message } ->
-    Error (Printf.sprintf "%s: %s" path message)
+  | exception Tabv_trace.Reader.Format_error { path; message; offset; valid_prefix } ->
+    Error
+      (Printf.sprintf "%s: %s (at byte %d; verified prefix %d bytes)" path
+         message offset valid_prefix)
   | exception Recheck.Chunk_failed message ->
     Error ("chunk failed: " ^ message)
 
@@ -269,18 +273,32 @@ let exec_qualify ~interrupted ~duv ~levels ~seed ~ops ~workers ~retries =
 (* Execute one job in the calling domain (fresh checker universe
    first — one-shot CLI semantics).  [Error] is a request-level
    failure (bad props, bad manifest, missing trace...); unexpected
-   exceptions propagate for the caller to classify. *)
+   exceptions propagate for the caller to classify.
+
+   A failed durable-IO primitive (ENOSPC on a journal append, EIO on
+   a trace fsync...) is a request-level failure too, not a daemon
+   bug: the client gets an honest error event naming the operation
+   and path, the journaled work already fsynced stays on disk for the
+   next resume, and the daemon keeps serving. *)
 let execute ?(interrupted = fun () -> false) ~state_dir job =
   Tabv_checker.Progression.reset_universe ();
-  match job with
-  | Protocol.Check { model; seed; ops; props; engine; trace_out } ->
-    exec_check ~model ~seed ~ops ~props ~engine ~trace_out
-  | Protocol.Recheck { trace; props; workers; retries } ->
-    exec_recheck ~interrupted ~trace ~props ~workers ~retries
-  | Protocol.Campaign { manifest; workers; retries; journal } ->
-    exec_campaign ~interrupted ~state_dir ~manifest ~workers ~retries ~journal
-  | Protocol.Qualify { duv; levels; seed; ops; workers; retries } ->
-    exec_qualify ~interrupted ~duv ~levels ~seed ~ops ~workers ~retries
+  match
+    match job with
+    | Protocol.Check { model; seed; ops; props; engine; trace_out } ->
+      exec_check ~model ~seed ~ops ~props ~engine ~trace_out
+    | Protocol.Recheck { trace; props; workers; retries } ->
+      exec_recheck ~interrupted ~trace ~props ~workers ~retries
+    | Protocol.Campaign { manifest; workers; retries; journal } ->
+      exec_campaign ~interrupted ~state_dir ~manifest ~workers ~retries ~journal
+    | Protocol.Qualify { duv; levels; seed; ops; workers; retries } ->
+      exec_qualify ~interrupted ~duv ~levels ~seed ~ops ~workers ~retries
+  with
+  | result -> result
+  | exception Tabv_core.Io.Io_error { op; path; error } ->
+    Error
+      (Printf.sprintf "storage failure: %s on %s: %s (journaled work is \
+                       preserved; fix the disk and resubmit)"
+         op path (Unix.error_message error))
 
 (* --- the subprocess worker op -------------------------------------- *)
 

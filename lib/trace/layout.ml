@@ -1,5 +1,12 @@
-let version = 1
+(* Version 2: every record after the 8-byte magic — the meta header
+   included — is a CRC32-framed block: the record bytes followed by 4
+   little-endian CRC bytes over them.  A reader verifies the CRC at
+   each block boundary before surfacing the decoded entry, so a
+   flipped bit or a torn tail is detected at the damaged block, and
+   everything before it is a salvageable prefix. *)
+let version = 2
 let magic = "tabvtrc" ^ String.make 1 (Char.chr version)
+let crc_bytes = 4
 let tag_dict = '\x01'
 let tag_sample = '\x02'
 let tag_label = '\x03'

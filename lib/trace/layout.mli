@@ -1,17 +1,23 @@
 (** Byte-level layout constants shared by {!Writer} and {!Reader}.
 
-    File = magic (8 bytes, version in the last byte) · meta · records.
-    Records are tagged; samples are delta-timed and change-masked (a
-    bitmask of the dictionary entries whose value changed, then the
-    changed bool values bit-packed and the changed ints as zigzag
-    varints).  The file is only complete once the [tag_end] record —
-    carrying the total sample/span counts — has been written; a reader
-    that hits EOF first reports truncation. *)
+    File = magic (8 bytes, version in the last byte) · blocks, where
+    each block — the meta header included — is one record followed by
+    the CRC32 of its bytes ({!crc_bytes}, little-endian).  Records are
+    tagged; samples are delta-timed and change-masked (a bitmask of
+    the dictionary entries whose value changed, then the changed bool
+    values bit-packed and the changed ints as zigzag varints).  The
+    file is only complete once the [tag_end] record — carrying the
+    total sample/span counts — has been written; a reader that hits
+    EOF first reports truncation, and one that hits a failed CRC
+    reports corruption at that block with the verified prefix. *)
 
 val magic : string
 (** ["tabvtrc"] + the format version byte; 8 bytes. *)
 
 val version : int
+
+val crc_bytes : int
+(** Width of the little-endian CRC32 closing every block (4). *)
 
 val tag_dict : char
 val tag_sample : char

@@ -1,6 +1,13 @@
 open Tabv_psl
+module Crc32 = Tabv_core.Crc32
 
-exception Format_error of { path : string; message : string }
+exception
+  Format_error of {
+    path : string;
+    message : string;
+    offset : int;
+    valid_prefix : int;
+  }
 
 type dict_entry = { name : string; kind : char }
 
@@ -8,6 +15,7 @@ type t = {
   ic : in_channel;
   path : string;
   meta : Meta.t;
+  tbl : int array;  (* cached CRC table for the per-byte fold *)
   mutable dict : dict_entry array;
   mutable dict_read : bool;
   mutable values : Expr.value array;  (* current valuation *)
@@ -18,18 +26,60 @@ type t = {
   mutable prev_span_start : int;
   mutable n_samples : int;
   mutable n_spans : int;
+  mutable pos : int;  (* bytes consumed *)
+  mutable crc : int;  (* raw CRC register of the current block *)
+  mutable last_good : int;  (* offset after the last verified block *)
   mutable finished : bool;
   mutable closed : bool;
 }
 
-let corrupt t message = raise (Format_error { path = t.path; message })
+let corrupt t message =
+  raise
+    (Format_error
+       { path = t.path; message; offset = t.pos; valid_prefix = t.last_good })
 
-(* All reads funnel through [byte]; a clean EOF is only legal where
-   [next] checks for it explicitly, so [byte] maps EOF to truncation. *)
+(* All reads funnel through [byte] / [really_read]: they keep [pos]
+   and the running block CRC, so corruption reports carry the exact
+   offset and the verified (salvageable) prefix.  A clean EOF is only
+   legal where [next] checks for it explicitly, so EOF maps to
+   truncation.  [t.crc] holds the raw (uncomplemented) register —
+   see {!Crc32.Raw} — so the per-byte fold is one table lookup. *)
 let byte t () =
   match input_char t.ic with
-  | c -> c
+  | c ->
+    t.pos <- t.pos + 1;
+    t.crc <-
+      Array.unsafe_get t.tbl ((t.crc lxor Char.code c) land 0xFF)
+      lxor (t.crc lsr 8);
+    c
   | exception End_of_file -> corrupt t "truncated (unexpected end of file)"
+
+let really_read t len =
+  let b = Bytes.create len in
+  match really_input t.ic b 0 len with
+  | () ->
+    let s = Bytes.unsafe_to_string b in
+    t.pos <- t.pos + len;
+    t.crc <- Crc32.Raw.feed_string t.tbl t.crc s ~pos:0 ~len;
+    s
+  | exception End_of_file -> corrupt t "truncated (unexpected end of file)"
+
+(* The 4 CRC bytes closing a block: compared against the running CRC
+   of the block's body, excluded from it themselves.  A verified block
+   extends the salvageable prefix. *)
+let end_block t =
+  let expect = Crc32.Raw.finish t.crc in
+  let b = Bytes.create Layout.crc_bytes in
+  (match really_input t.ic b 0 Layout.crc_bytes with
+   | () -> t.pos <- t.pos + Layout.crc_bytes
+   | exception End_of_file -> corrupt t "truncated (unexpected end of file)");
+  let stored = ref 0 in
+  for i = Layout.crc_bytes - 1 downto 0 do
+    stored := (!stored lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  if !stored <> expect then corrupt t "record checksum mismatch";
+  t.crc <- Crc32.Raw.start;
+  t.last_good <- t.pos
 
 let read_uint t =
   match Varint.read_uint (byte t) with
@@ -44,10 +94,7 @@ let read_zigzag t =
 let read_string t =
   let len = read_uint t in
   if len < 0 || len > Layout.max_string then corrupt t "oversized string field";
-  let b = Bytes.create len in
-  match really_input t.ic b 0 len with
-  | () -> Bytes.unsafe_to_string b
-  | exception End_of_file -> corrupt t "truncated (unexpected end of file)"
+  really_read t len
 
 let open_file path =
   let ic = open_in_bin path in
@@ -66,6 +113,10 @@ let open_file path =
       prev_span_start = 0;
       n_samples = 0;
       n_spans = 0;
+      pos = 0;
+      tbl = Crc32.Raw.table ();
+      crc = Crc32.Raw.start;
+      last_good = 0;
       finished = false;
       closed = false;
     }
@@ -73,7 +124,7 @@ let open_file path =
   try
     let magic = Bytes.create (String.length Layout.magic) in
     (match really_input ic magic 0 (Bytes.length magic) with
-     | () -> ()
+     | () -> t.pos <- Bytes.length magic
      | exception End_of_file -> corrupt t "not a tabv trace (file too short)");
     let magic = Bytes.unsafe_to_string magic in
     let prefix = String.sub Layout.magic 0 (String.length Layout.magic - 1) in
@@ -84,10 +135,12 @@ let open_file path =
       corrupt t
         (Printf.sprintf "unsupported trace format version %d (this tabv reads %d)"
            version Layout.version);
+    (* The meta header is the first CRC-framed block. *)
     let model = read_string t in
     let seed = read_zigzag t in
     let ops = read_uint t in
     let engine = read_string t in
+    end_block t;
     { t with meta = { Meta.model; seed; ops; engine } }
   with e ->
     close_in_noerr ic;
@@ -97,6 +150,7 @@ let meta t = t.meta
 let signals t = Array.to_list (Array.map (fun e -> e.name) t.dict)
 let samples t = t.n_samples
 let spans t = t.n_spans
+let valid_prefix t = t.last_good
 
 let close t =
   if not t.closed then begin
@@ -121,11 +175,8 @@ let read_dict t =
 
 let read_bits t count =
   let bytes = (count + 7) / 8 in
-  let packed = Bytes.create bytes in
-  (match really_input t.ic packed 0 bytes with
-   | () -> ()
-   | exception End_of_file -> corrupt t "truncated (unexpected end of file)");
-  fun i -> Char.code (Bytes.get packed (i / 8)) land (1 lsl (i mod 8)) <> 0
+  let packed = really_read t bytes in
+  fun i -> Char.code packed.[i / 8] land (1 lsl (i mod 8)) <> 0
 
 let read_sample t =
   if not t.dict_read then corrupt t "sample before signal dictionary";
@@ -194,29 +245,56 @@ let read_end t =
       (Printf.sprintf
          "end record disagrees with contents (%d/%d samples, %d/%d spans)"
          t.n_samples want_samples t.n_spans want_spans);
+  end_block t;
   (match input_char t.ic with
-   | _ -> corrupt t "trailing bytes after end record"
+   | _ ->
+     t.pos <- t.pos + 1;
+     corrupt t "trailing bytes after end record"
    | exception End_of_file -> ());
   t.finished <- true
 
+(* Each tag opens a new CRC-framed block; the entry is only surfaced
+   once [end_block] has verified it, so a corrupted record can never
+   escape as decoded data. *)
 let rec next t =
   if t.finished || t.closed then None
-  else
+  else begin
+    t.crc <- Crc32.Raw.start;
     match input_char t.ic with
     | exception End_of_file ->
       corrupt t "truncated (no end record)"
-    | tag when tag = Layout.tag_dict ->
-      read_dict t;
-      next t
-    | tag when tag = Layout.tag_sample -> Some (read_sample t)
-    | tag when tag = Layout.tag_label ->
-      t.labels <- Array.append t.labels [| read_string t |];
-      next t
-    | tag when tag = Layout.tag_span -> Some (read_span t)
-    | tag when tag = Layout.tag_end ->
-      read_end t;
-      None
-    | tag -> corrupt t (Printf.sprintf "unknown record tag 0x%02x" (Char.code tag))
+    | tag ->
+      t.pos <- t.pos + 1;
+      t.crc <-
+        Array.unsafe_get t.tbl ((t.crc lxor Char.code tag) land 0xFF)
+        lxor (t.crc lsr 8);
+      if tag = Layout.tag_dict then begin
+        read_dict t;
+        end_block t;
+        next t
+      end
+      else if tag = Layout.tag_sample then begin
+        let entry = read_sample t in
+        end_block t;
+        Some entry
+      end
+      else if tag = Layout.tag_label then begin
+        let label = read_string t in
+        end_block t;
+        t.labels <- Array.append t.labels [| label |];
+        next t
+      end
+      else if tag = Layout.tag_span then begin
+        let entry = read_span t in
+        end_block t;
+        Some entry
+      end
+      else if tag = Layout.tag_end then begin
+        read_end t;
+        None
+      end
+      else corrupt t (Printf.sprintf "unknown record tag 0x%02x" (Char.code tag))
+  end
 
 let to_seq t =
   let rec seq () =

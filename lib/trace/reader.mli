@@ -6,14 +6,25 @@ open Tabv_psl
     is kept for change-mask decoding), not by the trace length — a
     multi-gigabyte campaign trace replays in O(signal count) live
     words.  Every structural problem — wrong magic, unsupported
-    version, truncation (EOF before the end record), counts that do
-    not match the end record, trailing bytes — raises {!Format_error}
-    with the offending path; a damaged file is refused, never
-    silently misread. *)
+    version, truncation (EOF before the end record), a failed
+    per-block CRC, counts that do not match the end record, trailing
+    bytes — raises {!Format_error} with the offending path, the byte
+    [offset] of the damage, and the [valid_prefix]: the byte length of
+    the CRC-verified prefix before it, i.e. exactly what a salvage
+    tool may keep.  A damaged file is refused, never silently misread,
+    and a decoded entry is only ever surfaced after its block's CRC
+    has verified. *)
 
 type t
 
-exception Format_error of { path : string; message : string }
+exception
+  Format_error of {
+    path : string;
+    message : string;
+    offset : int;  (** byte position at which the damage was detected *)
+    valid_prefix : int;
+        (** bytes of verified, salvageable prefix before the damage *)
+  }
 
 (** Open the file and decode the header.
     @raise Format_error on a non-trace file or unsupported version.
@@ -34,6 +45,11 @@ val next : t -> Entry.t option
 val samples : t -> int
 
 val spans : t -> int
+
+(** Bytes of CRC-verified prefix consumed so far — what {!Format_error}
+    would report as [valid_prefix] if the next block were damaged. *)
+val valid_prefix : t -> int
+
 val close : t -> unit
 
 (** One-shot ephemeral sequence of the remaining entries (consuming

@@ -1,9 +1,10 @@
 open Tabv_psl
+module Crc32 = Tabv_core.Crc32
 
 type dict_entry = { name : string; kind : char }
 
 type t = {
-  oc : out_channel;
+  io : Tabv_core.Io.t;
   buf : Buffer.t;  (* staging area for one record *)
   mutable dict : dict_entry array;  (* [||] until the first sample *)
   mutable dict_written : bool;
@@ -20,26 +21,30 @@ type t = {
   mutable closed : bool;
 }
 
+let crc_le crc =
+  String.init Layout.crc_bytes (fun i -> Char.chr ((crc lsr (8 * i)) land 0xff))
+
+(* One staged record = one CRC-framed block = one IO chunk (a single
+   write boundary under the fault hook): body bytes, then the CRC of
+   the body, little-endian. *)
 let flush_buf t =
-  Buffer.output_buffer t.oc t.buf;
-  t.bytes <- t.bytes + Buffer.length t.buf;
-  Buffer.clear t.buf
+  let body = Buffer.contents t.buf in
+  Buffer.clear t.buf;
+  Tabv_core.Io.write t.io body;
+  Tabv_core.Io.write t.io (crc_le (Crc32.string body));
+  Tabv_core.Io.flush t.io;
+  t.bytes <- t.bytes + String.length body + Layout.crc_bytes
 
 let write_string buf s =
   Varint.write_uint buf (String.length s);
   Buffer.add_string buf s
 
 let create ~path meta =
-  let oc = open_out_bin path in
+  let io = Tabv_core.Io.create path in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf Layout.magic;
-  write_string buf meta.Meta.model;
-  Varint.write_zigzag buf meta.Meta.seed;
-  Varint.write_uint buf meta.Meta.ops;
-  write_string buf meta.Meta.engine;
   let t =
     {
-      oc;
+      io;
       buf;
       dict = [||];
       dict_written = false;
@@ -56,6 +61,16 @@ let create ~path meta =
       closed = false;
     }
   in
+  (* The magic is raw (its own chunk, no CRC — a reader must be able
+     to recognize the format before trusting any framing); the meta
+     header is the first CRC-framed block. *)
+  Tabv_core.Io.write io Layout.magic;
+  Tabv_core.Io.flush io;
+  t.bytes <- String.length Layout.magic;
+  write_string buf meta.Meta.model;
+  Varint.write_zigzag buf meta.Meta.seed;
+  Varint.write_uint buf meta.Meta.ops;
+  write_string buf meta.Meta.engine;
   flush_buf t;
   t
 
@@ -199,8 +214,12 @@ let span t ~label ~start_time ~end_time =
       let id = t.next_label in
       t.next_label <- id + 1;
       Hashtbl.add t.labels label id;
+      (* Its own block: the reader resolves label ids at block
+         boundaries, so a label may never share a CRC frame with the
+         span that first uses it. *)
       Buffer.add_char t.buf Layout.tag_label;
       write_string t.buf label;
+      flush_buf t;
       id
   in
   Buffer.add_char t.buf Layout.tag_span;
@@ -217,13 +236,22 @@ let bytes_written t = t.bytes
 
 let close t =
   if not t.closed then begin
-    flush_pending t;
-    Buffer.add_char t.buf Layout.tag_end;
-    Varint.write_uint t.buf t.n_samples;
-    Varint.write_uint t.buf t.n_spans;
-    flush_buf t;
     t.closed <- true;
-    close_out t.oc
+    match
+      flush_pending t;
+      Buffer.add_char t.buf Layout.tag_end;
+      Varint.write_uint t.buf t.n_samples;
+      Varint.write_uint t.buf t.n_spans;
+      flush_buf t;
+      Tabv_core.Io.fsync t.io
+    with
+    | () -> Tabv_core.Io.close t.io
+    | exception e ->
+      (* Release the descriptor even when the end record cannot be
+         written (an injected IO fault); the file is then a trace
+         without an end record — torn, and refused by the reader. *)
+      Tabv_core.Io.close_noerr t.io;
+      raise e
   end
 
 let with_file ~path meta f =

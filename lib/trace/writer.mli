@@ -14,11 +14,18 @@ open Tabv_psl
     transactions in one instant and checkers observe the final
     environment of the instant.  The pending-sample buffer is what
     makes this streamable — a sample is only encoded once a strictly
-    later one (or {!close}) proves it final. *)
+    later one (or {!close}) proves it final.
+
+    Every record is written as one CRC32-framed block through
+    {!Tabv_core.Io} (one write boundary per record under the
+    [Fault.Io] hook), and {!close} fsyncs before releasing the file —
+    a crash mid-run leaves a trace whose verified prefix is exactly
+    the committed records. *)
 type t
 
 (** [create ~path meta] opens [path] for writing and emits the header.
-    @raise Sys_error like [open_out_bin]. *)
+    @raise Tabv_core.Io.Io_error when the file cannot be created or
+    written. *)
 val create : path:string -> Meta.t -> t
 
 (** Record the full environment at [time].  The first sample fixes the

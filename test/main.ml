@@ -45,4 +45,5 @@ let () =
       Test_engine.suite;
       Test_campaign.suite;
       Test_trace.suite;
-      Test_serve.suite ]
+      Test_serve.suite;
+      Test_durability.suite ]
